@@ -1,0 +1,43 @@
+//! Criterion benches for the discrete-event engine: solo and fused kernel
+//! simulation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tacker_fuser::{fuse_flexible, FusionConfig};
+use tacker_sim::{simulate, ExecutablePlan, GpuSpec};
+use tacker_workloads::gemm::{gemm_workload, GemmShape};
+use tacker_workloads::parboil::Benchmark;
+
+fn bench_engine(c: &mut Criterion) {
+    let spec = GpuSpec::rtx2080ti();
+    let gemm_def = tacker_workloads::dnn::compile::shared_gemm();
+    let tc = gemm_workload(&gemm_def, GemmShape::new(4096, 4096, 512));
+    let plan = ExecutablePlan::from_launch(&spec, &tc.launch()).expect("plan");
+    c.bench_function("simulate_gemm_4096", |b| {
+        b.iter(|| simulate(&spec, &plan).expect("run"))
+    });
+
+    let cd = Benchmark::Fft.task()[0].clone();
+    let cd_plan = ExecutablePlan::from_launch(&spec, &cd.launch()).expect("plan");
+    c.bench_function("simulate_fft", |b| {
+        b.iter(|| simulate(&spec, &cd_plan).expect("run"))
+    });
+
+    let fused = fuse_flexible(
+        &tc.def,
+        &cd.def,
+        FusionConfig {
+            tc_blocks: 1,
+            cd_blocks: 2,
+        },
+        &spec.sm,
+    )
+    .expect("fuse");
+    let launch = fused.launch(tc.grid, cd.grid, &tc.bindings, &cd.bindings);
+    let fused_plan = ExecutablePlan::from_launch(&spec, &launch).expect("plan");
+    c.bench_function("simulate_fused_gemm_fft", |b| {
+        b.iter(|| simulate(&spec, &fused_plan).expect("run"))
+    });
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion benches for the source-to-source transforms (the paper's
+//! "compiling a fused kernel takes 0.9 s" — dominated there by nvcc; here
+//! the structural transform itself is measured).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tacker_fuser::{enumerate_configs, fuse_flexible, to_ptb, FusionConfig, PackPriority};
+use tacker_kernel::SmCapacity;
+use tacker_workloads::parboil::Benchmark;
+
+fn bench_fuser(c: &mut Criterion) {
+    let gemm = tacker_workloads::gemm::gemm_kernel();
+    let fft = Benchmark::Fft.kernel();
+    let sm = SmCapacity::TURING;
+    c.bench_function("ptb_transform", |b| {
+        b.iter(|| to_ptb(&fft).expect("ptb"))
+    });
+    c.bench_function("enumerate_fusion_configs", |b| {
+        b.iter(|| enumerate_configs(&gemm, &fft, &sm, PackPriority::TensorFirst))
+    });
+    c.bench_function("fuse_flexible_2to1", |b| {
+        b.iter(|| {
+            fuse_flexible(
+                &gemm,
+                &fft,
+                FusionConfig {
+                    tc_blocks: 2,
+                    cd_blocks: 1,
+                },
+                &sm,
+            )
+            .expect("fuse")
+        })
+    });
+    let fused = fuse_flexible(&gemm, &fft, FusionConfig::ONE_TO_ONE, &sm).expect("fuse");
+    c.bench_function("render_fused_cuda_source", |b| {
+        b.iter(|| tacker_kernel::source::render(fused.def()))
+    });
+}
+
+criterion_group!(benches, bench_fuser);
+criterion_main!(benches);

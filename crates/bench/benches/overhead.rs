@@ -1,0 +1,48 @@
+//! Criterion benches for the §VIII-I overhead claims: online scheduling
+//! decision latency with and without fusion.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tacker::library::FusionLibrary;
+use tacker::manager::{KernelManager, Policy};
+use tacker::profile::KernelProfiler;
+use tacker_kernel::SimTime;
+use tacker_sim::{Device, GpuSpec};
+use tacker_workloads::gemm::{gemm_workload, GemmShape};
+use tacker_workloads::parboil::Benchmark;
+
+fn setup(policy: Policy) -> (KernelManager, tacker_workloads::WorkloadKernel, Vec<Option<tacker_workloads::WorkloadKernel>>) {
+    let device = Arc::new(Device::new(GpuSpec::rtx2080ti()));
+    let profiler = Arc::new(KernelProfiler::new(device));
+    let library = Arc::new(FusionLibrary::new(Arc::clone(&profiler)));
+    let manager = KernelManager::new(Arc::clone(&profiler), library, policy);
+    let gemm_def = tacker_workloads::dnn::compile::shared_gemm();
+    let lc = gemm_workload(&gemm_def, GemmShape::new(4096, 4096, 512));
+    let be_heads: Vec<Option<tacker_workloads::WorkloadKernel>> = (0..50)
+        .map(|i| {
+            let b = Benchmark::BE_APPS[i % Benchmark::BE_APPS.len()];
+            let mut wk = b.task()[0].clone();
+            wk.grid += i as u64;
+            Some(wk)
+        })
+        .collect();
+    let hr = SimTime::from_millis(20);
+    manager.decide(Some(&lc), hr, hr, &be_heads, false).expect("warmup");
+    (manager, lc, be_heads)
+}
+
+fn bench_decisions(c: &mut Criterion) {
+    let hr = SimTime::from_millis(20);
+    let (tacker, lc, be) = setup(Policy::Tacker);
+    c.bench_function("online_fuse_decision_50_pairs", |b| {
+        b.iter(|| tacker.decide(Some(&lc), hr, hr, &be, false).expect("decide"))
+    });
+    let (baymax, lc, be) = setup(Policy::Baymax);
+    c.bench_function("static_schedule_decision_50_kernels", |b| {
+        b.iter(|| baymax.decide(Some(&lc), hr, hr, &be, false).expect("decide"))
+    });
+}
+
+criterion_group!(benches, bench_decisions);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion benches for model fitting and prediction (the paper's "model
+//! training completes in 20 ms" claim).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tacker_kernel::SimTime;
+use tacker_predictor::{FusedPairModel, KernelDurationModel, LinReg, MultiLinReg};
+
+fn bench_predictor(c: &mut Criterion) {
+    let samples: Vec<(f64, f64)> = (1..=40)
+        .map(|i| {
+            let r = i as f64 * 0.05;
+            (r, if r < 1.0 { 1.0 + 0.1 * r } else { 1.1 + (r - 1.0) })
+        })
+        .collect();
+    c.bench_function("fit_two_stage_model_40pts", |b| {
+        b.iter(|| FusedPairModel::fit("p", &samples).expect("fit"))
+    });
+    c.bench_function("fit_linreg_40pts", |b| {
+        b.iter(|| LinReg::fit(&samples).expect("fit"))
+    });
+
+    let rows: Vec<Vec<f64>> = (0..24).map(|i| vec![(i * 64) as f64, i as f64]).collect();
+    let ys: Vec<f64> = rows.iter().map(|r| 3.0 * r[0] + 100.0 * r[1] + 5.0).collect();
+    c.bench_function("fit_multilinreg_24pts", |b| {
+        b.iter(|| MultiLinReg::fit(&rows, &ys).expect("fit"))
+    });
+
+    let profile: Vec<(u64, SimTime)> = (1..=8)
+        .map(|i| (i * 128, SimTime::from_micros(10 * i)))
+        .collect();
+    let model = KernelDurationModel::fit_blocks("k", &profile).expect("fit");
+    c.bench_function("predict_kernel_duration", |b| {
+        b.iter(|| model.predict(640.0))
+    });
+    let fused = FusedPairModel::fit("p", &samples).expect("fit");
+    c.bench_function("predict_fused_duration", |b| {
+        b.iter(|| fused.predict(SimTime::from_micros(100), SimTime::from_micros(70)))
+    });
+}
+
+criterion_group!(benches, bench_predictor);
+criterion_main!(benches);

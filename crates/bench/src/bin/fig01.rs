@@ -1,0 +1,29 @@
+//! Figure 1: the *false high utilization* problem — Tensor/CUDA core
+//! active timelines when Baymax co-locates Resnet50 (LC) with sgemm (BE).
+//!
+//! Paper: the GPU looks computation-busy, yet at any instant either the
+//! Tensor Cores or the CUDA Cores are idle (the two rows never overlap).
+
+use tacker::prelude::*;
+use tacker_bench::rtx2080ti;
+
+fn main() {
+    let device = rtx2080ti();
+    let config = tacker_bench::eval_config().with_queries(12).with_timeline();
+    let lc = tacker_workloads::lc_service("Resnet50", &device).expect("LC service");
+    let be = vec![tacker_workloads::be_app("sgemm").expect("BE app")];
+    let report =
+        tacker::run_colocation(&device, &lc, &be, Policy::Baymax, &config).expect("baymax run");
+    let tl = report.timeline.expect("timeline recorded");
+
+    println!("# Figure 1: active timeline under Baymax (Resnet50 + sgemm)");
+    print!("{}", tl.render_ascii(100));
+    let tc = tl.tc_active_time();
+    let cd = tl.cd_active_time();
+    let both = tl.both_active_time();
+    println!();
+    println!("TC active: {tc}");
+    println!("CD active: {cd}");
+    println!("both active simultaneously: {both}  (paper: never — false high utilization)");
+    assert_eq!(both.as_nanos(), 0, "Baymax must never use both core types at once");
+}

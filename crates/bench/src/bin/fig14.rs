@@ -1,0 +1,55 @@
+//! Figure 14: BE throughput improvement of Tacker over Baymax for all
+//! 6 LC × 12 BE co-location pairs on the RTX 2080Ti.
+//!
+//! Paper: average 18.6%, up to 41.1%; compute-intensive BE applications
+//! gain more than memory-intensive ones.
+
+use tacker_bench::{eval_config, pair_improvement, rtx2080ti};
+use tacker_workloads::Intensity;
+
+fn main() {
+    let device = rtx2080ti();
+    let config = eval_config();
+    let be_apps = tacker_workloads::be_apps();
+    let mut all = Vec::new();
+    let mut compute = Vec::new();
+    let mut memory = Vec::new();
+
+    println!("# Figure 14: BE throughput improvement over Baymax (2080Ti)");
+    print!("{:<10}", "LC \\ BE");
+    for be in &be_apps {
+        print!("{:>9}", be.name());
+    }
+    println!();
+    for lc_name in ["Resnet50", "ResNext", "VGG16", "VGG19", "Inception", "Densenet"] {
+        let lc = tacker_workloads::lc_service(lc_name, &device).expect("known LC service");
+        print!("{lc_name:<10}");
+        for be in &be_apps {
+            let (imp, _, tacker) = pair_improvement(&device, &lc, be, &config);
+            assert!(
+                tacker.p99_latency() <= config.qos_target.mul_f64(1.02),
+                "{lc_name}+{}: p99 {} exceeds QoS",
+                be.name(),
+                tacker.p99_latency()
+            );
+            print!("{:>8.1}%", imp);
+            all.push(imp);
+            match be.intensity() {
+                Intensity::Compute => compute.push(imp),
+                Intensity::Memory => memory.push(imp),
+            }
+        }
+        println!();
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let max = all.iter().cloned().fold(f64::MIN, f64::max);
+    println!();
+    println!("pairs: {}", all.len());
+    println!("average improvement: {:.1}%   (paper: 18.6%)", avg(&all));
+    println!("max improvement:     {:.1}%   (paper: 41.1%)", max);
+    println!(
+        "compute-intensive avg: {:.1}%  >  memory-intensive avg: {:.1}%  (paper: compute > memory)",
+        avg(&compute),
+        avg(&memory)
+    );
+}

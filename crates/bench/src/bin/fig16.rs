@@ -1,0 +1,44 @@
+//! Figure 16: average and 99%-ile latencies of the LC services across all
+//! 72 co-location pairs under Tacker.
+//!
+//! Paper: QoS (50 ms) is met in every pair; 99%-ile latencies are close to
+//! the target (headroom is used up), averages are similar across
+//! co-locations.
+
+use tacker::prelude::*;
+use tacker_bench::{eval_config, rtx2080ti};
+
+fn main() {
+    let device = rtx2080ti();
+    let config = eval_config();
+    let be_apps = tacker_workloads::be_apps();
+    println!("# Figure 16: LC latencies under Tacker (QoS target {})", config.qos_target);
+    println!("{:<10} {:>8} {:>10} {:>10} {:>6}", "LC", "BE", "avg(ms)", "p99(ms)", "QoS");
+    let mut all_ok = true;
+    for lc_name in ["Resnet50", "ResNext", "VGG16", "VGG19", "Inception", "Densenet"] {
+        let lc = tacker_workloads::lc_service(lc_name, &device).expect("LC service");
+        for be in &be_apps {
+            let r = tacker::run_colocation(
+                &device,
+                &lc,
+                std::slice::from_ref(be),
+                Policy::Tacker,
+                &config,
+            )
+            .expect("tacker run");
+            let ok = r.p99_latency() <= config.qos_target.mul_f64(1.02);
+            all_ok &= ok;
+            println!(
+                "{:<10} {:>8} {:>10.2} {:>10.2} {:>6}",
+                lc_name,
+                be.name(),
+                r.mean_latency().as_millis_f64(),
+                r.p99_latency().as_millis_f64(),
+                if ok { "met" } else { "MISS" }
+            );
+        }
+    }
+    println!();
+    assert!(all_ok, "every pair must meet QoS");
+    println!("QoS met in all 72 co-locations (paper: same).");
+}

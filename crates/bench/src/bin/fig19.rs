@@ -1,0 +1,63 @@
+//! Figure 19: BE throughput improvement on the V100.
+//!
+//! Paper: average 23.3% (up to 40.4%) across Resnet50/VGG16/Densenet × 12
+//! BE apps; memory-intensive BE applications gain *more* on V100 than on
+//! the 2080Ti thanks to the 96 KB shared memory per SM.
+
+use tacker_bench::{eval_config, pair_improvement, rtx2080ti, v100};
+use tacker_workloads::Intensity;
+
+fn main() {
+    let config = eval_config();
+    let be_apps = tacker_workloads::be_apps();
+    println!("# Figure 19: improvement over Baymax on V100");
+    print!("{:<10}", "LC \\ BE");
+    for be in &be_apps {
+        print!("{:>9}", be.name());
+    }
+    println!();
+    let mut mem_v100 = Vec::new();
+    let mut all = Vec::new();
+    let dev = v100();
+    for lc_name in ["Resnet50", "VGG16", "Densenet"] {
+        let lc = tacker_workloads::lc_service(lc_name, &dev).expect("LC service");
+        print!("{lc_name:<10}");
+        for be in &be_apps {
+            let (imp, _, _) = pair_improvement(&dev, &lc, be, &config);
+            print!("{:>8.1}%", imp);
+            all.push(imp);
+            if be.intensity() == Intensity::Memory {
+                mem_v100.push(imp);
+            }
+        }
+        println!();
+    }
+    // Memory-intensive comparison against the 2080Ti for the same rows.
+    let dev_t = rtx2080ti();
+    let mut mem_2080 = Vec::new();
+    for lc_name in ["Resnet50", "VGG16", "Densenet"] {
+        let lc = tacker_workloads::lc_service(lc_name, &dev_t).expect("LC service");
+        for be in &be_apps {
+            if be.intensity() == Intensity::Memory {
+                let (imp, _, _) = pair_improvement(&dev_t, &lc, be, &config);
+                mem_2080.push(imp);
+            }
+        }
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!();
+    println!("V100 average improvement: {:.1}%  (paper: 23.3%)", avg(&all));
+    println!(
+        "V100 max improvement:     {:.1}%  (paper: 40.4%)",
+        all.iter().cloned().fold(f64::MIN, f64::max)
+    );
+    println!(
+        "memory-intensive BE avg: V100 {:.1}% vs 2080Ti {:.1}%  (paper: V100 higher — 96 KB smem)",
+        avg(&mem_v100),
+        avg(&mem_2080)
+    );
+    assert!(
+        avg(&mem_v100) > avg(&mem_2080),
+        "memory-intensive BEs must gain more on V100"
+    );
+}

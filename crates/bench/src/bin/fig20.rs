@@ -1,0 +1,104 @@
+//! Figure 20: overlap rate of Tacker's kernel fusion versus MPS+PTB and
+//! Stream+PTB across GEMM × Parboil pairs.
+//!
+//! Paper: Tacker achieves the highest overlap in every pair; MPS is poor
+//! in many cases and Stream is unstable on several benchmarks.
+
+use std::sync::Arc;
+use tacker::baselines::{overlap_experiment, CorunInterface};
+use tacker::profile::KernelProfiler;
+use tacker_bench::rtx2080ti;
+use tacker_workloads::gemm::{gemm_workload, gemm_workload_64, GemmShape};
+use tacker_workloads::parboil::Benchmark;
+
+fn main() {
+    let device = rtx2080ti();
+    let profiler = Arc::new(KernelProfiler::new(Arc::clone(&device)));
+    let gemm_def = tacker_workloads::dnn::compile::shared_gemm();
+    // Two NVIDIA GEMM implementations, as in the paper: the 128-tile
+    // CUTLASS-style kernel and the 64-tile cudaTensorCoreGemm-style one.
+    let gemms = [
+        ("gemm1", GemmShape::new(4096, 4096, 512), false),
+        ("gemm2", GemmShape::new(2048, 2048, 2048), true),
+    ];
+    let kernels = [
+        Benchmark::Mriq,
+        Benchmark::Fft,
+        Benchmark::Mrif,
+        Benchmark::Cutcp,
+        Benchmark::Cp,
+        Benchmark::Sgemm,
+        Benchmark::Lbm,
+        Benchmark::Stencil,
+        Benchmark::Tpacf,
+        Benchmark::Regtile,
+    ];
+    println!("# Figure 20: overlap rate (Equation 11) by co-running interface");
+    println!(
+        "{:<12} {:>16} {:>16} {:>8}",
+        "pair", "Stream+PTB", "MPS+PTB", "Tacker"
+    );
+    let mut wins = 0;
+    let mut total = 0;
+    let mut black_box_spread = Vec::new();
+    for (gname, shape, use_64) in gemms {
+        for b in kernels {
+            let tc = if use_64 {
+                gemm_workload_64(shape)
+            } else {
+                gemm_workload(&gemm_def, shape)
+            };
+            // Tune the CD kernel's solo time to match the GEMM's (paper
+            // tunes for the highest possible overlap rate).
+            let mut cd = b.task()[0].clone();
+            let t_tc = profiler.measure(&tc).expect("tc");
+            let t_cd = profiler.measure(&cd).expect("cd");
+            cd.grid = ((cd.grid as f64 * t_tc.ratio(t_cd)).round() as u64).max(1);
+            // The black-box interfaces are *unstable*: sample several runs
+            // and report mean ± spread. Tacker's fusion is deterministic.
+            let sample = |interface| -> (f64, f64) {
+                let overlaps: Vec<f64> = (0..5)
+                    .map(|seed| {
+                        overlap_experiment(&device, &tc, &cd, interface, 17 + seed)
+                            .expect("corun")
+                            .overlap
+                    })
+                    .collect();
+                let mean = overlaps.iter().sum::<f64>() / overlaps.len() as f64;
+                let spread = overlaps.iter().cloned().fold(0.0f64, |m, v| {
+                    m.max((v - mean).abs())
+                });
+                (mean, spread)
+            };
+            let (stream, stream_spread) = sample(CorunInterface::StreamPtb);
+            let (mps, mps_spread) = sample(CorunInterface::MpsPtb);
+            let tacker = overlap_experiment(&device, &tc, &cd, CorunInterface::TackerFusion, 17)
+                .expect("tacker");
+            println!(
+                "{:<12} {:>8.1}% ±{:>4.1}% {:>8.1}% ±{:>4.1}% {:>7.1}%",
+                format!("{}:{}", b.name(), gname),
+                100.0 * stream,
+                100.0 * stream_spread,
+                100.0 * mps,
+                100.0 * mps_spread,
+                100.0 * tacker.overlap
+            );
+            total += 1;
+            if tacker.overlap >= mps + mps_spread - 1e-9
+                && tacker.overlap >= stream + stream_spread - 1e-9
+            {
+                wins += 1;
+            }
+            black_box_spread.push(stream_spread.max(mps_spread));
+        }
+    }
+    println!();
+    let avg_spread =
+        100.0 * black_box_spread.iter().sum::<f64>() / black_box_spread.len() as f64;
+    println!("Tacker highest in {wins}/{total} pairs (paper: all pairs)");
+    println!(
+        "black-box interfaces vary by ±{avg_spread:.1}% across runs; Tacker is deterministic"
+    );
+    println!("(paper: \"not suitable … due to the unstable performance\")");
+    assert!(wins * 10 >= total * 9, "Tacker should win (almost) everywhere");
+}

@@ -1,0 +1,66 @@
+//! Figure 21: normalized performance of the im2col+GEMM implementation
+//! over the cuDNN convolution kernels of Resnet50.
+//!
+//! Paper: the gap is below 15% for 39.6% of Resnet50's convolutions;
+//! transforming only those keeps the end-to-end slowdown under 2%.
+
+use tacker_bench::rtx2080ti;
+use tacker_workloads::dnn::compile::{compile, ConvPolicy};
+use tacker_workloads::dnn::DnnModel;
+
+fn main() {
+    let device = rtx2080ti();
+    let model = DnnModel::Resnet50;
+    let graph = model.graph(model.table_ii_batch() as u64);
+    let compiled = compile(&graph, &device, ConvPolicy::Profitable(0.15));
+
+    println!("# Figure 21: im2col+GEMM vs cuDNN per Resnet50 convolution");
+    println!("{:>5} {:>9} {:>7} {:>7} {:>10} {:>12}", "conv", "M", "N", "K", "rel perf", "transformed");
+    for r in &compiled.convs {
+        println!(
+            "{:>5} {:>9} {:>7} {:>7} {:>10.3} {:>12}",
+            r.index,
+            r.gemm.m,
+            r.gemm.n,
+            r.gemm.k,
+            r.rel_perf,
+            if r.transformed { "yes" } else { "" }
+        );
+    }
+    let within_15 = compiled
+        .convs
+        .iter()
+        .filter(|r| r.rel_perf >= 1.0 / 1.15)
+        .count();
+    let frac = 100.0 * within_15 as f64 / compiled.convs.len() as f64;
+    println!();
+    println!(
+        "convs with <15% gap: {}/{} = {:.1}%  (paper: 39.6%)",
+        within_15,
+        compiled.convs.len(),
+        frac
+    );
+    println!(
+        "transformed fraction: {:.1}%  (paper: 55.4% of TC kernels usable for fusion)",
+        100.0 * compiled.transformed_fraction()
+    );
+
+    // End-to-end cost of the transformation (paper: <2%).
+    let all_cudnn = compile(&graph, &device, ConvPolicy::Cudnn);
+    let total = |c: &tacker_workloads::dnn::compile::CompiledModel| -> f64 {
+        c.kernels
+            .iter()
+            .map(|k| {
+                device
+                    .run_launch(&k.launch())
+                    .expect("kernel runs")
+                    .duration
+                    .as_nanos() as f64
+            })
+            .sum()
+    };
+    let loss = total(&compiled) / total(&all_cudnn) - 1.0;
+    println!("end-to-end slowdown from transformation: {:+.2}%  (paper: <2%)", 100.0 * loss);
+    assert!(loss < 0.05, "transformation must be nearly free end-to-end");
+    assert!((20.0..=90.0).contains(&frac), "a real fraction of convs must convert well");
+}

@@ -1,0 +1,23 @@
+//! Table III: resource usage of the cuDNN convolution implementations
+//! (black-box kernels profiled by the paper; reproduced verbatim as the
+//! catalog that drives our cuDNN kernel models).
+
+use tacker_workloads::dnn::cudnn::{TURING_IMPLS, VOLTA_IMPLS};
+
+fn main() {
+    println!("# Table III: cuDNN convolution kernel resource usage");
+    println!(
+        "{:<5} {:>10} {:>12} {:>10} {:>7}  kernel name (Fig. 22 convention)",
+        "impl", "reg (%)", "smem (%)", "DRAM (%)", "FP32(%)"
+    );
+    for ci in TURING_IMPLS.iter().chain(VOLTA_IMPLS.iter()) {
+        println!(
+            "{:<5} {:>10.1} {:>12.1} {:>10.1} {:>7.2}  {}",
+            ci.short, ci.register_pct, ci.shared_pct, ci.dram_pct, ci.fp32_pct, ci.name
+        );
+    }
+    println!();
+    println!("All implementations leave DRAM bandwidth below 71% and the FP32");
+    println!("pipeline essentially unused — the idle resources Tacker exploits");
+    println!("(paper: same observation).");
+}

@@ -1,0 +1,55 @@
+//! Shared helpers for the figure/table regeneration binaries and the
+//! Criterion benches.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure from the
+//! paper; run them all with `cargo run -p tacker-bench --bin <figNN>`.
+//! The binaries print machine-readable rows so EXPERIMENTS.md can record
+//! paper-vs-measured values.
+
+use std::sync::Arc;
+
+use tacker::prelude::*;
+use tacker_sim::{Device, GpuSpec};
+use tacker_workloads::{BeApp, LcService};
+
+/// The standard experiment configuration used by the evaluation figures.
+pub fn eval_config() -> ExperimentConfig {
+    ExperimentConfig::default().with_queries(150)
+}
+
+/// A fresh simulated 2080Ti.
+pub fn rtx2080ti() -> Arc<Device> {
+    Arc::new(Device::new(GpuSpec::rtx2080ti()))
+}
+
+/// A fresh simulated V100.
+pub fn v100() -> Arc<Device> {
+    Arc::new(Device::new(GpuSpec::v100()))
+}
+
+/// Throughput improvement of Tacker over Baymax for one (LC, BE) pair, in
+/// percent, plus the two run reports.
+///
+/// # Panics
+///
+/// Panics on simulation errors (binaries are allowed to crash loudly).
+pub fn pair_improvement(
+    device: &Arc<Device>,
+    lc: &LcService,
+    be: &BeApp,
+    config: &ExperimentConfig,
+) -> (f64, RunReport, RunReport) {
+    let be_slice = vec![be.clone()];
+    let baymax = tacker::run_colocation(device, lc, &be_slice, Policy::Baymax, config)
+        .expect("baymax run");
+    let tacker = tacker::run_colocation(device, lc, &be_slice, Policy::Tacker, config)
+        .expect("tacker run");
+    let imp = 100.0
+        * tacker::metrics::throughput_improvement(baymax.be_work_rate(), tacker.be_work_rate());
+    (imp, baymax, tacker)
+}
+
+/// Formats a percentage cell.
+pub fn pct(v: f64) -> String {
+    format!("{v:>6.1}%")
+}

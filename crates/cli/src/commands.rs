@@ -1,0 +1,391 @@
+//! Subcommand implementations.
+
+use std::sync::Arc;
+
+use tacker::prelude::*;
+use tacker::profile::KernelProfiler;
+use tacker_fuser::{enumerate_configs, fuse_flexible, to_ptb, PackPriority};
+use tacker_sim::{Device, ExecutablePlan, GpuSpec, PowerModel};
+use tacker_workloads::gemm::{gemm_workload, gemm_workload_64, GemmShape};
+use tacker_workloads::parboil::Benchmark;
+
+use crate::args::Flags;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+tacker-cli — Tensor-CUDA core kernel fusion with QoS (HPCA'22 reproduction)
+
+USAGE:
+  tacker-cli list
+  tacker-cli colocate --lc <service> --be <app>
+             [--policy tacker|baymax|fusion-only] [--queries N] [--seed N]
+             [--gpu 2080ti|v100] [--json]
+  tacker-cli multi    --lc <svc,svc,...> --be <app> [--queries N] [--json]
+  tacker-cli fuse     --cd <parboil> [--m N --n N --k N] [--impl 128|64]
+             [--gpu 2080ti|v100]
+  tacker-cli codegen  --cd <parboil> [--ratio AxB]
+  tacker-cli power    --lc <service> [--gpu 2080ti|v100]
+  tacker-cli model    --name <service> [--batch N]
+";
+
+/// Dispatches a command line.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown commands, bad flags, or
+/// runtime failures.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err("no command given".to_string());
+    };
+    let flags = Flags::parse(rest)?;
+    match cmd.as_str() {
+        "list" => list(),
+        "colocate" => colocate(&flags),
+        "multi" => multi(&flags),
+        "fuse" => fuse(&flags),
+        "codegen" => codegen(&flags),
+        "power" => power(&flags),
+        "model" => model(&flags),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn device_for(flags: &Flags) -> Result<Arc<Device>, String> {
+    match flags.get("gpu").unwrap_or("2080ti") {
+        "2080ti" => Ok(Arc::new(Device::new(GpuSpec::rtx2080ti()))),
+        "v100" => Ok(Arc::new(Device::new(GpuSpec::v100()))),
+        other => Err(format!("unknown GPU `{other}` (2080ti or v100)")),
+    }
+}
+
+fn policy_for(flags: &Flags) -> Result<Policy, String> {
+    match flags.get("policy").unwrap_or("tacker") {
+        "tacker" => Ok(Policy::Tacker),
+        "baymax" => Ok(Policy::Baymax),
+        "fusion-only" => Ok(Policy::FusionOnly),
+        "lc-only" => Ok(Policy::LcOnly),
+        other => Err(format!("unknown policy `{other}`")),
+    }
+}
+
+fn config_for(flags: &Flags) -> Result<ExperimentConfig, String> {
+    let mut config = ExperimentConfig::default()
+        .with_queries(flags.get_u64("queries", 100)? as usize);
+    if let Some(seed) = flags.get("seed") {
+        config = config.with_seed(seed.parse().map_err(|_| "--seed expects a number")?);
+    }
+    Ok(config)
+}
+
+fn parboil_for(name: &str) -> Result<Benchmark, String> {
+    Benchmark::ALL
+        .into_iter()
+        .find(|b| b.name() == name)
+        .ok_or_else(|| {
+            format!(
+                "unknown Parboil kernel `{name}` (one of: {})",
+                Benchmark::ALL
+                    .iter()
+                    .map(|b| b.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })
+}
+
+fn list() -> Result<(), String> {
+    println!("LC services (Table II batch sizes):");
+    for m in tacker_workloads::dnn::DnnModel::ALL {
+        println!("  {:<10} batch {}", m.name(), m.table_ii_batch());
+    }
+    println!("\nBE applications:");
+    for app in tacker_workloads::be_apps() {
+        println!("  {:<8} {}", app.name(), app.intensity());
+    }
+    println!("\nParboil kernels (fusion partners):");
+    for b in Benchmark::ALL {
+        println!("  {}", b.name());
+    }
+    Ok(())
+}
+
+fn colocate(flags: &Flags) -> Result<(), String> {
+    let device = device_for(flags)?;
+    let lc = tacker_workloads::lc_service(flags.require("lc")?, &device)
+        .ok_or("unknown LC service (see `tacker list`)")?;
+    let be = tacker_workloads::be_app(flags.require("be")?)
+        .ok_or("unknown BE app (see `tacker list`)")?;
+    let policy = policy_for(flags)?;
+    let config = config_for(flags)?;
+    let report = run_colocation(&device, &lc, &[be], policy, &config)
+        .map_err(|e| e.to_string())?;
+    if flags.has("json") {
+        println!("{}", report_json(lc.name(), &report));
+    } else {
+        println!("{} under {:?} on {}:", lc.name(), policy, device.spec().name);
+        println!(
+            "  queries {} | mean {:.2} ms | p99 {:.2} ms | QoS {}",
+            report.query_latencies.len(),
+            report.mean_latency().as_millis_f64(),
+            report.p99_latency().as_millis_f64(),
+            if report.qos_met() { "met" } else { "VIOLATED" }
+        );
+        println!(
+            "  BE work rate {:.3} | {} BE kernels ({} fused, {} reordered)",
+            report.be_work_rate(),
+            report.be_kernels,
+            report.fused_launches,
+            report.reordered_launches
+        );
+    }
+    Ok(())
+}
+
+fn multi(flags: &Flags) -> Result<(), String> {
+    let device = device_for(flags)?;
+    let names = flags.require("lc")?;
+    let mut lcs = Vec::new();
+    for name in names.split(',') {
+        lcs.push(
+            tacker_workloads::lc_service(name.trim(), &device)
+                .ok_or_else(|| format!("unknown LC service `{name}`"))?,
+        );
+    }
+    let be = tacker_workloads::be_app(flags.require("be")?)
+        .ok_or("unknown BE app (see `tacker list`)")?;
+    let config = config_for(flags)?;
+    let report = run_multi_colocation(&device, &lcs, &[be], Policy::Tacker, &config)
+        .map_err(|e| e.to_string())?;
+    for svc in &report.services {
+        println!(
+            "{:<10} mean {:.2} ms  p99 {:.2} ms  violations {}",
+            svc.name,
+            svc.mean_latency().as_millis_f64(),
+            svc.p99_latency().as_millis_f64(),
+            svc.qos_violations
+        );
+    }
+    println!(
+        "BE work rate {:.3}, fused launches {}",
+        report.be_work_rate(),
+        report.fused_launches
+    );
+    Ok(())
+}
+
+fn fuse(flags: &Flags) -> Result<(), String> {
+    let device = device_for(flags)?;
+    let spec = device.spec().clone();
+    let bench = parboil_for(flags.require("cd")?)?;
+    let shape = GemmShape::new(
+        flags.get_u64("m", 4096)?,
+        flags.get_u64("n", 4096)?,
+        flags.get_u64("k", 512)?,
+    );
+    let tc = match flags.get("impl").unwrap_or("128") {
+        "128" => gemm_workload(&tacker_workloads::dnn::compile::shared_gemm(), shape),
+        "64" => gemm_workload_64(shape),
+        other => return Err(format!("unknown GEMM implementation `{other}` (128 or 64)")),
+    };
+    let mut cd = bench.task()[0].clone();
+    let t_tc = device.run_launch(&tc.launch()).map_err(|e| e.to_string())?.duration;
+    let t_cd = device.run_launch(&cd.launch()).map_err(|e| e.to_string())?.duration;
+    cd.grid = ((cd.grid as f64 * t_tc.ratio(t_cd)).round() as u64).max(1);
+    let t_cd = device.run_launch(&cd.launch()).map_err(|e| e.to_string())?.duration;
+    println!(
+        "GEMM {}x{}x{} solo {t_tc}; {} solo {t_cd}; sequential {}",
+        shape.m,
+        shape.n,
+        shape.k,
+        bench.name(),
+        t_tc + t_cd
+    );
+    println!("{:>9} {:>5} {:>12} {:>9}", "config", "occ", "fused", "vs seq");
+    for cfg in enumerate_configs(&tc.def, &cd.def, &spec.sm, PackPriority::TensorFirst) {
+        let fused = fuse_flexible(&tc.def, &cd.def, cfg, &spec.sm).map_err(|e| e.to_string())?;
+        let launch = fused.launch(tc.grid, cd.grid, &tc.bindings, &cd.bindings);
+        let plan = ExecutablePlan::from_launch(&spec, &launch).map_err(|e| e.to_string())?;
+        let run = device.run_plan(&plan).map_err(|e| e.to_string())?;
+        println!(
+            "{:>9} {:>5} {:>12} {:>8.0}%",
+            cfg.to_string(),
+            plan.occupancy(&spec),
+            run.duration.to_string(),
+            100.0 * run.duration.ratio(t_tc + t_cd)
+        );
+    }
+    Ok(())
+}
+
+fn codegen(flags: &Flags) -> Result<(), String> {
+    let bench = parboil_for(flags.require("cd")?)?;
+    let cd = bench.kernel();
+    let ptb = to_ptb(&cd).map_err(|e| e.to_string())?;
+    println!("// ===== PTB transform of {} =====", bench.name());
+    println!("{}", tacker_kernel::source::render(&ptb));
+    let ratio = flags.get("ratio").unwrap_or("1x1");
+    let (a, b) = ratio
+        .split_once('x')
+        .ok_or("--ratio expects AxB, e.g. 2x1")?;
+    let config = tacker_fuser::FusionConfig {
+        tc_blocks: a.parse().map_err(|_| "bad ratio")?,
+        cd_blocks: b.parse().map_err(|_| "bad ratio")?,
+    };
+    let gemm = tacker_workloads::gemm::gemm_kernel();
+    let fused = fuse_flexible(&gemm, &cd, config, &GpuSpec::rtx2080ti().sm)
+        .map_err(|e| e.to_string())?;
+    println!("// ===== fused GEMM + {} at {} =====", bench.name(), config);
+    println!("{}", tacker_kernel::source::render(fused.def()));
+    Ok(())
+}
+
+fn power(flags: &Flags) -> Result<(), String> {
+    let device = device_for(flags)?;
+    let lc = tacker_workloads::lc_service(flags.require("lc")?, &device)
+        .ok_or("unknown LC service")?;
+    let profiler = KernelProfiler::new(Arc::clone(&device));
+    let model = PowerModel::for_spec(device.spec());
+    println!(
+        "# §V-D power estimates for {} on {} (TDP {} W)",
+        lc.name(),
+        device.spec().name,
+        model.tdp_w
+    );
+    let mut shown = std::collections::HashSet::new();
+    for wk in lc.query_kernels() {
+        if !shown.insert(wk.def.id()) {
+            continue;
+        }
+        profiler.measure(wk).map_err(|e| e.to_string())?;
+        let run = device.run_launch(&wk.launch()).map_err(|e| e.to_string())?;
+        println!(
+            "  {:<55} {:>6.0} W{}",
+            wk.def.name(),
+            model.estimate(device.spec(), &run),
+            if model.at_limit(device.spec(), &run) {
+                "  (at board limit)"
+            } else {
+                ""
+            }
+        );
+    }
+    Ok(())
+}
+
+fn model(flags: &Flags) -> Result<(), String> {
+    use tacker_workloads::dnn::DnnModel;
+    let name = flags.require("name")?;
+    let m = DnnModel::ALL
+        .into_iter()
+        .find(|m| m.name() == name)
+        .ok_or_else(|| format!("unknown model `{name}` (see `tacker list`)"))?;
+    let batch = flags.get_u64("batch", m.table_ii_batch() as u64)?;
+    let g = m.graph(batch);
+    println!(
+        "{} @ batch {batch}: {} layers, {} convolutions, {:.2} GMAC/query, {:.1} M params",
+        m.name(),
+        g.layers().len(),
+        g.conv_count(),
+        g.total_macs() as f64 / 1e9,
+        g.total_params() as f64 / 1e6
+    );
+    println!("{:>4} {:<18} {:>16} {:>16}", "#", "layer", "in", "out");
+    for (i, l) in g.layers().iter().enumerate().take(flags.get_u64("rows", 24)? as usize) {
+        println!("{:>4} {:<18} {:>16} {:>16}", i, l.layer.to_string(), l.input.to_string(), l.output.to_string());
+    }
+    if g.layers().len() > 24 {
+        println!("   … ({} more layers; pass --rows N for more)", g.layers().len() - 24);
+    }
+    Ok(())
+}
+
+fn report_json(lc: &str, r: &RunReport) -> String {
+    format!(
+        concat!(
+            "{{\"lc\":\"{}\",\"policy\":\"{:?}\",\"queries\":{},",
+            "\"mean_latency_ms\":{:.3},\"p99_latency_ms\":{:.3},",
+            "\"qos_violations\":{},\"be_work_rate\":{:.4},",
+            "\"be_kernels\":{},\"fused_launches\":{},\"reordered_launches\":{}}}"
+        ),
+        lc,
+        r.policy,
+        r.query_latencies.len(),
+        r.mean_latency().as_millis_f64(),
+        r.p99_latency().as_millis_f64(),
+        r.qos_violations,
+        r.be_work_rate(),
+        r.be_kernels,
+        r.fused_launches,
+        r.reordered_launches
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(dispatch(&argv("frobnicate")).is_err());
+        assert!(dispatch(&[]).is_err());
+    }
+
+    #[test]
+    fn list_works() {
+        assert!(dispatch(&argv("list")).is_ok());
+    }
+
+    #[test]
+    fn codegen_works() {
+        assert!(dispatch(&argv("codegen --cd fft --ratio 1x2")).is_ok());
+        assert!(dispatch(&argv("codegen --cd nope")).is_err());
+        assert!(dispatch(&argv("codegen --cd fft --ratio bogus")).is_err());
+    }
+
+    #[test]
+    fn fuse_explores_ratios() {
+        assert!(dispatch(&argv("fuse --cd cutcp --m 2048 --n 1024 --k 256")).is_ok());
+        assert!(dispatch(&argv("fuse --cd cutcp --m 2048 --n 1024 --k 256 --impl 64")).is_ok());
+        assert!(dispatch(&argv("fuse --cd cutcp --impl 32")).is_err());
+    }
+
+    #[test]
+    fn model_describes_architectures() {
+        assert!(dispatch(&argv("model --name VGG16")).is_ok());
+        assert!(dispatch(&argv("model --name VGG16 --batch 4 --rows 5")).is_ok());
+        assert!(dispatch(&argv("model --name GPT5")).is_err());
+    }
+
+    #[test]
+    fn bad_flags_are_reported() {
+        assert!(dispatch(&argv("colocate --lc Resnet50")).is_err()); // missing --be
+        assert!(dispatch(&argv("colocate --lc Resnet50 --be fft --gpu tpu")).is_err());
+        assert!(dispatch(&argv("colocate --lc Resnet50 --be fft --policy magic")).is_err());
+    }
+
+    #[test]
+    fn json_shape() {
+        let r = RunReport {
+            policy: Policy::Tacker,
+            query_latencies: vec![tacker_kernel::SimTime::from_millis(10)],
+            qos_target: tacker_kernel::SimTime::from_millis(50),
+            qos_violations: 0,
+            be_work: tacker_kernel::SimTime::from_millis(5),
+            be_kernels: 7,
+            fused_launches: 3,
+            reordered_launches: 4,
+            wall: tacker_kernel::SimTime::from_millis(20),
+            model_refreshes: 0,
+            timeline: None,
+        };
+        let j = report_json("X", &r);
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"fused_launches\":3"));
+        assert!(j.contains("\"be_work_rate\":0.2500"));
+    }
+}

@@ -1,0 +1,27 @@
+//! `tacker-cli` — command-line front end for the Tacker reproduction.
+//!
+//! ```text
+//! tacker-cli list                               # LC services / BE apps
+//! tacker-cli colocate --lc Resnet50 --be fft    # run one co-location pair
+//! tacker-cli fuse --cd cutcp                    # explore fusion ratios
+//! tacker-cli codegen --cd fft                   # PTB + fused CUDA source
+//! tacker-cli power --lc Resnet50                # §V-D power estimates
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! Cluster-level deployment (§IV).
+//!
+//! "Kernel fusion can also be done on the clouds based on an application's
+//! occurrence if the code is available. If an application's occurrence
+//! exceeds a threshold, Tacker prepares fused kernels for its kernels. …
+//! At the cluster level, we can identify the long-running applications and
+//! prepare the fused kernels. The fused kernels are then distributed to
+//! GPUs based on the BE applications' location."
+//!
+//! [`ClusterManager`] tracks how often each application is seen, prepares
+//! fused kernels once an application crosses the (adjustable) occurrence
+//! threshold, and distributes the prepared pairs to exactly the GPU nodes
+//! hosting the relevant BE applications.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use tacker_sim::Device;
+use tacker_workloads::{BeApp, LcService};
+
+use crate::error::TackerError;
+use crate::library::FusionLibrary;
+use crate::profile::KernelProfiler;
+
+/// One GPU in the cluster: a device, its fusion library, and the BE
+/// applications resident on it.
+pub struct GpuNode {
+    /// Node identifier.
+    pub id: String,
+    device: Arc<Device>,
+    profiler: Arc<KernelProfiler>,
+    library: Arc<FusionLibrary>,
+    resident_be: Vec<BeApp>,
+}
+
+impl GpuNode {
+    /// Creates a node around a device.
+    pub fn new(id: impl Into<String>, device: Arc<Device>) -> GpuNode {
+        let profiler = Arc::new(KernelProfiler::new(Arc::clone(&device)));
+        let library = Arc::new(FusionLibrary::new(Arc::clone(&profiler)));
+        GpuNode {
+            id: id.into(),
+            device,
+            profiler,
+            library,
+            resident_be: Vec::new(),
+        }
+    }
+
+    /// The node's device.
+    pub fn device(&self) -> &Arc<Device> {
+        &self.device
+    }
+
+    /// The node's fusion library.
+    pub fn library(&self) -> &Arc<FusionLibrary> {
+        &self.library
+    }
+
+    /// The node's kernel profiler.
+    pub fn profiler(&self) -> &Arc<KernelProfiler> {
+        &self.profiler
+    }
+
+    /// Places a BE application on this node.
+    pub fn host_be(&mut self, app: BeApp) {
+        self.resident_be.push(app);
+    }
+
+    /// BE applications resident on this node.
+    pub fn resident_be(&self) -> &[BeApp] {
+        &self.resident_be
+    }
+}
+
+impl std::fmt::Debug for GpuNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GpuNode")
+            .field("id", &self.id)
+            .field("device", &self.device.spec().name)
+            .field("resident_be", &self.resident_be.len())
+            .finish()
+    }
+}
+
+/// Summary of one distribution round.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DistributionReport {
+    /// (node id, pairs prepared) per node that hosts relevant BE apps.
+    pub prepared_per_node: Vec<(String, usize)>,
+    /// Pairs that fused across all nodes.
+    pub fused_pairs: usize,
+    /// Pairs declined (sequential faster / not fusable).
+    pub declined_pairs: usize,
+}
+
+/// The cluster-level fusion coordinator.
+pub struct ClusterManager {
+    threshold: u32,
+    occurrences: HashMap<String, u32>,
+    prepared_services: HashSet<String>,
+    nodes: Vec<GpuNode>,
+}
+
+impl ClusterManager {
+    /// Creates a manager with the given occurrence threshold ("the
+    /// threshold is adjustable", §IV).
+    pub fn new(threshold: u32) -> ClusterManager {
+        ClusterManager {
+            threshold: threshold.max(1),
+            occurrences: HashMap::new(),
+            prepared_services: HashSet::new(),
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Adds a GPU node.
+    pub fn add_node(&mut self, node: GpuNode) {
+        self.nodes.push(node);
+    }
+
+    /// The cluster's nodes.
+    pub fn nodes(&self) -> &[GpuNode] {
+        &self.nodes
+    }
+
+    /// Looks up a node by id.
+    pub fn node(&self, id: &str) -> Option<&GpuNode> {
+        self.nodes.iter().find(|n| n.id == id)
+    }
+
+    /// Places a BE application on a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TackerError::Config`] for unknown node ids.
+    pub fn place_be(&mut self, node_id: &str, app: BeApp) -> Result<(), TackerError> {
+        let node = self
+            .nodes
+            .iter_mut()
+            .find(|n| n.id == node_id)
+            .ok_or_else(|| TackerError::Config {
+                reason: format!("unknown node `{node_id}`"),
+            })?;
+        node.host_be(app);
+        Ok(())
+    }
+
+    /// Records one occurrence of an LC service (one deployment/launch seen
+    /// by the cluster scheduler). Returns `true` when this occurrence
+    /// crosses the threshold, making the service eligible for offline
+    /// fusion preparation.
+    pub fn observe(&mut self, lc: &LcService) -> bool {
+        let count = self
+            .occurrences
+            .entry(lc.name().to_string())
+            .or_insert(0);
+        *count += 1;
+        *count == self.threshold
+    }
+
+    /// How many times a service has been observed.
+    pub fn occurrences(&self, name: &str) -> u32 {
+        self.occurrences.get(name).copied().unwrap_or(0)
+    }
+
+    /// Whether a service has had its fused kernels prepared.
+    pub fn is_prepared(&self, name: &str) -> bool {
+        self.prepared_services.contains(name)
+    }
+
+    /// Prepares and distributes fused kernels for a service that crossed
+    /// the occurrence threshold: on every node, each of the service's
+    /// fusable kernels is paired with the head kernels of the BE
+    /// applications *resident on that node*.
+    ///
+    /// Idempotent per service. Services below the threshold are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates profiling/fusion errors from preparation.
+    pub fn distribute(&mut self, lc: &LcService) -> Result<DistributionReport, TackerError> {
+        let mut report = DistributionReport::default();
+        if self.occurrences(lc.name()) < self.threshold || self.is_prepared(lc.name()) {
+            return Ok(report);
+        }
+        for node in &self.nodes {
+            if node.resident_be.is_empty() {
+                continue;
+            }
+            let before = node.library.fused_pairs();
+            let mut prepared_here = 0usize;
+            for be in &node.resident_be {
+                for be_kernel in be.task_kernels() {
+                    for lc_kernel in lc.query_kernels() {
+                        let Some((tc, cd)) = FusionLibrary::orient(lc_kernel, be_kernel) else {
+                            continue;
+                        };
+                        if tc.def.is_opaque() || cd.def.is_opaque() {
+                            continue;
+                        }
+                        node.library.prepare(tc, cd)?;
+                        prepared_here += 1;
+                    }
+                }
+            }
+            let fused_here = node.library.fused_pairs() - before;
+            report.fused_pairs += fused_here;
+            report.declined_pairs += node.library.prepared_pairs() - node.library.fused_pairs();
+            report
+                .prepared_per_node
+                .push((node.id.clone(), prepared_here));
+        }
+        self.prepared_services.insert(lc.name().to_string());
+        Ok(report)
+    }
+}
+
+impl std::fmt::Debug for ClusterManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterManager")
+            .field("threshold", &self.threshold)
+            .field("nodes", &self.nodes.len())
+            .field("tracked_services", &self.occurrences.len())
+            .field("prepared_services", &self.prepared_services.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacker_sim::GpuSpec;
+    use tacker_workloads::gemm::{gemm_workload, GemmShape};
+    use tacker_workloads::parboil::Benchmark;
+    use tacker_workloads::Intensity;
+
+    fn small_lc() -> LcService {
+        let gemm = tacker_workloads::dnn::compile::shared_gemm();
+        LcService::new(
+            "svc",
+            8,
+            vec![gemm_workload(&gemm, GemmShape::new(2048, 1024, 512))],
+        )
+    }
+
+    fn cluster() -> ClusterManager {
+        let mut c = ClusterManager::new(3);
+        c.add_node(GpuNode::new("gpu-0", Arc::new(Device::new(GpuSpec::rtx2080ti()))));
+        c.add_node(GpuNode::new("gpu-1", Arc::new(Device::new(GpuSpec::v100()))));
+        c
+    }
+
+    #[test]
+    fn threshold_gates_preparation() {
+        let mut c = cluster();
+        c.place_be(
+            "gpu-0",
+            BeApp::new("cutcp", Intensity::Compute, Benchmark::Cutcp.task()),
+        )
+        .unwrap();
+        let lc = small_lc();
+        assert!(!c.observe(&lc));
+        // Below threshold: distribute is a no-op.
+        let r = c.distribute(&lc).unwrap();
+        assert_eq!(r.fused_pairs, 0);
+        assert!(!c.is_prepared("svc"));
+        assert!(!c.observe(&lc));
+        assert!(c.observe(&lc)); // third occurrence crosses threshold 3
+        let r = c.distribute(&lc).unwrap();
+        assert!(r.fused_pairs > 0);
+        assert!(c.is_prepared("svc"));
+    }
+
+    #[test]
+    fn distribution_targets_nodes_hosting_be_apps() {
+        let mut c = cluster();
+        // Only gpu-1 hosts a BE app.
+        c.place_be(
+            "gpu-1",
+            BeApp::new("mriq", Intensity::Compute, Benchmark::Mriq.task()),
+        )
+        .unwrap();
+        let lc = small_lc();
+        for _ in 0..3 {
+            c.observe(&lc);
+        }
+        let r = c.distribute(&lc).unwrap();
+        assert_eq!(r.prepared_per_node.len(), 1);
+        assert_eq!(r.prepared_per_node[0].0, "gpu-1");
+        assert!(c.node("gpu-1").unwrap().library().fused_pairs() > 0);
+        assert_eq!(c.node("gpu-0").unwrap().library().fused_pairs(), 0);
+    }
+
+    #[test]
+    fn distribution_is_idempotent() {
+        let mut c = cluster();
+        c.place_be(
+            "gpu-0",
+            BeApp::new("fft", Intensity::Compute, Benchmark::Fft.task()),
+        )
+        .unwrap();
+        let lc = small_lc();
+        for _ in 0..3 {
+            c.observe(&lc);
+        }
+        let first = c.distribute(&lc).unwrap();
+        assert!(first.fused_pairs > 0);
+        let second = c.distribute(&lc).unwrap();
+        assert_eq!(second.fused_pairs, 0, "already prepared");
+    }
+
+    #[test]
+    fn unknown_node_is_an_error() {
+        let mut c = cluster();
+        let err = c
+            .place_be(
+                "gpu-9",
+                BeApp::new("fft", Intensity::Compute, Benchmark::Fft.task()),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("gpu-9"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Experiment configuration (Table II defaults).
+
+use tacker_kernel::SimTime;
+
+/// Configuration of a co-location experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentConfig {
+    /// The LC QoS target (50 ms in the paper).
+    pub qos_target: SimTime,
+    /// LC load as a fraction of the service's peak supported load (0.8).
+    pub load_factor: f64,
+    /// Number of LC queries to simulate per run.
+    pub queries: usize,
+    /// RNG seed for the Poisson arrival process.
+    pub seed: u64,
+    /// Record the device activity timeline (costs memory; used by the
+    /// Fig. 1/15 harnesses).
+    pub record_timeline: bool,
+    /// Threshold (relative error) beyond which fused-duration models are
+    /// retrained online (0.10 in §VI-C).
+    pub model_refresh_threshold: f64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            qos_target: SimTime::from_millis(50),
+            load_factor: 0.8,
+            queries: 200,
+            seed: 0x7ac4e2,
+            record_timeline: false,
+            model_refresh_threshold: 0.10,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Sets the query count.
+    pub fn with_queries(mut self, queries: usize) -> Self {
+        self.queries = queries;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables timeline recording.
+    pub fn with_timeline(mut self) -> Self {
+        self.record_timeline = true;
+        self
+    }
+
+    /// Sets the LC load factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < load ≤ 1.0`.
+    pub fn with_load(mut self, load: f64) -> Self {
+        assert!(load > 0.0 && load <= 1.0, "load factor {load} out of range");
+        self.load_factor = load;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_ii() {
+        let c = ExperimentConfig::default();
+        assert_eq!(c.qos_target, SimTime::from_millis(50));
+        assert!((c.load_factor - 0.8).abs() < 1e-12);
+        assert!((c.model_refresh_threshold - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = ExperimentConfig::default()
+            .with_queries(10)
+            .with_seed(7)
+            .with_load(0.5)
+            .with_timeline();
+        assert_eq!(c.queries, 10);
+        assert_eq!(c.seed, 7);
+        assert!(c.record_timeline);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_load_rejected() {
+        let _ = ExperimentConfig::default().with_load(0.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Runtime error type.
+
+use std::error::Error;
+use std::fmt;
+
+use tacker_fuser::FuseError;
+use tacker_predictor::PredictError;
+use tacker_sim::SimError;
+
+/// Errors from the Tacker runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TackerError {
+    /// Simulation failure.
+    Sim(SimError),
+    /// Fusion failure.
+    Fuse(FuseError),
+    /// Prediction/model failure.
+    Predict(PredictError),
+    /// The experiment configuration is unusable.
+    Config {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TackerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TackerError::Sim(e) => write!(f, "simulation error: {e}"),
+            TackerError::Fuse(e) => write!(f, "fusion error: {e}"),
+            TackerError::Predict(e) => write!(f, "prediction error: {e}"),
+            TackerError::Config { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl Error for TackerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TackerError::Sim(e) => Some(e),
+            TackerError::Fuse(e) => Some(e),
+            TackerError::Predict(e) => Some(e),
+            TackerError::Config { .. } => None,
+        }
+    }
+}
+
+impl From<SimError> for TackerError {
+    fn from(e: SimError) -> Self {
+        TackerError::Sim(e)
+    }
+}
+
+impl From<FuseError> for TackerError {
+    fn from(e: FuseError) -> Self {
+        TackerError::Fuse(e)
+    }
+}
+
+impl From<PredictError> for TackerError {
+    fn from(e: PredictError) -> Self {
+        TackerError::Predict(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: TackerError = PredictError::InsufficientData { got: 0, need: 2 }.into();
+        assert!(e.to_string().contains("prediction"));
+        assert!(std::error::Error::source(&e).is_some());
+        let c = TackerError::Config {
+            reason: "no BE apps".into(),
+        };
+        assert!(c.to_string().contains("no BE apps"));
+    }
+}

@@ -1,0 +1,65 @@
+//! Tacker: Tensor-CUDA Core kernel fusion with QoS-aware scheduling.
+//!
+//! This crate is the paper's primary contribution (HPCA 2022): a runtime
+//! that co-locates latency-critical (LC) inference services with
+//! best-effort (BE) applications on one GPU, exploiting the *parallelism
+//! between Tensor Cores and CUDA Cores* that kernel-granularity schedulers
+//! leave on the table (the "false high utilization" problem).
+//!
+//! The pieces map one-to-one onto the paper:
+//!
+//! * [`profile`] — per-kernel duration models (LR over a work feature),
+//!   trained by profiling on the simulated device;
+//! * [`library`] — the offline fusion library: for every fusable
+//!   (TC kernel, CD kernel) pair it enumerates fusion ratios, measures the
+//!   candidates, keeps the best (or declines to fuse, §V-C), and fits the
+//!   two-stage load-ratio duration model (§VI);
+//! * [`manager`] — the online QoS-aware kernel manager (§VII): computes
+//!   QoS headroom, applies Equation 8 to choose fusion, falls back to
+//!   Baymax-style reordering, and handles multiple active queries
+//!   (Equation 9);
+//! * [`server`] — the co-location server: Poisson LC query arrivals at a
+//!   configured load, endless BE task streams, end-to-end latency and BE
+//!   throughput accounting;
+//! * [`baselines`] — Baymax (reorder-only) and the co-running interface
+//!   models used in §VIII-G.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use tacker::prelude::*;
+//!
+//! let device = Arc::new(tacker_sim::Device::new(tacker_sim::GpuSpec::rtx2080ti()));
+//! let lc = tacker_workloads::lc_service("Resnet50", &device).unwrap();
+//! let be = vec![tacker_workloads::be_app("sgemm").unwrap()];
+//! let config = ExperimentConfig::default();
+//! let report = run_colocation(&device, &lc, &be, Policy::Tacker, &config).unwrap();
+//! println!("p99 latency: {}", report.p99_latency());
+//! ```
+
+pub mod baselines;
+pub mod cluster;
+pub mod config;
+pub mod error;
+pub mod library;
+pub mod manager;
+pub mod metrics;
+pub mod profile;
+pub mod server;
+
+pub use cluster::{ClusterManager, DistributionReport, GpuNode};
+pub use config::ExperimentConfig;
+pub use error::TackerError;
+pub use library::{FusionLibrary, PairEntry};
+pub use manager::{Decision, KernelManager, Policy};
+pub use profile::{work_feature, KernelProfiler};
+pub use server::{run_colocation, run_multi_colocation, MultiRunReport, RunReport, ServiceLoad, ServiceReport};
+
+/// Convenient glob imports.
+pub mod prelude {
+    pub use crate::config::ExperimentConfig;
+    pub use crate::library::FusionLibrary;
+    pub use crate::manager::Policy;
+    pub use crate::server::{run_colocation, run_multi_colocation, MultiRunReport, RunReport};
+}

@@ -1,0 +1,372 @@
+//! The runtime QoS-aware kernel manager (§VII).
+//!
+//! At every scheduling point the manager sees the head kernel of the
+//! latency-critical query, the QoS headroom, and the head kernels of the
+//! best-effort applications, and decides what to launch:
+//!
+//! * **fusion** — if some (LC, BE) pair has a prepared fused kernel whose
+//!   predicted duration satisfies Equation 8
+//!   (`T_tc + T_cd > T_fuse` and `T_fuse − T_lc < T_hr`), launch the fused
+//!   kernel of the pair with the largest throughput gain
+//!   `T_gain = T_be − (T_fuse − T_lc)`;
+//! * **reorder** — otherwise, launch a BE kernel that fits the headroom
+//!   outright (Baymax's behaviour);
+//! * **LC kernel** — otherwise run the LC kernel directly.
+//!
+//! When multiple LC queries are active, earlier queries complete first and
+//! only the last-arrived one participates in fusion (§VII-B-2); the server
+//! enforces this by passing `multiple_lc = true`.
+
+use std::sync::{Arc, Mutex};
+
+use tacker_kernel::{KernelLaunch, SimTime};
+use tacker_workloads::WorkloadKernel;
+
+use crate::error::TackerError;
+use crate::library::{FusionLibrary, PairEntry};
+use crate::profile::KernelProfiler;
+
+/// Scheduling policies under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Kernel fusion + reorder (the paper's system).
+    Tacker,
+    /// Reorder only (the Baymax baseline).
+    Baymax,
+    /// Fusion only, no reorder (ablation).
+    FusionOnly,
+    /// No best-effort work at all (for measuring solo latency / peak load).
+    LcOnly,
+}
+
+impl Policy {
+    /// Whether this policy may launch fused kernels.
+    pub fn fusion_enabled(self) -> bool {
+        matches!(self, Policy::Tacker | Policy::FusionOnly)
+    }
+
+    /// Whether this policy may reorder BE kernels into headroom.
+    pub fn reorder_enabled(self) -> bool {
+        matches!(self, Policy::Tacker | Policy::Baymax)
+    }
+
+    /// Whether BE kernels run at all.
+    pub fn best_effort_enabled(self) -> bool {
+        !matches!(self, Policy::LcOnly)
+    }
+}
+
+/// What the manager decided to launch.
+#[derive(Debug)]
+pub enum Decision {
+    /// Run the LC head kernel directly.
+    RunLc {
+        /// Predicted duration of the LC kernel.
+        predicted: SimTime,
+    },
+    /// Run a fused (LC, BE) kernel.
+    RunFused {
+        /// Index of the chosen BE application.
+        be_index: usize,
+        /// The fused kernel launch.
+        launch: KernelLaunch,
+        /// The library entry (for online model refresh).
+        entry: Arc<Mutex<PairEntry>>,
+        /// Predicted fused duration.
+        predicted: SimTime,
+        /// Predicted solo duration of the Tensor component.
+        x_tc: SimTime,
+        /// Predicted solo duration of the CUDA component.
+        x_cd: SimTime,
+        /// Predicted solo duration of the LC kernel (either component).
+        lc_predicted: SimTime,
+    },
+    /// Run a BE head kernel in the headroom (reorder).
+    RunBe {
+        /// Index of the chosen BE application.
+        be_index: usize,
+        /// Predicted duration of the BE kernel.
+        predicted: SimTime,
+    },
+    /// Nothing runnable.
+    Idle,
+}
+
+/// The online kernel manager.
+pub struct KernelManager {
+    profiler: Arc<KernelProfiler>,
+    library: Arc<FusionLibrary>,
+    policy: Policy,
+}
+
+impl KernelManager {
+    /// Creates a manager.
+    pub fn new(
+        profiler: Arc<KernelProfiler>,
+        library: Arc<FusionLibrary>,
+        policy: Policy,
+    ) -> KernelManager {
+        KernelManager {
+            profiler,
+            library,
+            policy,
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// The fusion library.
+    pub fn library(&self) -> &Arc<FusionLibrary> {
+        &self.library
+    }
+
+    /// Evaluates the fusion opportunity of one (LC, BE) head pair.
+    ///
+    /// Returns `(decision, gain)` when Equation 8 is satisfied.
+    fn try_fuse(
+        &self,
+        lc: &WorkloadKernel,
+        be_index: usize,
+        be: &WorkloadKernel,
+        headroom: SimTime,
+    ) -> Result<Option<(Decision, SimTime)>, TackerError> {
+        let Some((tc, cd)) = FusionLibrary::orient(lc, be) else {
+            return Ok(None);
+        };
+        let Some(entry) = self.library.prepare(tc, cd)? else {
+            return Ok(None);
+        };
+        if !entry.lock().expect("entry poisoned").eligible() {
+            return Ok(None);
+        }
+        let x_tc = self.profiler.predict(tc)?;
+        let x_cd = self.profiler.predict(cd)?;
+        let t_lc = if std::ptr::eq(tc, lc) { x_tc } else { x_cd };
+        let t_be = if std::ptr::eq(tc, lc) { x_cd } else { x_tc };
+        let t_fuse = entry.lock().expect("entry poisoned").model.predict(x_tc, x_cd);
+        // Equation 8 (with a small benefit margin absorbing model noise).
+        let parallel_wins = (x_tc + x_cd).mul_f64(0.95) > t_fuse;
+        let extra = t_fuse.saturating_sub(t_lc);
+        if !parallel_wins || extra >= headroom {
+            return Ok(None);
+        }
+        let gain = t_be.saturating_sub(extra);
+        if gain == SimTime::ZERO {
+            return Ok(None);
+        }
+        let launch = {
+            let e = entry.lock().expect("entry poisoned");
+            e.fused.launch(tc.grid, cd.grid, &tc.bindings, &cd.bindings)
+        };
+        Ok(Some((
+            Decision::RunFused {
+                be_index,
+                launch,
+                entry,
+                predicted: t_fuse,
+                x_tc,
+                x_cd,
+                lc_predicted: t_lc,
+            },
+            gain,
+        )))
+    }
+
+    /// Makes a scheduling decision.
+    ///
+    /// `lc_head` is the pending kernel of the query being served (if any),
+    /// `headroom` the current QoS headroom available to fusion,
+    /// `reorder_headroom` the (budget-capped) headroom available to whole
+    /// reordered BE kernels, `be_heads` the ready head kernel of each BE
+    /// application, and `multiple_lc` whether more than one LC query is
+    /// active (which disables fusion per §VII-B-2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates profiling/fusion errors.
+    pub fn decide(
+        &self,
+        lc_head: Option<&WorkloadKernel>,
+        headroom: SimTime,
+        reorder_headroom: SimTime,
+        be_heads: &[Option<WorkloadKernel>],
+        multiple_lc: bool,
+    ) -> Result<Decision, TackerError> {
+        match lc_head {
+            Some(lc) => {
+                let lc_predicted = self.profiler.predict(lc)?;
+                // 1. Fusion with the highest-gain BE partner.
+                if self.policy.fusion_enabled() && !multiple_lc {
+                    let mut best: Option<(Decision, SimTime)> = None;
+                    for (i, be) in be_heads.iter().enumerate() {
+                        let Some(be) = be else { continue };
+                        if let Some((d, gain)) = self.try_fuse(lc, i, be, headroom)? {
+                            if best.as_ref().is_none_or(|(_, g)| gain > *g) {
+                                best = Some((d, gain));
+                            }
+                        }
+                    }
+                    if let Some((decision, _)) = best {
+                        return Ok(decision);
+                    }
+                }
+                // 2. Reorder a BE kernel into the headroom.
+                if self.policy.reorder_enabled() {
+                    for (i, be) in be_heads.iter().enumerate() {
+                        let Some(be) = be else { continue };
+                        let predicted = self.profiler.predict(be)?;
+                        if predicted < reorder_headroom {
+                            return Ok(Decision::RunBe {
+                                be_index: i,
+                                predicted,
+                            });
+                        }
+                    }
+                }
+                // 3. The LC kernel itself.
+                Ok(Decision::RunLc {
+                    predicted: lc_predicted,
+                })
+            }
+            None => {
+                // No LC query active: BE runs freely.
+                if self.policy.best_effort_enabled() {
+                    for (i, be) in be_heads.iter().enumerate() {
+                        if let Some(be) = be {
+                            let predicted = self.profiler.predict(be)?;
+                            return Ok(Decision::RunBe {
+                                be_index: i,
+                                predicted,
+                            });
+                        }
+                    }
+                }
+                Ok(Decision::Idle)
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for KernelManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelManager")
+            .field("policy", &self.policy)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacker_sim::{Device, GpuSpec};
+    use tacker_workloads::gemm::{gemm_workload, GemmShape};
+    use tacker_workloads::parboil::Benchmark;
+
+    fn manager(policy: Policy) -> KernelManager {
+        let device = Arc::new(Device::new(GpuSpec::rtx2080ti()));
+        let profiler = Arc::new(KernelProfiler::new(device));
+        let library = Arc::new(FusionLibrary::new(Arc::clone(&profiler)));
+        KernelManager::new(profiler, library, policy)
+    }
+
+    fn tc_kernel() -> WorkloadKernel {
+        let def = tacker_workloads::dnn::compile::shared_gemm();
+        gemm_workload(&def, GemmShape::new(2048, 2048, 1024))
+    }
+
+    #[test]
+    fn policy_capabilities() {
+        assert!(Policy::Tacker.fusion_enabled() && Policy::Tacker.reorder_enabled());
+        assert!(!Policy::Baymax.fusion_enabled() && Policy::Baymax.reorder_enabled());
+        assert!(Policy::FusionOnly.fusion_enabled() && !Policy::FusionOnly.reorder_enabled());
+        assert!(!Policy::LcOnly.best_effort_enabled());
+    }
+
+    #[test]
+    fn tacker_fuses_when_headroom_allows() {
+        let m = manager(Policy::Tacker);
+        let lc = tc_kernel();
+        let be = Benchmark::Cutcp.task()[0].clone();
+        let d = m
+            .decide(Some(&lc), SimTime::from_millis(20), SimTime::from_millis(20), &[Some(be)], false)
+            .unwrap();
+        assert!(matches!(d, Decision::RunFused { .. }), "got {d:?}");
+    }
+
+    #[test]
+    fn no_headroom_means_lc_runs_directly() {
+        let m = manager(Policy::Tacker);
+        let lc = tc_kernel();
+        let be = Benchmark::Cutcp.task()[0].clone();
+        // Equation 8 is strict: zero headroom blocks fusion even when the
+        // model predicts the fused kernel costs (almost) nothing extra.
+        let d = m
+            .decide(Some(&lc), SimTime::ZERO, SimTime::ZERO, &[Some(be)], false)
+            .unwrap();
+        assert!(matches!(d, Decision::RunLc { .. }), "got {d:?}");
+    }
+
+    #[test]
+    fn baymax_reorders_but_never_fuses() {
+        let m = manager(Policy::Baymax);
+        let lc = tc_kernel();
+        let be = Benchmark::Cutcp.task()[0].clone();
+        let d = m
+            .decide(Some(&lc), SimTime::from_millis(20), SimTime::from_millis(20), &[Some(be)], false)
+            .unwrap();
+        assert!(matches!(d, Decision::RunBe { .. }), "got {d:?}");
+    }
+
+    #[test]
+    fn fusion_only_policy_never_reorders() {
+        let m = manager(Policy::FusionOnly);
+        let lc = tc_kernel();
+        // A non-fusable BE head (no library pair: both CUDA kernels).
+        let be = Benchmark::Lbm.task()[0].clone();
+        let lc_cd = Benchmark::Mriq.task()[0].clone();
+        let hr = SimTime::from_millis(20);
+        let d = m.decide(Some(&lc_cd), hr, hr, &[Some(be)], false).unwrap();
+        // CD LC head + CD BE head: fusion impossible, reorder disabled →
+        // the LC kernel runs directly.
+        assert!(matches!(d, Decision::RunLc { .. }), "got {d:?}");
+        let _ = lc;
+    }
+
+    #[test]
+    fn multiple_lc_queries_disable_fusion() {
+        let m = manager(Policy::Tacker);
+        let lc = tc_kernel();
+        let be = Benchmark::Cutcp.task()[0].clone();
+        let d = m
+            .decide(Some(&lc), SimTime::from_millis(20), SimTime::from_millis(20), &[Some(be)], true)
+            .unwrap();
+        // Reorder may still happen; fusion must not.
+        assert!(!matches!(d, Decision::RunFused { .. }), "got {d:?}");
+    }
+
+    #[test]
+    fn idle_when_nothing_to_do() {
+        let m = manager(Policy::Tacker);
+        let d = m.decide(None, SimTime::ZERO, SimTime::ZERO, &[None, None], false).unwrap();
+        assert!(matches!(d, Decision::Idle));
+    }
+
+    #[test]
+    fn free_be_run_when_no_lc() {
+        let m = manager(Policy::Tacker);
+        let be = Benchmark::Lbm.task()[0].clone();
+        let d = m.decide(None, SimTime::ZERO, SimTime::ZERO, &[Some(be)], false).unwrap();
+        assert!(matches!(d, Decision::RunBe { be_index: 0, .. }));
+    }
+
+    #[test]
+    fn lc_only_never_runs_be() {
+        let m = manager(Policy::LcOnly);
+        let be = Benchmark::Lbm.task()[0].clone();
+        let d = m.decide(None, SimTime::ZERO, SimTime::ZERO, &[Some(be)], false).unwrap();
+        assert!(matches!(d, Decision::Idle));
+    }
+}

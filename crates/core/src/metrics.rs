@@ -1,0 +1,104 @@
+//! Latency and throughput metrics.
+
+use tacker_kernel::SimTime;
+
+/// Mean of a latency sample.
+pub fn mean(samples: &[SimTime]) -> SimTime {
+    if samples.is_empty() {
+        return SimTime::ZERO;
+    }
+    let total: u128 = samples.iter().map(|s| s.as_nanos() as u128).sum();
+    SimTime::from_nanos((total / samples.len() as u128) as u64)
+}
+
+/// The p-th percentile (nearest-rank method), `p ∈ [0, 100]`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]`.
+pub fn percentile(samples: &[SimTime], p: f64) -> SimTime {
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    if samples.is_empty() {
+        return SimTime::ZERO;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Relative throughput improvement of `new` over `base` (Equation 10's
+/// intent): positive when `new` completes more BE work per unit time.
+pub fn throughput_improvement(base_work_rate: f64, new_work_rate: f64) -> f64 {
+    if base_work_rate <= 0.0 {
+        return 0.0;
+    }
+    (new_work_rate - base_work_rate) / base_work_rate
+}
+
+/// The §VIII-G overlap rate (Equation 11), clamped to `[0, 0.5]`.
+pub fn overlap_rate(solo_a: SimTime, solo_b: SimTime, corun: SimTime) -> f64 {
+    let a = solo_a.as_nanos() as f64;
+    let b = solo_b.as_nanos() as f64;
+    let c = corun.as_nanos() as f64;
+    if a + b <= 0.0 {
+        0.0
+    } else {
+        ((a + b - c) / (a + b)).clamp(0.0, 0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn times(v: &[u64]) -> Vec<SimTime> {
+        v.iter().map(|&x| SimTime::from_micros(x)).collect()
+    }
+
+    #[test]
+    fn mean_and_percentiles() {
+        let s = times(&[10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
+        assert_eq!(mean(&s), SimTime::from_micros(55));
+        assert_eq!(percentile(&s, 50.0), SimTime::from_micros(50));
+        assert_eq!(percentile(&s, 99.0), SimTime::from_micros(100));
+        assert_eq!(percentile(&s, 100.0), SimTime::from_micros(100));
+        assert_eq!(percentile(&s, 0.0), SimTime::from_micros(10));
+    }
+
+    #[test]
+    fn empty_samples_are_zero() {
+        assert_eq!(mean(&[]), SimTime::ZERO);
+        assert_eq!(percentile(&[], 99.0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn unsorted_input_is_fine() {
+        let s = times(&[90, 10, 50]);
+        assert_eq!(percentile(&s, 50.0), SimTime::from_micros(50));
+    }
+
+    #[test]
+    fn improvement_sign() {
+        assert!((throughput_improvement(100.0, 118.6) - 0.186).abs() < 1e-9);
+        assert!(throughput_improvement(100.0, 90.0) < 0.0);
+        assert_eq!(throughput_improvement(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn overlap_rate_bounds() {
+        let a = SimTime::from_micros(100);
+        // Perfect overlap: corun = max(a, b) = 100 → rate 0.5.
+        assert!((overlap_rate(a, a, a) - 0.5).abs() < 1e-9);
+        // No overlap: corun = a + b → 0.
+        assert_eq!(overlap_rate(a, a, SimTime::from_micros(200)), 0.0);
+        // Pathological corun > serial clamps at 0.
+        assert_eq!(overlap_rate(a, a, SimTime::from_micros(300)), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_percentile_panics() {
+        let _ = percentile(&[], 101.0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Per-kernel duration models, trained by profiling (§VI-C).
+//!
+//! Every kernel gets a linear-regression model mapping a scalar *work
+//! feature* to duration. For Parboil-style kernels the feature is the
+//! original block count; kernels whose per-block work scales with a launch
+//! parameter (GEMM's `k_iters`, the benchmarks' `iters`, pooling's window)
+//! fold it in multiplicatively. Profiling runs on the simulated device,
+//! standing in for the paper's "historical data".
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use tacker_kernel::{KernelId, SimTime};
+use tacker_predictor::KernelDurationModel;
+use tacker_sim::Device;
+use tacker_workloads::WorkloadKernel;
+
+use crate::error::TackerError;
+
+/// Launch parameters that multiply a kernel's per-block work.
+const WORK_PARAMS: [&str; 3] = ["k_iters", "iters", "win_sq"];
+
+/// The scalar work feature of a launch: `grid × Π work-params`.
+pub fn work_feature(wk: &WorkloadKernel) -> f64 {
+    let mut f = wk.grid.max(1) as f64;
+    for key in WORK_PARAMS {
+        if let Some(v) = wk.bindings.get(key) {
+            f *= (*v).max(1) as f64;
+        }
+    }
+    f
+}
+
+/// The feature row used by the duration models: `[grid × Π work-params,
+/// grid]`. The second feature captures per-block costs (launch, prologue,
+/// epilogue) that do not scale with the loop knobs.
+pub fn feature_row(wk: &WorkloadKernel) -> Vec<f64> {
+    vec![work_feature(wk), wk.grid.max(1) as f64]
+}
+
+/// Profiles kernels on a device and serves duration predictions.
+#[derive(Debug)]
+pub struct KernelProfiler {
+    device: Arc<Device>,
+    models: Mutex<HashMap<KernelId, KernelDurationModel>>,
+    /// Exact durations of previously seen launches ("historical data",
+    /// §VI-C): recurring kernels predict from history; unseen launches fall
+    /// back to the LR model.
+    history: Mutex<HashMap<u64, SimTime>>,
+}
+
+impl KernelProfiler {
+    /// Creates a profiler bound to a device.
+    pub fn new(device: Arc<Device>) -> KernelProfiler {
+        KernelProfiler {
+            device,
+            models: Mutex::new(HashMap::new()),
+            history: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &Arc<Device> {
+        &self.device
+    }
+
+    /// Measures (simulates) a launch; memoized by the device.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors.
+    pub fn measure(&self, wk: &WorkloadKernel) -> Result<SimTime, TackerError> {
+        let launch = wk.launch();
+        let duration = self.device.run_launch(&launch)?.duration;
+        self.history
+            .lock()
+            .expect("history poisoned")
+            .insert(launch.fingerprint(), duration);
+        Ok(duration)
+    }
+
+    /// Builds (once) the duration model for this kernel definition by
+    /// profiling grid and work-parameter scalings of the representative
+    /// launch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation and fitting errors.
+    pub fn ensure_model(&self, representative: &WorkloadKernel) -> Result<(), TackerError> {
+        let id = representative.def.id();
+        if self.models.lock().expect("models poisoned").contains_key(&id) {
+            return Ok(());
+        }
+        let mut points: Vec<(Vec<f64>, SimTime)> = Vec::new();
+        for grid_mul in [1u64, 2, 4, 8] {
+            for work_mul in [1u64, 2, 4] {
+                let mut wk = representative.clone();
+                wk.grid = (wk.grid * grid_mul).max(1);
+                if work_mul > 1 {
+                    let mut scaled = false;
+                    for key in WORK_PARAMS {
+                        if let Some(v) = wk.bindings.get_mut(key) {
+                            *v *= work_mul;
+                            scaled = true;
+                        }
+                    }
+                    if !scaled {
+                        continue; // no work parameter to scale
+                    }
+                }
+                points.push((feature_row(&wk), self.measure(&wk)?));
+            }
+        }
+        let model = KernelDurationModel::fit_rows(representative.def.name(), &points)?;
+        self.models
+            .lock()
+            .expect("models poisoned")
+            .insert(id, model);
+        Ok(())
+    }
+
+    /// Predicts the duration of a launch, profiling its kernel first if
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates profiling errors.
+    pub fn predict(&self, wk: &WorkloadKernel) -> Result<SimTime, TackerError> {
+        if let Some(seen) = self
+            .history
+            .lock()
+            .expect("history poisoned")
+            .get(&wk.launch().fingerprint())
+        {
+            return Ok(*seen);
+        }
+        self.ensure_model(wk)?;
+        let models = self.models.lock().expect("models poisoned");
+        let model = models
+            .get(&wk.def.id())
+            .expect("model inserted by ensure_model");
+        Ok(model.predict_row(&feature_row(wk)))
+    }
+
+    /// Predicts strictly from the LR model, ignoring launch history (used
+    /// by the prediction-accuracy experiments, Fig. 17).
+    pub fn predict_model_only(&self, wk: &WorkloadKernel) -> Result<SimTime, TackerError> {
+        self.ensure_model(wk)?;
+        let models = self.models.lock().expect("models poisoned");
+        let model = models
+            .get(&wk.def.id())
+            .expect("model inserted by ensure_model");
+        Ok(model.predict_row(&feature_row(wk)))
+    }
+
+    /// Prediction error of the model against the simulated ground truth
+    /// for one launch, as a relative value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates profiling errors.
+    pub fn prediction_error(&self, wk: &WorkloadKernel) -> Result<f64, TackerError> {
+        let predicted = self.predict_model_only(wk)?;
+        let actual = self.measure(wk)?;
+        if actual == SimTime::ZERO {
+            return Ok(0.0);
+        }
+        Ok(
+            (predicted.as_nanos() as f64 - actual.as_nanos() as f64).abs()
+                / actual.as_nanos() as f64,
+        )
+    }
+
+    /// Number of fitted models.
+    pub fn model_count(&self) -> usize {
+        self.models.lock().expect("models poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacker_sim::GpuSpec;
+    use tacker_workloads::parboil::Benchmark;
+
+    fn profiler() -> KernelProfiler {
+        KernelProfiler::new(Arc::new(Device::new(GpuSpec::rtx2080ti())))
+    }
+
+    #[test]
+    fn feature_folds_work_params() {
+        let wk = &Benchmark::Sgemm.task()[0];
+        // sgemm task: grid 1024, iters 8.
+        assert_eq!(work_feature(wk), 1024.0 * 8.0);
+    }
+
+    #[test]
+    fn predictions_track_simulation_within_a_few_percent() {
+        let p = profiler();
+        for b in [Benchmark::Mriq, Benchmark::Sgemm, Benchmark::Lbm] {
+            // Train on the default task, validate on a 3× scaled one.
+            p.ensure_model(&b.task()[0]).unwrap();
+            let held = &b.task_scaled(3)[0];
+            let err = p.prediction_error(held).unwrap();
+            assert!(err < 0.08, "{}: error {err}", b.name());
+        }
+    }
+
+    #[test]
+    fn model_built_once_per_definition() {
+        let p = profiler();
+        let wk = &Benchmark::Fft.task()[0];
+        p.predict(wk).unwrap();
+        p.predict(wk).unwrap();
+        assert_eq!(p.model_count(), 1);
+    }
+}

@@ -1,0 +1,166 @@
+//! Partial-barrier rewriting (§V-D, Fig. 9).
+//!
+//! Inside a fused kernel, the component kernels' `__syncthreads()` must
+//! synchronize only the warps of their own branch: a block-wide barrier in
+//! one branch deadlocks (the other branch's warps never arrive). The fuser
+//! therefore replaces every `__syncthreads()` in a branch with
+//! `asm volatile("bar.sync id, cnt")`, where `id` is a branch-private
+//! hardware barrier id and `cnt` is the branch's thread count.
+
+use tacker_kernel::ast::Stmt;
+
+use crate::error::FuseError;
+
+/// Allocates branch-private barrier ids.
+///
+/// Id 0 is reserved for genuine block-wide barriers, matching PTX
+/// conventions, so branch ids start at 1.
+#[derive(Debug, Clone)]
+pub struct BarrierAllocator {
+    next: u16,
+    limit: u16,
+}
+
+impl BarrierAllocator {
+    /// Creates an allocator for an SM with `max_barriers` named barriers.
+    pub fn new(max_barriers: u32) -> BarrierAllocator {
+        BarrierAllocator {
+            next: 1,
+            limit: max_barriers.min(u16::MAX as u32) as u16,
+        }
+    }
+
+    /// Reserves the next barrier id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FuseError::BarrierOverflow`] once ids are exhausted.
+    pub fn alloc(&mut self) -> Result<u16, FuseError> {
+        if self.next >= self.limit {
+            return Err(FuseError::BarrierOverflow {
+                needed: u32::from(self.next) + 1,
+                available: u32::from(self.limit),
+            });
+        }
+        let id = self.next;
+        self.next += 1;
+        Ok(id)
+    }
+
+    /// Ids handed out so far.
+    pub fn allocated(&self) -> u32 {
+        u32::from(self.next) - 1
+    }
+}
+
+/// Rewrites every `__syncthreads()` in `body` into `bar.sync id, cnt` where
+/// `cnt = branch_threads`. Returns the rewritten body and whether any
+/// rewrite happened.
+pub fn rewrite_sync_threads(body: &[Stmt], id: u16, branch_threads: u32) -> (Vec<Stmt>, bool) {
+    let mut any = false;
+    let out = body
+        .iter()
+        .map(|s| rewrite_stmt(s, id, branch_threads, &mut any))
+        .collect();
+    (out, any)
+}
+
+fn rewrite_stmt(stmt: &Stmt, id: u16, cnt: u32, any: &mut bool) -> Stmt {
+    match stmt {
+        Stmt::SyncThreads => {
+            *any = true;
+            Stmt::BarSync {
+                id,
+                count_threads: cnt,
+            }
+        }
+        Stmt::Loop { var, count, body } => Stmt::Loop {
+            var: var.clone(),
+            count: count.clone(),
+            body: body.iter().map(|s| rewrite_stmt(s, id, cnt, any)).collect(),
+        },
+        Stmt::ThreadRange { lo, hi, body } => Stmt::ThreadRange {
+            lo: *lo,
+            hi: *hi,
+            body: body.iter().map(|s| rewrite_stmt(s, id, cnt, any)).collect(),
+        },
+        Stmt::BlockGuard { limit, body } => Stmt::BlockGuard {
+            limit: limit.clone(),
+            body: body.iter().map(|s| rewrite_stmt(s, id, cnt, any)).collect(),
+        },
+        Stmt::PtbLoop {
+            original_blocks,
+            body,
+        } => Stmt::PtbLoop {
+            original_blocks: original_blocks.clone(),
+            body: body.iter().map(|s| rewrite_stmt(s, id, cnt, any)).collect(),
+        },
+        other => other.clone(),
+    }
+}
+
+/// Counts distinct named barriers a body needs after rewriting (one per
+/// branch that synchronizes).
+pub fn branch_needs_barrier(body: &[Stmt]) -> bool {
+    body.iter().any(Stmt::contains_sync_threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacker_kernel::ast::Expr;
+
+    #[test]
+    fn allocator_hands_out_sequential_ids() {
+        let mut a = BarrierAllocator::new(16);
+        assert_eq!(a.alloc().unwrap(), 1);
+        assert_eq!(a.alloc().unwrap(), 2);
+        assert_eq!(a.allocated(), 2);
+    }
+
+    #[test]
+    fn allocator_overflows_at_limit() {
+        let mut a = BarrierAllocator::new(4);
+        for _ in 1..4 {
+            a.alloc().unwrap();
+        }
+        assert!(matches!(a.alloc(), Err(FuseError::BarrierOverflow { .. })));
+    }
+
+    #[test]
+    fn sync_threads_rewritten_recursively() {
+        let body = vec![Stmt::loop_over(
+            "k",
+            Expr::lit(4),
+            vec![
+                Stmt::sync_threads(),
+                Stmt::compute_cd(Expr::lit(1), "fma"),
+                Stmt::sync_threads(),
+            ],
+        )];
+        let (out, any) = rewrite_sync_threads(&body, 3, 128);
+        assert!(any);
+        let Stmt::Loop { body: inner, .. } = &out[0] else {
+            panic!("loop expected")
+        };
+        assert!(matches!(
+            inner[0],
+            Stmt::BarSync {
+                id: 3,
+                count_threads: 128
+            }
+        ));
+        assert!(matches!(inner[2], Stmt::BarSync { id: 3, .. }));
+        // No __syncthreads() left anywhere.
+        assert!(!out.iter().any(Stmt::contains_sync_threads));
+    }
+
+    #[test]
+    fn bodies_without_sync_are_unchanged() {
+        let body = vec![Stmt::compute_cd(Expr::lit(1), "fma")];
+        let (out, any) = rewrite_sync_threads(&body, 1, 64);
+        assert!(!any);
+        assert_eq!(out, body);
+        assert!(!branch_needs_barrier(&body));
+    }
+}

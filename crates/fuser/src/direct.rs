@@ -1,0 +1,208 @@
+//! Direct (naive) kernel fusion (§V-A, Figs. 5 and 6).
+//!
+//! Direct fusion merges one block of each kernel at a fixed 1:1 ratio and
+//! bakes **both grid sizes into the fused source**: the grids must be known
+//! before compiling, so fusing for a new input requires regenerating and
+//! recompiling the kernel online (the ~900 ms JIT cost §VIII-I measures).
+//! It exists as the strawman the PTB-based fuser improves on, and to
+//! regenerate Fig. 3.
+
+use std::sync::Arc;
+
+use tacker_kernel::ast::{Expr, Stmt};
+use tacker_kernel::{Bindings, KernelDef, KernelKind, KernelLaunch, ResourceUsage, SmCapacity};
+
+use crate::barrier::{branch_needs_barrier, rewrite_sync_threads, BarrierAllocator};
+use crate::error::FuseError;
+use crate::rename::{prefix_bindings, prefix_params};
+
+/// A directly fused kernel, valid only for the exact grids it was built
+/// with.
+#[derive(Debug, Clone)]
+pub struct DirectFused {
+    def: Arc<KernelDef>,
+    tc_grid: u64,
+    cd_grid: u64,
+}
+
+impl DirectFused {
+    /// The fused definition.
+    pub fn def(&self) -> &Arc<KernelDef> {
+        &self.def
+    }
+
+    /// The Tensor-kernel grid baked into this fusion.
+    pub fn tc_grid(&self) -> u64 {
+        self.tc_grid
+    }
+
+    /// The CUDA-kernel grid baked into this fusion.
+    pub fn cd_grid(&self) -> u64 {
+        self.cd_grid
+    }
+
+    /// Builds the launch for the baked-in grids.
+    pub fn launch(&self, tc_bindings: &Bindings, cd_bindings: &Bindings) -> KernelLaunch {
+        let mut bindings = prefix_bindings(tc_bindings, "tc_");
+        bindings.extend(prefix_bindings(cd_bindings, "cd_"));
+        KernelLaunch::new(Arc::clone(&self.def), self.tc_grid.max(self.cd_grid), bindings)
+    }
+}
+
+/// Fuses one block of `tc` and one block of `cd` for the *specific* grids
+/// `tc_grid` and `cd_grid` (Fig. 5's `mix_grid` takes the max; the smaller
+/// kernel's threads idle in the excess blocks, as in Fig. 6).
+///
+/// # Errors
+///
+/// Same conditions as [`crate::fuse_flexible`], evaluated at the 1:1 ratio.
+pub fn fuse_direct(
+    tc: &KernelDef,
+    cd: &KernelDef,
+    tc_grid: u64,
+    cd_grid: u64,
+    sm: &SmCapacity,
+) -> Result<DirectFused, FuseError> {
+    if tc.kind() != KernelKind::Tensor || cd.kind() != KernelKind::Cuda {
+        return Err(FuseError::KindMismatch {
+            tc_kind: tc.kind().to_string(),
+            cd_kind: cd.kind().to_string(),
+        });
+    }
+    for def in [tc, cd] {
+        if def.is_opaque() {
+            return Err(FuseError::OpaqueSource {
+                kernel: def.name().to_string(),
+            });
+        }
+    }
+    let tc_threads = tc.block_dim().total() as u32;
+    let cd_threads = cd.block_dim().total() as u32;
+    let threads = tc_threads as u64 + cd_threads as u64;
+    if threads > 1024 {
+        return Err(FuseError::TooManyThreads { threads });
+    }
+    let usage = ResourceUsage {
+        registers_per_thread: tc
+            .resources()
+            .registers_per_thread
+            .max(cd.resources().registers_per_thread),
+        shared_mem_bytes: tc.resources().shared_mem_bytes + cd.resources().shared_mem_bytes,
+        barriers: 2,
+    };
+    if !sm.fits(&usage, threads as u32) {
+        return Err(FuseError::ResourceOverflow {
+            detail: format!("{threads} threads, {usage}"),
+        });
+    }
+    let mut barriers = BarrierAllocator::new(sm.max_barriers);
+    let mut branch = |def: &KernelDef, prefix: &str, lo: u32, grid: u64| -> Result<Stmt, FuseError> {
+        let body = prefix_params(def.body(), prefix);
+        let body = if branch_needs_barrier(&body) {
+            let id = barriers.alloc()?;
+            rewrite_sync_threads(&body, id, def.block_dim().total() as u32).0
+        } else {
+            body
+        };
+        Ok(Stmt::ThreadRange {
+            lo,
+            hi: lo + def.block_dim().total() as u32,
+            // The grid is a literal: this is what makes direct fusion
+            // input-specific.
+            body: vec![Stmt::BlockGuard {
+                limit: Expr::lit(grid),
+                body,
+            }],
+        })
+    };
+    let body = vec![
+        branch(tc, "tc_", 0, tc_grid)?,
+        branch(cd, "cd_", tc_threads, cd_grid)?,
+    ];
+    let def = tc.derive(
+        format!("direct_{}_{}_g{}x{}", tc.name(), cd.name(), tc_grid, cd_grid),
+        KernelKind::Fused,
+        tacker_kernel::Dim3::x(threads as u32),
+        usage,
+        body,
+        false,
+    )?;
+    Ok(DirectFused {
+        def: Arc::new(def),
+        tc_grid,
+        cd_grid,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacker_kernel::Dim3;
+
+    fn tc_kernel() -> KernelDef {
+        KernelDef::builder("gemm", KernelKind::Tensor)
+            .block_dim(Dim3::x(64))
+            .resources(ResourceUsage::new(48, 2048))
+            .body(vec![
+                Stmt::sync_threads(),
+                Stmt::compute_tc(Expr::lit(512), "mma"),
+            ])
+            .build()
+            .unwrap()
+    }
+
+    fn cd_kernel() -> KernelDef {
+        KernelDef::builder("lbm", KernelKind::Cuda)
+            .block_dim(Dim3::x(128))
+            .resources(ResourceUsage::new(32, 1024))
+            .body(vec![Stmt::compute_cd(Expr::lit(64), "stream-collide")])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn grids_are_baked_into_name_and_guards() {
+        let fused = fuse_direct(&tc_kernel(), &cd_kernel(), 2, 4, &SmCapacity::TURING).unwrap();
+        assert_eq!(fused.tc_grid(), 2);
+        assert_eq!(fused.cd_grid(), 4);
+        assert!(fused.def().name().contains("g2x4"));
+        let src = tacker_kernel::source::render(fused.def());
+        assert!(src.contains("if (block_pos < 2)"));
+        assert!(src.contains("if (block_pos < 4)"));
+        // New inputs require a new fusion: different name/definition.
+        let other = fuse_direct(&tc_kernel(), &cd_kernel(), 3, 4, &SmCapacity::TURING).unwrap();
+        assert_ne!(fused.def().name(), other.def().name());
+    }
+
+    #[test]
+    fn fused_block_shape_matches_fig6() {
+        // TC: 2 blocks × 2 warps; CD: 4 blocks × 4 warps →
+        // fused: 4 blocks × 6 warps.
+        let fused = fuse_direct(&tc_kernel(), &cd_kernel(), 2, 4, &SmCapacity::TURING).unwrap();
+        assert_eq!(fused.def().block_dim().total(), 192);
+        let launch = fused.launch(&Bindings::new(), &Bindings::new());
+        assert_eq!(launch.grid_blocks, 4);
+        let bp = tacker_kernel::lower_block(fused.def(), launch.grid_blocks, &launch.bindings)
+            .unwrap();
+        assert_eq!(bp.roles.len(), 2);
+        assert_eq!(bp.roles[0].warps, 2);
+        assert_eq!(bp.roles[1].warps, 4);
+        // TC role only covers 2 of the 4 blocks.
+        assert_eq!(bp.roles[0].original_blocks, 2);
+        assert_eq!(bp.roles[1].original_blocks, 4);
+    }
+
+    #[test]
+    fn sync_rewritten_in_direct_fusion_too() {
+        let fused = fuse_direct(&tc_kernel(), &cd_kernel(), 2, 4, &SmCapacity::TURING).unwrap();
+        assert!(!fused.def().body().iter().any(Stmt::contains_sync_threads));
+    }
+
+    #[test]
+    fn kind_and_resource_checks_apply() {
+        assert!(matches!(
+            fuse_direct(&cd_kernel(), &cd_kernel(), 1, 1, &SmCapacity::TURING),
+            Err(FuseError::KindMismatch { .. })
+        ));
+    }
+}

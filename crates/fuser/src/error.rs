@@ -1,0 +1,114 @@
+//! Fuser error type.
+
+use std::error::Error;
+use std::fmt;
+
+use tacker_kernel::KernelError;
+
+/// Errors produced while transforming or fusing kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FuseError {
+    /// The pair is not a (Tensor, CUDA) combination.
+    KindMismatch {
+        /// Kind of the first kernel.
+        tc_kind: String,
+        /// Kind of the second kernel.
+        cd_kind: String,
+    },
+    /// The fused block would exceed the 1024-thread block limit.
+    TooManyThreads {
+        /// Threads the fused block would need.
+        threads: u64,
+    },
+    /// The fused block's resources exceed SM capacity (no block fits).
+    ResourceOverflow {
+        /// Human-readable description of the violated limit.
+        detail: String,
+    },
+    /// More named barriers are required than the hardware provides.
+    BarrierOverflow {
+        /// Barrier ids required.
+        needed: u32,
+        /// Barrier ids available.
+        available: u32,
+    },
+    /// A component kernel's block is not warp-aligned.
+    Misaligned {
+        /// Kernel name.
+        kernel: String,
+        /// Offending thread count.
+        threads: u64,
+    },
+    /// No fusion configuration is feasible for this pair.
+    NoFeasibleConfig,
+    /// The kernel's source is unavailable (black-box library kernel).
+    OpaqueSource {
+        /// Kernel name.
+        kernel: String,
+    },
+    /// Underlying kernel IR error.
+    Kernel(KernelError),
+}
+
+impl fmt::Display for FuseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuseError::KindMismatch { tc_kind, cd_kind } => write!(
+                f,
+                "expected a (tensor, cuda) kernel pair, got ({tc_kind}, {cd_kind})"
+            ),
+            FuseError::TooManyThreads { threads } => {
+                write!(f, "fused block needs {threads} threads (limit 1024)")
+            }
+            FuseError::ResourceOverflow { detail } => {
+                write!(f, "fused block exceeds SM resources: {detail}")
+            }
+            FuseError::BarrierOverflow { needed, available } => {
+                write!(f, "fusion needs {needed} named barriers, SM has {available}")
+            }
+            FuseError::Misaligned { kernel, threads } => {
+                write!(f, "kernel `{kernel}` block of {threads} threads is not warp-aligned")
+            }
+            FuseError::NoFeasibleConfig => write!(f, "no feasible fusion configuration"),
+            FuseError::OpaqueSource { kernel } => {
+                write!(f, "kernel `{kernel}` is a black-box library kernel; its source is unavailable for fusion")
+            }
+            FuseError::Kernel(e) => write!(f, "kernel error: {e}"),
+        }
+    }
+}
+
+impl Error for FuseError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FuseError::Kernel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<KernelError> for FuseError {
+    fn from(e: KernelError) -> Self {
+        FuseError::Kernel(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(FuseError::TooManyThreads { threads: 1280 }
+            .to_string()
+            .contains("1280"));
+        assert!(FuseError::BarrierOverflow {
+            needed: 20,
+            available: 16
+        }
+        .to_string()
+        .contains("16"));
+        let e = FuseError::from(KernelError::EvalOverflow { expr: "x".into() });
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,599 @@
+//! Flexible PTB-based kernel fusion (§V-B/§V-C, Figs. 6 and 8).
+//!
+//! A fused block packs `tc_blocks` copies of the Tensor-Core kernel's block
+//! and `cd_blocks` copies of the CUDA-Core kernel's block side by side as
+//! thread ranges. Each copy carries its own persistent-thread-block loop, so
+//! the fused kernel is compiled once offline and adapts to any input grid at
+//! runtime through the `tc_original_block_num` / `cd_original_block_num`
+//! launch parameters.
+//!
+//! TC copies are packed first (the paper prioritizes Tensor-Core throughput);
+//! CD copies fill the remaining resources. [`enumerate_configs`] yields every
+//! feasible `(tc_blocks, cd_blocks)` ratio so the selection stage (§V-C) can
+//! measure all candidates and keep the best.
+
+use std::fmt;
+use std::sync::Arc;
+
+use tacker_kernel::ast::{Expr, Stmt};
+use tacker_kernel::{
+    Bindings, KernelDef, KernelKind, KernelLaunch, ResourceUsage, SmCapacity, WARP_SIZE,
+};
+
+use crate::barrier::{branch_needs_barrier, rewrite_sync_threads, BarrierAllocator};
+use crate::error::FuseError;
+use crate::rename::{prefix_bindings, prefix_params};
+
+/// Launch-parameter prefix for the Tensor-Core branch.
+pub const TC_PREFIX: &str = "tc_";
+/// Launch-parameter prefix for the CUDA-Core branch.
+pub const CD_PREFIX: &str = "cd_";
+
+/// A fusion ratio: how many component blocks of each kind one fused block
+/// contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FusionConfig {
+    /// Tensor-kernel blocks per fused block.
+    pub tc_blocks: u32,
+    /// CUDA-kernel blocks per fused block.
+    pub cd_blocks: u32,
+}
+
+impl FusionConfig {
+    /// The naive 1:1 ratio.
+    pub const ONE_TO_ONE: FusionConfig = FusionConfig {
+        tc_blocks: 1,
+        cd_blocks: 1,
+    };
+}
+
+impl fmt::Display for FusionConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}tc:{}cd", self.tc_blocks, self.cd_blocks)
+    }
+}
+
+/// Which component's blocks get packed first when enumerating ratios
+/// (ablation knob; the paper packs Tensor blocks first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PackPriority {
+    /// Pack Tensor-Core blocks first (the paper's choice).
+    #[default]
+    TensorFirst,
+    /// Pack CUDA-Core blocks first.
+    CudaFirst,
+}
+
+/// A statically fused Tensor+CUDA kernel, ready to be launched with any
+/// input grids.
+#[derive(Debug, Clone)]
+pub struct FusedKernel {
+    def: Arc<KernelDef>,
+    config: FusionConfig,
+    tc_name: String,
+    cd_name: String,
+}
+
+impl FusedKernel {
+    /// The fused kernel definition (kind [`KernelKind::Fused`], PTB form).
+    pub fn def(&self) -> &Arc<KernelDef> {
+        &self.def
+    }
+
+    /// The fusion ratio.
+    pub fn config(&self) -> FusionConfig {
+        self.config
+    }
+
+    /// Name of the Tensor component kernel.
+    pub fn tc_name(&self) -> &str {
+        &self.tc_name
+    }
+
+    /// Name of the CUDA component kernel.
+    pub fn cd_name(&self) -> &str {
+        &self.cd_name
+    }
+
+    /// Builds a launch of the fused kernel covering `tc_grid` original
+    /// Tensor-kernel blocks and `cd_grid` original CUDA-kernel blocks, with
+    /// each component's own parameter bindings.
+    pub fn launch(
+        &self,
+        tc_grid: u64,
+        cd_grid: u64,
+        tc_bindings: &Bindings,
+        cd_bindings: &Bindings,
+    ) -> KernelLaunch {
+        let mut bindings = prefix_bindings(tc_bindings, TC_PREFIX);
+        bindings.extend(prefix_bindings(cd_bindings, CD_PREFIX));
+        bindings.insert(format!("{TC_PREFIX}original_block_num"), tc_grid);
+        bindings.insert(format!("{CD_PREFIX}original_block_num"), cd_grid);
+        // The issued grid is capped by occupancy in plan construction; the
+        // nominal grid is the widest per-copy work count so tiny inputs are
+        // not over-issued.
+        let nominal = tc_grid
+            .div_ceil(self.config.tc_blocks as u64)
+            .max(cd_grid.div_ceil(self.config.cd_blocks as u64))
+            .max(1);
+        KernelLaunch::new(Arc::clone(&self.def), nominal, bindings)
+    }
+}
+
+/// Extracts the fusable inner body of a definition: PTB kernels contribute
+/// the body inside their PTB loop, plain kernels their whole body.
+fn inner_body(def: &KernelDef) -> &[Stmt] {
+    match def.body() {
+        [Stmt::PtbLoop { body, .. }] => body,
+        body => body,
+    }
+}
+
+/// Builds one branch (thread range) of the fused kernel: copy `idx` of
+/// `copies` for the component with the given prefix.
+fn build_branch(
+    def: &KernelDef,
+    prefix: &str,
+    idx: u32,
+    copies: u32,
+    thread_lo: u32,
+    barriers: &mut BarrierAllocator,
+) -> Result<Stmt, FuseError> {
+    let threads = def.block_dim().total() as u32;
+    let body = prefix_params(inner_body(def), prefix);
+    let body = if branch_needs_barrier(&body) {
+        let id = barriers.alloc()?;
+        rewrite_sync_threads(&body, id, threads).0
+    } else {
+        body
+    };
+    // Copy `idx` covers original block positions congruent to idx mod
+    // copies: floor((orig + copies - 1 - idx) / copies) of them.
+    let orig = Expr::param(format!("{prefix}original_block_num"));
+    let share = orig
+        .add(Expr::lit((copies - 1 - idx) as u64))
+        .floor_div(Expr::lit(copies as u64));
+    Ok(Stmt::ThreadRange {
+        lo: thread_lo,
+        hi: thread_lo + threads,
+        body: vec![Stmt::PtbLoop {
+            original_blocks: share,
+            body,
+        }],
+    })
+}
+
+/// Checks a config's feasibility and returns the fused block's resource
+/// usage and thread count.
+fn config_footprint(
+    tc: &KernelDef,
+    cd: &KernelDef,
+    config: FusionConfig,
+    sm: &SmCapacity,
+) -> Result<(ResourceUsage, u32), FuseError> {
+    if config.tc_blocks == 0 || config.cd_blocks == 0 {
+        return Err(FuseError::NoFeasibleConfig);
+    }
+    let tc_threads = tc.block_dim().total() as u32;
+    let cd_threads = cd.block_dim().total() as u32;
+    for (def, t) in [(tc, tc_threads), (cd, cd_threads)] {
+        if t % WARP_SIZE != 0 {
+            return Err(FuseError::Misaligned {
+                kernel: def.name().to_string(),
+                threads: t as u64,
+            });
+        }
+    }
+    let threads =
+        config.tc_blocks as u64 * tc_threads as u64 + config.cd_blocks as u64 * cd_threads as u64;
+    if threads > 1024 {
+        return Err(FuseError::TooManyThreads { threads });
+    }
+    let tc_barriers = if branch_needs_barrier(inner_body(tc)) {
+        config.tc_blocks
+    } else {
+        0
+    };
+    let cd_barriers = if branch_needs_barrier(inner_body(cd)) {
+        config.cd_blocks
+    } else {
+        0
+    };
+    let needed_barriers = tc_barriers + cd_barriers;
+    if needed_barriers + 1 > sm.max_barriers {
+        return Err(FuseError::BarrierOverflow {
+            needed: needed_barriers + 1,
+            available: sm.max_barriers,
+        });
+    }
+    let usage = ResourceUsage {
+        registers_per_thread: tc
+            .resources()
+            .registers_per_thread
+            .max(cd.resources().registers_per_thread),
+        shared_mem_bytes: tc.resources().shared_mem_bytes * config.tc_blocks as u64
+            + cd.resources().shared_mem_bytes * config.cd_blocks as u64,
+        barriers: needed_barriers.max(1),
+    };
+    if !sm.fits(&usage, threads as u32) {
+        return Err(FuseError::ResourceOverflow {
+            detail: format!(
+                "{} threads, {} at ratio {config}",
+                threads, usage
+            ),
+        });
+    }
+    Ok((usage, threads as u32))
+}
+
+/// Fuses a Tensor-Core kernel and a CUDA-Core kernel at the given ratio.
+///
+/// Both inputs may be plain or already PTB-transformed definitions; the
+/// fused kernel is always PTB. The component kernels' `__syncthreads()` are
+/// rewritten to branch-private `bar.sync` barriers.
+///
+/// ```
+/// use tacker_fuser::{fuse_flexible, FusionConfig};
+/// use tacker_kernel::{ast::*, Dim3, KernelDef, KernelKind, ResourceUsage, SmCapacity};
+///
+/// # fn main() -> Result<(), tacker_fuser::FuseError> {
+/// let tc = KernelDef::builder("mma", KernelKind::Tensor)
+///     .block_dim(Dim3::x(64))
+///     .body(vec![Stmt::compute_tc(Expr::lit(256), "wmma::mma_sync")])
+///     .build().expect("valid");
+/// let cd = KernelDef::builder("fma", KernelKind::Cuda)
+///     .block_dim(Dim3::x(64))
+///     .body(vec![Stmt::compute_cd(Expr::lit(64), "fma chain")])
+///     .build().expect("valid");
+/// let fused = fuse_flexible(&tc, &cd, FusionConfig::ONE_TO_ONE, &SmCapacity::TURING)?;
+/// assert_eq!(fused.def().block_dim().total(), 128);
+/// // Launch it for any pair of input grids — the fusion was compiled once.
+/// let launch = fused.launch(1000, 500, &Default::default(), &Default::default());
+/// assert_eq!(launch.bindings["tc_original_block_num"], 1000);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// * [`FuseError::KindMismatch`] unless `tc` is a Tensor kernel and `cd` a
+///   CUDA kernel;
+/// * [`FuseError::TooManyThreads`] / [`FuseError::ResourceOverflow`] /
+///   [`FuseError::BarrierOverflow`] when the ratio does not fit;
+/// * [`FuseError::Misaligned`] for non-warp-multiple blocks.
+pub fn fuse_flexible(
+    tc: &KernelDef,
+    cd: &KernelDef,
+    config: FusionConfig,
+    sm: &SmCapacity,
+) -> Result<FusedKernel, FuseError> {
+    if tc.kind() != KernelKind::Tensor || cd.kind() != KernelKind::Cuda {
+        return Err(FuseError::KindMismatch {
+            tc_kind: tc.kind().to_string(),
+            cd_kind: cd.kind().to_string(),
+        });
+    }
+    for def in [tc, cd] {
+        if def.is_opaque() {
+            return Err(FuseError::OpaqueSource {
+                kernel: def.name().to_string(),
+            });
+        }
+    }
+    let (usage, threads) = config_footprint(tc, cd, config, sm)?;
+    let mut barriers = BarrierAllocator::new(sm.max_barriers);
+    let mut body = Vec::new();
+    let mut cursor = 0u32;
+    for i in 0..config.tc_blocks {
+        let branch = build_branch(tc, TC_PREFIX, i, config.tc_blocks, cursor, &mut barriers)?;
+        cursor += tc.block_dim().total() as u32;
+        body.push(branch);
+    }
+    for i in 0..config.cd_blocks {
+        let branch = build_branch(cd, CD_PREFIX, i, config.cd_blocks, cursor, &mut barriers)?;
+        cursor += cd.block_dim().total() as u32;
+        body.push(branch);
+    }
+    debug_assert_eq!(cursor, threads);
+    let name = format!(
+        "fused_{}_{}_{}x{}",
+        tc.name().trim_start_matches("ptb_"),
+        cd.name().trim_start_matches("ptb_"),
+        config.tc_blocks,
+        config.cd_blocks
+    );
+    let def = tc.derive(
+        name,
+        KernelKind::Fused,
+        tacker_kernel::Dim3::x(threads),
+        usage,
+        body,
+        true,
+    )?;
+    Ok(FusedKernel {
+        def: Arc::new(def),
+        config,
+        tc_name: tc.name().trim_start_matches("ptb_").to_string(),
+        cd_name: cd.name().trim_start_matches("ptb_").to_string(),
+    })
+}
+
+/// Enumerates every feasible fusion ratio for the pair on the given SM.
+///
+/// With [`PackPriority::TensorFirst`] the list is ordered by descending
+/// `tc_blocks` then descending `cd_blocks` (the paper's packing); with
+/// [`PackPriority::CudaFirst`] the converse.
+pub fn enumerate_configs(
+    tc: &KernelDef,
+    cd: &KernelDef,
+    sm: &SmCapacity,
+    priority: PackPriority,
+) -> Vec<FusionConfig> {
+    let tc_threads = (tc.block_dim().total() as u32).max(1);
+    let cd_threads = (cd.block_dim().total() as u32).max(1);
+    let max_tc = (1024 / tc_threads).clamp(1, 8);
+    let max_cd = (1024 / cd_threads).clamp(1, 8);
+    let mut out = Vec::new();
+    for a in (1..=max_tc).rev() {
+        for b in (1..=max_cd).rev() {
+            let config = FusionConfig {
+                tc_blocks: a,
+                cd_blocks: b,
+            };
+            if config_footprint(tc, cd, config, sm).is_ok() {
+                out.push(config);
+            }
+        }
+    }
+    match priority {
+        PackPriority::TensorFirst => {
+            out.sort_by(|x, y| {
+                y.tc_blocks
+                    .cmp(&x.tc_blocks)
+                    .then(y.cd_blocks.cmp(&x.cd_blocks))
+            });
+        }
+        PackPriority::CudaFirst => {
+            out.sort_by(|x, y| {
+                y.cd_blocks
+                    .cmp(&x.cd_blocks)
+                    .then(y.tc_blocks.cmp(&x.tc_blocks))
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacker_kernel::Dim3;
+
+    fn tc_kernel(smem: u64) -> KernelDef {
+        KernelDef::builder("gemm", KernelKind::Tensor)
+            .block_dim(Dim3::x(128))
+            .resources(ResourceUsage::new(48, smem))
+            .param("k_iters")
+            .body(vec![Stmt::loop_over(
+                "k",
+                Expr::param("k_iters"),
+                vec![
+                    Stmt::global_load("a", Expr::lit(64), 0.8),
+                    Stmt::sync_threads(),
+                    Stmt::compute_tc(Expr::lit(256), "wmma::mma_sync"),
+                    Stmt::sync_threads(),
+                ],
+            )])
+            .build()
+            .unwrap()
+    }
+
+    fn cd_kernel(smem: u64) -> KernelDef {
+        KernelDef::builder("fft", KernelKind::Cuda)
+            .block_dim(Dim3::x(256))
+            .resources(ResourceUsage::new(32, smem))
+            .body(vec![
+                Stmt::global_load("x", Expr::lit(32), 0.5),
+                Stmt::compute_cd(Expr::lit(128), "butterfly"),
+                Stmt::global_store("y", Expr::lit(32), 0.0),
+            ])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn fuse_produces_thread_ranges_and_prefixed_params() {
+        let fused = fuse_flexible(
+            &tc_kernel(8192),
+            &cd_kernel(4096),
+            FusionConfig {
+                tc_blocks: 2,
+                cd_blocks: 1,
+            },
+            &SmCapacity::TURING,
+        )
+        .unwrap();
+        let def = fused.def();
+        assert_eq!(def.kind(), KernelKind::Fused);
+        assert!(def.is_ptb());
+        assert_eq!(def.block_dim().total(), 2 * 128 + 256);
+        assert_eq!(def.body().len(), 3);
+        assert!(def.params().iter().any(|p| p == "tc_k_iters"));
+        assert!(def
+            .params()
+            .iter()
+            .any(|p| p == "tc_original_block_num"));
+        // Fused smem adds up.
+        assert_eq!(def.resources().shared_mem_bytes, 2 * 8192 + 4096);
+        // Registers take the max.
+        assert_eq!(def.resources().registers_per_thread, 48);
+    }
+
+    #[test]
+    fn sync_threads_rewritten_with_distinct_ids_per_copy() {
+        let fused = fuse_flexible(
+            &tc_kernel(0),
+            &cd_kernel(0),
+            FusionConfig {
+                tc_blocks: 2,
+                cd_blocks: 1,
+            },
+            &SmCapacity::TURING,
+        )
+        .unwrap();
+        // No __syncthreads left.
+        assert!(!fused.def().body().iter().any(Stmt::contains_sync_threads));
+        // Copies use distinct bar ids (1 and 2; cd kernel has no sync).
+        let src = tacker_kernel::source::render(fused.def());
+        assert!(src.contains("bar.sync 1, 128"));
+        assert!(src.contains("bar.sync 2, 128"));
+        assert!(!src.contains("__syncthreads"));
+    }
+
+    #[test]
+    fn launch_binds_grids_and_prefixes() {
+        let fused = fuse_flexible(
+            &tc_kernel(0),
+            &cd_kernel(0),
+            FusionConfig {
+                tc_blocks: 2,
+                cd_blocks: 1,
+            },
+            &SmCapacity::TURING,
+        )
+        .unwrap();
+        let mut tc_b = Bindings::new();
+        tc_b.insert("k_iters".into(), 8);
+        let launch = fused.launch(1000, 400, &tc_b, &Bindings::new());
+        assert_eq!(launch.bindings.get("tc_original_block_num"), Some(&1000));
+        assert_eq!(launch.bindings.get("cd_original_block_num"), Some(&400));
+        assert_eq!(launch.bindings.get("tc_k_iters"), Some(&8));
+        assert_eq!(launch.grid_blocks, 500);
+    }
+
+    #[test]
+    fn work_split_across_copies_is_exact() {
+        // Lower a 2-copy fusion and check the copies' original_blocks sum to
+        // the component grid for both even and odd grids.
+        for grid in [10u64, 11, 1, 2, 999] {
+            let fused = fuse_flexible(
+                &tc_kernel(0),
+                &cd_kernel(0),
+                FusionConfig {
+                    tc_blocks: 2,
+                    cd_blocks: 1,
+                },
+                &SmCapacity::TURING,
+            )
+            .unwrap();
+            let mut tcb = Bindings::new();
+            tcb.insert("k_iters".into(), 4);
+            let launch = fused.launch(grid, 5, &tcb, &Bindings::new());
+            let bp =
+                tacker_kernel::lower_block(fused.def(), launch.grid_blocks, &launch.bindings)
+                    .unwrap();
+            let tc_total: u64 = bp
+                .roles
+                .iter()
+                .filter(|r| r.name.contains("[0.."))
+                .map(|r| r.original_blocks)
+                .sum::<u64>()
+                + bp.roles[1].original_blocks;
+            // roles 0 and 1 are the two TC copies.
+            let tc_sum = bp.roles[0].original_blocks + bp.roles[1].original_blocks;
+            let _ = tc_total;
+            assert_eq!(tc_sum, grid, "grid {grid}");
+            assert_eq!(bp.roles[2].original_blocks, 5);
+        }
+    }
+
+    #[test]
+    fn kind_mismatch_rejected() {
+        let err = fuse_flexible(
+            &cd_kernel(0),
+            &cd_kernel(0),
+            FusionConfig::ONE_TO_ONE,
+            &SmCapacity::TURING,
+        )
+        .unwrap_err();
+        assert!(matches!(err, FuseError::KindMismatch { .. }));
+    }
+
+    #[test]
+    fn resource_overflow_detected() {
+        // 40 KB + 40 KB > 64 KB Turing SM.
+        let err = fuse_flexible(
+            &tc_kernel(40 * 1024),
+            &cd_kernel(40 * 1024),
+            FusionConfig::ONE_TO_ONE,
+            &SmCapacity::TURING,
+        )
+        .unwrap_err();
+        assert!(matches!(err, FuseError::ResourceOverflow { .. }));
+        // ...but fits on Volta's 96 KB SM (paper §VIII-F).
+        assert!(fuse_flexible(
+            &tc_kernel(40 * 1024),
+            &cd_kernel(40 * 1024),
+            FusionConfig::ONE_TO_ONE,
+            &SmCapacity::VOLTA,
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn thread_limit_detected() {
+        let err = fuse_flexible(
+            &tc_kernel(0),
+            &cd_kernel(0),
+            FusionConfig {
+                tc_blocks: 8,
+                cd_blocks: 1,
+            },
+            &SmCapacity::TURING,
+        )
+        .unwrap_err();
+        assert!(matches!(err, FuseError::TooManyThreads { .. }));
+    }
+
+    #[test]
+    fn enumerate_lists_feasible_ratios_tensor_first() {
+        let configs = enumerate_configs(
+            &tc_kernel(8192),
+            &cd_kernel(4096),
+            &SmCapacity::TURING,
+            PackPriority::TensorFirst,
+        );
+        assert!(!configs.is_empty());
+        assert!(configs.contains(&FusionConfig::ONE_TO_ONE));
+        // Ordered by descending tc_blocks.
+        assert!(configs[0].tc_blocks >= configs.last().unwrap().tc_blocks);
+        // All feasible.
+        for c in &configs {
+            assert!(
+                fuse_flexible(&tc_kernel(8192), &cd_kernel(4096), *c, &SmCapacity::TURING).is_ok()
+            );
+        }
+    }
+
+    #[test]
+    fn enumerate_cuda_first_reorders() {
+        let t = tc_kernel(0);
+        let c = cd_kernel(0);
+        let tf = enumerate_configs(&t, &c, &SmCapacity::TURING, PackPriority::TensorFirst);
+        let cf = enumerate_configs(&t, &c, &SmCapacity::TURING, PackPriority::CudaFirst);
+        assert_eq!(tf.len(), cf.len());
+        assert!(cf[0].cd_blocks >= tf[0].cd_blocks);
+    }
+
+    #[test]
+    fn ptb_inputs_are_unwrapped() {
+        let ptb_tc = crate::ptb::to_ptb(&tc_kernel(0)).unwrap();
+        let ptb_cd = crate::ptb::to_ptb(&cd_kernel(0)).unwrap();
+        let fused =
+            fuse_flexible(&ptb_tc, &ptb_cd, FusionConfig::ONE_TO_ONE, &SmCapacity::TURING)
+                .unwrap();
+        // No doubly-nested PTB loops.
+        let src = tacker_kernel::source::render(fused.def());
+        assert_eq!(src.matches("block_pos += issued_block_num").count(), 2);
+    }
+}

@@ -1,0 +1,34 @@
+//! The Tensor-CUDA Core kernel fuser (§V of the paper).
+//!
+//! The fuser is a source-to-source compiler over the [`tacker_kernel`] AST.
+//! It provides the paper's three fusion mechanisms:
+//!
+//! * [`ptb::to_ptb`] — the Persistent-Thread-Block transform (Fig. 7) that
+//!   makes a kernel's grid size static so fusion can happen *offline*,
+//!   before inputs are known;
+//! * [`direct::fuse_direct`] — naive direct fusion (Fig. 5), which needs
+//!   both grids up front and therefore only works online (the strawman the
+//!   paper measures at ~900 ms of JIT cost);
+//! * [`flexible::fuse_flexible`] — PTB-based fusion at a configurable
+//!   `tc_blocks : cd_blocks` ratio (Fig. 8), with TC blocks packed first,
+//!   plus [`flexible::enumerate_configs`] to generate every feasible ratio
+//!   and [`select::select_best`] to pick the fastest candidate (or decline
+//!   to fuse when sequential execution wins, §V-C).
+//!
+//! Block-wide `__syncthreads()` inside a fused branch would deadlock; the
+//! fuser rewrites every one into a partial `bar.sync id, cnt` barrier with a
+//! branch-private id ([`barrier`], Fig. 9).
+
+pub mod barrier;
+pub mod direct;
+pub mod error;
+pub mod flexible;
+pub mod ptb;
+pub mod rename;
+pub mod select;
+
+pub use direct::fuse_direct;
+pub use error::FuseError;
+pub use flexible::{enumerate_configs, fuse_flexible, FusedKernel, FusionConfig, PackPriority};
+pub use ptb::to_ptb;
+pub use select::{select_best, FusionDecision};

@@ -1,0 +1,157 @@
+//! The Persistent-Thread-Block transform (§V-B, Fig. 7).
+//!
+//! PTB fixes a kernel's issued block count by wrapping the body in
+//!
+//! ```cuda
+//! for (int block_pos = blockIdx.x;
+//!      block_pos < original_block_num;
+//!      block_pos += issued_block_num) { ... }
+//! ```
+//!
+//! so the original grid size becomes a *parameter* rather than a launch
+//! dimension. With the grid static, fused kernels can be compiled offline
+//! and still adapt to dynamic inputs at runtime — the property direct
+//! fusion lacks.
+
+use tacker_kernel::ast::{Expr, Stmt};
+use tacker_kernel::KernelDef;
+
+use crate::error::FuseError;
+
+/// The parameter name the PTB loop reads the original grid size from.
+pub const ORIGINAL_BLOCKS_PARAM: &str = "original_block_num";
+
+/// Applies the PTB transform, producing a new definition named
+/// `ptb_<name>`.
+///
+/// Idempotent: a definition that is already PTB is returned unchanged
+/// (cloned).
+///
+/// # Errors
+///
+/// Returns [`FuseError::Misaligned`] if the block is not warp-aligned, and
+/// propagates IR errors.
+///
+/// # Examples
+///
+/// ```
+/// use tacker_kernel::{ast::*, Dim3, KernelDef, KernelKind, ResourceUsage};
+/// let def = KernelDef::builder("cd_kernel", KernelKind::Cuda)
+///     .block_dim(Dim3::x(128))
+///     .resources(ResourceUsage::new(32, 0))
+///     .body(vec![Stmt::compute_cd(Expr::lit(64), "work")])
+///     .build()
+///     .unwrap();
+/// let ptb = tacker_fuser::to_ptb(&def).unwrap();
+/// assert!(ptb.is_ptb());
+/// assert_eq!(ptb.name(), "ptb_cd_kernel");
+/// ```
+pub fn to_ptb(def: &KernelDef) -> Result<KernelDef, FuseError> {
+    if def.is_ptb() {
+        return Ok(def.clone());
+    }
+    if def.is_opaque() {
+        return Err(FuseError::OpaqueSource {
+            kernel: def.name().to_string(),
+        });
+    }
+    let threads = def.block_dim().total();
+    if !threads.is_multiple_of(u64::from(tacker_kernel::WARP_SIZE)) {
+        return Err(FuseError::Misaligned {
+            kernel: def.name().to_string(),
+            threads,
+        });
+    }
+    let body = vec![Stmt::PtbLoop {
+        original_blocks: Expr::param(ORIGINAL_BLOCKS_PARAM),
+        body: def.body().to_vec(),
+    }];
+    Ok(def.derive(
+        format!("ptb_{}", def.name()),
+        def.kind(),
+        def.block_dim(),
+        *def.resources(),
+        body,
+        true,
+    )?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacker_kernel::{Bindings, Dim3, KernelKind, ResourceUsage};
+
+    fn base() -> KernelDef {
+        KernelDef::builder("k", KernelKind::Cuda)
+            .block_dim(Dim3::x(128))
+            .resources(ResourceUsage::new(32, 2048))
+            .param("iters")
+            .body(vec![Stmt::loop_over(
+                "i",
+                Expr::param("iters"),
+                vec![Stmt::compute_cd(Expr::lit(8), "fma")],
+            )])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn transform_wraps_body_and_declares_param() {
+        let ptb = to_ptb(&base()).unwrap();
+        assert!(ptb.is_ptb());
+        assert!(matches!(ptb.body()[0], Stmt::PtbLoop { .. }));
+        assert!(ptb.params().contains(&ORIGINAL_BLOCKS_PARAM.to_string()));
+        assert!(ptb.params().contains(&"iters".to_string()));
+        // Resources unchanged.
+        assert_eq!(ptb.resources(), base().resources());
+    }
+
+    #[test]
+    fn transform_is_idempotent() {
+        let once = to_ptb(&base()).unwrap();
+        let twice = to_ptb(&once).unwrap();
+        assert_eq!(once.name(), twice.name());
+        assert_eq!(once.body(), twice.body());
+    }
+
+    #[test]
+    fn misaligned_block_rejected() {
+        let def = KernelDef::builder("odd", KernelKind::Cuda)
+            .block_dim(Dim3::x(100))
+            .body(vec![Stmt::compute_cd(Expr::lit(1), "fma")])
+            .build()
+            .unwrap();
+        assert!(matches!(
+            to_ptb(&def),
+            Err(FuseError::Misaligned { .. })
+        ));
+    }
+
+    #[test]
+    fn ptb_kernel_preserves_total_work() {
+        // Lowering the PTB version with original_block_num = N must yield a
+        // role covering N original blocks.
+        let ptb = to_ptb(&base()).unwrap();
+        let mut b = Bindings::new();
+        b.insert("iters".into(), 4);
+        b.insert(ORIGINAL_BLOCKS_PARAM.into(), 777);
+        let bp = tacker_kernel::lower_block(&ptb, 68, &b).unwrap();
+        assert_eq!(bp.roles[0].original_blocks, 777);
+        // Per-iteration work identical to the original kernel's block work.
+        let orig_bp = tacker_kernel::lower_block(&base(), 777, &b).unwrap();
+        assert_eq!(
+            bp.roles[0].program.total_compute(tacker_kernel::ComputeUnit::Cuda),
+            orig_bp.roles[0]
+                .program
+                .total_compute(tacker_kernel::ComputeUnit::Cuda)
+        );
+    }
+
+    #[test]
+    fn rendered_source_matches_fig7() {
+        let ptb = to_ptb(&base()).unwrap();
+        let src = tacker_kernel::source::render(&ptb);
+        assert!(src.contains("block_pos += issued_block_num"));
+        assert!(src.contains("block_pos < original_block_num"));
+    }
+}

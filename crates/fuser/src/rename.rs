@@ -1,0 +1,148 @@
+//! AST rewriting utilities shared by the fusion transforms.
+//!
+//! Fusing two kernels places both bodies in one function, so their launch
+//! parameters must not collide: each component's parameters are renamed with
+//! a branch prefix (`tc_`, `cd_`), and the launch glue binds them with the
+//! same prefixes.
+
+use tacker_kernel::ast::{Expr, Stmt};
+
+/// Applies `f` to every parameter name in an expression.
+pub fn map_expr_params(expr: &Expr, f: &impl Fn(&str) -> String) -> Expr {
+    match expr {
+        Expr::Lit(v) => Expr::Lit(*v),
+        Expr::BlockIdx => Expr::BlockIdx,
+        Expr::Param(p) => Expr::Param(f(p)),
+        Expr::Add(a, b) => Expr::Add(
+            Box::new(map_expr_params(a, f)),
+            Box::new(map_expr_params(b, f)),
+        ),
+        Expr::Mul(a, b) => Expr::Mul(
+            Box::new(map_expr_params(a, f)),
+            Box::new(map_expr_params(b, f)),
+        ),
+        Expr::CeilDiv(a, b) => Expr::CeilDiv(
+            Box::new(map_expr_params(a, f)),
+            Box::new(map_expr_params(b, f)),
+        ),
+        Expr::Div(a, b) => Expr::Div(
+            Box::new(map_expr_params(a, f)),
+            Box::new(map_expr_params(b, f)),
+        ),
+    }
+}
+
+/// Applies `f` to every parameter name in a statement tree.
+pub fn map_stmt_params(stmt: &Stmt, f: &impl Fn(&str) -> String) -> Stmt {
+    match stmt {
+        Stmt::SharedDecl { name, bytes } => Stmt::SharedDecl {
+            name: name.clone(),
+            bytes: *bytes,
+        },
+        Stmt::Loop { var, count, body } => Stmt::Loop {
+            var: var.clone(),
+            count: map_expr_params(count, f),
+            body: body.iter().map(|s| map_stmt_params(s, f)).collect(),
+        },
+        Stmt::Compute {
+            unit,
+            ops_per_thread,
+            desc,
+        } => Stmt::Compute {
+            unit: *unit,
+            ops_per_thread: map_expr_params(ops_per_thread, f),
+            desc: desc.clone(),
+        },
+        Stmt::MemAccess {
+            dir,
+            space,
+            bytes_per_thread,
+            locality,
+            buffer,
+        } => Stmt::MemAccess {
+            dir: *dir,
+            space: *space,
+            bytes_per_thread: map_expr_params(bytes_per_thread, f),
+            locality: *locality,
+            buffer: buffer.clone(),
+        },
+        Stmt::SyncThreads => Stmt::SyncThreads,
+        Stmt::BarSync { id, count_threads } => Stmt::BarSync {
+            id: *id,
+            count_threads: *count_threads,
+        },
+        Stmt::ThreadRange { lo, hi, body } => Stmt::ThreadRange {
+            lo: *lo,
+            hi: *hi,
+            body: body.iter().map(|s| map_stmt_params(s, f)).collect(),
+        },
+        Stmt::BlockGuard { limit, body } => Stmt::BlockGuard {
+            limit: map_expr_params(limit, f),
+            body: body.iter().map(|s| map_stmt_params(s, f)).collect(),
+        },
+        Stmt::PtbLoop {
+            original_blocks,
+            body,
+        } => Stmt::PtbLoop {
+            original_blocks: map_expr_params(original_blocks, f),
+            body: body.iter().map(|s| map_stmt_params(s, f)).collect(),
+        },
+    }
+}
+
+/// Prefixes every parameter name in `body` with `prefix`.
+pub fn prefix_params(body: &[Stmt], prefix: &str) -> Vec<Stmt> {
+    let f = |p: &str| format!("{prefix}{p}");
+    body.iter().map(|s| map_stmt_params(s, &f)).collect()
+}
+
+/// Prefixes every key of a binding map (used by the launch glue so
+/// component-kernel bindings line up with the renamed parameters).
+pub fn prefix_bindings(
+    bindings: &tacker_kernel::Bindings,
+    prefix: &str,
+) -> tacker_kernel::Bindings {
+    bindings
+        .iter()
+        .map(|(k, v)| (format!("{prefix}{k}"), *v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_renames_nested_params() {
+        let body = vec![Stmt::loop_over(
+            "k",
+            Expr::param("iters"),
+            vec![Stmt::compute_cd(
+                Expr::param("ops").mul(Expr::lit(2)),
+                "fma",
+            )],
+        )];
+        let renamed = prefix_params(&body, "cd_");
+        let mut params = Vec::new();
+        for s in &renamed {
+            s.collect_params(&mut params);
+        }
+        assert_eq!(params, vec!["cd_iters".to_string(), "cd_ops".to_string()]);
+    }
+
+    #[test]
+    fn literals_and_block_idx_untouched() {
+        let e = Expr::BlockIdx.add(Expr::lit(5));
+        let out = map_expr_params(&e, &|p| format!("x_{p}"));
+        assert_eq!(out, e);
+    }
+
+    #[test]
+    fn bindings_prefix_round_trip() {
+        let mut b = tacker_kernel::Bindings::new();
+        b.insert("iters".into(), 7);
+        let pb = prefix_bindings(&b, "tc_");
+        assert_eq!(pb.get("tc_iters"), Some(&7));
+        assert_eq!(pb.len(), 1);
+    }
+}

@@ -1,0 +1,186 @@
+//! Candidate measurement and best-of selection (§V-C).
+//!
+//! "We create all possible fused kernels for two kernels, measure these
+//! candidates' performance and two kernels' sequential performance, and
+//! choose the best one among them. If the sequential case shows the best
+//! performance, we do not fuse the two kernels."
+//!
+//! The fuser stays independent of the simulator by taking the measurement as
+//! a closure; the runtime crate supplies one backed by the simulated device.
+
+use tacker_kernel::SimTime;
+
+use crate::error::FuseError;
+use crate::flexible::FusedKernel;
+
+/// The outcome of offline candidate selection for one kernel pair.
+#[derive(Debug, Clone)]
+pub enum FusionDecision {
+    /// Fuse with this candidate; `fused_duration` is its measured duration
+    /// for the profiling workload.
+    Fuse {
+        /// The winning fused kernel.
+        kernel: FusedKernel,
+        /// Measured duration of the winning candidate.
+        fused_duration: SimTime,
+        /// Measured duration of running the pair sequentially.
+        sequential_duration: SimTime,
+    },
+    /// Sequential execution was fastest (or nothing was feasible): do not
+    /// fuse this pair.
+    RunSequential {
+        /// Measured duration of running the pair sequentially.
+        sequential_duration: SimTime,
+    },
+}
+
+impl FusionDecision {
+    /// The fused kernel, if fusion won.
+    pub fn fused(&self) -> Option<&FusedKernel> {
+        match self {
+            FusionDecision::Fuse { kernel, .. } => Some(kernel),
+            FusionDecision::RunSequential { .. } => None,
+        }
+    }
+
+    /// Whether fusion won.
+    pub fn is_fuse(&self) -> bool {
+        matches!(self, FusionDecision::Fuse { .. })
+    }
+}
+
+/// Measures every candidate with `measure` and picks the fastest, falling
+/// back to sequential execution when nothing beats it.
+///
+/// `measure` returns `None` for candidates that fail to execute (e.g. a
+/// ratio that deadlocks or cannot launch); those are skipped.
+///
+/// # Errors
+///
+/// Returns [`FuseError::NoFeasibleConfig`] only when `candidates` is empty
+/// *and* `sequential_duration` is zero (nothing to compare at all).
+pub fn select_best<M>(
+    candidates: Vec<FusedKernel>,
+    sequential_duration: SimTime,
+    mut measure: M,
+) -> Result<FusionDecision, FuseError>
+where
+    M: FnMut(&FusedKernel) -> Option<SimTime>,
+{
+    if candidates.is_empty() && sequential_duration == SimTime::ZERO {
+        return Err(FuseError::NoFeasibleConfig);
+    }
+    let mut best: Option<(FusedKernel, SimTime)> = None;
+    for cand in candidates {
+        if let Some(d) = measure(&cand) {
+            match &best {
+                Some((_, b)) if *b <= d => {}
+                _ => best = Some((cand, d)),
+            }
+        }
+    }
+    match best {
+        Some((kernel, fused_duration)) if fused_duration < sequential_duration => {
+            Ok(FusionDecision::Fuse {
+                kernel,
+                fused_duration,
+                sequential_duration,
+            })
+        }
+        _ => Ok(FusionDecision::RunSequential {
+            sequential_duration,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flexible::{fuse_flexible, FusionConfig};
+    use tacker_kernel::ast::{Expr, Stmt};
+    use tacker_kernel::{Dim3, KernelDef, KernelKind, ResourceUsage, SmCapacity};
+
+    fn pair() -> (KernelDef, KernelDef) {
+        let tc = KernelDef::builder("g", KernelKind::Tensor)
+            .block_dim(Dim3::x(64))
+            .resources(ResourceUsage::new(32, 0))
+            .body(vec![Stmt::compute_tc(Expr::lit(64), "mma")])
+            .build()
+            .unwrap();
+        let cd = KernelDef::builder("c", KernelKind::Cuda)
+            .block_dim(Dim3::x(64))
+            .resources(ResourceUsage::new(32, 0))
+            .body(vec![Stmt::compute_cd(Expr::lit(64), "fma")])
+            .build()
+            .unwrap();
+        (tc, cd)
+    }
+
+    fn candidates() -> Vec<FusedKernel> {
+        let (tc, cd) = pair();
+        vec![
+            fuse_flexible(&tc, &cd, FusionConfig::ONE_TO_ONE, &SmCapacity::TURING).unwrap(),
+            fuse_flexible(
+                &tc,
+                &cd,
+                FusionConfig {
+                    tc_blocks: 2,
+                    cd_blocks: 1,
+                },
+                &SmCapacity::TURING,
+            )
+            .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn picks_fastest_candidate() {
+        let decision = select_best(candidates(), SimTime::from_micros(100), |c| {
+            Some(if c.config().tc_blocks == 2 {
+                SimTime::from_micros(40)
+            } else {
+                SimTime::from_micros(60)
+            })
+        })
+        .unwrap();
+        let fused = decision.fused().expect("should fuse");
+        assert_eq!(fused.config().tc_blocks, 2);
+    }
+
+    #[test]
+    fn falls_back_to_sequential_when_fusion_loses() {
+        let decision = select_best(candidates(), SimTime::from_micros(10), |_| {
+            Some(SimTime::from_micros(50))
+        })
+        .unwrap();
+        assert!(!decision.is_fuse());
+    }
+
+    #[test]
+    fn failed_measurements_are_skipped() {
+        let decision = select_best(candidates(), SimTime::from_micros(100), |c| {
+            if c.config().tc_blocks == 2 {
+                None // pretend this ratio deadlocked
+            } else {
+                Some(SimTime::from_micros(60))
+            }
+        })
+        .unwrap();
+        assert_eq!(decision.fused().unwrap().config().tc_blocks, 1);
+    }
+
+    #[test]
+    fn all_failures_mean_sequential() {
+        let decision =
+            select_best(candidates(), SimTime::from_micros(100), |_| None).unwrap();
+        assert!(!decision.is_fuse());
+    }
+
+    #[test]
+    fn empty_and_zero_is_an_error() {
+        assert!(matches!(
+            select_best(Vec::new(), SimTime::ZERO, |_| None),
+            Err(FuseError::NoFeasibleConfig)
+        ));
+    }
+}

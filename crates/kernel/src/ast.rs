@@ -1,0 +1,478 @@
+//! A miniature CUDA-like abstract syntax tree.
+//!
+//! The AST models just enough of a CUDA kernel for the paper's transforms to
+//! be expressed structurally:
+//!
+//! * counted loops whose bounds may depend on kernel parameters (so the PTB
+//!   transform can wrap a body in a `for (block_pos = blockIdx.x; ...)` loop);
+//! * compute statements attributed to a specific execution unit (Tensor Core
+//!   or CUDA Core), which is what makes Tensor-CUDA fusion meaningful;
+//! * global/shared memory accesses with a locality hint;
+//! * block-wide `__syncthreads()` and the partial `bar.sync id, cnt` barriers
+//!   the fuser rewrites them into (§V-D, Fig. 9);
+//! * thread-range guards (`if (threadIdx.x < n)`) used by direct fusion
+//!   (Fig. 5) and block-position guards used by PTB fusion.
+//!
+//! Statements carry small CUDA-flavoured description strings purely for the
+//! source renderer; the simulator only looks at the structural fields.
+
+use std::fmt;
+
+/// Which execution unit a compute statement occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ComputeUnit {
+    /// Tensor Cores (HMMA/IMMA pipelines).
+    Tensor,
+    /// CUDA Cores (FP32/INT ALU pipelines).
+    Cuda,
+}
+
+impl fmt::Display for ComputeUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComputeUnit::Tensor => write!(f, "tensor"),
+            ComputeUnit::Cuda => write!(f, "cuda"),
+        }
+    }
+}
+
+/// Memory access direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemDir {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+/// Which address space a memory access targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemSpace {
+    /// Device global memory (through L1/L2/DRAM).
+    Global,
+    /// On-chip shared memory.
+    Shared,
+}
+
+/// A side-effect-free integer expression.
+///
+/// Expressions appear as loop bounds, operation sizes and guard limits. They
+/// are evaluated against a parameter binding at lowering time.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A literal constant.
+    Lit(u64),
+    /// A named kernel parameter (bound at launch).
+    Param(String),
+    /// `blockIdx.x` — flagged so the PTB transform can find and rewrite it.
+    BlockIdx,
+    /// Sum of two expressions.
+    Add(Box<Expr>, Box<Expr>),
+    /// Product of two expressions.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Ceiling division.
+    CeilDiv(Box<Expr>, Box<Expr>),
+    /// Floor division.
+    Div(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// A literal.
+    pub fn lit(v: u64) -> Expr {
+        Expr::Lit(v)
+    }
+
+    /// A named parameter reference.
+    pub fn param(name: impl Into<String>) -> Expr {
+        Expr::Param(name.into())
+    }
+
+    /// `self + rhs`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self * rhs`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, rhs: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(rhs))
+    }
+
+    /// `ceil(self / rhs)`.
+    pub fn ceil_div(self, rhs: Expr) -> Expr {
+        Expr::CeilDiv(Box::new(self), Box::new(rhs))
+    }
+
+    /// `floor(self / rhs)`.
+    pub fn floor_div(self, rhs: Expr) -> Expr {
+        Expr::Div(Box::new(self), Box::new(rhs))
+    }
+
+    /// Names of all parameters referenced by this expression, appended to
+    /// `out`.
+    pub fn collect_params(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Lit(_) | Expr::BlockIdx => {}
+            Expr::Param(p) => {
+                if !out.contains(p) {
+                    out.push(p.clone());
+                }
+            }
+            Expr::Add(a, b) | Expr::Mul(a, b) | Expr::CeilDiv(a, b) | Expr::Div(a, b) => {
+                a.collect_params(out);
+                b.collect_params(out);
+            }
+        }
+    }
+
+    /// Whether the expression mentions `blockIdx`.
+    pub fn uses_block_idx(&self) -> bool {
+        match self {
+            Expr::BlockIdx => true,
+            Expr::Lit(_) | Expr::Param(_) => false,
+            Expr::Add(a, b) | Expr::Mul(a, b) | Expr::CeilDiv(a, b) | Expr::Div(a, b) => {
+                a.uses_block_idx() || b.uses_block_idx()
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Param(p) => write!(f, "{p}"),
+            Expr::BlockIdx => write!(f, "blockIdx.x"),
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Mul(a, b) => write!(f, "({a} * {b})"),
+            Expr::CeilDiv(a, b) => write!(f, "(({a} + {b} - 1) / {b})"),
+            Expr::Div(a, b) => write!(f, "({a} / {b})"),
+        }
+    }
+}
+
+/// A statement in the kernel body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `__shared__ char name[bytes];`
+    SharedDecl {
+        /// Buffer name.
+        name: String,
+        /// Size in bytes.
+        bytes: u64,
+    },
+    /// `for (int var = 0; var < count; ++var) { body }`
+    Loop {
+        /// Loop variable name.
+        var: String,
+        /// Trip count.
+        count: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// A chunk of arithmetic on one execution unit.
+    ///
+    /// `ops_per_thread` counts fused-multiply-add–equivalent operations each
+    /// thread performs (for Tensor statements this is the per-thread share of
+    /// the warp-wide MMA).
+    Compute {
+        /// Unit the work occupies.
+        unit: ComputeUnit,
+        /// FMA-equivalent ops per thread.
+        ops_per_thread: Expr,
+        /// CUDA-flavoured text for the renderer.
+        desc: String,
+    },
+    /// A global- or shared-memory access.
+    MemAccess {
+        /// Load or store.
+        dir: MemDir,
+        /// Address space.
+        space: MemSpace,
+        /// Bytes moved per thread.
+        bytes_per_thread: Expr,
+        /// Fraction of global traffic served by on-chip caches in `[0, 1]`.
+        locality: f64,
+        /// Buffer name for the renderer.
+        buffer: String,
+    },
+    /// Block-wide `__syncthreads()`.
+    SyncThreads,
+    /// Partial barrier `asm volatile("bar.sync id, cnt")` — the fuser's
+    /// replacement for [`Stmt::SyncThreads`] inside one branch of a fused
+    /// kernel.
+    BarSync {
+        /// Hardware barrier id (0..16).
+        id: u16,
+        /// Number of threads that must arrive.
+        count_threads: u32,
+    },
+    /// Guard limiting the enclosed statements to threads with
+    /// `lo <= threadIdx.x < hi` (direct fusion's branch split, Fig. 5).
+    ThreadRange {
+        /// Inclusive lower thread id.
+        lo: u32,
+        /// Exclusive upper thread id.
+        hi: u32,
+        /// Guarded body.
+        body: Vec<Stmt>,
+    },
+    /// Guard limiting the enclosed statements to blocks with
+    /// `block_pos < limit` (used after grid-size alignment in fusion).
+    BlockGuard {
+        /// Exclusive block-position bound.
+        limit: Expr,
+        /// Guarded body.
+        body: Vec<Stmt>,
+    },
+    /// The persistent-thread-block loop inserted by the PTB transform:
+    /// `for (block_pos = blockIdx.x; block_pos < original_block_num;
+    /// block_pos += issued_block_num) { body }` (Fig. 7).
+    PtbLoop {
+        /// Parameter holding the original grid size.
+        original_blocks: Expr,
+        /// The per-original-block work.
+        body: Vec<Stmt>,
+    },
+}
+
+impl Stmt {
+    /// `__shared__` declaration.
+    pub fn shared_decl(name: impl Into<String>, bytes: u64) -> Stmt {
+        Stmt::SharedDecl {
+            name: name.into(),
+            bytes,
+        }
+    }
+
+    /// Counted loop.
+    pub fn loop_over(var: impl Into<String>, count: Expr, body: Vec<Stmt>) -> Stmt {
+        Stmt::Loop {
+            var: var.into(),
+            count,
+            body,
+        }
+    }
+
+    /// CUDA-Core compute chunk.
+    pub fn compute_cd(ops_per_thread: Expr, desc: impl Into<String>) -> Stmt {
+        Stmt::Compute {
+            unit: ComputeUnit::Cuda,
+            ops_per_thread,
+            desc: desc.into(),
+        }
+    }
+
+    /// Tensor-Core compute chunk.
+    pub fn compute_tc(ops_per_thread: Expr, desc: impl Into<String>) -> Stmt {
+        Stmt::Compute {
+            unit: ComputeUnit::Tensor,
+            ops_per_thread,
+            desc: desc.into(),
+        }
+    }
+
+    /// Global load with a cache-locality hint.
+    pub fn global_load(buffer: impl Into<String>, bytes_per_thread: Expr, locality: f64) -> Stmt {
+        Stmt::MemAccess {
+            dir: MemDir::Read,
+            space: MemSpace::Global,
+            bytes_per_thread,
+            locality,
+            buffer: buffer.into(),
+        }
+    }
+
+    /// Global store (stores are modelled as fully write-through).
+    pub fn global_store(buffer: impl Into<String>, bytes_per_thread: Expr, locality: f64) -> Stmt {
+        Stmt::MemAccess {
+            dir: MemDir::Write,
+            space: MemSpace::Global,
+            bytes_per_thread,
+            locality,
+            buffer: buffer.into(),
+        }
+    }
+
+    /// Shared-memory access.
+    pub fn shared_access(dir: MemDir, buffer: impl Into<String>, bytes_per_thread: Expr) -> Stmt {
+        Stmt::MemAccess {
+            dir,
+            space: MemSpace::Shared,
+            bytes_per_thread,
+            locality: 1.0,
+            buffer: buffer.into(),
+        }
+    }
+
+    /// `__syncthreads()`.
+    pub fn sync_threads() -> Stmt {
+        Stmt::SyncThreads
+    }
+
+    /// Walks the statement tree, appending every referenced parameter name.
+    pub fn collect_params(&self, out: &mut Vec<String>) {
+        match self {
+            Stmt::SharedDecl { .. } | Stmt::SyncThreads | Stmt::BarSync { .. } => {}
+            Stmt::Loop { count, body, .. } => {
+                count.collect_params(out);
+                for s in body {
+                    s.collect_params(out);
+                }
+            }
+            Stmt::Compute { ops_per_thread, .. } => ops_per_thread.collect_params(out),
+            Stmt::MemAccess {
+                bytes_per_thread, ..
+            } => bytes_per_thread.collect_params(out),
+            Stmt::ThreadRange { body, .. } => {
+                for s in body {
+                    s.collect_params(out);
+                }
+            }
+            Stmt::BlockGuard { limit, body } => {
+                limit.collect_params(out);
+                for s in body {
+                    s.collect_params(out);
+                }
+            }
+            Stmt::PtbLoop {
+                original_blocks,
+                body,
+            } => {
+                original_blocks.collect_params(out);
+                for s in body {
+                    s.collect_params(out);
+                }
+            }
+        }
+    }
+
+    /// Total shared memory declared in this statement subtree.
+    pub fn shared_bytes(&self) -> u64 {
+        match self {
+            Stmt::SharedDecl { bytes, .. } => *bytes,
+            Stmt::Loop { body, .. }
+            | Stmt::ThreadRange { body, .. }
+            | Stmt::BlockGuard { body, .. }
+            | Stmt::PtbLoop { body, .. } => body.iter().map(Stmt::shared_bytes).sum(),
+            _ => 0,
+        }
+    }
+
+    /// Whether this subtree contains a block-wide `__syncthreads()`.
+    pub fn contains_sync_threads(&self) -> bool {
+        match self {
+            Stmt::SyncThreads => true,
+            Stmt::Loop { body, .. }
+            | Stmt::ThreadRange { body, .. }
+            | Stmt::BlockGuard { body, .. }
+            | Stmt::PtbLoop { body, .. } => body.iter().any(Stmt::contains_sync_threads),
+            _ => false,
+        }
+    }
+
+    /// Whether this subtree contains a PTB loop.
+    pub fn contains_ptb_loop(&self) -> bool {
+        match self {
+            Stmt::PtbLoop { .. } => true,
+            Stmt::Loop { body, .. }
+            | Stmt::ThreadRange { body, .. }
+            | Stmt::BlockGuard { body, .. } => body.iter().any(Stmt::contains_ptb_loop),
+            _ => false,
+        }
+    }
+
+    /// Which units this subtree computes on: (uses_tensor, uses_cuda).
+    pub fn unit_usage(&self) -> (bool, bool) {
+        match self {
+            Stmt::Compute { unit, .. } => match unit {
+                ComputeUnit::Tensor => (true, false),
+                ComputeUnit::Cuda => (false, true),
+            },
+            Stmt::Loop { body, .. }
+            | Stmt::ThreadRange { body, .. }
+            | Stmt::BlockGuard { body, .. }
+            | Stmt::PtbLoop { body, .. } => body.iter().fold((false, false), |(t, c), s| {
+                let (st, sc) = s.unit_usage();
+                (t || st, c || sc)
+            }),
+            _ => (false, false),
+        }
+    }
+}
+
+/// Unit usage over a whole body slice: (uses_tensor, uses_cuda).
+pub fn body_unit_usage(body: &[Stmt]) -> (bool, bool) {
+    body.iter().fold((false, false), |(t, c), s| {
+        let (st, sc) = s.unit_usage();
+        (t || st, c || sc)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_body() -> Vec<Stmt> {
+        vec![
+            Stmt::shared_decl("tile", 2048),
+            Stmt::loop_over(
+                "k",
+                Expr::param("k_iters"),
+                vec![
+                    Stmt::global_load("a", Expr::lit(64), 0.5),
+                    Stmt::sync_threads(),
+                    Stmt::compute_tc(Expr::param("mma_ops"), "wmma::mma_sync(...)"),
+                ],
+            ),
+        ]
+    }
+
+    #[test]
+    fn params_collected_once() {
+        let mut p = Vec::new();
+        for s in sample_body() {
+            s.collect_params(&mut p);
+        }
+        assert_eq!(p, vec!["k_iters".to_string(), "mma_ops".to_string()]);
+    }
+
+    #[test]
+    fn shared_bytes_summed_through_nesting() {
+        let body = vec![Stmt::loop_over(
+            "i",
+            Expr::lit(2),
+            vec![Stmt::shared_decl("a", 100), Stmt::shared_decl("b", 28)],
+        )];
+        assert_eq!(body.iter().map(Stmt::shared_bytes).sum::<u64>(), 128);
+    }
+
+    #[test]
+    fn sync_detection() {
+        let body = sample_body();
+        assert!(body.iter().any(Stmt::contains_sync_threads));
+        let no_sync = vec![Stmt::compute_cd(Expr::lit(1), "x")];
+        assert!(!no_sync.iter().any(Stmt::contains_sync_threads));
+    }
+
+    #[test]
+    fn unit_usage_propagates() {
+        let (t, c) = body_unit_usage(&sample_body());
+        assert!(t);
+        assert!(!c);
+        let mixed = vec![
+            Stmt::compute_tc(Expr::lit(1), "mma"),
+            Stmt::compute_cd(Expr::lit(1), "fma"),
+        ];
+        assert_eq!(body_unit_usage(&mixed), (true, true));
+    }
+
+    #[test]
+    fn expr_display_and_block_idx() {
+        let e = Expr::BlockIdx.mul(Expr::lit(4)).add(Expr::param("n"));
+        assert_eq!(format!("{e}"), "((blockIdx.x * 4) + n)");
+        assert!(e.uses_block_idx());
+        assert!(!Expr::param("n").uses_block_idx());
+    }
+}

@@ -1,0 +1,140 @@
+//! Launch geometry: CUDA-style 3-component dimensions and grid/block sizes.
+
+use std::fmt;
+
+use crate::WARP_SIZE;
+
+/// A CUDA `dim3`: the x/y/z extent of a grid or thread block.
+///
+/// ```
+/// use tacker_kernel::Dim3;
+/// let block = Dim3::xy(16, 16);
+/// assert_eq!(block.total(), 256);
+/// assert_eq!(block.warps(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dim3 {
+    /// Extent along x.
+    pub x: u32,
+    /// Extent along y.
+    pub y: u32,
+    /// Extent along z.
+    pub z: u32,
+}
+
+impl Dim3 {
+    /// A one-dimensional extent.
+    pub const fn x(x: u32) -> Self {
+        Dim3 { x, y: 1, z: 1 }
+    }
+
+    /// A two-dimensional extent.
+    pub const fn xy(x: u32, y: u32) -> Self {
+        Dim3 { x, y, z: 1 }
+    }
+
+    /// A three-dimensional extent.
+    pub const fn xyz(x: u32, y: u32, z: u32) -> Self {
+        Dim3 { x, y, z }
+    }
+
+    /// Total number of elements (threads or blocks).
+    pub const fn total(self) -> u64 {
+        self.x as u64 * self.y as u64 * self.z as u64
+    }
+
+    /// Number of warps needed for this many threads (rounded up).
+    pub const fn warps(self) -> u32 {
+        self.total().div_ceil(WARP_SIZE as u64) as u32
+    }
+}
+
+impl Default for Dim3 {
+    fn default() -> Self {
+        Dim3::x(1)
+    }
+}
+
+impl fmt::Display for Dim3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.z == 1 && self.y == 1 {
+            write!(f, "{}", self.x)
+        } else if self.z == 1 {
+            write!(f, "({},{})", self.x, self.y)
+        } else {
+            write!(f, "({},{},{})", self.x, self.y, self.z)
+        }
+    }
+}
+
+/// The complete launch geometry of a kernel invocation: its grid and block
+/// dimensions.
+///
+/// The grid dimension is the *dynamic* part determined by the task input at
+/// runtime — the quantity the paper's PTB transform exists to make static.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LaunchGeometry {
+    /// Blocks in the grid.
+    pub grid: Dim3,
+    /// Threads per block.
+    pub block: Dim3,
+}
+
+impl LaunchGeometry {
+    /// Creates a launch geometry.
+    pub const fn new(grid: Dim3, block: Dim3) -> Self {
+        LaunchGeometry { grid, block }
+    }
+
+    /// Total number of thread blocks.
+    pub const fn blocks(self) -> u64 {
+        self.grid.total()
+    }
+
+    /// Threads per block.
+    pub const fn threads_per_block(self) -> u64 {
+        self.block.total()
+    }
+
+    /// Total threads in the launch.
+    pub const fn total_threads(self) -> u64 {
+        self.blocks() * self.threads_per_block()
+    }
+}
+
+impl fmt::Display for LaunchGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<<<{}, {}>>>", self.grid, self.block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_warps() {
+        assert_eq!(Dim3::x(1).total(), 1);
+        assert_eq!(Dim3::xyz(4, 3, 2).total(), 24);
+        assert_eq!(Dim3::x(33).warps(), 2);
+        assert_eq!(Dim3::x(32).warps(), 1);
+        assert_eq!(Dim3::x(1).warps(), 1);
+    }
+
+    #[test]
+    fn geometry_totals() {
+        let g = LaunchGeometry::new(Dim3::xy(8, 8), Dim3::x(128));
+        assert_eq!(g.blocks(), 64);
+        assert_eq!(g.threads_per_block(), 128);
+        assert_eq!(g.total_threads(), 8192);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", Dim3::x(7)), "7");
+        assert_eq!(format!("{}", Dim3::xy(2, 3)), "(2,3)");
+        assert_eq!(format!("{}", Dim3::xyz(2, 3, 4)), "(2,3,4)");
+        let g = LaunchGeometry::new(Dim3::x(10), Dim3::x(256));
+        assert_eq!(format!("{g}"), "<<<10, 256>>>");
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type for kernel construction, lowering and evaluation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, binding or lowering kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// A referenced parameter has no binding.
+    UnboundParam {
+        /// Kernel name.
+        kernel: String,
+        /// Missing parameter name.
+        param: String,
+    },
+    /// The kernel definition is structurally invalid.
+    InvalidDefinition {
+        /// Kernel name.
+        kernel: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An expression evaluated to a value that overflows or is out of range.
+    EvalOverflow {
+        /// Offending expression, rendered.
+        expr: String,
+    },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::UnboundParam { kernel, param } => {
+                write!(f, "kernel `{kernel}`: parameter `{param}` is not bound")
+            }
+            KernelError::InvalidDefinition { kernel, reason } => {
+                write!(f, "kernel `{kernel}` is invalid: {reason}")
+            }
+            KernelError::EvalOverflow { expr } => {
+                write!(f, "expression `{expr}` overflowed during evaluation")
+            }
+        }
+    }
+}
+
+impl Error for KernelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = KernelError::UnboundParam {
+            kernel: "sgemm".into(),
+            param: "k_iters".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "kernel `sgemm`: parameter `k_iters` is not bound"
+        );
+        let e = KernelError::InvalidDefinition {
+            kernel: "x".into(),
+            reason: "empty body".into(),
+        };
+        assert!(e.to_string().contains("empty body"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<KernelError>();
+    }
+}

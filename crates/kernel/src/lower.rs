@@ -1,0 +1,533 @@
+//! Lowering from the kernel AST to per-warp timing programs.
+//!
+//! Lowering walks a [`KernelDef`]'s body with the launch's parameter
+//! [`Bindings`] and produces a [`BlockProgram`]:
+//!
+//! * uniform bodies produce a single [`WarpRole`] covering every warp;
+//! * top-level [`Stmt::ThreadRange`] guards (the structure direct and PTB
+//!   fusion emit) produce one role per range;
+//! * loops are unrolled up to [`LowerOptions::max_unroll`] iterations; longer
+//!   loops are emitted at that granularity with each op's magnitude scaled so
+//!   total work is preserved;
+//! * `__syncthreads()` lowers to barrier 0 expecting **all** warps in the
+//!   block, while `bar.sync id, cnt` lowers to barrier `id` expecting
+//!   `cnt / 32` warps — reproducing the semantics that make un-rewritten
+//!   synchronization deadlock inside fused kernels (§V-D).
+
+use crate::ast::{Expr, Stmt};
+use crate::error::KernelError;
+use crate::kernel::{Bindings, KernelDef};
+use crate::segments::{BlockProgram, Op, WarpProgram, WarpRole};
+use crate::WARP_SIZE;
+
+/// Tuning knobs for lowering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LowerOptions {
+    /// Maximum loop iterations emitted literally; longer loops are chunked
+    /// into exactly this many scaled iterations.
+    pub max_unroll: u64,
+}
+
+impl Default for LowerOptions {
+    fn default() -> Self {
+        LowerOptions { max_unroll: 16 }
+    }
+}
+
+/// Evaluates an expression against parameter bindings.
+///
+/// # Errors
+///
+/// Returns [`KernelError::UnboundParam`] for missing parameters and
+/// [`KernelError::InvalidDefinition`] if the expression uses `blockIdx`
+/// (work-size expressions must be block-position independent once the PTB
+/// transform has run).
+pub fn eval_expr(expr: &Expr, kernel: &str, bindings: &Bindings) -> Result<u64, KernelError> {
+    match expr {
+        Expr::Lit(v) => Ok(*v),
+        Expr::Param(p) => bindings
+            .get(p)
+            .copied()
+            .ok_or_else(|| KernelError::UnboundParam {
+                kernel: kernel.to_string(),
+                param: p.clone(),
+            }),
+        Expr::BlockIdx => Err(KernelError::InvalidDefinition {
+            kernel: kernel.to_string(),
+            reason: "blockIdx.x used in a work-size expression".to_string(),
+        }),
+        Expr::Add(a, b) => {
+            let (a, b) = (
+                eval_expr(a, kernel, bindings)?,
+                eval_expr(b, kernel, bindings)?,
+            );
+            a.checked_add(b).ok_or_else(|| KernelError::EvalOverflow {
+                expr: format!("{expr}"),
+            })
+        }
+        Expr::Mul(a, b) => {
+            let (a, b) = (
+                eval_expr(a, kernel, bindings)?,
+                eval_expr(b, kernel, bindings)?,
+            );
+            a.checked_mul(b).ok_or_else(|| KernelError::EvalOverflow {
+                expr: format!("{expr}"),
+            })
+        }
+        Expr::CeilDiv(a, b) => {
+            let (a, b) = (
+                eval_expr(a, kernel, bindings)?,
+                eval_expr(b, kernel, bindings)?,
+            );
+            if b == 0 {
+                return Err(KernelError::EvalOverflow {
+                    expr: format!("{expr}"),
+                });
+            }
+            Ok(a.div_ceil(b))
+        }
+        Expr::Div(a, b) => {
+            let (a, b) = (
+                eval_expr(a, kernel, bindings)?,
+                eval_expr(b, kernel, bindings)?,
+            );
+            if b == 0 {
+                return Err(KernelError::EvalOverflow {
+                    expr: format!("{expr}"),
+                });
+            }
+            Ok(a / b)
+        }
+    }
+}
+
+struct Lowerer<'a> {
+    kernel: &'a str,
+    bindings: &'a Bindings,
+    opts: LowerOptions,
+    ops: Vec<Op>,
+    /// Warps that __syncthreads() (barrier 0) must expect; set per role.
+    block_warps: u32,
+    used_sync_threads: bool,
+}
+
+impl Lowerer<'_> {
+    fn lower_stmts(&mut self, stmts: &[Stmt], scale: f64) -> Result<(), KernelError> {
+        for s in stmts {
+            self.lower_stmt(s, scale)?;
+        }
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt, scale: f64) -> Result<(), KernelError> {
+        match stmt {
+            Stmt::SharedDecl { .. } => Ok(()),
+            Stmt::Loop { count, body, .. } => {
+                let n = eval_expr(count, self.kernel, self.bindings)?;
+                if n == 0 {
+                    return Ok(());
+                }
+                if n <= self.opts.max_unroll {
+                    for _ in 0..n {
+                        self.lower_stmts(body, scale)?;
+                    }
+                } else {
+                    let chunk_scale = scale * (n as f64 / self.opts.max_unroll as f64);
+                    for _ in 0..self.opts.max_unroll {
+                        self.lower_stmts(body, chunk_scale)?;
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Compute {
+                unit,
+                ops_per_thread,
+                ..
+            } => {
+                let per_thread = eval_expr(ops_per_thread, self.kernel, self.bindings)?;
+                let warp_ops = (per_thread as f64 * WARP_SIZE as f64 * scale).round() as u64;
+                if warp_ops > 0 {
+                    self.ops.push(Op::Compute {
+                        unit: *unit,
+                        ops: warp_ops,
+                    });
+                }
+                Ok(())
+            }
+            Stmt::MemAccess {
+                dir,
+                space,
+                bytes_per_thread,
+                locality,
+                ..
+            } => {
+                let per_thread = eval_expr(bytes_per_thread, self.kernel, self.bindings)?;
+                let warp_bytes = (per_thread as f64 * WARP_SIZE as f64 * scale).round() as u64;
+                if warp_bytes > 0 {
+                    self.ops.push(Op::Memory {
+                        dir: *dir,
+                        space: *space,
+                        bytes: warp_bytes,
+                        locality: locality.clamp(0.0, 1.0),
+                    });
+                }
+                Ok(())
+            }
+            Stmt::SyncThreads => {
+                self.used_sync_threads = true;
+                self.ops.push(Op::Barrier { id: 0 });
+                Ok(())
+            }
+            Stmt::BarSync { id, .. } => {
+                self.ops.push(Op::Barrier { id: *id });
+                Ok(())
+            }
+            Stmt::ThreadRange { .. } => Err(KernelError::InvalidDefinition {
+                kernel: self.kernel.to_string(),
+                reason: "nested ThreadRange guards are not supported".to_string(),
+            }),
+            Stmt::BlockGuard { body, .. } => {
+                // The guard trims which original block positions run the
+                // body; per-position work is unchanged. Role-level
+                // `original_blocks` accounting handles the trimming.
+                self.lower_stmts(body, scale)
+            }
+            Stmt::PtbLoop { body, .. } => {
+                // One iteration of the PTB loop is one original block's
+                // work; the engine multiplies by the per-block iteration
+                // count.
+                self.lower_stmts(body, scale)
+            }
+        }
+    }
+}
+
+/// Context describing how many original blocks each role must cover.
+#[derive(Debug, Clone, Copy)]
+struct RoleWork {
+    original_blocks: u64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn role_from_stmts(
+    name: &str,
+    warps: u32,
+    block_warps: u32,
+    stmts: &[Stmt],
+    work: RoleWork,
+    kernel: &str,
+    bindings: &Bindings,
+    opts: LowerOptions,
+) -> Result<(WarpRole, bool), KernelError> {
+    let mut low = Lowerer {
+        kernel,
+        bindings,
+        opts,
+        ops: Vec::new(),
+        block_warps,
+        used_sync_threads: false,
+    };
+    // Unwrap a leading PTB loop / block guard to find this role's work size.
+    let mut body = stmts;
+    let mut original_blocks = work.original_blocks;
+    loop {
+        match body {
+            [Stmt::PtbLoop {
+                original_blocks: ob,
+                body: inner,
+            }] => {
+                original_blocks = eval_expr(ob, kernel, bindings)?;
+                body = inner;
+            }
+            [Stmt::BlockGuard { limit, body: inner }] => {
+                original_blocks = original_blocks.min(eval_expr(limit, kernel, bindings)?);
+                body = inner;
+            }
+            _ => break,
+        }
+    }
+    low.lower_stmts(body, 1.0)?;
+    let _ = low.block_warps;
+    Ok((
+        WarpRole {
+            name: name.to_string(),
+            warps,
+            program: WarpProgram::new(low.ops),
+            original_blocks,
+        },
+        low.used_sync_threads,
+    ))
+}
+
+/// Lowers a kernel definition into a block program.
+///
+/// `grid_blocks` is the *original* grid size; for PTB kernels the body's
+/// `PtbLoop` statement supplies it from a parameter instead, and
+/// `grid_blocks` is the issued grid.
+///
+/// # Errors
+///
+/// Propagates [`KernelError`] for unbound parameters, invalid structure and
+/// arithmetic overflow.
+pub fn lower_block(
+    def: &KernelDef,
+    grid_blocks: u64,
+    bindings: &Bindings,
+) -> Result<BlockProgram, KernelError> {
+    lower_block_with(def, grid_blocks, bindings, LowerOptions::default())
+}
+
+/// [`lower_block`] with explicit options.
+pub fn lower_block_with(
+    def: &KernelDef,
+    grid_blocks: u64,
+    bindings: &Bindings,
+    opts: LowerOptions,
+) -> Result<BlockProgram, KernelError> {
+    let block_warps = def.block_dim().warps();
+    let body = def.body();
+    let default_work = RoleWork {
+        original_blocks: grid_blocks,
+    };
+
+    // Peel a whole-body PTB loop so the fused ThreadRange split (which PTB
+    // fusion nests *inside* per-role PTB loops) and the plain PTB form are
+    // both handled.
+    let top: &[Stmt] = body;
+    let ranges: Vec<&Stmt> = top
+        .iter()
+        .filter(|s| matches!(s, Stmt::ThreadRange { .. }))
+        .collect();
+
+    let mut any_sync_threads = false;
+    let mut roles = Vec::new();
+    if ranges.len() == top.len() && !ranges.is_empty() {
+        // Fused form: every top-level statement is a thread-range guard.
+        for s in top {
+            let Stmt::ThreadRange { lo, hi, body } = s else {
+                unreachable!("filtered above")
+            };
+            if hi <= lo || (hi - lo) % WARP_SIZE != 0 || lo % WARP_SIZE != 0 {
+                return Err(KernelError::InvalidDefinition {
+                    kernel: def.name().to_string(),
+                    reason: format!("thread range [{lo}, {hi}) is not warp-aligned"),
+                });
+            }
+            let warps = (hi - lo) / WARP_SIZE;
+            let (role, sync) = role_from_stmts(
+                &format!("{}[{}..{})", def.name(), lo, hi),
+                warps,
+                block_warps,
+                body,
+                default_work,
+                def.name(),
+                bindings,
+                opts,
+            )?;
+            any_sync_threads |= sync;
+            roles.push(role);
+        }
+    } else if ranges.is_empty() {
+        let (role, sync) = role_from_stmts(
+            def.name(),
+            block_warps,
+            block_warps,
+            top,
+            default_work,
+            def.name(),
+            bindings,
+            opts,
+        )?;
+        any_sync_threads |= sync;
+        roles.push(role);
+    } else {
+        return Err(KernelError::InvalidDefinition {
+            kernel: def.name().to_string(),
+            reason: "thread-range guards must cover the whole top level".to_string(),
+        });
+    }
+
+    let mut program = BlockProgram::new(roles);
+    if any_sync_threads {
+        // __syncthreads() is block-wide: barrier 0 expects *every* warp in
+        // the block, not just those of the role that invoked it.
+        program.set_barrier_expectation(0, block_warps);
+    }
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{ComputeUnit, Expr};
+    use crate::dims::Dim3;
+    use crate::kernel::KernelKind;
+    use crate::resources::ResourceUsage;
+
+    fn bindings(pairs: &[(&str, u64)]) -> Bindings {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    fn simple_def(body: Vec<Stmt>, params: &[&str]) -> KernelDef {
+        let mut b = KernelDef::builder("t", KernelKind::Cuda)
+            .block_dim(Dim3::x(128))
+            .resources(ResourceUsage::new(32, 0))
+            .body(body);
+        for p in params {
+            b = b.param(*p);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn eval_expr_arith() {
+        let b = bindings(&[("n", 7)]);
+        let e = Expr::param("n").mul(Expr::lit(3)).add(Expr::lit(1));
+        assert_eq!(eval_expr(&e, "k", &b).unwrap(), 22);
+        let e = Expr::lit(10).ceil_div(Expr::lit(4));
+        assert_eq!(eval_expr(&e, "k", &b).unwrap(), 3);
+    }
+
+    #[test]
+    fn eval_expr_errors() {
+        let b = Bindings::new();
+        assert!(matches!(
+            eval_expr(&Expr::param("x"), "k", &b),
+            Err(KernelError::UnboundParam { .. })
+        ));
+        assert!(matches!(
+            eval_expr(&Expr::BlockIdx, "k", &b),
+            Err(KernelError::InvalidDefinition { .. })
+        ));
+        let div0 = Expr::lit(1).ceil_div(Expr::lit(0));
+        assert!(matches!(
+            eval_expr(&div0, "k", &b),
+            Err(KernelError::EvalOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn uniform_body_single_role() {
+        let def = simple_def(
+            vec![Stmt::compute_cd(Expr::lit(10), "fma")],
+            &[],
+        );
+        let bp = lower_block(&def, 8, &Bindings::new()).unwrap();
+        assert_eq!(bp.roles.len(), 1);
+        assert_eq!(bp.roles[0].warps, 4);
+        assert_eq!(bp.roles[0].original_blocks, 8);
+        // 10 ops/thread × 32 threads/warp = 320 warp-wide ops.
+        assert_eq!(bp.roles[0].program.total_compute(ComputeUnit::Cuda), 320);
+    }
+
+    #[test]
+    fn small_loop_unrolled_large_loop_scaled() {
+        let small = simple_def(
+            vec![Stmt::loop_over(
+                "k",
+                Expr::lit(4),
+                vec![Stmt::compute_cd(Expr::lit(2), "fma")],
+            )],
+            &[],
+        );
+        let bp = lower_block(&small, 1, &Bindings::new()).unwrap();
+        assert_eq!(bp.roles[0].program.ops.len(), 4);
+        assert_eq!(bp.roles[0].program.total_compute(ComputeUnit::Cuda), 4 * 64);
+
+        let large = simple_def(
+            vec![Stmt::loop_over(
+                "k",
+                Expr::lit(64),
+                vec![Stmt::compute_cd(Expr::lit(2), "fma")],
+            )],
+            &[],
+        );
+        let bp = lower_block(&large, 1, &Bindings::new()).unwrap();
+        // Chunked to max_unroll = 16, total work preserved.
+        assert_eq!(bp.roles[0].program.ops.len(), 16);
+        assert_eq!(bp.roles[0].program.total_compute(ComputeUnit::Cuda), 64 * 64);
+    }
+
+    #[test]
+    fn sync_threads_expects_whole_block() {
+        let def = simple_def(
+            vec![
+                Stmt::sync_threads(),
+                Stmt::compute_cd(Expr::lit(1), "fma"),
+            ],
+            &[],
+        );
+        let bp = lower_block(&def, 1, &Bindings::new()).unwrap();
+        assert_eq!(bp.barrier(0).unwrap().expected_warps, 4);
+    }
+
+    #[test]
+    fn thread_ranges_become_roles() {
+        let body = vec![
+            Stmt::ThreadRange {
+                lo: 0,
+                hi: 64,
+                body: vec![Stmt::compute_tc(Expr::lit(8), "mma")],
+            },
+            Stmt::ThreadRange {
+                lo: 64,
+                hi: 128,
+                body: vec![Stmt::compute_cd(Expr::lit(8), "fma")],
+            },
+        ];
+        let def = simple_def(body, &[]);
+        let bp = lower_block(&def, 4, &Bindings::new()).unwrap();
+        assert_eq!(bp.roles.len(), 2);
+        assert_eq!(bp.roles[0].warps, 2);
+        assert_eq!(bp.roles[1].warps, 2);
+        assert_eq!(bp.roles[0].program.total_compute(ComputeUnit::Tensor), 256);
+        assert_eq!(bp.roles[1].program.total_compute(ComputeUnit::Cuda), 256);
+    }
+
+    #[test]
+    fn ptb_loop_sets_original_blocks() {
+        let body = vec![Stmt::PtbLoop {
+            original_blocks: Expr::param("orig"),
+            body: vec![Stmt::compute_cd(Expr::lit(1), "fma")],
+        }];
+        let def = simple_def(body, &["orig"]);
+        let bp = lower_block(&def, 8, &bindings(&[("orig", 100)])).unwrap();
+        assert_eq!(bp.roles[0].original_blocks, 100);
+    }
+
+    #[test]
+    fn misaligned_thread_range_rejected() {
+        let body = vec![Stmt::ThreadRange {
+            lo: 0,
+            hi: 40,
+            body: vec![Stmt::compute_cd(Expr::lit(1), "fma")],
+        }];
+        let def = simple_def(body, &[]);
+        assert!(lower_block(&def, 1, &Bindings::new()).is_err());
+    }
+
+    #[test]
+    fn mixed_top_level_rejected() {
+        let body = vec![
+            Stmt::ThreadRange {
+                lo: 0,
+                hi: 64,
+                body: vec![Stmt::compute_cd(Expr::lit(1), "fma")],
+            },
+            Stmt::compute_cd(Expr::lit(1), "fma"),
+        ];
+        let def = simple_def(body, &[]);
+        assert!(lower_block(&def, 1, &Bindings::new()).is_err());
+    }
+
+    #[test]
+    fn block_guard_trims_work() {
+        let body = vec![Stmt::BlockGuard {
+            limit: Expr::param("lim"),
+            body: vec![Stmt::compute_cd(Expr::lit(1), "fma")],
+        }];
+        let def = simple_def(body, &["lim"]);
+        let bp = lower_block(&def, 10, &bindings(&[("lim", 6)])).unwrap();
+        assert_eq!(bp.roles[0].original_blocks, 6);
+    }
+}

@@ -1,0 +1,301 @@
+//! Lowered per-warp timing programs.
+//!
+//! The discrete-event simulator does not interpret the AST directly; kernels
+//! are lowered ([`crate::lower`]) into a [`BlockProgram`]: a set of
+//! [`WarpRole`]s, each describing a group of warps in the thread block that
+//! execute the same [`Op`] sequence. A plain kernel has one role covering the
+//! whole block; a fused kernel has one role per component kernel — exactly
+//! the heterogeneous-warp structure of the paper's Fig. 6.
+
+use std::fmt;
+
+use crate::ast::{ComputeUnit, MemDir, MemSpace};
+use crate::WARP_SIZE;
+
+/// One warp-granularity operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Occupy a compute pipeline for `ops` FMA-equivalent operations
+    /// (warp-wide total).
+    Compute {
+        /// Pipeline to occupy.
+        unit: ComputeUnit,
+        /// Warp-wide FMA-equivalent operation count.
+        ops: u64,
+    },
+    /// Move `bytes` (warp-wide) through the memory system.
+    Memory {
+        /// Load or store.
+        dir: MemDir,
+        /// Address space.
+        space: MemSpace,
+        /// Warp-wide bytes.
+        bytes: u64,
+        /// Fraction of global traffic served on-chip, in `[0, 1]`.
+        locality: f64,
+    },
+    /// Arrive at named barrier `id` and wait for the expected warp count.
+    Barrier {
+        /// Hardware barrier id.
+        id: u16,
+    },
+}
+
+impl Op {
+    /// FMA-equivalent compute work carried by this op on the given unit.
+    pub fn compute_ops(&self, on: ComputeUnit) -> u64 {
+        match self {
+            Op::Compute { unit, ops } if *unit == on => *ops,
+            _ => 0,
+        }
+    }
+
+    /// Bytes of global DRAM-side traffic implied by this op (after locality
+    /// filtering).
+    pub fn dram_bytes(&self) -> f64 {
+        match self {
+            Op::Memory {
+                space: MemSpace::Global,
+                bytes,
+                locality,
+                ..
+            } => *bytes as f64 * (1.0 - locality),
+            _ => 0.0,
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Compute { unit, ops } => write!(f, "compute[{unit}] {ops} ops"),
+            Op::Memory {
+                dir, space, bytes, ..
+            } => {
+                let d = match dir {
+                    MemDir::Read => "ld",
+                    MemDir::Write => "st",
+                };
+                let s = match space {
+                    MemSpace::Global => "global",
+                    MemSpace::Shared => "shared",
+                };
+                write!(f, "{d}.{s} {bytes} B")
+            }
+            Op::Barrier { id } => write!(f, "bar.sync {id}"),
+        }
+    }
+}
+
+/// The op sequence one warp executes for one unit of work (one original
+/// thread block's worth, in PTB terms).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WarpProgram {
+    /// Ops in issue order.
+    pub ops: Vec<Op>,
+}
+
+impl WarpProgram {
+    /// Creates a program from ops.
+    pub fn new(ops: Vec<Op>) -> Self {
+        WarpProgram { ops }
+    }
+
+    /// Total FMA-equivalent work on a unit, per execution of the program.
+    pub fn total_compute(&self, unit: ComputeUnit) -> u64 {
+        self.ops.iter().map(|o| o.compute_ops(unit)).sum()
+    }
+
+    /// Total warp-wide global-memory bytes (pre-locality).
+    pub fn total_global_bytes(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|o| match o {
+                Op::Memory {
+                    space: MemSpace::Global,
+                    bytes,
+                    ..
+                } => *bytes,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Barrier ids used by this program, deduplicated, in first-use order.
+    pub fn barrier_ids(&self) -> Vec<u16> {
+        let mut ids = Vec::new();
+        for op in &self.ops {
+            if let Op::Barrier { id } = op {
+                if !ids.contains(id) {
+                    ids.push(*id);
+                }
+            }
+        }
+        ids
+    }
+}
+
+/// A group of warps within the block executing the same program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarpRole {
+    /// Human-readable role name (component kernel name).
+    pub name: String,
+    /// Number of warps in this role.
+    pub warps: u32,
+    /// The per-work-unit program.
+    pub program: WarpProgram,
+    /// Total work units (original thread blocks) this role must cover across
+    /// the whole launch. The engine divides these among issued blocks.
+    pub original_blocks: u64,
+}
+
+impl WarpRole {
+    /// Threads covered by this role.
+    pub fn threads(&self) -> u32 {
+        self.warps * WARP_SIZE
+    }
+}
+
+/// Expected arrivals at one named barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierSpec {
+    /// Barrier id.
+    pub id: u16,
+    /// Warps that must arrive before the barrier releases.
+    pub expected_warps: u32,
+}
+
+/// The lowered program for one thread block shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockProgram {
+    /// Warp groups, in thread-id order.
+    pub roles: Vec<WarpRole>,
+    /// Expected warp arrivals per barrier id.
+    pub barriers: Vec<BarrierSpec>,
+}
+
+impl BlockProgram {
+    /// Builds a program and derives the barrier table: each barrier id
+    /// expects arrivals from every warp of every role that uses it.
+    pub fn new(roles: Vec<WarpRole>) -> Self {
+        let mut barriers: Vec<BarrierSpec> = Vec::new();
+        for role in &roles {
+            for id in role.program.barrier_ids() {
+                match barriers.iter_mut().find(|b| b.id == id) {
+                    Some(b) => b.expected_warps += role.warps,
+                    None => barriers.push(BarrierSpec {
+                        id,
+                        expected_warps: role.warps,
+                    }),
+                }
+            }
+        }
+        BlockProgram { roles, barriers }
+    }
+
+    /// Total warps per block.
+    pub fn warps(&self) -> u32 {
+        self.roles.iter().map(|r| r.warps).sum()
+    }
+
+    /// Total threads per block.
+    pub fn threads(&self) -> u32 {
+        self.warps() * WARP_SIZE
+    }
+
+    /// Expected arrivals for barrier `id`, if any role uses it.
+    pub fn barrier(&self, id: u16) -> Option<BarrierSpec> {
+        self.barriers.iter().copied().find(|b| b.id == id)
+    }
+
+    /// Overrides the expected arrival count for barrier `id`.
+    ///
+    /// Lowering uses this to give block-wide `__syncthreads()` semantics
+    /// (barrier 0 expects *all* warps in the block, even those of roles that
+    /// never arrive) — which is precisely how a fused kernel that kept
+    /// `__syncthreads()` deadlocks, as §V-D warns.
+    pub fn set_barrier_expectation(&mut self, id: u16, expected_warps: u32) {
+        match self.barriers.iter_mut().find(|b| b.id == id) {
+            Some(b) => b.expected_warps = expected_warps,
+            None => self.barriers.push(BarrierSpec { id, expected_warps }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compute(unit: ComputeUnit, ops: u64) -> Op {
+        Op::Compute { unit, ops }
+    }
+
+    #[test]
+    fn program_totals() {
+        let p = WarpProgram::new(vec![
+            compute(ComputeUnit::Tensor, 100),
+            compute(ComputeUnit::Cuda, 40),
+            Op::Memory {
+                dir: MemDir::Read,
+                space: MemSpace::Global,
+                bytes: 256,
+                locality: 0.75,
+            },
+            Op::Barrier { id: 3 },
+            Op::Barrier { id: 3 },
+            Op::Barrier { id: 5 },
+        ]);
+        assert_eq!(p.total_compute(ComputeUnit::Tensor), 100);
+        assert_eq!(p.total_compute(ComputeUnit::Cuda), 40);
+        assert_eq!(p.total_global_bytes(), 256);
+        assert_eq!(p.barrier_ids(), vec![3, 5]);
+    }
+
+    #[test]
+    fn dram_bytes_respects_locality() {
+        let op = Op::Memory {
+            dir: MemDir::Read,
+            space: MemSpace::Global,
+            bytes: 1000,
+            locality: 0.9,
+        };
+        assert!((op.dram_bytes() - 100.0).abs() < 1e-9);
+        let shared = Op::Memory {
+            dir: MemDir::Read,
+            space: MemSpace::Shared,
+            bytes: 1000,
+            locality: 0.0,
+        };
+        assert_eq!(shared.dram_bytes(), 0.0);
+    }
+
+    #[test]
+    fn barrier_table_sums_role_warps() {
+        let role = |name: &str, warps, ids: &[u16]| WarpRole {
+            name: name.into(),
+            warps,
+            program: WarpProgram::new(ids.iter().map(|&id| Op::Barrier { id }).collect()),
+            original_blocks: 1,
+        };
+        let bp = BlockProgram::new(vec![role("tc", 2, &[1]), role("cd", 4, &[2]), role("x", 1, &[1])]);
+        assert_eq!(bp.warps(), 7);
+        assert_eq!(bp.threads(), 224);
+        assert_eq!(bp.barrier(1).unwrap().expected_warps, 3);
+        assert_eq!(bp.barrier(2).unwrap().expected_warps, 4);
+        assert!(bp.barrier(9).is_none());
+    }
+
+    #[test]
+    fn barrier_expectation_override() {
+        let mut bp = BlockProgram::new(vec![WarpRole {
+            name: "a".into(),
+            warps: 2,
+            program: WarpProgram::new(vec![Op::Barrier { id: 0 }]),
+            original_blocks: 1,
+        }]);
+        bp.set_barrier_expectation(0, 6);
+        assert_eq!(bp.barrier(0).unwrap().expected_warps, 6);
+        bp.set_barrier_expectation(7, 1);
+        assert_eq!(bp.barrier(7).unwrap().expected_warps, 1);
+    }
+}

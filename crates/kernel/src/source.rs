@@ -1,0 +1,257 @@
+//! Rendering kernel definitions back to CUDA-flavoured source text.
+//!
+//! The paper's fuser is a source-to-source compiler; this module shows the
+//! text our structural transforms correspond to. The renderer output mirrors
+//! the paper's listings: Fig. 5 (direct fusion guards), Fig. 7 (the PTB
+//! loop) and Fig. 9 (`bar.sync` partial barriers).
+
+use std::fmt::Write as _;
+
+use crate::ast::{ComputeUnit, MemDir, MemSpace, Stmt};
+use crate::kernel::KernelDef;
+
+/// Renders a kernel definition as CUDA-like source.
+///
+/// ```
+/// use tacker_kernel::{ast::*, Dim3, KernelDef, KernelKind, ResourceUsage};
+/// let def = KernelDef::builder("axpy", KernelKind::Cuda)
+///     .block_dim(Dim3::x(256))
+///     .resources(ResourceUsage::new(16, 0))
+///     .body(vec![Stmt::compute_cd(Expr::lit(2), "y[i] = a * x[i] + y[i]")])
+///     .build()
+///     .unwrap();
+/// let src = tacker_kernel::source::render(&def);
+/// assert!(src.contains("__global__ void axpy("));
+/// ```
+pub fn render(def: &KernelDef) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "// kind: {} | block: {} threads | {}",
+        def.kind(),
+        def.block_dim().total(),
+        def.resources()
+    );
+    let mut sig: Vec<String> = vec!["float* __restrict__ data".to_string()];
+    for p in def.params() {
+        sig.push(format!("int {p}"));
+    }
+    if def.is_ptb() {
+        sig.push("int issued_block_num".to_string());
+    }
+    let _ = writeln!(out, "__global__ void {}({}) {{", def.name(), sig.join(", "));
+    for s in def.body() {
+        render_stmt(&mut out, s, 1);
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn render_stmt(out: &mut String, stmt: &Stmt, depth: usize) {
+    match stmt {
+        Stmt::SharedDecl { name, bytes } => {
+            indent(out, depth);
+            let _ = writeln!(out, "__shared__ char {name}[{bytes}];");
+        }
+        Stmt::Loop { var, count, body } => {
+            indent(out, depth);
+            let _ = writeln!(out, "for (int {var} = 0; {var} < {count}; ++{var}) {{");
+            for s in body {
+                render_stmt(out, s, depth + 1);
+            }
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::Compute {
+            unit,
+            ops_per_thread,
+            desc,
+        } => {
+            indent(out, depth);
+            let tag = match unit {
+                ComputeUnit::Tensor => "tensor-core",
+                ComputeUnit::Cuda => "cuda-core",
+            };
+            let _ = writeln!(out, "{desc}; // {tag}, {ops_per_thread} FMA/thread");
+        }
+        Stmt::MemAccess {
+            dir,
+            space,
+            bytes_per_thread,
+            buffer,
+            ..
+        } => {
+            indent(out, depth);
+            let verb = match (dir, space) {
+                (MemDir::Read, MemSpace::Global) => "ld.global",
+                (MemDir::Write, MemSpace::Global) => "st.global",
+                (MemDir::Read, MemSpace::Shared) => "ld.shared",
+                (MemDir::Write, MemSpace::Shared) => "st.shared",
+            };
+            let _ = writeln!(out, "/* {verb} */ access({buffer}, {bytes_per_thread});");
+        }
+        Stmt::SyncThreads => {
+            indent(out, depth);
+            out.push_str("__syncthreads();\n");
+        }
+        Stmt::BarSync { id, count_threads } => {
+            indent(out, depth);
+            let _ = writeln!(out, "asm volatile(\"bar.sync {id}, {count_threads};\");");
+        }
+        Stmt::ThreadRange { lo, hi, body } => {
+            indent(out, depth);
+            if *lo == 0 {
+                let _ = writeln!(out, "if (threadIdx.x < {hi}) {{");
+            } else {
+                let _ = writeln!(out, "else if (threadIdx.x < {hi}) {{");
+                indent(out, depth + 1);
+                let _ = writeln!(out, "int thread_id = threadIdx.x - {lo}; // thread step");
+            }
+            for s in body {
+                render_stmt(out, s, depth + 1);
+            }
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::BlockGuard { limit, body } => {
+            indent(out, depth);
+            let _ = writeln!(out, "if (block_pos < {limit}) {{");
+            for s in body {
+                render_stmt(out, s, depth + 1);
+            }
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::PtbLoop {
+            original_blocks,
+            body,
+        } => {
+            indent(out, depth);
+            let _ = writeln!(
+                out,
+                "for (int block_pos = blockIdx.x; block_pos < {original_blocks}; block_pos += issued_block_num) {{"
+            );
+            for s in body {
+                render_stmt(out, s, depth + 1);
+            }
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Expr;
+    use crate::dims::Dim3;
+    use crate::kernel::KernelKind;
+    use crate::resources::ResourceUsage;
+
+    #[test]
+    fn renders_ptb_loop_like_fig7() {
+        let body = vec![Stmt::PtbLoop {
+            original_blocks: Expr::param("original_block_num"),
+            body: vec![Stmt::compute_cd(Expr::lit(4), "int i = block_pos")],
+        }];
+        let def = KernelDef::builder("ptb_cd_kernel", KernelKind::Cuda)
+            .block_dim(Dim3::x(128))
+            .resources(ResourceUsage::new(32, 0))
+            .param("original_block_num")
+            .body(body)
+            .ptb(true)
+            .build()
+            .unwrap();
+        let src = render(&def);
+        assert!(src.contains("for (int block_pos = blockIdx.x;"));
+        assert!(src.contains("block_pos += issued_block_num"));
+        assert!(src.contains("int issued_block_num"));
+    }
+
+    #[test]
+    fn renders_bar_sync_like_fig9() {
+        let def = KernelDef::builder("fused", KernelKind::Fused)
+            .block_dim(Dim3::x(192))
+            .resources(ResourceUsage::new(32, 0))
+            .body(vec![Stmt::BarSync {
+                id: 1,
+                count_threads: 64,
+            }])
+            .build()
+            .unwrap();
+        let src = render(&def);
+        assert!(src.contains("asm volatile(\"bar.sync 1, 64;\");"));
+    }
+
+    #[test]
+    fn renders_thread_ranges_like_fig5() {
+        let body = vec![
+            Stmt::ThreadRange {
+                lo: 0,
+                hi: 64,
+                body: vec![Stmt::compute_tc(Expr::lit(1), "TC_kernel(...)")],
+            },
+            Stmt::ThreadRange {
+                lo: 64,
+                hi: 192,
+                body: vec![Stmt::compute_cd(Expr::lit(1), "CD_kernel(params, thread_id)")],
+            },
+        ];
+        let def = KernelDef::builder("fused_kernel", KernelKind::Fused)
+            .block_dim(Dim3::x(192))
+            .resources(ResourceUsage::new(32, 0))
+            .body(body)
+            .build()
+            .unwrap();
+        let src = render(&def);
+        assert!(src.contains("if (threadIdx.x < 64)"));
+        assert!(src.contains("else if (threadIdx.x < 192)"));
+        assert!(src.contains("int thread_id = threadIdx.x - 64;"));
+    }
+
+    #[test]
+    fn block_guard_and_loop_render() {
+        let body = vec![Stmt::BlockGuard {
+            limit: Expr::param("n"),
+            body: vec![Stmt::loop_over(
+                "i",
+                Expr::lit(4),
+                vec![Stmt::compute_cd(Expr::lit(1), "work")],
+            )],
+        }];
+        let def = KernelDef::builder("guarded", KernelKind::Cuda)
+            .param("n")
+            .body(body)
+            .build()
+            .unwrap();
+        let src = render(&def);
+        assert!(src.contains("if (block_pos < n) {"));
+        assert!(src.contains("for (int i = 0; i < 4; ++i) {"));
+    }
+
+    #[test]
+    fn renders_all_mem_verbs() {
+        let body = vec![
+            Stmt::global_load("a", Expr::lit(4), 0.5),
+            Stmt::global_store("b", Expr::lit(4), 0.0),
+            Stmt::shared_access(MemDir::Read, "s", Expr::lit(4)),
+            Stmt::shared_access(MemDir::Write, "s", Expr::lit(4)),
+            Stmt::sync_threads(),
+        ];
+        let def = KernelDef::builder("mem", KernelKind::Cuda)
+            .body(body)
+            .build()
+            .unwrap();
+        let src = render(&def);
+        for verb in ["ld.global", "st.global", "ld.shared", "st.shared"] {
+            assert!(src.contains(verb), "missing {verb} in:\n{src}");
+        }
+        assert!(src.contains("__syncthreads();"));
+    }
+}

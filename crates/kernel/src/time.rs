@@ -1,0 +1,331 @@
+//! Time primitives shared across the simulator, predictor and scheduler.
+//!
+//! The SM engine works in clock [`Cycles`]; everything above the device
+//! (kernel manager, QoS targets, latency percentiles) works in [`SimTime`]
+//! nanoseconds. Conversion happens exactly once, at the device boundary,
+//! using the device clock frequency.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A duration or instant measured in GPU core clock cycles.
+///
+/// `Cycles` is a plain newtype over `u64`; arithmetic saturates on
+/// subtraction so interval math never wraps.
+///
+/// ```
+/// use tacker_kernel::Cycles;
+/// let a = Cycles::new(100);
+/// let b = Cycles::new(40);
+/// assert_eq!((a - b).get(), 60);
+/// assert_eq!((b - a).get(), 0); // saturating
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// The zero duration.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Creates a cycle count.
+    pub const fn new(cycles: u64) -> Self {
+        Cycles(cycles)
+    }
+
+    /// Returns the raw cycle count.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Converts to wall-clock simulated time at the given core clock (GHz).
+    ///
+    /// ```
+    /// use tacker_kernel::Cycles;
+    /// // 1500 cycles at 1.5 GHz is exactly 1 microsecond.
+    /// assert_eq!(Cycles::new(1500).to_sim_time(1.5).as_nanos(), 1_000);
+    /// ```
+    pub fn to_sim_time(self, clock_ghz: f64) -> SimTime {
+        SimTime::from_nanos((self.0 as f64 / clock_ghz).round() as u64)
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_add(rhs.0))
+    }
+
+    /// Returns the larger of two cycle counts.
+    pub fn max(self, other: Cycles) -> Cycles {
+        Cycles(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two cycle counts.
+    pub fn min(self, other: Cycles) -> Cycles {
+        Cycles(self.0.min(other.0))
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for Cycles {
+    fn sub_assign(&mut self, rhs: Cycles) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        Cycles(iter.map(|c| c.0).sum())
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cyc", self.0)
+    }
+}
+
+/// A simulated wall-clock duration or instant, in nanoseconds.
+///
+/// All scheduler-level quantities (QoS targets, query latencies, kernel
+/// durations as seen by the kernel manager) use `SimTime`.
+///
+/// ```
+/// use tacker_kernel::SimTime;
+/// let qos = SimTime::from_millis(50);
+/// assert_eq!(qos.as_micros_f64(), 50_000.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The zero time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Creates a time from microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros * 1_000)
+    }
+
+    /// Creates a time from milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis * 1_000_000)
+    }
+
+    /// Creates a time from fractional seconds, rounding to nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid duration: {secs}");
+        SimTime((secs * 1e9).round() as u64)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds as a float (lossless for display purposes).
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Milliseconds as a float.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction: returns zero if `rhs > self`.
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(self, rhs: SimTime) -> Option<SimTime> {
+        self.0.checked_sub(rhs.0).map(SimTime)
+    }
+
+    /// Returns the larger of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two times.
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+
+    /// Multiplies by a non-negative float factor, rounding to nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    pub fn mul_f64(self, factor: f64) -> SimTime {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "invalid factor: {factor}"
+        );
+        SimTime((self.0 as f64 * factor).round() as u64)
+    }
+
+    /// Ratio of two durations as a float. Returns `f64::INFINITY` when
+    /// dividing by zero.
+    pub fn ratio(self, denom: SimTime) -> f64 {
+        if denom.0 == 0 {
+            f64::INFINITY
+        } else {
+            self.0 as f64 / denom.0 as f64
+        }
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        SimTime(iter.map(|t| t.0).sum())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3} ms", self.as_millis_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3} us", self.as_micros_f64())
+        } else {
+            write!(f, "{} ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_arithmetic_and_saturation() {
+        let a = Cycles::new(10);
+        let b = Cycles::new(3);
+        assert_eq!((a + b).get(), 13);
+        assert_eq!((a - b).get(), 7);
+        assert_eq!((b - a).get(), 0);
+        assert_eq!((a * 4).get(), 40);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn cycles_to_sim_time_uses_clock() {
+        let t = Cycles::new(3_000).to_sim_time(1.5);
+        assert_eq!(t.as_nanos(), 2_000);
+    }
+
+    #[test]
+    fn sim_time_constructors_agree() {
+        assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1_000));
+        assert_eq!(SimTime::from_micros(1), SimTime::from_nanos(1_000));
+        assert_eq!(SimTime::from_secs_f64(0.002), SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn sim_time_ratio_and_mul() {
+        let a = SimTime::from_micros(30);
+        let b = SimTime::from_micros(20);
+        assert!((a.ratio(b) - 1.5).abs() < 1e-12);
+        assert_eq!(a.mul_f64(0.5), SimTime::from_micros(15));
+        assert_eq!(SimTime::ZERO.ratio(SimTime::ZERO), f64::INFINITY);
+    }
+
+    #[test]
+    fn sim_time_display_picks_unit() {
+        assert_eq!(format!("{}", SimTime::from_nanos(12)), "12 ns");
+        assert_eq!(format!("{}", SimTime::from_micros(12)), "12.000 us");
+        assert_eq!(format!("{}", SimTime::from_millis(12)), "12.000 ms");
+    }
+
+    #[test]
+    fn sums_work() {
+        let cy: Cycles = [Cycles::new(1), Cycles::new(2)].into_iter().sum();
+        assert_eq!(cy.get(), 3);
+        let t: SimTime = [SimTime::from_nanos(5), SimTime::from_nanos(7)]
+            .into_iter()
+            .sum();
+        assert_eq!(t.as_nanos(), 12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_seconds_panic() {
+        let _ = SimTime::from_secs_f64(-1.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Predictor error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from model fitting and prediction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PredictError {
+    /// Fewer samples than the model needs.
+    InsufficientData {
+        /// Samples provided.
+        got: usize,
+        /// Samples required.
+        need: usize,
+    },
+    /// The inputs are degenerate (e.g. all x values identical).
+    Degenerate {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PredictError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredictError::InsufficientData { got, need } => {
+                write!(f, "need at least {need} samples, got {got}")
+            }
+            PredictError::Degenerate { reason } => write!(f, "degenerate fit: {reason}"),
+        }
+    }
+}
+
+impl Error for PredictError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = PredictError::InsufficientData { got: 1, need: 2 };
+        assert!(e.to_string().contains("at least 2"));
+    }
+}

@@ -1,0 +1,229 @@
+//! Per-kernel duration models (§VI-C).
+//!
+//! "We choose LR to predict each GPU kernel's duration, and the input is
+//! the block number in non-PTB mode, and the output is the kernel's
+//! duration." A handful of profiled points per kernel suffices because PTB
+//! execution is repetitive and stable.
+//!
+//! The model's input is a scalar *work feature*. For most kernels that is
+//! simply the original block count; kernels whose per-block work also
+//! scales with a launch parameter (e.g. a GEMM's `K` loop) fold it into
+//! the feature (`blocks × k_iters`), matching the paper's "basic runtime
+//! configuration (input parameters)" phrasing.
+
+use tacker_kernel::SimTime;
+
+use crate::error::PredictError;
+use crate::linreg::{mean_abs_pct_error, MultiLinReg};
+
+/// A fitted duration model for one kernel: work features → duration.
+///
+/// The feature row is `[work]` for simple kernels or
+/// `[blocks × loop_iters, blocks]` for kernels with a per-block loop knob;
+/// the model is linear in whatever row it was trained on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelDurationModel {
+    kernel: String,
+    lr: MultiLinReg,
+    rows: Vec<Vec<f64>>,
+    targets: Vec<f64>,
+}
+
+impl KernelDurationModel {
+    /// Fits a model from `(feature_row, duration)` profile points.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PredictError`] from the regression (needs at least
+    /// `features + 1` rows).
+    pub fn fit_rows(
+        kernel: impl Into<String>,
+        profile: &[(Vec<f64>, SimTime)],
+    ) -> Result<KernelDurationModel, PredictError> {
+        let rows: Vec<Vec<f64>> = profile.iter().map(|(r, _)| r.clone()).collect();
+        let targets: Vec<f64> = profile.iter().map(|(_, d)| d.as_nanos() as f64).collect();
+        let lr = MultiLinReg::fit(&rows, &targets)?;
+        Ok(KernelDurationModel {
+            kernel: kernel.into(),
+            lr,
+            rows,
+            targets,
+        })
+    }
+
+    /// Fits a model from scalar `(work_feature, duration)` profile points.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KernelDurationModel::fit_rows`].
+    pub fn fit(
+        kernel: impl Into<String>,
+        profile: &[(f64, SimTime)],
+    ) -> Result<KernelDurationModel, PredictError> {
+        let rows: Vec<(Vec<f64>, SimTime)> =
+            profile.iter().map(|(x, d)| (vec![*x], *d)).collect();
+        Self::fit_rows(kernel, &rows)
+    }
+
+    /// Convenience: fit from `(original_blocks, duration)` points.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KernelDurationModel::fit_rows`].
+    pub fn fit_blocks(
+        kernel: impl Into<String>,
+        profile: &[(u64, SimTime)],
+    ) -> Result<KernelDurationModel, PredictError> {
+        let feat: Vec<(f64, SimTime)> = profile.iter().map(|(b, d)| (*b as f64, *d)).collect();
+        Self::fit(kernel, &feat)
+    }
+
+    /// The kernel this model describes.
+    pub fn kernel(&self) -> &str {
+        &self.kernel
+    }
+
+    /// Predicts the duration for a feature row. Negative extrapolations
+    /// clamp to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` has a different width than the training rows.
+    pub fn predict_row(&self, row: &[f64]) -> SimTime {
+        let ns = self.lr.predict(row).max(0.0);
+        SimTime::from_nanos(ns.round() as u64)
+    }
+
+    /// Predicts the duration for a scalar work feature (single-feature
+    /// models only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model was trained on multi-feature rows.
+    pub fn predict(&self, work: f64) -> SimTime {
+        self.predict_row(&[work])
+    }
+
+    /// Mean absolute percentage error over the training profile.
+    pub fn training_error(&self) -> f64 {
+        let samples: Vec<(f64, f64)> = self
+            .rows
+            .iter()
+            .zip(&self.targets)
+            .enumerate()
+            .map(|(i, (_, y))| (i as f64, *y))
+            .collect();
+        mean_abs_pct_error(|i| self.lr.predict(&self.rows[i as usize]), &samples)
+    }
+
+    /// Mean absolute percentage error over held-out scalar points.
+    pub fn validation_error(&self, held_out: &[(f64, SimTime)]) -> f64 {
+        let samples: Vec<(f64, f64)> = held_out
+            .iter()
+            .map(|(b, d)| (*b, d.as_nanos() as f64))
+            .collect();
+        mean_abs_pct_error(|x| self.lr.predict(&[x]), &samples)
+    }
+
+    /// Adds a fresh scalar observation and refits (online refresh).
+    ///
+    /// # Errors
+    ///
+    /// Propagates regression failures; the previous fit is kept on error.
+    pub fn observe(&mut self, work: f64, duration: SimTime) -> Result<(), PredictError> {
+        self.observe_row(vec![work], duration)
+    }
+
+    /// Adds a fresh observation row and refits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates regression failures; the previous fit is kept on error.
+    pub fn observe_row(&mut self, row: Vec<f64>, duration: SimTime) -> Result<(), PredictError> {
+        self.rows.push(row);
+        self.targets.push(duration.as_nanos() as f64);
+        self.lr = MultiLinReg::fit(&self.rows, &self.targets)?;
+        Ok(())
+    }
+
+    /// The underlying regression.
+    pub fn line(&self) -> &MultiLinReg {
+        &self.lr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(slope_ns: u64, intercept_ns: u64) -> Vec<(u64, SimTime)> {
+        [64u64, 128, 256, 512, 1024]
+            .iter()
+            .map(|&b| (b, SimTime::from_nanos(intercept_ns + slope_ns * b)))
+            .collect()
+    }
+
+    #[test]
+    fn linear_kernels_predict_exactly() {
+        let m = KernelDurationModel::fit_blocks("sgemm", &profile(100, 3000)).unwrap();
+        assert_eq!(m.kernel(), "sgemm");
+        assert_eq!(m.predict(2048.0), SimTime::from_nanos(3000 + 100 * 2048));
+        assert!(m.training_error() < 1e-4);
+    }
+
+    #[test]
+    fn validation_error_reported() {
+        let m = KernelDurationModel::fit_blocks("fft", &profile(100, 3000)).unwrap();
+        // Held-out points 10% slower than the line.
+        let held: Vec<(f64, SimTime)> = [300u64, 700]
+            .iter()
+            .map(|&b| {
+                (
+                    b as f64,
+                    SimTime::from_nanos(((3000 + 100 * b) as f64 * 1.1) as u64),
+                )
+            })
+            .collect();
+        let err = m.validation_error(&held);
+        assert!((err - 0.0909).abs() < 0.01, "err {err}");
+    }
+
+    #[test]
+    fn observe_refits() {
+        let mut m = KernelDurationModel::fit_blocks("lbm", &profile(100, 0)).unwrap();
+        // Feed dominant points from a steeper reality; slope should move up.
+        for b in [2048u64, 4096, 8192] {
+            m.observe(b as f64, SimTime::from_nanos(200 * b)).unwrap();
+        }
+        assert!(m.line().weights()[1] > 100.0);
+    }
+
+    #[test]
+    fn negative_extrapolation_clamps() {
+        let m = KernelDurationModel::fit(
+            "x",
+            &[
+                (100.0, SimTime::from_nanos(1000)),
+                (200.0, SimTime::from_nanos(3000)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(m.predict(0.0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn fractional_work_features_supported() {
+        // A GEMM-style feature: blocks × k_iters.
+        let m = KernelDurationModel::fit(
+            "gemm",
+            &[
+                (64.0 * 8.0, SimTime::from_micros(10)),
+                (128.0 * 8.0, SimTime::from_micros(20)),
+                (128.0 * 16.0, SimTime::from_micros(40)),
+            ],
+        )
+        .unwrap();
+        let mid = m.predict(96.0 * 8.0);
+        assert!(mid > SimTime::from_micros(10) && mid < SimTime::from_micros(20));
+    }
+}

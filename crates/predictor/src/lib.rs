@@ -1,0 +1,26 @@
+//! Duration prediction models for Tacker (§VI of the paper).
+//!
+//! Tacker's QoS guarantees rest on predicting, *before launching*, how long
+//! a kernel — original or fused — will take:
+//!
+//! * single PTB kernels have stable per-block behaviour, so their duration
+//!   is linear in the original block count: [`KernelDurationModel`] is a
+//!   per-kernel least-squares fit (as in Baymax/Prophet/GDP/HSM);
+//! * a fused kernel's duration is governed by the pair's **load ratio**
+//!   `X_cd / X_tc` (Equation 1): when the ratio is below the *opportune*
+//!   point both parts co-run and finish together; beyond it the CUDA part
+//!   solo-runs after the co-run. [`FusedPairModel`] fits the resulting
+//!   two-stage linear curve (Fig. 10) and predicts
+//!   `T_fuse = f(load_ratio) × X_tc` (Equations 2–6);
+//! * models are cheap to (re)train; [`FusedPairModel::observe`] implements
+//!   the paper's online refresh whenever prediction error exceeds 10%.
+
+pub mod error;
+pub mod fused_model;
+pub mod kernel_model;
+pub mod linreg;
+
+pub use error::PredictError;
+pub use fused_model::{FusedPairModel, Stage};
+pub use kernel_model::KernelDurationModel;
+pub use linreg::{LinReg, MultiLinReg};

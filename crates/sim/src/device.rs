@@ -1,0 +1,152 @@
+//! Device façade: plan building, execution and memoization.
+//!
+//! Co-location experiments replay the same kernels thousands of times
+//! (every LC query runs the same layer sequence), so the device memoizes
+//! [`KernelRun`] results by launch fingerprint. Simulation is deterministic,
+//! which makes memoization exact rather than approximate.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use tacker_kernel::KernelLaunch;
+
+use crate::engine::simulate;
+use crate::error::SimError;
+use crate::plan::ExecutablePlan;
+use crate::result::KernelRun;
+use crate::spec::GpuSpec;
+
+/// A simulated GPU with an execution cache.
+#[derive(Debug)]
+pub struct Device {
+    spec: GpuSpec,
+    cache: Mutex<HashMap<u64, KernelRun>>,
+    hits: Mutex<u64>,
+    misses: Mutex<u64>,
+}
+
+impl Device {
+    /// Creates a device from a spec.
+    pub fn new(spec: GpuSpec) -> Device {
+        Device {
+            spec,
+            cache: Mutex::new(HashMap::new()),
+            hits: Mutex::new(0),
+            misses: Mutex::new(0),
+        }
+    }
+
+    /// The device specification.
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+
+    /// Executes a plain kernel launch (lower → plan → simulate), memoized.
+    ///
+    /// # Errors
+    ///
+    /// Propagates plan construction and simulation errors.
+    pub fn run_launch(&self, launch: &KernelLaunch) -> Result<KernelRun, SimError> {
+        let plan = ExecutablePlan::from_launch(&self.spec, launch)?;
+        self.run_plan(&plan)
+    }
+
+    /// Executes a prepared plan, memoized when the plan has a fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors. Failures are not cached.
+    pub fn run_plan(&self, plan: &ExecutablePlan) -> Result<KernelRun, SimError> {
+        if let Some(fp) = plan.fingerprint {
+            if let Some(hit) = self.cache.lock().expect("cache poisoned").get(&fp) {
+                *self.hits.lock().expect("hits poisoned") += 1;
+                return Ok(hit.clone());
+            }
+        }
+        let run = simulate(&self.spec, plan)?;
+        *self.misses.lock().expect("misses poisoned") += 1;
+        if let Some(fp) = plan.fingerprint {
+            self.cache
+                .lock()
+                .expect("cache poisoned")
+                .insert(fp, run.clone());
+        }
+        Ok(run)
+    }
+
+    /// (cache hits, cache misses) so far.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (
+            *self.hits.lock().expect("hits poisoned"),
+            *self.misses.lock().expect("misses poisoned"),
+        )
+    }
+
+    /// Clears the execution cache.
+    pub fn clear_cache(&self) {
+        self.cache.lock().expect("cache poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tacker_kernel::ast::{Expr, Stmt};
+    use tacker_kernel::{Bindings, Dim3, KernelDef, KernelKind, ResourceUsage};
+
+    fn launch(blocks: u64) -> KernelLaunch {
+        let def = KernelDef::builder("d", KernelKind::Cuda)
+            .block_dim(Dim3::x(128))
+            .resources(ResourceUsage::new(32, 0))
+            .body(vec![Stmt::compute_cd(Expr::lit(100), "fma")])
+            .build()
+            .unwrap();
+        KernelLaunch::new(Arc::new(def), blocks, Bindings::new())
+    }
+
+    #[test]
+    fn memoization_hits_on_repeat() {
+        let dev = Device::new(GpuSpec::rtx2080ti());
+        let l = launch(68);
+        let a = dev.run_launch(&l).unwrap();
+        let b = dev.run_launch(&l).unwrap();
+        assert_eq!(a, b);
+        let (hits, misses) = dev.cache_stats();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn different_grids_are_distinct_entries() {
+        let dev = Device::new(GpuSpec::rtx2080ti());
+        let a = dev.run_launch(&launch(68)).unwrap();
+        let b = dev.run_launch(&launch(680)).unwrap();
+        assert!(b.cycles > a.cycles);
+        let (_, misses) = dev.cache_stats();
+        assert_eq!(misses, 2);
+    }
+
+    #[test]
+    fn plans_without_fingerprints_are_never_cached() {
+        let dev = Device::new(GpuSpec::rtx2080ti());
+        let launch = launch(68);
+        let mut plan =
+            crate::plan::ExecutablePlan::from_launch(dev.spec(), &launch).unwrap();
+        plan.fingerprint = None;
+        dev.run_plan(&plan).unwrap();
+        dev.run_plan(&plan).unwrap();
+        let (hits, misses) = dev.cache_stats();
+        assert_eq!((hits, misses), (0, 2));
+    }
+
+    #[test]
+    fn clear_cache_forces_resim() {
+        let dev = Device::new(GpuSpec::rtx2080ti());
+        let l = launch(68);
+        dev.run_launch(&l).unwrap();
+        dev.clear_cache();
+        dev.run_launch(&l).unwrap();
+        let (hits, misses) = dev.cache_stats();
+        assert_eq!((hits, misses), (0, 2));
+    }
+}

@@ -1,0 +1,705 @@
+//! The discrete-event SM engine.
+//!
+//! The engine simulates one *representative* SM — the busiest one — and
+//! derives whole-device behaviour from it. This is accurate for the
+//! launches Tacker deals in: grids are distributed round-robin over
+//! identical SMs, and PTB kernels issue exactly one persistent wave, so
+//! every SM sees (within one block) the same load.
+//!
+//! Each warp of each resident block is an actor executing its role's
+//! [`Op`] sequence. Ops queue on FCFS servers:
+//!
+//! * the **Tensor pipeline** and the **CUDA pipeline** — the two independent
+//!   compute units whose parallel use is the paper's whole point;
+//! * the **issue slots** — shared instruction-issue bandwidth that makes
+//!   co-resident heterogeneous warps a few percent slower than perfect
+//!   overlap;
+//! * the **L1/shared/DRAM servers** — bandwidth-limited memory stages, with
+//!   the DRAM server fed by this SM's *share* of device bandwidth, so that
+//!   memory-intensive kernels contend.
+//!
+//! Named barriers implement partial-arrival semantics: a barrier releases
+//! when its expected warp count (from the lowering pass) arrives. A fused
+//! kernel that kept a block-wide `__syncthreads()` therefore deadlocks, and
+//! the engine reports it as [`SimError::Deadlock`].
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use tacker_kernel::ast::{ComputeUnit, MemSpace};
+use tacker_kernel::{Cycles, Op};
+
+use crate::error::SimError;
+use crate::plan::ExecutablePlan;
+use crate::result::{merge_intervals, ActivitySummary, Interval, KernelRun};
+use crate::spec::GpuSpec;
+
+/// Cycles charged for a barrier release.
+const BARRIER_COST: f64 = 4.0;
+
+/// A FCFS serial server with a service rate.
+#[derive(Debug, Clone)]
+struct Server {
+    next_free: f64,
+    busy: f64,
+    intervals: Vec<Interval>,
+    record: bool,
+}
+
+impl Server {
+    fn new(record: bool) -> Server {
+        Server {
+            next_free: 0.0,
+            busy: 0.0,
+            intervals: Vec::new(),
+            record,
+        }
+    }
+
+    /// Occupies the server for `service` cycles starting no earlier than
+    /// `now`; returns the completion time.
+    fn acquire(&mut self, now: f64, service: f64) -> f64 {
+        let start = now.max(self.next_free);
+        let end = start + service;
+        self.next_free = end;
+        self.busy += service;
+        if self.record && service > 0.0 {
+            match self.intervals.last_mut() {
+                Some(last) if start <= last.end + 1e-9 => last.end = end,
+                _ => self.intervals.push(Interval { start, end }),
+            }
+        }
+        end
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum WarpPhase {
+    /// Ready to issue the op at `pc`.
+    Ready,
+    /// Finished the L1 stage of a global access; needs the DRAM stage for
+    /// `bytes` miss bytes.
+    DramStage { bytes: f64 },
+}
+
+#[derive(Debug)]
+struct Warp {
+    block: usize,
+    role: usize,
+    pc: usize,
+    iters_left: u64,
+    phase: WarpPhase,
+    done: bool,
+    finish: f64,
+}
+
+#[derive(Debug)]
+struct BlockInstance {
+    /// Global issued-block index.
+    index: u64,
+    live_warps: usize,
+    /// arrived counts per barrier id.
+    barrier_arrived: HashMap<u16, u32>,
+    /// parked warp indices per barrier id.
+    barrier_waiters: HashMap<u16, Vec<usize>>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    time: f64,
+    seq: u64,
+    warp: usize,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap via reversal.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Iterations of a role's program executed by issued block `b`:
+/// the number of original block positions `p < original` with
+/// `p % issued == b`.
+fn role_iters(original: u64, issued: u64, b: u64) -> u64 {
+    if b >= issued || b >= original {
+        return 0;
+    }
+    (original - b - 1) / issued + 1
+}
+
+struct Engine<'a> {
+    spec: &'a GpuSpec,
+    plan: &'a ExecutablePlan,
+    active_sms: u32,
+    warps: Vec<Warp>,
+    blocks: Vec<BlockInstance>,
+    tc: Server,
+    cd: Server,
+    issue: Server,
+    l1: Server,
+    shared: Server,
+    dram: Server,
+    heap: BinaryHeap<Event>,
+    seq: u64,
+    /// Remaining assigned issued-block indices not yet launched.
+    pending: Vec<u64>,
+    dram_bytes: f64,
+    role_finish: Vec<f64>,
+}
+
+impl<'a> Engine<'a> {
+    fn new(spec: &'a GpuSpec, plan: &'a ExecutablePlan, active_sms: u32) -> Result<Self, SimError> {
+        let occupancy = plan.occupancy(spec);
+        if occupancy == 0 {
+            return Err(SimError::LaunchFailure {
+                kernel: plan.name.clone(),
+                reason: "block does not fit on an SM".to_string(),
+            });
+        }
+        if plan.block.roles.iter().any(|r| r.warps == 0) {
+            return Err(SimError::LaunchFailure {
+                kernel: plan.name.clone(),
+                reason: "role with zero warps".to_string(),
+            });
+        }
+        // Blocks assigned to the representative (busiest) SM: indices
+        // congruent to 0 mod sm_count.
+        let mut assigned: Vec<u64> = (0..plan.issued_blocks)
+            .step_by(spec.sm_count as usize)
+            .collect();
+        assigned.reverse(); // pop() launches in ascending order
+        let mut eng = Engine {
+            spec,
+            plan,
+            active_sms,
+            warps: Vec::new(),
+            blocks: Vec::new(),
+            tc: Server::new(true),
+            cd: Server::new(true),
+            issue: Server::new(false),
+            l1: Server::new(false),
+            shared: Server::new(false),
+            dram: Server::new(false),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            pending: assigned,
+            dram_bytes: 0.0,
+            role_finish: vec![0.0; plan.block.roles.len()],
+        };
+        for _ in 0..occupancy {
+            if eng.pending.is_empty() {
+                break;
+            }
+            eng.launch_next_block(0.0);
+        }
+        Ok(eng)
+    }
+
+    fn schedule(&mut self, time: f64, warp: usize) {
+        self.seq += 1;
+        self.heap.push(Event {
+            time,
+            seq: self.seq,
+            warp,
+        });
+    }
+
+    fn launch_next_block(&mut self, now: f64) {
+        let Some(index) = self.pending.pop() else {
+            return;
+        };
+        let start = now + self.spec.block_launch_overhead;
+        let mut warp_ids = Vec::new();
+        let block_slot = self.blocks.len();
+        for (ri, role) in self.plan.block.roles.iter().enumerate() {
+            let iters = role_iters(role.original_blocks, self.plan.issued_blocks, index);
+            for _ in 0..role.warps {
+                let wid = self.warps.len();
+                let done = iters == 0 || role.program.ops.is_empty();
+                self.warps.push(Warp {
+                    block: block_slot,
+                    role: ri,
+                    pc: 0,
+                    iters_left: iters,
+                    phase: WarpPhase::Ready,
+                    done,
+                    finish: start,
+                });
+                warp_ids.push(wid);
+                if !done {
+                    self.schedule(start, wid);
+                }
+            }
+        }
+        let live = warp_ids
+            .iter()
+            .filter(|&&w| !self.warps[w].done)
+            .count();
+        self.blocks.push(BlockInstance {
+            index,
+            live_warps: live,
+            barrier_arrived: HashMap::new(),
+            barrier_waiters: HashMap::new(),
+        });
+        // A block whose roles all had zero work completes immediately.
+        if live == 0 {
+            self.launch_next_block(start);
+        }
+    }
+
+    fn finish_warp(&mut self, now: f64, w: usize) {
+        let warp = &mut self.warps[w];
+        warp.done = true;
+        warp.finish = now;
+        let role = warp.role;
+        let block = warp.block;
+        self.role_finish[role] = self.role_finish[role].max(now);
+        let b = &mut self.blocks[block];
+        b.live_warps -= 1;
+        if b.live_warps == 0 {
+            let _ = b.index;
+            self.launch_next_block(now);
+        }
+    }
+
+    fn issue_cost(&self) -> f64 {
+        self.spec.issue_cost_per_op / self.spec.issue_slots_per_cycle
+    }
+
+    /// Processes one warp event; returns Ok(()) or a deadlock diagnosis.
+    fn step(&mut self, ev: Event) {
+        let w = ev.warp;
+        let now = ev.time;
+        if self.warps[w].done {
+            return;
+        }
+        // Handle a pending DRAM stage first.
+        if let WarpPhase::DramStage { bytes } = self.warps[w].phase {
+            let rate = self.spec.dram_bytes_per_cycle_per_sm(self.active_sms);
+            let end = self.dram.acquire(now, bytes / rate);
+            self.dram_bytes += bytes;
+            self.warps[w].phase = WarpPhase::Ready;
+            self.advance_pc(w);
+            self.schedule(end + self.spec.dram_latency, w);
+            return;
+        }
+        let (role_idx, pc) = (self.warps[w].role, self.warps[w].pc);
+        let role = &self.plan.block.roles[role_idx];
+        let op = role.program.ops[pc].clone();
+        match op {
+            Op::Compute { unit, ops } => {
+                let issue_end = self.issue.acquire(now, self.issue_cost());
+                let (server, rate) = match unit {
+                    ComputeUnit::Tensor => (&mut self.tc, self.spec.tc_ops_per_cycle),
+                    ComputeUnit::Cuda => (&mut self.cd, self.spec.cd_ops_per_cycle),
+                };
+                let end = server.acquire(issue_end, ops as f64 / rate);
+                self.advance_pc(w);
+                self.schedule(end, w);
+            }
+            Op::Memory {
+                space,
+                bytes,
+                locality,
+                ..
+            } => {
+                let issue_end = self.issue.acquire(now, self.issue_cost());
+                match space {
+                    MemSpace::Shared => {
+                        let end = self
+                            .shared
+                            .acquire(issue_end, bytes as f64 / self.spec.shared_bytes_per_cycle);
+                        self.advance_pc(w);
+                        self.schedule(end + self.spec.shared_latency, w);
+                    }
+                    MemSpace::Global => {
+                        let l1_end = self
+                            .l1
+                            .acquire(issue_end, bytes as f64 / self.spec.l1_bytes_per_cycle);
+                        let miss = bytes as f64 * (1.0 - locality);
+                        if miss > 0.0 {
+                            self.warps[w].phase = WarpPhase::DramStage { bytes: miss };
+                            self.schedule(l1_end, w);
+                        } else {
+                            self.advance_pc(w);
+                            self.schedule(l1_end + self.spec.l1_latency, w);
+                        }
+                    }
+                }
+            }
+            Op::Barrier { id } => {
+                let expected = self
+                    .plan
+                    .block
+                    .barrier(id)
+                    .map(|b| b.expected_warps)
+                    .unwrap_or(1);
+                let block = self.warps[w].block;
+                let b = &mut self.blocks[block];
+                let arrived = b.barrier_arrived.entry(id).or_insert(0);
+                *arrived += 1;
+                if *arrived >= expected {
+                    *arrived = 0;
+                    let mut waiters = b.barrier_waiters.remove(&id).unwrap_or_default();
+                    waiters.push(w);
+                    for wi in waiters {
+                        self.advance_pc(wi);
+                        self.schedule(now + BARRIER_COST, wi);
+                    }
+                } else {
+                    b.barrier_waiters.entry(id).or_default().push(w);
+                }
+            }
+        }
+    }
+
+    /// Advances a warp past its current op, wrapping iterations.
+    fn advance_pc(&mut self, w: usize) {
+        let ops_len = {
+            let warp = &self.warps[w];
+            self.plan.block.roles[warp.role].program.ops.len()
+        };
+        let warp = &mut self.warps[w];
+        warp.pc += 1;
+        if warp.pc >= ops_len {
+            warp.pc = 0;
+            warp.iters_left -= 1;
+        }
+    }
+
+    fn run(mut self) -> Result<KernelRun, SimError> {
+        let mut last_time = 0.0_f64;
+        while let Some(ev) = self.heap.pop() {
+            last_time = last_time.max(ev.time);
+            let w = ev.warp;
+            if self.warps[w].done {
+                continue;
+            }
+            // A warp with no iterations left after advancing is finished.
+            if self.warps[w].iters_left == 0 {
+                self.finish_warp(ev.time, w);
+                continue;
+            }
+            self.step(ev);
+        }
+        // Deadlock check: every warp must have completed.
+        let stuck: Vec<u16> = self
+            .blocks
+            .iter()
+            .flat_map(|b| b.barrier_waiters.keys().copied())
+            .collect();
+        if self.warps.iter().any(|w| !w.done) {
+            return Err(SimError::Deadlock {
+                kernel: self.plan.name.clone(),
+                pending_barriers: {
+                    let mut s = stuck;
+                    s.sort_unstable();
+                    s.dedup();
+                    s
+                },
+            });
+        }
+        let makespan = self
+            .warps
+            .iter()
+            .map(|w| w.finish)
+            .fold(0.0_f64, f64::max)
+            .max(last_time)
+            + self.spec.kernel_launch_overhead;
+        let gap = makespan * 0.005;
+        let duration_cycles = Cycles::new(makespan.round() as u64);
+        let role_finish = self
+            .plan
+            .block
+            .roles
+            .iter()
+            .zip(&self.role_finish)
+            .map(|(r, f)| (r.name.clone(), Cycles::new(f.round() as u64)))
+            .collect();
+        Ok(KernelRun {
+            name: self.plan.name.clone(),
+            cycles: duration_cycles,
+            duration: self.spec.cycles_to_time(duration_cycles),
+            activity: ActivitySummary {
+                tc_busy: Cycles::new(self.tc.busy.round() as u64),
+                cd_busy: Cycles::new(self.cd.busy.round() as u64),
+            },
+            tc_intervals: merge_intervals(self.tc.intervals, gap),
+            cd_intervals: merge_intervals(self.cd.intervals, gap),
+            role_finish,
+            occupancy: self.plan.occupancy(self.spec),
+            dram_bytes: self.dram_bytes,
+        })
+    }
+}
+
+/// Simulates a plan on the device, assuming all SMs are active (the common
+/// case for the paper's workloads).
+///
+/// ```
+/// use std::sync::Arc;
+/// use tacker_kernel::{ast::*, Bindings, Dim3, KernelDef, KernelKind, KernelLaunch};
+/// use tacker_sim::{simulate, ExecutablePlan, GpuSpec};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let spec = GpuSpec::rtx2080ti();
+/// let def = KernelDef::builder("axpy", KernelKind::Cuda)
+///     .block_dim(Dim3::x(128))
+///     .body(vec![Stmt::compute_cd(Expr::lit(64), "y[i] += a * x[i]")])
+///     .build()?;
+/// let launch = KernelLaunch::new(Arc::new(def), 680, Bindings::new());
+/// let plan = ExecutablePlan::from_launch(&spec, &launch)?;
+/// let run = simulate(&spec, &plan)?;
+/// assert!(run.duration > tacker_kernel::SimTime::ZERO);
+/// assert!(run.activity.cd_busy > tacker_kernel::Cycles::ZERO);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Returns [`SimError::LaunchFailure`] when the plan cannot be placed and
+/// [`SimError::Deadlock`] when barrier expectations can never be met.
+pub fn simulate(spec: &GpuSpec, plan: &ExecutablePlan) -> Result<KernelRun, SimError> {
+    simulate_with_active_sms(spec, plan, spec.sm_count)
+}
+
+/// [`simulate`] with an explicit count of SMs contending for DRAM.
+pub fn simulate_with_active_sms(
+    spec: &GpuSpec,
+    plan: &ExecutablePlan,
+    active_sms: u32,
+) -> Result<KernelRun, SimError> {
+    Engine::new(spec, plan, active_sms)?.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacker_kernel::ast::MemDir;
+    use tacker_kernel::{BlockProgram, ResourceUsage, WarpProgram, WarpRole};
+
+    fn plan_of(roles: Vec<WarpRole>, issued: u64) -> ExecutablePlan {
+        let block = BlockProgram::new(roles);
+        let threads = block.threads();
+        ExecutablePlan {
+            name: "test".into(),
+            block,
+            issued_blocks: issued,
+            resources: ResourceUsage::new(32, 0),
+            threads_per_block: threads,
+            fingerprint: None,
+        }
+    }
+
+    fn role(name: &str, warps: u32, ops: Vec<Op>, original_blocks: u64) -> WarpRole {
+        WarpRole {
+            name: name.into(),
+            warps,
+            program: WarpProgram::new(ops),
+            original_blocks,
+        }
+    }
+
+    fn compute(unit: ComputeUnit, ops: u64) -> Op {
+        Op::Compute { unit, ops }
+    }
+
+    #[test]
+    fn role_iters_partitions_exactly() {
+        // 10 original blocks over 4 issued blocks: 3,3,2,2.
+        let iters: Vec<u64> = (0..4).map(|b| role_iters(10, 4, b)).collect();
+        assert_eq!(iters, vec![3, 3, 2, 2]);
+        assert_eq!(iters.iter().sum::<u64>(), 10);
+        // Fewer originals than issued: trailing blocks idle.
+        assert_eq!(role_iters(2, 4, 3), 0);
+        assert_eq!(role_iters(2, 4, 1), 1);
+    }
+
+    #[test]
+    fn compute_bound_duration_scales_with_work() {
+        let spec = GpuSpec::rtx2080ti();
+        let mk = |ops| {
+            plan_of(
+                vec![role("cd", 4, vec![compute(ComputeUnit::Cuda, ops)], 68)],
+                68,
+            )
+        };
+        let d1 = simulate(&spec, &mk(64_000)).unwrap().cycles.get();
+        let d2 = simulate(&spec, &mk(128_000)).unwrap().cycles.get();
+        // Subtract the fixed launch overhead before comparing scaling.
+        let oh = spec.kernel_launch_overhead as u64 + spec.block_launch_overhead as u64;
+        let w1 = d1 - oh;
+        let w2 = d2 - oh;
+        let ratio = w2 as f64 / w1 as f64;
+        assert!((ratio - 2.0).abs() < 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn tensor_and_cuda_roles_overlap() {
+        let spec = GpuSpec::rtx2080ti();
+        // Equal-duration TC and CD work in separate kernels...
+        let tc_ops = 512_000; // 1000 cycles of TC time
+        let cd_ops = 64_000; // 1000 cycles of CD time
+        let solo_tc = plan_of(
+            vec![role("tc", 4, vec![compute(ComputeUnit::Tensor, tc_ops)], 68)],
+            68,
+        );
+        let solo_cd = plan_of(
+            vec![role("cd", 4, vec![compute(ComputeUnit::Cuda, cd_ops)], 68)],
+            68,
+        );
+        let fused = plan_of(
+            vec![
+                role("tc", 4, vec![compute(ComputeUnit::Tensor, tc_ops)], 68),
+                role("cd", 4, vec![compute(ComputeUnit::Cuda, cd_ops)], 68),
+            ],
+            68,
+        );
+        let t = simulate(&spec, &solo_tc).unwrap().cycles.get() as f64;
+        let c = simulate(&spec, &solo_cd).unwrap().cycles.get() as f64;
+        let f = simulate(&spec, &fused).unwrap().cycles.get() as f64;
+        // The fused kernel overlaps the two pipelines: far faster than
+        // sequential, within ~15% of the slower component.
+        assert!(f < 0.7 * (t + c), "f={f} t={t} c={c}");
+        assert!(f < 1.2 * t.max(c), "f={f} t={t} c={c}");
+    }
+
+    #[test]
+    fn partial_barriers_work_sync_threads_deadlocks_in_fused() {
+        let spec = GpuSpec::rtx2080ti();
+        // Two roles; role A synchronizes on barrier 1 expecting only its own
+        // warps — fine.
+        let ok = plan_of(
+            vec![
+                role(
+                    "a",
+                    2,
+                    vec![compute(ComputeUnit::Cuda, 64), Op::Barrier { id: 1 }],
+                    68,
+                ),
+                role("b", 2, vec![compute(ComputeUnit::Cuda, 64)], 68),
+            ],
+            68,
+        );
+        assert!(simulate(&spec, &ok).is_ok());
+
+        // Same structure, but the barrier expects the whole block (a kept
+        // __syncthreads()) — deadlock, as §V-D predicts.
+        let mut bad = ok.clone();
+        bad.block.set_barrier_expectation(1, 4);
+        let err = simulate(&spec, &bad).unwrap_err();
+        assert!(matches!(err, SimError::Deadlock { ref pending_barriers, .. }
+            if pending_barriers.contains(&1)));
+    }
+
+    #[test]
+    fn dram_contention_slows_memory_bound_kernels() {
+        let spec = GpuSpec::rtx2080ti();
+        let mem_op = Op::Memory {
+            dir: MemDir::Read,
+            space: MemSpace::Global,
+            bytes: 64 * 1024,
+            locality: 0.0,
+        };
+        let plan = plan_of(vec![role("m", 4, vec![mem_op], 68)], 68);
+        let few = simulate_with_active_sms(&spec, &plan, 17).unwrap();
+        let many = simulate_with_active_sms(&spec, &plan, 68).unwrap();
+        assert!(many.cycles > few.cycles);
+        assert!(many.dram_bytes > 0.0);
+    }
+
+    #[test]
+    fn activity_summary_reflects_pipeline_use() {
+        let spec = GpuSpec::rtx2080ti();
+        let plan = plan_of(
+            vec![role("tc", 2, vec![compute(ComputeUnit::Tensor, 51_200)], 68)],
+            68,
+        );
+        let run = simulate(&spec, &plan).unwrap();
+        assert!(run.activity.tc_busy > Cycles::ZERO);
+        assert_eq!(run.activity.cd_busy, Cycles::ZERO);
+        assert!(!run.tc_intervals.is_empty());
+        assert!(run.cd_intervals.is_empty());
+    }
+
+    #[test]
+    fn blocks_backfill_when_occupancy_limited() {
+        let spec = GpuSpec::rtx2080ti();
+        // 512 threads/block → only 2 resident; 6 blocks per SM must run in
+        // 3 waves, taking ~3× the single-wave time.
+        let mk = |blocks_per_sm: u64| {
+            let block = BlockProgram::new(vec![role(
+                "cd",
+                16,
+                vec![compute(ComputeUnit::Cuda, 64_000)],
+                blocks_per_sm * 68,
+            )]);
+            ExecutablePlan {
+                name: "wave".into(),
+                block,
+                issued_blocks: blocks_per_sm * 68,
+                resources: ResourceUsage::new(32, 0),
+                threads_per_block: 512,
+                fingerprint: None,
+            }
+        };
+        let one = simulate(&spec, &mk(2)).unwrap().cycles.get() as f64;
+        let three = simulate(&spec, &mk(6)).unwrap().cycles.get() as f64;
+        let ratio = three / one;
+        assert!(ratio > 2.5 && ratio < 3.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn empty_role_blocks_complete() {
+        let spec = GpuSpec::rtx2080ti();
+        // More issued blocks than original blocks: trailing blocks idle
+        // (Fig. 6's last two blocks) and the run still terminates.
+        let plan = plan_of(
+            vec![role("cd", 2, vec![compute(ComputeUnit::Cuda, 640)], 34)],
+            68,
+        );
+        let run = simulate(&spec, &plan).unwrap();
+        assert!(run.cycles > Cycles::ZERO);
+    }
+
+    #[test]
+    fn locality_reduces_dram_traffic() {
+        let spec = GpuSpec::rtx2080ti();
+        let mk = |loc| {
+            plan_of(
+                vec![role(
+                    "m",
+                    4,
+                    vec![Op::Memory {
+                        dir: MemDir::Read,
+                        space: MemSpace::Global,
+                        bytes: 32 * 1024,
+                        locality: loc,
+                    }],
+                    68,
+                )],
+                68,
+            )
+        };
+        let cold = simulate(&spec, &mk(0.0)).unwrap();
+        let warm = simulate(&spec, &mk(0.9)).unwrap();
+        assert!(warm.cycles < cold.cycles);
+        assert!(warm.dram_bytes < cold.dram_bytes * 0.2);
+    }
+}

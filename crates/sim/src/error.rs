@@ -1,0 +1,77 @@
+//! Simulator error type.
+
+use std::error::Error;
+use std::fmt;
+
+use tacker_kernel::KernelError;
+
+/// Errors surfaced while executing a plan on the simulated device.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The kernel could not be lowered or its parameters were unbound.
+    Kernel(KernelError),
+    /// A single block of the plan does not fit on an SM.
+    LaunchFailure {
+        /// Kernel name.
+        kernel: String,
+        /// Reason the launch was rejected.
+        reason: String,
+    },
+    /// Warps blocked at barriers with no runnable warp left — e.g. a fused
+    /// kernel that kept a block-wide `__syncthreads()` inside one branch.
+    Deadlock {
+        /// Kernel name.
+        kernel: String,
+        /// Barrier ids that still have waiters.
+        pending_barriers: Vec<u16>,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Kernel(e) => write!(f, "kernel error: {e}"),
+            SimError::LaunchFailure { kernel, reason } => {
+                write!(f, "launch of `{kernel}` failed: {reason}")
+            }
+            SimError::Deadlock {
+                kernel,
+                pending_barriers,
+            } => write!(
+                f,
+                "deadlock in `{kernel}`: warps waiting at barriers {pending_barriers:?}"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Kernel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<KernelError> for SimError {
+    fn from(e: KernelError) -> Self {
+        SimError::Kernel(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SimError::Deadlock {
+            kernel: "fused".into(),
+            pending_barriers: vec![0],
+        };
+        assert!(e.to_string().contains("deadlock"));
+        let k = SimError::from(KernelError::EvalOverflow { expr: "x".into() });
+        assert!(std::error::Error::source(&k).is_some());
+    }
+}

@@ -1,0 +1,186 @@
+//! Executable plans: a lowered block program plus launch-level context.
+//!
+//! A plan is what the device actually executes. Plain kernels build a plan
+//! straight from a [`KernelLaunch`]; the fuser builds plans for fused
+//! kernels by combining the component roles itself.
+
+use tacker_kernel::{lower_block, BlockProgram, KernelLaunch, ResourceUsage};
+
+use crate::error::SimError;
+use crate::spec::GpuSpec;
+
+/// A fully lowered, ready-to-simulate kernel execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutablePlan {
+    /// Kernel (or fused kernel) name, for reports and errors.
+    pub name: String,
+    /// The per-block warp programs.
+    pub block: BlockProgram,
+    /// Number of blocks actually issued to the device. For PTB kernels this
+    /// is the fixed persistent grid; for plain kernels it equals the
+    /// original grid.
+    pub issued_blocks: u64,
+    /// Per-block resource usage (determines occupancy).
+    pub resources: ResourceUsage,
+    /// Threads per block (determines thread-slot occupancy).
+    pub threads_per_block: u32,
+    /// A stable fingerprint for memoization, when available.
+    pub fingerprint: Option<u64>,
+}
+
+impl ExecutablePlan {
+    /// Builds a plan for a plain (non-fused) kernel launch.
+    ///
+    /// PTB-transformed kernels are issued with exactly one full wave of
+    /// persistent blocks (`occupancy × sm_count`); other kernels issue their
+    /// original grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Kernel`] if lowering fails and
+    /// [`SimError::LaunchFailure`] if a block cannot fit on an SM.
+    pub fn from_launch(spec: &GpuSpec, launch: &KernelLaunch) -> Result<ExecutablePlan, SimError> {
+        let def = &launch.def;
+        let threads = def.block_dim().total() as u32;
+        let occupancy = spec.sm.blocks_per_sm(def.resources(), threads);
+        if occupancy == 0 {
+            return Err(SimError::LaunchFailure {
+                kernel: def.name().to_string(),
+                reason: format!(
+                    "block ({} threads, {}) exceeds SM capacity",
+                    threads,
+                    def.resources()
+                ),
+            });
+        }
+        let issued = if def.is_ptb() {
+            (occupancy as u64 * spec.sm_count as u64).min(launch.grid_blocks.max(1))
+        } else {
+            launch.grid_blocks
+        };
+        if issued == 0 {
+            return Err(SimError::LaunchFailure {
+                kernel: def.name().to_string(),
+                reason: "empty grid".to_string(),
+            });
+        }
+        let mut bindings = launch.bindings.clone();
+        // PTB kernels receive their original grid as a parameter (Fig. 7).
+        if def.is_ptb() {
+            bindings
+                .entry("original_block_num".to_string())
+                .or_insert(launch.grid_blocks);
+        }
+        let block = lower_block(def, launch.grid_blocks, &bindings)?;
+        Ok(ExecutablePlan {
+            name: def.name().to_string(),
+            block,
+            issued_blocks: issued,
+            resources: *def.resources(),
+            threads_per_block: threads,
+            fingerprint: Some(launch.fingerprint()),
+        })
+    }
+
+    /// Resident blocks per SM for this plan on the given device.
+    pub fn occupancy(&self, spec: &GpuSpec) -> u32 {
+        spec.sm.blocks_per_sm(&self.resources, self.threads_per_block)
+    }
+
+    /// Number of issued blocks assigned to the most-loaded SM.
+    pub fn blocks_on_busiest_sm(&self, spec: &GpuSpec) -> u64 {
+        self.issued_blocks.div_ceil(spec.sm_count as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tacker_kernel::ast::{Expr, Stmt};
+    use tacker_kernel::{Bindings, Dim3, KernelDef, KernelKind};
+
+    fn plain_kernel() -> KernelDef {
+        KernelDef::builder("plain", KernelKind::Cuda)
+            .block_dim(Dim3::x(256))
+            .resources(ResourceUsage::new(32, 8 * 1024))
+            .body(vec![Stmt::compute_cd(Expr::lit(100), "fma")])
+            .build()
+            .unwrap()
+    }
+
+    fn ptb_kernel() -> KernelDef {
+        KernelDef::builder("ptb", KernelKind::Cuda)
+            .block_dim(Dim3::x(256))
+            .resources(ResourceUsage::new(32, 8 * 1024))
+            .param("original_block_num")
+            .body(vec![Stmt::PtbLoop {
+                original_blocks: Expr::param("original_block_num"),
+                body: vec![Stmt::compute_cd(Expr::lit(100), "fma")],
+            }])
+            .ptb(true)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn plain_kernel_issues_original_grid() {
+        let spec = GpuSpec::rtx2080ti();
+        let launch = KernelLaunch::new(Arc::new(plain_kernel()), 500, Bindings::new());
+        let plan = ExecutablePlan::from_launch(&spec, &launch).unwrap();
+        assert_eq!(plan.issued_blocks, 500);
+        assert_eq!(plan.block.roles[0].original_blocks, 500);
+    }
+
+    #[test]
+    fn ptb_kernel_issues_one_wave() {
+        let spec = GpuSpec::rtx2080ti();
+        let launch = KernelLaunch::new(Arc::new(ptb_kernel()), 5000, Bindings::new());
+        let plan = ExecutablePlan::from_launch(&spec, &launch).unwrap();
+        // 8 KB smem → 8 blocks/SM cap, but thread slots cap at 4 (1024/256).
+        let occ = plan.occupancy(&spec);
+        assert_eq!(occ, 4);
+        assert_eq!(plan.issued_blocks, occ as u64 * 68);
+        // The persistent blocks still cover the whole original grid.
+        assert_eq!(plan.block.roles[0].original_blocks, 5000);
+    }
+
+    #[test]
+    fn ptb_kernel_small_grid_is_not_overissued() {
+        let spec = GpuSpec::rtx2080ti();
+        let launch = KernelLaunch::new(Arc::new(ptb_kernel()), 10, Bindings::new());
+        let plan = ExecutablePlan::from_launch(&spec, &launch).unwrap();
+        assert_eq!(plan.issued_blocks, 10);
+    }
+
+    #[test]
+    fn oversized_block_rejected() {
+        let spec = GpuSpec::rtx2080ti();
+        let def = KernelDef::builder("fat", KernelKind::Cuda)
+            .block_dim(Dim3::x(256))
+            .resources(ResourceUsage::new(32, 128 * 1024))
+            .body(vec![Stmt::compute_cd(Expr::lit(1), "fma")])
+            .build()
+            .unwrap();
+        let launch = KernelLaunch::new(Arc::new(def), 10, Bindings::new());
+        assert!(matches!(
+            ExecutablePlan::from_launch(&spec, &launch),
+            Err(SimError::LaunchFailure { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_grid_rejected() {
+        let spec = GpuSpec::rtx2080ti();
+        let launch = KernelLaunch::new(Arc::new(plain_kernel()), 0, Bindings::new());
+        assert!(ExecutablePlan::from_launch(&spec, &launch).is_err());
+    }
+
+    #[test]
+    fn busiest_sm_share() {
+        let spec = GpuSpec::rtx2080ti();
+        let launch = KernelLaunch::new(Arc::new(plain_kernel()), 69, Bindings::new());
+        let plan = ExecutablePlan::from_launch(&spec, &launch).unwrap();
+        assert_eq!(plan.blocks_on_busiest_sm(&spec), 2);
+    }
+}

@@ -1,0 +1,182 @@
+//! GPU power estimation (§V-D).
+//!
+//! The paper measures (via `nvidia-smi`) that a 2080Ti or V100 already sits
+//! at its board power limit while running a single Tensor-Core kernel, and
+//! that activating the CUDA Cores simultaneously keeps it pinned there —
+//! i.e. kernel fusion costs no additional power. This module reproduces
+//! that observation with a simple utilization-linear model capped at the
+//! board TDP: dynamic power scales with pipeline and DRAM activity, and the
+//! cap binds as soon as the Tensor pipeline is well utilized.
+
+use tacker_kernel::Cycles;
+
+use crate::result::KernelRun;
+use crate::spec::GpuSpec;
+
+/// A utilization-linear power model with a board TDP cap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// Idle board power, watts.
+    pub idle_w: f64,
+    /// Power at full Tensor-pipeline utilization, watts (added to idle).
+    pub tc_full_w: f64,
+    /// Power at full CUDA-pipeline utilization, watts (added to idle).
+    pub cd_full_w: f64,
+    /// Power at full DRAM-bandwidth utilization, watts (added to idle).
+    pub dram_full_w: f64,
+    /// Board power limit, watts.
+    pub tdp_w: f64,
+}
+
+impl PowerModel {
+    /// RTX 2080Ti: 260 W board limit.
+    pub const RTX2080TI: PowerModel = PowerModel {
+        idle_w: 55.0,
+        tc_full_w: 230.0,
+        cd_full_w: 150.0,
+        dram_full_w: 60.0,
+        tdp_w: 260.0,
+    };
+
+    /// V100 (SXM2): 300 W board limit.
+    pub const V100: PowerModel = PowerModel {
+        idle_w: 60.0,
+        tc_full_w: 270.0,
+        cd_full_w: 170.0,
+        dram_full_w: 70.0,
+        tdp_w: 300.0,
+    };
+
+    /// The model matching a device spec.
+    pub fn for_spec(spec: &GpuSpec) -> PowerModel {
+        if spec.name.contains("V100") {
+            PowerModel::V100
+        } else {
+            PowerModel::RTX2080TI
+        }
+    }
+
+    /// Estimated average board power over a kernel run, watts (TDP-capped,
+    /// as the silicon's power limiter enforces).
+    pub fn estimate(&self, spec: &GpuSpec, run: &KernelRun) -> f64 {
+        if run.cycles == Cycles::ZERO {
+            return self.idle_w;
+        }
+        let dur = run.cycles.get() as f64;
+        let tc_util = run.activity.tc_busy.get() as f64 / dur;
+        let cd_util = run.activity.cd_busy.get() as f64 / dur;
+        let dram_util = (run.dram_bytes * spec.sm_count as f64)
+            / (spec.dram_bytes_per_cycle * dur).max(1.0);
+        let raw = self.idle_w
+            + tc_util * self.tc_full_w
+            + cd_util * self.cd_full_w
+            + dram_util.min(1.0) * self.dram_full_w;
+        raw.min(self.tdp_w)
+    }
+
+    /// Whether a run sits at the board power limit.
+    pub fn at_limit(&self, spec: &GpuSpec, run: &KernelRun) -> bool {
+        self.estimate(spec, run) >= self.tdp_w - 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate;
+    use crate::plan::ExecutablePlan;
+    use tacker_kernel::ast::ComputeUnit;
+    use tacker_kernel::{BlockProgram, Op, ResourceUsage, WarpProgram, WarpRole};
+
+    fn run_of(unit: ComputeUnit, warps: u32, ops: u64) -> (GpuSpec, KernelRun) {
+        let spec = GpuSpec::rtx2080ti();
+        let block = BlockProgram::new(vec![WarpRole {
+            name: "w".into(),
+            warps,
+            program: WarpProgram::new(vec![Op::Compute { unit, ops }]),
+            original_blocks: 68 * 4,
+        }]);
+        let threads = block.threads();
+        let plan = ExecutablePlan {
+            name: "p".into(),
+            block,
+            issued_blocks: 68 * 4,
+            resources: ResourceUsage::new(32, 0),
+            threads_per_block: threads,
+            fingerprint: None,
+        };
+        let run = simulate(&spec, &plan).expect("runs");
+        (spec, run)
+    }
+
+    #[test]
+    fn single_tc_kernel_hits_the_power_limit() {
+        // §V-D: "the power of a GPU already achieves the peak power limit
+        // when the GPU runs a single TC kernel".
+        let (spec, run) = run_of(ComputeUnit::Tensor, 8, 500_000);
+        let model = PowerModel::for_spec(&spec);
+        assert!(
+            model.at_limit(&spec, &run),
+            "estimated {} W",
+            model.estimate(&spec, &run)
+        );
+    }
+
+    #[test]
+    fn fused_kernel_stays_at_the_limit() {
+        // "When the CUDA Cores and Tensor Cores are active simultaneously,
+        // the power stays at the peak."
+        let spec = GpuSpec::rtx2080ti();
+        let block = BlockProgram::new(vec![
+            WarpRole {
+                name: "tc".into(),
+                warps: 4,
+                program: WarpProgram::new(vec![Op::Compute {
+                    unit: ComputeUnit::Tensor,
+                    ops: 500_000,
+                }]),
+                original_blocks: 68 * 4,
+            },
+            WarpRole {
+                name: "cd".into(),
+                warps: 4,
+                program: WarpProgram::new(vec![Op::Compute {
+                    unit: ComputeUnit::Cuda,
+                    ops: 62_500,
+                }]),
+                original_blocks: 68 * 4,
+            },
+        ]);
+        let threads = block.threads();
+        let plan = ExecutablePlan {
+            name: "fused".into(),
+            block,
+            issued_blocks: 68 * 4,
+            resources: ResourceUsage::new(32, 0),
+            threads_per_block: threads,
+            fingerprint: None,
+        };
+        let run = simulate(&spec, &plan).expect("runs");
+        let model = PowerModel::for_spec(&spec);
+        let est = model.estimate(&spec, &run);
+        assert!((est - model.tdp_w).abs() < 1e-9, "estimated {est} W");
+    }
+
+    #[test]
+    fn light_kernels_stay_below_the_limit() {
+        let (spec, run) = run_of(ComputeUnit::Cuda, 1, 1_000);
+        let model = PowerModel::for_spec(&spec);
+        let est = model.estimate(&spec, &run);
+        assert!(est < model.tdp_w, "estimated {est} W");
+        assert!(est >= model.idle_w);
+    }
+
+    #[test]
+    fn spec_dispatch() {
+        assert_eq!(PowerModel::for_spec(&GpuSpec::v100()), PowerModel::V100);
+        assert_eq!(
+            PowerModel::for_spec(&GpuSpec::rtx2080ti()),
+            PowerModel::RTX2080TI
+        );
+    }
+}

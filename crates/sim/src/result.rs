@@ -1,0 +1,201 @@
+//! Results of simulated kernel executions.
+
+use std::fmt;
+
+use tacker_kernel::{Cycles, SimTime};
+
+/// A half-open busy interval `[start, end)` in cycles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Interval start, cycles.
+    pub start: f64,
+    /// Interval end, cycles.
+    pub end: f64,
+}
+
+impl Interval {
+    /// Interval length in cycles.
+    pub fn len(&self) -> f64 {
+        (self.end - self.start).max(0.0)
+    }
+
+    /// Whether the interval is empty.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// Merges a sorted-by-start interval list, closing gaps smaller than
+/// `gap_tolerance` cycles.
+pub fn merge_intervals(mut intervals: Vec<Interval>, gap_tolerance: f64) -> Vec<Interval> {
+    intervals.retain(|iv| !iv.is_empty());
+    intervals.sort_by(|a, b| a.start.total_cmp(&b.start));
+    let mut out: Vec<Interval> = Vec::new();
+    for iv in intervals {
+        match out.last_mut() {
+            Some(last) if iv.start <= last.end + gap_tolerance => {
+                last.end = last.end.max(iv.end);
+            }
+            _ => out.push(iv),
+        }
+    }
+    out
+}
+
+/// Busy-time summary for the two compute pipelines over one kernel run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ActivitySummary {
+    /// Cycles the Tensor pipeline was busy on the representative SM.
+    pub tc_busy: Cycles,
+    /// Cycles the CUDA pipeline was busy on the representative SM.
+    pub cd_busy: Cycles,
+}
+
+impl ActivitySummary {
+    /// Tensor-pipeline utilization over `duration`.
+    pub fn tc_utilization(&self, duration: Cycles) -> f64 {
+        if duration == Cycles::ZERO {
+            0.0
+        } else {
+            self.tc_busy.get() as f64 / duration.get() as f64
+        }
+    }
+
+    /// CUDA-pipeline utilization over `duration`.
+    pub fn cd_utilization(&self, duration: Cycles) -> f64 {
+        if duration == Cycles::ZERO {
+            0.0
+        } else {
+            self.cd_busy.get() as f64 / duration.get() as f64
+        }
+    }
+}
+
+/// The outcome of simulating one kernel (or fused kernel) execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelRun {
+    /// Kernel name.
+    pub name: String,
+    /// Makespan on the busiest SM, in cycles (includes launch overheads).
+    pub cycles: Cycles,
+    /// Makespan converted with the device clock.
+    pub duration: SimTime,
+    /// Pipeline busy-time summary.
+    pub activity: ActivitySummary,
+    /// Merged Tensor-pipeline busy intervals (coarsened).
+    pub tc_intervals: Vec<Interval>,
+    /// Merged CUDA-pipeline busy intervals (coarsened).
+    pub cd_intervals: Vec<Interval>,
+    /// Completion cycle of each warp role (role name, finish), letting
+    /// callers observe the co-run/solo-run phase split of fused kernels.
+    pub role_finish: Vec<(String, Cycles)>,
+    /// Resident blocks per SM this run achieved.
+    pub occupancy: u32,
+    /// DRAM bytes moved by the representative SM (post-locality).
+    pub dram_bytes: f64,
+}
+
+impl KernelRun {
+    /// Finish cycle of the role whose name contains `needle`, if any.
+    pub fn role_finish_containing(&self, needle: &str) -> Option<Cycles> {
+        self.role_finish
+            .iter()
+            .find(|(n, _)| n.contains(needle))
+            .map(|(_, c)| *c)
+    }
+
+    /// The co-run phase length: cycles until the *first* role finished.
+    pub fn corun_cycles(&self) -> Cycles {
+        self.role_finish
+            .iter()
+            .map(|(_, c)| *c)
+            .min()
+            .unwrap_or(Cycles::ZERO)
+    }
+}
+
+impl fmt::Display for KernelRun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} ({}), TC {:.0}%, CD {:.0}%",
+            self.name,
+            self.duration,
+            self.cycles,
+            100.0 * self.activity.tc_utilization(self.cycles),
+            100.0 * self.activity.cd_utilization(self.cycles)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_closes_small_gaps() {
+        let ivs = vec![
+            Interval {
+                start: 0.0,
+                end: 10.0,
+            },
+            Interval {
+                start: 11.0,
+                end: 20.0,
+            },
+            Interval {
+                start: 50.0,
+                end: 60.0,
+            },
+        ];
+        let merged = merge_intervals(ivs, 2.0);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].end, 20.0);
+    }
+
+    #[test]
+    fn merge_drops_empty_and_sorts() {
+        let ivs = vec![
+            Interval {
+                start: 30.0,
+                end: 40.0,
+            },
+            Interval {
+                start: 5.0,
+                end: 5.0,
+            },
+            Interval {
+                start: 0.0,
+                end: 10.0,
+            },
+        ];
+        let merged = merge_intervals(ivs, 0.0);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].start, 0.0);
+    }
+
+    #[test]
+    fn utilization_handles_zero_duration() {
+        let a = ActivitySummary::default();
+        assert_eq!(a.tc_utilization(Cycles::ZERO), 0.0);
+        assert_eq!(a.cd_utilization(Cycles::ZERO), 0.0);
+    }
+
+    #[test]
+    fn corun_cycles_is_min_role_finish() {
+        let run = KernelRun {
+            name: "f".into(),
+            cycles: Cycles::new(100),
+            duration: SimTime::from_nanos(100),
+            activity: ActivitySummary::default(),
+            tc_intervals: vec![],
+            cd_intervals: vec![],
+            role_finish: vec![("tc".into(), Cycles::new(60)), ("cd".into(), Cycles::new(100))],
+            occupancy: 1,
+            dram_bytes: 0.0,
+        };
+        assert_eq!(run.corun_cycles(), Cycles::new(60));
+        assert_eq!(run.role_finish_containing("cd"), Some(Cycles::new(100)));
+        assert_eq!(run.role_finish_containing("zz"), None);
+    }
+}

@@ -1,0 +1,160 @@
+//! GPU device specifications.
+//!
+//! A [`GpuSpec`] bundles SM capacity limits with pipeline throughputs and a
+//! memory-system description. Presets are provided for the two devices in
+//! the paper's evaluation (Table II and §VIII-F): the NVIDIA RTX 2080Ti
+//! (Turing) and the Tesla V100 (Volta). Throughputs are per-SM, per-cycle
+//! steady-state numbers derived from the public architecture whitepapers;
+//! they set the *relative* speeds the experiments depend on (Tensor Cores
+//! roughly an order of magnitude denser than CUDA Cores for GEMM work).
+
+use tacker_kernel::SmCapacity;
+
+/// Throughput and latency description of one GPU generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSpec {
+    /// Marketing name, for reports.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// Core clock in GHz (cycles → wall time conversion).
+    pub clock_ghz: f64,
+    /// Per-SM capacity limits (threads, registers, shared memory, ...).
+    pub sm: SmCapacity,
+    /// Tensor-pipeline throughput: FMA-equivalent ops per cycle per SM.
+    pub tc_ops_per_cycle: f64,
+    /// CUDA-core throughput: FP32 FMA ops per cycle per SM.
+    pub cd_ops_per_cycle: f64,
+    /// Shared-memory bandwidth, bytes per cycle per SM.
+    pub shared_bytes_per_cycle: f64,
+    /// L1 bandwidth, bytes per cycle per SM.
+    pub l1_bytes_per_cycle: f64,
+    /// Aggregate DRAM bandwidth, bytes per cycle (whole device).
+    pub dram_bytes_per_cycle: f64,
+    /// L1 hit latency in cycles.
+    pub l1_latency: f64,
+    /// DRAM miss latency in cycles.
+    pub dram_latency: f64,
+    /// Shared-memory access latency in cycles.
+    pub shared_latency: f64,
+    /// Instruction-issue slots per cycle per SM (warp schedulers).
+    pub issue_slots_per_cycle: f64,
+    /// Issue/decode occupancy cost per lowered op, in issue-slot cycles.
+    /// This models the per-instruction scheduling overhead that makes a
+    /// fused kernel a few percent slower than perfect overlap (Table I's
+    /// 1.03×).
+    pub issue_cost_per_op: f64,
+    /// Fixed cost of launching a fresh block onto an SM, cycles.
+    pub block_launch_overhead: f64,
+    /// Fixed kernel launch latency added to every kernel, cycles.
+    pub kernel_launch_overhead: f64,
+}
+
+impl GpuSpec {
+    /// NVIDIA GeForce RTX 2080Ti (Turing TU102): 68 SMs, 544 Tensor Cores,
+    /// 64 KB shared memory per SM, ~616 GB/s GDDR6.
+    pub fn rtx2080ti() -> GpuSpec {
+        GpuSpec {
+            name: "RTX 2080Ti".to_string(),
+            sm_count: 68,
+            clock_ghz: 1.545,
+            sm: SmCapacity::TURING,
+            // 8 Tensor Cores/SM × 64 FMA/cycle peak; real mainloops sustain
+            // about half of peak, which is what the timing model uses.
+            tc_ops_per_cycle: 256.0,
+            // 64 FP32 cores/SM peak, ~50% sustained.
+            cd_ops_per_cycle: 32.0,
+            shared_bytes_per_cycle: 128.0,
+            l1_bytes_per_cycle: 64.0,
+            // 616 GB/s peak ÷ 1.545 GHz ≈ 399 B/cycle; ~75% achievable on
+            // well-coalesced streams.
+            dram_bytes_per_cycle: 300.0,
+            l1_latency: 32.0,
+            dram_latency: 420.0,
+            shared_latency: 24.0,
+            issue_slots_per_cycle: 4.0,
+            issue_cost_per_op: 8.0,
+            block_launch_overhead: 300.0,
+            kernel_launch_overhead: 3000.0,
+        }
+    }
+
+    /// NVIDIA Tesla V100 (Volta GV100): 80 SMs, 640 Tensor Cores, 96 KB
+    /// shared memory per SM, ~900 GB/s HBM2.
+    pub fn v100() -> GpuSpec {
+        GpuSpec {
+            name: "V100".to_string(),
+            sm_count: 80,
+            clock_ghz: 1.38,
+            sm: SmCapacity::VOLTA,
+            tc_ops_per_cycle: 256.0,
+            cd_ops_per_cycle: 32.0,
+            shared_bytes_per_cycle: 128.0,
+            l1_bytes_per_cycle: 64.0,
+            // 900 GB/s peak ÷ 1.38 GHz ≈ 652 B/cycle; ~75% achievable.
+            dram_bytes_per_cycle: 489.0,
+            l1_latency: 28.0,
+            dram_latency: 400.0,
+            shared_latency: 20.0,
+            issue_slots_per_cycle: 4.0,
+            issue_cost_per_op: 8.0,
+            block_launch_overhead: 300.0,
+            kernel_launch_overhead: 3000.0,
+        }
+    }
+
+    /// DRAM bandwidth share of one SM when `active_sms` SMs stream memory.
+    pub fn dram_bytes_per_cycle_per_sm(&self, active_sms: u32) -> f64 {
+        self.dram_bytes_per_cycle / active_sms.max(1) as f64
+    }
+
+    /// Converts a cycle count to simulated time on this device's clock.
+    pub fn cycles_to_time(&self, cycles: tacker_kernel::Cycles) -> tacker_kernel::SimTime {
+        cycles.to_sim_time(self.clock_ghz)
+    }
+}
+
+impl Default for GpuSpec {
+    fn default() -> Self {
+        GpuSpec::rtx2080ti()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacker_kernel::Cycles;
+
+    #[test]
+    fn presets_match_table_ii() {
+        let t = GpuSpec::rtx2080ti();
+        assert_eq!(t.sm_count, 68);
+        assert_eq!(t.sm.shared_mem_bytes, 64 * 1024);
+        let v = GpuSpec::v100();
+        assert_eq!(v.sm.shared_mem_bytes, 96 * 1024);
+        assert!(v.sm_count > t.sm_count);
+    }
+
+    #[test]
+    fn tensor_cores_dominate_cuda_cores() {
+        let t = GpuSpec::rtx2080ti();
+        assert!(t.tc_ops_per_cycle / t.cd_ops_per_cycle >= 4.0);
+    }
+
+    #[test]
+    fn dram_share_scales_with_active_sms() {
+        let t = GpuSpec::rtx2080ti();
+        let all = t.dram_bytes_per_cycle_per_sm(68);
+        let one = t.dram_bytes_per_cycle_per_sm(1);
+        assert!((one / all - 68.0).abs() < 1e-9);
+        // Zero active SMs does not divide by zero.
+        assert!(t.dram_bytes_per_cycle_per_sm(0).is_finite());
+    }
+
+    #[test]
+    fn cycles_to_time_uses_clock() {
+        let t = GpuSpec::rtx2080ti();
+        let time = t.cycles_to_time(Cycles::new(1_545_000));
+        assert_eq!(time.as_micros_f64().round() as u64, 1000);
+    }
+}

@@ -1,0 +1,260 @@
+//! Device-level activity timelines.
+//!
+//! The recorder stitches individual [`KernelRun`]s into a wall-clock
+//! timeline of which kernel occupied the device when, and how busy each
+//! compute pipeline was during it. This regenerates the paper's Figs. 1, 2
+//! and 15: under a reorder-only scheduler, Tensor-busy and CUDA-busy
+//! intervals never overlap (the *false high utilization* problem); under
+//! Tacker, fused-kernel entries are busy on both pipelines at once.
+
+use std::fmt::Write as _;
+
+use tacker_kernel::SimTime;
+
+use crate::result::KernelRun;
+
+/// One executed kernel on the device timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineEntry {
+    /// Kernel name.
+    pub name: String,
+    /// Free-form label (e.g. "LC", "BE", "FUSED").
+    pub label: String,
+    /// Start instant.
+    pub start: SimTime,
+    /// End instant.
+    pub end: SimTime,
+    /// Tensor-pipeline utilization during the kernel, `[0, 1]`.
+    pub tc_util: f64,
+    /// CUDA-pipeline utilization during the kernel, `[0, 1]`.
+    pub cd_util: f64,
+}
+
+impl TimelineEntry {
+    /// Entry duration.
+    pub fn duration(&self) -> SimTime {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Whether the Tensor pipeline was meaningfully active (>5%).
+    pub fn tc_active(&self) -> bool {
+        self.tc_util > 0.05
+    }
+
+    /// Whether the CUDA pipeline was meaningfully active (>5%).
+    pub fn cd_active(&self) -> bool {
+        self.cd_util > 0.05
+    }
+}
+
+/// Accumulates kernel executions into a device timeline.
+#[derive(Debug, Clone, Default)]
+pub struct TimelineRecorder {
+    entries: Vec<TimelineEntry>,
+    cursor: SimTime,
+}
+
+impl TimelineRecorder {
+    /// Creates an empty timeline starting at t = 0.
+    pub fn new() -> TimelineRecorder {
+        TimelineRecorder::default()
+    }
+
+    /// Current end-of-timeline instant.
+    pub fn now(&self) -> SimTime {
+        self.cursor
+    }
+
+    /// Recorded entries in execution order.
+    pub fn entries(&self) -> &[TimelineEntry] {
+        &self.entries
+    }
+
+    /// Moves the cursor forward to `instant` (idle gap). Does nothing if
+    /// `instant` is in the past.
+    pub fn advance_to(&mut self, instant: SimTime) {
+        self.cursor = self.cursor.max(instant);
+    }
+
+    /// Appends a kernel run at the cursor and advances it. Returns the
+    /// entry's (start, end).
+    pub fn record(&mut self, run: &KernelRun, label: impl Into<String>) -> (SimTime, SimTime) {
+        let start = self.cursor;
+        let end = start + run.duration;
+        self.entries.push(TimelineEntry {
+            name: run.name.clone(),
+            label: label.into(),
+            start,
+            end,
+            tc_util: run.activity.tc_utilization(run.cycles),
+            cd_util: run.activity.cd_utilization(run.cycles),
+        });
+        self.cursor = end;
+        (start, end)
+    }
+
+    /// Total time the Tensor pipeline was active.
+    pub fn tc_active_time(&self) -> SimTime {
+        self.entries
+            .iter()
+            .filter(|e| e.tc_active())
+            .map(TimelineEntry::duration)
+            .sum()
+    }
+
+    /// Total time the CUDA pipeline was active.
+    pub fn cd_active_time(&self) -> SimTime {
+        self.entries
+            .iter()
+            .filter(|e| e.cd_active())
+            .map(TimelineEntry::duration)
+            .sum()
+    }
+
+    /// Total time *both* pipelines were active simultaneously — zero under
+    /// reorder-only scheduling, positive under Tacker.
+    pub fn both_active_time(&self) -> SimTime {
+        self.entries
+            .iter()
+            .filter(|e| e.tc_active() && e.cd_active())
+            .map(TimelineEntry::duration)
+            .sum()
+    }
+
+    /// Exports the timeline in Chrome trace-event format (load the output
+    /// in `chrome://tracing` or Perfetto): one row per pipeline, one
+    /// complete event per kernel that kept the pipeline busy.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut events = Vec::new();
+        for e in &self.entries {
+            let mut rows: Vec<(&str, u32)> = Vec::new();
+            if e.tc_active() {
+                rows.push(("Tensor Cores", 1));
+            }
+            if e.cd_active() {
+                rows.push(("CUDA Cores", 2));
+            }
+            for (row, tid) in rows {
+                events.push(format!(
+                    concat!(
+                        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",",
+                        "\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{},",
+                        "\"args\":{{\"tc_util\":{:.3},\"cd_util\":{:.3}}}}}"
+                    ),
+                    e.name,
+                    e.label,
+                    e.start.as_micros_f64(),
+                    e.duration().as_micros_f64(),
+                    tid,
+                    e.tc_util,
+                    e.cd_util
+                ));
+                let _ = row;
+            }
+        }
+        format!("{{\"traceEvents\":[{}]}}", events.join(","))
+    }
+
+    /// Renders a two-row ASCII timeline (`width` columns) of Tensor and
+    /// CUDA pipeline activity, as in Figs. 1 and 15.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let total = self.cursor.as_nanos().max(1);
+        let mut tc_row = vec![' '; width];
+        let mut cd_row = vec![' '; width];
+        for e in &self.entries {
+            let c0 = (e.start.as_nanos() as u128 * width as u128 / total as u128) as usize;
+            let c1 = ((e.end.as_nanos() as u128 * width as u128).div_ceil(total as u128)) as usize;
+            for col in c0..c1.min(width) {
+                if e.tc_active() {
+                    tc_row[col] = '#';
+                }
+                if e.cd_active() {
+                    cd_row[col] = '=';
+                }
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "TC |{}|", tc_row.iter().collect::<String>());
+        let _ = writeln!(out, "CD |{}|", cd_row.iter().collect::<String>());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacker_kernel::Cycles;
+
+    fn run(name: &str, dur_us: u64, tc: f64, cd: f64) -> KernelRun {
+        let cycles = Cycles::new(dur_us * 1000);
+        KernelRun {
+            name: name.into(),
+            cycles,
+            duration: SimTime::from_micros(dur_us),
+            activity: crate::result::ActivitySummary {
+                tc_busy: Cycles::new((cycles.get() as f64 * tc) as u64),
+                cd_busy: Cycles::new((cycles.get() as f64 * cd) as u64),
+            },
+            tc_intervals: vec![],
+            cd_intervals: vec![],
+            role_finish: vec![],
+            occupancy: 1,
+            dram_bytes: 0.0,
+        }
+    }
+
+    #[test]
+    fn sequential_kernels_never_overlap_pipelines() {
+        let mut tl = TimelineRecorder::new();
+        tl.record(&run("tc_k", 10, 0.9, 0.0), "LC");
+        tl.record(&run("cd_k", 10, 0.0, 0.8), "BE");
+        assert_eq!(tl.tc_active_time(), SimTime::from_micros(10));
+        assert_eq!(tl.cd_active_time(), SimTime::from_micros(10));
+        assert_eq!(tl.both_active_time(), SimTime::ZERO);
+        assert_eq!(tl.now(), SimTime::from_micros(20));
+    }
+
+    #[test]
+    fn fused_kernels_count_as_both_active() {
+        let mut tl = TimelineRecorder::new();
+        tl.record(&run("fused", 10, 0.8, 0.7), "FUSED");
+        assert_eq!(tl.both_active_time(), SimTime::from_micros(10));
+    }
+
+    #[test]
+    fn advance_creates_idle_gap() {
+        let mut tl = TimelineRecorder::new();
+        tl.record(&run("a", 5, 0.5, 0.0), "LC");
+        tl.advance_to(SimTime::from_micros(20));
+        tl.advance_to(SimTime::from_micros(1)); // no-op, in the past
+        assert_eq!(tl.now(), SimTime::from_micros(20));
+        let (start, _) = tl.record(&run("b", 5, 0.0, 0.5), "BE");
+        assert_eq!(start, SimTime::from_micros(20));
+    }
+
+    #[test]
+    fn chrome_trace_exports_one_event_per_active_pipeline() {
+        let mut tl = TimelineRecorder::new();
+        tl.record(&run("tc_k", 10, 0.9, 0.0), "LC");
+        tl.record(&run("fused_k", 10, 0.8, 0.7), "FUSED");
+        let json = tl.to_chrome_trace();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        // tc_k appears once (TC row); fused_k twice (both rows).
+        assert_eq!(json.matches("\"name\":\"tc_k\"").count(), 1);
+        assert_eq!(json.matches("\"name\":\"fused_k\"").count(), 2);
+        assert!(json.contains("\"cat\":\"FUSED\""));
+    }
+
+    #[test]
+    fn ascii_render_marks_rows() {
+        let mut tl = TimelineRecorder::new();
+        tl.record(&run("tc_k", 10, 0.9, 0.0), "LC");
+        tl.record(&run("cd_k", 10, 0.0, 0.8), "BE");
+        let art = tl.render_ascii(20);
+        assert!(art.contains('#'));
+        assert!(art.contains('='));
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 2);
+    }
+}

@@ -1,0 +1,40 @@
+//! Calibration report: per-model MACs, transformed-convolution fraction
+//! (§VIII-H) and solo query duration on the simulated 2080Ti — the numbers
+//! DESIGN.md's workload sizing is based on.
+//!
+//! ```sh
+//! cargo run --release -p tacker-workloads --example calibrate
+//! ```
+
+use tacker_sim::{Device, GpuSpec};
+use tacker_workloads::dnn::compile::{compile, ConvPolicy};
+use tacker_workloads::dnn::DnnModel;
+
+fn main() {
+    let device = Device::new(GpuSpec::rtx2080ti());
+    for m in DnnModel::ALL {
+        let g = m.graph(m.table_ii_batch() as u64);
+        let c = compile(&g, &device, ConvPolicy::Profitable(0.15));
+        let mut total = tacker_kernel::SimTime::ZERO;
+        let mut tc_time = tacker_kernel::SimTime::ZERO;
+        for k in &c.kernels {
+            let run = device.run_launch(&k.launch()).expect("runs");
+            total += run.duration;
+            if k.is_tensor() {
+                tc_time += run.duration;
+            }
+        }
+        println!(
+            "{:<10} batch {:>2}: {:>6.1} GMAC, {} kernels, query {:>7.2} ms (TC part {:>6.2} ms), transformed {:.1}%",
+            m.name(),
+            m.table_ii_batch(),
+            g.total_macs() as f64 / 1e9,
+            c.kernels.len(),
+            total.as_millis_f64(),
+            tc_time.as_millis_f64(),
+            100.0 * c.transformed_fraction()
+        );
+    }
+    let (hits, misses) = device.cache_stats();
+    println!("cache: {hits} hits, {misses} misses");
+}

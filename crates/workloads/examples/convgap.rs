@@ -1,0 +1,25 @@
+//! Per-convolution im2col+GEMM vs cuDNN relative performance (the Fig. 21
+//! metric) for VGG16 and Resnet50.
+//!
+//! ```sh
+//! cargo run --release -p tacker-workloads --example convgap
+//! ```
+use tacker_sim::{Device, GpuSpec};
+use tacker_workloads::dnn::compile::{compile, ConvPolicy};
+use tacker_workloads::dnn::DnnModel;
+
+fn main() {
+    let device = Device::new(GpuSpec::rtx2080ti());
+    for m in [DnnModel::Vgg16, DnnModel::Resnet50] {
+        let g = m.graph(m.table_ii_batch() as u64);
+        let c = compile(&g, &device, ConvPolicy::Profitable(0.15));
+        println!("== {} ==", m.name());
+        for r in &c.convs {
+            println!(
+                "  conv{:<3} M={:<7} N={:<5} K={:<5} rel={:.3} {}",
+                r.index, r.gemm.m, r.gemm.n, r.gemm.k, r.rel_perf,
+                if r.transformed { "TRANSFORMED" } else { "" }
+            );
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Elementwise and pooling CUDA-Core kernels used between convolutions.
+//!
+//! These are the non-GEMM kernels of the LC services (and the kernels the
+//! paper's Fig. 17 predicts: ReLU, Scale, BN, Pooling). Each is a shared
+//! process-wide definition; grids scale with the tensor's element count.
+
+use std::sync::{Arc, OnceLock};
+
+use tacker_kernel::ast::{Expr, Stmt};
+use tacker_kernel::{Bindings, Dim3, KernelDef, KernelKind, ResourceUsage};
+
+use crate::app::WorkloadKernel;
+
+/// Elements processed by one thread.
+pub const ELEMS_PER_THREAD: u64 = 16;
+/// Threads per elementwise block.
+pub const BLOCK_THREADS: u32 = 256;
+/// Elements covered by one block.
+pub const ELEMS_PER_BLOCK: u64 = ELEMS_PER_THREAD * BLOCK_THREADS as u64;
+
+fn streaming_kernel(
+    name: &str,
+    read_bytes_per_elem: u64,
+    write_bytes_per_elem: u64,
+    ops_per_elem: u64,
+    desc: &str,
+) -> KernelDef {
+    KernelDef::builder(name, KernelKind::Cuda)
+        .block_dim(Dim3::x(BLOCK_THREADS))
+        .resources(ResourceUsage::new(24, 0))
+        .body(vec![
+            Stmt::global_load(
+                "in",
+                Expr::lit(read_bytes_per_elem * ELEMS_PER_THREAD),
+                0.25,
+            ),
+            Stmt::compute_cd(Expr::lit(ops_per_elem * ELEMS_PER_THREAD), desc),
+            Stmt::global_store(
+                "out",
+                Expr::lit(write_bytes_per_elem * ELEMS_PER_THREAD),
+                0.0,
+            ),
+        ])
+        .build()
+        .expect("elementwise kernel is valid")
+}
+
+macro_rules! shared_def {
+    ($fn_name:ident, $builder:expr, $doc:literal) => {
+        #[doc = $doc]
+        pub fn $fn_name() -> Arc<KernelDef> {
+            static DEF: OnceLock<Arc<KernelDef>> = OnceLock::new();
+            Arc::clone(DEF.get_or_init(|| Arc::new($builder)))
+        }
+    };
+}
+
+shared_def!(
+    relu,
+    streaming_kernel("ReLU", 2, 2, 1, "out[i] = fmaxf(in[i], 0)"),
+    "The ReLU activation kernel."
+);
+shared_def!(
+    batch_norm,
+    streaming_kernel("BN", 2, 2, 6, "out[i] = gamma[c] * (in[i] - mu[c]) * rsig[c] + beta[c]"),
+    "The inference batch-normalization kernel (scale + shift)."
+);
+shared_def!(
+    scale,
+    streaming_kernel("Scale", 2, 2, 2, "out[i] = in[i] * alpha[c] + bias[c]"),
+    "The Caffe-style Scale kernel."
+);
+shared_def!(
+    add,
+    streaming_kernel("Add", 4, 2, 1, "out[i] = a[i] + b[i]"),
+    "The residual elementwise addition kernel."
+);
+shared_def!(
+    relu_backward,
+    streaming_kernel("ReLU_bwd", 4, 2, 1, "din[i] = in[i] > 0 ? dout[i] : 0"),
+    "The ReLU backward kernel (training)."
+);
+shared_def!(
+    bn_backward,
+    streaming_kernel("BN_bwd", 6, 4, 10, "dgamma/dbeta reduction + dx"),
+    "The batch-normalization backward kernel (training)."
+);
+shared_def!(
+    sgd_update,
+    streaming_kernel("SGD", 6, 4, 4, "m = b1*m + g; w -= lr * m"),
+    "The SGD-with-momentum parameter update kernel (training)."
+);
+
+/// The pooling kernel: per output element, reads a `win_sq`-element window
+/// and reduces it.
+pub fn pool() -> Arc<KernelDef> {
+    static DEF: OnceLock<Arc<KernelDef>> = OnceLock::new();
+    Arc::clone(DEF.get_or_init(|| {
+        Arc::new(
+            KernelDef::builder("Pooling", KernelKind::Cuda)
+                .block_dim(Dim3::x(BLOCK_THREADS))
+                .resources(ResourceUsage::new(28, 0))
+                .param("win_sq")
+                .body(vec![
+                    Stmt::global_load(
+                        "window",
+                        Expr::param("win_sq").mul(Expr::lit(2 * ELEMS_PER_THREAD)),
+                        0.6,
+                    ),
+                    Stmt::compute_cd(
+                        Expr::param("win_sq").mul(Expr::lit(ELEMS_PER_THREAD)),
+                        "acc = reduce(window)",
+                    ),
+                    Stmt::global_store("out", Expr::lit(2 * ELEMS_PER_THREAD), 0.0),
+                ])
+                .build()
+                .expect("pool kernel is valid"),
+        )
+    }))
+}
+
+/// Grid size covering `elems` elements.
+pub fn grid_for(elems: u64) -> u64 {
+    elems.div_ceil(ELEMS_PER_BLOCK).max(1)
+}
+
+/// A launch of an elementwise kernel over `elems` elements.
+pub fn elementwise_workload(def: &Arc<KernelDef>, elems: u64) -> WorkloadKernel {
+    WorkloadKernel::new(Arc::clone(def), grid_for(elems), Bindings::new())
+}
+
+/// A pooling launch over `out_elems` output elements with a `k × k` window.
+pub fn pool_workload(out_elems: u64, window_sq: u64) -> WorkloadKernel {
+    let mut b = Bindings::new();
+    b.insert("win_sq".to_string(), window_sq.max(1));
+    WorkloadKernel::new(pool(), grid_for(out_elems), b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_defs_are_singletons() {
+        assert_eq!(relu().id(), relu().id());
+        assert_ne!(relu().id(), batch_norm().id());
+    }
+
+    #[test]
+    fn grid_covers_all_elements() {
+        assert_eq!(grid_for(1), 1);
+        assert_eq!(grid_for(ELEMS_PER_BLOCK), 1);
+        assert_eq!(grid_for(ELEMS_PER_BLOCK + 1), 2);
+        assert_eq!(grid_for(10 * ELEMS_PER_BLOCK), 10);
+    }
+
+    #[test]
+    fn pool_workload_binds_window() {
+        let wk = pool_workload(4096, 9);
+        assert_eq!(wk.bindings.get("win_sq"), Some(&9));
+        assert_eq!(wk.grid, 1);
+        // Global average pool over 49 elements works too.
+        let gap = pool_workload(2048, 49);
+        assert_eq!(gap.bindings.get("win_sq"), Some(&49));
+    }
+
+    #[test]
+    fn all_are_cuda_kernels() {
+        for def in [
+            relu(),
+            batch_norm(),
+            scale(),
+            add(),
+            relu_backward(),
+            bn_backward(),
+            sgd_update(),
+            pool(),
+        ] {
+            assert_eq!(def.kind(), KernelKind::Cuda, "{}", def.name());
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Model graphs: ordered layer sequences with resolved shapes.
+//!
+//! Branchy architectures (Inception, DenseNet, residual networks) are
+//! linearized into the kernel-execution order a framework would launch;
+//! concatenations are modelled by adjusting the tracked channel count,
+//! which is exactly their effect on downstream kernel shapes.
+
+use std::fmt;
+
+use super::layer::{ConvSpec, Layer, LayerInstance};
+use super::shapes::TensorShape;
+
+/// A compiled-shape model graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelGraph {
+    name: String,
+    input: TensorShape,
+    layers: Vec<LayerInstance>,
+}
+
+impl ModelGraph {
+    /// Model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The network input shape.
+    pub fn input(&self) -> TensorShape {
+        self.input
+    }
+
+    /// Layers in execution order.
+    pub fn layers(&self) -> &[LayerInstance] {
+        &self.layers
+    }
+
+    /// Convolution layers in execution order.
+    pub fn convs(&self) -> impl Iterator<Item = (ConvSpec, TensorShape)> + '_ {
+        self.layers.iter().filter_map(|l| match l.layer {
+            Layer::Conv(c) => Some((c, l.input)),
+            _ => None,
+        })
+    }
+
+    /// Number of convolution layers.
+    pub fn conv_count(&self) -> usize {
+        self.convs().count()
+    }
+
+    /// Total convolution multiply-accumulates.
+    pub fn total_macs(&self) -> u64 {
+        self.convs().map(|(c, i)| c.macs(i)).sum()
+    }
+
+    /// Total weight parameters of the convolution and fully-connected
+    /// layers (BN scale/shift omitted — sub-percent).
+    pub fn total_params(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| match l.layer {
+                Layer::Conv(c) => c.params(l.input),
+                Layer::FullyConnected { out } => {
+                    out * (l.input.elems() / l.input.n.max(1))
+                }
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+impl fmt::Display for ModelGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} layers, {} convs, {:.1} GMAC)",
+            self.name,
+            self.layers.len(),
+            self.conv_count(),
+            self.total_macs() as f64 / 1e9
+        )
+    }
+}
+
+/// Incremental graph builder tracking the current tensor shape.
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    name: String,
+    input: TensorShape,
+    cur: TensorShape,
+    layers: Vec<LayerInstance>,
+}
+
+impl GraphBuilder {
+    /// Starts a graph at the given input shape.
+    pub fn new(name: impl Into<String>, input: TensorShape) -> GraphBuilder {
+        GraphBuilder {
+            name: name.into(),
+            input,
+            cur: input,
+            layers: Vec::new(),
+        }
+    }
+
+    /// The shape after the last pushed layer.
+    pub fn shape(&self) -> TensorShape {
+        self.cur
+    }
+
+    /// Pushes any layer.
+    pub fn push(&mut self, layer: Layer) -> &mut Self {
+        let output = layer.out_shape(self.cur);
+        self.layers.push(LayerInstance {
+            layer,
+            input: self.cur,
+            output,
+        });
+        self.cur = output;
+        self
+    }
+
+    /// Convolution.
+    pub fn conv(&mut self, out_channels: u64, kernel: u32, stride: u32, pad: u32) -> &mut Self {
+        self.push(Layer::Conv(ConvSpec::new(out_channels, kernel, stride, pad)))
+    }
+
+    /// Grouped convolution.
+    pub fn conv_grouped(
+        &mut self,
+        out_channels: u64,
+        kernel: u32,
+        stride: u32,
+        pad: u32,
+        groups: u32,
+    ) -> &mut Self {
+        self.push(Layer::Conv(ConvSpec::grouped(
+            out_channels,
+            kernel,
+            stride,
+            pad,
+            groups,
+        )))
+    }
+
+    /// Conv + BN + ReLU, the standard block.
+    pub fn conv_bn_relu(&mut self, out_channels: u64, kernel: u32, stride: u32, pad: u32) -> &mut Self {
+        self.conv(out_channels, kernel, stride, pad).bn().relu()
+    }
+
+    /// Batch norm.
+    pub fn bn(&mut self) -> &mut Self {
+        self.push(Layer::BatchNorm)
+    }
+
+    /// ReLU.
+    pub fn relu(&mut self) -> &mut Self {
+        self.push(Layer::ReLU)
+    }
+
+    /// Residual add.
+    pub fn add(&mut self) -> &mut Self {
+        self.push(Layer::Add)
+    }
+
+    /// Max pool.
+    pub fn maxpool(&mut self, k: u32, stride: u32) -> &mut Self {
+        self.push(Layer::MaxPool { k, stride })
+    }
+
+    /// Average pool.
+    pub fn avgpool(&mut self, k: u32, stride: u32) -> &mut Self {
+        self.push(Layer::AvgPool { k, stride })
+    }
+
+    /// Global average pool.
+    pub fn gap(&mut self) -> &mut Self {
+        self.push(Layer::GlobalAvgPool)
+    }
+
+    /// Fully connected.
+    pub fn fc(&mut self, out: u64) -> &mut Self {
+        self.push(Layer::FullyConnected { out })
+    }
+
+    /// Models a concatenation: downstream layers see `channels` channels
+    /// at the current spatial size.
+    pub fn set_channels(&mut self, channels: u64) -> &mut Self {
+        self.cur = self.cur.with_channels(channels);
+        self
+    }
+
+    /// Rewinds the tracked shape to `shape` (used when linearizing a
+    /// branchy block: every branch reads the block input).
+    pub fn set_shape(&mut self, shape: TensorShape) -> &mut Self {
+        self.cur = shape;
+        self
+    }
+
+    /// Finalizes the graph.
+    pub fn build(self) -> ModelGraph {
+        ModelGraph {
+            name: self.name,
+            input: self.input,
+            layers: self.layers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_threads_shapes() {
+        let mut b = GraphBuilder::new("toy", TensorShape::new(2, 3, 32, 32));
+        b.conv_bn_relu(16, 3, 1, 1).maxpool(2, 2).gap().fc(10);
+        let g = b.build();
+        assert_eq!(g.layers().len(), 6);
+        assert_eq!(g.conv_count(), 1);
+        let last = g.layers().last().unwrap();
+        assert_eq!(last.output, TensorShape::new(2, 10, 1, 1));
+    }
+
+    #[test]
+    fn concat_adjusts_channels() {
+        let mut b = GraphBuilder::new("cat", TensorShape::new(1, 32, 8, 8));
+        b.conv(32, 3, 1, 1);
+        b.set_channels(64); // concat with the input
+        b.conv(16, 1, 1, 0);
+        let g = b.build();
+        let convs: Vec<_> = g.convs().collect();
+        assert_eq!(convs[1].1.c, 64);
+    }
+
+    #[test]
+    fn macs_accumulate() {
+        let mut b = GraphBuilder::new("m", TensorShape::new(1, 8, 4, 4));
+        b.conv(8, 1, 1, 0).conv(8, 1, 1, 0);
+        let g = b.build();
+        assert_eq!(g.total_macs(), 2 * (16 * 8 * 8));
+    }
+}

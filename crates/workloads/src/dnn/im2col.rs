@@ -1,0 +1,69 @@
+//! The `cudnnIm2col` kernel (§VIII-H).
+//!
+//! Converting `cudnnConvolutionForward()` into `cudnnIm2col()` + GEMM is
+//! what exposes a fusable open-source Tensor-Core kernel. The im2col stage
+//! materializes the `M × K` patch matrix: it reads each input element once
+//! per covering window position and writes the expanded matrix — pure
+//! CUDA-Core memory work, and the source of the transformation's
+//! performance gap (Fig. 21). Pointwise (1×1/stride-1) convolutions skip
+//! it entirely: their input already *is* the GEMM operand.
+
+use std::sync::{Arc, OnceLock};
+
+use tacker_kernel::ast::{Expr, Stmt};
+use tacker_kernel::{Bindings, Dim3, KernelDef, KernelKind, ResourceUsage};
+
+use crate::app::WorkloadKernel;
+use crate::gemm::GemmShape;
+
+use super::elementwise::{grid_for, ELEMS_PER_THREAD};
+
+/// The im2col expansion kernel.
+///
+/// Each thread produces [`ELEMS_PER_THREAD`] elements of the patch matrix:
+/// a gather from the input tensor (overlapping windows give decent cache
+/// locality) and a streaming store.
+pub fn im2col_kernel() -> Arc<KernelDef> {
+    static DEF: OnceLock<Arc<KernelDef>> = OnceLock::new();
+    Arc::clone(DEF.get_or_init(|| {
+        Arc::new(
+            KernelDef::builder("cudnnIm2col", KernelKind::Cuda)
+                .block_dim(Dim3::x(256))
+                .resources(ResourceUsage::new(28, 0))
+                .body(vec![
+                    Stmt::global_load("input", Expr::lit(2 * ELEMS_PER_THREAD), 0.65),
+                    Stmt::compute_cd(
+                        Expr::lit(8 * ELEMS_PER_THREAD),
+                        "col[(c*kh*kw + kidx)*M + m] = in[n][c][h0+kh][w0+kw]",
+                    ),
+                    Stmt::global_store("col", Expr::lit(2 * ELEMS_PER_THREAD), 0.0),
+                ])
+                .build()
+                .expect("im2col kernel is valid"),
+        )
+    }))
+}
+
+/// The im2col launch for a convolution's GEMM shape: the patch matrix has
+/// `M × K` elements.
+pub fn im2col_workload(gemm: GemmShape) -> WorkloadKernel {
+    WorkloadKernel::new(im2col_kernel(), grid_for(gemm.m * gemm.k), Bindings::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_scales_with_patch_matrix() {
+        let small = im2col_workload(GemmShape::new(1024, 64, 64));
+        let big = im2col_workload(GemmShape::new(1024, 64, 576));
+        assert_eq!(big.grid, 9 * small.grid);
+        assert!(small.is_cuda());
+    }
+
+    #[test]
+    fn kernel_is_shared() {
+        assert_eq!(im2col_kernel().id(), im2col_kernel().id());
+    }
+}

@@ -1,0 +1,243 @@
+//! Layer types and shape propagation.
+
+use std::fmt;
+
+use crate::gemm::GemmShape;
+
+use super::shapes::TensorShape;
+
+/// A 2-D convolution specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvSpec {
+    /// Output channels.
+    pub out_channels: u64,
+    /// Square kernel edge.
+    pub kernel: u32,
+    /// Stride.
+    pub stride: u32,
+    /// Zero padding.
+    pub pad: u32,
+    /// Groups (1 = dense, >1 = grouped as in ResNeXt).
+    pub groups: u32,
+}
+
+impl ConvSpec {
+    /// A dense convolution.
+    pub const fn new(out_channels: u64, kernel: u32, stride: u32, pad: u32) -> ConvSpec {
+        ConvSpec {
+            out_channels,
+            kernel,
+            stride,
+            pad,
+            groups: 1,
+        }
+    }
+
+    /// A grouped convolution.
+    pub const fn grouped(
+        out_channels: u64,
+        kernel: u32,
+        stride: u32,
+        pad: u32,
+        groups: u32,
+    ) -> ConvSpec {
+        ConvSpec {
+            out_channels,
+            kernel,
+            stride,
+            pad,
+            groups,
+        }
+    }
+
+    /// A pointwise (1×1) convolution.
+    pub const fn pointwise(out_channels: u64) -> ConvSpec {
+        ConvSpec::new(out_channels, 1, 1, 0)
+    }
+
+    /// Output shape for an input.
+    pub fn out_shape(&self, input: TensorShape) -> TensorShape {
+        let h = (input.h + 2 * self.pad as u64 - self.kernel as u64) / self.stride as u64 + 1;
+        let w = (input.w + 2 * self.pad as u64 - self.kernel as u64) / self.stride as u64 + 1;
+        TensorShape::new(input.n, self.out_channels, h, w)
+    }
+
+    /// The implicit/im2col GEMM dimensions: `M = N·Ho·Wo`,
+    /// `N = C_out / groups … aggregated`, `K = C_in/groups · k²`.
+    ///
+    /// Grouped convolutions run `groups` independent GEMMs; we aggregate
+    /// them into one shape with the per-group `K` (total MACs preserved).
+    pub fn gemm_shape(&self, input: TensorShape) -> GemmShape {
+        let out = self.out_shape(input);
+        GemmShape::new(
+            out.n * out.spatial(),
+            self.out_channels,
+            (input.c / self.groups as u64).max(1) * (self.kernel as u64).pow(2),
+        )
+    }
+
+    /// Multiply-accumulate count.
+    pub fn macs(&self, input: TensorShape) -> u64 {
+        self.gemm_shape(input).macs()
+    }
+
+    /// Whether this conv needs no im2col materialization (1×1, stride 1).
+    pub fn is_pointwise(&self) -> bool {
+        self.kernel == 1 && self.stride == 1 && self.pad == 0
+    }
+
+    /// Weight parameter count: `C_out × C_in/groups × k²`.
+    pub fn params(&self, input: TensorShape) -> u64 {
+        self.out_channels
+            * (input.c / self.groups as u64).max(1)
+            * (self.kernel as u64).pow(2)
+    }
+}
+
+/// A network layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layer {
+    /// Convolution.
+    Conv(ConvSpec),
+    /// Batch normalization (inference: scale + shift).
+    BatchNorm,
+    /// ReLU activation.
+    ReLU,
+    /// Scale layer (Caffe-style, used by some models).
+    Scale,
+    /// Max pooling.
+    MaxPool {
+        /// Window edge.
+        k: u32,
+        /// Stride.
+        stride: u32,
+    },
+    /// Average pooling.
+    AvgPool {
+        /// Window edge.
+        k: u32,
+        /// Stride.
+        stride: u32,
+    },
+    /// Global average pooling to 1×1.
+    GlobalAvgPool,
+    /// Residual elementwise addition.
+    Add,
+    /// Fully connected layer.
+    FullyConnected {
+        /// Output features.
+        out: u64,
+    },
+}
+
+impl Layer {
+    /// Output shape for an input shape.
+    pub fn out_shape(&self, input: TensorShape) -> TensorShape {
+        match self {
+            Layer::Conv(c) => c.out_shape(input),
+            Layer::BatchNorm | Layer::ReLU | Layer::Scale | Layer::Add => input,
+            Layer::MaxPool { k, stride } | Layer::AvgPool { k, stride } => {
+                let h = ((input.h.saturating_sub(*k as u64)) / *stride as u64) + 1;
+                let w = ((input.w.saturating_sub(*k as u64)) / *stride as u64) + 1;
+                TensorShape::new(input.n, input.c, h.max(1), w.max(1))
+            }
+            Layer::GlobalAvgPool => TensorShape::new(input.n, input.c, 1, 1),
+            Layer::FullyConnected { out } => TensorShape::new(input.n, *out, 1, 1),
+        }
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Layer::Conv(c) => write!(
+                f,
+                "conv{}x{}/{}x{}{}",
+                c.kernel,
+                c.kernel,
+                c.stride,
+                c.out_channels,
+                if c.groups > 1 {
+                    format!(" g{}", c.groups)
+                } else {
+                    String::new()
+                }
+            ),
+            Layer::BatchNorm => write!(f, "bn"),
+            Layer::ReLU => write!(f, "relu"),
+            Layer::Scale => write!(f, "scale"),
+            Layer::MaxPool { k, stride } => write!(f, "maxpool{k}/{stride}"),
+            Layer::AvgPool { k, stride } => write!(f, "avgpool{k}/{stride}"),
+            Layer::GlobalAvgPool => write!(f, "gap"),
+            Layer::Add => write!(f, "add"),
+            Layer::FullyConnected { out } => write!(f, "fc{out}"),
+        }
+    }
+}
+
+/// A layer placed in a graph, with resolved shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerInstance {
+    /// The layer.
+    pub layer: Layer,
+    /// Input shape.
+    pub input: TensorShape,
+    /// Output shape.
+    pub output: TensorShape,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_shape_propagation() {
+        // Resnet50 conv1: 7x7/2 pad 3 on 224 → 112.
+        let c = ConvSpec::new(64, 7, 2, 3);
+        let out = c.out_shape(TensorShape::new(32, 3, 224, 224));
+        assert_eq!(out, TensorShape::new(32, 64, 112, 112));
+        // 3x3/1 pad 1 preserves spatial.
+        let c = ConvSpec::new(64, 3, 1, 1);
+        let out = c.out_shape(TensorShape::new(1, 64, 56, 56));
+        assert_eq!(out.spatial(), 56 * 56);
+    }
+
+    #[test]
+    fn gemm_shape_matches_im2col_convention() {
+        let c = ConvSpec::new(128, 3, 1, 1);
+        let g = c.gemm_shape(TensorShape::new(8, 64, 28, 28));
+        assert_eq!(g.m, 8 * 28 * 28);
+        assert_eq!(g.n, 128);
+        assert_eq!(g.k, 64 * 9);
+    }
+
+    #[test]
+    fn grouped_conv_reduces_k() {
+        let dense = ConvSpec::new(128, 3, 1, 1);
+        let grouped = ConvSpec::grouped(128, 3, 1, 1, 32);
+        let input = TensorShape::new(1, 128, 14, 14);
+        assert_eq!(
+            grouped.macs(input) * 32,
+            dense.macs(input),
+            "grouping by 32 divides MACs by 32"
+        );
+    }
+
+    #[test]
+    fn pool_and_fc_shapes() {
+        let p = Layer::MaxPool { k: 3, stride: 2 };
+        let out = p.out_shape(TensorShape::new(1, 64, 112, 112));
+        assert_eq!((out.h, out.w), (55, 55));
+        let gap = Layer::GlobalAvgPool.out_shape(TensorShape::new(4, 2048, 7, 7));
+        assert_eq!(gap, TensorShape::new(4, 2048, 1, 1));
+        let fc = Layer::FullyConnected { out: 1000 }.out_shape(gap);
+        assert_eq!(fc.c, 1000);
+    }
+
+    #[test]
+    fn pointwise_detection() {
+        assert!(ConvSpec::pointwise(256).is_pointwise());
+        assert!(!ConvSpec::new(256, 1, 2, 0).is_pointwise());
+        assert!(!ConvSpec::new(256, 3, 1, 1).is_pointwise());
+    }
+}

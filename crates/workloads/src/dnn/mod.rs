@@ -1,0 +1,115 @@
+//! The DNN workloads: the paper's latency-critical services and training
+//! tasks.
+//!
+//! Six inference services (Table II) are modelled as genuine layer graphs
+//! with tensor-shape propagation:
+//!
+//! | model        | batch | conv layers |
+//! |--------------|-------|-------------|
+//! | Resnet50     | 32    | 53          |
+//! | ResNext50    | 24    | 53          |
+//! | VGG16        | 24    | 13          |
+//! | VGG19        | 16    | 16          |
+//! | Inception-v3 | 32    | ~90         |
+//! | Densenet121  | 16    | 120         |
+//!
+//! Convolutions execute either as black-box cuDNN Tensor-Core kernels
+//! ([`cudnn`], Table III) or — when the performance gap is under 15%
+//! (§VIII-H, Fig. 21) — as an `im2col` CUDA-Core kernel plus the public
+//! wmma GEMM ([`im2col`], [`compile`]), which is what makes them fusable.
+//! The four `-T` training tasks ([`training`]) serve as memory-intensive
+//! best-effort applications.
+
+pub mod compile;
+pub mod cudnn;
+pub mod elementwise;
+pub mod graph;
+pub mod im2col;
+pub mod layer;
+pub mod models;
+pub mod shapes;
+pub mod training;
+
+use std::fmt;
+
+use crate::app::LcService;
+use graph::ModelGraph;
+
+/// The six DNN models of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DnnModel {
+    /// ResNet-50 (He et al.).
+    Resnet50,
+    /// ResNeXt-50 32×4d (Xie et al.).
+    Resnext50,
+    /// VGG-16 (Simonyan & Zisserman).
+    Vgg16,
+    /// VGG-19.
+    Vgg19,
+    /// Inception-v3 (Szegedy et al.).
+    InceptionV3,
+    /// DenseNet-121 (Huang et al.).
+    Densenet121,
+}
+
+impl DnnModel {
+    /// All six models in the paper's order.
+    pub const ALL: [DnnModel; 6] = [
+        DnnModel::Resnet50,
+        DnnModel::Resnext50,
+        DnnModel::Vgg16,
+        DnnModel::Vgg19,
+        DnnModel::InceptionV3,
+        DnnModel::Densenet121,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DnnModel::Resnet50 => "Resnet50",
+            DnnModel::Resnext50 => "ResNext",
+            DnnModel::Vgg16 => "VGG16",
+            DnnModel::Vgg19 => "VGG19",
+            DnnModel::InceptionV3 => "Inception",
+            DnnModel::Densenet121 => "Densenet",
+        }
+    }
+
+    /// The QoS-target-derived batch size from Table II.
+    pub fn table_ii_batch(self) -> u32 {
+        match self {
+            DnnModel::Resnet50 => 32,
+            DnnModel::Resnext50 => 24,
+            DnnModel::Vgg16 => 24,
+            DnnModel::Vgg19 => 16,
+            DnnModel::InceptionV3 => 32,
+            DnnModel::Densenet121 => 16,
+        }
+    }
+
+    /// Builds the model's layer graph for a batch size.
+    pub fn graph(self, batch: u64) -> ModelGraph {
+        match self {
+            DnnModel::Resnet50 => models::resnet::resnet50(batch),
+            DnnModel::Resnext50 => models::resnet::resnext50(batch),
+            DnnModel::Vgg16 => models::vgg::vgg16(batch),
+            DnnModel::Vgg19 => models::vgg::vgg19(batch),
+            DnnModel::InceptionV3 => models::inception::inception_v3(batch),
+            DnnModel::Densenet121 => models::densenet::densenet121(batch),
+        }
+    }
+
+    /// Compiles the model into an LC service at its Table II batch size,
+    /// deciding per-conv implementations on `device` (§VIII-H policy).
+    pub fn lc_service(self, device: &tacker_sim::Device) -> LcService {
+        let graph = self.graph(self.table_ii_batch() as u64);
+        let compiled = compile::compile(&graph, device, compile::ConvPolicy::Profitable(0.15));
+        LcService::new(self.name(), self.table_ii_batch(), compiled.kernels)
+    }
+}
+
+impl fmt::Display for DnnModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}

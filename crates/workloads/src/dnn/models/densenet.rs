@@ -1,0 +1,74 @@
+//! DenseNet-121 (Huang et al.).
+//!
+//! Dense blocks concatenate every layer's output onto the running feature
+//! map; in the linearized graph this appears as the channel count growing
+//! by the growth rate after each composite layer.
+
+use crate::dnn::graph::{GraphBuilder, ModelGraph};
+use crate::dnn::shapes::TensorShape;
+
+/// Growth rate `k`.
+const GROWTH: u64 = 32;
+/// Composite layers per dense block.
+const BLOCKS: [usize; 4] = [6, 12, 24, 16];
+
+/// One composite layer: BN → ReLU → 1×1 conv (4k) → BN → ReLU → 3×3 conv
+/// (k), then concatenation.
+fn dense_layer(b: &mut GraphBuilder) {
+    let in_c = b.shape().c;
+    b.bn().relu().conv(4 * GROWTH, 1, 1, 0).bn().relu().conv(GROWTH, 3, 1, 1);
+    b.set_channels(in_c + GROWTH);
+}
+
+/// DenseNet-121 at 224×224 input: 120 convolutions.
+pub fn densenet121(batch: u64) -> ModelGraph {
+    let mut b = GraphBuilder::new("Densenet", TensorShape::new(batch, 3, 224, 224));
+    b.conv_bn_relu(2 * GROWTH, 7, 2, 3).maxpool(3, 2);
+    for (i, &layers) in BLOCKS.iter().enumerate() {
+        for _ in 0..layers {
+            dense_layer(&mut b);
+        }
+        if i + 1 < BLOCKS.len() {
+            // Transition: 1×1 conv halving channels + 2×2 average pool.
+            let c = b.shape().c / 2;
+            b.bn().relu().conv(c, 1, 1, 0).avgpool(2, 2);
+        }
+    }
+    b.bn().relu().gap().fc(1000);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure() {
+        let g = densenet121(1);
+        // 1 stem + 2×58 dense + 3 transition = 120 convolutions.
+        assert_eq!(g.conv_count(), 120);
+        let gap = g
+            .layers()
+            .iter()
+            .find(|l| matches!(l.layer, crate::dnn::layer::Layer::GlobalAvgPool))
+            .unwrap();
+        // DenseNet-121 ends at 1024 channels.
+        assert_eq!(gap.input.c, 1024);
+    }
+
+    #[test]
+    fn channels_grow_by_growth_rate() {
+        let g = densenet121(1);
+        // Find two consecutive 3x3 convs in the first dense block and check
+        // the channel growth between their inputs.
+        let threes: Vec<_> = g
+            .convs()
+            .filter(|(c, _)| c.kernel == 3 && c.out_channels == GROWTH)
+            .take(2)
+            .collect();
+        assert_eq!(threes.len(), 2);
+        // 1x1 bottleneck input grew by GROWTH between layers; the 3x3 conv
+        // input is always the 4k bottleneck output.
+        assert_eq!(threes[0].1.c, 4 * GROWTH);
+    }
+}

@@ -1,0 +1,164 @@
+//! Inception-v3 (Szegedy et al., "Rethinking the Inception Architecture").
+//!
+//! The block structure is linearized branch by branch: each branch's
+//! convolutions are emitted with the block's input shape as their starting
+//! point, and the concatenation at the block end becomes a channel-count
+//! adjustment.
+//!
+//! Asymmetric `1×n`/`n×1` convolutions cannot be expressed with our square
+//! [`crate::dnn::layer::ConvSpec`]; they are emitted as *grouped* `n×n` convolutions with
+//! `groups = n`, which has exactly the same multiply-accumulate count and
+//! output shape — the properties the simulator consumes.
+
+use crate::dnn::graph::{GraphBuilder, ModelGraph};
+use crate::dnn::shapes::TensorShape;
+
+/// Emits an asymmetric 1×n (or n×1) convolution with MAC-equivalent
+/// grouped n×n form.
+fn conv_1xn(b: &mut GraphBuilder, out: u64, n: u32) {
+    b.conv_grouped(out, n, 1, (n - 1) / 2, n).bn().relu();
+}
+
+/// Inception-A block (35×35 grid). `pool_c` is the pool-branch width.
+fn inception_a(b: &mut GraphBuilder, pool_c: u64) {
+    let input = b.shape();
+    // 1x1 branch.
+    b.conv_bn_relu(64, 1, 1, 0);
+    // 5x5 branch.
+    b.set_shape(input).conv_bn_relu(48, 1, 1, 0).conv_bn_relu(64, 5, 1, 2);
+    // double 3x3 branch.
+    b.set_shape(input)
+        .conv_bn_relu(64, 1, 1, 0)
+        .conv_bn_relu(96, 3, 1, 1)
+        .conv_bn_relu(96, 3, 1, 1);
+    // pool branch.
+    b.set_shape(input).conv_bn_relu(pool_c, 1, 1, 0);
+    b.set_shape(input.with_channels(64 + 64 + 96 + pool_c));
+}
+
+/// Inception-B (grid reduction 35→17).
+fn inception_b(b: &mut GraphBuilder) {
+    let input = b.shape();
+    b.conv_bn_relu(384, 3, 2, 0);
+    let reduced = b.shape();
+    b.set_shape(input)
+        .conv_bn_relu(64, 1, 1, 0)
+        .conv_bn_relu(96, 3, 1, 1)
+        .conv_bn_relu(96, 3, 2, 0);
+    b.set_shape(input).maxpool(3, 2);
+    b.set_shape(reduced.with_channels(384 + 96 + input.c));
+}
+
+/// Inception-C block (17×17 grid, 7×1 factorized). `c7` is the bottleneck
+/// width.
+fn inception_c(b: &mut GraphBuilder, c7: u64) {
+    let input = b.shape();
+    b.conv_bn_relu(192, 1, 1, 0);
+    // 7x7 branch: 1x1 → 1x7 → 7x1.
+    b.set_shape(input).conv_bn_relu(c7, 1, 1, 0);
+    conv_1xn(b, c7, 7);
+    conv_1xn(b, 192, 7);
+    // double 7x7 branch: 1x1 → (7x1 → 1x7) × 2.
+    b.set_shape(input).conv_bn_relu(c7, 1, 1, 0);
+    conv_1xn(b, c7, 7);
+    conv_1xn(b, c7, 7);
+    conv_1xn(b, c7, 7);
+    conv_1xn(b, 192, 7);
+    // pool branch.
+    b.set_shape(input).conv_bn_relu(192, 1, 1, 0);
+    b.set_shape(input.with_channels(4 * 192));
+}
+
+/// Inception-D (grid reduction 17→8).
+fn inception_d(b: &mut GraphBuilder) {
+    let input = b.shape();
+    b.conv_bn_relu(192, 1, 1, 0).conv_bn_relu(320, 3, 2, 0);
+    let reduced = b.shape();
+    b.set_shape(input).conv_bn_relu(192, 1, 1, 0);
+    conv_1xn(b, 192, 7);
+    conv_1xn(b, 192, 7);
+    b.conv_bn_relu(192, 3, 2, 0);
+    b.set_shape(input).maxpool(3, 2);
+    b.set_shape(reduced.with_channels(320 + 192 + input.c));
+}
+
+/// Inception-E block (8×8 grid, expanded filter banks).
+fn inception_e(b: &mut GraphBuilder) {
+    let input = b.shape();
+    b.conv_bn_relu(320, 1, 1, 0);
+    // 3x3 branch split into 1x3 and 3x1.
+    b.set_shape(input).conv_bn_relu(384, 1, 1, 0);
+    let split_in = b.shape();
+    conv_1xn(b, 384, 3);
+    b.set_shape(split_in);
+    conv_1xn(b, 384, 3);
+    // double 3x3 branch.
+    b.set_shape(input)
+        .conv_bn_relu(448, 1, 1, 0)
+        .conv_bn_relu(384, 3, 1, 1);
+    let split_in = b.shape();
+    conv_1xn(b, 384, 3);
+    b.set_shape(split_in);
+    conv_1xn(b, 384, 3);
+    // pool branch.
+    b.set_shape(input).conv_bn_relu(192, 1, 1, 0);
+    b.set_shape(input.with_channels(320 + 768 + 768 + 192));
+}
+
+/// Inception-v3 at 299×299 input.
+pub fn inception_v3(batch: u64) -> ModelGraph {
+    let mut b = GraphBuilder::new("Inception", TensorShape::new(batch, 3, 299, 299));
+    // Stem.
+    b.conv_bn_relu(32, 3, 2, 0)
+        .conv_bn_relu(32, 3, 1, 0)
+        .conv_bn_relu(64, 3, 1, 1)
+        .maxpool(3, 2)
+        .conv_bn_relu(80, 1, 1, 0)
+        .conv_bn_relu(192, 3, 1, 0)
+        .maxpool(3, 2);
+    inception_a(&mut b, 32);
+    inception_a(&mut b, 64);
+    inception_a(&mut b, 64);
+    inception_b(&mut b);
+    inception_c(&mut b, 128);
+    inception_c(&mut b, 160);
+    inception_c(&mut b, 160);
+    inception_c(&mut b, 192);
+    inception_d(&mut b);
+    inception_e(&mut b);
+    inception_e(&mut b);
+    b.gap().fc(1000);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure() {
+        let g = inception_v3(1);
+        assert!((90..=96).contains(&g.conv_count()), "{}", g.conv_count());
+        // Final channels before the classifier.
+        let gap = g
+            .layers()
+            .iter()
+            .find(|l| matches!(l.layer, crate::dnn::layer::Layer::GlobalAvgPool))
+            .unwrap();
+        assert_eq!(gap.input.c, 2048);
+        assert_eq!((gap.input.h, gap.input.w), (8, 8));
+    }
+
+    #[test]
+    fn asymmetric_convs_have_linear_mac_cost() {
+        use crate::dnn::layer::ConvSpec;
+        // A 1x7 factorized conv must cost C·7 MACs per output element,
+        // not C·49.
+        let spec = ConvSpec::grouped(192, 7, 1, 3, 7);
+        let input = TensorShape::new(1, 192, 17, 17);
+        let per_out = spec.macs(input) / (192 * 17 * 17);
+        let ideal = 192 * 7; // C · n for a true 1×7 convolution
+        let err = (per_out as f64 - ideal as f64).abs() / ideal as f64;
+        assert!(err < 0.05, "per-output MACs {per_out} vs ideal {ideal}");
+    }
+}

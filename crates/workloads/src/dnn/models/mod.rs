@@ -1,0 +1,86 @@
+//! Architecture builders for the six Table II models.
+
+pub mod densenet;
+pub mod inception;
+pub mod resnet;
+pub mod vgg;
+
+#[cfg(test)]
+mod tests {
+    use crate::dnn::DnnModel;
+
+    #[test]
+    fn conv_counts_match_the_literature() {
+        // §VIII-H: "the 53 convolution kernels in Resnet50".
+        assert_eq!(DnnModel::Resnet50.graph(1).conv_count(), 53);
+        assert_eq!(DnnModel::Resnext50.graph(1).conv_count(), 53);
+        assert_eq!(DnnModel::Vgg16.graph(1).conv_count(), 13);
+        assert_eq!(DnnModel::Vgg19.graph(1).conv_count(), 16);
+        assert_eq!(DnnModel::Densenet121.graph(1).conv_count(), 120);
+        let inception = DnnModel::InceptionV3.graph(1).conv_count();
+        assert!((90..=96).contains(&inception), "inception convs {inception}");
+    }
+
+    #[test]
+    fn per_image_mac_counts_are_in_published_ballpark() {
+        // Published per-image MACs: Resnet50 ≈ 4.1 G, VGG16 ≈ 15.5 G,
+        // Inception-v3 ≈ 5.7 G, Densenet121 ≈ 2.9 G. Allow ±35% for the
+        // linearization approximations.
+        let gmacs = |m: DnnModel| m.graph(1).total_macs() as f64 / 1e9;
+        let r = gmacs(DnnModel::Resnet50);
+        assert!((2.6..=5.6).contains(&r), "resnet50 {r}");
+        let v = gmacs(DnnModel::Vgg16);
+        assert!((10.0..=21.0).contains(&v), "vgg16 {v}");
+        let i = gmacs(DnnModel::InceptionV3);
+        assert!((3.5..=8.0).contains(&i), "inception {i}");
+        let d = gmacs(DnnModel::Densenet121);
+        assert!((1.8..=4.0).contains(&d), "densenet {d}");
+        // VGG19 strictly heavier than VGG16; ResNeXt lighter than ResNet
+        // at equal width thanks to grouping.
+        assert!(gmacs(DnnModel::Vgg19) > v);
+    }
+
+    #[test]
+    fn parameter_counts_match_the_published_models() {
+        // Published weight counts (millions): Resnet50 ≈ 25.6, VGG16 ≈ 138,
+        // VGG19 ≈ 144, Densenet121 ≈ 8.0, Inception-v3 ≈ 23.9. Allow
+        // ±25% for the linearization approximations (asymmetric convs,
+        // omitted BN affine terms).
+        let mparams = |m: DnnModel| m.graph(1).total_params() as f64 / 1e6;
+        let checks = [
+            (DnnModel::Resnet50, 25.6),
+            (DnnModel::Vgg16, 138.0),
+            (DnnModel::Vgg19, 143.7),
+            (DnnModel::Densenet121, 8.0),
+            (DnnModel::InceptionV3, 23.9),
+        ];
+        for (m, published) in checks {
+            let got = mparams(m);
+            let rel = (got - published).abs() / published;
+            assert!(rel < 0.25, "{m}: {got:.1} M params vs published {published} M");
+        }
+        // Parameter counts are batch-invariant.
+        assert_eq!(
+            DnnModel::Resnet50.graph(1).total_params(),
+            DnnModel::Resnet50.graph(16).total_params()
+        );
+    }
+
+    #[test]
+    fn batch_scales_macs_linearly() {
+        let one = DnnModel::Resnet50.graph(1).total_macs();
+        let eight = DnnModel::Resnet50.graph(8).total_macs();
+        assert_eq!(eight, 8 * one);
+    }
+
+    #[test]
+    fn all_models_have_mixed_kernel_work() {
+        for m in DnnModel::ALL {
+            let g = m.graph(2);
+            assert!(g.conv_count() > 10, "{m}");
+            // Plenty of CUDA-core (elementwise/pool) layers too.
+            let non_conv = g.layers().len() - g.conv_count();
+            assert!(non_conv > 10, "{m}");
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! ResNet-50 and ResNeXt-50 (32×4d).
+
+use crate::dnn::graph::{GraphBuilder, ModelGraph};
+use crate::dnn::shapes::TensorShape;
+
+/// Bottleneck-stage configuration: (mid width, out width, blocks, stride).
+const STAGES: [(u64, u64, usize, u32); 4] = [
+    (64, 256, 3, 1),
+    (128, 512, 4, 2),
+    (256, 1024, 6, 2),
+    (512, 2048, 3, 2),
+];
+
+fn backbone(name: &str, batch: u64, width_factor: u64, groups: u32) -> ModelGraph {
+    let mut b = GraphBuilder::new(name, TensorShape::new(batch, 3, 224, 224));
+    b.conv_bn_relu(64, 7, 2, 3).maxpool(3, 2);
+    for (mid, out, blocks, stride) in STAGES {
+        let mid = mid * width_factor;
+        for block in 0..blocks {
+            let s = if block == 0 { stride } else { 1 };
+            let block_in = b.shape();
+            if block == 0 {
+                // Projection shortcut reads the block input, then the main
+                // path starts from the block input again.
+                b.conv(out, 1, s, 0).bn();
+                b.set_shape(block_in);
+            }
+            b.conv_bn_relu(mid, 1, 1, 0);
+            if groups > 1 {
+                b.conv_grouped(mid, 3, s, 1, groups).bn().relu();
+            } else {
+                b.conv_bn_relu(mid, 3, s, 1);
+            }
+            b.conv(out, 1, 1, 0).bn().add().relu();
+        }
+    }
+    b.gap().fc(1000);
+    b.build()
+}
+
+/// ResNet-50: 53 convolutions, ~4 GMAC per image.
+pub fn resnet50(batch: u64) -> ModelGraph {
+    backbone("Resnet50", batch, 1, 1)
+}
+
+/// ResNeXt-50 32×4d: same topology with doubled bottleneck width and
+/// 32-way grouped 3×3 convolutions.
+pub fn resnext50(batch: u64) -> ModelGraph {
+    backbone("ResNext", batch, 2, 32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet50_structure() {
+        let g = resnet50(1);
+        assert_eq!(g.conv_count(), 53);
+        // Final feature map is 2048 channels at 7x7-ish spatial.
+        let gap = g
+            .layers()
+            .iter()
+            .find(|l| matches!(l.layer, crate::dnn::layer::Layer::GlobalAvgPool))
+            .unwrap();
+        assert_eq!(gap.input.c, 2048);
+        assert!(gap.input.h <= 8);
+    }
+
+    #[test]
+    fn resnext_same_conv_count_fewer_macs_per_width() {
+        let rn = resnet50(1);
+        let rx = resnext50(1);
+        assert_eq!(rx.conv_count(), rn.conv_count());
+        // Doubled width but 32-way grouping: total MACs stay comparable
+        // (within 2×) rather than 4×.
+        let ratio = rx.total_macs() as f64 / rn.total_macs() as f64;
+        assert!(ratio < 2.0, "ratio {ratio}");
+    }
+}

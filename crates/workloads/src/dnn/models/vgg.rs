@@ -1,0 +1,50 @@
+//! VGG-16 and VGG-19.
+
+use crate::dnn::graph::{GraphBuilder, ModelGraph};
+use crate::dnn::shapes::TensorShape;
+
+fn vgg(name: &str, batch: u64, convs_per_stage: [usize; 5]) -> ModelGraph {
+    let widths = [64u64, 128, 256, 512, 512];
+    let mut b = GraphBuilder::new(name, TensorShape::new(batch, 3, 224, 224));
+    for (stage, &count) in convs_per_stage.iter().enumerate() {
+        for _ in 0..count {
+            b.conv(widths[stage], 3, 1, 1).relu();
+        }
+        b.maxpool(2, 2);
+    }
+    b.fc(4096).relu().fc(4096).relu().fc(1000);
+    b.build()
+}
+
+/// VGG-16: 13 convolutions + 3 fully connected layers.
+pub fn vgg16(batch: u64) -> ModelGraph {
+    vgg("VGG16", batch, [2, 2, 3, 3, 3])
+}
+
+/// VGG-19: 16 convolutions + 3 fully connected layers.
+pub fn vgg19(batch: u64) -> ModelGraph {
+    vgg("VGG19", batch, [2, 2, 4, 4, 4])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_counts() {
+        assert_eq!(vgg16(1).conv_count(), 13);
+        assert_eq!(vgg19(1).conv_count(), 16);
+    }
+
+    #[test]
+    fn feature_map_shrinks_to_7x7() {
+        let g = vgg16(1);
+        let fc = g
+            .layers()
+            .iter()
+            .find(|l| matches!(l.layer, crate::dnn::layer::Layer::FullyConnected { .. }))
+            .unwrap();
+        assert_eq!((fc.input.h, fc.input.w), (7, 7));
+        assert_eq!(fc.input.c, 512);
+    }
+}

@@ -1,0 +1,79 @@
+//! Tensor shapes (NCHW) with half-precision sizing.
+
+use std::fmt;
+
+/// Bytes per element (the inference path runs half precision on Tensor
+/// Cores, as the paper's wmma GEMM does).
+pub const ELEM_BYTES: u64 = 2;
+
+/// An NCHW activation tensor shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TensorShape {
+    /// Batch.
+    pub n: u64,
+    /// Channels.
+    pub c: u64,
+    /// Height.
+    pub h: u64,
+    /// Width.
+    pub w: u64,
+}
+
+impl TensorShape {
+    /// Creates a shape.
+    pub const fn new(n: u64, c: u64, h: u64, w: u64) -> TensorShape {
+        TensorShape { n, c, h, w }
+    }
+
+    /// Total elements.
+    pub const fn elems(self) -> u64 {
+        self.n * self.c * self.h * self.w
+    }
+
+    /// Total bytes at half precision.
+    pub const fn bytes(self) -> u64 {
+        self.elems() * ELEM_BYTES
+    }
+
+    /// Spatial size `h × w`.
+    pub const fn spatial(self) -> u64 {
+        self.h * self.w
+    }
+
+    /// Same shape with different channel count (used for concatenation
+    /// effects in DenseNet/Inception).
+    pub const fn with_channels(self, c: u64) -> TensorShape {
+        TensorShape { c, ..self }
+    }
+}
+
+impl fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}x{}", self.n, self.c, self.h, self.w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_and_byte_counts() {
+        let s = TensorShape::new(32, 64, 56, 56);
+        assert_eq!(s.elems(), 32 * 64 * 56 * 56);
+        assert_eq!(s.bytes(), s.elems() * 2);
+        assert_eq!(s.spatial(), 56 * 56);
+    }
+
+    #[test]
+    fn channel_override() {
+        let s = TensorShape::new(1, 64, 7, 7).with_channels(128);
+        assert_eq!(s.c, 128);
+        assert_eq!(s.h, 7);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(TensorShape::new(1, 3, 224, 224).to_string(), "1x3x224x224");
+    }
+}

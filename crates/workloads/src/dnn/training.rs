@@ -1,0 +1,170 @@
+//! DNN training tasks (`Resnet50-T`, `VGG16-T`, `Inception-T`,
+//! `Densenet-T`) used as memory-intensive best-effort applications.
+//!
+//! One training iteration launches, per convolution, the forward GEMM plus
+//! the data-gradient and weight-gradient GEMMs (all Tensor-Core kernels
+//! from the open wmma implementation — training frameworks compile them as
+//! custom ops, §VIII-A), interleaved with the elementwise forward/backward
+//! kernels whose streaming traffic makes the tasks memory-intensive, and a
+//! final SGD parameter update.
+
+use crate::app::{BeApp, Intensity, WorkloadKernel};
+use crate::gemm::{gemm_workload, GemmShape};
+
+use super::compile::shared_gemm;
+use super::elementwise as ew;
+use super::layer::Layer;
+use super::DnnModel;
+
+/// The four training tasks of Table II.
+pub const TRAINING_MODELS: [DnnModel; 4] = [
+    DnnModel::Resnet50,
+    DnnModel::Vgg16,
+    DnnModel::InceptionV3,
+    DnnModel::Densenet121,
+];
+
+/// Training batch size (matching the inference services' scale).
+pub const TRAINING_BATCH: u64 = 16;
+
+fn gemm_launch(shape: GemmShape) -> WorkloadKernel {
+    gemm_workload(&shared_gemm(), shape)
+}
+
+/// The `-T` display name.
+pub fn training_name(model: DnnModel) -> String {
+    match model {
+        DnnModel::Resnet50 => "Res-T".to_string(),
+        DnnModel::Vgg16 => "VGG-T".to_string(),
+        DnnModel::InceptionV3 => "Incep-T".to_string(),
+        DnnModel::Densenet121 => "Dense-T".to_string(),
+        other => format!("{}-T", other.name()),
+    }
+}
+
+/// Builds one training iteration's kernel sequence.
+pub fn training_task(model: DnnModel, batch: u64) -> Vec<WorkloadKernel> {
+    let graph = model.graph(batch);
+    let mut kernels = Vec::new();
+    let mut params: u64 = 0;
+
+    // Forward pass.
+    for inst in graph.layers() {
+        match inst.layer {
+            Layer::Conv(spec) => {
+                let g = spec.gemm_shape(inst.input);
+                params += g.n * g.k;
+                kernels.push(gemm_launch(g));
+            }
+            Layer::BatchNorm => kernels.push(ew::elementwise_workload(
+                &ew::batch_norm(),
+                inst.output.elems(),
+            )),
+            Layer::ReLU => {
+                kernels.push(ew::elementwise_workload(&ew::relu(), inst.output.elems()))
+            }
+            Layer::Scale => {
+                kernels.push(ew::elementwise_workload(&ew::scale(), inst.output.elems()))
+            }
+            Layer::Add => kernels.push(ew::elementwise_workload(&ew::add(), inst.output.elems())),
+            Layer::MaxPool { k, .. } | Layer::AvgPool { k, .. } => kernels.push(
+                ew::pool_workload(inst.output.elems(), (k as u64) * (k as u64)),
+            ),
+            Layer::GlobalAvgPool => kernels.push(ew::pool_workload(
+                inst.output.elems(),
+                inst.input.spatial(),
+            )),
+            Layer::FullyConnected { out } => {
+                let k = inst.input.elems() / inst.input.n.max(1);
+                let g = GemmShape::new(inst.input.n, out, k);
+                params += g.n * g.k;
+                kernels.push(gemm_launch(g));
+            }
+        }
+    }
+
+    // Backward pass (reverse layer order).
+    for inst in graph.layers().iter().rev() {
+        match inst.layer {
+            Layer::Conv(spec) => {
+                let g = spec.gemm_shape(inst.input);
+                // dgrad: dX = dY · Wᵀ  → (M × K × N).
+                kernels.push(gemm_launch(GemmShape::new(g.m, g.k, g.n)));
+                // wgrad: dW = dYᵀ · X → (N × K × M).
+                kernels.push(gemm_launch(GemmShape::new(g.n, g.k, g.m)));
+            }
+            Layer::BatchNorm => kernels.push(ew::elementwise_workload(
+                &ew::bn_backward(),
+                inst.output.elems(),
+            )),
+            Layer::ReLU => kernels.push(ew::elementwise_workload(
+                &ew::relu_backward(),
+                inst.output.elems(),
+            )),
+            Layer::Scale | Layer::Add => kernels.push(ew::elementwise_workload(
+                &ew::add(),
+                inst.output.elems(),
+            )),
+            Layer::MaxPool { .. } | Layer::AvgPool { .. } | Layer::GlobalAvgPool => kernels.push(
+                ew::elementwise_workload(&ew::relu_backward(), inst.input.elems()),
+            ),
+            Layer::FullyConnected { out } => {
+                let k = inst.input.elems() / inst.input.n.max(1);
+                kernels.push(gemm_launch(GemmShape::new(inst.input.n, k, out)));
+                kernels.push(gemm_launch(GemmShape::new(out, k, inst.input.n)));
+            }
+        }
+    }
+
+    // Optimizer step over all parameters.
+    kernels.push(ew::elementwise_workload(&ew::sgd_update(), params));
+    kernels
+}
+
+/// The training task as a best-effort application (memory-intensive,
+/// Table II).
+pub fn training_be_app(model: DnnModel) -> BeApp {
+    BeApp::new(
+        training_name(model),
+        Intensity::Memory,
+        training_task(model, TRAINING_BATCH),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backward_roughly_doubles_gemm_count() {
+        let task = training_task(DnnModel::Vgg16, 4);
+        let gemms = task.iter().filter(|k| k.is_tensor()).count();
+        // 13 convs + 3 FC forward; ×3 total with dgrad+wgrad.
+        assert_eq!(gemms, 3 * (13 + 3));
+    }
+
+    #[test]
+    fn training_apps_are_memory_intensive() {
+        for m in TRAINING_MODELS {
+            let app = training_be_app(m);
+            assert_eq!(app.intensity(), Intensity::Memory);
+            assert!(!app.task_kernels().is_empty());
+        }
+    }
+
+    #[test]
+    fn names_match_the_paper() {
+        assert_eq!(training_name(DnnModel::Resnet50), "Res-T");
+        assert_eq!(training_name(DnnModel::Vgg16), "VGG-T");
+        assert_eq!(training_name(DnnModel::InceptionV3), "Incep-T");
+        assert_eq!(training_name(DnnModel::Densenet121), "Dense-T");
+    }
+
+    #[test]
+    fn task_contains_both_kernel_classes_and_update() {
+        let task = training_task(DnnModel::Resnet50, 2);
+        assert!(task.iter().any(|k| k.is_tensor()));
+        assert!(task.iter().any(|k| k.is_cuda()));
+        assert_eq!(task.last().unwrap().def.name(), "SGD");
+    }
+}

@@ -1,0 +1,274 @@
+//! The open-source Tensor-Core GEMM kernel.
+//!
+//! The paper cannot fuse cuDNN's black-box kernels, so it substitutes
+//! NVIDIA's public wmma GEMM (CUTLASS / cudaTensorCoreGemm) with similar
+//! performance (§VIII-C, §VIII-H). This module models that kernel: a
+//! 128×128 output tile per 256-thread block, staged through shared memory,
+//! with `K/32` mainloop iterations of `wmma::mma_sync` work.
+//!
+//! `C[M×N] += A[M×K] · B[K×N]` in half precision.
+
+use std::sync::Arc;
+
+use tacker_kernel::ast::{Expr, Stmt};
+use tacker_kernel::{Bindings, Dim3, KernelDef, KernelKind, ResourceUsage};
+
+use crate::app::WorkloadKernel;
+
+/// Output tile edge computed by one thread block.
+pub const TILE_M: u64 = 128;
+/// Output tile edge computed by one thread block.
+pub const TILE_N: u64 = 128;
+/// Mainloop K step.
+pub const TILE_K: u64 = 32;
+/// Threads per GEMM block (8 warps).
+pub const BLOCK_THREADS: u32 = 256;
+/// Shared memory for the software-pipelined A/B tile buffers: 1.5 stages
+/// (the B-tile double buffer is register-staged), as the Turing wmma
+/// kernels do to keep two blocks resident per 64 KB SM.
+pub const SMEM_BYTES: u64 = 24 * 1024;
+
+/// A GEMM problem size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GemmShape {
+    /// Rows of A and C.
+    pub m: u64,
+    /// Columns of B and C.
+    pub n: u64,
+    /// Inner dimension.
+    pub k: u64,
+}
+
+impl GemmShape {
+    /// Creates a shape.
+    pub const fn new(m: u64, n: u64, k: u64) -> GemmShape {
+        GemmShape { m, n, k }
+    }
+
+    /// Thread blocks the launch needs.
+    pub const fn grid_blocks(self) -> u64 {
+        self.m.div_ceil(TILE_M) * self.n.div_ceil(TILE_N)
+    }
+
+    /// Mainloop iterations.
+    pub const fn k_iters(self) -> u64 {
+        if self.k == 0 {
+            0
+        } else {
+            self.k.div_ceil(TILE_K)
+        }
+    }
+
+    /// Total multiply-accumulate operations.
+    pub const fn macs(self) -> u64 {
+        self.m * self.n * self.k
+    }
+}
+
+/// Builds the wmma GEMM kernel definition.
+///
+/// Per mainloop iteration each block loads the A and B tiles through shared
+/// memory (good L2 locality — tiles are reused across the block row/column)
+/// and performs `TILE_M × TILE_N × TILE_K` MACs on the Tensor pipeline.
+pub fn gemm_kernel() -> KernelDef {
+    // Per-thread figures for one mainloop iteration.
+    let tc_ops_per_thread = TILE_M * TILE_N * TILE_K / BLOCK_THREADS as u64; // 2048
+    let load_bytes_per_thread = (TILE_M + TILE_N) * TILE_K * 2 / BLOCK_THREADS as u64; // 64
+    let store_bytes_per_thread = TILE_M * TILE_N * 2 / BLOCK_THREADS as u64; // 128
+    KernelDef::builder("wmma_gemm", KernelKind::Tensor)
+        .block_dim(Dim3::x(BLOCK_THREADS))
+        .resources(ResourceUsage::new(72, SMEM_BYTES))
+        .param("k_iters")
+        .body(vec![
+            Stmt::shared_decl("smem_tiles", SMEM_BYTES),
+            Stmt::loop_over(
+                "k",
+                Expr::param("k_iters"),
+                vec![
+                    // Double-buffered mainloop: the tile for iteration k+1
+                    // streams in while iteration k computes, so one barrier
+                    // per iteration suffices (CUTLASS-style software
+                    // pipelining).
+                    Stmt::global_load("A_B_tiles_next", Expr::lit(load_bytes_per_thread), 0.86),
+                    Stmt::compute_tc(
+                        Expr::lit(tc_ops_per_thread),
+                        "wmma::mma_sync(acc, a_frag, b_frag, acc)",
+                    ),
+                    Stmt::sync_threads(),
+                ],
+            ),
+            Stmt::global_store("C_tile", Expr::lit(store_bytes_per_thread), 0.0),
+        ])
+        .build()
+        .expect("gemm kernel definition is valid")
+}
+
+/// Builds the second Tensor-Core GEMM implementation: the
+/// `cudaTensorCoreGemm` sample style with a 64×64 output tile per
+/// 128-thread block (§VIII-G co-runs *two* NVIDIA GEMM implementations).
+///
+/// Compared to [`gemm_kernel`], the smaller tile means less shared memory
+/// and fewer registers per block — more blocks co-reside — but each block
+/// amortizes its tile loads over less math, so it leans harder on memory
+/// bandwidth.
+pub fn gemm_kernel_64() -> KernelDef {
+    const TILE: u64 = 64;
+    const THREADS: u32 = 128;
+    let tc_ops_per_thread = TILE * TILE * TILE_K / THREADS as u64; // 1024
+    let load_bytes_per_thread = (TILE + TILE) * TILE_K * 2 / THREADS as u64; // 64
+    let store_bytes_per_thread = TILE * TILE * 2 / THREADS as u64; // 64
+    KernelDef::builder("wmma_gemm_64", KernelKind::Tensor)
+        .block_dim(Dim3::x(THREADS))
+        .resources(ResourceUsage::new(56, 10 * 1024))
+        .param("k_iters")
+        .body(vec![
+            Stmt::shared_decl("tile_buf", 10 * 1024),
+            Stmt::loop_over(
+                "k",
+                Expr::param("k_iters"),
+                vec![
+                    Stmt::global_load("A_B_tiles", Expr::lit(load_bytes_per_thread), 0.82),
+                    Stmt::compute_tc(
+                        Expr::lit(tc_ops_per_thread),
+                        "wmma::mma_sync(acc, a_frag, b_frag, acc)",
+                    ),
+                    Stmt::sync_threads(),
+                ],
+            ),
+            Stmt::global_store("C_tile", Expr::lit(store_bytes_per_thread), 0.0),
+        ])
+        .build()
+        .expect("gemm_64 kernel definition is valid")
+}
+
+/// The process-wide shared instance of the 64-tile GEMM.
+pub fn shared_gemm_64() -> Arc<KernelDef> {
+    use std::sync::OnceLock;
+    static DEF: OnceLock<Arc<KernelDef>> = OnceLock::new();
+    Arc::clone(DEF.get_or_init(|| Arc::new(gemm_kernel_64())))
+}
+
+/// A launch of the 64-tile GEMM for a problem shape (with the same split-K
+/// policy as [`gemm_workload`]).
+pub fn gemm_workload_64(shape: GemmShape) -> WorkloadKernel {
+    const TILE: u64 = 64;
+    let mut grid = (shape.m.div_ceil(TILE) * shape.n.div_ceil(TILE)).max(1);
+    let mut k_iters = shape.k_iters().max(1);
+    while grid < SPLIT_K_TARGET_BLOCKS && k_iters >= 2 {
+        grid *= 2;
+        k_iters = k_iters.div_ceil(2);
+    }
+    let mut bindings = Bindings::new();
+    bindings.insert("k_iters".to_string(), k_iters);
+    WorkloadKernel::new(shared_gemm_64(), grid, bindings)
+}
+
+/// Minimum grid (several waves on a 68-SM part) below which skinny or
+/// small problems use split-K parallelism, as CUTLASS does. A few work
+/// items per persistent worker keeps the PTB round-robin well balanced.
+pub const SPLIT_K_TARGET_BLOCKS: u64 = 544;
+
+/// A concrete GEMM invocation for a problem shape.
+///
+/// Skinny problems (fewer output tiles than SMs) are launched with split-K
+/// slicing: the K loop is divided across additional blocks so the device
+/// stays occupied, exactly as production GEMM libraries do for
+/// weight-gradient and fully-connected shapes.
+pub fn gemm_workload(def: &Arc<KernelDef>, shape: GemmShape) -> WorkloadKernel {
+    let mut grid = shape.grid_blocks().max(1);
+    let mut k_iters = shape.k_iters().max(1);
+    while grid < SPLIT_K_TARGET_BLOCKS && k_iters >= 2 {
+        grid *= 2;
+        k_iters = k_iters.div_ceil(2);
+    }
+    let mut bindings = Bindings::new();
+    bindings.insert("k_iters".to_string(), k_iters);
+    WorkloadKernel::new(Arc::clone(def), grid, bindings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_arithmetic() {
+        let s = GemmShape::new(4096, 4096, 1024);
+        assert_eq!(s.grid_blocks(), 32 * 32);
+        assert_eq!(s.k_iters(), 32);
+        assert_eq!(s.macs(), 4096 * 4096 * 1024);
+        // Ragged shapes round up.
+        let r = GemmShape::new(100, 100, 33);
+        assert_eq!(r.grid_blocks(), 1);
+        assert_eq!(r.k_iters(), 2);
+    }
+
+    #[test]
+    fn kernel_shape_and_resources() {
+        let def = gemm_kernel();
+        assert_eq!(def.kind(), KernelKind::Tensor);
+        assert_eq!(def.block_dim().total(), 256);
+        assert_eq!(def.resources().shared_mem_bytes, 24 * 1024);
+        let (tensor, cuda) = def.unit_usage();
+        assert!(tensor);
+        assert!(!cuda);
+    }
+
+    #[test]
+    fn workload_binds_k_iters_with_split_k_for_skinny_shapes() {
+        let def = Arc::new(gemm_kernel());
+        // Wide problem: no splitting.
+        let wk = gemm_workload(&def, GemmShape::new(4096, 4096, 320));
+        assert_eq!(wk.grid, 1024);
+        assert_eq!(wk.bindings.get("k_iters"), Some(&10));
+        // Skinny problem (1 output tile, deep K): split-K spreads it.
+        let wk = gemm_workload(&def, GemmShape::new(64, 27, 200_704));
+        assert!(wk.grid >= 128, "grid {}", wk.grid);
+        let k = *wk.bindings.get("k_iters").unwrap();
+        // Total work is preserved up to ceil rounding.
+        assert!(wk.grid * k >= 6272 && wk.grid * k <= 6272 * 2);
+    }
+
+    #[test]
+    fn gemm_64_has_a_distinct_lighter_footprint() {
+        let big = gemm_kernel();
+        let small = gemm_kernel_64();
+        assert_eq!(small.kind(), KernelKind::Tensor);
+        assert!(small.resources().shared_mem_bytes < big.resources().shared_mem_bytes);
+        assert!(small.block_dim().total() < big.block_dim().total());
+        // Same problem needs 4× the blocks at the 64-tile size.
+        let shape = GemmShape::new(8192, 8192, 1024);
+        let wk_small = gemm_workload_64(shape);
+        let wk_big = gemm_workload(&std::sync::Arc::new(gemm_kernel()), shape);
+        assert_eq!(wk_small.grid, 4 * wk_big.grid);
+        // Total MACs agree between the two implementations.
+        let macs = |wk: &crate::app::WorkloadKernel| {
+            let bp = tacker_kernel::lower_block(&wk.def, wk.grid, &wk.bindings).unwrap();
+            bp.roles[0]
+                .program
+                .total_compute(tacker_kernel::ComputeUnit::Tensor)
+                * bp.roles[0].warps as u64
+                * wk.grid
+        };
+        assert_eq!(macs(&wk_small), macs(&wk_big));
+    }
+
+    #[test]
+    fn shared_gemm_64_is_a_singleton() {
+        assert_eq!(shared_gemm_64().id(), shared_gemm_64().id());
+    }
+
+    #[test]
+    fn lowered_work_matches_shape_macs() {
+        let def = Arc::new(gemm_kernel());
+        // Large enough that split-K does not trigger.
+        let shape = GemmShape::new(4096, 4096, 640);
+        let wk = gemm_workload(&def, shape);
+        let bp = tacker_kernel::lower_block(&def, wk.grid, &wk.bindings).unwrap();
+        // Warp-level TC ops per block × blocks = total MACs of the problem.
+        let per_block: u64 = bp.roles[0]
+            .program
+            .total_compute(tacker_kernel::ComputeUnit::Tensor)
+            * bp.roles[0].warps as u64;
+        assert_eq!(per_block * wk.grid, shape.macs());
+    }
+}

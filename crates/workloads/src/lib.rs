@@ -1,0 +1,28 @@
+//! Workload definitions for the Tacker reproduction.
+//!
+//! Everything the paper runs on the GPU is modelled here:
+//!
+//! * [`gemm`] — the open-source Tensor-Core GEMM (the paper replaces
+//!   cuDNN's black-box TC kernels with NVIDIA's public wmma GEMM);
+//! * [`parboil`] — fourteen Parboil-suite benchmarks (the paper's ten plus
+//!   bfs/histo/sad/spmv) used as best-effort applications and fusion
+//!   partners, with per-benchmark resource and compute/memory profiles
+//!   matching the paper's compute- vs memory-intensive classification
+//!   (Table II);
+//! * [`dnn`] — the six latency-critical DNN services (Resnet50, ResNext50,
+//!   VGG16, VGG19, Inception-v3, Densenet121) as real layer graphs with
+//!   tensor-shape propagation, the im2col+GEMM conversion of §VIII-H, the
+//!   cuDNN kernel catalog of Table III, and the four `-T` training tasks;
+//! * [`microbench`] — Bench-A/B/C from Table I;
+//! * [`app`] — the application-level view: LC services producing queries
+//!   (kernel sequences) and BE applications producing endless task streams.
+
+pub mod app;
+pub mod dnn;
+pub mod gemm;
+pub mod microbench;
+pub mod parboil;
+pub mod registry;
+
+pub use app::{BeApp, Intensity, LcService, WorkloadKernel};
+pub use registry::{be_app, be_apps, lc_service, lc_services};

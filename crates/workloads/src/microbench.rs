@@ -1,0 +1,112 @@
+//! The motivation microbenchmarks of §III-B (Table I).
+//!
+//! * `Kt` — a Tensor-Core kernel built from the official wmma GEMM body;
+//! * `Kc` — a CUDA-Core kernel doing pure register arithmetic with
+//!   negligible memory traffic.
+//!
+//! Both use 128-thread blocks and are sized so that one warp-iteration
+//! occupies its pipeline for the same number of cycles, so equal `iters`
+//! give equal solo durations. Bench-A fuses `Kt` with `Kc` (both pipelines
+//! in parallel → ≈ 1.03× the solo duration); Bench-B fuses `Kt` with `Kt`
+//! and Bench-C `Kc` with `Kc` (same pipeline → 2×).
+
+use std::sync::Arc;
+
+use tacker_kernel::ast::{Expr, Stmt};
+use tacker_kernel::{Dim3, KernelDef, KernelKind, ResourceUsage};
+
+use crate::app::WorkloadKernel;
+use crate::parboil::launch_with_iters;
+
+/// Per-warp pipeline occupancy per iteration, in cycles, for both kernels
+/// (with the modelled 256 TC ops/cycle and 32 CD ops/cycle).
+pub const CYCLES_PER_WARP_ITER: u64 = 256;
+
+/// `Kt`: the Tensor-Core microkernel (wmma GEMM mainloop).
+///
+/// 2048 TC ops per thread per iteration → 65536 per warp → 256 cycles at
+/// 256 ops/cycle.
+pub fn kt() -> KernelDef {
+    KernelDef::builder("micro_kt", KernelKind::Tensor)
+        .block_dim(Dim3::x(128))
+        .resources(ResourceUsage::new(64, 16 * 1024))
+        .param("iters")
+        .body(vec![
+            Stmt::shared_decl("frag_tiles", 16 * 1024),
+            Stmt::loop_over(
+                "k",
+                Expr::param("iters"),
+                vec![
+                    Stmt::global_load("tiles", Expr::lit(16), 0.97),
+                    Stmt::sync_threads(),
+                    Stmt::compute_tc(Expr::lit(2048), "wmma::mma_sync(acc, a, b, acc)"),
+                    Stmt::sync_threads(),
+                ],
+            ),
+        ])
+        .build()
+        .expect("kt is valid")
+}
+
+/// `Kc`: the CUDA-Core microkernel ("pure computation using registers …
+/// negligible memory operations").
+///
+/// 256 CD ops per thread per iteration → 8192 per warp → 256 cycles at
+/// 32 ops/cycle.
+pub fn kc() -> KernelDef {
+    KernelDef::builder("micro_kc", KernelKind::Cuda)
+        .block_dim(Dim3::x(128))
+        .resources(ResourceUsage::new(64, 0))
+        .param("iters")
+        .body(vec![Stmt::loop_over(
+            "i",
+            Expr::param("iters"),
+            vec![Stmt::compute_cd(
+                Expr::lit(256),
+                "x = fmaf(x, a, b); y = fmaf(y, c, d); /* unrolled register FMA chain */",
+            )],
+        )])
+        .build()
+        .expect("kc is valid")
+}
+
+/// A launch of either microkernel at `blocks_per_sm` blocks per SM on a
+/// 68-SM device, with the given mainloop length.
+pub fn micro_launch(def: &Arc<KernelDef>, blocks_per_sm: u64, iters: u64) -> WorkloadKernel {
+    launch_with_iters(Arc::clone(def), blocks_per_sm * 68, iters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacker_kernel::ComputeUnit;
+
+    #[test]
+    fn per_iteration_pipeline_cycles_match() {
+        let kt = kt();
+        let kc = kc();
+        let mut b = tacker_kernel::Bindings::new();
+        b.insert("iters".into(), 1);
+        let bt = tacker_kernel::lower_block(&kt, 1, &b).unwrap();
+        let bc = tacker_kernel::lower_block(&kc, 1, &b).unwrap();
+        let tc_ops = bt.roles[0].program.total_compute(ComputeUnit::Tensor);
+        let cd_ops = bc.roles[0].program.total_compute(ComputeUnit::Cuda);
+        assert_eq!(tc_ops / 256, CYCLES_PER_WARP_ITER);
+        assert_eq!(cd_ops / 32, CYCLES_PER_WARP_ITER);
+    }
+
+    #[test]
+    fn kinds_are_complementary() {
+        assert_eq!(kt().kind(), KernelKind::Tensor);
+        assert_eq!(kc().kind(), KernelKind::Cuda);
+        assert!(kc().resources().shared_mem_bytes == 0);
+    }
+
+    #[test]
+    fn micro_launch_scales_grid() {
+        let def = Arc::new(kc());
+        let wk = micro_launch(&def, 4, 100);
+        assert_eq!(wk.grid, 272);
+        assert_eq!(wk.bindings.get("iters"), Some(&100));
+    }
+}

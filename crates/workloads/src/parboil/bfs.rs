@@ -1,0 +1,63 @@
+//! `bfs` — breadth-first search.
+//!
+//! The introduction's canonical best-effort example ("to breadth-first
+//! search a node in a graph without setting a deadline"). Frontier
+//! expansion is irregular, pointer-chasing memory access: very low cache
+//! locality, little arithmetic.
+
+use std::sync::{Arc, OnceLock};
+
+use tacker_kernel::ast::{Expr, Stmt};
+use tacker_kernel::{Dim3, KernelDef, KernelKind, ResourceUsage};
+
+use super::launch_with_iters;
+use crate::app::WorkloadKernel;
+
+/// The frontier-expansion kernel.
+pub fn kernel() -> KernelDef {
+    KernelDef::builder("bfs", KernelKind::Cuda)
+        .block_dim(Dim3::x(256))
+        .resources(ResourceUsage::new(24, 0))
+        .param("iters")
+        .body(vec![Stmt::loop_over(
+            "edge",
+            Expr::param("iters"),
+            vec![
+                // Gather neighbour lists: pointer chasing, ~no locality.
+                Stmt::global_load("col_idx", Expr::lit(24), 0.12),
+                Stmt::compute_cd(Expr::lit(24), "next = visited[v] ? skip : enqueue(v)"),
+                Stmt::global_store("frontier_out", Expr::lit(8), 0.0),
+            ],
+        )])
+        .build()
+        .expect("bfs kernel is valid")
+}
+
+/// The process-wide shared instance of the kernel definition.
+pub fn shared() -> Arc<KernelDef> {
+    static DEF: OnceLock<Arc<KernelDef>> = OnceLock::new();
+    Arc::clone(DEF.get_or_init(|| Arc::new(kernel())))
+}
+
+/// One task iteration: one frontier level.
+pub fn task(scale: u32) -> Vec<WorkloadKernel> {
+    let def = shared();
+    vec![launch_with_iters(def, 2048 * scale as u64, 2)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn irregular_access_has_very_low_locality() {
+        let def = kernel();
+        let low = def.body().iter().any(|s| match s {
+            Stmt::Loop { body, .. } => body
+                .iter()
+                .any(|s| matches!(s, Stmt::MemAccess { locality, .. } if *locality < 0.2)),
+            _ => false,
+        });
+        assert!(low);
+    }
+}

@@ -1,0 +1,63 @@
+//! `cp` — direct Coulomb potential.
+//!
+//! The classic GPU showcase: each thread sums analytic contributions from
+//! a constant-memory atom list. Almost pure arithmetic; the most
+//! compute-intensive kernel in the suite.
+
+use std::sync::{Arc, OnceLock};
+
+use tacker_kernel::ast::{Expr, Stmt};
+use tacker_kernel::{Dim3, KernelDef, KernelKind, ResourceUsage};
+
+use super::launch_with_iters;
+use crate::app::WorkloadKernel;
+
+/// The potential-map kernel.
+pub fn kernel() -> KernelDef {
+    KernelDef::builder("cp", KernelKind::Cuda)
+        .block_dim(Dim3::x(128))
+        .resources(ResourceUsage::new(32, 0))
+        .param("iters")
+        .body(vec![
+            Stmt::loop_over(
+                "chunk",
+                Expr::param("iters"),
+                vec![
+                    Stmt::global_load("atominfo", Expr::lit(8), 0.95),
+                    Stmt::compute_cd(
+                        Expr::lit(448),
+                        "dx = x - ax; dy = y - ay; pot += aq * rsqrtf(dx*dx + dy*dy + dz2)",
+                    ),
+                ],
+            ),
+            Stmt::global_store("energygrid", Expr::lit(16), 0.0),
+        ])
+        .build()
+        .expect("cp kernel is valid")
+}
+
+/// The process-wide shared instance of the kernel definition.
+///
+/// Sharing one definition keeps `KernelId`s stable, so the simulator's
+/// memoization and the runtime's fusion library both recognize repeated
+/// launches.
+pub fn shared() -> Arc<KernelDef> {
+    static DEF: OnceLock<Arc<KernelDef>> = OnceLock::new();
+    Arc::clone(DEF.get_or_init(|| Arc::new(kernel())))
+}
+
+/// One task iteration.
+pub fn task(scale: u32) -> Vec<WorkloadKernel> {
+    let def = shared();
+    vec![launch_with_iters(def, 2048 * scale as u64, 2)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_shared_memory_needed() {
+        assert_eq!(kernel().resources().shared_mem_bytes, 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! `cutcp` — cutoff-limited Coulomb potential.
+//!
+//! Each block accumulates short-range electrostatic contributions for a
+//! lattice region, staging atom data in shared memory. Compute-intensive
+//! with moderate register pressure.
+
+use std::sync::{Arc, OnceLock};
+
+use tacker_kernel::ast::{Expr, MemDir, Stmt};
+use tacker_kernel::{Dim3, KernelDef, KernelKind, ResourceUsage};
+
+use super::launch_with_iters;
+use crate::app::WorkloadKernel;
+
+/// The lattice-region potential kernel.
+pub fn kernel() -> KernelDef {
+    KernelDef::builder("cutcp", KernelKind::Cuda)
+        .block_dim(Dim3::x(128))
+        .resources(ResourceUsage::new(44, 4 * 1024))
+        .param("iters")
+        .body(vec![
+            Stmt::shared_decl("atom_cache", 4 * 1024),
+            Stmt::loop_over(
+                "bin",
+                Expr::param("iters"),
+                vec![
+                    Stmt::global_load("atoms", Expr::lit(32), 0.88),
+                    Stmt::shared_access(MemDir::Write, "atom_cache", Expr::lit(16)),
+                    Stmt::sync_threads(),
+                    Stmt::compute_cd(
+                        Expr::lit(384),
+                        "r2 = dx*dx+dy*dy+dz*dz; if (r2 < cutoff2) pot += q * (1/sqrtf(r2) - ...)",
+                    ),
+                    Stmt::sync_threads(),
+                ],
+            ),
+            Stmt::global_store("lattice", Expr::lit(16), 0.0),
+        ])
+        .build()
+        .expect("cutcp kernel is valid")
+}
+
+/// The process-wide shared instance of the kernel definition.
+///
+/// Sharing one definition keeps `KernelId`s stable, so the simulator's
+/// memoization and the runtime's fusion library both recognize repeated
+/// launches.
+pub fn shared() -> Arc<KernelDef> {
+    static DEF: OnceLock<Arc<KernelDef>> = OnceLock::new();
+    Arc::clone(DEF.get_or_init(|| Arc::new(kernel())))
+}
+
+/// One task iteration.
+pub fn task(scale: u32) -> Vec<WorkloadKernel> {
+    let def = shared();
+    vec![launch_with_iters(def, 2048 * scale as u64, 2)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uses_shared_atom_cache() {
+        let def = kernel();
+        assert_eq!(def.resources().shared_mem_bytes, 4 * 1024);
+        assert!(def.body().iter().any(Stmt::contains_sync_threads));
+    }
+}

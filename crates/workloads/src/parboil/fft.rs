@@ -1,0 +1,66 @@
+//! `fft` — batched fast Fourier transform.
+//!
+//! Butterfly stages through shared memory with block-wide synchronization
+//! between stages; compute-intensive with strong data reuse.
+
+use std::sync::{Arc, OnceLock};
+
+use tacker_kernel::ast::{Expr, MemDir, Stmt};
+use tacker_kernel::{Dim3, KernelDef, KernelKind, ResourceUsage};
+
+use super::launch_with_iters;
+use crate::app::WorkloadKernel;
+
+/// The batched FFT kernel (one transform per block).
+pub fn kernel() -> KernelDef {
+    KernelDef::builder("fft", KernelKind::Cuda)
+        .block_dim(Dim3::x(256))
+        .resources(ResourceUsage::new(56, 8 * 1024))
+        .param("iters")
+        .body(vec![
+            Stmt::shared_decl("stage_buf", 8 * 1024),
+            Stmt::global_load("signal", Expr::lit(32), 0.6),
+            Stmt::loop_over(
+                "stage",
+                Expr::param("iters"),
+                vec![
+                    Stmt::shared_access(MemDir::Read, "stage_buf", Expr::lit(32)),
+                    Stmt::sync_threads(),
+                    Stmt::compute_cd(Expr::lit(320), "butterfly(w, lo, hi)"),
+                    Stmt::sync_threads(),
+                    Stmt::shared_access(MemDir::Write, "stage_buf", Expr::lit(32)),
+                ],
+            ),
+            Stmt::global_store("spectrum", Expr::lit(32), 0.0),
+        ])
+        .build()
+        .expect("fft kernel is valid")
+}
+
+/// The process-wide shared instance of the kernel definition.
+///
+/// Sharing one definition keeps `KernelId`s stable, so the simulator's
+/// memoization and the runtime's fusion library both recognize repeated
+/// launches.
+pub fn shared() -> Arc<KernelDef> {
+    static DEF: OnceLock<Arc<KernelDef>> = OnceLock::new();
+    Arc::clone(DEF.get_or_init(|| Arc::new(kernel())))
+}
+
+/// One task iteration: a batch of transforms.
+pub fn task(scale: u32) -> Vec<WorkloadKernel> {
+    let def = shared();
+    vec![launch_with_iters(def, 1536 * scale as u64, 3)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synchronizes_between_stages() {
+        let def = kernel();
+        assert!(def.body().iter().any(Stmt::contains_sync_threads));
+        assert_eq!(def.resources().shared_mem_bytes, 8 * 1024);
+    }
+}

@@ -1,0 +1,61 @@
+//! `histo` — image histogramming.
+//!
+//! Streams pixels and scatters increments into a privatized shared-memory
+//! histogram, merging to global memory at the end. Memory-intensive with
+//! shared-memory conflict pressure.
+
+use std::sync::{Arc, OnceLock};
+
+use tacker_kernel::ast::{Expr, MemDir, Stmt};
+use tacker_kernel::{Dim3, KernelDef, KernelKind, ResourceUsage};
+
+use super::launch_with_iters;
+use crate::app::WorkloadKernel;
+
+/// The privatized-histogram kernel.
+pub fn kernel() -> KernelDef {
+    KernelDef::builder("histo", KernelKind::Cuda)
+        .block_dim(Dim3::x(256))
+        .resources(ResourceUsage::new(24, 4 * 1024))
+        .param("iters")
+        .body(vec![
+            Stmt::shared_decl("private_histo", 4 * 1024),
+            Stmt::loop_over(
+                "px",
+                Expr::param("iters"),
+                vec![
+                    Stmt::global_load("pixels", Expr::lit(32), 0.3),
+                    Stmt::compute_cd(Expr::lit(48), "bin = classify(px)"),
+                    Stmt::shared_access(MemDir::Write, "private_histo", Expr::lit(16)),
+                ],
+            ),
+            Stmt::sync_threads(),
+            Stmt::global_store("histo", Expr::lit(16), 0.0),
+        ])
+        .build()
+        .expect("histo kernel is valid")
+}
+
+/// The process-wide shared instance of the kernel definition.
+pub fn shared() -> Arc<KernelDef> {
+    static DEF: OnceLock<Arc<KernelDef>> = OnceLock::new();
+    Arc::clone(DEF.get_or_init(|| Arc::new(kernel())))
+}
+
+/// One task iteration: one image.
+pub fn task(scale: u32) -> Vec<WorkloadKernel> {
+    let def = shared();
+    vec![launch_with_iters(def, 1536 * scale as u64, 4)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uses_privatized_shared_histogram() {
+        let def = kernel();
+        assert_eq!(def.resources().shared_mem_bytes, 4 * 1024);
+        assert!(def.body().iter().any(Stmt::contains_sync_threads));
+    }
+}

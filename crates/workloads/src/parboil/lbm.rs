@@ -1,0 +1,64 @@
+//! `lbm` — lattice-Boltzmann method fluid simulation.
+//!
+//! Streams 19 distribution values per cell in and out of global memory
+//! with little arithmetic: the most bandwidth-bound kernel in the suite,
+//! with the suite's highest register pressure.
+
+use std::sync::{Arc, OnceLock};
+
+use tacker_kernel::ast::{Expr, Stmt};
+use tacker_kernel::{Dim3, KernelDef, KernelKind, ResourceUsage};
+
+use super::launch_with_iters;
+use crate::app::WorkloadKernel;
+
+/// The stream-collide kernel.
+pub fn kernel() -> KernelDef {
+    KernelDef::builder("lbm", KernelKind::Cuda)
+        .block_dim(Dim3::x(128))
+        .resources(ResourceUsage::new(84, 0))
+        .param("iters")
+        .body(vec![Stmt::loop_over(
+            "cell",
+            Expr::param("iters"),
+            vec![
+                Stmt::global_load("src_grid", Expr::lit(152), 0.2),
+                Stmt::compute_cd(Expr::lit(80), "rho = sum(f); u = momentum(f); f' = collide(f)"),
+                Stmt::global_store("dst_grid", Expr::lit(152), 0.0),
+            ],
+        )])
+        .build()
+        .expect("lbm kernel is valid")
+}
+
+/// The process-wide shared instance of the kernel definition.
+///
+/// Sharing one definition keeps `KernelId`s stable, so the simulator's
+/// memoization and the runtime's fusion library both recognize repeated
+/// launches.
+pub fn shared() -> Arc<KernelDef> {
+    static DEF: OnceLock<Arc<KernelDef>> = OnceLock::new();
+    Arc::clone(DEF.get_or_init(|| Arc::new(kernel())))
+}
+
+/// One task iteration: one lattice time step.
+pub fn task(scale: u32) -> Vec<WorkloadKernel> {
+    let def = shared();
+    vec![launch_with_iters(def, 4096 * scale as u64, 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_bound() {
+        use tacker_kernel::ComputeUnit;
+        let wk = &task(1)[0];
+        let bp = tacker_kernel::lower_block(&wk.def, wk.grid, &wk.bindings).unwrap();
+        let bytes = bp.roles[0].program.total_global_bytes() as f64;
+        let ops = bp.roles[0].program.total_compute(ComputeUnit::Cuda) as f64;
+        assert!(bytes / ops > 3.0);
+        assert_eq!(kernel().resources().registers_per_thread, 84);
+    }
+}

@@ -1,0 +1,327 @@
+//! The Parboil benchmark suite (Stratton et al.), as used for the paper's
+//! best-effort applications (Table II) and fusion partners (Figs. 3, 20),
+//! plus four further suite members (bfs, histo, sad, spmv) available as
+//! additional fusion partners.
+//!
+//! Each module models one benchmark's dominant GPU kernel: its block shape,
+//! register/shared-memory footprint, and per-iteration compute/memory
+//! profile, tuned so the suite splits into the paper's compute-intensive
+//! (mriq, fft, mrif, cutcp, cp) and memory-intensive (sgemm, lbm, tpacf)
+//! classes. `stencil` and `regtile` (the register-tiled sgemm variant)
+//! appear in the fusion-quality experiments.
+//!
+//! All kernels take an `iters` parameter scaling their main loop, which the
+//! load-ratio experiments (Fig. 10/11) sweep.
+
+pub mod bfs;
+pub mod cp;
+pub mod cutcp;
+pub mod histo;
+pub mod fft;
+pub mod lbm;
+pub mod mrif;
+pub mod mriq;
+pub mod regtile;
+pub mod sad;
+pub mod sgemm;
+pub mod spmv;
+pub mod stencil;
+pub mod tpacf;
+
+use std::sync::Arc;
+
+use tacker_kernel::{Bindings, KernelDef};
+
+use crate::app::{Intensity, WorkloadKernel};
+
+/// The ten modelled Parboil benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// Magnetic-resonance imaging Q-matrix (compute-intensive).
+    Mriq,
+    /// Fast Fourier transform (compute-intensive).
+    Fft,
+    /// MRI reconstruction FHd (compute-intensive).
+    Mrif,
+    /// Cutoff Coulomb potential (compute-intensive).
+    Cutcp,
+    /// Direct Coulomb potential (compute-intensive).
+    Cp,
+    /// Single-precision GEMM on CUDA cores (memory-intensive).
+    Sgemm,
+    /// Lattice-Boltzmann method (memory-intensive).
+    Lbm,
+    /// Two-point angular correlation function (memory-intensive).
+    Tpacf,
+    /// 7-point stencil (fusion-quality experiments).
+    Stencil,
+    /// Register-tiled dense matrix multiply (fusion-quality experiments).
+    Regtile,
+    /// Breadth-first search (suite member; the introduction's canonical
+    /// best-effort example).
+    Bfs,
+    /// Image histogramming (suite member).
+    Histo,
+    /// Sum of absolute differences (suite member).
+    Sad,
+    /// Sparse matrix–vector multiply (suite member).
+    Spmv,
+}
+
+impl Benchmark {
+    /// All benchmarks: the paper's ten plus four further suite members
+    /// available as fusion partners.
+    pub const ALL: [Benchmark; 14] = [
+        Benchmark::Mriq,
+        Benchmark::Fft,
+        Benchmark::Mrif,
+        Benchmark::Cutcp,
+        Benchmark::Cp,
+        Benchmark::Sgemm,
+        Benchmark::Lbm,
+        Benchmark::Tpacf,
+        Benchmark::Stencil,
+        Benchmark::Regtile,
+        Benchmark::Bfs,
+        Benchmark::Histo,
+        Benchmark::Sad,
+        Benchmark::Spmv,
+    ];
+
+    /// The eight used as BE applications in Fig. 14 (stencil and regtile
+    /// are only fusion-quality subjects).
+    pub const BE_APPS: [Benchmark; 8] = [
+        Benchmark::Mriq,
+        Benchmark::Fft,
+        Benchmark::Mrif,
+        Benchmark::Cutcp,
+        Benchmark::Cp,
+        Benchmark::Sgemm,
+        Benchmark::Lbm,
+        Benchmark::Tpacf,
+    ];
+
+    /// The benchmark's short name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Mriq => "mriq",
+            Benchmark::Fft => "fft",
+            Benchmark::Mrif => "mrif",
+            Benchmark::Cutcp => "cutcp",
+            Benchmark::Cp => "cp",
+            Benchmark::Sgemm => "sgemm",
+            Benchmark::Lbm => "lbm",
+            Benchmark::Tpacf => "tpacf",
+            Benchmark::Stencil => "stencil",
+            Benchmark::Regtile => "regtil",
+            Benchmark::Bfs => "bfs",
+            Benchmark::Histo => "histo",
+            Benchmark::Sad => "sad",
+            Benchmark::Spmv => "spmv",
+        }
+    }
+
+    /// The paper's compute/memory classification.
+    pub fn intensity(self) -> Intensity {
+        match self {
+            Benchmark::Mriq
+            | Benchmark::Fft
+            | Benchmark::Mrif
+            | Benchmark::Cutcp
+            | Benchmark::Cp
+            | Benchmark::Stencil
+            | Benchmark::Regtile
+            | Benchmark::Sad => Intensity::Compute,
+            Benchmark::Sgemm
+            | Benchmark::Lbm
+            | Benchmark::Tpacf
+            | Benchmark::Bfs
+            | Benchmark::Histo
+            | Benchmark::Spmv => Intensity::Memory,
+        }
+    }
+
+    /// The process-wide shared instance of the benchmark's kernel
+    /// definition (stable `KernelId` across tasks).
+    pub fn shared_kernel(self) -> Arc<KernelDef> {
+        match self {
+            Benchmark::Mriq => mriq::shared(),
+            Benchmark::Fft => fft::shared(),
+            Benchmark::Mrif => mrif::shared(),
+            Benchmark::Cutcp => cutcp::shared(),
+            Benchmark::Cp => cp::shared(),
+            Benchmark::Sgemm => sgemm::shared(),
+            Benchmark::Lbm => lbm::shared(),
+            Benchmark::Tpacf => tpacf::shared(),
+            Benchmark::Stencil => stencil::shared(),
+            Benchmark::Regtile => regtile::shared(),
+            Benchmark::Bfs => bfs::shared(),
+            Benchmark::Histo => histo::shared(),
+            Benchmark::Sad => sad::shared(),
+            Benchmark::Spmv => spmv::shared(),
+        }
+    }
+
+    /// The benchmark's dominant CUDA-Core kernel.
+    pub fn kernel(self) -> KernelDef {
+        match self {
+            Benchmark::Mriq => mriq::kernel(),
+            Benchmark::Fft => fft::kernel(),
+            Benchmark::Mrif => mrif::kernel(),
+            Benchmark::Cutcp => cutcp::kernel(),
+            Benchmark::Cp => cp::kernel(),
+            Benchmark::Sgemm => sgemm::kernel(),
+            Benchmark::Lbm => lbm::kernel(),
+            Benchmark::Tpacf => tpacf::kernel(),
+            Benchmark::Stencil => stencil::kernel(),
+            Benchmark::Regtile => regtile::kernel(),
+            Benchmark::Bfs => bfs::kernel(),
+            Benchmark::Histo => histo::kernel(),
+            Benchmark::Sad => sad::kernel(),
+            Benchmark::Spmv => spmv::kernel(),
+        }
+    }
+
+    /// One BE task iteration at the default problem size.
+    pub fn task(self) -> Vec<WorkloadKernel> {
+        self.task_scaled(1)
+    }
+
+    /// One BE task iteration with the problem size multiplied by `scale`.
+    pub fn task_scaled(self, scale: u32) -> Vec<WorkloadKernel> {
+        match self {
+            Benchmark::Mriq => mriq::task(scale),
+            Benchmark::Fft => fft::task(scale),
+            Benchmark::Mrif => mrif::task(scale),
+            Benchmark::Cutcp => cutcp::task(scale),
+            Benchmark::Cp => cp::task(scale),
+            Benchmark::Sgemm => sgemm::task(scale),
+            Benchmark::Lbm => lbm::task(scale),
+            Benchmark::Tpacf => tpacf::task(scale),
+            Benchmark::Stencil => stencil::task(scale),
+            Benchmark::Regtile => regtile::task(scale),
+            Benchmark::Bfs => bfs::task(scale),
+            Benchmark::Histo => histo::task(scale),
+            Benchmark::Sad => sad::task(scale),
+            Benchmark::Spmv => spmv::task(scale),
+        }
+    }
+}
+
+/// Parboil dataset sizes. The real suite ships small/medium/large inputs
+/// per benchmark; tasks scale their grids accordingly (the default BE
+/// tasks use [`Dataset::Small`], sized so one kernel is comparable to an
+/// LC layer kernel — see DESIGN.md §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Dataset {
+    /// The default co-location input.
+    #[default]
+    Small,
+    /// 4× the small grid.
+    Medium,
+    /// 16× the small grid.
+    Large,
+}
+
+impl Dataset {
+    /// Grid multiplier relative to [`Dataset::Small`].
+    pub fn scale(self) -> u32 {
+        match self {
+            Dataset::Small => 1,
+            Dataset::Medium => 4,
+            Dataset::Large => 16,
+        }
+    }
+}
+
+impl Benchmark {
+    /// One task iteration at a given dataset size.
+    pub fn task_with(self, dataset: Dataset) -> Vec<WorkloadKernel> {
+        self.task_scaled(dataset.scale())
+    }
+}
+
+/// Helper used by the benchmark modules: a launch with the standard
+/// `iters` binding.
+pub(crate) fn launch_with_iters(def: Arc<KernelDef>, grid: u64, iters: u64) -> WorkloadKernel {
+    let mut bindings = Bindings::new();
+    bindings.insert("iters".to_string(), iters);
+    WorkloadKernel::new(def, grid, bindings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacker_kernel::KernelKind;
+
+    #[test]
+    fn all_benchmarks_build_valid_cuda_kernels() {
+        for b in Benchmark::ALL {
+            let def = b.kernel();
+            assert_eq!(def.kind(), KernelKind::Cuda, "{}", b.name());
+            let (tensor, cuda) = def.unit_usage();
+            assert!(!tensor, "{} must not use tensor cores", b.name());
+            assert!(cuda, "{} must use cuda cores", b.name());
+            assert!(def.block_dim().total() % 32 == 0, "{}", b.name());
+        }
+    }
+
+    #[test]
+    fn tasks_are_nonempty_and_scale() {
+        for b in Benchmark::ALL {
+            let t1 = b.task();
+            let t4 = b.task_scaled(4);
+            assert!(!t1.is_empty(), "{}", b.name());
+            let g1: u64 = t1.iter().map(|k| k.grid).sum();
+            let g4: u64 = t4.iter().map(|k| k.grid).sum();
+            assert!(g4 > g1, "{} should scale grids", b.name());
+        }
+    }
+
+    #[test]
+    fn intensity_classification_matches_table_ii() {
+        assert_eq!(Benchmark::Sgemm.intensity(), Intensity::Memory);
+        assert_eq!(Benchmark::Lbm.intensity(), Intensity::Memory);
+        assert_eq!(Benchmark::Tpacf.intensity(), Intensity::Memory);
+        assert_eq!(Benchmark::Mriq.intensity(), Intensity::Compute);
+        assert_eq!(Benchmark::Cp.intensity(), Intensity::Compute);
+    }
+
+    #[test]
+    fn memory_benchmarks_move_more_bytes_per_op() {
+        use tacker_kernel::ComputeUnit;
+        let ratio = |b: Benchmark| {
+            let def = b.kernel();
+            let wk = &b.task()[0];
+            let bp = tacker_kernel::lower_block(&def, wk.grid, &wk.bindings).unwrap();
+            let bytes = bp.roles[0].program.total_global_bytes() as f64;
+            let ops = bp.roles[0].program.total_compute(ComputeUnit::Cuda) as f64;
+            bytes / ops.max(1.0)
+        };
+        let lbm = ratio(Benchmark::Lbm);
+        let mriq = ratio(Benchmark::Mriq);
+        assert!(
+            lbm > 4.0 * mriq,
+            "lbm bytes/op {lbm} should dwarf mriq {mriq}"
+        );
+    }
+
+    #[test]
+    fn datasets_scale_grids_monotonically() {
+        for b in Benchmark::ALL {
+            let small: u64 = b.task_with(Dataset::Small).iter().map(|k| k.grid).sum();
+            let medium: u64 = b.task_with(Dataset::Medium).iter().map(|k| k.grid).sum();
+            let large: u64 = b.task_with(Dataset::Large).iter().map(|k| k.grid).sum();
+            assert_eq!(medium, 4 * small, "{}", b.name());
+            assert_eq!(large, 16 * small, "{}", b.name());
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for b in Benchmark::ALL {
+            assert!(!b.name().is_empty());
+        }
+        assert_eq!(Benchmark::Regtile.name(), "regtil");
+    }
+}

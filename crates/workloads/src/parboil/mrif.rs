@@ -1,0 +1,63 @@
+//! `mrif` — MRI reconstruction (FHd computation).
+//!
+//! Sibling of `mriq`: streams sample values and accumulates trigonometric
+//! contributions per voxel. Compute-intensive.
+
+use std::sync::{Arc, OnceLock};
+
+use tacker_kernel::ast::{Expr, Stmt};
+use tacker_kernel::{Dim3, KernelDef, KernelKind, ResourceUsage};
+
+use super::launch_with_iters;
+use crate::app::WorkloadKernel;
+
+/// The `ComputeFHd` kernel.
+pub fn kernel() -> KernelDef {
+    KernelDef::builder("mrif", KernelKind::Cuda)
+        .block_dim(Dim3::x(256))
+        .resources(ResourceUsage::new(40, 0))
+        .param("iters")
+        .body(vec![Stmt::loop_over(
+            "s",
+            Expr::param("iters"),
+            vec![
+                Stmt::global_load("samples", Expr::lit(16), 0.9),
+                Stmt::compute_cd(
+                    Expr::lit(448),
+                    "arg = 2*PI*(kx*x + ky*y + kz*z); rFH += rRho*__cosf(arg) + iRho*__sinf(arg)",
+                ),
+            ],
+        )])
+        .build()
+        .expect("mrif kernel is valid")
+}
+
+/// The process-wide shared instance of the kernel definition.
+///
+/// Sharing one definition keeps `KernelId`s stable, so the simulator's
+/// memoization and the runtime's fusion library both recognize repeated
+/// launches.
+pub fn shared() -> Arc<KernelDef> {
+    static DEF: OnceLock<Arc<KernelDef>> = OnceLock::new();
+    Arc::clone(DEF.get_or_init(|| Arc::new(kernel())))
+}
+
+/// One task iteration.
+pub fn task(scale: u32) -> Vec<WorkloadKernel> {
+    let def = shared();
+    vec![launch_with_iters(def, 1536 * scale as u64, 2)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_dominates() {
+        use tacker_kernel::ComputeUnit;
+        let wk = &task(1)[0];
+        let bp = tacker_kernel::lower_block(&wk.def, wk.grid, &wk.bindings).unwrap();
+        assert!(bp.roles[0].program.total_compute(ComputeUnit::Cuda) > 0);
+        assert!(wk.grid == 1536);
+    }
+}

@@ -1,0 +1,65 @@
+//! `mriq` — MRI Q-matrix computation.
+//!
+//! Dominated by per-sample trigonometric arithmetic over a small streamed
+//! sample array: the textbook compute-intensive kernel (each thread
+//! evaluates `sin`/`cos` chains per voxel-sample pair).
+
+use std::sync::{Arc, OnceLock};
+
+use tacker_kernel::ast::{Expr, Stmt};
+use tacker_kernel::{Dim3, KernelDef, KernelKind, ResourceUsage};
+
+use super::launch_with_iters;
+use crate::app::WorkloadKernel;
+
+/// The `ComputeQ` kernel.
+pub fn kernel() -> KernelDef {
+    KernelDef::builder("mriq", KernelKind::Cuda)
+        .block_dim(Dim3::x(256))
+        .resources(ResourceUsage::new(40, 0))
+        .param("iters")
+        .body(vec![Stmt::loop_over(
+            "s",
+            Expr::param("iters"),
+            vec![
+                Stmt::global_load("kvals", Expr::lit(16), 0.92),
+                Stmt::compute_cd(
+                    Expr::lit(512),
+                    "phi = kx*x + ky*y + kz*z; Qr += mag * __cosf(phi); Qi += mag * __sinf(phi)",
+                ),
+            ],
+        )])
+        .build()
+        .expect("mriq kernel is valid")
+}
+
+/// The process-wide shared instance of the kernel definition.
+///
+/// Sharing one definition keeps `KernelId`s stable, so the simulator's
+/// memoization and the runtime's fusion library both recognize repeated
+/// launches.
+pub fn shared() -> Arc<KernelDef> {
+    static DEF: OnceLock<Arc<KernelDef>> = OnceLock::new();
+    Arc::clone(DEF.get_or_init(|| Arc::new(kernel())))
+}
+
+/// One task iteration: the Q computation over the voxel grid.
+pub fn task(scale: u32) -> Vec<WorkloadKernel> {
+    let def = shared();
+    vec![launch_with_iters(def, 2048 * scale as u64, 2)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heavily_compute_bound() {
+        use tacker_kernel::ComputeUnit;
+        let wk = &task(1)[0];
+        let bp = tacker_kernel::lower_block(&wk.def, wk.grid, &wk.bindings).unwrap();
+        let ops = bp.roles[0].program.total_compute(ComputeUnit::Cuda);
+        let bytes = bp.roles[0].program.total_global_bytes();
+        assert!(ops as f64 / bytes as f64 > 20.0);
+    }
+}

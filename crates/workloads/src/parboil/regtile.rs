@@ -1,0 +1,66 @@
+//! `regtil` — register-tiled dense matrix multiply.
+//!
+//! An aggressively register-blocked FP32 GEMM: high arithmetic intensity
+//! and the suite's largest register/shared-memory footprint, which makes
+//! it the hardest kernel to co-locate (its fused blocks crowd out
+//! partners). Appears in Figs. 3 and 20.
+
+use std::sync::{Arc, OnceLock};
+
+use tacker_kernel::ast::{Expr, Stmt};
+use tacker_kernel::{Dim3, KernelDef, KernelKind, ResourceUsage};
+
+use super::launch_with_iters;
+use crate::app::WorkloadKernel;
+
+/// The register-tiled GEMM kernel.
+pub fn kernel() -> KernelDef {
+    KernelDef::builder("regtil", KernelKind::Cuda)
+        .block_dim(Dim3::x(128))
+        .resources(ResourceUsage::new(96, 16 * 1024))
+        .param("iters")
+        .body(vec![
+            Stmt::shared_decl("tiles", 16 * 1024),
+            Stmt::loop_over(
+                "kk",
+                Expr::param("iters"),
+                vec![
+                    Stmt::global_load("A_B", Expr::lit(64), 0.8),
+                    Stmt::sync_threads(),
+                    Stmt::compute_cd(Expr::lit(768), "8x8 register-tile FMA accumulation"),
+                    Stmt::sync_threads(),
+                ],
+            ),
+            Stmt::global_store("C", Expr::lit(128), 0.0),
+        ])
+        .build()
+        .expect("regtile kernel is valid")
+}
+
+/// The process-wide shared instance of the kernel definition.
+///
+/// Sharing one definition keeps `KernelId`s stable, so the simulator's
+/// memoization and the runtime's fusion library both recognize repeated
+/// launches.
+pub fn shared() -> Arc<KernelDef> {
+    static DEF: OnceLock<Arc<KernelDef>> = OnceLock::new();
+    Arc::clone(DEF.get_or_init(|| Arc::new(kernel())))
+}
+
+/// One task iteration.
+pub fn task(scale: u32) -> Vec<WorkloadKernel> {
+    let def = shared();
+    vec![launch_with_iters(def, 1024 * scale as u64, 2)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heaviest_resource_footprint_in_suite() {
+        let def = kernel();
+        assert_eq!(def.resources().registers_per_thread, 96);
+        assert_eq!(def.resources().shared_mem_bytes, 16 * 1024);
+    }
+}

@@ -1,0 +1,62 @@
+//! `sad` — sum of absolute differences (video encoding block matching).
+//!
+//! Each thread evaluates SAD over 16×16 macroblock candidates: dense
+//! small-window loads with high reuse and abs-diff accumulation chains.
+//! Compute-leaning.
+
+use std::sync::{Arc, OnceLock};
+
+use tacker_kernel::ast::{Expr, Stmt};
+use tacker_kernel::{Dim3, KernelDef, KernelKind, ResourceUsage};
+
+use super::launch_with_iters;
+use crate::app::WorkloadKernel;
+
+/// The macroblock SAD kernel.
+pub fn kernel() -> KernelDef {
+    KernelDef::builder("sad", KernelKind::Cuda)
+        .block_dim(Dim3::x(128))
+        .resources(ResourceUsage::new(36, 2 * 1024))
+        .param("iters")
+        .body(vec![
+            Stmt::shared_decl("ref_window", 2 * 1024),
+            Stmt::loop_over(
+                "cand",
+                Expr::param("iters"),
+                vec![
+                    Stmt::global_load("cur_mb", Expr::lit(24), 0.8),
+                    Stmt::compute_cd(Expr::lit(256), "sad += __vabsdiffu4(cur, ref)"),
+                ],
+            ),
+            Stmt::global_store("sad_out", Expr::lit(8), 0.0),
+        ])
+        .build()
+        .expect("sad kernel is valid")
+}
+
+/// The process-wide shared instance of the kernel definition.
+pub fn shared() -> Arc<KernelDef> {
+    static DEF: OnceLock<Arc<KernelDef>> = OnceLock::new();
+    Arc::clone(DEF.get_or_init(|| Arc::new(kernel())))
+}
+
+/// One task iteration: one frame's macroblocks.
+pub fn task(scale: u32) -> Vec<WorkloadKernel> {
+    let def = shared();
+    vec![launch_with_iters(def, 2048 * scale as u64, 3)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_leaning_profile() {
+        use tacker_kernel::ComputeUnit;
+        let wk = &task(1)[0];
+        let bp = tacker_kernel::lower_block(&wk.def, wk.grid, &wk.bindings).unwrap();
+        let ops = bp.roles[0].program.total_compute(ComputeUnit::Cuda) as f64;
+        let bytes = bp.roles[0].program.total_global_bytes() as f64;
+        assert!(ops / bytes > 5.0);
+    }
+}

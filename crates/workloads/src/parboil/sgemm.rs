@@ -1,0 +1,69 @@
+//! `sgemm` — single-precision GEMM on CUDA Cores.
+//!
+//! The FP32 shared-memory-tiled matrix multiply. Unlike the Tensor-Core
+//! GEMM, the FP32 pipeline is slow enough relative to the tile traffic
+//! that the kernel is bandwidth-sensitive — the paper classifies Parboil
+//! sgemm as memory-intensive.
+
+use std::sync::{Arc, OnceLock};
+
+use tacker_kernel::ast::{Expr, Stmt};
+use tacker_kernel::{Dim3, KernelDef, KernelKind, ResourceUsage};
+
+use super::launch_with_iters;
+use crate::app::WorkloadKernel;
+
+/// The 64×64-tile FP32 GEMM kernel (`iters` = K / 16).
+pub fn kernel() -> KernelDef {
+    KernelDef::builder("sgemm", KernelKind::Cuda)
+        .block_dim(Dim3::x(128))
+        .resources(ResourceUsage::new(60, 8 * 1024))
+        .param("iters")
+        .body(vec![
+            Stmt::shared_decl("tile_ab", 8 * 1024),
+            Stmt::loop_over(
+                "kk",
+                Expr::param("iters"),
+                vec![
+                    Stmt::global_load("A_B", Expr::lit(64), 0.40),
+                    Stmt::sync_threads(),
+                    Stmt::compute_cd(Expr::lit(256), "acc[i][j] += As[ty][k] * Bs[k][tx]"),
+                    Stmt::sync_threads(),
+                ],
+            ),
+            Stmt::global_store("C", Expr::lit(128), 0.0),
+        ])
+        .build()
+        .expect("sgemm kernel is valid")
+}
+
+/// The process-wide shared instance of the kernel definition.
+///
+/// Sharing one definition keeps `KernelId`s stable, so the simulator's
+/// memoization and the runtime's fusion library both recognize repeated
+/// launches.
+pub fn shared() -> Arc<KernelDef> {
+    static DEF: OnceLock<Arc<KernelDef>> = OnceLock::new();
+    Arc::clone(DEF.get_or_init(|| Arc::new(kernel())))
+}
+
+/// One task iteration: a 2048×2048×1024 FP32 GEMM.
+pub fn task(scale: u32) -> Vec<WorkloadKernel> {
+    let def = shared();
+    vec![launch_with_iters(def, 1024 * scale as u64, 8)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_more_bytes_than_compute_kernels() {
+        use tacker_kernel::ComputeUnit;
+        let wk = &task(1)[0];
+        let bp = tacker_kernel::lower_block(&wk.def, wk.grid, &wk.bindings).unwrap();
+        let bytes = bp.roles[0].program.total_global_bytes() as f64;
+        let ops = bp.roles[0].program.total_compute(ComputeUnit::Cuda) as f64;
+        assert!(bytes / ops > 0.2, "bytes/op {}", bytes / ops);
+    }
+}

@@ -1,0 +1,60 @@
+//! `spmv` — sparse matrix–vector multiply (JDS format).
+//!
+//! Streams the sparse matrix once with no reuse while gathering from the
+//! dense vector with some locality: classic bandwidth-bound kernel.
+
+use std::sync::{Arc, OnceLock};
+
+use tacker_kernel::ast::{Expr, Stmt};
+use tacker_kernel::{Dim3, KernelDef, KernelKind, ResourceUsage};
+
+use super::launch_with_iters;
+use crate::app::WorkloadKernel;
+
+/// The JDS SpMV kernel.
+pub fn kernel() -> KernelDef {
+    KernelDef::builder("spmv", KernelKind::Cuda)
+        .block_dim(Dim3::x(256))
+        .resources(ResourceUsage::new(28, 0))
+        .param("iters")
+        .body(vec![Stmt::loop_over(
+            "nz",
+            Expr::param("iters"),
+            vec![
+                // Matrix values + column indices stream once.
+                Stmt::global_load("jds_data", Expr::lit(96), 0.1),
+                // Gathered vector entries have some temporal locality.
+                Stmt::global_load("x_vec", Expr::lit(16), 0.6),
+                Stmt::compute_cd(Expr::lit(32), "acc += val * x[col]"),
+            ],
+        ), Stmt::global_store("y_vec", Expr::lit(8), 0.0)])
+        .build()
+        .expect("spmv kernel is valid")
+}
+
+/// The process-wide shared instance of the kernel definition.
+pub fn shared() -> Arc<KernelDef> {
+    static DEF: OnceLock<Arc<KernelDef>> = OnceLock::new();
+    Arc::clone(DEF.get_or_init(|| Arc::new(kernel())))
+}
+
+/// One task iteration: one multiply.
+pub fn task(scale: u32) -> Vec<WorkloadKernel> {
+    let def = shared();
+    vec![launch_with_iters(def, 2048 * scale as u64, 3)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_bound_profile() {
+        use tacker_kernel::ComputeUnit;
+        let wk = &task(1)[0];
+        let bp = tacker_kernel::lower_block(&wk.def, wk.grid, &wk.bindings).unwrap();
+        let ops = bp.roles[0].program.total_compute(ComputeUnit::Cuda) as f64;
+        let bytes = bp.roles[0].program.total_global_bytes() as f64;
+        assert!(bytes / ops > 2.0);
+    }
+}

@@ -1,0 +1,64 @@
+//! `stencil` — 7-point 3-D Jacobi stencil.
+//!
+//! Loads a neighbourhood per cell, computes a weighted sum, writes one
+//! value. Balanced but leaning on bandwidth; used in the fusion-quality
+//! experiments (Figs. 3 and 20).
+
+use std::sync::{Arc, OnceLock};
+
+use tacker_kernel::ast::{Expr, Stmt};
+use tacker_kernel::{Dim3, KernelDef, KernelKind, ResourceUsage};
+
+use super::launch_with_iters;
+use crate::app::WorkloadKernel;
+
+/// The Jacobi-sweep kernel.
+pub fn kernel() -> KernelDef {
+    KernelDef::builder("stencil", KernelKind::Cuda)
+        .block_dim(Dim3::x(128))
+        .resources(ResourceUsage::new(36, 4 * 1024))
+        .param("iters")
+        .body(vec![
+            Stmt::shared_decl("plane", 4 * 1024),
+            Stmt::loop_over(
+                "z",
+                Expr::param("iters"),
+                vec![
+                    Stmt::global_load("a0", Expr::lit(48), 0.75),
+                    Stmt::compute_cd(
+                        Expr::lit(128),
+                        "out = c0*center + c1*(north+south+east+west+top+bottom)",
+                    ),
+                    Stmt::global_store("a_next", Expr::lit(16), 0.0),
+                ],
+            ),
+        ])
+        .build()
+        .expect("stencil kernel is valid")
+}
+
+/// The process-wide shared instance of the kernel definition.
+///
+/// Sharing one definition keeps `KernelId`s stable, so the simulator's
+/// memoization and the runtime's fusion library both recognize repeated
+/// launches.
+pub fn shared() -> Arc<KernelDef> {
+    static DEF: OnceLock<Arc<KernelDef>> = OnceLock::new();
+    Arc::clone(DEF.get_or_init(|| Arc::new(kernel())))
+}
+
+/// One task iteration: one sweep.
+pub fn task(scale: u32) -> Vec<WorkloadKernel> {
+    let def = shared();
+    vec![launch_with_iters(def, 4096 * scale as u64, 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds() {
+        assert_eq!(kernel().block_dim().total(), 128);
+    }
+}

@@ -1,0 +1,70 @@
+//! `tpacf` — two-point angular correlation function.
+//!
+//! Histograms angular distances between galaxy pairs: streaming loads of
+//! coordinate data with shared-memory histogram updates. Memory-intensive
+//! with scattered access (low cache locality).
+
+use std::sync::{Arc, OnceLock};
+
+use tacker_kernel::ast::{Expr, MemDir, Stmt};
+use tacker_kernel::{Dim3, KernelDef, KernelKind, ResourceUsage};
+
+use super::launch_with_iters;
+use crate::app::WorkloadKernel;
+
+/// The pair-histogram kernel.
+pub fn kernel() -> KernelDef {
+    KernelDef::builder("tpacf", KernelKind::Cuda)
+        .block_dim(Dim3::x(256))
+        .resources(ResourceUsage::new(40, 8 * 1024))
+        .param("iters")
+        .body(vec![
+            Stmt::shared_decl("hist", 8 * 1024),
+            Stmt::loop_over(
+                "chunk",
+                Expr::param("iters"),
+                vec![
+                    Stmt::global_load("cartesian", Expr::lit(64), 0.35),
+                    Stmt::compute_cd(Expr::lit(96), "dot = xi*xj + yi*yj + zi*zj; bin = bsearch(dot)"),
+                    Stmt::shared_access(MemDir::Write, "hist", Expr::lit(8)),
+                ],
+            ),
+            Stmt::sync_threads(),
+            Stmt::global_store("global_hist", Expr::lit(16), 0.0),
+        ])
+        .build()
+        .expect("tpacf kernel is valid")
+}
+
+/// The process-wide shared instance of the kernel definition.
+///
+/// Sharing one definition keeps `KernelId`s stable, so the simulator's
+/// memoization and the runtime's fusion library both recognize repeated
+/// launches.
+pub fn shared() -> Arc<KernelDef> {
+    static DEF: OnceLock<Arc<KernelDef>> = OnceLock::new();
+    Arc::clone(DEF.get_or_init(|| Arc::new(kernel())))
+}
+
+/// One task iteration.
+pub fn task(scale: u32) -> Vec<WorkloadKernel> {
+    let def = shared();
+    vec![launch_with_iters(def, 1500 * scale as u64, 4)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scattered_loads_have_low_locality() {
+        let def = kernel();
+        let has_low_loc = def.body().iter().any(|s| match s {
+            Stmt::Loop { body, .. } => body.iter().any(|s| {
+                matches!(s, Stmt::MemAccess { locality, .. } if *locality < 0.5)
+            }),
+            _ => false,
+        });
+        assert!(has_low_loc);
+    }
+}

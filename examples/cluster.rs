@@ -1,0 +1,57 @@
+//! Cluster-level deployment (§IV): the coordinator counts application
+//! occurrences, prepares fused kernels once a service crosses the
+//! threshold, and distributes them to the GPU nodes hosting the relevant
+//! best-effort applications.
+//!
+//! ```sh
+//! cargo run --release --example cluster
+//! ```
+
+use std::error::Error;
+use std::sync::Arc;
+
+use tacker::cluster::{ClusterManager, GpuNode};
+use tacker_sim::{Device, GpuSpec};
+use tacker_workloads::parboil::Benchmark;
+use tacker_workloads::{BeApp, Intensity};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // A small cluster: two Turing nodes and one Volta node.
+    let mut cluster = ClusterManager::new(3); // occurrence threshold
+    cluster.add_node(GpuNode::new("turing-0", Arc::new(Device::new(GpuSpec::rtx2080ti()))));
+    cluster.add_node(GpuNode::new("turing-1", Arc::new(Device::new(GpuSpec::rtx2080ti()))));
+    cluster.add_node(GpuNode::new("volta-0", Arc::new(Device::new(GpuSpec::v100()))));
+
+    // BE applications live on specific nodes.
+    cluster.place_be("turing-0", BeApp::new("cutcp", Intensity::Compute, Benchmark::Cutcp.task()))?;
+    cluster.place_be("volta-0", BeApp::new("mriq", Intensity::Compute, Benchmark::Mriq.task()))?;
+
+    // The LC service is deployed repeatedly; fusion preparation only kicks
+    // in once it proves long-running (threshold crossings).
+    let device = cluster.node("turing-0").expect("node").device().clone();
+    let lc = tacker_workloads::lc_service("Densenet", &device).ok_or("service")?;
+    for day in 1..=3 {
+        let crossed = cluster.observe(&lc);
+        println!(
+            "deployment {day}: occurrences = {}, threshold crossed = {crossed}",
+            cluster.occurrences(lc.name())
+        );
+    }
+
+    let report = cluster.distribute(&lc)?;
+    println!("\ndistribution report:");
+    for (node, prepared) in &report.prepared_per_node {
+        println!("  {node}: {prepared} pairs prepared");
+    }
+    println!(
+        "  fused pairs: {}, declined (sequential faster): {}",
+        report.fused_pairs, report.declined_pairs
+    );
+    // Nodes without resident BE apps received nothing.
+    assert_eq!(
+        cluster.node("turing-1").expect("node").library().prepared_pairs(),
+        0
+    );
+    println!("\nnode turing-1 hosts no BE apps and received no fused kernels.");
+    Ok(())
+}

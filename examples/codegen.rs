@@ -1,0 +1,37 @@
+//! Source-to-source view: print the CUDA-like source of a kernel, its PTB
+//! transform, and the fused Tensor+CUDA kernel the fuser generates
+//! (Figs. 5, 7 and 9 of the paper).
+//!
+//! ```sh
+//! cargo run --release --example codegen
+//! ```
+
+use std::error::Error;
+
+use tacker_fuser::{fuse_flexible, to_ptb, FusionConfig};
+use tacker_kernel::{source, SmCapacity};
+use tacker_workloads::parboil::Benchmark;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let cd = Benchmark::Fft.kernel();
+    println!("// ===== original CUDA-Core kernel =====");
+    println!("{}", source::render(&cd));
+
+    let ptb = to_ptb(&cd)?;
+    println!("// ===== PTB transform (Fig. 7) =====");
+    println!("{}", source::render(&ptb));
+
+    let tc = tacker_workloads::gemm::gemm_kernel();
+    let fused = fuse_flexible(
+        &tc,
+        &cd,
+        FusionConfig {
+            tc_blocks: 1,
+            cd_blocks: 2,
+        },
+        &SmCapacity::TURING,
+    )?;
+    println!("// ===== fused Tensor+CUDA kernel (Figs. 5 & 9) =====");
+    println!("{}", source::render(fused.def()));
+    Ok(())
+}

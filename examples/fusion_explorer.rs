@@ -1,0 +1,64 @@
+//! Fusion-ratio explorer: enumerate every feasible fusion configuration
+//! for a (GEMM, Parboil) pair, measure each on the simulated device, and
+//! show the §V-C selection at work.
+//!
+//! ```sh
+//! cargo run --release --example fusion_explorer [parboil-kernel]
+//! ```
+
+use std::error::Error;
+use std::sync::Arc;
+
+use tacker_fuser::{enumerate_configs, fuse_flexible, PackPriority};
+use tacker_sim::{Device, ExecutablePlan, GpuSpec};
+use tacker_workloads::gemm::{gemm_workload, GemmShape};
+use tacker_workloads::parboil::Benchmark;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "cutcp".to_string());
+    let bench = Benchmark::ALL
+        .into_iter()
+        .find(|b| b.name() == name)
+        .ok_or_else(|| format!("unknown Parboil kernel `{name}`"))?;
+
+    let device = Arc::new(Device::new(GpuSpec::rtx2080ti()));
+    let spec = device.spec().clone();
+    let gemm_def = tacker_workloads::dnn::compile::shared_gemm();
+    let tc = gemm_workload(&gemm_def, GemmShape::new(4096, 4096, 512));
+    let mut cd = bench.task()[0].clone();
+
+    let t_tc = device.run_launch(&tc.launch())?.duration;
+    let t_cd_unit = device.run_launch(&cd.launch())?.duration;
+    cd.grid = ((cd.grid as f64 * t_tc.ratio(t_cd_unit)).round() as u64).max(1);
+    let t_cd = device.run_launch(&cd.launch())?.duration;
+    let sequential = t_tc + t_cd;
+    println!("GEMM solo {t_tc}, {name} solo {t_cd} → sequential {sequential}\n");
+    println!("{:>9} {:>9} {:>12} {:>8} {:>10}", "config", "occ", "duration", "TC busy", "vs seq");
+
+    let mut best: Option<(String, tacker_kernel::SimTime)> = None;
+    for cfg in enumerate_configs(&tc.def, &cd.def, &spec.sm, PackPriority::TensorFirst) {
+        let fused = fuse_flexible(&tc.def, &cd.def, cfg, &spec.sm)?;
+        let launch = fused.launch(tc.grid, cd.grid, &tc.bindings, &cd.bindings);
+        let plan = ExecutablePlan::from_launch(&spec, &launch)?;
+        let run = device.run_plan(&plan)?;
+        println!(
+            "{:>9} {:>9} {:>12} {:>7.0}% {:>9.0}%",
+            cfg.to_string(),
+            plan.occupancy(&spec),
+            run.duration.to_string(),
+            100.0 * run.activity.tc_utilization(run.cycles),
+            100.0 * run.duration.ratio(sequential)
+        );
+        if best.as_ref().is_none_or(|(_, d)| run.duration < *d) {
+            best = Some((cfg.to_string(), run.duration));
+        }
+    }
+    let (cfg, d) = best.ok_or("no feasible fusion configuration")?;
+    println!();
+    if d < sequential {
+        println!("selection: fuse at {cfg} ({d} < sequential {sequential})");
+    } else {
+        println!("selection: run sequentially — no ratio beats {sequential} (§V-C)");
+    }
+    Ok(())
+}

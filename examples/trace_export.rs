@@ -1,0 +1,28 @@
+//! Export a co-location run's device timeline as Chrome trace-event JSON
+//! (open in chrome://tracing or https://ui.perfetto.dev).
+//!
+//! ```sh
+//! cargo run --release --example trace_export > trace.json
+//! ```
+
+use std::error::Error;
+use std::sync::Arc;
+
+use tacker::prelude::*;
+use tacker_sim::{Device, GpuSpec};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let device = Arc::new(Device::new(GpuSpec::rtx2080ti()));
+    let lc = tacker_workloads::lc_service("Resnet50", &device).ok_or("service")?;
+    let be = vec![tacker_workloads::be_app("mriq").ok_or("app")?];
+    let config = ExperimentConfig::default().with_queries(10).with_timeline();
+    let report = run_colocation(&device, &lc, &be, Policy::Tacker, &config)?;
+    let timeline = report.timeline.ok_or("timeline enabled")?;
+    eprintln!(
+        "exporting {} timeline entries ({} fused launches)…",
+        timeline.entries().len(),
+        report.fused_launches
+    );
+    println!("{}", timeline.to_chrome_trace());
+    Ok(())
+}

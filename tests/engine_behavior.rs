@@ -1,0 +1,172 @@
+//! Integration tests pinning engine behaviours the scheduler relies on.
+
+use std::sync::Arc;
+
+use tacker_fuser::{fuse_flexible, to_ptb, FusionConfig};
+use tacker_kernel::ast::{Expr, Stmt};
+use tacker_kernel::{Bindings, Dim3, KernelDef, KernelKind, KernelLaunch, ResourceUsage};
+use tacker_sim::{simulate, Device, ExecutablePlan, GpuSpec};
+use tacker_workloads::parboil::Benchmark;
+
+fn cd_kernel(iters: u64) -> KernelDef {
+    KernelDef::builder("k", KernelKind::Cuda)
+        .block_dim(Dim3::x(128))
+        .resources(ResourceUsage::new(32, 0))
+        .param("iters")
+        .body(vec![Stmt::loop_over(
+            "i",
+            Expr::param("iters"),
+            vec![
+                Stmt::global_load("x", Expr::lit(16), 0.7),
+                Stmt::compute_cd(Expr::lit(128), "fma"),
+            ],
+        )])
+        .build()
+        .expect("valid")
+        .derive(
+            format!("k{iters}"),
+            KernelKind::Cuda,
+            Dim3::x(128),
+            ResourceUsage::new(32, 0),
+            vec![Stmt::loop_over(
+                "i",
+                Expr::lit(iters),
+                vec![
+                    Stmt::global_load("x", Expr::lit(16), 0.7),
+                    Stmt::compute_cd(Expr::lit(128), "fma"),
+                ],
+            )],
+            false,
+        )
+        .expect("derived")
+}
+
+/// The PTB transform changes how blocks are issued but not (materially)
+/// how long the kernel takes: the persistent version must be within a few
+/// percent of the plain launch.
+#[test]
+fn ptb_and_plain_launches_have_similar_duration() {
+    let spec = GpuSpec::rtx2080ti();
+    for grid in [68u64, 500, 2000] {
+        let plain = cd_kernel(8);
+        let ptb = to_ptb(&plain).expect("ptb");
+        let plain_plan = ExecutablePlan::from_launch(
+            &spec,
+            &KernelLaunch::new(Arc::new(plain), grid, Bindings::new()),
+        )
+        .expect("plain plan");
+        let ptb_plan = ExecutablePlan::from_launch(
+            &spec,
+            &KernelLaunch::new(Arc::new(ptb), grid, Bindings::new()),
+        )
+        .expect("ptb plan");
+        let a = simulate(&spec, &plain_plan).expect("plain").cycles.get() as f64;
+        let b = simulate(&spec, &ptb_plan).expect("ptb").cycles.get() as f64;
+        let ratio = b / a;
+        assert!(
+            (0.8..=1.25).contains(&ratio),
+            "grid {grid}: PTB/plain duration ratio {ratio:.3}"
+        );
+    }
+}
+
+/// Fused duration is monotone non-decreasing in the CUDA component's grid
+/// (more BE work can never make the fused kernel finish sooner) — the
+/// property the two-stage duration model relies on.
+#[test]
+fn fused_duration_monotone_in_cd_grid() {
+    let device = Device::new(GpuSpec::rtx2080ti());
+    let spec = device.spec().clone();
+    let tc = tacker_workloads::gemm::gemm_kernel();
+    let cd = Benchmark::Cutcp.shared_kernel();
+    let fused = fuse_flexible(&tc, &cd, FusionConfig { tc_blocks: 1, cd_blocks: 2 }, &spec.sm)
+        .expect("fuses");
+    let mut tc_b = Bindings::new();
+    tc_b.insert("k_iters".into(), 16);
+    let mut cd_b = Bindings::new();
+    cd_b.insert("iters".into(), 2);
+    let mut prev = 0u64;
+    for cd_grid in [64u64, 256, 1024, 4096, 16384] {
+        let launch = fused.launch(1024, cd_grid, &tc_b, &cd_b);
+        let plan = ExecutablePlan::from_launch(&spec, &launch).expect("plan");
+        let run = device.run_plan(&plan).expect("runs");
+        assert!(
+            run.cycles.get() >= prev,
+            "cd_grid {cd_grid}: {} < previous {prev}",
+            run.cycles
+        );
+        prev = run.cycles.get();
+    }
+}
+
+/// The role-finish times expose the co-run/solo-run phases: with a small
+/// CUDA load the CD role finishes first; growing the CD grid pushes its
+/// finish time past the TC role's (the Fig. 12 phase flip).
+#[test]
+fn role_finish_times_flip_with_load_ratio() {
+    let device = Device::new(GpuSpec::rtx2080ti());
+    let spec = device.spec().clone();
+    let tc = tacker_workloads::gemm::gemm_kernel();
+    let cd = Benchmark::Cutcp.shared_kernel();
+    let fused = fuse_flexible(&tc, &cd, FusionConfig::ONE_TO_ONE, &spec.sm).expect("fuses");
+    let mut tc_b = Bindings::new();
+    tc_b.insert("k_iters".into(), 16);
+    let mut cd_b = Bindings::new();
+    cd_b.insert("iters".into(), 2);
+
+    let finish = |cd_grid: u64| {
+        let launch = fused.launch(1024, cd_grid, &tc_b, &cd_b);
+        let plan = ExecutablePlan::from_launch(&spec, &launch).expect("plan");
+        let run = device.run_plan(&plan).expect("runs");
+        let tc_fin = run.role_finish[0].1;
+        let cd_fin = run.role_finish[1].1;
+        (tc_fin, cd_fin)
+    };
+    let (tc_small, cd_small) = finish(32);
+    assert!(cd_small < tc_small, "small CD load should finish first");
+    let (tc_big, cd_big) = finish(60_000);
+    assert!(cd_big > tc_big, "large CD load should finish last");
+}
+
+/// Device executions are usable concurrently from several threads (the
+/// cache is internally synchronized).
+#[test]
+fn device_is_thread_safe() {
+    let device = Arc::new(Device::new(GpuSpec::rtx2080ti()));
+    let def = Arc::new(cd_kernel(4));
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            let device = Arc::clone(&device);
+            let def = Arc::clone(&def);
+            std::thread::spawn(move || {
+                let launch = KernelLaunch::new(def, 100 + i, Bindings::new());
+                device.run_launch(&launch).expect("runs").cycles
+            })
+        })
+        .collect();
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().expect("join")).collect();
+    // Larger grids take at least as long.
+    for w in results.windows(2) {
+        assert!(w[1] >= w[0]);
+    }
+}
+
+/// Kernel launch overhead is visible: an (almost) empty kernel still costs
+/// the fixed launch latency.
+#[test]
+fn launch_overhead_floors_duration() {
+    let spec = GpuSpec::rtx2080ti();
+    let def = KernelDef::builder("empty", KernelKind::Cuda)
+        .block_dim(Dim3::x(32))
+        .resources(ResourceUsage::new(8, 0))
+        .body(vec![Stmt::compute_cd(Expr::lit(1), "nop")])
+        .build()
+        .expect("valid");
+    let plan = ExecutablePlan::from_launch(
+        &spec,
+        &KernelLaunch::new(Arc::new(def), 1, Bindings::new()),
+    )
+    .expect("plan");
+    let run = simulate(&spec, &plan).expect("runs");
+    assert!(run.cycles.get() as f64 >= spec.kernel_launch_overhead);
+}

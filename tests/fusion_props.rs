@@ -1,0 +1,181 @@
+//! Property-based tests for the kernel fuser: structural invariants that
+//! must hold for *any* kernel pair and fusion configuration.
+
+use proptest::prelude::*;
+use tacker_fuser::{enumerate_configs, fuse_flexible, to_ptb, FusionConfig, PackPriority};
+use tacker_kernel::ast::{Expr, Stmt};
+use tacker_kernel::{
+    lower_block, Bindings, ComputeUnit, Dim3, KernelDef, KernelKind, ResourceUsage, SmCapacity,
+};
+
+/// A generated CUDA-Core kernel: warp-aligned block, loop with sync and
+/// compute/memory work.
+fn arb_cd_kernel() -> impl Strategy<Value = KernelDef> {
+    (1u32..=8, 1u64..=32, 1u64..=512, 0u64..=16)
+        .prop_map(|(warps, iters, ops, smem_kb)| {
+            KernelDef::builder("gen_cd", KernelKind::Cuda)
+                .block_dim(Dim3::x(warps * 32))
+                .resources(ResourceUsage::new(32, smem_kb * 1024))
+                .param("iters")
+                .body(vec![
+                    Stmt::loop_over(
+                        "i",
+                        Expr::lit(iters),
+                        vec![
+                            Stmt::global_load("x", Expr::lit(16), 0.5),
+                            Stmt::sync_threads(),
+                            Stmt::compute_cd(Expr::lit(ops), "fma"),
+                        ],
+                    ),
+                    Stmt::global_store("y", Expr::lit(8), 0.0),
+                ])
+                .build()
+                .expect("generated kernel is valid")
+        })
+}
+
+fn arb_tc_kernel() -> impl Strategy<Value = KernelDef> {
+    (1u32..=8, 1u64..=32, 1u64..=2048, 0u64..=24)
+        .prop_map(|(warps, iters, ops, smem_kb)| {
+            KernelDef::builder("gen_tc", KernelKind::Tensor)
+                .block_dim(Dim3::x(warps * 32))
+                .resources(ResourceUsage::new(48, smem_kb * 1024))
+                .body(vec![Stmt::loop_over(
+                    "k",
+                    Expr::lit(iters),
+                    vec![
+                        Stmt::global_load("ab", Expr::lit(32), 0.8),
+                        Stmt::sync_threads(),
+                        Stmt::compute_tc(Expr::lit(ops), "mma"),
+                    ],
+                )])
+                .build()
+                .expect("generated kernel is valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The PTB transform preserves per-block work exactly.
+    #[test]
+    fn ptb_preserves_work(cd in arb_cd_kernel(), grid in 1u64..10_000) {
+        let ptb = to_ptb(&cd).expect("ptb transform");
+        let mut b = Bindings::new();
+        b.insert("iters".into(), 4);
+        let orig = lower_block(&cd, grid, &b).expect("lower original");
+        b.insert("original_block_num".into(), grid);
+        let p = lower_block(&ptb, 68, &b).expect("lower ptb");
+        prop_assert_eq!(p.roles[0].original_blocks, grid);
+        prop_assert_eq!(
+            p.roles[0].program.total_compute(ComputeUnit::Cuda),
+            orig.roles[0].program.total_compute(ComputeUnit::Cuda)
+        );
+        prop_assert_eq!(
+            p.roles[0].program.total_global_bytes(),
+            orig.roles[0].program.total_global_bytes()
+        );
+    }
+
+    /// Fused kernels split each component's grid exactly across its copies,
+    /// for any grid sizes.
+    #[test]
+    fn fusion_splits_work_exactly(
+        tc in arb_tc_kernel(),
+        cd in arb_cd_kernel(),
+        tc_grid in 1u64..5_000,
+        cd_grid in 1u64..5_000,
+    ) {
+        let sm = SmCapacity::TURING;
+        let configs = enumerate_configs(&tc, &cd, &sm, PackPriority::TensorFirst);
+        for cfg in configs.into_iter().take(4) {
+            let fused = fuse_flexible(&tc, &cd, cfg, &sm).expect("enumerated configs fuse");
+            let mut tcb = Bindings::new();
+            tcb.insert("iters".into(), 2);
+            let launch = fused.launch(tc_grid, cd_grid, &Bindings::new(), &tcb);
+            let bp = lower_block(fused.def(), launch.grid_blocks, &launch.bindings)
+                .expect("fused lowers");
+            let tc_sum: u64 = bp.roles[..cfg.tc_blocks as usize]
+                .iter()
+                .map(|r| r.original_blocks)
+                .sum();
+            let cd_sum: u64 = bp.roles[cfg.tc_blocks as usize..]
+                .iter()
+                .map(|r| r.original_blocks)
+                .sum();
+            prop_assert_eq!(tc_sum, tc_grid, "config {}", cfg);
+            prop_assert_eq!(cd_sum, cd_grid, "config {}", cfg);
+        }
+    }
+
+    /// No `__syncthreads()` survives fusion, barrier ids never collide
+    /// across branches, and the fused resource accounting is sum/max.
+    #[test]
+    fn fusion_rewrites_barriers_and_sums_resources(
+        tc in arb_tc_kernel(),
+        cd in arb_cd_kernel(),
+    ) {
+        let sm = SmCapacity::TURING;
+        for cfg in enumerate_configs(&tc, &cd, &sm, PackPriority::TensorFirst).into_iter().take(4) {
+            let fused = fuse_flexible(&tc, &cd, cfg, &sm).expect("fuses");
+            let def = fused.def();
+            prop_assert!(!def.body().iter().any(Stmt::contains_sync_threads));
+            // Barrier expectations: lower and check each barrier's expected
+            // warps equals exactly one branch's warp count.
+            let launch = fused.launch(100, 100, &Bindings::new(), &{
+                let mut b = Bindings::new();
+                b.insert("iters".into(), 2);
+                b
+            });
+            let bp = lower_block(def, launch.grid_blocks, &launch.bindings).expect("lowers");
+            for spec in &bp.barriers {
+                let owners: Vec<_> = bp
+                    .roles
+                    .iter()
+                    .filter(|r| r.program.barrier_ids().contains(&spec.id))
+                    .collect();
+                prop_assert_eq!(owners.len(), 1, "barrier {} shared across branches", spec.id);
+                prop_assert_eq!(owners[0].warps, spec.expected_warps);
+            }
+            // Resources.
+            prop_assert_eq!(
+                def.resources().shared_mem_bytes,
+                tc.resources().shared_mem_bytes * cfg.tc_blocks as u64
+                    + cd.resources().shared_mem_bytes * cfg.cd_blocks as u64
+            );
+            prop_assert_eq!(
+                def.resources().registers_per_thread,
+                tc.resources()
+                    .registers_per_thread
+                    .max(cd.resources().registers_per_thread)
+            );
+            // Block fits the 1024-thread limit.
+            prop_assert!(def.block_dim().total() <= 1024);
+        }
+    }
+
+    /// Enumerated configurations are exactly the feasible ones: every one
+    /// fuses successfully and fits on the SM.
+    #[test]
+    fn enumerated_configs_are_feasible(tc in arb_tc_kernel(), cd in arb_cd_kernel()) {
+        let sm = SmCapacity::TURING;
+        for cfg in enumerate_configs(&tc, &cd, &sm, PackPriority::TensorFirst) {
+            let fused = fuse_flexible(&tc, &cd, cfg, &sm);
+            prop_assert!(fused.is_ok(), "config {} failed: {:?}", cfg, fused.err());
+            let fused = fused.expect("checked");
+            prop_assert!(sm.fits(fused.def().resources(), fused.def().block_dim().total() as u32));
+        }
+    }
+
+    /// The 1:1 configuration is feasible whenever *any* configuration is.
+    #[test]
+    fn one_to_one_is_minimal(tc in arb_tc_kernel(), cd in arb_cd_kernel()) {
+        let sm = SmCapacity::TURING;
+        let configs = enumerate_configs(&tc, &cd, &sm, PackPriority::TensorFirst);
+        if !configs.is_empty()
+            && tc.block_dim().total() + cd.block_dim().total() <= 1024
+        {
+            prop_assert!(configs.contains(&FusionConfig::ONE_TO_ONE));
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests for the occupancy calculator: monotonicity and
+//! consistency of `SmCapacity::blocks_per_sm`.
+
+use proptest::prelude::*;
+use tacker_kernel::{ResourceUsage, SmCapacity};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Using more of any resource never increases occupancy.
+    #[test]
+    fn occupancy_is_antitone_in_resource_usage(
+        regs in 1u32..256,
+        smem_kb in 0u64..96,
+        threads in prop::sample::select(vec![32u32, 64, 128, 256, 512, 1024]),
+        extra_regs in 0u32..64,
+        extra_smem in 0u64..16,
+    ) {
+        for sm in [SmCapacity::TURING, SmCapacity::VOLTA] {
+            let base = ResourceUsage::new(regs, smem_kb * 1024);
+            let more = ResourceUsage::new(regs + extra_regs, (smem_kb + extra_smem) * 1024);
+            prop_assert!(sm.blocks_per_sm(&more, threads) <= sm.blocks_per_sm(&base, threads));
+        }
+    }
+
+    /// Occupancy never violates any individual limit.
+    #[test]
+    fn occupancy_respects_every_limit(
+        regs in 1u32..256,
+        smem_kb in 0u64..128,
+        threads in prop::sample::select(vec![32u32, 64, 128, 256, 512, 1024]),
+        barriers in 1u32..20,
+    ) {
+        let sm = SmCapacity::TURING;
+        let usage = ResourceUsage::new(regs, smem_kb * 1024).with_barriers(barriers);
+        let n = sm.blocks_per_sm(&usage, threads) as u64;
+        prop_assert!(n * threads as u64 <= sm.max_threads as u64);
+        prop_assert!(n <= sm.max_blocks as u64);
+        prop_assert!(n * usage.registers_per_block(threads) <= sm.registers);
+        prop_assert!(n * usage.shared_mem_bytes <= sm.shared_mem_bytes);
+        prop_assert!(n * barriers as u64 <= sm.max_barriers as u64);
+        // `fits` agrees with a nonzero occupancy.
+        prop_assert_eq!(sm.fits(&usage, threads), n > 0);
+    }
+
+    /// Volta admits at least what Turing admits for any block shape that
+    /// fits in 64 KB (more threads, blocks and shared memory per SM).
+    #[test]
+    fn volta_dominates_turing(
+        regs in 1u32..128,
+        smem_kb in 0u64..64,
+        threads in prop::sample::select(vec![32u32, 64, 128, 256, 512, 1024]),
+    ) {
+        let usage = ResourceUsage::new(regs, smem_kb * 1024);
+        prop_assert!(
+            SmCapacity::VOLTA.blocks_per_sm(&usage, threads)
+                >= SmCapacity::TURING.blocks_per_sm(&usage, threads)
+        );
+    }
+
+    /// Fusing two kernels' resources is commutative in shared memory and
+    /// register terms.
+    #[test]
+    fn resource_fusion_is_commutative(
+        r1 in 1u32..256, s1 in 0u64..64, r2 in 1u32..256, s2 in 0u64..64,
+    ) {
+        let a = ResourceUsage::new(r1, s1 * 1024);
+        let b = ResourceUsage::new(r2, s2 * 1024);
+        prop_assert_eq!(a.fuse_with(&b), b.fuse_with(&a));
+    }
+}

@@ -1,0 +1,219 @@
+//! Integration tests asserting the paper's headline claims end-to-end,
+//! at test-friendly scales.
+
+use std::sync::Arc;
+
+use tacker::prelude::*;
+use tacker_fuser::{fuse_flexible, FuseError, FusionConfig};
+use tacker_kernel::ast::{Expr, Stmt};
+use tacker_kernel::{Bindings, Dim3, KernelDef, KernelKind, ResourceUsage, SimTime};
+use tacker_sim::{Device, ExecutablePlan, GpuSpec, SimError};
+use tacker_workloads::gemm::{gemm_workload, GemmShape};
+use tacker_workloads::microbench::{kc, kt, micro_launch};
+use tacker_workloads::parboil::Benchmark;
+use tacker_workloads::{BeApp, Intensity, LcService};
+
+fn device() -> Arc<Device> {
+    Arc::new(Device::new(GpuSpec::rtx2080ti()))
+}
+
+/// A small LC service built from real workload kernels, sized for fast
+/// debug-mode tests.
+fn small_lc() -> LcService {
+    let gemm = tacker_workloads::dnn::compile::shared_gemm();
+    let mut kernels = Vec::new();
+    for _ in 0..3 {
+        kernels.push(gemm_workload(&gemm, GemmShape::new(2048, 1024, 512)));
+        kernels.push(tacker_workloads::dnn::elementwise::elementwise_workload(
+            &tacker_workloads::dnn::elementwise::relu(),
+            4_000_000,
+        ));
+    }
+    LcService::new("small", 8, kernels)
+}
+
+/// Table I: fusing the Tensor and CUDA microkernels overlaps perfectly;
+/// same-pipeline pairs serialize.
+#[test]
+fn table1_micro_fusion_overlaps() {
+    let dev = device();
+    let spec = dev.spec().clone();
+    let kt_def = Arc::new(kt());
+    let kc_def = Arc::new(kc());
+    let iters = 64;
+    let t_kt = dev
+        .run_launch(&micro_launch(&kt_def, 2, iters).launch())
+        .expect("kt")
+        .duration;
+    let t_kc = dev
+        .run_launch(&micro_launch(&kc_def, 2, iters).launch())
+        .expect("kc")
+        .duration;
+    // Solo durations tuned equal by construction.
+    assert!((t_kc.ratio(t_kt) - 1.0).abs() < 0.1, "kt {t_kt} vs kc {t_kc}");
+
+    let fused = fuse_flexible(&kt_def, &kc_def, FusionConfig::ONE_TO_ONE, &spec.sm)
+        .expect("bench-a fuses");
+    let wk_t = micro_launch(&kt_def, 2, iters);
+    let wk_c = micro_launch(&kc_def, 2, iters);
+    let launch = fused.launch(wk_t.grid, wk_c.grid, &wk_t.bindings, &wk_c.bindings);
+    let plan = ExecutablePlan::from_launch(&spec, &launch).expect("plan");
+    let t_a = dev.run_plan(&plan).expect("bench-a").duration;
+    let norm = t_a.ratio(t_kt);
+    assert!(norm < 1.3, "Bench-A should be ≈1.0×, got {norm:.2}");
+
+    // Bench-B/C: twice the same-pipeline work takes ≈2×.
+    let t_b = dev
+        .run_launch(&micro_launch(&kt_def, 4, iters).launch())
+        .expect("kt x2")
+        .duration;
+    assert!((t_b.ratio(t_kt) - 2.0).abs() < 0.3, "Bench-B {:.2}", t_b.ratio(t_kt));
+}
+
+/// §V-D: a fused kernel that keeps a block-wide `__syncthreads()` in one
+/// branch deadlocks; the fuser's `bar.sync` rewrite avoids it.
+#[test]
+fn unrewritten_sync_threads_deadlocks() {
+    let spec = GpuSpec::rtx2080ti();
+    // Hand-build what a naive fuser would produce: two thread ranges where
+    // one branch uses a block-wide barrier.
+    let bad = KernelDef::builder("naive_fused", KernelKind::Fused)
+        .block_dim(Dim3::x(128))
+        .resources(ResourceUsage::new(32, 0))
+        .body(vec![
+            Stmt::ThreadRange {
+                lo: 0,
+                hi: 64,
+                body: vec![
+                    Stmt::compute_tc(Expr::lit(64), "mma"),
+                    Stmt::sync_threads(), // block-wide: branch B never arrives
+                    Stmt::compute_tc(Expr::lit(64), "mma"),
+                ],
+            },
+            Stmt::ThreadRange {
+                lo: 64,
+                hi: 128,
+                body: vec![Stmt::compute_cd(Expr::lit(64), "fma")],
+            },
+        ])
+        .build()
+        .expect("builds");
+    let launch = tacker_kernel::KernelLaunch::new(Arc::new(bad), 68, Bindings::new());
+    let plan = ExecutablePlan::from_launch(&spec, &launch).expect("plan");
+    let err = tacker_sim::simulate(&spec, &plan).expect_err("must deadlock");
+    assert!(matches!(err, SimError::Deadlock { .. }), "got {err}");
+
+    // The real fuser's output runs fine on the same structure.
+    let tc = KernelDef::builder("tc", KernelKind::Tensor)
+        .block_dim(Dim3::x(64))
+        .resources(ResourceUsage::new(32, 0))
+        .body(vec![
+            Stmt::compute_tc(Expr::lit(64), "mma"),
+            Stmt::sync_threads(),
+            Stmt::compute_tc(Expr::lit(64), "mma"),
+        ])
+        .build()
+        .expect("tc");
+    let cd = KernelDef::builder("cd", KernelKind::Cuda)
+        .block_dim(Dim3::x(64))
+        .resources(ResourceUsage::new(32, 0))
+        .body(vec![Stmt::compute_cd(Expr::lit(64), "fma")])
+        .build()
+        .expect("cd");
+    let fused = fuse_flexible(&tc, &cd, FusionConfig::ONE_TO_ONE, &spec.sm).expect("fuses");
+    let launch = fused.launch(68, 68, &Bindings::new(), &Bindings::new());
+    let plan = ExecutablePlan::from_launch(&spec, &launch).expect("plan");
+    assert!(tacker_sim::simulate(&spec, &plan).is_ok());
+}
+
+/// §VIII-H: black-box cuDNN kernels cannot be fused or PTB-transformed.
+#[test]
+fn cudnn_kernels_are_opaque() {
+    let sm = tacker_kernel::SmCapacity::TURING;
+    let cudnn = tacker_workloads::dnn::cudnn::conv_workload(GemmShape::new(8192, 256, 1024), 3, &sm);
+    assert!(cudnn.def.is_opaque());
+    let cd = Benchmark::Fft.shared_kernel();
+    assert!(matches!(
+        fuse_flexible(&cudnn.def, &cd, FusionConfig::ONE_TO_ONE, &sm),
+        Err(FuseError::OpaqueSource { .. })
+    ));
+    assert!(matches!(
+        tacker_fuser::to_ptb(&cudnn.def),
+        Err(FuseError::OpaqueSource { .. })
+    ));
+}
+
+/// The headline: Tacker meets QoS and improves BE throughput over Baymax,
+/// and the false-high-utilization signature separates the two schedulers.
+#[test]
+fn tacker_beats_baymax_with_qos() {
+    let dev = device();
+    let lc = small_lc();
+    let be = vec![BeApp::new(
+        "cutcp",
+        Intensity::Compute,
+        Benchmark::Cutcp.task(),
+    )];
+    let config = ExperimentConfig::default()
+        .with_queries(40)
+        .with_seed(11)
+        .with_timeline();
+
+    let baymax =
+        tacker::run_colocation(&dev, &lc, &be, Policy::Baymax, &config).expect("baymax");
+    let tacker =
+        tacker::run_colocation(&dev, &lc, &be, Policy::Tacker, &config).expect("tacker");
+
+    assert!(tacker.qos_met(), "QoS violations: {}", tacker.qos_violations);
+    assert!(baymax.qos_met());
+    assert!(
+        tacker.be_work_rate() > baymax.be_work_rate(),
+        "tacker {} vs baymax {}",
+        tacker.be_work_rate(),
+        baymax.be_work_rate()
+    );
+    assert!(tacker.fused_launches > 0);
+
+    // Fig. 1 vs Fig. 15: Baymax never has both core types active; Tacker
+    // does.
+    let b_tl = baymax.timeline.expect("timeline");
+    let t_tl = tacker.timeline.expect("timeline");
+    assert_eq!(b_tl.both_active_time(), SimTime::ZERO);
+    assert!(t_tl.both_active_time() > SimTime::ZERO);
+}
+
+/// Determinism: identical configuration reproduces identical results.
+#[test]
+fn colocation_runs_are_reproducible() {
+    let dev = device();
+    let lc = small_lc();
+    let be = vec![BeApp::new("fft", Intensity::Compute, Benchmark::Fft.task())];
+    let config = ExperimentConfig::default().with_queries(25).with_seed(3);
+    let a = tacker::run_colocation(&dev, &lc, &be, Policy::Tacker, &config).expect("a");
+    let b = tacker::run_colocation(&dev, &lc, &be, Policy::Tacker, &config).expect("b");
+    assert_eq!(a.query_latencies, b.query_latencies);
+    assert_eq!(a.fused_launches, b.fused_launches);
+    assert_eq!(a.be_work, b.be_work);
+}
+
+/// The V100's larger shared memory admits fused blocks Turing rejects
+/// (§VIII-F's mechanism).
+#[test]
+fn v100_admits_bigger_fused_blocks() {
+    let tc = KernelDef::builder("t", KernelKind::Tensor)
+        .block_dim(Dim3::x(256))
+        .resources(ResourceUsage::new(48, 40 * 1024))
+        .body(vec![Stmt::compute_tc(Expr::lit(64), "mma")])
+        .build()
+        .expect("tc");
+    let cd = KernelDef::builder("c", KernelKind::Cuda)
+        .block_dim(Dim3::x(256))
+        .resources(ResourceUsage::new(32, 40 * 1024))
+        .body(vec![Stmt::compute_cd(Expr::lit(64), "fma")])
+        .build()
+        .expect("cd");
+    let turing = fuse_flexible(&tc, &cd, FusionConfig::ONE_TO_ONE, &GpuSpec::rtx2080ti().sm);
+    let volta = fuse_flexible(&tc, &cd, FusionConfig::ONE_TO_ONE, &GpuSpec::v100().sm);
+    assert!(turing.is_err());
+    assert!(volta.is_ok());
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the duration predictors.
+
+use proptest::prelude::*;
+use tacker_kernel::SimTime;
+use tacker_predictor::{FusedPairModel, KernelDurationModel, LinReg, MultiLinReg, Stage};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Least squares recovers an arbitrary noiseless line.
+    #[test]
+    fn linreg_recovers_lines(
+        slope in -1e3f64..1e3,
+        intercept in -1e6f64..1e6,
+        xs in proptest::collection::vec(-1e3f64..1e3, 3..20),
+    ) {
+        // Need at least two distinct x values.
+        prop_assume!(xs.iter().any(|&x| (x - xs[0]).abs() > 1e-6));
+        let samples: Vec<(f64, f64)> = xs.iter().map(|&x| (x, slope * x + intercept)).collect();
+        let lr = LinReg::fit(&samples).expect("fit");
+        prop_assert!((lr.slope() - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+        prop_assert!(lr.r2(&samples) > 1.0 - 1e-9);
+    }
+
+    /// Multi-feature least squares recovers an arbitrary noiseless plane.
+    #[test]
+    fn multilinreg_recovers_planes(
+        w0 in -1e4f64..1e4,
+        w1 in -1e2f64..1e2,
+        w2 in -1e2f64..1e2,
+        seed in 0u64..1000,
+    ) {
+        let rows: Vec<Vec<f64>> = (0..16)
+            .map(|i| {
+                let a = ((i * 7 + seed as usize) % 13) as f64;
+                let b = ((i * 11 + 3) % 17) as f64;
+                vec![a, b]
+            })
+            .collect();
+        let ys: Vec<f64> = rows.iter().map(|r| w0 + w1 * r[0] + w2 * r[1]).collect();
+        let m = MultiLinReg::fit(&rows, &ys).expect("fit");
+        for (r, y) in rows.iter().zip(&ys) {
+            prop_assert!((m.predict(r) - y).abs() < 1e-3 * (1.0 + y.abs()));
+        }
+    }
+
+    /// The two-stage model's normalized prediction is monotone
+    /// non-decreasing in the load ratio when fit to monotone convex data.
+    #[test]
+    fn two_stage_is_monotone_on_convex_data(
+        low_slope in 0.0f64..0.4,
+        knee in 0.5f64..1.5,
+        base in 0.9f64..1.2,
+    ) {
+        let truth = |r: f64| if r < knee { base + low_slope * r } else {
+            base + low_slope * knee + (r - knee)
+        };
+        let samples: Vec<(f64, f64)> = (1..=20).map(|i| {
+            let r = i as f64 * 0.1;
+            (r, truth(r))
+        }).collect();
+        let m = FusedPairModel::fit("p", &samples).expect("fit");
+        let mut prev = 0.0f64;
+        let mut r = 0.05f64;
+        while r < 2.0 {
+            let v = m.predict_norm(r);
+            prop_assert!(v >= prev - 1e-6, "non-monotone at {r}: {v} < {prev}");
+            prev = v;
+            r += 0.05;
+        }
+        // Stage classification is consistent with the inflection.
+        let infl = m.opportune_load_ratio();
+        prop_assert_eq!(m.stage(infl - 0.01), Stage::BeforeInflection);
+        prop_assert_eq!(m.stage(infl + 0.01), Stage::AfterInflection);
+    }
+
+    /// Duration predictions never go negative and observe() never panics.
+    #[test]
+    fn kernel_model_is_total(
+        blocks in proptest::collection::vec(1u64..100_000, 4..12),
+        slope_ns in 1u64..10_000,
+        query in 0u64..1_000_000,
+    ) {
+        prop_assume!(blocks.iter().any(|&b| b != blocks[0]));
+        let profile: Vec<(u64, SimTime)> = blocks
+            .iter()
+            .map(|&b| (b, SimTime::from_nanos(slope_ns * b)))
+            .collect();
+        let mut m = KernelDurationModel::fit_blocks("k", &profile).expect("fit");
+        let _ = m.predict(query as f64);
+        let _ = m.observe(query as f64, SimTime::from_nanos(slope_ns * query));
+        let p = m.predict(query as f64);
+        prop_assert!(p.as_nanos() as f64 <= 2.0 * (slope_ns * query.max(1)) as f64 + 1e6);
+    }
+
+    /// Fused prediction scales linearly with X_tc at fixed ratio
+    /// (the paper's second observation, §VI-A).
+    #[test]
+    fn fused_prediction_linear_in_x_tc(
+        x_tc_us in 10u64..10_000,
+        ratio_pct in 10u64..190,
+    ) {
+        let samples: Vec<(f64, f64)> = [0.1, 0.2, 0.7, 1.0, 1.3, 1.8, 1.9]
+            .iter()
+            .map(|&r| (r, if r < 1.0 { 1.0 + 0.2 * r } else { 1.2 + (r - 1.0) }))
+            .collect();
+        let m = FusedPairModel::fit("p", &samples).expect("fit");
+        let x_tc = SimTime::from_micros(x_tc_us);
+        let x_cd = x_tc.mul_f64(ratio_pct as f64 / 100.0);
+        let d1 = m.predict(x_tc, x_cd);
+        let d2 = m.predict(x_tc * 2, x_cd * 2);
+        let ratio = d2.as_nanos() as f64 / d1.as_nanos().max(1) as f64;
+        prop_assert!((ratio - 2.0).abs() < 0.01, "scaling ratio {ratio}");
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests for the co-location server: the QoS invariant must hold
+//! across arrival seeds, loads and policies.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use tacker::prelude::*;
+use tacker_sim::{Device, GpuSpec};
+use tacker_workloads::gemm::{gemm_workload, GemmShape};
+use tacker_workloads::parboil::Benchmark;
+use tacker_workloads::{BeApp, Intensity, LcService};
+
+fn lc_service(gemm_m: u64) -> LcService {
+    let gemm = tacker_workloads::dnn::compile::shared_gemm();
+    LcService::new(
+        format!("svc-{gemm_m}"),
+        8,
+        vec![
+            gemm_workload(&gemm, GemmShape::new(gemm_m, 1024, 512)),
+            tacker_workloads::dnn::elementwise::elementwise_workload(
+                &tacker_workloads::dnn::elementwise::relu(),
+                2_000_000,
+            ),
+            gemm_workload(&gemm, GemmShape::new(gemm_m / 2, 1024, 512)),
+        ],
+    )
+}
+
+proptest! {
+    // Each case runs four co-location simulations; keep the count small.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Whatever the arrival seed, the service scale, the BE partner and
+    /// the policy: the 99th-percentile latency stays at or under the QoS
+    /// target and Tacker never does *worse* than Baymax on BE throughput
+    /// beyond noise.
+    #[test]
+    fn qos_holds_across_seeds_and_scales(
+        seed in 0u64..1000,
+        gemm_m in 1024u64..4096,
+        be_pick in 0usize..4,
+    ) {
+        let device = Arc::new(Device::new(GpuSpec::rtx2080ti()));
+        let lc = lc_service(gemm_m);
+        let bench = [Benchmark::Mriq, Benchmark::Fft, Benchmark::Cutcp, Benchmark::Lbm][be_pick];
+        let be = vec![BeApp::new(bench.name(), Intensity::Compute, bench.task())];
+        let config = ExperimentConfig::default().with_queries(15).with_seed(seed);
+
+        let baymax = run_colocation(&device, &lc, &be, Policy::Baymax, &config)
+            .expect("baymax runs");
+        let tacker = run_colocation(&device, &lc, &be, Policy::Tacker, &config)
+            .expect("tacker runs");
+
+        prop_assert!(
+            baymax.p99_latency() <= config.qos_target,
+            "baymax p99 {} exceeds QoS (seed {seed})",
+            baymax.p99_latency()
+        );
+        prop_assert!(
+            tacker.p99_latency() <= config.qos_target,
+            "tacker p99 {} exceeds QoS (seed {seed})",
+            tacker.p99_latency()
+        );
+        // Tacker's throughput is never meaningfully below Baymax's.
+        prop_assert!(
+            tacker.be_work_rate() >= baymax.be_work_rate() * 0.97,
+            "tacker {} < baymax {}",
+            tacker.be_work_rate(),
+            baymax.be_work_rate()
+        );
+        // Latency vectors are complete and non-negative by construction.
+        prop_assert_eq!(tacker.query_latencies.len(), config.queries);
+    }
+}

@@ -1,0 +1,174 @@
+//! Property-based tests for the discrete-event GPU engine: monotonicity,
+//! determinism and conservation invariants.
+
+use proptest::prelude::*;
+use tacker_kernel::ast::{ComputeUnit, MemDir, MemSpace};
+use tacker_kernel::{BlockProgram, Op, ResourceUsage, WarpProgram, WarpRole};
+use tacker_sim::{simulate, ExecutablePlan, GpuSpec};
+
+fn plan(
+    unit: ComputeUnit,
+    warps: u32,
+    ops: u64,
+    bytes: u64,
+    locality: f64,
+    originals: u64,
+) -> ExecutablePlan {
+    let mut body = vec![Op::Compute { unit, ops }];
+    if bytes > 0 {
+        body.push(Op::Memory {
+            dir: MemDir::Read,
+            space: MemSpace::Global,
+            bytes,
+            locality,
+        });
+    }
+    let block = BlockProgram::new(vec![WarpRole {
+        name: "w".into(),
+        warps,
+        program: WarpProgram::new(body),
+        original_blocks: originals,
+    }]);
+    let threads = block.threads();
+    ExecutablePlan {
+        name: "prop".into(),
+        block,
+        issued_blocks: originals.min(68 * 4),
+        resources: ResourceUsage::new(32, 0),
+        threads_per_block: threads,
+        fingerprint: None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// More compute work never finishes earlier.
+    #[test]
+    fn duration_monotone_in_work(
+        warps in 1u32..8,
+        ops in 1_000u64..200_000,
+        originals in 1u64..500,
+    ) {
+        let spec = GpuSpec::rtx2080ti();
+        let a = simulate(&spec, &plan(ComputeUnit::Cuda, warps, ops, 0, 0.0, originals))
+            .expect("sim a");
+        let b = simulate(&spec, &plan(ComputeUnit::Cuda, warps, ops * 2, 0, 0.0, originals))
+            .expect("sim b");
+        prop_assert!(b.cycles >= a.cycles);
+    }
+
+    /// Better cache locality never slows a kernel down, and strictly
+    /// reduces DRAM traffic.
+    #[test]
+    fn locality_monotone(
+        warps in 1u32..8,
+        bytes in 1_024u64..65_536,
+        lo in 0.0f64..0.5,
+        hi_delta in 0.1f64..0.5,
+    ) {
+        let spec = GpuSpec::rtx2080ti();
+        let cold = simulate(&spec, &plan(ComputeUnit::Cuda, warps, 100, bytes, lo, 68))
+            .expect("cold");
+        let warm = simulate(
+            &spec,
+            &plan(ComputeUnit::Cuda, warps, 100, bytes, lo + hi_delta, 68),
+        )
+        .expect("warm");
+        prop_assert!(warm.cycles <= cold.cycles);
+        prop_assert!(warm.dram_bytes < cold.dram_bytes + 1.0);
+    }
+
+    /// Simulation is deterministic.
+    #[test]
+    fn simulation_is_deterministic(
+        warps in 1u32..8,
+        ops in 1_000u64..100_000,
+        bytes in 0u64..16_384,
+        originals in 1u64..300,
+    ) {
+        let spec = GpuSpec::rtx2080ti();
+        let p = plan(ComputeUnit::Tensor, warps, ops, bytes, 0.5, originals);
+        let a = simulate(&spec, &p).expect("a");
+        let b = simulate(&spec, &p).expect("b");
+        prop_assert_eq!(a, b);
+    }
+
+    /// Pipeline busy time equals the work divided by the pipeline rate
+    /// (compute is conserved: no work lost or duplicated).
+    #[test]
+    fn compute_work_is_conserved(
+        warps in 1u32..8,
+        ops in 1_000u64..100_000,
+        originals in 1u64..200,
+    ) {
+        let spec = GpuSpec::rtx2080ti();
+        let p = plan(ComputeUnit::Tensor, warps, ops, 0, 0.0, originals);
+        let run = simulate(&spec, &p).expect("sim");
+        // Representative SM executes its share of blocks; every executed
+        // warp-op occupies the pipeline for ops / rate cycles.
+        let blocks_on_sm: u64 = (0..p.issued_blocks).step_by(68).map(|b| {
+            // iterations of the role on this block
+            let issued = p.issued_blocks;
+            if b >= originals { 0 } else { (originals - b - 1) / issued + 1 }
+        }).sum();
+        let expected = blocks_on_sm as f64 * warps as f64 * ops as f64 / spec.tc_ops_per_cycle;
+        let busy = run.activity.tc_busy.get() as f64;
+        prop_assert!((busy - expected).abs() <= expected * 0.01 + 2.0,
+            "busy {busy} vs expected {expected}");
+    }
+
+    /// Two independent roles never run longer than the same roles
+    /// serialized into one (overlap can only help).
+    #[test]
+    fn heterogeneous_roles_overlap(
+        tc_ops in 10_000u64..200_000,
+        cd_ops in 1_000u64..20_000,
+    ) {
+        let spec = GpuSpec::rtx2080ti();
+        let fused_block = BlockProgram::new(vec![
+            WarpRole {
+                name: "tc".into(),
+                warps: 4,
+                program: WarpProgram::new(vec![Op::Compute { unit: ComputeUnit::Tensor, ops: tc_ops }]),
+                original_blocks: 68,
+            },
+            WarpRole {
+                name: "cd".into(),
+                warps: 4,
+                program: WarpProgram::new(vec![Op::Compute { unit: ComputeUnit::Cuda, ops: cd_ops }]),
+                original_blocks: 68,
+            },
+        ]);
+        let threads = fused_block.threads();
+        let fused = ExecutablePlan {
+            name: "fused".into(),
+            block: fused_block,
+            issued_blocks: 68,
+            resources: ResourceUsage::new(32, 0),
+            threads_per_block: threads,
+            fingerprint: None,
+        };
+        let f = simulate(&spec, &fused).expect("fused");
+        let a = simulate(&spec, &plan(ComputeUnit::Tensor, 4, tc_ops, 0, 0.0, 68)).expect("a");
+        let b = simulate(&spec, &plan(ComputeUnit::Cuda, 4, cd_ops, 0, 0.0, 68)).expect("b");
+        // Allow a small scheduling-overhead margin.
+        let serial = a.cycles.get() + b.cycles.get();
+        prop_assert!(f.cycles.get() <= serial, "fused {} vs serial {serial}", f.cycles);
+    }
+}
+
+#[test]
+fn memoization_returns_identical_results() {
+    use std::sync::Arc;
+    use tacker_kernel::{Bindings, KernelLaunch};
+    let device = tacker_sim::Device::new(GpuSpec::rtx2080ti());
+    let def = tacker_workloads::parboil::Benchmark::Fft.shared_kernel();
+    let mut b = Bindings::new();
+    b.insert("iters".into(), 5);
+    let launch = KernelLaunch::new(Arc::clone(&def), 272, b);
+    let a = device.run_launch(&launch).expect("first");
+    let c = device.run_launch(&launch).expect("second");
+    assert_eq!(a, c);
+    assert_eq!(device.cache_stats().0, 1);
+}

@@ -1,0 +1,124 @@
+//! Cross-cutting workload tests: device-specific compilation, layer
+//! plumbing, and launch-construction invariants.
+
+use proptest::prelude::*;
+use tacker_sim::{Device, GpuSpec};
+use tacker_workloads::dnn::compile::{compile, ConvPolicy};
+use tacker_workloads::dnn::DnnModel;
+use tacker_workloads::gemm::{gemm_workload, GemmShape, SPLIT_K_TARGET_BLOCKS};
+
+/// Compiling for the V100 dispatches to the Volta cuDNN implementations.
+#[test]
+fn v100_compilation_uses_volta_cudnn_kernels() {
+    let device = Device::new(GpuSpec::v100());
+    let g = DnnModel::Vgg16.graph(2);
+    let c = compile(&g, &device, ConvPolicy::Cudnn);
+    assert!(c
+        .kernels
+        .iter()
+        .any(|k| k.def.name().starts_with("volta_")));
+    assert!(!c.kernels.iter().any(|k| k.def.name().starts_with("turing_")));
+
+    let device = Device::new(GpuSpec::rtx2080ti());
+    let c = compile(&g, &device, ConvPolicy::Cudnn);
+    assert!(c
+        .kernels
+        .iter()
+        .any(|k| k.def.name().starts_with("turing_")));
+}
+
+/// Pointwise convolutions never emit an im2col kernel — their input
+/// already is the GEMM operand.
+#[test]
+fn pointwise_convs_skip_im2col() {
+    let device = Device::new(GpuSpec::rtx2080ti());
+    let g = DnnModel::Resnet50.graph(2);
+    let c = compile(&g, &device, ConvPolicy::Im2colAll);
+    let pointwise = g.convs().filter(|(s, _)| s.is_pointwise()).count();
+    let non_pointwise = g.conv_count() - pointwise;
+    let im2cols = c
+        .kernels
+        .iter()
+        .filter(|k| k.def.name() == "cudnnIm2col")
+        .count();
+    assert_eq!(im2cols, non_pointwise);
+    assert!(pointwise > 20, "Resnet50 is mostly pointwise convs");
+}
+
+/// Every compiled model interleaves Tensor and CUDA kernels — the mix the
+/// scheduler feeds on.
+#[test]
+fn all_models_compile_with_mixed_kernel_kinds() {
+    let device = Device::new(GpuSpec::rtx2080ti());
+    for m in DnnModel::ALL {
+        let g = m.graph(2);
+        let c = compile(&g, &device, ConvPolicy::Profitable(0.15));
+        let tc = c.kernels.iter().filter(|k| k.is_tensor()).count();
+        let cd = c.kernels.iter().filter(|k| k.is_cuda()).count();
+        assert!(tc > 0 && cd > 0, "{m}: tc {tc} cd {cd}");
+        // Conv reports align with the graph.
+        assert_eq!(c.convs.len(), g.conv_count(), "{m}");
+    }
+}
+
+/// Training tasks scale with the model: DenseNet (120 convs) launches more
+/// kernels per iteration than VGG16 (13 convs).
+#[test]
+fn training_task_size_scales_with_conv_count() {
+    use tacker_workloads::dnn::training::training_task;
+    let vgg = training_task(DnnModel::Vgg16, 4).len();
+    let dense = training_task(DnnModel::Densenet121, 4).len();
+    assert!(dense > 2 * vgg, "densenet {dense} vs vgg {vgg}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Split-K launches preserve total GEMM work within ceil-rounding
+    /// (never lose work; never more than ~2× inflate a degenerate shape).
+    #[test]
+    fn split_k_preserves_work(m in 1u64..100_000, n in 1u64..8192, k in 1u64..300_000) {
+        let def = tacker_workloads::dnn::compile::shared_gemm();
+        let shape = GemmShape::new(m, n, k);
+        let wk = gemm_workload(&def, shape);
+        let base = shape.grid_blocks().max(1) * shape.k_iters().max(1);
+        let launched = wk.grid * wk.bindings.get("k_iters").copied().unwrap_or(1);
+        prop_assert!(launched >= base, "lost work: {launched} < {base}");
+        prop_assert!(launched <= base * 2, "over-inflated: {launched} > 2×{base}");
+        // Wide problems are untouched.
+        if shape.grid_blocks() >= SPLIT_K_TARGET_BLOCKS {
+            prop_assert_eq!(wk.grid, shape.grid_blocks());
+        }
+    }
+
+    /// Elementwise launches cover every element exactly once (grid ×
+    /// elements-per-block ≥ elems, with less than one block of slack).
+    #[test]
+    fn elementwise_grids_cover_all_elements(elems in 1u64..1_000_000_000) {
+        use tacker_workloads::dnn::elementwise::{elementwise_workload, relu, ELEMS_PER_BLOCK};
+        let wk = elementwise_workload(&relu(), elems);
+        prop_assert!(wk.grid * ELEMS_PER_BLOCK >= elems);
+        prop_assert!((wk.grid - 1) * ELEMS_PER_BLOCK < elems);
+    }
+
+    /// Conv shape propagation: output spatial dims shrink monotonically
+    /// with stride and the GEMM MAC count matches the closed form.
+    #[test]
+    fn conv_gemm_macs_match_closed_form(
+        c_in in 1u64..512,
+        c_out in 1u64..512,
+        hw in 7u64..64,
+        k in prop::sample::select(vec![1u32, 3, 5, 7]),
+        batch in 1u64..8,
+    ) {
+        use tacker_workloads::dnn::layer::ConvSpec;
+        use tacker_workloads::dnn::shapes::TensorShape;
+        let pad = (k - 1) / 2;
+        let spec = ConvSpec::new(c_out, k, 1, pad);
+        let input = TensorShape::new(batch, c_in, hw, hw);
+        let out = spec.out_shape(input);
+        prop_assert_eq!((out.h, out.w), (hw, hw), "same-padding preserves spatial");
+        let g = spec.gemm_shape(input);
+        prop_assert_eq!(g.macs(), batch * hw * hw * c_out * c_in * (k as u64).pow(2));
+    }
+}
