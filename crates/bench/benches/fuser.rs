@@ -11,9 +11,7 @@ fn bench_fuser(c: &mut Criterion) {
     let gemm = tacker_workloads::gemm::gemm_kernel();
     let fft = Benchmark::Fft.kernel();
     let sm = SmCapacity::TURING;
-    c.bench_function("ptb_transform", |b| {
-        b.iter(|| to_ptb(&fft).expect("ptb"))
-    });
+    c.bench_function("ptb_transform", |b| b.iter(|| to_ptb(&fft).expect("ptb")));
     c.bench_function("enumerate_fusion_configs", |b| {
         b.iter(|| enumerate_configs(&gemm, &fft, &sm, PackPriority::TensorFirst))
     });

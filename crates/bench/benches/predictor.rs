@@ -9,7 +9,14 @@ fn bench_predictor(c: &mut Criterion) {
     let samples: Vec<(f64, f64)> = (1..=40)
         .map(|i| {
             let r = i as f64 * 0.05;
-            (r, if r < 1.0 { 1.0 + 0.1 * r } else { 1.1 + (r - 1.0) })
+            (
+                r,
+                if r < 1.0 {
+                    1.0 + 0.1 * r
+                } else {
+                    1.1 + (r - 1.0)
+                },
+            )
         })
         .collect();
     c.bench_function("fit_two_stage_model_40pts", |b| {
@@ -20,7 +27,10 @@ fn bench_predictor(c: &mut Criterion) {
     });
 
     let rows: Vec<Vec<f64>> = (0..24).map(|i| vec![(i * 64) as f64, i as f64]).collect();
-    let ys: Vec<f64> = rows.iter().map(|r| 3.0 * r[0] + 100.0 * r[1] + 5.0).collect();
+    let ys: Vec<f64> = rows
+        .iter()
+        .map(|r| 3.0 * r[0] + 100.0 * r[1] + 5.0)
+        .collect();
     c.bench_function("fit_multilinreg_24pts", |b| {
         b.iter(|| MultiLinReg::fit(&rows, &ys).expect("fit"))
     });

@@ -21,8 +21,16 @@ fn main() {
     let tc = gemm_workload(&gemm_def, GemmShape::new(4096, 4096, 512));
 
     println!("# Ablation 1: flexible fusion ratio vs naive 1:1 (fused duration, lower is better)");
-    println!("{:>9} {:>10} {:>10} {:>10} {:>8}", "partner", "1:1(us)", "best(us)", "config", "gain");
-    for b in [Benchmark::Fft, Benchmark::Cutcp, Benchmark::Mriq, Benchmark::Lbm] {
+    println!(
+        "{:>9} {:>10} {:>10} {:>10} {:>8}",
+        "partner", "1:1(us)", "best(us)", "config", "gain"
+    );
+    for b in [
+        Benchmark::Fft,
+        Benchmark::Cutcp,
+        Benchmark::Mriq,
+        Benchmark::Lbm,
+    ] {
         let mut cd = b.task()[0].clone();
         let t_tc = profiler.measure(&tc).expect("tc");
         let t_cd = profiler.measure(&cd).expect("cd");
@@ -34,11 +42,12 @@ fn main() {
             Some(device.run_plan(&plan).ok()?.duration)
         };
         let naive = run(FusionConfig::ONE_TO_ONE).expect("1:1 runs");
-        let (best_cfg, best) = enumerate_configs(&tc.def, &cd.def, &spec.sm, PackPriority::TensorFirst)
-            .into_iter()
-            .filter_map(|c| run(c).map(|d| (c, d)))
-            .min_by_key(|(_, d)| *d)
-            .expect("some config runs");
+        let (best_cfg, best) =
+            enumerate_configs(&tc.def, &cd.def, &spec.sm, PackPriority::TensorFirst)
+                .into_iter()
+                .filter_map(|c| run(c).map(|d| (c, d)))
+                .min_by_key(|(_, d)| *d)
+                .expect("some config runs");
         println!(
             "{:>9} {:>10.1} {:>10.1} {:>10} {:>7.1}%",
             b.name(),
@@ -68,7 +77,11 @@ fn main() {
             b.name(),
             tf,
             cf,
-            if tf <= cf { "tensor-first wins" } else { "cuda-first wins" }
+            if tf <= cf {
+                "tensor-first wins"
+            } else {
+                "cuda-first wins"
+            }
         );
     }
 
@@ -93,19 +106,29 @@ fn main() {
         }
         let train: Vec<(f64, f64)> = [0.1, 0.2, 1.8, 1.9]
             .iter()
-            .map(|&tr| *sweep
-                .iter()
-                .min_by(|a, b| (a.0 - tr).abs().total_cmp(&(b.0 - tr).abs()))
-                .expect("sweep nonempty"))
+            .map(|&tr| {
+                *sweep
+                    .iter()
+                    .min_by(|a, b| (a.0 - tr).abs().total_cmp(&(b.0 - tr).abs()))
+                    .expect("sweep nonempty")
+            })
             .collect();
         let two_stage = FusedPairModel::fit("ab", &train).expect("fit");
         let single = LinReg::fit(&train).expect("fit");
         let err = |pred: &dyn Fn(f64) -> f64| -> f64 {
-            sweep.iter().map(|(x, y)| ((pred(*x) - y) / y).abs()).sum::<f64>() / sweep.len() as f64
+            sweep
+                .iter()
+                .map(|(x, y)| ((pred(*x) - y) / y).abs())
+                .sum::<f64>()
+                / sweep.len() as f64
         };
         let e2 = err(&|x| two_stage.predict_norm(x));
         let e1 = err(&|x| single.predict(x));
-        println!("  two-stage: {:.2}%   single LR: {:.2}%", 100.0 * e2, 100.0 * e1);
+        println!(
+            "  two-stage: {:.2}%   single LR: {:.2}%",
+            100.0 * e2,
+            100.0 * e1
+        );
         assert!(e2 < e1, "the two-stage model must beat a single line");
     }
 
@@ -129,7 +152,10 @@ fn main() {
             .iter()
             .map(|&r| sample_at(r))
             .collect();
-        let held: Vec<(f64, f64)> = [0.45, 0.85, 1.15, 1.55].iter().map(|&r| sample_at(r)).collect();
+        let held: Vec<(f64, f64)> = [0.45, 0.85, 1.15, 1.55]
+            .iter()
+            .map(|&r| sample_at(r))
+            .collect();
         let err = |m: &FusedPairModel| -> f64 {
             held.iter()
                 .map(|(r, y)| ((m.predict_norm(*r) - y) / y).abs())

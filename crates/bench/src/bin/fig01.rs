@@ -25,5 +25,9 @@ fn main() {
     println!("TC active: {tc}");
     println!("CD active: {cd}");
     println!("both active simultaneously: {both}  (paper: never — false high utilization)");
-    assert_eq!(both.as_nanos(), 0, "Baymax must never use both core types at once");
+    assert_eq!(
+        both.as_nanos(),
+        0,
+        "Baymax must never use both core types at once"
+    );
 }

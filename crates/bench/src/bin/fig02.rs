@@ -16,7 +16,14 @@ fn main() {
         "{:<10} {:>7} {:>9} {:>9} {:>9} {:>8}",
         "LC", "BE", "TC part", "CD part", "sum", "overlap"
     );
-    for lc_name in ["Resnet50", "ResNext", "VGG16", "VGG19", "Inception", "Densenet"] {
+    for lc_name in [
+        "Resnet50",
+        "ResNext",
+        "VGG16",
+        "VGG19",
+        "Inception",
+        "Densenet",
+    ] {
         let lc = tacker_workloads::lc_service(lc_name, &device).expect("LC service");
         for be_name in ["sgemm", "fft", "lbm", "cutcp", "mriq"] {
             let be = vec![tacker_workloads::be_app(be_name).expect("BE app")];

@@ -20,7 +20,10 @@ fn main() {
 
     println!("# Figure 3: direct kernel fusion of GEMM with Parboil kernels");
     println!("(durations normalized so each kernel's solo run = 1; sequential = 2)");
-    println!("{:<9} {:>9} {:>9} {:>10}", "kernel", "solo(us)", "fused(us)", "norm");
+    println!(
+        "{:<9} {:>9} {:>9} {:>10}",
+        "kernel", "solo(us)", "fused(us)", "norm"
+    );
     let mut norms = Vec::new();
     for b in [
         Benchmark::Sgemm,
@@ -46,8 +49,8 @@ fn main() {
                 let plan = ExecutablePlan::from_launch(&spec, &launch).expect("plan");
                 let t_fused = device.run_plan(&plan).expect("fused run").duration;
                 // Normalize to the mean solo duration, as in the figure.
-                let norm = 2.0 * t_fused.as_nanos() as f64
-                    / (t_gemm.as_nanos() + t_cd.as_nanos()) as f64;
+                let norm =
+                    2.0 * t_fused.as_nanos() as f64 / (t_gemm.as_nanos() + t_cd.as_nanos()) as f64;
                 println!(
                     "{:<9} {:>9.0} {:>9.0} {:>10.2}",
                     b.name(),
@@ -60,7 +63,13 @@ fn main() {
             Err(e) => {
                 // Resource overflow = cannot even fuse directly: counts as
                 // sequential (2.0).
-                println!("{:<9} {:>9.0} {:>9} {:>10}", b.name(), t_cd.as_micros_f64(), "-", "2.00*");
+                println!(
+                    "{:<9} {:>9.0} {:>9} {:>10}",
+                    b.name(),
+                    t_cd.as_micros_f64(),
+                    "-",
+                    "2.00*"
+                );
                 println!("          (*{e})");
                 norms.push(2.0);
             }
@@ -68,6 +77,11 @@ fn main() {
     }
     let avg = norms.iter().sum::<f64>() / norms.len() as f64;
     println!();
-    println!("average normalized duration: {avg:.2}  (paper: ~1.8-2.0 — direct fusion is inefficient)");
-    assert!(avg > 1.4, "direct fusion should show poor efficiency, got {avg:.2}");
+    println!(
+        "average normalized duration: {avg:.2}  (paper: ~1.8-2.0 — direct fusion is inefficient)"
+    );
+    assert!(
+        avg > 1.4,
+        "direct fusion should show poor efficiency, got {avg:.2}"
+    );
 }

@@ -21,7 +21,10 @@ fn main() {
     let gemm_def = tacker_workloads::dnn::compile::shared_gemm();
     let tc = gemm_workload(&gemm_def, GemmShape::new(4096, 4096, 512));
     let cd = Benchmark::Fft.task()[0].clone();
-    let entry = library.prepare(&tc, &cd).expect("prepare").expect("GEMM+fft fuses");
+    let entry = library
+        .prepare(&tc, &cd)
+        .expect("prepare")
+        .expect("GEMM+fft fuses");
     let x_tc = profiler.measure(&tc).expect("tc solo");
     let t_cd_unit = profiler.measure(&cd).expect("cd solo");
 
@@ -30,8 +33,7 @@ fn main() {
     let mut points = Vec::new();
     let mut r = 0.1f64;
     while r <= 2.01 {
-        let cd_grid =
-            ((cd.grid as f64 * r * x_tc.ratio(t_cd_unit)).round() as u64).max(1);
+        let cd_grid = ((cd.grid as f64 * r * x_tc.ratio(t_cd_unit)).round() as u64).max(1);
         let launch = {
             let e = entry.lock().expect("entry");
             e.fused.launch(tc.grid, cd_grid, &tc.bindings, &cd.bindings)

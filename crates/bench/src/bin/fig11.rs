@@ -30,11 +30,11 @@ fn main() {
             let entry = library.prepare(&tc, &cd0).expect("prepare").expect("fuses");
             let x_tc = profiler.measure(&tc).expect("tc");
             let t_cd_unit = profiler.measure(&cd0).expect("cd");
-            let cd_grid =
-                ((cd0.grid as f64 * ratio * x_tc.ratio(t_cd_unit)).round() as u64).max(1);
+            let cd_grid = ((cd0.grid as f64 * ratio * x_tc.ratio(t_cd_unit)).round() as u64).max(1);
             let launch = {
                 let e = entry.lock().expect("entry");
-                e.fused.launch(tc.grid, cd_grid, &tc.bindings, &cd0.bindings)
+                e.fused
+                    .launch(tc.grid, cd_grid, &tc.bindings, &cd0.bindings)
             };
             let plan = ExecutablePlan::from_launch(device.spec(), &launch).expect("plan");
             let t = device.run_plan(&plan).expect("fused").duration;
@@ -44,6 +44,9 @@ fn main() {
         let lr = LinReg::fit(&samples).expect("fit");
         let r2 = lr.r2(&samples);
         println!("linear fit r² = {r2:.4} (paper: linear)");
-        assert!(r2 > 0.98, "duration must be linear in X_tc at fixed ratio, r²={r2}");
+        assert!(
+            r2 > 0.98,
+            "duration must be linear in X_tc at fixed ratio, r²={r2}"
+        );
     }
 }

@@ -21,7 +21,14 @@ fn main() {
         print!("{:>9}", be.name());
     }
     println!();
-    for lc_name in ["Resnet50", "ResNext", "VGG16", "VGG19", "Inception", "Densenet"] {
+    for lc_name in [
+        "Resnet50",
+        "ResNext",
+        "VGG16",
+        "VGG19",
+        "Inception",
+        "Densenet",
+    ] {
         let lc = tacker_workloads::lc_service(lc_name, &device).expect("known LC service");
         print!("{lc_name:<10}");
         for be in &be_apps {

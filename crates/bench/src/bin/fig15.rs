@@ -17,10 +17,13 @@ fn main() {
     let mut overlaps: Vec<(String, SimTime)> = Vec::new();
     for be_name in ["sgemm", "fft"] {
         let be = vec![tacker_workloads::be_app(be_name).expect("BE app")];
-        let report = tacker::run_colocation(&device, &lc, &be, Policy::Tacker, &config)
-            .expect("tacker run");
+        let report =
+            tacker::run_colocation(&device, &lc, &be, Policy::Tacker, &config).expect("tacker run");
         let tl = report.timeline.expect("timeline recorded");
-        println!("\n## Resnet50 + {be_name} (fused launches: {})", report.fused_launches);
+        println!(
+            "\n## Resnet50 + {be_name} (fused launches: {})",
+            report.fused_launches
+        );
         print!("{}", tl.render_ascii(100));
         let both = tl.both_active_time();
         println!("both core types active simultaneously: {both}");

@@ -12,10 +12,23 @@ fn main() {
     let device = rtx2080ti();
     let config = eval_config();
     let be_apps = tacker_workloads::be_apps();
-    println!("# Figure 16: LC latencies under Tacker (QoS target {})", config.qos_target);
-    println!("{:<10} {:>8} {:>10} {:>10} {:>6}", "LC", "BE", "avg(ms)", "p99(ms)", "QoS");
+    println!(
+        "# Figure 16: LC latencies under Tacker (QoS target {})",
+        config.qos_target
+    );
+    println!(
+        "{:<10} {:>8} {:>10} {:>10} {:>6}",
+        "LC", "BE", "avg(ms)", "p99(ms)", "QoS"
+    );
     let mut all_ok = true;
-    for lc_name in ["Resnet50", "ResNext", "VGG16", "VGG19", "Inception", "Densenet"] {
+    for lc_name in [
+        "Resnet50",
+        "ResNext",
+        "VGG16",
+        "VGG19",
+        "Inception",
+        "Densenet",
+    ] {
         let lc = tacker_workloads::lc_service(lc_name, &device).expect("LC service");
         for be in &be_apps {
             let r = tacker::run_colocation(

@@ -50,7 +50,10 @@ fn main() {
     eval(
         "Pooling",
         ew::pool_workload(2_000_000, 9),
-        vec![ew::pool_workload(6_000_000, 9), ew::pool_workload(3_000_000, 18)],
+        vec![
+            ew::pool_workload(6_000_000, 9),
+            ew::pool_workload(3_000_000, 18),
+        ],
     );
 
     let avg = errors.iter().sum::<f64>() / errors.len() as f64;

@@ -41,8 +41,7 @@ fn main() {
         // builds the *initial* model from four ratios and then "uses
         // online co-running data to update the model" (§VI-C).
         for r in [0.45f64, 0.95, 1.35] {
-            let cd_grid =
-                ((cd.grid as f64 * r * x_tc.ratio(t_cd_unit)).round() as u64).max(1);
+            let cd_grid = ((cd.grid as f64 * r * x_tc.ratio(t_cd_unit)).round() as u64).max(1);
             let (launch, x_cd) = {
                 let e = entry.lock().expect("entry");
                 let mut cd_scaled = cd.clone();
@@ -63,8 +62,7 @@ fn main() {
         // Held-out ratios between the training points.
         let mut held = Vec::new();
         for r in [0.35f64, 0.55, 0.75, 1.15, 1.45, 1.65] {
-            let cd_grid =
-                ((cd.grid as f64 * r * x_tc.ratio(t_cd_unit)).round() as u64).max(1);
+            let cd_grid = ((cd.grid as f64 * r * x_tc.ratio(t_cd_unit)).round() as u64).max(1);
             let (launch, x_cd) = {
                 let e = entry.lock().expect("entry");
                 let mut cd_scaled = cd.clone();

@@ -46,7 +46,10 @@ fn main() {
     }
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     println!();
-    println!("V100 average improvement: {:.1}%  (paper: 23.3%)", avg(&all));
+    println!(
+        "V100 average improvement: {:.1}%  (paper: 23.3%)",
+        avg(&all)
+    );
     println!(
         "V100 max improvement:     {:.1}%  (paper: 40.4%)",
         all.iter().cloned().fold(f64::MIN, f64::max)

@@ -65,9 +65,10 @@ fn main() {
                     })
                     .collect();
                 let mean = overlaps.iter().sum::<f64>() / overlaps.len() as f64;
-                let spread = overlaps.iter().cloned().fold(0.0f64, |m, v| {
-                    m.max((v - mean).abs())
-                });
+                let spread = overlaps
+                    .iter()
+                    .cloned()
+                    .fold(0.0f64, |m, v| m.max((v - mean).abs()));
                 (mean, spread)
             };
             let (stream, stream_spread) = sample(CorunInterface::StreamPtb);
@@ -93,12 +94,12 @@ fn main() {
         }
     }
     println!();
-    let avg_spread =
-        100.0 * black_box_spread.iter().sum::<f64>() / black_box_spread.len() as f64;
+    let avg_spread = 100.0 * black_box_spread.iter().sum::<f64>() / black_box_spread.len() as f64;
     println!("Tacker highest in {wins}/{total} pairs (paper: all pairs)");
-    println!(
-        "black-box interfaces vary by ±{avg_spread:.1}% across runs; Tacker is deterministic"
-    );
+    println!("black-box interfaces vary by ±{avg_spread:.1}% across runs; Tacker is deterministic");
     println!("(paper: \"not suitable … due to the unstable performance\")");
-    assert!(wins * 10 >= total * 9, "Tacker should win (almost) everywhere");
+    assert!(
+        wins * 10 >= total * 9,
+        "Tacker should win (almost) everywhere"
+    );
 }

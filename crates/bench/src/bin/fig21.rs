@@ -15,7 +15,10 @@ fn main() {
     let compiled = compile(&graph, &device, ConvPolicy::Profitable(0.15));
 
     println!("# Figure 21: im2col+GEMM vs cuDNN per Resnet50 convolution");
-    println!("{:>5} {:>9} {:>7} {:>7} {:>10} {:>12}", "conv", "M", "N", "K", "rel perf", "transformed");
+    println!(
+        "{:>5} {:>9} {:>7} {:>7} {:>10} {:>12}",
+        "conv", "M", "N", "K", "rel perf", "transformed"
+    );
     for r in &compiled.convs {
         println!(
             "{:>5} {:>9} {:>7} {:>7} {:>10.3} {:>12}",
@@ -60,7 +63,13 @@ fn main() {
             .sum()
     };
     let loss = total(&compiled) / total(&all_cudnn) - 1.0;
-    println!("end-to-end slowdown from transformation: {:+.2}%  (paper: <2%)", 100.0 * loss);
+    println!(
+        "end-to-end slowdown from transformation: {:+.2}%  (paper: <2%)",
+        100.0 * loss
+    );
     assert!(loss < 0.05, "transformation must be nearly free end-to-end");
-    assert!((20.0..=90.0).contains(&frac), "a real fraction of convs must convert well");
+    assert!(
+        (20.0..=90.0).contains(&frac),
+        "a real fraction of convs must convert well"
+    );
 }

@@ -38,7 +38,11 @@ fn main() {
             );
             assert!(svc.qos_violations <= config.queries / 100 + 1);
         }
-        println!("  BE work rate {:.3}, fused {}", r.be_work_rate(), r.fused_launches);
+        println!(
+            "  BE work rate {:.3}, fused {}",
+            r.be_work_rate(),
+            r.fused_launches
+        );
         rates.push(r.be_work_rate());
     }
     println!();

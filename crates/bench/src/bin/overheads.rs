@@ -92,10 +92,19 @@ fn main() {
         }),
     );
 
-    let samples: Vec<(f64, f64)> = (1..=40).map(|i| {
-        let r = i as f64 * 0.05;
-        (r, if r < 1.0 { 1.0 + 0.1 * r } else { 1.1 + (r - 1.0) })
-    }).collect();
+    let samples: Vec<(f64, f64)> = (1..=40)
+        .map(|i| {
+            let r = i as f64 * 0.05;
+            (
+                r,
+                if r < 1.0 {
+                    1.0 + 0.1 * r
+                } else {
+                    1.1 + (r - 1.0)
+                },
+            )
+        })
+        .collect();
     time(
         "duration-model training (two-stage LR fit)",
         "20 ms",

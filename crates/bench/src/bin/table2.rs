@@ -10,13 +10,24 @@ fn main() {
     let v = v100();
     let cfg = eval_config();
     println!("# Table II: experimental specification (as reproduced)");
-    println!("GPU (main):  {} — {} SMs, {} KiB smem/SM, {:.0} GB/s",
-        t.spec().name, t.spec().sm_count, t.spec().sm.shared_mem_bytes / 1024,
-        t.spec().dram_bytes_per_cycle * t.spec().clock_ghz);
-    println!("GPU (alt):   {} — {} SMs, {} KiB smem/SM", v.spec().name, v.spec().sm_count,
-        v.spec().sm.shared_mem_bytes / 1024);
+    println!(
+        "GPU (main):  {} — {} SMs, {} KiB smem/SM, {:.0} GB/s",
+        t.spec().name,
+        t.spec().sm_count,
+        t.spec().sm.shared_mem_bytes / 1024,
+        t.spec().dram_bytes_per_cycle * t.spec().clock_ghz
+    );
+    println!(
+        "GPU (alt):   {} — {} SMs, {} KiB smem/SM",
+        v.spec().name,
+        v.spec().sm_count,
+        v.spec().sm.shared_mem_bytes / 1024
+    );
     println!("QoS target:  {}", cfg.qos_target);
-    println!("LC load:     {:.0}% of peak supported load, Poisson arrivals", cfg.load_factor * 100.0);
+    println!(
+        "LC load:     {:.0}% of peak supported load, Poisson arrivals",
+        cfg.load_factor * 100.0
+    );
     println!();
     println!("LC services (batch size):");
     for m in DnnModel::ALL {

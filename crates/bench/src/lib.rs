@@ -40,10 +40,10 @@ pub fn pair_improvement(
     config: &ExperimentConfig,
 ) -> (f64, RunReport, RunReport) {
     let be_slice = vec![be.clone()];
-    let baymax = tacker::run_colocation(device, lc, &be_slice, Policy::Baymax, config)
-        .expect("baymax run");
-    let tacker = tacker::run_colocation(device, lc, &be_slice, Policy::Tacker, config)
-        .expect("tacker run");
+    let baymax =
+        tacker::run_colocation(device, lc, &be_slice, Policy::Baymax, config).expect("baymax run");
+    let tacker =
+        tacker::run_colocation(device, lc, &be_slice, Policy::Tacker, config).expect("tacker run");
     let imp = 100.0
         * tacker::metrics::throughput_improvement(baymax.be_work_rate(), tacker.be_work_rate());
     (imp, baymax, tacker)

@@ -4,8 +4,10 @@ use std::sync::Arc;
 
 use tacker::prelude::*;
 use tacker::profile::KernelProfiler;
+use tacker::server::{run_colocation_traced, run_multi_colocation_traced};
 use tacker_fuser::{enumerate_configs, fuse_flexible, to_ptb, PackPriority};
 use tacker_sim::{Device, ExecutablePlan, GpuSpec, PowerModel};
+use tacker_trace::{chrome_trace, RingSink, TraceEvent};
 use tacker_workloads::gemm::{gemm_workload, gemm_workload_64, GemmShape};
 use tacker_workloads::parboil::Benchmark;
 
@@ -19,13 +21,20 @@ USAGE:
   tacker-cli list
   tacker-cli colocate --lc <service> --be <app>
              [--policy tacker|baymax|fusion-only] [--queries N] [--seed N]
-             [--gpu 2080ti|v100] [--json]
+             [--gpu 2080ti|v100] [--json] [--trace <out.json>]
   tacker-cli multi    --lc <svc,svc,...> --be <app> [--queries N] [--json]
+             [--trace <out.json>]
+  tacker-cli trace    --lc <service> --be <app> [--policy ...] [--queries N]
+             [--out <out.json>] [--gpu 2080ti|v100]
   tacker-cli fuse     --cd <parboil> [--m N --n N --k N] [--impl 128|64]
              [--gpu 2080ti|v100]
   tacker-cli codegen  --cd <parboil> [--ratio AxB]
   tacker-cli power    --lc <service> [--gpu 2080ti|v100]
   tacker-cli model    --name <service> [--batch N]
+
+`--trace <path>` records scheduler decisions, kernel retirements and query
+completions, and writes a Chrome trace-event JSON loadable in Perfetto
+(https://ui.perfetto.dev) or chrome://tracing.
 ";
 
 /// Dispatches a command line.
@@ -43,6 +52,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "list" => list(),
         "colocate" => colocate(&flags),
         "multi" => multi(&flags),
+        "trace" => trace(&flags),
         "fuse" => fuse(&flags),
         "codegen" => codegen(&flags),
         "power" => power(&flags),
@@ -70,8 +80,8 @@ fn policy_for(flags: &Flags) -> Result<Policy, String> {
 }
 
 fn config_for(flags: &Flags) -> Result<ExperimentConfig, String> {
-    let mut config = ExperimentConfig::default()
-        .with_queries(flags.get_u64("queries", 100)? as usize);
+    let mut config =
+        ExperimentConfig::default().with_queries(flags.get_u64("queries", 100)? as usize);
     if let Some(seed) = flags.get("seed") {
         config = config.with_seed(seed.parse().map_err(|_| "--seed expects a number")?);
     }
@@ -110,6 +120,40 @@ fn list() -> Result<(), String> {
     Ok(())
 }
 
+/// Runs a traced co-location and writes the Perfetto-compatible trace to
+/// `path`; returns the report.
+fn traced_colocation(
+    device: &Arc<Device>,
+    lc: &tacker_workloads::LcService,
+    be: tacker_workloads::BeApp,
+    policy: Policy,
+    config: &ExperimentConfig,
+    path: &str,
+) -> Result<RunReport, String> {
+    let ring = Arc::new(RingSink::unbounded());
+    let report = run_colocation_traced(
+        device,
+        lc,
+        &[be],
+        policy,
+        config,
+        ring.clone() as Arc<dyn tacker_trace::TraceSink>,
+    )
+    .map_err(|e| e.to_string())?;
+    write_chrome_trace(&ring, path)?;
+    Ok(report)
+}
+
+fn write_chrome_trace(ring: &RingSink, path: &str) -> Result<(), String> {
+    let events = ring.events();
+    std::fs::write(path, chrome_trace(&events)).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!(
+        "wrote {} trace events to {path} (open in https://ui.perfetto.dev)",
+        events.len()
+    );
+    Ok(())
+}
+
 fn colocate(flags: &Flags) -> Result<(), String> {
     let device = device_for(flags)?;
     let lc = tacker_workloads::lc_service(flags.require("lc")?, &device)
@@ -118,12 +162,19 @@ fn colocate(flags: &Flags) -> Result<(), String> {
         .ok_or("unknown BE app (see `tacker list`)")?;
     let policy = policy_for(flags)?;
     let config = config_for(flags)?;
-    let report = run_colocation(&device, &lc, &[be], policy, &config)
-        .map_err(|e| e.to_string())?;
+    let report = match flags.get("trace") {
+        Some(path) => traced_colocation(&device, &lc, be, policy, &config, path)?,
+        None => run_colocation(&device, &lc, &[be], policy, &config).map_err(|e| e.to_string())?,
+    };
     if flags.has("json") {
         println!("{}", report_json(lc.name(), &report));
     } else {
-        println!("{} under {:?} on {}:", lc.name(), policy, device.spec().name);
+        println!(
+            "{} under {:?} on {}:",
+            lc.name(),
+            policy,
+            device.spec().name
+        );
         println!(
             "  queries {} | mean {:.2} ms | p99 {:.2} ms | QoS {}",
             report.query_latencies.len(),
@@ -142,6 +193,53 @@ fn colocate(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// `trace`: a traced co-location whose primary output is the Perfetto
+/// JSON; prints a digest of the recorded events.
+fn trace(flags: &Flags) -> Result<(), String> {
+    let device = device_for(flags)?;
+    let lc = tacker_workloads::lc_service(flags.require("lc")?, &device)
+        .ok_or("unknown LC service (see `tacker list`)")?;
+    let be = tacker_workloads::be_app(flags.require("be")?)
+        .ok_or("unknown BE app (see `tacker list`)")?;
+    let policy = policy_for(flags)?;
+    let config = config_for(flags)?;
+    let path = flags.get("out").unwrap_or("trace.json");
+    let ring = Arc::new(RingSink::unbounded());
+    let report = run_colocation_traced(
+        &device,
+        &lc,
+        &[be],
+        policy,
+        &config,
+        ring.clone() as Arc<dyn tacker_trace::TraceSink>,
+    )
+    .map_err(|e| e.to_string())?;
+    let events = ring.events();
+    let count = |f: fn(&TraceEvent) -> bool| events.iter().filter(|e| f(e)).count();
+    println!(
+        "{} + {} under {:?}:",
+        lc.name(),
+        flags.require("be")?,
+        policy
+    );
+    println!(
+        "  {} events: {} decisions, {} fusion rejections, {} kernel retirements, {} queries",
+        events.len(),
+        count(|e| matches!(e, TraceEvent::Decision { .. })),
+        count(|e| matches!(e, TraceEvent::FusionRejected { .. })),
+        count(|e| matches!(e, TraceEvent::KernelRetired { .. })),
+        count(|e| matches!(e, TraceEvent::QueryCompleted { .. })),
+    );
+    println!(
+        "  p99 {:.2} ms | QoS {} | BE work rate {:.3}",
+        report.p99_latency().as_millis_f64(),
+        if report.qos_met() { "met" } else { "VIOLATED" },
+        report.be_work_rate()
+    );
+    print!("{}", report.metrics.render());
+    write_chrome_trace(&ring, path)
+}
+
 fn multi(flags: &Flags) -> Result<(), String> {
     let device = device_for(flags)?;
     let names = flags.require("lc")?;
@@ -155,8 +253,24 @@ fn multi(flags: &Flags) -> Result<(), String> {
     let be = tacker_workloads::be_app(flags.require("be")?)
         .ok_or("unknown BE app (see `tacker list`)")?;
     let config = config_for(flags)?;
-    let report = run_multi_colocation(&device, &lcs, &[be], Policy::Tacker, &config)
-        .map_err(|e| e.to_string())?;
+    let report = match flags.get("trace") {
+        Some(path) => {
+            let ring = Arc::new(RingSink::unbounded());
+            let report = run_multi_colocation_traced(
+                &device,
+                &lcs,
+                &[be],
+                Policy::Tacker,
+                &config,
+                ring.clone() as Arc<dyn tacker_trace::TraceSink>,
+            )
+            .map_err(|e| e.to_string())?;
+            write_chrome_trace(&ring, path)?;
+            report
+        }
+        None => run_multi_colocation(&device, &lcs, &[be], Policy::Tacker, &config)
+            .map_err(|e| e.to_string())?,
+    };
     for svc in &report.services {
         println!(
             "{:<10} mean {:.2} ms  p99 {:.2} ms  violations {}",
@@ -189,10 +303,19 @@ fn fuse(flags: &Flags) -> Result<(), String> {
         other => return Err(format!("unknown GEMM implementation `{other}` (128 or 64)")),
     };
     let mut cd = bench.task()[0].clone();
-    let t_tc = device.run_launch(&tc.launch()).map_err(|e| e.to_string())?.duration;
-    let t_cd = device.run_launch(&cd.launch()).map_err(|e| e.to_string())?.duration;
+    let t_tc = device
+        .run_launch(&tc.launch())
+        .map_err(|e| e.to_string())?
+        .duration;
+    let t_cd = device
+        .run_launch(&cd.launch())
+        .map_err(|e| e.to_string())?
+        .duration;
     cd.grid = ((cd.grid as f64 * t_tc.ratio(t_cd)).round() as u64).max(1);
-    let t_cd = device.run_launch(&cd.launch()).map_err(|e| e.to_string())?.duration;
+    let t_cd = device
+        .run_launch(&cd.launch())
+        .map_err(|e| e.to_string())?
+        .duration;
     println!(
         "GEMM {}x{}x{} solo {t_tc}; {} solo {t_cd}; sequential {}",
         shape.m,
@@ -201,7 +324,10 @@ fn fuse(flags: &Flags) -> Result<(), String> {
         bench.name(),
         t_tc + t_cd
     );
-    println!("{:>9} {:>5} {:>12} {:>9}", "config", "occ", "fused", "vs seq");
+    println!(
+        "{:>9} {:>5} {:>12} {:>9}",
+        "config", "occ", "fused", "vs seq"
+    );
     for cfg in enumerate_configs(&tc.def, &cd.def, &spec.sm, PackPriority::TensorFirst) {
         let fused = fuse_flexible(&tc.def, &cd.def, cfg, &spec.sm).map_err(|e| e.to_string())?;
         let launch = fused.launch(tc.grid, cd.grid, &tc.bindings, &cd.bindings);
@@ -233,8 +359,8 @@ fn codegen(flags: &Flags) -> Result<(), String> {
         cd_blocks: b.parse().map_err(|_| "bad ratio")?,
     };
     let gemm = tacker_workloads::gemm::gemm_kernel();
-    let fused = fuse_flexible(&gemm, &cd, config, &GpuSpec::rtx2080ti().sm)
-        .map_err(|e| e.to_string())?;
+    let fused =
+        fuse_flexible(&gemm, &cd, config, &GpuSpec::rtx2080ti().sm).map_err(|e| e.to_string())?;
     println!("// ===== fused GEMM + {} at {} =====", bench.name(), config);
     println!("{}", tacker_kernel::source::render(fused.def()));
     Ok(())
@@ -242,8 +368,8 @@ fn codegen(flags: &Flags) -> Result<(), String> {
 
 fn power(flags: &Flags) -> Result<(), String> {
     let device = device_for(flags)?;
-    let lc = tacker_workloads::lc_service(flags.require("lc")?, &device)
-        .ok_or("unknown LC service")?;
+    let lc =
+        tacker_workloads::lc_service(flags.require("lc")?, &device).ok_or("unknown LC service")?;
     let profiler = KernelProfiler::new(Arc::clone(&device));
     let model = PowerModel::for_spec(device.spec());
     println!(
@@ -291,11 +417,25 @@ fn model(flags: &Flags) -> Result<(), String> {
         g.total_params() as f64 / 1e6
     );
     println!("{:>4} {:<18} {:>16} {:>16}", "#", "layer", "in", "out");
-    for (i, l) in g.layers().iter().enumerate().take(flags.get_u64("rows", 24)? as usize) {
-        println!("{:>4} {:<18} {:>16} {:>16}", i, l.layer.to_string(), l.input.to_string(), l.output.to_string());
+    for (i, l) in g
+        .layers()
+        .iter()
+        .enumerate()
+        .take(flags.get_u64("rows", 24)? as usize)
+    {
+        println!(
+            "{:>4} {:<18} {:>16} {:>16}",
+            i,
+            l.layer.to_string(),
+            l.input.to_string(),
+            l.output.to_string()
+        );
     }
     if g.layers().len() > 24 {
-        println!("   … ({} more layers; pass --rows N for more)", g.layers().len() - 24);
+        println!(
+            "   … ({} more layers; pass --rows N for more)",
+            g.layers().len() - 24
+        );
     }
     Ok(())
 }
@@ -382,6 +522,8 @@ mod tests {
             wall: tacker_kernel::SimTime::from_millis(20),
             model_refreshes: 0,
             timeline: None,
+            latency_histogram: Arc::new(tacker_trace::Histogram::new()),
+            metrics: tacker_trace::MetricsRegistry::new(),
         };
         let j = report_json("X", &r);
         assert!(j.starts_with('{') && j.ends_with('}'));

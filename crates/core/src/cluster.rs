@@ -151,10 +151,7 @@ impl ClusterManager {
     /// crosses the threshold, making the service eligible for offline
     /// fusion preparation.
     pub fn observe(&mut self, lc: &LcService) -> bool {
-        let count = self
-            .occurrences
-            .entry(lc.name().to_string())
-            .or_insert(0);
+        let count = self.occurrences.entry(lc.name().to_string()).or_insert(0);
         *count += 1;
         *count == self.threshold
     }
@@ -246,8 +243,14 @@ mod tests {
 
     fn cluster() -> ClusterManager {
         let mut c = ClusterManager::new(3);
-        c.add_node(GpuNode::new("gpu-0", Arc::new(Device::new(GpuSpec::rtx2080ti()))));
-        c.add_node(GpuNode::new("gpu-1", Arc::new(Device::new(GpuSpec::v100()))));
+        c.add_node(GpuNode::new(
+            "gpu-0",
+            Arc::new(Device::new(GpuSpec::rtx2080ti())),
+        ));
+        c.add_node(GpuNode::new(
+            "gpu-1",
+            Arc::new(Device::new(GpuSpec::v100())),
+        ));
         c
     }
 

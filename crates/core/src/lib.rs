@@ -54,7 +54,10 @@ pub use error::TackerError;
 pub use library::{FusionLibrary, PairEntry};
 pub use manager::{Decision, KernelManager, Policy};
 pub use profile::{work_feature, KernelProfiler};
-pub use server::{run_colocation, run_multi_colocation, MultiRunReport, RunReport, ServiceLoad, ServiceReport};
+pub use server::{
+    run_colocation, run_colocation_traced, run_multi_colocation, run_multi_colocation_at_traced,
+    run_multi_colocation_traced, MultiRunReport, RunReport, ServiceLoad, ServiceReport,
+};
 
 /// Convenient glob imports.
 pub mod prelude {

@@ -18,11 +18,12 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use tacker_fuser::{enumerate_configs, fuse_flexible, select_best, FusedKernel, FusionDecision,
-    PackPriority};
+use tacker_fuser::{
+    enumerate_configs, fuse_flexible, select_best, FusedKernel, FusionDecision, PackPriority,
+};
 use tacker_kernel::{KernelId, KernelKind, SimTime};
-use tacker_sim::ExecutablePlan;
 use tacker_predictor::FusedPairModel;
+use tacker_sim::ExecutablePlan;
 use tacker_workloads::WorkloadKernel;
 
 use crate::error::TackerError;

@@ -17,9 +17,11 @@
 //! only the last-arrived one participates in fusion (§VII-B-2); the server
 //! enforces this by passing `multiple_lc = true`.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use tacker_kernel::{KernelLaunch, SimTime};
+use tacker_trace::{DecisionKind, FusionRejectReason, NoopSink, TraceEvent, TraceSink};
 use tacker_workloads::WorkloadKernel;
 
 use crate::error::TackerError;
@@ -97,20 +99,54 @@ pub struct KernelManager {
     profiler: Arc<KernelProfiler>,
     library: Arc<FusionLibrary>,
     policy: Policy,
+    sink: Arc<dyn TraceSink>,
+    /// `sink.enabled()` hoisted once at construction: the NoopSink path
+    /// never builds an event.
+    tracing: bool,
+    /// Device wall-clock nanos of the current scheduling point, set by the
+    /// server via [`KernelManager::set_now`] so decision events carry a
+    /// timestamp without changing `decide`'s signature.
+    now_nanos: AtomicU64,
 }
 
 impl KernelManager {
-    /// Creates a manager.
+    /// Creates a manager with tracing disabled.
     pub fn new(
         profiler: Arc<KernelProfiler>,
         library: Arc<FusionLibrary>,
         policy: Policy,
     ) -> KernelManager {
+        KernelManager::with_sink(profiler, library, policy, Arc::new(NoopSink))
+    }
+
+    /// Creates a manager emitting one [`TraceEvent::Decision`] per
+    /// scheduling point (plus [`TraceEvent::FusionRejected`] per evaluated
+    /// but rejected fusion candidate) to `sink`.
+    pub fn with_sink(
+        profiler: Arc<KernelProfiler>,
+        library: Arc<FusionLibrary>,
+        policy: Policy,
+        sink: Arc<dyn TraceSink>,
+    ) -> KernelManager {
+        let tracing = sink.enabled();
         KernelManager {
             profiler,
             library,
             policy,
+            sink,
+            tracing,
+            now_nanos: AtomicU64::new(0),
         }
+    }
+
+    /// Sets the device wall-clock instant stamped onto subsequent decision
+    /// events.
+    pub fn set_now(&self, now: SimTime) {
+        self.now_nanos.store(now.as_nanos(), Ordering::Relaxed);
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.now_nanos.load(Ordering::Relaxed))
     }
 
     /// The active policy.
@@ -121,6 +157,27 @@ impl KernelManager {
     /// The fusion library.
     pub fn library(&self) -> &Arc<FusionLibrary> {
         &self.library
+    }
+
+    /// Records a [`TraceEvent::FusionRejected`] for an evaluated but
+    /// rejected (LC, BE) candidate pair.
+    fn reject_fusion(
+        &self,
+        lc: &WorkloadKernel,
+        be: &WorkloadKernel,
+        reason: FusionRejectReason,
+        x_tc: Option<SimTime>,
+        x_cd: Option<SimTime>,
+        t_fuse: Option<SimTime>,
+    ) {
+        self.sink.record(TraceEvent::FusionRejected {
+            lc: lc.def.name().to_string(),
+            be: be.def.name().to_string(),
+            reason,
+            x_tc,
+            x_cd,
+            t_fuse,
+        });
     }
 
     /// Evaluates the fusion opportunity of one (LC, BE) head pair.
@@ -134,27 +191,58 @@ impl KernelManager {
         headroom: SimTime,
     ) -> Result<Option<(Decision, SimTime)>, TackerError> {
         let Some((tc, cd)) = FusionLibrary::orient(lc, be) else {
+            if self.tracing {
+                self.reject_fusion(lc, be, FusionRejectReason::NoOrientation, None, None, None);
+            }
             return Ok(None);
         };
         let Some(entry) = self.library.prepare(tc, cd)? else {
+            if self.tracing {
+                self.reject_fusion(lc, be, FusionRejectReason::NotPrepared, None, None, None);
+            }
             return Ok(None);
         };
         if !entry.lock().expect("entry poisoned").eligible() {
+            if self.tracing {
+                self.reject_fusion(lc, be, FusionRejectReason::Blacklisted, None, None, None);
+            }
             return Ok(None);
         }
         let x_tc = self.profiler.predict(tc)?;
         let x_cd = self.profiler.predict(cd)?;
         let t_lc = if std::ptr::eq(tc, lc) { x_tc } else { x_cd };
         let t_be = if std::ptr::eq(tc, lc) { x_cd } else { x_tc };
-        let t_fuse = entry.lock().expect("entry poisoned").model.predict(x_tc, x_cd);
+        let t_fuse = entry
+            .lock()
+            .expect("entry poisoned")
+            .model
+            .predict(x_tc, x_cd);
         // Equation 8 (with a small benefit margin absorbing model noise).
         let parallel_wins = (x_tc + x_cd).mul_f64(0.95) > t_fuse;
         let extra = t_fuse.saturating_sub(t_lc);
         if !parallel_wins || extra >= headroom {
+            if self.tracing {
+                let reason = if parallel_wins {
+                    FusionRejectReason::ExceedsHeadroom
+                } else {
+                    FusionRejectReason::ParallelLoses
+                };
+                self.reject_fusion(lc, be, reason, Some(x_tc), Some(x_cd), Some(t_fuse));
+            }
             return Ok(None);
         }
         let gain = t_be.saturating_sub(extra);
         if gain == SimTime::ZERO {
+            if self.tracing {
+                self.reject_fusion(
+                    lc,
+                    be,
+                    FusionRejectReason::NoGain,
+                    Some(x_tc),
+                    Some(x_cd),
+                    Some(t_fuse),
+                );
+            }
             return Ok(None);
         }
         let launch = {
@@ -195,6 +283,29 @@ impl KernelManager {
         be_heads: &[Option<WorkloadKernel>],
         multiple_lc: bool,
     ) -> Result<Decision, TackerError> {
+        let (decision, gain) =
+            self.decide_inner(lc_head, headroom, reorder_headroom, be_heads, multiple_lc)?;
+        if self.tracing {
+            self.emit_decision(
+                &decision,
+                gain,
+                lc_head,
+                headroom,
+                reorder_headroom,
+                be_heads,
+            );
+        }
+        Ok(decision)
+    }
+
+    fn decide_inner(
+        &self,
+        lc_head: Option<&WorkloadKernel>,
+        headroom: SimTime,
+        reorder_headroom: SimTime,
+        be_heads: &[Option<WorkloadKernel>],
+        multiple_lc: bool,
+    ) -> Result<(Decision, Option<SimTime>), TackerError> {
         match lc_head {
             Some(lc) => {
                 let lc_predicted = self.profiler.predict(lc)?;
@@ -209,8 +320,8 @@ impl KernelManager {
                             }
                         }
                     }
-                    if let Some((decision, _)) = best {
-                        return Ok(decision);
+                    if let Some((decision, gain)) = best {
+                        return Ok((decision, Some(gain)));
                     }
                 }
                 // 2. Reorder a BE kernel into the headroom.
@@ -219,17 +330,23 @@ impl KernelManager {
                         let Some(be) = be else { continue };
                         let predicted = self.profiler.predict(be)?;
                         if predicted < reorder_headroom {
-                            return Ok(Decision::RunBe {
-                                be_index: i,
-                                predicted,
-                            });
+                            return Ok((
+                                Decision::RunBe {
+                                    be_index: i,
+                                    predicted,
+                                },
+                                None,
+                            ));
                         }
                     }
                 }
                 // 3. The LC kernel itself.
-                Ok(Decision::RunLc {
-                    predicted: lc_predicted,
-                })
+                Ok((
+                    Decision::RunLc {
+                        predicted: lc_predicted,
+                    },
+                    None,
+                ))
             }
             None => {
                 // No LC query active: BE runs freely.
@@ -237,16 +354,96 @@ impl KernelManager {
                     for (i, be) in be_heads.iter().enumerate() {
                         if let Some(be) = be {
                             let predicted = self.profiler.predict(be)?;
-                            return Ok(Decision::RunBe {
-                                be_index: i,
-                                predicted,
-                            });
+                            return Ok((
+                                Decision::RunBe {
+                                    be_index: i,
+                                    predicted,
+                                },
+                                None,
+                            ));
                         }
                     }
                 }
-                Ok(Decision::Idle)
+                Ok((Decision::Idle, None))
             }
         }
+    }
+
+    /// Emits the [`TraceEvent::Decision`] describing one scheduling point.
+    fn emit_decision(
+        &self,
+        decision: &Decision,
+        gain: Option<SimTime>,
+        lc_head: Option<&WorkloadKernel>,
+        headroom: SimTime,
+        reorder_headroom: SimTime,
+        be_heads: &[Option<WorkloadKernel>],
+    ) {
+        let be_name = |i: usize| {
+            be_heads
+                .get(i)
+                .and_then(|b| b.as_ref())
+                .map(|b| b.def.name().to_string())
+                .unwrap_or_default()
+        };
+        let (kind, kernel, predicted, x_tc, x_cd, t_lc) = match decision {
+            Decision::RunFused {
+                launch,
+                predicted,
+                x_tc,
+                x_cd,
+                lc_predicted,
+                ..
+            } => (
+                DecisionKind::Fuse,
+                launch.def.name().to_string(),
+                *predicted,
+                Some(*x_tc),
+                Some(*x_cd),
+                Some(*lc_predicted),
+            ),
+            Decision::RunBe {
+                be_index,
+                predicted,
+            } => {
+                let kind = if lc_head.is_some() {
+                    DecisionKind::Reorder
+                } else {
+                    DecisionKind::FreeBe
+                };
+                (kind, be_name(*be_index), *predicted, None, None, None)
+            }
+            Decision::RunLc { predicted } => (
+                DecisionKind::RunLc,
+                lc_head
+                    .map(|k| k.def.name().to_string())
+                    .unwrap_or_default(),
+                *predicted,
+                None,
+                None,
+                None,
+            ),
+            Decision::Idle => (
+                DecisionKind::Idle,
+                String::new(),
+                SimTime::ZERO,
+                None,
+                None,
+                None,
+            ),
+        };
+        self.sink.record(TraceEvent::Decision {
+            at: self.now(),
+            kind,
+            kernel,
+            headroom,
+            reorder_headroom,
+            predicted,
+            x_tc,
+            x_cd,
+            t_lc,
+            t_gain: gain,
+        });
     }
 }
 
@@ -291,7 +488,13 @@ mod tests {
         let lc = tc_kernel();
         let be = Benchmark::Cutcp.task()[0].clone();
         let d = m
-            .decide(Some(&lc), SimTime::from_millis(20), SimTime::from_millis(20), &[Some(be)], false)
+            .decide(
+                Some(&lc),
+                SimTime::from_millis(20),
+                SimTime::from_millis(20),
+                &[Some(be)],
+                false,
+            )
             .unwrap();
         assert!(matches!(d, Decision::RunFused { .. }), "got {d:?}");
     }
@@ -315,7 +518,13 @@ mod tests {
         let lc = tc_kernel();
         let be = Benchmark::Cutcp.task()[0].clone();
         let d = m
-            .decide(Some(&lc), SimTime::from_millis(20), SimTime::from_millis(20), &[Some(be)], false)
+            .decide(
+                Some(&lc),
+                SimTime::from_millis(20),
+                SimTime::from_millis(20),
+                &[Some(be)],
+                false,
+            )
             .unwrap();
         assert!(matches!(d, Decision::RunBe { .. }), "got {d:?}");
     }
@@ -341,7 +550,13 @@ mod tests {
         let lc = tc_kernel();
         let be = Benchmark::Cutcp.task()[0].clone();
         let d = m
-            .decide(Some(&lc), SimTime::from_millis(20), SimTime::from_millis(20), &[Some(be)], true)
+            .decide(
+                Some(&lc),
+                SimTime::from_millis(20),
+                SimTime::from_millis(20),
+                &[Some(be)],
+                true,
+            )
             .unwrap();
         // Reorder may still happen; fusion must not.
         assert!(!matches!(d, Decision::RunFused { .. }), "got {d:?}");
@@ -350,7 +565,9 @@ mod tests {
     #[test]
     fn idle_when_nothing_to_do() {
         let m = manager(Policy::Tacker);
-        let d = m.decide(None, SimTime::ZERO, SimTime::ZERO, &[None, None], false).unwrap();
+        let d = m
+            .decide(None, SimTime::ZERO, SimTime::ZERO, &[None, None], false)
+            .unwrap();
         assert!(matches!(d, Decision::Idle));
     }
 
@@ -358,7 +575,9 @@ mod tests {
     fn free_be_run_when_no_lc() {
         let m = manager(Policy::Tacker);
         let be = Benchmark::Lbm.task()[0].clone();
-        let d = m.decide(None, SimTime::ZERO, SimTime::ZERO, &[Some(be)], false).unwrap();
+        let d = m
+            .decide(None, SimTime::ZERO, SimTime::ZERO, &[Some(be)], false)
+            .unwrap();
         assert!(matches!(d, Decision::RunBe { be_index: 0, .. }));
     }
 
@@ -366,7 +585,9 @@ mod tests {
     fn lc_only_never_runs_be() {
         let m = manager(Policy::LcOnly);
         let be = Benchmark::Lbm.task()[0].clone();
-        let d = m.decide(None, SimTime::ZERO, SimTime::ZERO, &[Some(be)], false).unwrap();
+        let d = m
+            .decide(None, SimTime::ZERO, SimTime::ZERO, &[Some(be)], false)
+            .unwrap();
         assert!(matches!(d, Decision::Idle));
     }
 }

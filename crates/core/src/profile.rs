@@ -13,6 +13,7 @@ use std::sync::{Arc, Mutex};
 use tacker_kernel::{KernelId, SimTime};
 use tacker_predictor::KernelDurationModel;
 use tacker_sim::Device;
+use tacker_trace::{NoopSink, TraceEvent, TraceSink};
 use tacker_workloads::WorkloadKernel;
 
 use crate::error::TackerError;
@@ -39,7 +40,6 @@ pub fn feature_row(wk: &WorkloadKernel) -> Vec<f64> {
 }
 
 /// Profiles kernels on a device and serves duration predictions.
-#[derive(Debug)]
 pub struct KernelProfiler {
     device: Arc<Device>,
     models: Mutex<HashMap<KernelId, KernelDurationModel>>,
@@ -47,15 +47,35 @@ pub struct KernelProfiler {
     /// §VI-C): recurring kernels predict from history; unseen launches fall
     /// back to the LR model.
     history: Mutex<HashMap<u64, SimTime>>,
+    sink: Arc<dyn TraceSink>,
+    tracing: bool,
+}
+
+impl std::fmt::Debug for KernelProfiler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelProfiler")
+            .field("models", &self.model_count())
+            .field("tracing", &self.tracing)
+            .finish()
+    }
 }
 
 impl KernelProfiler {
-    /// Creates a profiler bound to a device.
+    /// Creates a profiler bound to a device, with tracing disabled.
     pub fn new(device: Arc<Device>) -> KernelProfiler {
+        KernelProfiler::with_sink(device, Arc::new(NoopSink))
+    }
+
+    /// Creates a profiler emitting a [`TraceEvent::PredictionError`] per
+    /// accuracy probe to `sink`.
+    pub fn with_sink(device: Arc<Device>, sink: Arc<dyn TraceSink>) -> KernelProfiler {
+        let tracing = sink.enabled();
         KernelProfiler {
             device,
             models: Mutex::new(HashMap::new()),
             history: Mutex::new(HashMap::new()),
+            sink,
+            tracing,
         }
     }
 
@@ -88,7 +108,12 @@ impl KernelProfiler {
     /// Propagates simulation and fitting errors.
     pub fn ensure_model(&self, representative: &WorkloadKernel) -> Result<(), TackerError> {
         let id = representative.def.id();
-        if self.models.lock().expect("models poisoned").contains_key(&id) {
+        if self
+            .models
+            .lock()
+            .expect("models poisoned")
+            .contains_key(&id)
+        {
             return Ok(());
         }
         let mut points: Vec<(Vec<f64>, SimTime)> = Vec::new();
@@ -162,13 +187,21 @@ impl KernelProfiler {
     pub fn prediction_error(&self, wk: &WorkloadKernel) -> Result<f64, TackerError> {
         let predicted = self.predict_model_only(wk)?;
         let actual = self.measure(wk)?;
-        if actual == SimTime::ZERO {
-            return Ok(0.0);
-        }
-        Ok(
+        let rel_error = if actual == SimTime::ZERO {
+            0.0
+        } else {
             (predicted.as_nanos() as f64 - actual.as_nanos() as f64).abs()
-                / actual.as_nanos() as f64,
-        )
+                / actual.as_nanos() as f64
+        };
+        if self.tracing {
+            self.sink.record(TraceEvent::PredictionError {
+                kernel: wk.def.name().to_string(),
+                predicted,
+                actual,
+                rel_error,
+            });
+        }
+        Ok(rel_error)
     }
 
     /// Number of fitted models.

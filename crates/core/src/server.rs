@@ -15,6 +15,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use tacker_kernel::SimTime;
 use tacker_sim::{Device, ExecutablePlan, TimelineRecorder};
+use tacker_trace::{Histogram, MetricsRegistry, NoopSink, TraceEvent, TraceSink};
 use tacker_workloads::{BeApp, LcService, WorkloadKernel};
 
 use crate::config::ExperimentConfig;
@@ -50,6 +51,13 @@ pub struct RunReport {
     pub model_refreshes: u64,
     /// Device activity timeline, when recording was enabled.
     pub timeline: Option<TimelineRecorder>,
+    /// Streaming latency histogram (microseconds). Bounded-memory
+    /// observability view; QoS gating still uses the exact
+    /// sample-based percentiles below.
+    pub latency_histogram: Arc<Histogram>,
+    /// Run-level metrics: decision counters, injection-budget gauge, and
+    /// the per-service latency histograms.
+    pub metrics: MetricsRegistry,
 }
 
 impl RunReport {
@@ -140,14 +148,7 @@ pub fn calibrate_peak_interarrival(
     let profiler = KernelProfiler::new(Arc::clone(device));
     let solo = solo_query_duration(&profiler, lc)?;
     let meets = |mult: f64| -> Result<bool, TackerError> {
-        let r = run_colocation_at(
-            device,
-            lc,
-            &[],
-            Policy::LcOnly,
-            config,
-            solo.mul_f64(mult),
-        )?;
+        let r = run_colocation_at(device, lc, &[], Policy::LcOnly, config, solo.mul_f64(mult))?;
         Ok(r.p99_latency() <= config.qos_target)
     };
     // Bisect the inter-arrival multiplier: larger = lighter load.
@@ -258,6 +259,40 @@ pub fn run_colocation_at(
     Ok(multi.into_single())
 }
 
+/// [`run_colocation`] with a trace sink receiving runtime events: one
+/// [`TraceEvent::Decision`] per scheduling point, a
+/// [`TraceEvent::KernelRetired`] per device launch (with predicted vs.
+/// actual duration), plus fusion rejections, model refreshes, and query
+/// completions.
+///
+/// # Errors
+///
+/// Same as [`run_colocation`].
+pub fn run_colocation_traced(
+    device: &Arc<Device>,
+    lc: &LcService,
+    be_apps: &[BeApp],
+    policy: Policy,
+    config: &ExperimentConfig,
+    sink: Arc<dyn TraceSink>,
+) -> Result<RunReport, TackerError> {
+    let peak = calibrate_peak_interarrival(device, lc, config)?;
+    let mean_interarrival = peak.mul_f64(1.0 / config.load_factor.max(1e-6));
+    let multi = run_multi_colocation_at_traced(
+        device,
+        &[ServiceLoad {
+            lc: lc.clone(),
+            mean_interarrival,
+            seed: config.seed,
+        }],
+        be_apps,
+        policy,
+        config,
+        sink,
+    )?;
+    Ok(multi.into_single())
+}
+
 /// One LC service with its configured load for a multi-service run.
 #[derive(Debug, Clone)]
 pub struct ServiceLoad {
@@ -278,6 +313,9 @@ pub struct ServiceReport {
     pub query_latencies: Vec<SimTime>,
     /// Queries that missed the QoS target.
     pub qos_violations: usize,
+    /// Streaming latency histogram (microseconds), shared with the run's
+    /// metrics registry under `query_latency_us.<service>`.
+    pub latency_histogram: Arc<Histogram>,
 }
 
 impl ServiceReport {
@@ -316,6 +354,9 @@ pub struct MultiRunReport {
     pub model_refreshes: u64,
     /// Device activity timeline, when recording was enabled.
     pub timeline: Option<TimelineRecorder>,
+    /// Run-level metrics: decision counters, injection-budget gauge, and
+    /// the per-service latency histograms.
+    pub metrics: MetricsRegistry,
 }
 
 impl MultiRunReport {
@@ -353,6 +394,8 @@ impl MultiRunReport {
             wall: self.wall,
             model_refreshes: self.model_refreshes,
             timeline: self.timeline,
+            latency_histogram: svc.latency_histogram,
+            metrics: self.metrics,
         }
     }
 }
@@ -371,6 +414,23 @@ pub fn run_multi_colocation(
     policy: Policy,
     config: &ExperimentConfig,
 ) -> Result<MultiRunReport, TackerError> {
+    run_multi_colocation_traced(device, lcs, be_apps, policy, config, Arc::new(NoopSink))
+}
+
+/// [`run_multi_colocation`] with a trace sink (see
+/// [`run_colocation_traced`]).
+///
+/// # Errors
+///
+/// Same as [`run_colocation`].
+pub fn run_multi_colocation_traced(
+    device: &Arc<Device>,
+    lcs: &[LcService],
+    be_apps: &[BeApp],
+    policy: Policy,
+    config: &ExperimentConfig,
+    sink: Arc<dyn TraceSink>,
+) -> Result<MultiRunReport, TackerError> {
     let mut services = Vec::with_capacity(lcs.len());
     for (i, lc) in lcs.iter().enumerate() {
         let peak = calibrate_peak_interarrival(device, lc, config)?;
@@ -378,12 +438,11 @@ pub fn run_multi_colocation(
             lc: lc.clone(),
             // Each service carries an equal share of the configured load so
             // the combined LC demand stays feasible.
-            mean_interarrival: peak
-                .mul_f64(lcs.len() as f64 / config.load_factor.max(1e-6)),
+            mean_interarrival: peak.mul_f64(lcs.len() as f64 / config.load_factor.max(1e-6)),
             seed: config.seed.wrapping_add(i as u64),
         });
     }
-    run_multi_colocation_at(device, &services, be_apps, policy, config)
+    run_multi_colocation_at_traced(device, &services, be_apps, policy, config, sink)
 }
 
 /// [`run_multi_colocation`] with explicit per-service loads.
@@ -398,14 +457,53 @@ pub fn run_multi_colocation_at(
     policy: Policy,
     config: &ExperimentConfig,
 ) -> Result<MultiRunReport, TackerError> {
+    run_multi_colocation_at_traced(
+        device,
+        services,
+        be_apps,
+        policy,
+        config,
+        Arc::new(NoopSink),
+    )
+}
+
+/// [`run_multi_colocation_at`] with a trace sink (see
+/// [`run_colocation_traced`]).
+///
+/// # Errors
+///
+/// Same as [`run_colocation`].
+pub fn run_multi_colocation_at_traced(
+    device: &Arc<Device>,
+    services: &[ServiceLoad],
+    be_apps: &[BeApp],
+    policy: Policy,
+    config: &ExperimentConfig,
+    sink: Arc<dyn TraceSink>,
+) -> Result<MultiRunReport, TackerError> {
     if services.is_empty() || services.iter().any(|s| s.lc.query_kernels().is_empty()) {
         return Err(TackerError::Config {
             reason: "need at least one LC service, each with kernels".to_string(),
         });
     }
-    let profiler = Arc::new(KernelProfiler::new(Arc::clone(device)));
+    let tracing = sink.enabled();
+    let registry = MetricsRegistry::new();
+    let profiler = Arc::new(KernelProfiler::with_sink(
+        Arc::clone(device),
+        Arc::clone(&sink),
+    ));
     let library = Arc::new(FusionLibrary::new(Arc::clone(&profiler)));
-    let manager = KernelManager::new(Arc::clone(&profiler), Arc::clone(&library), policy);
+    let manager = KernelManager::with_sink(
+        Arc::clone(&profiler),
+        Arc::clone(&library),
+        policy,
+        Arc::clone(&sink),
+    );
+    // Metric handles resolved once; hot-loop updates are atomic ops.
+    let m_decisions = registry.counter("decisions");
+    let m_violations = registry.counter("qos_violations");
+    let m_budget = registry.gauge("injection_budget_ns");
+    let m_latency_all = registry.histogram("query_latency_us");
 
     // Per-service arrival streams: exponential gaps with bounded burstiness
     // (clipped to [0.5, 2.2]x the mean), normalized so the realized mean
@@ -483,6 +581,8 @@ pub fn run_multi_colocation_at(
                 name: svc.lc.name().to_string(),
                 query_latencies: Vec::with_capacity(config.queries),
                 qos_violations: 0,
+                latency_histogram: registry
+                    .histogram(&format!("query_latency_us.{}", svc.lc.name())),
             })
             .collect(),
         be_work: SimTime::ZERO,
@@ -492,6 +592,7 @@ pub fn run_multi_colocation_at(
         wall: SimTime::ZERO,
         model_refreshes: 0,
         timeline: config.record_timeline.then(TimelineRecorder::new),
+        metrics: registry.clone(),
     };
 
     let run_kernel = |wk: &WorkloadKernel| -> Result<tacker_sim::KernelRun, TackerError> {
@@ -572,24 +673,46 @@ pub fn run_multi_colocation_at(
         };
 
         let was_idle = active.is_empty();
+        manager.set_now(now);
+        m_decisions.inc();
+        m_budget.set(budget as f64);
         // With multiple active queries the oldest executes first and the
         // Equation 9 headroom above already reserves the remaining GPU time
         // of every query, so fusion stays enabled (§VII-B-2's accounting).
-        let decision = manager.decide(
-            lc_head,
-            fusion_headroom,
-            reorder_headroom,
-            &be_heads,
-            false,
-        )?;
+        let decision =
+            manager.decide(lc_head, fusion_headroom, reorder_headroom, &be_heads, false)?;
+        // One KernelRetired event per device launch, carrying the
+        // manager's predicted duration next to the realized one.
+        let retire = |sink: &dyn TraceSink,
+                      run: &tacker_sim::KernelRun,
+                      label: &str,
+                      end: SimTime,
+                      predicted: SimTime| {
+            sink.record(TraceEvent::KernelRetired {
+                kernel: run.name.clone(),
+                label: label.to_string(),
+                start: end.saturating_sub(run.duration),
+                end,
+                tc_util: run.activity.tc_utilization(run.cycles),
+                cd_util: run.activity.cd_utilization(run.cycles),
+                predicted,
+                actual: run.duration,
+            });
+        };
         match decision {
-            Decision::RunLc { .. } => {
+            Decision::RunLc { predicted } => {
                 let q = active.front_mut().expect("RunLc implies an active query");
                 let si = q.service;
-                let idx = q.pending.pop_front().expect("RunLc implies a pending kernel");
+                let idx = q
+                    .pending
+                    .pop_front()
+                    .expect("RunLc implies a pending kernel");
                 let run = run_kernel(&services[si].lc.query_kernels()[idx])?;
                 now += run.duration;
                 q.remaining_pred = q.remaining_pred.saturating_sub(kernel_preds[si][idx]);
+                if tracing {
+                    retire(sink.as_ref(), &run, "LC", now, predicted);
+                }
                 if let Some(tl) = report.timeline.as_mut() {
                     tl.advance_to(now.saturating_sub(run.duration));
                     tl.record(&run, "LC");
@@ -602,15 +725,22 @@ pub fn run_multi_colocation_at(
                 x_tc,
                 x_cd,
                 lc_predicted,
+                predicted,
                 ..
             } => {
                 let plan = ExecutablePlan::from_launch(device.spec(), &launch)?;
                 let run = device.run_plan(&plan)?;
                 now += run.duration;
+                if tracing {
+                    retire(sink.as_ref(), &run, "FUSED", now, predicted);
+                }
                 // LC kernel completed via fusion.
                 let q = active.front_mut().expect("fusion implies an active query");
                 let si = q.service;
-                let idx = q.pending.pop_front().expect("fusion implies a pending kernel");
+                let idx = q
+                    .pending
+                    .pop_front()
+                    .expect("fusion implies a pending kernel");
                 q.remaining_pred = q.remaining_pred.saturating_sub(kernel_preds[si][idx]);
                 // BE kernel completed via fusion: credit its solo work.
                 let be_wk = be_heads[be_index]
@@ -629,16 +759,34 @@ pub fn run_multi_colocation_at(
                     .observe_outcome(x_tc, x_cd, run.duration)
                 {
                     report.model_refreshes += 1;
+                    if tracing {
+                        let actual = run.duration.as_nanos() as f64;
+                        let rel_error = if actual > 0.0 {
+                            (predicted.as_nanos() as f64 - actual).abs() / actual
+                        } else {
+                            0.0
+                        };
+                        sink.record(TraceEvent::ModelRefresh {
+                            kernel: run.name.clone(),
+                            rel_error,
+                        });
+                    }
                 }
                 if let Some(tl) = report.timeline.as_mut() {
                     tl.advance_to(now.saturating_sub(run.duration));
                     tl.record(&run, "FUSED");
                 }
             }
-            Decision::RunBe { be_index, .. } => {
+            Decision::RunBe {
+                be_index,
+                predicted,
+            } => {
                 let be_wk = be_heads[be_index].as_ref().expect("BE head exists");
                 let run = run_kernel(be_wk)?;
                 now += run.duration;
+                if tracing {
+                    retire(sink.as_ref(), &run, "BE", now, predicted);
+                }
                 report.be_work += run.duration;
                 report.be_kernels += 1;
                 be_states[be_index].pop();
@@ -666,8 +814,8 @@ pub fn run_multi_colocation_at(
                 match upcoming {
                     Some(t) => {
                         let target = now.max(t);
-                        budget = budget_cap
-                            .min(budget + target.saturating_sub(now).as_nanos() as i128);
+                        budget =
+                            budget_cap.min(budget + target.saturating_sub(now).as_nanos() as i128);
                         now = target;
                     }
                     None => break,
@@ -679,11 +827,23 @@ pub fn run_multi_colocation_at(
         while let Some(q) = active.front() {
             if q.pending.is_empty() {
                 let latency = now.saturating_sub(q.arrival);
+                let violated = latency > config.qos_target;
                 let svc = &mut report.services[q.service];
-                if latency > config.qos_target {
+                if violated {
                     svc.qos_violations += 1;
+                    m_violations.inc();
                 }
                 svc.query_latencies.push(latency);
+                svc.latency_histogram.observe(latency.as_micros_f64());
+                m_latency_all.observe(latency.as_micros_f64());
+                if tracing {
+                    sink.record(TraceEvent::QueryCompleted {
+                        service: svc.name.clone(),
+                        arrival: q.arrival,
+                        latency,
+                        violated,
+                    });
+                }
                 active.pop_front();
                 completed += 1;
             } else {
@@ -693,6 +853,7 @@ pub fn run_multi_colocation_at(
     }
 
     report.wall = now;
+    sink.flush();
     Ok(report)
 }
 
@@ -732,8 +893,8 @@ mod tests {
     #[test]
     fn lc_only_meets_qos_and_does_no_be_work() {
         let device = Arc::new(Device::new(GpuSpec::rtx2080ti()));
-        let r = run_colocation(&device, &tiny_lc(), &[tiny_be()], Policy::LcOnly, &config())
-            .unwrap();
+        let r =
+            run_colocation(&device, &tiny_lc(), &[tiny_be()], Policy::LcOnly, &config()).unwrap();
         assert_eq!(r.query_latencies.len(), 30);
         assert!(r.qos_met(), "violations {}", r.qos_violations);
         assert_eq!(r.be_kernels, 0);
@@ -743,8 +904,8 @@ mod tests {
     #[test]
     fn baymax_reorders_and_meets_qos() {
         let device = Arc::new(Device::new(GpuSpec::rtx2080ti()));
-        let r = run_colocation(&device, &tiny_lc(), &[tiny_be()], Policy::Baymax, &config())
-            .unwrap();
+        let r =
+            run_colocation(&device, &tiny_lc(), &[tiny_be()], Policy::Baymax, &config()).unwrap();
         assert!(r.qos_met(), "violations {}", r.qos_violations);
         assert!(r.be_kernels > 0);
         assert_eq!(r.fused_launches, 0);
@@ -754,10 +915,10 @@ mod tests {
     #[test]
     fn tacker_fuses_and_beats_baymax_throughput() {
         let device = Arc::new(Device::new(GpuSpec::rtx2080ti()));
-        let baymax = run_colocation(&device, &tiny_lc(), &[tiny_be()], Policy::Baymax, &config())
-            .unwrap();
-        let tacker = run_colocation(&device, &tiny_lc(), &[tiny_be()], Policy::Tacker, &config())
-            .unwrap();
+        let baymax =
+            run_colocation(&device, &tiny_lc(), &[tiny_be()], Policy::Baymax, &config()).unwrap();
+        let tacker =
+            run_colocation(&device, &tiny_lc(), &[tiny_be()], Policy::Tacker, &config()).unwrap();
         assert!(tacker.qos_met(), "violations {}", tacker.qos_violations);
         assert!(tacker.fused_launches > 0, "no fusions happened");
         assert!(
@@ -771,10 +932,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let device = Arc::new(Device::new(GpuSpec::rtx2080ti()));
-        let a = run_colocation(&device, &tiny_lc(), &[tiny_be()], Policy::Tacker, &config())
-            .unwrap();
-        let b = run_colocation(&device, &tiny_lc(), &[tiny_be()], Policy::Tacker, &config())
-            .unwrap();
+        let a =
+            run_colocation(&device, &tiny_lc(), &[tiny_be()], Policy::Tacker, &config()).unwrap();
+        let b =
+            run_colocation(&device, &tiny_lc(), &[tiny_be()], Policy::Tacker, &config()).unwrap();
         assert_eq!(a.query_latencies, b.query_latencies);
         assert_eq!(a.be_kernels, b.be_kernels);
     }

@@ -45,7 +45,11 @@ impl DirectFused {
     pub fn launch(&self, tc_bindings: &Bindings, cd_bindings: &Bindings) -> KernelLaunch {
         let mut bindings = prefix_bindings(tc_bindings, "tc_");
         bindings.extend(prefix_bindings(cd_bindings, "cd_"));
-        KernelLaunch::new(Arc::clone(&self.def), self.tc_grid.max(self.cd_grid), bindings)
+        KernelLaunch::new(
+            Arc::clone(&self.def),
+            self.tc_grid.max(self.cd_grid),
+            bindings,
+        )
     }
 }
 
@@ -96,31 +100,38 @@ pub fn fuse_direct(
         });
     }
     let mut barriers = BarrierAllocator::new(sm.max_barriers);
-    let mut branch = |def: &KernelDef, prefix: &str, lo: u32, grid: u64| -> Result<Stmt, FuseError> {
-        let body = prefix_params(def.body(), prefix);
-        let body = if branch_needs_barrier(&body) {
-            let id = barriers.alloc()?;
-            rewrite_sync_threads(&body, id, def.block_dim().total() as u32).0
-        } else {
-            body
+    let mut branch =
+        |def: &KernelDef, prefix: &str, lo: u32, grid: u64| -> Result<Stmt, FuseError> {
+            let body = prefix_params(def.body(), prefix);
+            let body = if branch_needs_barrier(&body) {
+                let id = barriers.alloc()?;
+                rewrite_sync_threads(&body, id, def.block_dim().total() as u32).0
+            } else {
+                body
+            };
+            Ok(Stmt::ThreadRange {
+                lo,
+                hi: lo + def.block_dim().total() as u32,
+                // The grid is a literal: this is what makes direct fusion
+                // input-specific.
+                body: vec![Stmt::BlockGuard {
+                    limit: Expr::lit(grid),
+                    body,
+                }],
+            })
         };
-        Ok(Stmt::ThreadRange {
-            lo,
-            hi: lo + def.block_dim().total() as u32,
-            // The grid is a literal: this is what makes direct fusion
-            // input-specific.
-            body: vec![Stmt::BlockGuard {
-                limit: Expr::lit(grid),
-                body,
-            }],
-        })
-    };
     let body = vec![
         branch(tc, "tc_", 0, tc_grid)?,
         branch(cd, "cd_", tc_threads, cd_grid)?,
     ];
     let def = tc.derive(
-        format!("direct_{}_{}_g{}x{}", tc.name(), cd.name(), tc_grid, cd_grid),
+        format!(
+            "direct_{}_{}_g{}x{}",
+            tc.name(),
+            cd.name(),
+            tc_grid,
+            cd_grid
+        ),
         KernelKind::Fused,
         tacker_kernel::Dim3::x(threads as u32),
         usage,
@@ -182,8 +193,8 @@ mod tests {
         assert_eq!(fused.def().block_dim().total(), 192);
         let launch = fused.launch(&Bindings::new(), &Bindings::new());
         assert_eq!(launch.grid_blocks, 4);
-        let bp = tacker_kernel::lower_block(fused.def(), launch.grid_blocks, &launch.bindings)
-            .unwrap();
+        let bp =
+            tacker_kernel::lower_block(fused.def(), launch.grid_blocks, &launch.bindings).unwrap();
         assert_eq!(bp.roles.len(), 2);
         assert_eq!(bp.roles[0].warps, 2);
         assert_eq!(bp.roles[1].warps, 4);

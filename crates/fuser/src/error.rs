@@ -64,10 +64,16 @@ impl fmt::Display for FuseError {
                 write!(f, "fused block exceeds SM resources: {detail}")
             }
             FuseError::BarrierOverflow { needed, available } => {
-                write!(f, "fusion needs {needed} named barriers, SM has {available}")
+                write!(
+                    f,
+                    "fusion needs {needed} named barriers, SM has {available}"
+                )
             }
             FuseError::Misaligned { kernel, threads } => {
-                write!(f, "kernel `{kernel}` block of {threads} threads is not warp-aligned")
+                write!(
+                    f,
+                    "kernel `{kernel}` block of {threads} threads is not warp-aligned"
+                )
             }
             FuseError::NoFeasibleConfig => write!(f, "no feasible fusion configuration"),
             FuseError::OpaqueSource { kernel } => {

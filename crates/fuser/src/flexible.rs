@@ -217,10 +217,7 @@ fn config_footprint(
     };
     if !sm.fits(&usage, threads as u32) {
         return Err(FuseError::ResourceOverflow {
-            detail: format!(
-                "{} threads, {} at ratio {config}",
-                threads, usage
-            ),
+            detail: format!("{} threads, {} at ratio {config}", threads, usage),
         });
     }
     Ok((usage, threads as u32))
@@ -419,10 +416,7 @@ mod tests {
         assert_eq!(def.block_dim().total(), 2 * 128 + 256);
         assert_eq!(def.body().len(), 3);
         assert!(def.params().iter().any(|p| p == "tc_k_iters"));
-        assert!(def
-            .params()
-            .iter()
-            .any(|p| p == "tc_original_block_num"));
+        assert!(def.params().iter().any(|p| p == "tc_original_block_num"));
         // Fused smem adds up.
         assert_eq!(def.resources().shared_mem_bytes, 2 * 8192 + 4096);
         // Registers take the max.
@@ -489,9 +483,8 @@ mod tests {
             let mut tcb = Bindings::new();
             tcb.insert("k_iters".into(), 4);
             let launch = fused.launch(grid, 5, &tcb, &Bindings::new());
-            let bp =
-                tacker_kernel::lower_block(fused.def(), launch.grid_blocks, &launch.bindings)
-                    .unwrap();
+            let bp = tacker_kernel::lower_block(fused.def(), launch.grid_blocks, &launch.bindings)
+                .unwrap();
             let tc_total: u64 = bp
                 .roles
                 .iter()
@@ -589,9 +582,13 @@ mod tests {
     fn ptb_inputs_are_unwrapped() {
         let ptb_tc = crate::ptb::to_ptb(&tc_kernel(0)).unwrap();
         let ptb_cd = crate::ptb::to_ptb(&cd_kernel(0)).unwrap();
-        let fused =
-            fuse_flexible(&ptb_tc, &ptb_cd, FusionConfig::ONE_TO_ONE, &SmCapacity::TURING)
-                .unwrap();
+        let fused = fuse_flexible(
+            &ptb_tc,
+            &ptb_cd,
+            FusionConfig::ONE_TO_ONE,
+            &SmCapacity::TURING,
+        )
+        .unwrap();
         // No doubly-nested PTB loops.
         let src = tacker_kernel::source::render(fused.def());
         assert_eq!(src.matches("block_pos += issued_block_num").count(), 2);

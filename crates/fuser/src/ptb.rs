@@ -121,10 +121,7 @@ mod tests {
             .body(vec![Stmt::compute_cd(Expr::lit(1), "fma")])
             .build()
             .unwrap();
-        assert!(matches!(
-            to_ptb(&def),
-            Err(FuseError::Misaligned { .. })
-        ));
+        assert!(matches!(to_ptb(&def), Err(FuseError::Misaligned { .. })));
     }
 
     #[test]
@@ -140,7 +137,9 @@ mod tests {
         // Per-iteration work identical to the original kernel's block work.
         let orig_bp = tacker_kernel::lower_block(&base(), 777, &b).unwrap();
         assert_eq!(
-            bp.roles[0].program.total_compute(tacker_kernel::ComputeUnit::Cuda),
+            bp.roles[0]
+                .program
+                .total_compute(tacker_kernel::ComputeUnit::Cuda),
             orig_bp.roles[0]
                 .program
                 .total_compute(tacker_kernel::ComputeUnit::Cuda)

@@ -171,8 +171,7 @@ mod tests {
 
     #[test]
     fn all_failures_mean_sequential() {
-        let decision =
-            select_best(candidates(), SimTime::from_micros(100), |_| None).unwrap();
+        let decision = select_best(candidates(), SimTime::from_micros(100), |_| None).unwrap();
         assert!(!decision.is_fuse());
     }
 

@@ -1,11 +1,11 @@
 //! Cross-crate smoke tests: fused kernels actually execute on the simulated
 //! device and deliver the paper's qualitative behaviour.
 
+use std::sync::Arc;
 use tacker_fuser::{enumerate_configs, fuse_flexible, to_ptb, FusionConfig, PackPriority};
 use tacker_kernel::ast::{Expr, Stmt};
 use tacker_kernel::{Bindings, Dim3, KernelDef, KernelKind, KernelLaunch, ResourceUsage};
 use tacker_sim::{ExecutablePlan, GpuSpec};
-use std::sync::Arc;
 
 fn gemm_like() -> KernelDef {
     KernelDef::builder("gemm", KernelKind::Tensor)
@@ -80,7 +80,16 @@ fn fused_kernel_overlaps_pipelines_end_to_end() {
         eprintln!("fused {cfg}: {run} (occ {})", run.occupancy);
     }
 
-    let fused = fuse_flexible(&tc, &cd, FusionConfig { tc_blocks: 2, cd_blocks: 1 }, &spec.sm).unwrap();
+    let fused = fuse_flexible(
+        &tc,
+        &cd,
+        FusionConfig {
+            tc_blocks: 2,
+            cd_blocks: 1,
+        },
+        &spec.sm,
+    )
+    .unwrap();
     let launch = fused.launch(tc_grid, cd_grid, &tcb, &cdb);
     let plan = ExecutablePlan::from_launch(&spec, &launch).unwrap();
     let run = dev.run_plan(&plan).unwrap();

@@ -440,7 +440,7 @@ mod tests {
 
     #[test]
     fn shared_bytes_summed_through_nesting() {
-        let body = vec![Stmt::loop_over(
+        let body = [Stmt::loop_over(
             "i",
             Expr::lit(2),
             vec![Stmt::shared_decl("a", 100), Stmt::shared_decl("b", 28)],
@@ -452,7 +452,7 @@ mod tests {
     fn sync_detection() {
         let body = sample_body();
         assert!(body.iter().any(Stmt::contains_sync_threads));
-        let no_sync = vec![Stmt::compute_cd(Expr::lit(1), "x")];
+        let no_sync = [Stmt::compute_cd(Expr::lit(1), "x")];
         assert!(!no_sync.iter().any(Stmt::contains_sync_threads));
     }
 

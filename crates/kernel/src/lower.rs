@@ -408,10 +408,7 @@ mod tests {
 
     #[test]
     fn uniform_body_single_role() {
-        let def = simple_def(
-            vec![Stmt::compute_cd(Expr::lit(10), "fma")],
-            &[],
-        );
+        let def = simple_def(vec![Stmt::compute_cd(Expr::lit(10), "fma")], &[]);
         let bp = lower_block(&def, 8, &Bindings::new()).unwrap();
         assert_eq!(bp.roles.len(), 1);
         assert_eq!(bp.roles[0].warps, 4);
@@ -445,16 +442,16 @@ mod tests {
         let bp = lower_block(&large, 1, &Bindings::new()).unwrap();
         // Chunked to max_unroll = 16, total work preserved.
         assert_eq!(bp.roles[0].program.ops.len(), 16);
-        assert_eq!(bp.roles[0].program.total_compute(ComputeUnit::Cuda), 64 * 64);
+        assert_eq!(
+            bp.roles[0].program.total_compute(ComputeUnit::Cuda),
+            64 * 64
+        );
     }
 
     #[test]
     fn sync_threads_expects_whole_block() {
         let def = simple_def(
-            vec![
-                Stmt::sync_threads(),
-                Stmt::compute_cd(Expr::lit(1), "fma"),
-            ],
+            vec![Stmt::sync_threads(), Stmt::compute_cd(Expr::lit(1), "fma")],
             &[],
         );
         let bp = lower_block(&def, 1, &Bindings::new()).unwrap();

@@ -277,7 +277,11 @@ mod tests {
             program: WarpProgram::new(ids.iter().map(|&id| Op::Barrier { id }).collect()),
             original_blocks: 1,
         };
-        let bp = BlockProgram::new(vec![role("tc", 2, &[1]), role("cd", 4, &[2]), role("x", 1, &[1])]);
+        let bp = BlockProgram::new(vec![
+            role("tc", 2, &[1]),
+            role("cd", 4, &[2]),
+            role("x", 1, &[1]),
+        ]);
         assert_eq!(bp.warps(), 7);
         assert_eq!(bp.threads(), 224);
         assert_eq!(bp.barrier(1).unwrap().expected_warps, 3);

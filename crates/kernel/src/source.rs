@@ -200,7 +200,10 @@ mod tests {
             Stmt::ThreadRange {
                 lo: 64,
                 hi: 192,
-                body: vec![Stmt::compute_cd(Expr::lit(1), "CD_kernel(params, thread_id)")],
+                body: vec![Stmt::compute_cd(
+                    Expr::lit(1),
+                    "CD_kernel(params, thread_id)",
+                )],
             },
         ];
         let def = KernelDef::builder("fused_kernel", KernelKind::Fused)

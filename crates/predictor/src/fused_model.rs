@@ -112,9 +112,10 @@ impl FusedPairModel {
                 best = Some((sse, l, h));
             }
         }
-        best.map(|(_, l, h)| (l, h)).ok_or(PredictError::Degenerate {
-            reason: "no valid two-stage split".to_string(),
-        })
+        best.map(|(_, l, h)| (l, h))
+            .ok_or(PredictError::Degenerate {
+                reason: "no valid two-stage split".to_string(),
+            })
     }
 
     fn inflection_of(low: &LinReg, high: &LinReg, sorted: &[(f64, f64)]) -> f64 {
@@ -320,7 +321,10 @@ mod tests {
     #[test]
     fn validation_error_split_by_stage() {
         let m = FusedPairModel::fit("p", &paper_profile()).unwrap();
-        let held: Vec<(f64, f64)> = [0.3, 0.5, 1.3, 1.7].iter().map(|&r| (r, truth(r))).collect();
+        let held: Vec<(f64, f64)> = [0.3, 0.5, 1.3, 1.7]
+            .iter()
+            .map(|&r| (r, truth(r)))
+            .collect();
         let (before, after) = m.validation_error_by_stage(&held);
         assert!(before < 0.08, "before {before}");
         assert!(after < 0.08, "after {after}");

@@ -60,8 +60,7 @@ impl KernelDurationModel {
         kernel: impl Into<String>,
         profile: &[(f64, SimTime)],
     ) -> Result<KernelDurationModel, PredictError> {
-        let rows: Vec<(Vec<f64>, SimTime)> =
-            profile.iter().map(|(x, d)| (vec![*x], *d)).collect();
+        let rows: Vec<(Vec<f64>, SimTime)> = profile.iter().map(|(x, d)| (vec![*x], *d)).collect();
         Self::fit_rows(kernel, &rows)
     }
 

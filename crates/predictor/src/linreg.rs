@@ -31,7 +31,10 @@ impl LinReg {
                 need: 2,
             });
         }
-        if samples.iter().any(|(x, y)| !x.is_finite() || !y.is_finite()) {
+        if samples
+            .iter()
+            .any(|(x, y)| !x.is_finite() || !y.is_finite())
+        {
             return Err(PredictError::Degenerate {
                 reason: "non-finite sample".to_string(),
             });
@@ -317,12 +320,12 @@ mod multi_tests {
             MultiLinReg::fit(&[vec![1.0, 2.0]], &[3.0]),
             Err(PredictError::InsufficientData { .. })
         ));
-        assert!(MultiLinReg::fit(&[vec![1.0], vec![2.0, 3.0], vec![4.0]], &[1.0, 2.0, 3.0]).is_err());
-        assert!(MultiLinReg::fit(
-            &[vec![f64::NAN], vec![1.0], vec![2.0]],
-            &[1.0, 2.0, 3.0]
-        )
-        .is_err());
+        assert!(
+            MultiLinReg::fit(&[vec![1.0], vec![2.0, 3.0], vec![4.0]], &[1.0, 2.0, 3.0]).is_err()
+        );
+        assert!(
+            MultiLinReg::fit(&[vec![f64::NAN], vec![1.0], vec![2.0]], &[1.0, 2.0, 3.0]).is_err()
+        );
     }
 
     #[test]

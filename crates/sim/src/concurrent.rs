@@ -170,12 +170,16 @@ pub fn corun(
     let (lo, hi) = policy.mix_range();
     let h = splitmix64(
         seed ^ splitmix64(a.name.len() as u64 ^ (b.name.len() as u64) << 32)
-            ^ a.name.bytes().fold(0u64, |acc, c| acc.rotate_left(7) ^ c as u64)
-            ^ b.name.bytes().fold(0u64, |acc, c| acc.rotate_left(11) ^ c as u64),
+            ^ a.name
+                .bytes()
+                .fold(0u64, |acc, c| acc.rotate_left(7) ^ c as u64)
+            ^ b.name
+                .bytes()
+                .fold(0u64, |acc, c| acc.rotate_left(11) ^ c as u64),
     );
     let mix = lo + (hi - lo) * unit_f64(h);
-    let corun_cycles = serialized.get() as f64
-        - mix * (serialized.get() as f64 - ideal.get() as f64).max(0.0);
+    let corun_cycles =
+        serialized.get() as f64 - mix * (serialized.get() as f64 - ideal.get() as f64).max(0.0);
     Ok(CorunReport {
         solo_a,
         solo_b,

@@ -130,8 +130,7 @@ mod tests {
     fn plans_without_fingerprints_are_never_cached() {
         let dev = Device::new(GpuSpec::rtx2080ti());
         let launch = launch(68);
-        let mut plan =
-            crate::plan::ExecutablePlan::from_launch(dev.spec(), &launch).unwrap();
+        let mut plan = crate::plan::ExecutablePlan::from_launch(dev.spec(), &launch).unwrap();
         plan.fingerprint = None;
         dev.run_plan(&plan).unwrap();
         dev.run_plan(&plan).unwrap();

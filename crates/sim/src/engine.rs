@@ -24,10 +24,11 @@
 //! the engine reports it as [`SimError::Deadlock`].
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use tacker_kernel::ast::{ComputeUnit, MemSpace};
 use tacker_kernel::{Cycles, Op};
+use tacker_trace::{Pipeline, ServerKind, TraceEvent, TraceSink};
 
 use crate::error::SimError;
 use crate::plan::ExecutablePlan;
@@ -44,15 +45,28 @@ struct Server {
     busy: f64,
     intervals: Vec<Interval>,
     record: bool,
+    /// Queue/wait accounting, maintained only when tracing is enabled
+    /// (`track_stats`): op count, total cycles spent waiting for the
+    /// server, in-flight completion times, and peak simultaneous depth.
+    track_stats: bool,
+    acquires: u64,
+    wait: f64,
+    inflight: VecDeque<f64>,
+    max_depth: u32,
 }
 
 impl Server {
-    fn new(record: bool) -> Server {
+    fn new(record: bool, track_stats: bool) -> Server {
         Server {
             next_free: 0.0,
             busy: 0.0,
             intervals: Vec::new(),
             record,
+            track_stats,
+            acquires: 0,
+            wait: 0.0,
+            inflight: VecDeque::new(),
+            max_depth: 0,
         }
     }
 
@@ -69,7 +83,27 @@ impl Server {
                 _ => self.intervals.push(Interval { start, end }),
             }
         }
+        if self.track_stats {
+            self.acquires += 1;
+            self.wait += start - now;
+            while self.inflight.front().is_some_and(|&e| e <= now) {
+                self.inflight.pop_front();
+            }
+            self.inflight.push_back(end);
+            self.max_depth = self.max_depth.max(self.inflight.len() as u32);
+        }
         end
+    }
+
+    fn stats_event(&self, kernel: &str, kind: ServerKind) -> TraceEvent {
+        TraceEvent::ServerStats {
+            kernel: kernel.to_string(),
+            server: kind,
+            acquires: self.acquires,
+            busy_cycles: self.busy,
+            wait_cycles: self.wait,
+            max_queue_depth: self.max_depth,
+        }
     }
 }
 
@@ -160,10 +194,19 @@ struct Engine<'a> {
     pending: Vec<u64>,
     dram_bytes: f64,
     role_finish: Vec<f64>,
+    sink: &'a dyn TraceSink,
+    /// `sink.enabled()` hoisted once at construction so the disabled path
+    /// costs a local-bool branch per emission site, never a virtual call.
+    tracing: bool,
 }
 
 impl<'a> Engine<'a> {
-    fn new(spec: &'a GpuSpec, plan: &'a ExecutablePlan, active_sms: u32) -> Result<Self, SimError> {
+    fn new(
+        spec: &'a GpuSpec,
+        plan: &'a ExecutablePlan,
+        active_sms: u32,
+        sink: &'a dyn TraceSink,
+    ) -> Result<Self, SimError> {
         let occupancy = plan.occupancy(spec);
         if occupancy == 0 {
             return Err(SimError::LaunchFailure {
@@ -183,23 +226,26 @@ impl<'a> Engine<'a> {
             .step_by(spec.sm_count as usize)
             .collect();
         assigned.reverse(); // pop() launches in ascending order
+        let tracing = sink.enabled();
         let mut eng = Engine {
             spec,
             plan,
             active_sms,
             warps: Vec::new(),
             blocks: Vec::new(),
-            tc: Server::new(true),
-            cd: Server::new(true),
-            issue: Server::new(false),
-            l1: Server::new(false),
-            shared: Server::new(false),
-            dram: Server::new(false),
+            tc: Server::new(true, tracing),
+            cd: Server::new(true, tracing),
+            issue: Server::new(false, tracing),
+            l1: Server::new(false, tracing),
+            shared: Server::new(false, tracing),
+            dram: Server::new(false, tracing),
             heap: BinaryHeap::new(),
             seq: 0,
             pending: assigned,
             dram_bytes: 0.0,
             role_finish: vec![0.0; plan.block.roles.len()],
+            sink,
+            tracing,
         };
         for _ in 0..occupancy {
             if eng.pending.is_empty() {
@@ -246,10 +292,7 @@ impl<'a> Engine<'a> {
                 }
             }
         }
-        let live = warp_ids
-            .iter()
-            .filter(|&&w| !self.warps[w].done)
-            .count();
+        let live = warp_ids.iter().filter(|&&w| !self.warps[w].done).count();
         self.blocks.push(BlockInstance {
             index,
             live_warps: live,
@@ -353,10 +396,32 @@ impl<'a> Engine<'a> {
                 let b = &mut self.blocks[block];
                 let arrived = b.barrier_arrived.entry(id).or_insert(0);
                 *arrived += 1;
-                if *arrived >= expected {
-                    *arrived = 0;
+                let arrived_now = *arrived;
+                let block_index = b.index;
+                if self.tracing {
+                    self.sink.record(TraceEvent::BarrierArrival {
+                        kernel: self.plan.name.clone(),
+                        block: block_index,
+                        barrier: id,
+                        arrived: arrived_now,
+                        expected,
+                        at_cycles: now,
+                    });
+                }
+                let b = &mut self.blocks[block];
+                if arrived_now >= expected {
+                    *b.barrier_arrived.get_mut(&id).unwrap() = 0;
                     let mut waiters = b.barrier_waiters.remove(&id).unwrap_or_default();
                     waiters.push(w);
+                    if self.tracing {
+                        self.sink.record(TraceEvent::BarrierRelease {
+                            kernel: self.plan.name.clone(),
+                            block: block_index,
+                            barrier: id,
+                            released: waiters.len() as u32,
+                            at_cycles: now,
+                        });
+                    }
                     for wi in waiters {
                         self.advance_pc(wi);
                         self.schedule(now + BARRIER_COST, wi);
@@ -404,14 +469,19 @@ impl<'a> Engine<'a> {
             .flat_map(|b| b.barrier_waiters.keys().copied())
             .collect();
         if self.warps.iter().any(|w| !w.done) {
+            let mut pending = stuck;
+            pending.sort_unstable();
+            pending.dedup();
+            if self.tracing {
+                self.sink.record(TraceEvent::Deadlock {
+                    kernel: self.plan.name.clone(),
+                    pending_barriers: pending.clone(),
+                    stuck_warps: self.warps.iter().filter(|w| !w.done).count() as u64,
+                });
+            }
             return Err(SimError::Deadlock {
                 kernel: self.plan.name.clone(),
-                pending_barriers: {
-                    let mut s = stuck;
-                    s.sort_unstable();
-                    s.dedup();
-                    s
-                },
+                pending_barriers: pending,
             });
         }
         let makespan = self
@@ -431,6 +501,12 @@ impl<'a> Engine<'a> {
             .zip(&self.role_finish)
             .map(|(r, f)| (r.name.clone(), Cycles::new(f.round() as u64)))
             .collect();
+        let tc_intervals = merge_intervals(std::mem::take(&mut self.tc.intervals), gap);
+        let cd_intervals = merge_intervals(std::mem::take(&mut self.cd.intervals), gap);
+        let occupancy = self.plan.occupancy(self.spec);
+        if self.tracing {
+            self.emit_run_events(duration_cycles, occupancy, &tc_intervals, &cd_intervals);
+        }
         Ok(KernelRun {
             name: self.plan.name.clone(),
             cycles: duration_cycles,
@@ -439,12 +515,54 @@ impl<'a> Engine<'a> {
                 tc_busy: Cycles::new(self.tc.busy.round() as u64),
                 cd_busy: Cycles::new(self.cd.busy.round() as u64),
             },
-            tc_intervals: merge_intervals(self.tc.intervals, gap),
-            cd_intervals: merge_intervals(self.cd.intervals, gap),
+            tc_intervals,
+            cd_intervals,
             role_finish,
-            occupancy: self.plan.occupancy(self.spec),
+            occupancy,
             dram_bytes: self.dram_bytes,
         })
+    }
+
+    /// Emits the end-of-run event batch: per-pipeline busy intervals,
+    /// per-server queue/wait statistics, and the completion summary.
+    fn emit_run_events(
+        &self,
+        cycles: Cycles,
+        occupancy: u32,
+        tc_intervals: &[Interval],
+        cd_intervals: &[Interval],
+    ) {
+        let name = &self.plan.name;
+        for (pipeline, intervals) in [
+            (Pipeline::Tensor, tc_intervals),
+            (Pipeline::Cuda, cd_intervals),
+        ] {
+            for iv in intervals {
+                self.sink.record(TraceEvent::PipelineInterval {
+                    kernel: name.clone(),
+                    pipeline,
+                    start_cycles: iv.start,
+                    end_cycles: iv.end,
+                });
+            }
+        }
+        for (kind, server) in [
+            (ServerKind::Tensor, &self.tc),
+            (ServerKind::Cuda, &self.cd),
+            (ServerKind::Issue, &self.issue),
+            (ServerKind::L1, &self.l1),
+            (ServerKind::Shared, &self.shared),
+            (ServerKind::Dram, &self.dram),
+        ] {
+            self.sink.record(server.stats_event(name, kind));
+        }
+        self.sink.record(TraceEvent::KernelComplete {
+            kernel: name.clone(),
+            cycles: cycles.get(),
+            tc_busy_cycles: self.tc.busy.round() as u64,
+            cd_busy_cycles: self.cd.busy.round() as u64,
+            occupancy,
+        });
     }
 }
 
@@ -485,7 +603,23 @@ pub fn simulate_with_active_sms(
     plan: &ExecutablePlan,
     active_sms: u32,
 ) -> Result<KernelRun, SimError> {
-    Engine::new(spec, plan, active_sms)?.run()
+    Engine::new(spec, plan, active_sms, &tacker_trace::NoopSink)?.run()
+}
+
+/// [`simulate_with_active_sms`] with a trace sink receiving engine events:
+/// pipeline busy intervals, FCFS-server queue/wait statistics, barrier
+/// arrivals/releases, deadlock context, and the completion summary.
+///
+/// With a disabled sink (e.g. [`tacker_trace::NoopSink`]) this is the same
+/// hot path as [`simulate`]: `enabled()` is hoisted into a bool once at
+/// engine construction and no event is ever built.
+pub fn simulate_traced(
+    spec: &GpuSpec,
+    plan: &ExecutablePlan,
+    active_sms: u32,
+    sink: &dyn TraceSink,
+) -> Result<KernelRun, SimError> {
+    Engine::new(spec, plan, active_sms, sink)?.run()
 }
 
 #[cfg(test)]
@@ -557,7 +691,12 @@ mod tests {
         let tc_ops = 512_000; // 1000 cycles of TC time
         let cd_ops = 64_000; // 1000 cycles of CD time
         let solo_tc = plan_of(
-            vec![role("tc", 4, vec![compute(ComputeUnit::Tensor, tc_ops)], 68)],
+            vec![role(
+                "tc",
+                4,
+                vec![compute(ComputeUnit::Tensor, tc_ops)],
+                68,
+            )],
             68,
         );
         let solo_cd = plan_of(
@@ -604,8 +743,10 @@ mod tests {
         let mut bad = ok.clone();
         bad.block.set_barrier_expectation(1, 4);
         let err = simulate(&spec, &bad).unwrap_err();
-        assert!(matches!(err, SimError::Deadlock { ref pending_barriers, .. }
-            if pending_barriers.contains(&1)));
+        assert!(
+            matches!(err, SimError::Deadlock { ref pending_barriers, .. }
+            if pending_barriers.contains(&1))
+        );
     }
 
     #[test]
@@ -628,7 +769,12 @@ mod tests {
     fn activity_summary_reflects_pipeline_use() {
         let spec = GpuSpec::rtx2080ti();
         let plan = plan_of(
-            vec![role("tc", 2, vec![compute(ComputeUnit::Tensor, 51_200)], 68)],
+            vec![role(
+                "tc",
+                2,
+                vec![compute(ComputeUnit::Tensor, 51_200)],
+                68,
+            )],
             68,
         );
         let run = simulate(&spec, &plan).unwrap();

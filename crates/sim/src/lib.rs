@@ -35,7 +35,7 @@ pub mod timeline;
 
 pub use concurrent::{corun, CorunPolicy, CorunReport};
 pub use device::Device;
-pub use engine::simulate;
+pub use engine::{simulate, simulate_traced, simulate_with_active_sms};
 pub use error::SimError;
 pub use plan::ExecutablePlan;
 pub use power::PowerModel;

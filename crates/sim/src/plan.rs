@@ -84,7 +84,8 @@ impl ExecutablePlan {
 
     /// Resident blocks per SM for this plan on the given device.
     pub fn occupancy(&self, spec: &GpuSpec) -> u32 {
-        spec.sm.blocks_per_sm(&self.resources, self.threads_per_block)
+        spec.sm
+            .blocks_per_sm(&self.resources, self.threads_per_block)
     }
 
     /// Number of issued blocks assigned to the most-loaded SM.

@@ -65,8 +65,8 @@ impl PowerModel {
         let dur = run.cycles.get() as f64;
         let tc_util = run.activity.tc_busy.get() as f64 / dur;
         let cd_util = run.activity.cd_busy.get() as f64 / dur;
-        let dram_util = (run.dram_bytes * spec.sm_count as f64)
-            / (spec.dram_bytes_per_cycle * dur).max(1.0);
+        let dram_util =
+            (run.dram_bytes * spec.sm_count as f64) / (spec.dram_bytes_per_cycle * dur).max(1.0);
         let raw = self.idle_w
             + tc_util * self.tc_full_w
             + cd_util * self.cd_full_w

@@ -190,7 +190,10 @@ mod tests {
             activity: ActivitySummary::default(),
             tc_intervals: vec![],
             cd_intervals: vec![],
-            role_finish: vec![("tc".into(), Cycles::new(60)), ("cd".into(), Cycles::new(100))],
+            role_finish: vec![
+                ("tc".into(), Cycles::new(60)),
+                ("cd".into(), Cycles::new(100)),
+            ],
             occupancy: 1,
             dram_bytes: 0.0,
         };

@@ -10,6 +10,7 @@
 use std::fmt::Write as _;
 
 use tacker_kernel::SimTime;
+use tacker_trace::PIPELINE_ACTIVE_THRESHOLD;
 
 use crate::result::KernelRun;
 
@@ -36,14 +37,18 @@ impl TimelineEntry {
         self.end.saturating_sub(self.start)
     }
 
-    /// Whether the Tensor pipeline was meaningfully active (>5%).
+    /// Whether the Tensor pipeline was meaningfully active
+    /// (above [`PIPELINE_ACTIVE_THRESHOLD`], shared with the Perfetto
+    /// exporter in `tacker-trace`).
     pub fn tc_active(&self) -> bool {
-        self.tc_util > 0.05
+        self.tc_util > PIPELINE_ACTIVE_THRESHOLD
     }
 
-    /// Whether the CUDA pipeline was meaningfully active (>5%).
+    /// Whether the CUDA pipeline was meaningfully active
+    /// (above [`PIPELINE_ACTIVE_THRESHOLD`], shared with the Perfetto
+    /// exporter in `tacker-trace`).
     pub fn cd_active(&self) -> bool {
-        self.cd_util > 0.05
+        self.cd_util > PIPELINE_ACTIVE_THRESHOLD
     }
 }
 

@@ -1,0 +1,331 @@
+//! Chrome trace-event (Perfetto-compatible) exporter.
+//!
+//! [`chrome_trace`] converts a captured [`TraceEvent`] stream into the
+//! JSON object format understood by `chrome://tracing` and
+//! <https://ui.perfetto.dev>: the device timeline becomes `"X"` complete
+//! slices on per-pipeline tracks, per-pipeline utilization becomes `"C"`
+//! counter series, and every manager decision becomes an `"i"` instant
+//! event on a scheduler track carrying its predicted (and, once the launch
+//! retires, actual) duration.
+//!
+//! Field order within each emitted event object is fixed
+//! (`name, cat, ph, ts, dur, pid, tid, args`) so the output is golden-test
+//! stable.
+
+use std::fmt::Write as _;
+
+use crate::event::TraceEvent;
+use crate::PIPELINE_ACTIVE_THRESHOLD;
+
+/// The single emitted process id ("device").
+const PID: u32 = 1;
+/// Track for kernel slices with an active Tensor-Core pipeline.
+const TID_TENSOR: u32 = 1;
+/// Track for kernel slices with an active CUDA-Core pipeline.
+const TID_CUDA: u32 = 2;
+/// Track for manager-decision instant events.
+const TID_SCHEDULER: u32 = 3;
+/// Track for LC query-completion instant events.
+const TID_QOS: u32 = 4;
+
+struct ChromeEvent {
+    name: String,
+    cat: &'static str,
+    ph: char,
+    ts: f64,
+    dur: Option<f64>,
+    tid: u32,
+    /// Pre-rendered JSON object body for `args` (without braces), in
+    /// insertion order.
+    args: Vec<(String, String)>,
+}
+
+impl ChromeEvent {
+    fn render(&self, out: &mut String) {
+        out.push_str("{\"name\":\"");
+        escape(&self.name, out);
+        let _ = write!(out, "\",\"cat\":\"{}\",\"ph\":\"{}\"", self.cat, self.ph);
+        let _ = write!(out, ",\"ts\":{:.3}", self.ts);
+        if let Some(dur) = self.dur {
+            let _ = write!(out, ",\"dur\":{dur:.3}");
+        }
+        let _ = write!(out, ",\"pid\":{PID},\"tid\":{}", self.tid);
+        if self.ph == 'i' {
+            // Instant-event scope: thread.
+            out.push_str(",\"s\":\"t\"");
+        }
+        out.push_str(",\"args\":{");
+        for (i, (k, v)) in self.args.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape(k, out);
+            out.push_str("\":");
+            out.push_str(v);
+        }
+        out.push_str("}}");
+    }
+}
+
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    escape(s, &mut out);
+    out.push('"');
+    out
+}
+
+fn jf(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Renders a captured event stream as a Chrome trace-event JSON document.
+///
+/// Only device-timeline events ([`TraceEvent::KernelRetired`],
+/// [`TraceEvent::Decision`], [`TraceEvent::QueryCompleted`]) land on the
+/// timeline; engine-layer events (cycle-domain) are summarized into the
+/// trace metadata counts. Timestamps are microseconds of simulated device
+/// time, events are sorted by `ts`, and kernel slices appear on a pipeline
+/// track only when that pipeline's utilization exceeds
+/// [`PIPELINE_ACTIVE_THRESHOLD`].
+pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    let mut out: Vec<ChromeEvent> = Vec::new();
+
+    // Retirements, in stream order, for joining decisions to actuals.
+    let retired: Vec<&TraceEvent> = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::KernelRetired { .. }))
+        .collect();
+    let mut retired_used = vec![false; retired.len()];
+
+    for ev in events {
+        match ev {
+            TraceEvent::KernelRetired {
+                kernel,
+                label,
+                start,
+                end,
+                tc_util,
+                cd_util,
+                predicted,
+                actual,
+            } => {
+                let ts = start.as_micros_f64();
+                let dur = (end.saturating_sub(*start)).as_micros_f64();
+                let mut tracks = Vec::new();
+                if *tc_util > PIPELINE_ACTIVE_THRESHOLD {
+                    tracks.push(TID_TENSOR);
+                }
+                if *cd_util > PIPELINE_ACTIVE_THRESHOLD {
+                    tracks.push(TID_CUDA);
+                }
+                // A kernel below threshold on both pipelines still happened;
+                // show it on whichever pipeline it used more.
+                if tracks.is_empty() {
+                    tracks.push(if tc_util >= cd_util {
+                        TID_TENSOR
+                    } else {
+                        TID_CUDA
+                    });
+                }
+                for tid in tracks {
+                    out.push(ChromeEvent {
+                        name: kernel.clone(),
+                        cat: "kernel",
+                        ph: 'X',
+                        ts,
+                        dur: Some(dur),
+                        tid,
+                        args: vec![
+                            ("label".into(), jstr(label)),
+                            ("tc_util".into(), jf(*tc_util)),
+                            ("cd_util".into(), jf(*cd_util)),
+                            ("predicted_us".into(), jf(predicted.as_micros_f64())),
+                            ("actual_us".into(), jf(actual.as_micros_f64())),
+                        ],
+                    });
+                }
+                // Utilization counter series sampled at each retirement.
+                out.push(ChromeEvent {
+                    name: "pipeline_utilization".into(),
+                    cat: "utilization",
+                    ph: 'C',
+                    ts: end.as_micros_f64(),
+                    dur: None,
+                    tid: 0,
+                    args: vec![
+                        ("tensor".into(), jf(*tc_util)),
+                        ("cuda".into(), jf(*cd_util)),
+                    ],
+                });
+            }
+            TraceEvent::Decision {
+                at,
+                kind,
+                kernel,
+                headroom,
+                predicted,
+                t_gain,
+                ..
+            } => {
+                let mut args = vec![
+                    ("kind".into(), jstr(kind.name())),
+                    ("kernel".into(), jstr(kernel)),
+                    ("headroom_us".into(), jf(headroom.as_micros_f64())),
+                    ("predicted_us".into(), jf(predicted.as_micros_f64())),
+                ];
+                // Join with the first unconsumed retirement of the same
+                // kernel at or after the decision: predicted vs. actual.
+                if !kernel.is_empty() {
+                    for (i, r) in retired.iter().enumerate() {
+                        if retired_used[i] {
+                            continue;
+                        }
+                        if let TraceEvent::KernelRetired {
+                            kernel: rk,
+                            start,
+                            actual,
+                            ..
+                        } = r
+                        {
+                            if rk == kernel && *start >= *at {
+                                args.push(("actual_us".into(), jf(actual.as_micros_f64())));
+                                retired_used[i] = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if let Some(g) = t_gain {
+                    args.push(("t_gain_us".into(), jf(g.as_micros_f64())));
+                }
+                out.push(ChromeEvent {
+                    name: format!("decide:{}", kind.name()),
+                    cat: "scheduler",
+                    ph: 'i',
+                    ts: at.as_micros_f64(),
+                    dur: None,
+                    tid: TID_SCHEDULER,
+                    args,
+                });
+            }
+            TraceEvent::QueryCompleted {
+                service,
+                arrival,
+                latency,
+                violated,
+            } => {
+                out.push(ChromeEvent {
+                    name: format!("query:{service}"),
+                    cat: "qos",
+                    ph: 'i',
+                    ts: (*arrival + *latency).as_micros_f64(),
+                    dur: None,
+                    tid: TID_QOS,
+                    args: vec![
+                        ("latency_us".into(), jf(latency.as_micros_f64())),
+                        ("violated".into(), violated.to_string()),
+                    ],
+                });
+            }
+            // Cycle-domain engine events don't map onto the device
+            // wall-clock timeline.
+            _ => {}
+        }
+    }
+
+    out.sort_by(|a, b| a.ts.partial_cmp(&b.ts).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut body = String::with_capacity(4096 + 160 * out.len());
+    body.push_str("{\"traceEvents\":[");
+    // Metadata first: process and thread names for the fixed tracks.
+    let meta: [(u32, &str); 4] = [
+        (TID_TENSOR, "Tensor Cores"),
+        (TID_CUDA, "CUDA Cores"),
+        (TID_SCHEDULER, "Scheduler"),
+        (TID_QOS, "LC Queries"),
+    ];
+    body.push_str(&format!(
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{PID},\"args\":{{\"name\":\"Tacker device\"}}}}"
+    ));
+    for (tid, name) in meta {
+        body.push_str(&format!(
+            ",{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{PID},\"tid\":{tid},\"args\":{{\"name\":\"{name}\"}}}}"
+        ));
+    }
+    for ev in &out {
+        body.push(',');
+        ev.render(&mut body);
+    }
+    body.push_str("],\"displayTimeUnit\":\"ms\"}");
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::DecisionKind;
+    use tacker_kernel::SimTime;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Decision {
+                at: SimTime::from_micros(10),
+                kind: DecisionKind::RunLc,
+                kernel: "lc_k".into(),
+                headroom: SimTime::from_micros(40),
+                reorder_headroom: SimTime::from_micros(20),
+                predicted: SimTime::from_micros(30),
+                x_tc: None,
+                x_cd: None,
+                t_lc: None,
+                t_gain: None,
+            },
+            TraceEvent::KernelRetired {
+                kernel: "lc_k".into(),
+                label: "LC".into(),
+                start: SimTime::from_micros(10),
+                end: SimTime::from_micros(42),
+                tc_util: 0.8,
+                cd_util: 0.02,
+                predicted: SimTime::from_micros(30),
+                actual: SimTime::from_micros(32),
+            },
+        ]
+    }
+
+    #[test]
+    fn decision_instant_joins_actual_duration() {
+        let json = chrome_trace(&sample_events());
+        assert!(json.contains("\"decide:run_lc\""), "{json}");
+        let decide = json.split("decide:run_lc").nth(1).unwrap();
+        let decide = &decide[..decide.find('}').unwrap() + 1];
+        assert!(decide.contains("\"predicted_us\":30.000"), "{decide}");
+        assert!(decide.contains("\"actual_us\":32.000"), "{decide}");
+    }
+
+    #[test]
+    fn slices_respect_activity_threshold() {
+        let json = chrome_trace(&sample_events());
+        // tc_util 0.8 > threshold → tensor track; cd_util 0.02 < threshold
+        // → no CUDA slice, so exactly one "X" slice named lc_k.
+        let slices = json.matches("\"ph\":\"X\"").count();
+        assert_eq!(slices, 1, "{json}");
+        assert!(json.contains("\"tid\":1"), "{json}");
+    }
+}

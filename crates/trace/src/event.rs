@@ -1,0 +1,563 @@
+//! The typed trace-event vocabulary.
+//!
+//! Events are plain data with manual JSON serialization (the workspace has
+//! no serde): [`TraceEvent::to_json`] emits one stable-field-order object
+//! per event, suitable for JSON-lines streams and the Chrome exporter.
+
+use std::fmt::Write as _;
+
+use tacker_kernel::SimTime;
+
+/// A compute pipeline of the simulated SM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pipeline {
+    /// The Tensor-Core pipeline.
+    Tensor,
+    /// The CUDA-Core pipeline.
+    Cuda,
+}
+
+impl Pipeline {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pipeline::Tensor => "tensor",
+            Pipeline::Cuda => "cuda",
+        }
+    }
+}
+
+/// A FCFS server of the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerKind {
+    /// Tensor pipeline server.
+    Tensor,
+    /// CUDA pipeline server.
+    Cuda,
+    /// Instruction-issue slots.
+    Issue,
+    /// L1 cache bandwidth.
+    L1,
+    /// Shared-memory bandwidth.
+    Shared,
+    /// The SM's share of DRAM bandwidth.
+    Dram,
+}
+
+impl ServerKind {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServerKind::Tensor => "tensor",
+            ServerKind::Cuda => "cuda",
+            ServerKind::Issue => "issue",
+            ServerKind::L1 => "l1",
+            ServerKind::Shared => "shared",
+            ServerKind::Dram => "dram",
+        }
+    }
+}
+
+/// What the manager decided at one scheduling point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionKind {
+    /// Launch a fused (LC, BE) kernel.
+    Fuse,
+    /// Reorder a whole BE kernel into headroom.
+    Reorder,
+    /// Run the LC head kernel directly.
+    RunLc,
+    /// Run a BE kernel with no LC active.
+    FreeBe,
+    /// Nothing runnable.
+    Idle,
+}
+
+impl DecisionKind {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DecisionKind::Fuse => "fuse",
+            DecisionKind::Reorder => "reorder",
+            DecisionKind::RunLc => "run_lc",
+            DecisionKind::FreeBe => "free_be",
+            DecisionKind::Idle => "idle",
+        }
+    }
+}
+
+/// Why a fusion candidate was rejected at a scheduling point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FusionRejectReason {
+    /// The pair has no (Tensor, CUDA) orientation.
+    NoOrientation,
+    /// The library declined to prepare the pair (sequential won offline).
+    NotPrepared,
+    /// The pair is blacklisted after repeated online losses.
+    Blacklisted,
+    /// Equation 8's first condition failed: `T_tc + T_cd ≤ T_fuse`.
+    ParallelLoses,
+    /// Equation 8's second condition failed: `T_fuse − T_lc ≥ T_hr`.
+    ExceedsHeadroom,
+    /// Fusion would yield no throughput gain.
+    NoGain,
+}
+
+impl FusionRejectReason {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FusionRejectReason::NoOrientation => "no_orientation",
+            FusionRejectReason::NotPrepared => "not_prepared",
+            FusionRejectReason::Blacklisted => "blacklisted",
+            FusionRejectReason::ParallelLoses => "parallel_loses",
+            FusionRejectReason::ExceedsHeadroom => "exceeds_headroom",
+            FusionRejectReason::NoGain => "no_gain",
+        }
+    }
+}
+
+/// One structured trace event.
+///
+/// Engine events carry cycle timestamps local to one kernel simulation;
+/// runtime events carry [`SimTime`] instants on the device wall clock.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    // ---- engine layer (tacker-sim) ----
+    /// A merged busy interval of one compute pipeline, in cycles.
+    PipelineInterval {
+        /// The kernel being simulated.
+        kernel: String,
+        /// Which pipeline.
+        pipeline: Pipeline,
+        /// Interval start, cycles.
+        start_cycles: f64,
+        /// Interval end, cycles.
+        end_cycles: f64,
+    },
+    /// Aggregate FCFS-server statistics over one kernel simulation.
+    ServerStats {
+        /// The kernel being simulated.
+        kernel: String,
+        /// Which server.
+        server: ServerKind,
+        /// Ops serviced.
+        acquires: u64,
+        /// Cycles the server was busy.
+        busy_cycles: f64,
+        /// Total cycles warps waited for the server.
+        wait_cycles: f64,
+        /// Maximum simultaneous outstanding requests observed.
+        max_queue_depth: u32,
+    },
+    /// A warp arrived at a named barrier.
+    BarrierArrival {
+        /// The kernel being simulated.
+        kernel: String,
+        /// Issued-block index.
+        block: u64,
+        /// Barrier id.
+        barrier: u16,
+        /// Warps arrived so far (including this one).
+        arrived: u32,
+        /// Warps the barrier expects.
+        expected: u32,
+        /// Arrival instant, cycles.
+        at_cycles: f64,
+    },
+    /// A named barrier released its waiters.
+    BarrierRelease {
+        /// The kernel being simulated.
+        kernel: String,
+        /// Issued-block index.
+        block: u64,
+        /// Barrier id.
+        barrier: u16,
+        /// Warps released.
+        released: u32,
+        /// Release instant, cycles.
+        at_cycles: f64,
+    },
+    /// A simulation ended in deadlock: barriers that can never release.
+    Deadlock {
+        /// The kernel being simulated.
+        kernel: String,
+        /// Barrier ids with parked waiters.
+        pending_barriers: Vec<u16>,
+        /// Warps that never finished.
+        stuck_warps: u64,
+    },
+    /// One kernel simulation completed.
+    KernelComplete {
+        /// Kernel name.
+        kernel: String,
+        /// Makespan in cycles.
+        cycles: u64,
+        /// Tensor-pipeline busy cycles.
+        tc_busy_cycles: u64,
+        /// CUDA-pipeline busy cycles.
+        cd_busy_cycles: u64,
+        /// Resident blocks per SM.
+        occupancy: u32,
+    },
+
+    // ---- runtime layer (tacker core) ----
+    /// One manager scheduling decision, with its Equation-8 context.
+    Decision {
+        /// Device wall-clock instant of the decision.
+        at: SimTime,
+        /// What was decided.
+        kind: DecisionKind,
+        /// The kernel chosen to run (fused kernel name for `Fuse`), empty
+        /// for `Idle`.
+        kernel: String,
+        /// QoS headroom offered to fusion.
+        headroom: SimTime,
+        /// Budget-capped headroom offered to reordering.
+        reorder_headroom: SimTime,
+        /// Predicted duration of the chosen launch.
+        predicted: SimTime,
+        /// Equation 8: predicted solo duration of the Tensor component
+        /// (`Fuse` only).
+        x_tc: Option<SimTime>,
+        /// Equation 8: predicted solo duration of the CUDA component
+        /// (`Fuse` only).
+        x_cd: Option<SimTime>,
+        /// Predicted solo duration of the LC kernel (`Fuse` only).
+        t_lc: Option<SimTime>,
+        /// Predicted throughput gain `T_gain = T_be − (T_fuse − T_lc)`
+        /// (`Fuse` only).
+        t_gain: Option<SimTime>,
+    },
+    /// A fusion candidate was evaluated and rejected.
+    FusionRejected {
+        /// The LC head kernel.
+        lc: String,
+        /// The BE head kernel.
+        be: String,
+        /// Why the pair was rejected.
+        reason: FusionRejectReason,
+        /// Predicted solo Tensor duration, when it was computed.
+        x_tc: Option<SimTime>,
+        /// Predicted solo CUDA duration, when it was computed.
+        x_cd: Option<SimTime>,
+        /// Predicted fused duration, when it was computed.
+        t_fuse: Option<SimTime>,
+    },
+    /// One kernel (or fused kernel) retired on the device timeline.
+    KernelRetired {
+        /// Kernel name.
+        kernel: String,
+        /// Timeline label (`"LC"`, `"BE"`, `"FUSED"`).
+        label: String,
+        /// Start instant on the device wall clock.
+        start: SimTime,
+        /// End instant on the device wall clock.
+        end: SimTime,
+        /// Tensor-pipeline utilization during the run.
+        tc_util: f64,
+        /// CUDA-pipeline utilization during the run.
+        cd_util: f64,
+        /// Duration the manager predicted for this launch.
+        predicted: SimTime,
+        /// Duration the device actually took.
+        actual: SimTime,
+    },
+    /// Per-launch prediction accuracy of the profiler's models.
+    PredictionError {
+        /// Kernel name.
+        kernel: String,
+        /// Predicted duration.
+        predicted: SimTime,
+        /// Measured duration.
+        actual: SimTime,
+        /// `|predicted − actual| / actual`.
+        rel_error: f64,
+    },
+    /// An online model refresh was triggered (>10% error, §VI-C).
+    ModelRefresh {
+        /// The fused pair (or kernel) whose model was refit.
+        kernel: String,
+        /// The relative error that triggered the refresh.
+        rel_error: f64,
+    },
+    /// One LC query completed.
+    QueryCompleted {
+        /// Service name.
+        service: String,
+        /// Arrival instant.
+        arrival: SimTime,
+        /// End-to-end latency.
+        latency: SimTime,
+        /// Whether the query missed the QoS target.
+        violated: bool,
+    },
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_str_field(out: &mut String, key: &str, value: &str) {
+    let _ = write!(out, ",\"{key}\":\"");
+    escape(value, out);
+    out.push('"');
+}
+
+fn push_time_field(out: &mut String, key: &str, value: SimTime) {
+    let _ = write!(out, ",\"{key}\":{}", value.as_nanos());
+}
+
+fn push_opt_time_field(out: &mut String, key: &str, value: Option<SimTime>) {
+    if let Some(v) = value {
+        push_time_field(out, key, v);
+    }
+}
+
+impl TraceEvent {
+    /// The stable event-type tag used as the JSON `"ev"` field.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            TraceEvent::PipelineInterval { .. } => "pipeline_interval",
+            TraceEvent::ServerStats { .. } => "server_stats",
+            TraceEvent::BarrierArrival { .. } => "barrier_arrival",
+            TraceEvent::BarrierRelease { .. } => "barrier_release",
+            TraceEvent::Deadlock { .. } => "deadlock",
+            TraceEvent::KernelComplete { .. } => "kernel_complete",
+            TraceEvent::Decision { .. } => "decision",
+            TraceEvent::FusionRejected { .. } => "fusion_rejected",
+            TraceEvent::KernelRetired { .. } => "kernel_retired",
+            TraceEvent::PredictionError { .. } => "prediction_error",
+            TraceEvent::ModelRefresh { .. } => "model_refresh",
+            TraceEvent::QueryCompleted { .. } => "query_completed",
+        }
+    }
+
+    /// Serializes the event as one JSON object with stable field order:
+    /// `"ev"` first, then the variant's fields in declaration order.
+    /// Times are nanoseconds, cycle counts are cycles.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        let _ = write!(out, "{{\"ev\":\"{}\"", self.tag());
+        match self {
+            TraceEvent::PipelineInterval {
+                kernel,
+                pipeline,
+                start_cycles,
+                end_cycles,
+            } => {
+                push_str_field(&mut out, "kernel", kernel);
+                push_str_field(&mut out, "pipeline", pipeline.name());
+                let _ = write!(out, ",\"start_cycles\":{start_cycles:.1}");
+                let _ = write!(out, ",\"end_cycles\":{end_cycles:.1}");
+            }
+            TraceEvent::ServerStats {
+                kernel,
+                server,
+                acquires,
+                busy_cycles,
+                wait_cycles,
+                max_queue_depth,
+            } => {
+                push_str_field(&mut out, "kernel", kernel);
+                push_str_field(&mut out, "server", server.name());
+                let _ = write!(out, ",\"acquires\":{acquires}");
+                let _ = write!(out, ",\"busy_cycles\":{busy_cycles:.1}");
+                let _ = write!(out, ",\"wait_cycles\":{wait_cycles:.1}");
+                let _ = write!(out, ",\"max_queue_depth\":{max_queue_depth}");
+            }
+            TraceEvent::BarrierArrival {
+                kernel,
+                block,
+                barrier,
+                arrived,
+                expected,
+                at_cycles,
+            } => {
+                push_str_field(&mut out, "kernel", kernel);
+                let _ = write!(
+                    out,
+                    ",\"block\":{block},\"barrier\":{barrier},\"arrived\":{arrived},\"expected\":{expected},\"at_cycles\":{at_cycles:.1}"
+                );
+            }
+            TraceEvent::BarrierRelease {
+                kernel,
+                block,
+                barrier,
+                released,
+                at_cycles,
+            } => {
+                push_str_field(&mut out, "kernel", kernel);
+                let _ = write!(
+                    out,
+                    ",\"block\":{block},\"barrier\":{barrier},\"released\":{released},\"at_cycles\":{at_cycles:.1}"
+                );
+            }
+            TraceEvent::Deadlock {
+                kernel,
+                pending_barriers,
+                stuck_warps,
+            } => {
+                push_str_field(&mut out, "kernel", kernel);
+                let ids: Vec<String> = pending_barriers.iter().map(|b| b.to_string()).collect();
+                let _ = write!(
+                    out,
+                    ",\"pending_barriers\":[{}],\"stuck_warps\":{stuck_warps}",
+                    ids.join(",")
+                );
+            }
+            TraceEvent::KernelComplete {
+                kernel,
+                cycles,
+                tc_busy_cycles,
+                cd_busy_cycles,
+                occupancy,
+            } => {
+                push_str_field(&mut out, "kernel", kernel);
+                let _ = write!(
+                    out,
+                    ",\"cycles\":{cycles},\"tc_busy_cycles\":{tc_busy_cycles},\"cd_busy_cycles\":{cd_busy_cycles},\"occupancy\":{occupancy}"
+                );
+            }
+            TraceEvent::Decision {
+                at,
+                kind,
+                kernel,
+                headroom,
+                reorder_headroom,
+                predicted,
+                x_tc,
+                x_cd,
+                t_lc,
+                t_gain,
+            } => {
+                push_time_field(&mut out, "at", *at);
+                push_str_field(&mut out, "kind", kind.name());
+                push_str_field(&mut out, "kernel", kernel);
+                push_time_field(&mut out, "headroom", *headroom);
+                push_time_field(&mut out, "reorder_headroom", *reorder_headroom);
+                push_time_field(&mut out, "predicted", *predicted);
+                push_opt_time_field(&mut out, "x_tc", *x_tc);
+                push_opt_time_field(&mut out, "x_cd", *x_cd);
+                push_opt_time_field(&mut out, "t_lc", *t_lc);
+                push_opt_time_field(&mut out, "t_gain", *t_gain);
+            }
+            TraceEvent::FusionRejected {
+                lc,
+                be,
+                reason,
+                x_tc,
+                x_cd,
+                t_fuse,
+            } => {
+                push_str_field(&mut out, "lc", lc);
+                push_str_field(&mut out, "be", be);
+                push_str_field(&mut out, "reason", reason.name());
+                push_opt_time_field(&mut out, "x_tc", *x_tc);
+                push_opt_time_field(&mut out, "x_cd", *x_cd);
+                push_opt_time_field(&mut out, "t_fuse", *t_fuse);
+            }
+            TraceEvent::KernelRetired {
+                kernel,
+                label,
+                start,
+                end,
+                tc_util,
+                cd_util,
+                predicted,
+                actual,
+            } => {
+                push_str_field(&mut out, "kernel", kernel);
+                push_str_field(&mut out, "label", label);
+                push_time_field(&mut out, "start", *start);
+                push_time_field(&mut out, "end", *end);
+                let _ = write!(out, ",\"tc_util\":{tc_util:.4},\"cd_util\":{cd_util:.4}");
+                push_time_field(&mut out, "predicted", *predicted);
+                push_time_field(&mut out, "actual", *actual);
+            }
+            TraceEvent::PredictionError {
+                kernel,
+                predicted,
+                actual,
+                rel_error,
+            } => {
+                push_str_field(&mut out, "kernel", kernel);
+                push_time_field(&mut out, "predicted", *predicted);
+                push_time_field(&mut out, "actual", *actual);
+                let _ = write!(out, ",\"rel_error\":{rel_error:.6}");
+            }
+            TraceEvent::ModelRefresh { kernel, rel_error } => {
+                push_str_field(&mut out, "kernel", kernel);
+                let _ = write!(out, ",\"rel_error\":{rel_error:.6}");
+            }
+            TraceEvent::QueryCompleted {
+                service,
+                arrival,
+                latency,
+                violated,
+            } => {
+                push_str_field(&mut out, "service", service);
+                push_time_field(&mut out, "arrival", *arrival);
+                push_time_field(&mut out, "latency", *latency);
+                let _ = write!(out, ",\"violated\":{violated}");
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_has_stable_tag_and_escaping() {
+        let ev = TraceEvent::KernelRetired {
+            kernel: "a\"b".into(),
+            label: "LC".into(),
+            start: SimTime::from_micros(1),
+            end: SimTime::from_micros(3),
+            tc_util: 0.5,
+            cd_util: 0.0,
+            predicted: SimTime::from_micros(2),
+            actual: SimTime::from_micros(2),
+        };
+        let j = ev.to_json();
+        assert!(j.starts_with("{\"ev\":\"kernel_retired\""), "{j}");
+        assert!(j.contains("a\\\"b"), "{j}");
+        assert!(j.ends_with('}'), "{j}");
+    }
+
+    #[test]
+    fn optional_fields_are_omitted() {
+        let ev = TraceEvent::Decision {
+            at: SimTime::ZERO,
+            kind: DecisionKind::RunLc,
+            kernel: "k".into(),
+            headroom: SimTime::ZERO,
+            reorder_headroom: SimTime::ZERO,
+            predicted: SimTime::from_micros(5),
+            x_tc: None,
+            x_cd: None,
+            t_lc: None,
+            t_gain: None,
+        };
+        let j = ev.to_json();
+        assert!(!j.contains("x_tc"), "{j}");
+        assert!(j.contains("\"kind\":\"run_lc\""), "{j}");
+    }
+}

@@ -1,0 +1,43 @@
+//! Structured tracing and metrics for the Tacker reproduction.
+//!
+//! The paper's core claims are *observability* claims: Figs. 1/2/15 exist
+//! to expose "false high utilization" and fused-kernel pipeline overlap,
+//! and §VII's manager is judged by predicted-vs-actual duration error.
+//! This crate is the cross-cutting layer that makes those signals
+//! first-class instead of post-hoc:
+//!
+//! * [`TraceSink`] — where typed [`TraceEvent`]s go. [`NoopSink`] is the
+//!   zero-overhead default (emission sites hoist `enabled()` into a bool
+//!   checked before constructing any event), [`RingSink`] keeps the last N
+//!   events in memory for tests and exporters, [`JsonLinesSink`] streams
+//!   events as JSON lines to any writer.
+//! * [`TraceEvent`] — the event vocabulary of the three layers that
+//!   matter: the discrete-event engine (pipeline busy intervals, FCFS
+//!   server queue/wait statistics, barrier arrivals and releases, deadlock
+//!   context), the QoS manager (every fuse/reorder/LC decision with its
+//!   headroom, Equation-8 inputs, predicted `T_fuse` and `T_gain`), and
+//!   the profiler (prediction error per kernel, model-refresh triggers).
+//! * [`MetricsRegistry`] — named [`Counter`]s, [`Gauge`]s and log-bucketed
+//!   streaming [`Histogram`]s, so latency distributions no longer require
+//!   retaining and sorting every sample.
+//! * [`chrome`] — a Chrome trace-event (Perfetto-compatible) exporter
+//!   rendering the device timeline, per-pipeline utilization counters, and
+//!   scheduler decisions as instant events.
+
+pub mod chrome;
+pub mod event;
+pub mod metrics;
+pub mod sink;
+
+pub use chrome::chrome_trace;
+pub use event::{DecisionKind, FusionRejectReason, Pipeline, ServerKind, TraceEvent};
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use sink::{JsonLinesSink, NoopSink, RingSink, TraceSink};
+
+/// Utilization above which a pipeline counts as *active* on a timeline
+/// entry. Shared by `tacker-sim`'s [`TimelineEntry`] activity queries and
+/// the [`chrome`] exporter so both agree on what lands on a pipeline
+/// track (Figs. 1/2/15's notion of a busy pipeline).
+///
+/// [`TimelineEntry`]: https://docs.rs/tacker-sim
+pub const PIPELINE_ACTIVE_THRESHOLD: f64 = 0.05;

@@ -1,0 +1,186 @@
+//! Trace sinks: where [`TraceEvent`]s go.
+//!
+//! Emission sites are expected to hoist [`TraceSink::enabled`] into a local
+//! `bool` once (at engine/manager construction) and branch on it before
+//! building any event, so the disabled path costs one predictable branch —
+//! never an allocation or a virtual call per operation.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::Mutex;
+
+use crate::event::TraceEvent;
+
+/// A consumer of trace events. Implementations must be cheap to call and
+/// thread-safe; `record` may be invoked from hot simulation loops.
+pub trait TraceSink: Send + Sync {
+    /// Whether this sink wants events at all. Emission sites hoist this
+    /// into a bool and skip event construction entirely when `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Consume one event.
+    fn record(&self, event: TraceEvent);
+
+    /// Flush any buffered output (no-op for in-memory sinks).
+    fn flush(&self) {}
+}
+
+/// The zero-overhead default: reports `enabled() == false` and drops
+/// anything recorded anyway.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _event: TraceEvent) {}
+}
+
+/// An in-memory ring buffer keeping the most recent `capacity` events.
+/// The workhorse for tests and for the Chrome exporter, which needs the
+/// whole event stream in memory anyway.
+pub struct RingSink {
+    capacity: usize,
+    events: Mutex<VecDeque<TraceEvent>>,
+}
+
+impl RingSink {
+    /// A ring that keeps the last `capacity` events (oldest evicted first).
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            capacity: capacity.max(1),
+            events: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// A ring large enough for any single-run trace in this repo.
+    pub fn unbounded() -> Self {
+        RingSink::new(usize::MAX)
+    }
+
+    /// Snapshot of the buffered events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Drains and returns the buffered events, oldest first.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        self.events.lock().unwrap().drain(..).collect()
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&self, event: TraceEvent) {
+        let mut q = self.events.lock().unwrap();
+        if q.len() == self.capacity {
+            q.pop_front();
+        }
+        q.push_back(event);
+    }
+}
+
+/// Streams each event as one JSON line to an arbitrary writer.
+pub struct JsonLinesSink {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonLinesSink {
+    /// Wraps `out`; each recorded event becomes one `\n`-terminated JSON
+    /// object (see [`TraceEvent::to_json`]).
+    pub fn new(out: Box<dyn Write + Send>) -> Self {
+        JsonLinesSink {
+            out: Mutex::new(out),
+        }
+    }
+}
+
+impl TraceSink for JsonLinesSink {
+    fn record(&self, event: TraceEvent) {
+        let mut line = event.to_json();
+        line.push('\n');
+        let mut out = self.out.lock().unwrap();
+        let _ = out.write_all(line.as_bytes());
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().unwrap().flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn ev(name: &str) -> TraceEvent {
+        TraceEvent::ModelRefresh {
+            kernel: name.into(),
+            rel_error: 0.2,
+        }
+    }
+
+    #[test]
+    fn noop_is_disabled() {
+        assert!(!NoopSink.enabled());
+        NoopSink.record(ev("x"));
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let ring = RingSink::new(2);
+        ring.record(ev("a"));
+        ring.record(ev("b"));
+        ring.record(ev("c"));
+        let names: Vec<String> = ring
+            .events()
+            .into_iter()
+            .map(|e| match e {
+                TraceEvent::ModelRefresh { kernel, .. } => kernel,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(names, ["b", "c"]);
+        assert_eq!(ring.drain().len(), 2);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn json_lines_sink_writes_one_line_per_event() {
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let sink = JsonLinesSink::new(Box::new(Shared(buf.clone())));
+        sink.record(ev("a"));
+        sink.record(ev("b"));
+        sink.flush();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.trim_end().lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            assert!(line.starts_with("{\"ev\":\"model_refresh\""), "{line}");
+            assert!(line.ends_with('}'), "{line}");
+        }
+    }
+}

@@ -17,7 +17,11 @@ fn main() {
         for r in &c.convs {
             println!(
                 "  conv{:<3} M={:<7} N={:<5} K={:<5} rel={:.3} {}",
-                r.index, r.gemm.m, r.gemm.n, r.gemm.k, r.rel_perf,
+                r.index,
+                r.gemm.m,
+                r.gemm.n,
+                r.gemm.k,
+                r.rel_perf,
                 if r.transformed { "TRANSFORMED" } else { "" }
             );
         }

@@ -107,11 +107,13 @@ pub fn compile(graph: &ModelGraph, device: &Device, policy: ConvPolicy) -> Compi
                     ConvPolicy::Im2colAll => (true, 1.0),
                     ConvPolicy::Profitable(threshold) => {
                         let t_cudnn = measure(device, &cudnn_wk);
-                        let t_path: SimTime =
-                            path.iter().map(|wk| measure(device, wk)).sum();
+                        let t_path: SimTime = path.iter().map(|wk| measure(device, wk)).sum();
                         let rel = t_cudnn.ratio(t_path);
-                        (t_path.as_nanos() as f64
-                            <= t_cudnn.as_nanos() as f64 * (1.0 + threshold), rel)
+                        (
+                            t_path.as_nanos() as f64
+                                <= t_cudnn.as_nanos() as f64 * (1.0 + threshold),
+                            rel,
+                        )
                     }
                 };
                 convs.push(ConvReport {
@@ -128,7 +130,10 @@ pub fn compile(graph: &ModelGraph, device: &Device, policy: ConvPolicy) -> Compi
                 }
             }
             Layer::BatchNorm => {
-                kernels.push(ew::elementwise_workload(&ew::batch_norm(), inst.output.elems()));
+                kernels.push(ew::elementwise_workload(
+                    &ew::batch_norm(),
+                    inst.output.elems(),
+                ));
             }
             Layer::ReLU => {
                 kernels.push(ew::elementwise_workload(&ew::relu(), inst.output.elems()));
@@ -177,10 +182,7 @@ mod tests {
         assert_eq!(c.convs.len(), 13);
         assert_eq!(c.transformed_fraction(), 0.0);
         // cuDNN kernels are named per Fig. 22.
-        assert!(c
-            .kernels
-            .iter()
-            .any(|k| k.def.name().contains("cudnn")));
+        assert!(c.kernels.iter().any(|k| k.def.name().contains("cudnn")));
         assert!(!c.kernels.iter().any(|k| k.def.name() == "cudnnIm2col"));
     }
 

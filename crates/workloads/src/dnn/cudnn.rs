@@ -244,8 +244,9 @@ pub fn impl_for(gemm: GemmShape, filter: u32, sm: &SmCapacity) -> &'static Cudnn
 
 /// The kernel definition for one cuDNN implementation (shared per impl).
 pub fn conv_kernel(ci: &CudnnImpl) -> Arc<KernelDef> {
-    static DEFS: OnceLock<std::sync::Mutex<std::collections::HashMap<&'static str, Arc<KernelDef>>>> =
-        OnceLock::new();
+    static DEFS: OnceLock<
+        std::sync::Mutex<std::collections::HashMap<&'static str, Arc<KernelDef>>>,
+    > = OnceLock::new();
     let map = DEFS.get_or_init(Default::default);
     let mut map = map.lock().expect("cudnn def map poisoned");
     Arc::clone(map.entry(ci.short).or_insert_with(|| {
@@ -350,9 +351,13 @@ mod tests {
     #[test]
     fn every_catalog_name_follows_the_fig22_convention() {
         for ci in TURING_IMPLS.iter().chain(VOLTA_IMPLS.iter()) {
-            let d = parse_kernel_name(ci.name)
-                .unwrap_or_else(|| panic!("{} does not decode", ci.name));
-            let expected_arch = if ci.short.starts_with('T') { "turing" } else { "volta" };
+            let d =
+                parse_kernel_name(ci.name).unwrap_or_else(|| panic!("{} does not decode", ci.name));
+            let expected_arch = if ci.short.starts_with('T') {
+                "turing"
+            } else {
+                "volta"
+            };
             assert_eq!(d.arch, expected_arch, "{}", ci.short);
             // "884 or 1688 indicate using Tensor Core" (Fig. 22).
             assert!(d.hmma == "884" || d.hmma == "1688", "{}", ci.short);

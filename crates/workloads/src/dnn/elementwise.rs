@@ -62,7 +62,13 @@ shared_def!(
 );
 shared_def!(
     batch_norm,
-    streaming_kernel("BN", 2, 2, 6, "out[i] = gamma[c] * (in[i] - mu[c]) * rsig[c] + beta[c]"),
+    streaming_kernel(
+        "BN",
+        2,
+        2,
+        6,
+        "out[i] = gamma[c] * (in[i] - mu[c]) * rsig[c] + beta[c]"
+    ),
     "The inference batch-normalization kernel (scale + shift)."
 );
 shared_def!(

@@ -59,9 +59,7 @@ impl ModelGraph {
             .iter()
             .map(|l| match l.layer {
                 Layer::Conv(c) => c.params(l.input),
-                Layer::FullyConnected { out } => {
-                    out * (l.input.elems() / l.input.n.max(1))
-                }
+                Layer::FullyConnected { out } => out * (l.input.elems() / l.input.n.max(1)),
                 _ => 0,
             })
             .sum()
@@ -120,7 +118,12 @@ impl GraphBuilder {
 
     /// Convolution.
     pub fn conv(&mut self, out_channels: u64, kernel: u32, stride: u32, pad: u32) -> &mut Self {
-        self.push(Layer::Conv(ConvSpec::new(out_channels, kernel, stride, pad)))
+        self.push(Layer::Conv(ConvSpec::new(
+            out_channels,
+            kernel,
+            stride,
+            pad,
+        )))
     }
 
     /// Grouped convolution.
@@ -142,7 +145,13 @@ impl GraphBuilder {
     }
 
     /// Conv + BN + ReLU, the standard block.
-    pub fn conv_bn_relu(&mut self, out_channels: u64, kernel: u32, stride: u32, pad: u32) -> &mut Self {
+    pub fn conv_bn_relu(
+        &mut self,
+        out_channels: u64,
+        kernel: u32,
+        stride: u32,
+        pad: u32,
+    ) -> &mut Self {
         self.conv(out_channels, kernel, stride, pad).bn().relu()
     }
 

@@ -88,9 +88,7 @@ impl ConvSpec {
 
     /// Weight parameter count: `C_out × C_in/groups × k²`.
     pub fn params(&self, input: TensorShape) -> u64 {
-        self.out_channels
-            * (input.c / self.groups as u64).max(1)
-            * (self.kernel as u64).pow(2)
+        self.out_channels * (input.c / self.groups as u64).max(1) * (self.kernel as u64).pow(2)
     }
 }
 

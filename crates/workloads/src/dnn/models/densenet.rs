@@ -16,7 +16,12 @@ const BLOCKS: [usize; 4] = [6, 12, 24, 16];
 /// (k), then concatenation.
 fn dense_layer(b: &mut GraphBuilder) {
     let in_c = b.shape().c;
-    b.bn().relu().conv(4 * GROWTH, 1, 1, 0).bn().relu().conv(GROWTH, 3, 1, 1);
+    b.bn()
+        .relu()
+        .conv(4 * GROWTH, 1, 1, 0)
+        .bn()
+        .relu()
+        .conv(GROWTH, 3, 1, 1);
     b.set_channels(in_c + GROWTH);
 }
 

@@ -25,7 +25,9 @@ fn inception_a(b: &mut GraphBuilder, pool_c: u64) {
     // 1x1 branch.
     b.conv_bn_relu(64, 1, 1, 0);
     // 5x5 branch.
-    b.set_shape(input).conv_bn_relu(48, 1, 1, 0).conv_bn_relu(64, 5, 1, 2);
+    b.set_shape(input)
+        .conv_bn_relu(48, 1, 1, 0)
+        .conv_bn_relu(64, 5, 1, 2);
     // double 3x3 branch.
     b.set_shape(input)
         .conv_bn_relu(64, 1, 1, 0)

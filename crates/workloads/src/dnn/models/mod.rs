@@ -18,7 +18,10 @@ mod tests {
         assert_eq!(DnnModel::Vgg19.graph(1).conv_count(), 16);
         assert_eq!(DnnModel::Densenet121.graph(1).conv_count(), 120);
         let inception = DnnModel::InceptionV3.graph(1).conv_count();
-        assert!((90..=96).contains(&inception), "inception convs {inception}");
+        assert!(
+            (90..=96).contains(&inception),
+            "inception convs {inception}"
+        );
     }
 
     #[test]
@@ -57,7 +60,10 @@ mod tests {
         for (m, published) in checks {
             let got = mparams(m);
             let rel = (got - published).abs() / published;
-            assert!(rel < 0.25, "{m}: {got:.1} M params vs published {published} M");
+            assert!(
+                rel < 0.25,
+                "{m}: {got:.1} M params vs published {published} M"
+            );
         }
         // Parameter counts are batch-invariant.
         assert_eq!(

@@ -60,20 +60,18 @@ pub fn training_task(model: DnnModel, batch: u64) -> Vec<WorkloadKernel> {
                 &ew::batch_norm(),
                 inst.output.elems(),
             )),
-            Layer::ReLU => {
-                kernels.push(ew::elementwise_workload(&ew::relu(), inst.output.elems()))
-            }
+            Layer::ReLU => kernels.push(ew::elementwise_workload(&ew::relu(), inst.output.elems())),
             Layer::Scale => {
                 kernels.push(ew::elementwise_workload(&ew::scale(), inst.output.elems()))
             }
             Layer::Add => kernels.push(ew::elementwise_workload(&ew::add(), inst.output.elems())),
-            Layer::MaxPool { k, .. } | Layer::AvgPool { k, .. } => kernels.push(
-                ew::pool_workload(inst.output.elems(), (k as u64) * (k as u64)),
-            ),
-            Layer::GlobalAvgPool => kernels.push(ew::pool_workload(
+            Layer::MaxPool { k, .. } | Layer::AvgPool { k, .. } => kernels.push(ew::pool_workload(
                 inst.output.elems(),
-                inst.input.spatial(),
+                (k as u64) * (k as u64),
             )),
+            Layer::GlobalAvgPool => {
+                kernels.push(ew::pool_workload(inst.output.elems(), inst.input.spatial()))
+            }
             Layer::FullyConnected { out } => {
                 let k = inst.input.elems() / inst.input.n.max(1);
                 let g = GemmShape::new(inst.input.n, out, k);
@@ -101,10 +99,9 @@ pub fn training_task(model: DnnModel, batch: u64) -> Vec<WorkloadKernel> {
                 &ew::relu_backward(),
                 inst.output.elems(),
             )),
-            Layer::Scale | Layer::Add => kernels.push(ew::elementwise_workload(
-                &ew::add(),
-                inst.output.elems(),
-            )),
+            Layer::Scale | Layer::Add => {
+                kernels.push(ew::elementwise_workload(&ew::add(), inst.output.elems()))
+            }
             Layer::MaxPool { .. } | Layer::AvgPool { .. } | Layer::GlobalAvgPool => kernels.push(
                 ew::elementwise_workload(&ew::relu_backward(), inst.input.elems()),
             ),

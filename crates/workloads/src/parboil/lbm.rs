@@ -23,7 +23,10 @@ pub fn kernel() -> KernelDef {
             Expr::param("iters"),
             vec![
                 Stmt::global_load("src_grid", Expr::lit(152), 0.2),
-                Stmt::compute_cd(Expr::lit(80), "rho = sum(f); u = momentum(f); f' = collide(f)"),
+                Stmt::compute_cd(
+                    Expr::lit(80),
+                    "rho = sum(f); u = momentum(f); f' = collide(f)",
+                ),
                 Stmt::global_store("dst_grid", Expr::lit(152), 0.0),
             ],
         )])

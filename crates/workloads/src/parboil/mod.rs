@@ -16,8 +16,8 @@
 pub mod bfs;
 pub mod cp;
 pub mod cutcp;
-pub mod histo;
 pub mod fft;
+pub mod histo;
 pub mod lbm;
 pub mod mrif;
 pub mod mriq;

@@ -17,17 +17,20 @@ pub fn kernel() -> KernelDef {
         .block_dim(Dim3::x(256))
         .resources(ResourceUsage::new(28, 0))
         .param("iters")
-        .body(vec![Stmt::loop_over(
-            "nz",
-            Expr::param("iters"),
-            vec![
-                // Matrix values + column indices stream once.
-                Stmt::global_load("jds_data", Expr::lit(96), 0.1),
-                // Gathered vector entries have some temporal locality.
-                Stmt::global_load("x_vec", Expr::lit(16), 0.6),
-                Stmt::compute_cd(Expr::lit(32), "acc += val * x[col]"),
-            ],
-        ), Stmt::global_store("y_vec", Expr::lit(8), 0.0)])
+        .body(vec![
+            Stmt::loop_over(
+                "nz",
+                Expr::param("iters"),
+                vec![
+                    // Matrix values + column indices stream once.
+                    Stmt::global_load("jds_data", Expr::lit(96), 0.1),
+                    // Gathered vector entries have some temporal locality.
+                    Stmt::global_load("x_vec", Expr::lit(16), 0.6),
+                    Stmt::compute_cd(Expr::lit(32), "acc += val * x[col]"),
+                ],
+            ),
+            Stmt::global_store("y_vec", Expr::lit(8), 0.0),
+        ])
         .build()
         .expect("spmv kernel is valid")
 }

@@ -25,7 +25,10 @@ pub fn kernel() -> KernelDef {
                 Expr::param("iters"),
                 vec![
                     Stmt::global_load("cartesian", Expr::lit(64), 0.35),
-                    Stmt::compute_cd(Expr::lit(96), "dot = xi*xj + yi*yj + zi*zj; bin = bsearch(dot)"),
+                    Stmt::compute_cd(
+                        Expr::lit(96),
+                        "dot = xi*xj + yi*yj + zi*zj; bin = bsearch(dot)",
+                    ),
                     Stmt::shared_access(MemDir::Write, "hist", Expr::lit(8)),
                 ],
             ),
@@ -60,9 +63,9 @@ mod tests {
     fn scattered_loads_have_low_locality() {
         let def = kernel();
         let has_low_loc = def.body().iter().any(|s| match s {
-            Stmt::Loop { body, .. } => body.iter().any(|s| {
-                matches!(s, Stmt::MemAccess { locality, .. } if *locality < 0.5)
-            }),
+            Stmt::Loop { body, .. } => body
+                .iter()
+                .any(|s| matches!(s, Stmt::MemAccess { locality, .. } if *locality < 0.5)),
             _ => false,
         });
         assert!(has_low_loc);

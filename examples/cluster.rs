@@ -18,13 +18,28 @@ use tacker_workloads::{BeApp, Intensity};
 fn main() -> Result<(), Box<dyn Error>> {
     // A small cluster: two Turing nodes and one Volta node.
     let mut cluster = ClusterManager::new(3); // occurrence threshold
-    cluster.add_node(GpuNode::new("turing-0", Arc::new(Device::new(GpuSpec::rtx2080ti()))));
-    cluster.add_node(GpuNode::new("turing-1", Arc::new(Device::new(GpuSpec::rtx2080ti()))));
-    cluster.add_node(GpuNode::new("volta-0", Arc::new(Device::new(GpuSpec::v100()))));
+    cluster.add_node(GpuNode::new(
+        "turing-0",
+        Arc::new(Device::new(GpuSpec::rtx2080ti())),
+    ));
+    cluster.add_node(GpuNode::new(
+        "turing-1",
+        Arc::new(Device::new(GpuSpec::rtx2080ti())),
+    ));
+    cluster.add_node(GpuNode::new(
+        "volta-0",
+        Arc::new(Device::new(GpuSpec::v100())),
+    ));
 
     // BE applications live on specific nodes.
-    cluster.place_be("turing-0", BeApp::new("cutcp", Intensity::Compute, Benchmark::Cutcp.task()))?;
-    cluster.place_be("volta-0", BeApp::new("mriq", Intensity::Compute, Benchmark::Mriq.task()))?;
+    cluster.place_be(
+        "turing-0",
+        BeApp::new("cutcp", Intensity::Compute, Benchmark::Cutcp.task()),
+    )?;
+    cluster.place_be(
+        "volta-0",
+        BeApp::new("mriq", Intensity::Compute, Benchmark::Mriq.task()),
+    )?;
 
     // The LC service is deployed repeatedly; fusion preparation only kicks
     // in once it proves long-running (threshold crossings).
@@ -49,7 +64,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
     // Nodes without resident BE apps received nothing.
     assert_eq!(
-        cluster.node("turing-1").expect("node").library().prepared_pairs(),
+        cluster
+            .node("turing-1")
+            .expect("node")
+            .library()
+            .prepared_pairs(),
         0
     );
     println!("\nnode turing-1 hosts no BE apps and received no fused kernels.");

@@ -15,29 +15,42 @@ use tacker_sim::{Device, GpuSpec};
 fn main() -> Result<(), Box<dyn Error>> {
     let be_name = std::env::args().nth(1).unwrap_or_else(|| "fft".to_string());
     let device = Arc::new(Device::new(GpuSpec::rtx2080ti()));
-    let lc = tacker_workloads::lc_service("Resnet50", &device)
-        .ok_or("unknown LC service")?;
+    let lc = tacker_workloads::lc_service("Resnet50", &device).ok_or("unknown LC service")?;
     let be = vec![tacker_workloads::be_app(&be_name)
         .ok_or_else(|| format!("unknown BE app `{be_name}` — try fft, sgemm, cutcp, lbm…"))?];
-    let config = ExperimentConfig::default().with_queries(100).with_timeline();
+    let config = ExperimentConfig::default()
+        .with_queries(100)
+        .with_timeline();
 
-    println!("Resnet50 (QoS {}) co-located with {be_name}:\n", config.qos_target);
+    println!(
+        "Resnet50 (QoS {}) co-located with {be_name}:\n",
+        config.qos_target
+    );
     let mut rates = Vec::new();
     for policy in [Policy::Baymax, Policy::Tacker] {
         let r = run_colocation(&device, &lc, &be, policy, &config)?;
         println!("== {policy:?} ==");
-        println!("  mean latency {:.2} ms, p99 {:.2} ms, QoS {}",
+        println!(
+            "  mean latency {:.2} ms, p99 {:.2} ms, QoS {}",
             r.mean_latency().as_millis_f64(),
             r.p99_latency().as_millis_f64(),
-            if r.qos_met() { "met" } else { "violated" });
-        println!("  BE work rate {:.3} (fused {} / reordered {} launches)",
-            r.be_work_rate(), r.fused_launches, r.reordered_launches);
+            if r.qos_met() { "met" } else { "violated" }
+        );
+        println!(
+            "  BE work rate {:.3} (fused {} / reordered {} launches)",
+            r.be_work_rate(),
+            r.fused_launches,
+            r.reordered_launches
+        );
         if let Some(tl) = &r.timeline {
             println!("  TC/CD activity (first part of the run):");
             for line in tl.render_ascii(96).lines() {
                 println!("    {line}");
             }
-            println!("  both core types simultaneously active: {}", tl.both_active_time());
+            println!(
+                "  both core types simultaneously active: {}",
+                tl.both_active_time()
+            );
         }
         rates.push(r.be_work_rate());
         println!();

@@ -15,7 +15,9 @@ use tacker_workloads::gemm::{gemm_workload, GemmShape};
 use tacker_workloads::parboil::Benchmark;
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "cutcp".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "cutcp".to_string());
     let bench = Benchmark::ALL
         .into_iter()
         .find(|b| b.name() == name)
@@ -33,7 +35,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let t_cd = device.run_launch(&cd.launch())?.duration;
     let sequential = t_tc + t_cd;
     println!("GEMM solo {t_tc}, {name} solo {t_cd} → sequential {sequential}\n");
-    println!("{:>9} {:>9} {:>12} {:>8} {:>10}", "config", "occ", "duration", "TC busy", "vs seq");
+    println!(
+        "{:>9} {:>9} {:>12} {:>8} {:>10}",
+        "config", "occ", "duration", "TC busy", "vs seq"
+    );
 
     let mut best: Option<(String, tacker_kernel::SimTime)> = None;
     for cfg in enumerate_configs(&tc.def, &cd.def, &spec.sm, PackPriority::TensorFirst) {

@@ -49,10 +49,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     let plan = ExecutablePlan::from_launch(device.spec(), &launch)?;
     let run = device.run_plan(&plan)?;
     println!("fused predicted: {predicted}");
-    println!("fused actual:    {} (TC busy {:.0}%, CD busy {:.0}%)",
+    println!(
+        "fused actual:    {} (TC busy {:.0}%, CD busy {:.0}%)",
         run.duration,
         100.0 * run.activity.tc_utilization(run.cycles),
-        100.0 * run.activity.cd_utilization(run.cycles));
+        100.0 * run.activity.cd_utilization(run.cycles)
+    );
     println!(
         "sequential would take {} — fusion saves {:.0}%",
         solo_tc + solo_cd,

@@ -1,0 +1,23 @@
+//! Sampling from explicit value lists.
+
+use crate::{Strategy, TestRng};
+
+/// Uniformly selects one of the given values.
+pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+    assert!(!values.is_empty(), "select requires at least one value");
+    Select { values }
+}
+
+/// The [`select`] strategy.
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    values: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.values[rng.below(self.values.len() as u64) as usize].clone()
+    }
+}

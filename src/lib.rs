@@ -3,11 +3,12 @@
 //! Re-exports the public crates so examples and integration tests can use a
 //! single dependency. See the individual crates for the real APIs:
 //! [`tacker`], [`tacker_fuser`], [`tacker_sim`], [`tacker_predictor`],
-//! [`tacker_workloads`], [`tacker_kernel`].
+//! [`tacker_workloads`], [`tacker_kernel`], [`tacker_trace`].
 
 pub use tacker;
 pub use tacker_fuser;
 pub use tacker_kernel;
 pub use tacker_predictor;
 pub use tacker_sim;
+pub use tacker_trace;
 pub use tacker_workloads;

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-20382f07db58bff3.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-20382f07db58bff3: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-30763dbae5ff9c38.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-30763dbae5ff9c38: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/codegen_golden-17c41b2e0dc53f73.d: tests/codegen_golden.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcodegen_golden-17c41b2e0dc53f73.rmeta: tests/codegen_golden.rs Cargo.toml
+
+tests/codegen_golden.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

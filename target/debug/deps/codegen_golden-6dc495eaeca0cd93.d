@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codegen_golden-6dc495eaeca0cd93.d: tests/codegen_golden.rs
+
+/root/repo/target/debug/deps/codegen_golden-6dc495eaeca0cd93: tests/codegen_golden.rs
+
+tests/codegen_golden.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codegen_golden-741c779e5ec911fd.d: tests/codegen_golden.rs
+
+/root/repo/target/debug/deps/codegen_golden-741c779e5ec911fd: tests/codegen_golden.rs
+
+tests/codegen_golden.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-7f6d45eefbbc635f.d: crates/fuser/tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-7f6d45eefbbc635f: crates/fuser/tests/end_to_end.rs
+
+crates/fuser/tests/end_to_end.rs:

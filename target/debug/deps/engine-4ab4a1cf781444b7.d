@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine-4ab4a1cf781444b7.d: crates/bench/benches/engine.rs
+
+/root/repo/target/debug/deps/engine-4ab4a1cf781444b7: crates/bench/benches/engine.rs
+
+crates/bench/benches/engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_behavior-512889a3d3ddfffc.d: tests/engine_behavior.rs
+
+/root/repo/target/debug/deps/engine_behavior-512889a3d3ddfffc: tests/engine_behavior.rs
+
+tests/engine_behavior.rs:

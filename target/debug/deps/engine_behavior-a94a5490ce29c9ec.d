@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_behavior-a94a5490ce29c9ec.d: tests/engine_behavior.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_behavior-a94a5490ce29c9ec.rmeta: tests/engine_behavior.rs Cargo.toml
+
+tests/engine_behavior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_behavior-eed58f1c08dad37c.d: tests/engine_behavior.rs
+
+/root/repo/target/debug/deps/engine_behavior-eed58f1c08dad37c: tests/engine_behavior.rs
+
+tests/engine_behavior.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01-0c9a171eb38d02bf.d: crates/bench/src/bin/fig01.rs
+
+/root/repo/target/debug/deps/fig01-0c9a171eb38d02bf: crates/bench/src/bin/fig01.rs
+
+crates/bench/src/bin/fig01.rs:

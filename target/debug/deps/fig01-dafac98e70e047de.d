@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01-dafac98e70e047de.d: crates/bench/src/bin/fig01.rs
+
+/root/repo/target/debug/deps/fig01-dafac98e70e047de: crates/bench/src/bin/fig01.rs
+
+crates/bench/src/bin/fig01.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02-7f3dfa394471ac93.d: crates/bench/src/bin/fig02.rs
+
+/root/repo/target/debug/deps/fig02-7f3dfa394471ac93: crates/bench/src/bin/fig02.rs
+
+crates/bench/src/bin/fig02.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02-a532f3bbfe7dc307.d: crates/bench/src/bin/fig02.rs
+
+/root/repo/target/debug/deps/fig02-a532f3bbfe7dc307: crates/bench/src/bin/fig02.rs
+
+crates/bench/src/bin/fig02.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03-83cebab90f01af10.d: crates/bench/src/bin/fig03.rs
+
+/root/repo/target/debug/deps/fig03-83cebab90f01af10: crates/bench/src/bin/fig03.rs
+
+crates/bench/src/bin/fig03.rs:

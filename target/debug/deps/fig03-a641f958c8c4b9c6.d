@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03-a641f958c8c4b9c6.d: crates/bench/src/bin/fig03.rs
+
+/root/repo/target/debug/deps/fig03-a641f958c8c4b9c6: crates/bench/src/bin/fig03.rs
+
+crates/bench/src/bin/fig03.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-26d8a442743dfc83.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-26d8a442743dfc83: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

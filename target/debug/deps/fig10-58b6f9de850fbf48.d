@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-58b6f9de850fbf48.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-58b6f9de850fbf48: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11-0db3c8fd8e409093.d: crates/bench/src/bin/fig11.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11-0db3c8fd8e409093.rmeta: crates/bench/src/bin/fig11.rs Cargo.toml
+
+crates/bench/src/bin/fig11.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-9e6a0740563d6deb.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-9e6a0740563d6deb: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-ca3dc9016b75a502.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-ca3dc9016b75a502: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-193e0d1bc89a9876.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-193e0d1bc89a9876: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-fc85e0762fcdbe64.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-fc85e0762fcdbe64: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15-5413143bc01e69ec.d: crates/bench/src/bin/fig15.rs
+
+/root/repo/target/debug/deps/fig15-5413143bc01e69ec: crates/bench/src/bin/fig15.rs
+
+crates/bench/src/bin/fig15.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15-8421885e5d30d096.d: crates/bench/src/bin/fig15.rs
+
+/root/repo/target/debug/deps/fig15-8421885e5d30d096: crates/bench/src/bin/fig15.rs
+
+crates/bench/src/bin/fig15.rs:

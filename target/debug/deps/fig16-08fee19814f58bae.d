@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16-08fee19814f58bae.d: crates/bench/src/bin/fig16.rs
+
+/root/repo/target/debug/deps/fig16-08fee19814f58bae: crates/bench/src/bin/fig16.rs
+
+crates/bench/src/bin/fig16.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16-43591534101b972a.d: crates/bench/src/bin/fig16.rs
+
+/root/repo/target/debug/deps/fig16-43591534101b972a: crates/bench/src/bin/fig16.rs
+
+crates/bench/src/bin/fig16.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17-1e3841e66eb0234d.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/debug/deps/fig17-1e3841e66eb0234d: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17-a02134bbcdfe8c23.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/debug/deps/fig17-a02134bbcdfe8c23: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18-3ab0e0cb05e97914.d: crates/bench/src/bin/fig18.rs
+
+/root/repo/target/debug/deps/fig18-3ab0e0cb05e97914: crates/bench/src/bin/fig18.rs
+
+crates/bench/src/bin/fig18.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18-d1d517b271b04c53.d: crates/bench/src/bin/fig18.rs
+
+/root/repo/target/debug/deps/fig18-d1d517b271b04c53: crates/bench/src/bin/fig18.rs
+
+crates/bench/src/bin/fig18.rs:

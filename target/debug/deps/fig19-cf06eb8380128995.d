@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19-cf06eb8380128995.d: crates/bench/src/bin/fig19.rs
+
+/root/repo/target/debug/deps/fig19-cf06eb8380128995: crates/bench/src/bin/fig19.rs
+
+crates/bench/src/bin/fig19.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19-d08f10649468d811.d: crates/bench/src/bin/fig19.rs
+
+/root/repo/target/debug/deps/fig19-d08f10649468d811: crates/bench/src/bin/fig19.rs
+
+crates/bench/src/bin/fig19.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig20-53395c52e7cfbfce.d: crates/bench/src/bin/fig20.rs
+
+/root/repo/target/debug/deps/fig20-53395c52e7cfbfce: crates/bench/src/bin/fig20.rs
+
+crates/bench/src/bin/fig20.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig20-635e058b9af1a75c.d: crates/bench/src/bin/fig20.rs
+
+/root/repo/target/debug/deps/fig20-635e058b9af1a75c: crates/bench/src/bin/fig20.rs
+
+crates/bench/src/bin/fig20.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig21-0e266e6e8fcdedff.d: crates/bench/src/bin/fig21.rs
+
+/root/repo/target/debug/deps/fig21-0e266e6e8fcdedff: crates/bench/src/bin/fig21.rs
+
+crates/bench/src/bin/fig21.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig21-cfa37fc6b20e142a.d: crates/bench/src/bin/fig21.rs
+
+/root/repo/target/debug/deps/fig21-cfa37fc6b20e142a: crates/bench/src/bin/fig21.rs
+
+crates/bench/src/bin/fig21.rs:

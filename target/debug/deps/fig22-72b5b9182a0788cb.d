@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig22-72b5b9182a0788cb.d: crates/bench/src/bin/fig22.rs
+
+/root/repo/target/debug/deps/fig22-72b5b9182a0788cb: crates/bench/src/bin/fig22.rs
+
+crates/bench/src/bin/fig22.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig22-83e7e9b04549e4a8.d: crates/bench/src/bin/fig22.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig22-83e7e9b04549e4a8.rmeta: crates/bench/src/bin/fig22.rs Cargo.toml
+
+crates/bench/src/bin/fig22.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

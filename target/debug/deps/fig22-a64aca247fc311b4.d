@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig22-a64aca247fc311b4.d: crates/bench/src/bin/fig22.rs
+
+/root/repo/target/debug/deps/fig22-a64aca247fc311b4: crates/bench/src/bin/fig22.rs
+
+crates/bench/src/bin/fig22.rs:

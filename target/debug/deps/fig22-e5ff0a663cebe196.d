@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig22-e5ff0a663cebe196.d: crates/bench/src/bin/fig22.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig22-e5ff0a663cebe196.rmeta: crates/bench/src/bin/fig22.rs Cargo.toml
+
+crates/bench/src/bin/fig22.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

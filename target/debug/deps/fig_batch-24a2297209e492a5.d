@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_batch-24a2297209e492a5.d: crates/bench/src/bin/fig_batch.rs
+
+/root/repo/target/debug/deps/fig_batch-24a2297209e492a5: crates/bench/src/bin/fig_batch.rs
+
+crates/bench/src/bin/fig_batch.rs:

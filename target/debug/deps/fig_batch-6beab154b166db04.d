@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_batch-6beab154b166db04.d: crates/bench/src/bin/fig_batch.rs
+
+/root/repo/target/debug/deps/fig_batch-6beab154b166db04: crates/bench/src/bin/fig_batch.rs
+
+crates/bench/src/bin/fig_batch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuser-33ce264955a99504.d: crates/bench/benches/fuser.rs
+
+/root/repo/target/debug/deps/fuser-33ce264955a99504: crates/bench/benches/fuser.rs
+
+crates/bench/benches/fuser.rs:

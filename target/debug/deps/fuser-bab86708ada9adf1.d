@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fuser-bab86708ada9adf1.d: crates/bench/benches/fuser.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuser-bab86708ada9adf1.rmeta: crates/bench/benches/fuser.rs Cargo.toml
+
+crates/bench/benches/fuser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

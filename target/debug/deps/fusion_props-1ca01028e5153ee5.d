@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fusion_props-1ca01028e5153ee5.d: tests/fusion_props.rs
+
+/root/repo/target/debug/deps/fusion_props-1ca01028e5153ee5: tests/fusion_props.rs
+
+tests/fusion_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fusion_props-bf4fde4e5beffdc8.d: tests/fusion_props.rs
+
+/root/repo/target/debug/deps/fusion_props-bf4fde4e5beffdc8: tests/fusion_props.rs
+
+tests/fusion_props.rs:

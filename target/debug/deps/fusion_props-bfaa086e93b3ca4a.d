@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fusion_props-bfaa086e93b3ca4a.d: tests/fusion_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfusion_props-bfaa086e93b3ca4a.rmeta: tests/fusion_props.rs Cargo.toml
+
+tests/fusion_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

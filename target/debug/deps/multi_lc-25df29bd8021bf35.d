@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_lc-25df29bd8021bf35.d: crates/bench/src/bin/multi_lc.rs
+
+/root/repo/target/debug/deps/multi_lc-25df29bd8021bf35: crates/bench/src/bin/multi_lc.rs
+
+crates/bench/src/bin/multi_lc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_lc-2a9f9cd892efb770.d: crates/bench/src/bin/multi_lc.rs
+
+/root/repo/target/debug/deps/multi_lc-2a9f9cd892efb770: crates/bench/src/bin/multi_lc.rs
+
+crates/bench/src/bin/multi_lc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-8fd8a4c5997d8add.d: tests/observability.rs
+
+/root/repo/target/debug/deps/observability-8fd8a4c5997d8add: tests/observability.rs
+
+tests/observability.rs:

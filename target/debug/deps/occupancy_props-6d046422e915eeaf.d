@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/occupancy_props-6d046422e915eeaf.d: tests/occupancy_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboccupancy_props-6d046422e915eeaf.rmeta: tests/occupancy_props.rs Cargo.toml
+
+tests/occupancy_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/occupancy_props-6dcc7945702a542b.d: tests/occupancy_props.rs
+
+/root/repo/target/debug/deps/occupancy_props-6dcc7945702a542b: tests/occupancy_props.rs
+
+tests/occupancy_props.rs:

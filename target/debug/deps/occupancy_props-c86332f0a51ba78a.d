@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/occupancy_props-c86332f0a51ba78a.d: tests/occupancy_props.rs
+
+/root/repo/target/debug/deps/occupancy_props-c86332f0a51ba78a: tests/occupancy_props.rs
+
+tests/occupancy_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overhead-5df7b8b083ed78bb.d: crates/bench/benches/overhead.rs
+
+/root/repo/target/debug/deps/overhead-5df7b8b083ed78bb: crates/bench/benches/overhead.rs
+
+crates/bench/benches/overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overheads-48014c17f2c2ec36.d: crates/bench/src/bin/overheads.rs
+
+/root/repo/target/debug/deps/overheads-48014c17f2c2ec36: crates/bench/src/bin/overheads.rs
+
+crates/bench/src/bin/overheads.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overheads-6844748a23d6084f.d: crates/bench/src/bin/overheads.rs
+
+/root/repo/target/debug/deps/overheads-6844748a23d6084f: crates/bench/src/bin/overheads.rs
+
+crates/bench/src/bin/overheads.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/overheads-7aec59bdc6c1de53.d: crates/bench/src/bin/overheads.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboverheads-7aec59bdc6c1de53.rmeta: crates/bench/src/bin/overheads.rs Cargo.toml
+
+crates/bench/src/bin/overheads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-db796093c1ff2828.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-db796093c1ff2828: tests/paper_claims.rs
+
+tests/paper_claims.rs:

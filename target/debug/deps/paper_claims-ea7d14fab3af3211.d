@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-ea7d14fab3af3211.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-ea7d14fab3af3211: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/predictor-6d11ddf791b0f846.d: crates/bench/benches/predictor.rs
+
+/root/repo/target/debug/deps/predictor-6d11ddf791b0f846: crates/bench/benches/predictor.rs
+
+crates/bench/benches/predictor.rs:

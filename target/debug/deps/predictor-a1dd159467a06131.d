@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/predictor-a1dd159467a06131.d: crates/bench/benches/predictor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpredictor-a1dd159467a06131.rmeta: crates/bench/benches/predictor.rs Cargo.toml
+
+crates/bench/benches/predictor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/predictor_props-4da525d68423fa8c.d: tests/predictor_props.rs
+
+/root/repo/target/debug/deps/predictor_props-4da525d68423fa8c: tests/predictor_props.rs
+
+tests/predictor_props.rs:

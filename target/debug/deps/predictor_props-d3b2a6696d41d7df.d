@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/predictor_props-d3b2a6696d41d7df.d: tests/predictor_props.rs
+
+/root/repo/target/debug/deps/predictor_props-d3b2a6696d41d7df: tests/predictor_props.rs
+
+tests/predictor_props.rs:

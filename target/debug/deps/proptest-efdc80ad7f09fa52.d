@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-efdc80ad7f09fa52.d: shims/proptest/src/lib.rs shims/proptest/src/collection.rs shims/proptest/src/sample.rs
+
+/root/repo/target/debug/deps/proptest-efdc80ad7f09fa52: shims/proptest/src/lib.rs shims/proptest/src/collection.rs shims/proptest/src/sample.rs
+
+shims/proptest/src/lib.rs:
+shims/proptest/src/collection.rs:
+shims/proptest/src/sample.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_behavior-42fd84201aeb9d0f.d: tests/runtime_behavior.rs
+
+/root/repo/target/debug/deps/runtime_behavior-42fd84201aeb9d0f: tests/runtime_behavior.rs
+
+tests/runtime_behavior.rs:

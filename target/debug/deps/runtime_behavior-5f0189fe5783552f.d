@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_behavior-5f0189fe5783552f.d: tests/runtime_behavior.rs
+
+/root/repo/target/debug/deps/runtime_behavior-5f0189fe5783552f: tests/runtime_behavior.rs
+
+tests/runtime_behavior.rs:

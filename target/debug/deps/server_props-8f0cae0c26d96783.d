@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/server_props-8f0cae0c26d96783.d: tests/server_props.rs
+
+/root/repo/target/debug/deps/server_props-8f0cae0c26d96783: tests/server_props.rs
+
+tests/server_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/server_props-d1f99677c16399e3.d: tests/server_props.rs
+
+/root/repo/target/debug/deps/server_props-d1f99677c16399e3: tests/server_props.rs
+
+tests/server_props.rs:

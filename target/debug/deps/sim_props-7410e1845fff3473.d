@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_props-7410e1845fff3473.d: tests/sim_props.rs
+
+/root/repo/target/debug/deps/sim_props-7410e1845fff3473: tests/sim_props.rs
+
+tests/sim_props.rs:

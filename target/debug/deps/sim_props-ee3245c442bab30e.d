@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_props-ee3245c442bab30e.d: tests/sim_props.rs
+
+/root/repo/target/debug/deps/sim_props-ee3245c442bab30e: tests/sim_props.rs
+
+tests/sim_props.rs:

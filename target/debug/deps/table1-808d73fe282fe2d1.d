@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-808d73fe282fe2d1.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-808d73fe282fe2d1: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

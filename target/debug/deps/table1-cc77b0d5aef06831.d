@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-cc77b0d5aef06831.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-cc77b0d5aef06831: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-10d98e0e48030e8a.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-10d98e0e48030e8a: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

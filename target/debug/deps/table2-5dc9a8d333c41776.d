@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-5dc9a8d333c41776.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-5dc9a8d333c41776: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

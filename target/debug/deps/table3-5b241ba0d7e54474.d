@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-5b241ba0d7e54474.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-5b241ba0d7e54474: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-65f556651806c87b.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-65f556651806c87b: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

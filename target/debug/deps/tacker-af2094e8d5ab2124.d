@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/tacker-af2094e8d5ab2124.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/cluster.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/library.rs crates/core/src/manager.rs crates/core/src/metrics.rs crates/core/src/profile.rs crates/core/src/server.rs
+
+/root/repo/target/debug/deps/libtacker-af2094e8d5ab2124.rlib: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/cluster.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/library.rs crates/core/src/manager.rs crates/core/src/metrics.rs crates/core/src/profile.rs crates/core/src/server.rs
+
+/root/repo/target/debug/deps/libtacker-af2094e8d5ab2124.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/cluster.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/library.rs crates/core/src/manager.rs crates/core/src/metrics.rs crates/core/src/profile.rs crates/core/src/server.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baselines.rs:
+crates/core/src/cluster.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/library.rs:
+crates/core/src/manager.rs:
+crates/core/src/metrics.rs:
+crates/core/src/profile.rs:
+crates/core/src/server.rs:

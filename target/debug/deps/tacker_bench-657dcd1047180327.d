@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tacker_bench-657dcd1047180327.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtacker_bench-657dcd1047180327.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtacker_bench-657dcd1047180327.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

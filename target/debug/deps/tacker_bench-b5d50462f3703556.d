@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tacker_bench-b5d50462f3703556.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/tacker_bench-b5d50462f3703556: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tacker_cli-8ee07dbbe7b182c5.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/tacker_cli-8ee07dbbe7b182c5: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tacker_cli-af4a7456e0f4f8bc.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/tacker_cli-af4a7456e0f4f8bc: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tacker_fuser-3bf42f2f2b76315b.d: crates/fuser/src/lib.rs crates/fuser/src/barrier.rs crates/fuser/src/direct.rs crates/fuser/src/error.rs crates/fuser/src/flexible.rs crates/fuser/src/ptb.rs crates/fuser/src/rename.rs crates/fuser/src/select.rs
+
+/root/repo/target/debug/deps/libtacker_fuser-3bf42f2f2b76315b.rlib: crates/fuser/src/lib.rs crates/fuser/src/barrier.rs crates/fuser/src/direct.rs crates/fuser/src/error.rs crates/fuser/src/flexible.rs crates/fuser/src/ptb.rs crates/fuser/src/rename.rs crates/fuser/src/select.rs
+
+/root/repo/target/debug/deps/libtacker_fuser-3bf42f2f2b76315b.rmeta: crates/fuser/src/lib.rs crates/fuser/src/barrier.rs crates/fuser/src/direct.rs crates/fuser/src/error.rs crates/fuser/src/flexible.rs crates/fuser/src/ptb.rs crates/fuser/src/rename.rs crates/fuser/src/select.rs
+
+crates/fuser/src/lib.rs:
+crates/fuser/src/barrier.rs:
+crates/fuser/src/direct.rs:
+crates/fuser/src/error.rs:
+crates/fuser/src/flexible.rs:
+crates/fuser/src/ptb.rs:
+crates/fuser/src/rename.rs:
+crates/fuser/src/select.rs:

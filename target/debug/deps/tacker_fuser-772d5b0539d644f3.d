@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/tacker_fuser-772d5b0539d644f3.d: crates/fuser/src/lib.rs crates/fuser/src/barrier.rs crates/fuser/src/direct.rs crates/fuser/src/error.rs crates/fuser/src/flexible.rs crates/fuser/src/ptb.rs crates/fuser/src/rename.rs crates/fuser/src/select.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtacker_fuser-772d5b0539d644f3.rmeta: crates/fuser/src/lib.rs crates/fuser/src/barrier.rs crates/fuser/src/direct.rs crates/fuser/src/error.rs crates/fuser/src/flexible.rs crates/fuser/src/ptb.rs crates/fuser/src/rename.rs crates/fuser/src/select.rs Cargo.toml
+
+crates/fuser/src/lib.rs:
+crates/fuser/src/barrier.rs:
+crates/fuser/src/direct.rs:
+crates/fuser/src/error.rs:
+crates/fuser/src/flexible.rs:
+crates/fuser/src/ptb.rs:
+crates/fuser/src/rename.rs:
+crates/fuser/src/select.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

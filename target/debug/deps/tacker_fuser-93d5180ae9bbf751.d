@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tacker_fuser-93d5180ae9bbf751.d: crates/fuser/src/lib.rs crates/fuser/src/barrier.rs crates/fuser/src/direct.rs crates/fuser/src/error.rs crates/fuser/src/flexible.rs crates/fuser/src/ptb.rs crates/fuser/src/rename.rs crates/fuser/src/select.rs
+
+/root/repo/target/debug/deps/tacker_fuser-93d5180ae9bbf751: crates/fuser/src/lib.rs crates/fuser/src/barrier.rs crates/fuser/src/direct.rs crates/fuser/src/error.rs crates/fuser/src/flexible.rs crates/fuser/src/ptb.rs crates/fuser/src/rename.rs crates/fuser/src/select.rs
+
+crates/fuser/src/lib.rs:
+crates/fuser/src/barrier.rs:
+crates/fuser/src/direct.rs:
+crates/fuser/src/error.rs:
+crates/fuser/src/flexible.rs:
+crates/fuser/src/ptb.rs:
+crates/fuser/src/rename.rs:
+crates/fuser/src/select.rs:

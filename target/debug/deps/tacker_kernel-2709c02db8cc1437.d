@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/tacker_kernel-2709c02db8cc1437.d: crates/kernel/src/lib.rs crates/kernel/src/ast.rs crates/kernel/src/dims.rs crates/kernel/src/error.rs crates/kernel/src/kernel.rs crates/kernel/src/lower.rs crates/kernel/src/resources.rs crates/kernel/src/segments.rs crates/kernel/src/source.rs crates/kernel/src/time.rs
+
+/root/repo/target/debug/deps/libtacker_kernel-2709c02db8cc1437.rlib: crates/kernel/src/lib.rs crates/kernel/src/ast.rs crates/kernel/src/dims.rs crates/kernel/src/error.rs crates/kernel/src/kernel.rs crates/kernel/src/lower.rs crates/kernel/src/resources.rs crates/kernel/src/segments.rs crates/kernel/src/source.rs crates/kernel/src/time.rs
+
+/root/repo/target/debug/deps/libtacker_kernel-2709c02db8cc1437.rmeta: crates/kernel/src/lib.rs crates/kernel/src/ast.rs crates/kernel/src/dims.rs crates/kernel/src/error.rs crates/kernel/src/kernel.rs crates/kernel/src/lower.rs crates/kernel/src/resources.rs crates/kernel/src/segments.rs crates/kernel/src/source.rs crates/kernel/src/time.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/ast.rs:
+crates/kernel/src/dims.rs:
+crates/kernel/src/error.rs:
+crates/kernel/src/kernel.rs:
+crates/kernel/src/lower.rs:
+crates/kernel/src/resources.rs:
+crates/kernel/src/segments.rs:
+crates/kernel/src/source.rs:
+crates/kernel/src/time.rs:

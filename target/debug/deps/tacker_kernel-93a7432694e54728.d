@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/tacker_kernel-93a7432694e54728.d: crates/kernel/src/lib.rs crates/kernel/src/ast.rs crates/kernel/src/dims.rs crates/kernel/src/error.rs crates/kernel/src/kernel.rs crates/kernel/src/lower.rs crates/kernel/src/resources.rs crates/kernel/src/segments.rs crates/kernel/src/source.rs crates/kernel/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtacker_kernel-93a7432694e54728.rmeta: crates/kernel/src/lib.rs crates/kernel/src/ast.rs crates/kernel/src/dims.rs crates/kernel/src/error.rs crates/kernel/src/kernel.rs crates/kernel/src/lower.rs crates/kernel/src/resources.rs crates/kernel/src/segments.rs crates/kernel/src/source.rs crates/kernel/src/time.rs Cargo.toml
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/ast.rs:
+crates/kernel/src/dims.rs:
+crates/kernel/src/error.rs:
+crates/kernel/src/kernel.rs:
+crates/kernel/src/lower.rs:
+crates/kernel/src/resources.rs:
+crates/kernel/src/segments.rs:
+crates/kernel/src/source.rs:
+crates/kernel/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tacker_kernel-b6060650471398d1.d: crates/kernel/src/lib.rs crates/kernel/src/ast.rs crates/kernel/src/dims.rs crates/kernel/src/error.rs crates/kernel/src/kernel.rs crates/kernel/src/lower.rs crates/kernel/src/resources.rs crates/kernel/src/segments.rs crates/kernel/src/source.rs crates/kernel/src/time.rs
+
+/root/repo/target/debug/deps/tacker_kernel-b6060650471398d1: crates/kernel/src/lib.rs crates/kernel/src/ast.rs crates/kernel/src/dims.rs crates/kernel/src/error.rs crates/kernel/src/kernel.rs crates/kernel/src/lower.rs crates/kernel/src/resources.rs crates/kernel/src/segments.rs crates/kernel/src/source.rs crates/kernel/src/time.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/ast.rs:
+crates/kernel/src/dims.rs:
+crates/kernel/src/error.rs:
+crates/kernel/src/kernel.rs:
+crates/kernel/src/lower.rs:
+crates/kernel/src/resources.rs:
+crates/kernel/src/segments.rs:
+crates/kernel/src/source.rs:
+crates/kernel/src/time.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tacker_predictor-4372549f4bc33d82.d: crates/predictor/src/lib.rs crates/predictor/src/error.rs crates/predictor/src/fused_model.rs crates/predictor/src/kernel_model.rs crates/predictor/src/linreg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtacker_predictor-4372549f4bc33d82.rmeta: crates/predictor/src/lib.rs crates/predictor/src/error.rs crates/predictor/src/fused_model.rs crates/predictor/src/kernel_model.rs crates/predictor/src/linreg.rs Cargo.toml
+
+crates/predictor/src/lib.rs:
+crates/predictor/src/error.rs:
+crates/predictor/src/fused_model.rs:
+crates/predictor/src/kernel_model.rs:
+crates/predictor/src/linreg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tacker_predictor-75fd6555f59cd8df.d: crates/predictor/src/lib.rs crates/predictor/src/error.rs crates/predictor/src/fused_model.rs crates/predictor/src/kernel_model.rs crates/predictor/src/linreg.rs
+
+/root/repo/target/debug/deps/libtacker_predictor-75fd6555f59cd8df.rlib: crates/predictor/src/lib.rs crates/predictor/src/error.rs crates/predictor/src/fused_model.rs crates/predictor/src/kernel_model.rs crates/predictor/src/linreg.rs
+
+/root/repo/target/debug/deps/libtacker_predictor-75fd6555f59cd8df.rmeta: crates/predictor/src/lib.rs crates/predictor/src/error.rs crates/predictor/src/fused_model.rs crates/predictor/src/kernel_model.rs crates/predictor/src/linreg.rs
+
+crates/predictor/src/lib.rs:
+crates/predictor/src/error.rs:
+crates/predictor/src/fused_model.rs:
+crates/predictor/src/kernel_model.rs:
+crates/predictor/src/linreg.rs:

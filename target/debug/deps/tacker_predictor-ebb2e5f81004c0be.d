@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tacker_predictor-ebb2e5f81004c0be.d: crates/predictor/src/lib.rs crates/predictor/src/error.rs crates/predictor/src/fused_model.rs crates/predictor/src/kernel_model.rs crates/predictor/src/linreg.rs
+
+/root/repo/target/debug/deps/tacker_predictor-ebb2e5f81004c0be: crates/predictor/src/lib.rs crates/predictor/src/error.rs crates/predictor/src/fused_model.rs crates/predictor/src/kernel_model.rs crates/predictor/src/linreg.rs
+
+crates/predictor/src/lib.rs:
+crates/predictor/src/error.rs:
+crates/predictor/src/fused_model.rs:
+crates/predictor/src/kernel_model.rs:
+crates/predictor/src/linreg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tacker_repro-11f9d3261d38d2cf.d: src/lib.rs
+
+/root/repo/target/debug/deps/tacker_repro-11f9d3261d38d2cf: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tacker_repro-18ae8a0c22d5fad6.d: src/lib.rs
+
+/root/repo/target/debug/deps/libtacker_repro-18ae8a0c22d5fad6.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libtacker_repro-18ae8a0c22d5fad6.rmeta: src/lib.rs
+
+src/lib.rs:

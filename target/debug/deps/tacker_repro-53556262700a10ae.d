@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tacker_repro-53556262700a10ae.d: src/lib.rs
+
+/root/repo/target/debug/deps/tacker_repro-53556262700a10ae: src/lib.rs
+
+src/lib.rs:

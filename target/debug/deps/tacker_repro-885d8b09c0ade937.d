@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tacker_repro-885d8b09c0ade937.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtacker_repro-885d8b09c0ade937.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tacker_repro-a262dc2cd097bcba.d: src/lib.rs
+
+/root/repo/target/debug/deps/libtacker_repro-a262dc2cd097bcba.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libtacker_repro-a262dc2cd097bcba.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tacker_sim-218ad12ad2647401.d: crates/sim/src/lib.rs crates/sim/src/concurrent.rs crates/sim/src/device.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/plan.rs crates/sim/src/power.rs crates/sim/src/result.rs crates/sim/src/spec.rs crates/sim/src/timeline.rs
+
+/root/repo/target/debug/deps/tacker_sim-218ad12ad2647401: crates/sim/src/lib.rs crates/sim/src/concurrent.rs crates/sim/src/device.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/plan.rs crates/sim/src/power.rs crates/sim/src/result.rs crates/sim/src/spec.rs crates/sim/src/timeline.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/concurrent.rs:
+crates/sim/src/device.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/plan.rs:
+crates/sim/src/power.rs:
+crates/sim/src/result.rs:
+crates/sim/src/spec.rs:
+crates/sim/src/timeline.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/tacker_sim-3aca91200d3d82ff.d: crates/sim/src/lib.rs crates/sim/src/concurrent.rs crates/sim/src/device.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/plan.rs crates/sim/src/power.rs crates/sim/src/result.rs crates/sim/src/spec.rs crates/sim/src/timeline.rs
+
+/root/repo/target/debug/deps/libtacker_sim-3aca91200d3d82ff.rlib: crates/sim/src/lib.rs crates/sim/src/concurrent.rs crates/sim/src/device.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/plan.rs crates/sim/src/power.rs crates/sim/src/result.rs crates/sim/src/spec.rs crates/sim/src/timeline.rs
+
+/root/repo/target/debug/deps/libtacker_sim-3aca91200d3d82ff.rmeta: crates/sim/src/lib.rs crates/sim/src/concurrent.rs crates/sim/src/device.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/plan.rs crates/sim/src/power.rs crates/sim/src/result.rs crates/sim/src/spec.rs crates/sim/src/timeline.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/concurrent.rs:
+crates/sim/src/device.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/plan.rs:
+crates/sim/src/power.rs:
+crates/sim/src/result.rs:
+crates/sim/src/spec.rs:
+crates/sim/src/timeline.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/tacker_sim-958abaa5cd0df85d.d: crates/sim/src/lib.rs crates/sim/src/concurrent.rs crates/sim/src/device.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/plan.rs crates/sim/src/power.rs crates/sim/src/result.rs crates/sim/src/spec.rs crates/sim/src/timeline.rs
+
+/root/repo/target/debug/deps/libtacker_sim-958abaa5cd0df85d.rlib: crates/sim/src/lib.rs crates/sim/src/concurrent.rs crates/sim/src/device.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/plan.rs crates/sim/src/power.rs crates/sim/src/result.rs crates/sim/src/spec.rs crates/sim/src/timeline.rs
+
+/root/repo/target/debug/deps/libtacker_sim-958abaa5cd0df85d.rmeta: crates/sim/src/lib.rs crates/sim/src/concurrent.rs crates/sim/src/device.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/plan.rs crates/sim/src/power.rs crates/sim/src/result.rs crates/sim/src/spec.rs crates/sim/src/timeline.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/concurrent.rs:
+crates/sim/src/device.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/plan.rs:
+crates/sim/src/power.rs:
+crates/sim/src/result.rs:
+crates/sim/src/spec.rs:
+crates/sim/src/timeline.rs:

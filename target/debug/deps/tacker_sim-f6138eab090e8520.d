@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/tacker_sim-f6138eab090e8520.d: crates/sim/src/lib.rs crates/sim/src/concurrent.rs crates/sim/src/device.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/plan.rs crates/sim/src/power.rs crates/sim/src/result.rs crates/sim/src/spec.rs crates/sim/src/timeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtacker_sim-f6138eab090e8520.rmeta: crates/sim/src/lib.rs crates/sim/src/concurrent.rs crates/sim/src/device.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/plan.rs crates/sim/src/power.rs crates/sim/src/result.rs crates/sim/src/spec.rs crates/sim/src/timeline.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/concurrent.rs:
+crates/sim/src/device.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/plan.rs:
+crates/sim/src/power.rs:
+crates/sim/src/result.rs:
+crates/sim/src/spec.rs:
+crates/sim/src/timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tacker_trace-1af5fa708f1a20bc.d: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/event.rs crates/trace/src/metrics.rs crates/trace/src/sink.rs
+
+/root/repo/target/debug/deps/libtacker_trace-1af5fa708f1a20bc.rlib: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/event.rs crates/trace/src/metrics.rs crates/trace/src/sink.rs
+
+/root/repo/target/debug/deps/libtacker_trace-1af5fa708f1a20bc.rmeta: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/event.rs crates/trace/src/metrics.rs crates/trace/src/sink.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/chrome.rs:
+crates/trace/src/event.rs:
+crates/trace/src/metrics.rs:
+crates/trace/src/sink.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tacker_trace-649eb69d578894a7.d: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/event.rs crates/trace/src/metrics.rs crates/trace/src/sink.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtacker_trace-649eb69d578894a7.rmeta: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/event.rs crates/trace/src/metrics.rs crates/trace/src/sink.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/chrome.rs:
+crates/trace/src/event.rs:
+crates/trace/src/metrics.rs:
+crates/trace/src/sink.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,38 @@
+/root/repo/target/debug/deps/tacker_workloads-77c65fee7998e067.d: crates/workloads/src/lib.rs crates/workloads/src/app.rs crates/workloads/src/dnn/mod.rs crates/workloads/src/dnn/compile.rs crates/workloads/src/dnn/cudnn.rs crates/workloads/src/dnn/elementwise.rs crates/workloads/src/dnn/graph.rs crates/workloads/src/dnn/im2col.rs crates/workloads/src/dnn/layer.rs crates/workloads/src/dnn/models/mod.rs crates/workloads/src/dnn/models/densenet.rs crates/workloads/src/dnn/models/inception.rs crates/workloads/src/dnn/models/resnet.rs crates/workloads/src/dnn/models/vgg.rs crates/workloads/src/dnn/shapes.rs crates/workloads/src/dnn/training.rs crates/workloads/src/gemm.rs crates/workloads/src/microbench.rs crates/workloads/src/parboil/mod.rs crates/workloads/src/parboil/bfs.rs crates/workloads/src/parboil/cp.rs crates/workloads/src/parboil/cutcp.rs crates/workloads/src/parboil/fft.rs crates/workloads/src/parboil/histo.rs crates/workloads/src/parboil/lbm.rs crates/workloads/src/parboil/mrif.rs crates/workloads/src/parboil/mriq.rs crates/workloads/src/parboil/regtile.rs crates/workloads/src/parboil/sad.rs crates/workloads/src/parboil/sgemm.rs crates/workloads/src/parboil/spmv.rs crates/workloads/src/parboil/stencil.rs crates/workloads/src/parboil/tpacf.rs crates/workloads/src/registry.rs
+
+/root/repo/target/debug/deps/tacker_workloads-77c65fee7998e067: crates/workloads/src/lib.rs crates/workloads/src/app.rs crates/workloads/src/dnn/mod.rs crates/workloads/src/dnn/compile.rs crates/workloads/src/dnn/cudnn.rs crates/workloads/src/dnn/elementwise.rs crates/workloads/src/dnn/graph.rs crates/workloads/src/dnn/im2col.rs crates/workloads/src/dnn/layer.rs crates/workloads/src/dnn/models/mod.rs crates/workloads/src/dnn/models/densenet.rs crates/workloads/src/dnn/models/inception.rs crates/workloads/src/dnn/models/resnet.rs crates/workloads/src/dnn/models/vgg.rs crates/workloads/src/dnn/shapes.rs crates/workloads/src/dnn/training.rs crates/workloads/src/gemm.rs crates/workloads/src/microbench.rs crates/workloads/src/parboil/mod.rs crates/workloads/src/parboil/bfs.rs crates/workloads/src/parboil/cp.rs crates/workloads/src/parboil/cutcp.rs crates/workloads/src/parboil/fft.rs crates/workloads/src/parboil/histo.rs crates/workloads/src/parboil/lbm.rs crates/workloads/src/parboil/mrif.rs crates/workloads/src/parboil/mriq.rs crates/workloads/src/parboil/regtile.rs crates/workloads/src/parboil/sad.rs crates/workloads/src/parboil/sgemm.rs crates/workloads/src/parboil/spmv.rs crates/workloads/src/parboil/stencil.rs crates/workloads/src/parboil/tpacf.rs crates/workloads/src/registry.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/app.rs:
+crates/workloads/src/dnn/mod.rs:
+crates/workloads/src/dnn/compile.rs:
+crates/workloads/src/dnn/cudnn.rs:
+crates/workloads/src/dnn/elementwise.rs:
+crates/workloads/src/dnn/graph.rs:
+crates/workloads/src/dnn/im2col.rs:
+crates/workloads/src/dnn/layer.rs:
+crates/workloads/src/dnn/models/mod.rs:
+crates/workloads/src/dnn/models/densenet.rs:
+crates/workloads/src/dnn/models/inception.rs:
+crates/workloads/src/dnn/models/resnet.rs:
+crates/workloads/src/dnn/models/vgg.rs:
+crates/workloads/src/dnn/shapes.rs:
+crates/workloads/src/dnn/training.rs:
+crates/workloads/src/gemm.rs:
+crates/workloads/src/microbench.rs:
+crates/workloads/src/parboil/mod.rs:
+crates/workloads/src/parboil/bfs.rs:
+crates/workloads/src/parboil/cp.rs:
+crates/workloads/src/parboil/cutcp.rs:
+crates/workloads/src/parboil/fft.rs:
+crates/workloads/src/parboil/histo.rs:
+crates/workloads/src/parboil/lbm.rs:
+crates/workloads/src/parboil/mrif.rs:
+crates/workloads/src/parboil/mriq.rs:
+crates/workloads/src/parboil/regtile.rs:
+crates/workloads/src/parboil/sad.rs:
+crates/workloads/src/parboil/sgemm.rs:
+crates/workloads/src/parboil/spmv.rs:
+crates/workloads/src/parboil/stencil.rs:
+crates/workloads/src/parboil/tpacf.rs:
+crates/workloads/src/registry.rs:

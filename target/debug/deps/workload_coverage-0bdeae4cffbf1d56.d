@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workload_coverage-0bdeae4cffbf1d56.d: tests/workload_coverage.rs
+
+/root/repo/target/debug/deps/workload_coverage-0bdeae4cffbf1d56: tests/workload_coverage.rs
+
+tests/workload_coverage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workload_coverage-6fb605dee04ed95a.d: tests/workload_coverage.rs
+
+/root/repo/target/debug/deps/workload_coverage-6fb605dee04ed95a: tests/workload_coverage.rs
+
+tests/workload_coverage.rs:

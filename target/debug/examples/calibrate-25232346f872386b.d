@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/calibrate-25232346f872386b.d: crates/workloads/examples/calibrate.rs
+
+/root/repo/target/debug/examples/calibrate-25232346f872386b: crates/workloads/examples/calibrate.rs
+
+crates/workloads/examples/calibrate.rs:

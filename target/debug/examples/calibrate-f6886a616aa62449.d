@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/calibrate-f6886a616aa62449.d: crates/workloads/examples/calibrate.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcalibrate-f6886a616aa62449.rmeta: crates/workloads/examples/calibrate.rs Cargo.toml
+
+crates/workloads/examples/calibrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

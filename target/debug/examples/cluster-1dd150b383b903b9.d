@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cluster-1dd150b383b903b9.d: examples/cluster.rs
+
+/root/repo/target/debug/examples/cluster-1dd150b383b903b9: examples/cluster.rs
+
+examples/cluster.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cluster-67e6d174ff4ab804.d: examples/cluster.rs
+
+/root/repo/target/debug/examples/cluster-67e6d174ff4ab804: examples/cluster.rs
+
+examples/cluster.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cluster-f2a91241d0fde9e3.d: examples/cluster.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcluster-f2a91241d0fde9e3.rmeta: examples/cluster.rs Cargo.toml
+
+examples/cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/codegen-6822877f324b2652.d: examples/codegen.rs
+
+/root/repo/target/debug/examples/codegen-6822877f324b2652: examples/codegen.rs
+
+examples/codegen.rs:

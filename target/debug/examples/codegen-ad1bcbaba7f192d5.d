@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/codegen-ad1bcbaba7f192d5.d: examples/codegen.rs
+
+/root/repo/target/debug/examples/codegen-ad1bcbaba7f192d5: examples/codegen.rs
+
+examples/codegen.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/codegen-e2c60a9977fbde74.d: examples/codegen.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcodegen-e2c60a9977fbde74.rmeta: examples/codegen.rs Cargo.toml
+
+examples/codegen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

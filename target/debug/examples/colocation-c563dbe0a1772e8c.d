@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/colocation-c563dbe0a1772e8c.d: examples/colocation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcolocation-c563dbe0a1772e8c.rmeta: examples/colocation.rs Cargo.toml
+
+examples/colocation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

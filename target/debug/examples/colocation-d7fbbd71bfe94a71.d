@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/colocation-d7fbbd71bfe94a71.d: examples/colocation.rs
+
+/root/repo/target/debug/examples/colocation-d7fbbd71bfe94a71: examples/colocation.rs
+
+examples/colocation.rs:

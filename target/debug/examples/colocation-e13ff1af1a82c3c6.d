@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/colocation-e13ff1af1a82c3c6.d: examples/colocation.rs
+
+/root/repo/target/debug/examples/colocation-e13ff1af1a82c3c6: examples/colocation.rs
+
+examples/colocation.rs:

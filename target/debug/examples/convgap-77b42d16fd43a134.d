@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/convgap-77b42d16fd43a134.d: crates/workloads/examples/convgap.rs
+
+/root/repo/target/debug/examples/convgap-77b42d16fd43a134: crates/workloads/examples/convgap.rs
+
+crates/workloads/examples/convgap.rs:

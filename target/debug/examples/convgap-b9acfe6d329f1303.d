@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/convgap-b9acfe6d329f1303.d: crates/workloads/examples/convgap.rs Cargo.toml
+
+/root/repo/target/debug/examples/libconvgap-b9acfe6d329f1303.rmeta: crates/workloads/examples/convgap.rs Cargo.toml
+
+crates/workloads/examples/convgap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fusion_explorer-375c468a7e8953f2.d: examples/fusion_explorer.rs
+
+/root/repo/target/debug/examples/fusion_explorer-375c468a7e8953f2: examples/fusion_explorer.rs
+
+examples/fusion_explorer.rs:

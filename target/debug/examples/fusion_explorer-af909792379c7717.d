@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fusion_explorer-af909792379c7717.d: examples/fusion_explorer.rs
+
+/root/repo/target/debug/examples/fusion_explorer-af909792379c7717: examples/fusion_explorer.rs
+
+examples/fusion_explorer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-18122c3333bf3dc0.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-18122c3333bf3dc0: examples/quickstart.rs
+
+examples/quickstart.rs:

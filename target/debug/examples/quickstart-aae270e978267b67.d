@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-aae270e978267b67.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-aae270e978267b67: examples/quickstart.rs
+
+examples/quickstart.rs:

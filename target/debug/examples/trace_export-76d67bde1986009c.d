@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_export-76d67bde1986009c.d: examples/trace_export.rs
+
+/root/repo/target/debug/examples/trace_export-76d67bde1986009c: examples/trace_export.rs
+
+examples/trace_export.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_export-f1815c13f82bd0b4.d: examples/trace_export.rs
+
+/root/repo/target/debug/examples/trace_export-f1815c13f82bd0b4: examples/trace_export.rs
+
+examples/trace_export.rs:

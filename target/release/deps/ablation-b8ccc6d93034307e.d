@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-b8ccc6d93034307e.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-b8ccc6d93034307e: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

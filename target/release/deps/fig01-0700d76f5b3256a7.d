@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01-0700d76f5b3256a7.d: crates/bench/src/bin/fig01.rs
+
+/root/repo/target/release/deps/fig01-0700d76f5b3256a7: crates/bench/src/bin/fig01.rs
+
+crates/bench/src/bin/fig01.rs:

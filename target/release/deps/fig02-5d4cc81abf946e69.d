@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02-5d4cc81abf946e69.d: crates/bench/src/bin/fig02.rs
+
+/root/repo/target/release/deps/fig02-5d4cc81abf946e69: crates/bench/src/bin/fig02.rs
+
+crates/bench/src/bin/fig02.rs:

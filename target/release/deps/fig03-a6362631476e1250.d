@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03-a6362631476e1250.d: crates/bench/src/bin/fig03.rs
+
+/root/repo/target/release/deps/fig03-a6362631476e1250: crates/bench/src/bin/fig03.rs
+
+crates/bench/src/bin/fig03.rs:

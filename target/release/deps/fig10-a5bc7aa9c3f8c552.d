@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-a5bc7aa9c3f8c552.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-a5bc7aa9c3f8c552: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-30d77d558f56611a.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-30d77d558f56611a: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14-4b9ee45170cceccf.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/release/deps/fig14-4b9ee45170cceccf: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15-b8dda83305ca68dc.d: crates/bench/src/bin/fig15.rs
+
+/root/repo/target/release/deps/fig15-b8dda83305ca68dc: crates/bench/src/bin/fig15.rs
+
+crates/bench/src/bin/fig15.rs:

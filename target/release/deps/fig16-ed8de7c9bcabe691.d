@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16-ed8de7c9bcabe691.d: crates/bench/src/bin/fig16.rs
+
+/root/repo/target/release/deps/fig16-ed8de7c9bcabe691: crates/bench/src/bin/fig16.rs
+
+crates/bench/src/bin/fig16.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17-cd6915e830cc678e.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/release/deps/fig17-cd6915e830cc678e: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

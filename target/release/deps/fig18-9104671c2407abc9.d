@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig18-9104671c2407abc9.d: crates/bench/src/bin/fig18.rs
+
+/root/repo/target/release/deps/fig18-9104671c2407abc9: crates/bench/src/bin/fig18.rs
+
+crates/bench/src/bin/fig18.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig19-ee3530acf7b410a2.d: crates/bench/src/bin/fig19.rs
+
+/root/repo/target/release/deps/fig19-ee3530acf7b410a2: crates/bench/src/bin/fig19.rs
+
+crates/bench/src/bin/fig19.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig20-e8a3b8bd91c65d3c.d: crates/bench/src/bin/fig20.rs
+
+/root/repo/target/release/deps/fig20-e8a3b8bd91c65d3c: crates/bench/src/bin/fig20.rs
+
+crates/bench/src/bin/fig20.rs:

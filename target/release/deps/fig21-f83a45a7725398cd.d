@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig21-f83a45a7725398cd.d: crates/bench/src/bin/fig21.rs
+
+/root/repo/target/release/deps/fig21-f83a45a7725398cd: crates/bench/src/bin/fig21.rs
+
+crates/bench/src/bin/fig21.rs:

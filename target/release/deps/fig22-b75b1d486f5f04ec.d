@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig22-b75b1d486f5f04ec.d: crates/bench/src/bin/fig22.rs
+
+/root/repo/target/release/deps/fig22-b75b1d486f5f04ec: crates/bench/src/bin/fig22.rs
+
+crates/bench/src/bin/fig22.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_batch-fd0a7fbbd37b538d.d: crates/bench/src/bin/fig_batch.rs
+
+/root/repo/target/release/deps/fig_batch-fd0a7fbbd37b538d: crates/bench/src/bin/fig_batch.rs
+
+crates/bench/src/bin/fig_batch.rs:

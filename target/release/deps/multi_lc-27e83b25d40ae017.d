@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/multi_lc-27e83b25d40ae017.d: crates/bench/src/bin/multi_lc.rs
+
+/root/repo/target/release/deps/multi_lc-27e83b25d40ae017: crates/bench/src/bin/multi_lc.rs
+
+crates/bench/src/bin/multi_lc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/overhead-dbbbc9c8b47420bb.d: crates/bench/benches/overhead.rs
+
+/root/repo/target/release/deps/overhead-dbbbc9c8b47420bb: crates/bench/benches/overhead.rs
+
+crates/bench/benches/overhead.rs:

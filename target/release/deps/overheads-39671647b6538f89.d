@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/overheads-39671647b6538f89.d: crates/bench/src/bin/overheads.rs
+
+/root/repo/target/release/deps/overheads-39671647b6538f89: crates/bench/src/bin/overheads.rs
+
+crates/bench/src/bin/overheads.rs:

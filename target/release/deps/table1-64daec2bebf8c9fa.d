@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-64daec2bebf8c9fa.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-64daec2bebf8c9fa: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-12f11b9db95abe62.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-12f11b9db95abe62: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-d1451a2db2798dac.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-d1451a2db2798dac: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/tacker-bf67d2a38aaf473e.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/cluster.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/library.rs crates/core/src/manager.rs crates/core/src/metrics.rs crates/core/src/profile.rs crates/core/src/server.rs
+
+/root/repo/target/release/deps/libtacker-bf67d2a38aaf473e.rlib: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/cluster.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/library.rs crates/core/src/manager.rs crates/core/src/metrics.rs crates/core/src/profile.rs crates/core/src/server.rs
+
+/root/repo/target/release/deps/libtacker-bf67d2a38aaf473e.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/cluster.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/library.rs crates/core/src/manager.rs crates/core/src/metrics.rs crates/core/src/profile.rs crates/core/src/server.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baselines.rs:
+crates/core/src/cluster.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/library.rs:
+crates/core/src/manager.rs:
+crates/core/src/metrics.rs:
+crates/core/src/profile.rs:
+crates/core/src/server.rs:

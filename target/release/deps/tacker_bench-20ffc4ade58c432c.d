@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tacker_bench-20ffc4ade58c432c.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libtacker_bench-20ffc4ade58c432c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libtacker_bench-20ffc4ade58c432c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/tacker_fuser-0977c6623e28fd00.d: crates/fuser/src/lib.rs crates/fuser/src/barrier.rs crates/fuser/src/direct.rs crates/fuser/src/error.rs crates/fuser/src/flexible.rs crates/fuser/src/ptb.rs crates/fuser/src/rename.rs crates/fuser/src/select.rs
+
+/root/repo/target/release/deps/libtacker_fuser-0977c6623e28fd00.rlib: crates/fuser/src/lib.rs crates/fuser/src/barrier.rs crates/fuser/src/direct.rs crates/fuser/src/error.rs crates/fuser/src/flexible.rs crates/fuser/src/ptb.rs crates/fuser/src/rename.rs crates/fuser/src/select.rs
+
+/root/repo/target/release/deps/libtacker_fuser-0977c6623e28fd00.rmeta: crates/fuser/src/lib.rs crates/fuser/src/barrier.rs crates/fuser/src/direct.rs crates/fuser/src/error.rs crates/fuser/src/flexible.rs crates/fuser/src/ptb.rs crates/fuser/src/rename.rs crates/fuser/src/select.rs
+
+crates/fuser/src/lib.rs:
+crates/fuser/src/barrier.rs:
+crates/fuser/src/direct.rs:
+crates/fuser/src/error.rs:
+crates/fuser/src/flexible.rs:
+crates/fuser/src/ptb.rs:
+crates/fuser/src/rename.rs:
+crates/fuser/src/select.rs:

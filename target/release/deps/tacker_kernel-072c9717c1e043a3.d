@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/tacker_kernel-072c9717c1e043a3.d: crates/kernel/src/lib.rs crates/kernel/src/ast.rs crates/kernel/src/dims.rs crates/kernel/src/error.rs crates/kernel/src/kernel.rs crates/kernel/src/lower.rs crates/kernel/src/resources.rs crates/kernel/src/segments.rs crates/kernel/src/source.rs crates/kernel/src/time.rs
+
+/root/repo/target/release/deps/libtacker_kernel-072c9717c1e043a3.rlib: crates/kernel/src/lib.rs crates/kernel/src/ast.rs crates/kernel/src/dims.rs crates/kernel/src/error.rs crates/kernel/src/kernel.rs crates/kernel/src/lower.rs crates/kernel/src/resources.rs crates/kernel/src/segments.rs crates/kernel/src/source.rs crates/kernel/src/time.rs
+
+/root/repo/target/release/deps/libtacker_kernel-072c9717c1e043a3.rmeta: crates/kernel/src/lib.rs crates/kernel/src/ast.rs crates/kernel/src/dims.rs crates/kernel/src/error.rs crates/kernel/src/kernel.rs crates/kernel/src/lower.rs crates/kernel/src/resources.rs crates/kernel/src/segments.rs crates/kernel/src/source.rs crates/kernel/src/time.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/ast.rs:
+crates/kernel/src/dims.rs:
+crates/kernel/src/error.rs:
+crates/kernel/src/kernel.rs:
+crates/kernel/src/lower.rs:
+crates/kernel/src/resources.rs:
+crates/kernel/src/segments.rs:
+crates/kernel/src/source.rs:
+crates/kernel/src/time.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/tacker_predictor-604a4107fa0b445f.d: crates/predictor/src/lib.rs crates/predictor/src/error.rs crates/predictor/src/fused_model.rs crates/predictor/src/kernel_model.rs crates/predictor/src/linreg.rs
+
+/root/repo/target/release/deps/libtacker_predictor-604a4107fa0b445f.rlib: crates/predictor/src/lib.rs crates/predictor/src/error.rs crates/predictor/src/fused_model.rs crates/predictor/src/kernel_model.rs crates/predictor/src/linreg.rs
+
+/root/repo/target/release/deps/libtacker_predictor-604a4107fa0b445f.rmeta: crates/predictor/src/lib.rs crates/predictor/src/error.rs crates/predictor/src/fused_model.rs crates/predictor/src/kernel_model.rs crates/predictor/src/linreg.rs
+
+crates/predictor/src/lib.rs:
+crates/predictor/src/error.rs:
+crates/predictor/src/fused_model.rs:
+crates/predictor/src/kernel_model.rs:
+crates/predictor/src/linreg.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tacker_repro-4827ddd55f20161a.d: src/lib.rs
+
+/root/repo/target/release/deps/libtacker_repro-4827ddd55f20161a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libtacker_repro-4827ddd55f20161a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tacker_repro-faa50a8402d42b49.d: src/lib.rs
+
+/root/repo/target/release/deps/libtacker_repro-faa50a8402d42b49.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libtacker_repro-faa50a8402d42b49.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/tacker_sim-83667134b2e37c0b.d: crates/sim/src/lib.rs crates/sim/src/concurrent.rs crates/sim/src/device.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/plan.rs crates/sim/src/power.rs crates/sim/src/result.rs crates/sim/src/spec.rs crates/sim/src/timeline.rs
+
+/root/repo/target/release/deps/libtacker_sim-83667134b2e37c0b.rlib: crates/sim/src/lib.rs crates/sim/src/concurrent.rs crates/sim/src/device.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/plan.rs crates/sim/src/power.rs crates/sim/src/result.rs crates/sim/src/spec.rs crates/sim/src/timeline.rs
+
+/root/repo/target/release/deps/libtacker_sim-83667134b2e37c0b.rmeta: crates/sim/src/lib.rs crates/sim/src/concurrent.rs crates/sim/src/device.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/plan.rs crates/sim/src/power.rs crates/sim/src/result.rs crates/sim/src/spec.rs crates/sim/src/timeline.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/concurrent.rs:
+crates/sim/src/device.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/plan.rs:
+crates/sim/src/power.rs:
+crates/sim/src/result.rs:
+crates/sim/src/spec.rs:
+crates/sim/src/timeline.rs:

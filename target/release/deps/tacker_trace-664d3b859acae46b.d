@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/tacker_trace-664d3b859acae46b.d: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/event.rs crates/trace/src/metrics.rs crates/trace/src/sink.rs
+
+/root/repo/target/release/deps/libtacker_trace-664d3b859acae46b.rlib: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/event.rs crates/trace/src/metrics.rs crates/trace/src/sink.rs
+
+/root/repo/target/release/deps/libtacker_trace-664d3b859acae46b.rmeta: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/event.rs crates/trace/src/metrics.rs crates/trace/src/sink.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/chrome.rs:
+crates/trace/src/event.rs:
+crates/trace/src/metrics.rs:
+crates/trace/src/sink.rs:

@@ -79,8 +79,16 @@ fn fused_duration_monotone_in_cd_grid() {
     let spec = device.spec().clone();
     let tc = tacker_workloads::gemm::gemm_kernel();
     let cd = Benchmark::Cutcp.shared_kernel();
-    let fused = fuse_flexible(&tc, &cd, FusionConfig { tc_blocks: 1, cd_blocks: 2 }, &spec.sm)
-        .expect("fuses");
+    let fused = fuse_flexible(
+        &tc,
+        &cd,
+        FusionConfig {
+            tc_blocks: 1,
+            cd_blocks: 2,
+        },
+        &spec.sm,
+    )
+    .expect("fuses");
     let mut tc_b = Bindings::new();
     tc_b.insert("k_iters".into(), 16);
     let mut cd_b = Bindings::new();
@@ -144,7 +152,10 @@ fn device_is_thread_safe() {
             })
         })
         .collect();
-    let results: Vec<_> = handles.into_iter().map(|h| h.join().expect("join")).collect();
+    let results: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("join"))
+        .collect();
     // Larger grids take at least as long.
     for w in results.windows(2) {
         assert!(w[1] >= w[0]);
@@ -162,11 +173,9 @@ fn launch_overhead_floors_duration() {
         .body(vec![Stmt::compute_cd(Expr::lit(1), "nop")])
         .build()
         .expect("valid");
-    let plan = ExecutablePlan::from_launch(
-        &spec,
-        &KernelLaunch::new(Arc::new(def), 1, Bindings::new()),
-    )
-    .expect("plan");
+    let plan =
+        ExecutablePlan::from_launch(&spec, &KernelLaunch::new(Arc::new(def), 1, Bindings::new()))
+            .expect("plan");
     let run = simulate(&spec, &plan).expect("runs");
     assert!(run.cycles.get() as f64 >= spec.kernel_launch_overhead);
 }

@@ -11,47 +11,45 @@ use tacker_kernel::{
 /// A generated CUDA-Core kernel: warp-aligned block, loop with sync and
 /// compute/memory work.
 fn arb_cd_kernel() -> impl Strategy<Value = KernelDef> {
-    (1u32..=8, 1u64..=32, 1u64..=512, 0u64..=16)
-        .prop_map(|(warps, iters, ops, smem_kb)| {
-            KernelDef::builder("gen_cd", KernelKind::Cuda)
-                .block_dim(Dim3::x(warps * 32))
-                .resources(ResourceUsage::new(32, smem_kb * 1024))
-                .param("iters")
-                .body(vec![
-                    Stmt::loop_over(
-                        "i",
-                        Expr::lit(iters),
-                        vec![
-                            Stmt::global_load("x", Expr::lit(16), 0.5),
-                            Stmt::sync_threads(),
-                            Stmt::compute_cd(Expr::lit(ops), "fma"),
-                        ],
-                    ),
-                    Stmt::global_store("y", Expr::lit(8), 0.0),
-                ])
-                .build()
-                .expect("generated kernel is valid")
-        })
+    (1u32..=8, 1u64..=32, 1u64..=512, 0u64..=16).prop_map(|(warps, iters, ops, smem_kb)| {
+        KernelDef::builder("gen_cd", KernelKind::Cuda)
+            .block_dim(Dim3::x(warps * 32))
+            .resources(ResourceUsage::new(32, smem_kb * 1024))
+            .param("iters")
+            .body(vec![
+                Stmt::loop_over(
+                    "i",
+                    Expr::lit(iters),
+                    vec![
+                        Stmt::global_load("x", Expr::lit(16), 0.5),
+                        Stmt::sync_threads(),
+                        Stmt::compute_cd(Expr::lit(ops), "fma"),
+                    ],
+                ),
+                Stmt::global_store("y", Expr::lit(8), 0.0),
+            ])
+            .build()
+            .expect("generated kernel is valid")
+    })
 }
 
 fn arb_tc_kernel() -> impl Strategy<Value = KernelDef> {
-    (1u32..=8, 1u64..=32, 1u64..=2048, 0u64..=24)
-        .prop_map(|(warps, iters, ops, smem_kb)| {
-            KernelDef::builder("gen_tc", KernelKind::Tensor)
-                .block_dim(Dim3::x(warps * 32))
-                .resources(ResourceUsage::new(48, smem_kb * 1024))
-                .body(vec![Stmt::loop_over(
-                    "k",
-                    Expr::lit(iters),
-                    vec![
-                        Stmt::global_load("ab", Expr::lit(32), 0.8),
-                        Stmt::sync_threads(),
-                        Stmt::compute_tc(Expr::lit(ops), "mma"),
-                    ],
-                )])
-                .build()
-                .expect("generated kernel is valid")
-        })
+    (1u32..=8, 1u64..=32, 1u64..=2048, 0u64..=24).prop_map(|(warps, iters, ops, smem_kb)| {
+        KernelDef::builder("gen_tc", KernelKind::Tensor)
+            .block_dim(Dim3::x(warps * 32))
+            .resources(ResourceUsage::new(48, smem_kb * 1024))
+            .body(vec![Stmt::loop_over(
+                "k",
+                Expr::lit(iters),
+                vec![
+                    Stmt::global_load("ab", Expr::lit(32), 0.8),
+                    Stmt::sync_threads(),
+                    Stmt::compute_tc(Expr::lit(ops), "mma"),
+                ],
+            )])
+            .build()
+            .expect("generated kernel is valid")
+    })
 }
 
 proptest! {

@@ -1,0 +1,275 @@
+//! Integration tests for the tracing/metrics layer: histogram quantile
+//! accuracy against the exact nearest-rank definition, golden output of
+//! the Chrome trace exporter, and an end-to-end traced co-location run.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use tacker::prelude::*;
+use tacker_kernel::SimTime;
+use tacker_sim::{Device, GpuSpec};
+use tacker_trace::{chrome_trace, DecisionKind, Histogram, RingSink, TraceEvent, TraceSink};
+
+// ---------------------------------------------------------------------------
+// Histogram vs. exact nearest-rank percentile
+// ---------------------------------------------------------------------------
+
+/// The exact nearest-rank quantile: the `⌈p·n⌉`-th smallest sample.
+fn exact_nearest_rank(samples: &[f64], p: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((p * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For samples above the histogram's unit bucket, every streaming
+    /// quantile stays within one bucket's relative error
+    /// ([`Histogram::RELATIVE_ERROR`]) of the exact nearest-rank value.
+    #[test]
+    fn histogram_percentile_matches_exact_within_bucket_error(
+        samples in proptest::collection::vec(1.0f64..1.0e7, 1..400),
+        p_mil in 1u32..1000,
+    ) {
+        let p = f64::from(p_mil) / 1000.0;
+        let h = Histogram::new();
+        for s in &samples {
+            h.observe(*s);
+        }
+        let exact = exact_nearest_rank(&samples, p);
+        let approx = h.percentile(p);
+        let rel = (approx - exact).abs() / exact;
+        prop_assert!(
+            rel <= Histogram::RELATIVE_ERROR + 1e-9,
+            "p={p}: approx {approx} vs exact {exact} (rel {rel})"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chrome exporter golden test
+// ---------------------------------------------------------------------------
+
+/// A minimal JSON well-formedness checker (no serde in the workspace):
+/// consumes one value and returns the rest of the input.
+fn skip_json_value(s: &str) -> Result<&str, String> {
+    let s = s.trim_start();
+    let mut chars = s.char_indices();
+    match chars.next().map(|(_, c)| c) {
+        Some('{') => {
+            let mut rest = s[1..].trim_start();
+            if let Some(r) = rest.strip_prefix('}') {
+                return Ok(r);
+            }
+            loop {
+                rest = skip_json_value(rest)?; // key
+                rest = rest.trim_start().strip_prefix(':').ok_or("expected ':'")?;
+                rest = skip_json_value(rest)?; // value
+                rest = rest.trim_start();
+                if let Some(r) = rest.strip_prefix(',') {
+                    rest = r;
+                } else {
+                    return rest
+                        .strip_prefix('}')
+                        .ok_or("expected '}'".into())
+                        .map_err(|e: String| e);
+                }
+            }
+        }
+        Some('[') => {
+            let mut rest = s[1..].trim_start();
+            if let Some(r) = rest.strip_prefix(']') {
+                return Ok(r);
+            }
+            loop {
+                rest = skip_json_value(rest)?;
+                rest = rest.trim_start();
+                if let Some(r) = rest.strip_prefix(',') {
+                    rest = r;
+                } else {
+                    return rest
+                        .strip_prefix(']')
+                        .ok_or("expected ']'".into())
+                        .map_err(|e: String| e);
+                }
+            }
+        }
+        Some('"') => {
+            let mut escaped = false;
+            for (i, c) in chars {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    return Ok(&s[i + 1..]);
+                }
+            }
+            Err("unterminated string".into())
+        }
+        Some(c) if c == '-' || c.is_ascii_digit() => {
+            let end = s
+                .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+                .unwrap_or(s.len());
+            Ok(&s[end..])
+        }
+        _ => ["true", "false", "null"]
+            .iter()
+            .find_map(|lit| s.strip_prefix(lit))
+            .ok_or_else(|| format!("unexpected token at {:?}", &s[..s.len().min(20)])),
+    }
+}
+
+fn assert_valid_json(doc: &str) {
+    let rest = skip_json_value(doc).expect("well-formed JSON");
+    assert!(rest.trim().is_empty(), "trailing garbage: {rest:?}");
+}
+
+fn golden_events() -> Vec<TraceEvent> {
+    vec![
+        TraceEvent::Decision {
+            at: SimTime::from_micros(5),
+            kind: DecisionKind::Fuse,
+            kernel: "fused_gemm_mriq".into(),
+            headroom: SimTime::from_micros(100),
+            reorder_headroom: SimTime::from_micros(60),
+            predicted: SimTime::from_micros(40),
+            x_tc: Some(SimTime::from_micros(30)),
+            x_cd: Some(SimTime::from_micros(25)),
+            t_lc: Some(SimTime::from_micros(30)),
+            t_gain: Some(SimTime::from_micros(15)),
+        },
+        TraceEvent::KernelRetired {
+            kernel: "fused_gemm_mriq".into(),
+            label: "FUSED".into(),
+            start: SimTime::from_micros(5),
+            end: SimTime::from_micros(47),
+            tc_util: 0.70,
+            cd_util: 0.55,
+            predicted: SimTime::from_micros(40),
+            actual: SimTime::from_micros(42),
+        },
+        TraceEvent::QueryCompleted {
+            service: "Resnet50".into(),
+            arrival: SimTime::from_micros(1),
+            latency: SimTime::from_micros(50),
+            violated: false,
+        },
+    ]
+}
+
+/// The exporter's byte-exact output for a fixed event stream: field order,
+/// metadata header, track assignment and the decision/retirement join are
+/// all pinned.
+#[test]
+fn chrome_export_is_golden() {
+    let golden = concat!(
+        "{\"traceEvents\":[",
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"Tacker device\"}},",
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"args\":{\"name\":\"Tensor Cores\"}},",
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":2,\"args\":{\"name\":\"CUDA Cores\"}},",
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":3,\"args\":{\"name\":\"Scheduler\"}},",
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":4,\"args\":{\"name\":\"LC Queries\"}},",
+        "{\"name\":\"decide:fuse\",\"cat\":\"scheduler\",\"ph\":\"i\",\"ts\":5.000,\"pid\":1,\"tid\":3,\"s\":\"t\",\"args\":{\"kind\":\"fuse\",\"kernel\":\"fused_gemm_mriq\",\"headroom_us\":100.000,\"predicted_us\":40.000,\"actual_us\":42.000,\"t_gain_us\":15.000}},",
+        "{\"name\":\"fused_gemm_mriq\",\"cat\":\"kernel\",\"ph\":\"X\",\"ts\":5.000,\"dur\":42.000,\"pid\":1,\"tid\":1,\"args\":{\"label\":\"FUSED\",\"tc_util\":0.700,\"cd_util\":0.550,\"predicted_us\":40.000,\"actual_us\":42.000}},",
+        "{\"name\":\"fused_gemm_mriq\",\"cat\":\"kernel\",\"ph\":\"X\",\"ts\":5.000,\"dur\":42.000,\"pid\":1,\"tid\":2,\"args\":{\"label\":\"FUSED\",\"tc_util\":0.700,\"cd_util\":0.550,\"predicted_us\":40.000,\"actual_us\":42.000}},",
+        "{\"name\":\"pipeline_utilization\",\"cat\":\"utilization\",\"ph\":\"C\",\"ts\":47.000,\"pid\":1,\"tid\":0,\"args\":{\"tensor\":0.700,\"cuda\":0.550}},",
+        "{\"name\":\"query:Resnet50\",\"cat\":\"qos\",\"ph\":\"i\",\"ts\":51.000,\"pid\":1,\"tid\":4,\"s\":\"t\",\"args\":{\"latency_us\":50.000,\"violated\":false}}",
+        "],\"displayTimeUnit\":\"ms\"}"
+    );
+    let json = chrome_trace(&golden_events());
+    assert_eq!(json, golden);
+    assert_valid_json(&json);
+}
+
+/// `ts` values of the exported timeline events are non-decreasing.
+#[test]
+fn chrome_export_timestamps_are_monotone() {
+    let json = chrome_trace(&golden_events());
+    let ts: Vec<f64> = json
+        .match_indices("\"ts\":")
+        .map(|(i, _)| {
+            let rest = &json[i + 5..];
+            let end = rest.find(',').unwrap();
+            rest[..end].parse().unwrap()
+        })
+        .collect();
+    assert!(!ts.is_empty());
+    assert!(ts.windows(2).all(|w| w[0] <= w[1]), "{ts:?}");
+}
+
+/// JSON-lines serialization of every event variant is itself valid JSON.
+#[test]
+fn event_json_lines_are_valid_json() {
+    for ev in golden_events() {
+        assert_valid_json(&ev.to_json());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end traced co-location
+// ---------------------------------------------------------------------------
+
+/// A traced run records scheduler decisions and kernel retirements, and
+/// the Chrome export carries a decision instant joining predicted and
+/// actual durations — the acceptance shape for `--trace`.
+#[test]
+fn traced_colocation_exports_decisions_with_predicted_vs_actual() {
+    let device = Arc::new(Device::new(GpuSpec::rtx2080ti()));
+    let lc = tacker_workloads::lc_service("Resnet50", &device).expect("service");
+    let be = tacker_workloads::be_app("sgemm").expect("app");
+    let config = ExperimentConfig::default().with_queries(8);
+    let ring = Arc::new(RingSink::unbounded());
+    let report = tacker::server::run_colocation_traced(
+        &device,
+        &lc,
+        &[be],
+        Policy::Tacker,
+        &config,
+        ring.clone() as Arc<dyn TraceSink>,
+    )
+    .expect("traced run");
+
+    let events = ring.events();
+    let decisions = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Decision { .. }))
+        .count();
+    let retired = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::KernelRetired { .. }))
+        .count();
+    assert!(decisions > 0, "no decisions traced");
+    assert!(retired > 0, "no retirements traced");
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, TraceEvent::QueryCompleted { .. })));
+
+    // The registry mirrors the stream: one decision counter tick per
+    // decision event, and the latency histogram holds every query.
+    assert_eq!(report.metrics.counter("decisions").get(), decisions as u64);
+    assert_eq!(
+        report.latency_histogram.count(),
+        report.query_latencies.len() as u64
+    );
+
+    let json = chrome_trace(&events);
+    assert_valid_json(&json);
+    assert!(
+        json.contains("\"cat\":\"scheduler\""),
+        "no scheduler instants"
+    );
+    assert!(json.contains("\"ph\":\"X\""), "no kernel slices");
+    // At least one decision instant joined to its retirement.
+    let joined = json
+        .split("\"cat\":\"scheduler\"")
+        .skip(1)
+        .filter(|chunk| {
+            let args = &chunk[..chunk.find('}').map(|i| i + 1).unwrap_or(chunk.len())];
+            args.contains("predicted_us") && args.contains("actual_us")
+        })
+        .count();
+    assert!(joined > 0, "no decision carries predicted vs actual");
+}

@@ -50,10 +50,13 @@ fn table1_micro_fusion_overlaps() {
         .expect("kc")
         .duration;
     // Solo durations tuned equal by construction.
-    assert!((t_kc.ratio(t_kt) - 1.0).abs() < 0.1, "kt {t_kt} vs kc {t_kc}");
+    assert!(
+        (t_kc.ratio(t_kt) - 1.0).abs() < 0.1,
+        "kt {t_kt} vs kc {t_kc}"
+    );
 
-    let fused = fuse_flexible(&kt_def, &kc_def, FusionConfig::ONE_TO_ONE, &spec.sm)
-        .expect("bench-a fuses");
+    let fused =
+        fuse_flexible(&kt_def, &kc_def, FusionConfig::ONE_TO_ONE, &spec.sm).expect("bench-a fuses");
     let wk_t = micro_launch(&kt_def, 2, iters);
     let wk_c = micro_launch(&kc_def, 2, iters);
     let launch = fused.launch(wk_t.grid, wk_c.grid, &wk_t.bindings, &wk_c.bindings);
@@ -67,7 +70,11 @@ fn table1_micro_fusion_overlaps() {
         .run_launch(&micro_launch(&kt_def, 4, iters).launch())
         .expect("kt x2")
         .duration;
-    assert!((t_b.ratio(t_kt) - 2.0).abs() < 0.3, "Bench-B {:.2}", t_b.ratio(t_kt));
+    assert!(
+        (t_b.ratio(t_kt) - 2.0).abs() < 0.3,
+        "Bench-B {:.2}",
+        t_b.ratio(t_kt)
+    );
 }
 
 /// §V-D: a fused kernel that keeps a block-wide `__syncthreads()` in one
@@ -130,7 +137,8 @@ fn unrewritten_sync_threads_deadlocks() {
 #[test]
 fn cudnn_kernels_are_opaque() {
     let sm = tacker_kernel::SmCapacity::TURING;
-    let cudnn = tacker_workloads::dnn::cudnn::conv_workload(GemmShape::new(8192, 256, 1024), 3, &sm);
+    let cudnn =
+        tacker_workloads::dnn::cudnn::conv_workload(GemmShape::new(8192, 256, 1024), 3, &sm);
     assert!(cudnn.def.is_opaque());
     let cd = Benchmark::Fft.shared_kernel();
     assert!(matches!(
@@ -159,12 +167,14 @@ fn tacker_beats_baymax_with_qos() {
         .with_seed(11)
         .with_timeline();
 
-    let baymax =
-        tacker::run_colocation(&dev, &lc, &be, Policy::Baymax, &config).expect("baymax");
-    let tacker =
-        tacker::run_colocation(&dev, &lc, &be, Policy::Tacker, &config).expect("tacker");
+    let baymax = tacker::run_colocation(&dev, &lc, &be, Policy::Baymax, &config).expect("baymax");
+    let tacker = tacker::run_colocation(&dev, &lc, &be, Policy::Tacker, &config).expect("tacker");
 
-    assert!(tacker.qos_met(), "QoS violations: {}", tacker.qos_violations);
+    assert!(
+        tacker.qos_met(),
+        "QoS violations: {}",
+        tacker.qos_violations
+    );
     assert!(baymax.qos_met());
     assert!(
         tacker.be_work_rate() > baymax.be_work_rate(),

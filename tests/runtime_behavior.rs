@@ -42,7 +42,13 @@ fn manager_selects_the_highest_gain_partner() {
     };
     let hr = SimTime::from_millis(25);
     let decision = manager
-        .decide(Some(&lc), hr, hr, &[Some(small.clone()), Some(big.clone())], false)
+        .decide(
+            Some(&lc),
+            hr,
+            hr,
+            &[Some(small.clone()), Some(big.clone())],
+            false,
+        )
         .expect("decide");
     let Decision::RunFused { be_index, .. } = decision else {
         panic!("expected fusion, got {decision:?}");
@@ -146,7 +152,11 @@ fn cluster_prepared_pairs_serve_the_node_manager() {
         .expect("prepare")
         .expect("pair was distributed");
     assert!(entry.lock().expect("entry").eligible());
-    assert_eq!(node.library().prepared_pairs(), before, "no new preparation");
+    assert_eq!(
+        node.library().prepared_pairs(),
+        before,
+        "no new preparation"
+    );
     let manager = KernelManager::new(
         Arc::clone(node.profiler()),
         Arc::clone(node.library()),
@@ -181,4 +191,70 @@ fn library_is_thread_safe() {
         assert!(h.join().expect("join"));
     }
     assert_eq!(library.prepared_pairs(), 1, "one cached entry");
+}
+
+/// Runs a short traced co-location and returns the recorded decision
+/// stream.
+fn traced_decisions(policy: Policy) -> Vec<tacker_trace::TraceEvent> {
+    use tacker_trace::TraceSink;
+    let device = Arc::new(Device::new(GpuSpec::rtx2080ti()));
+    let lc = tacker_workloads::lc_service("Resnet50", &device).expect("service");
+    let be = tacker_workloads::be_app("sgemm").expect("app");
+    let config = tacker::ExperimentConfig::default().with_queries(8);
+    let ring = Arc::new(tacker_trace::RingSink::unbounded());
+    tacker::server::run_colocation_traced(
+        &device,
+        &lc,
+        &[be],
+        policy,
+        &config,
+        ring.clone() as Arc<dyn TraceSink>,
+    )
+    .expect("traced run");
+    ring.events()
+}
+
+/// Baymax is the reorder-only baseline: its decision trace must contain
+/// no fusion decisions and no fused retirements.
+#[test]
+fn baymax_decision_trace_has_no_fusions() {
+    use tacker_trace::{DecisionKind, TraceEvent};
+    let events = traced_decisions(Policy::Baymax);
+    let decisions = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Decision { .. }))
+        .count();
+    assert!(decisions > 0, "no decisions traced");
+    for ev in &events {
+        if let TraceEvent::Decision { kind, .. } = ev {
+            assert_ne!(*kind, DecisionKind::Fuse, "Baymax fused: {ev:?}");
+        }
+        if let TraceEvent::KernelRetired { label, .. } = ev {
+            assert_ne!(label, "FUSED", "Baymax retired a fused kernel: {ev:?}");
+        }
+    }
+}
+
+/// LC-only runs the service alone: the decision trace must contain no BE
+/// launches of any kind (fused, reordered, or free-running).
+#[test]
+fn lc_only_decision_trace_launches_no_be_work() {
+    use tacker_trace::{DecisionKind, TraceEvent};
+    let events = traced_decisions(Policy::LcOnly);
+    let mut lc_runs = 0;
+    for ev in &events {
+        if let TraceEvent::Decision { kind, .. } = ev {
+            match kind {
+                DecisionKind::Fuse | DecisionKind::Reorder | DecisionKind::FreeBe => {
+                    panic!("LcOnly launched BE work: {ev:?}")
+                }
+                DecisionKind::RunLc => lc_runs += 1,
+                DecisionKind::Idle => {}
+            }
+        }
+        if let TraceEvent::KernelRetired { label, .. } = ev {
+            assert_eq!(label, "LC", "non-LC retirement under LcOnly: {ev:?}");
+        }
+    }
+    assert!(lc_runs > 0, "no LC launches traced");
 }
