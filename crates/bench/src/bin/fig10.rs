@@ -30,20 +30,23 @@ fn main() {
 
     println!("# Figure 10: fused duration vs load ratio (GEMM + fft, X_tc fixed = {x_tc})");
     println!("{:>6} {:>12} {:>10}", "ratio", "T_fuse(us)", "T/X_tc");
-    let mut points = Vec::new();
-    let mut r = 0.1f64;
-    while r <= 2.01 {
+    // The 20 load points are independent measurements: fan them out over
+    // the work pool and join in ratio order.
+    let ratios: Vec<f64> = (1..=20).map(|i| i as f64 * 0.1).collect();
+    let durations = tacker_bench::par_map(tacker_bench::bench_jobs(), &ratios, |_, &r| {
         let cd_grid = ((cd.grid as f64 * r * x_tc.ratio(t_cd_unit)).round() as u64).max(1);
         let launch = {
             let e = entry.lock().expect("entry");
             e.fused.launch(tc.grid, cd_grid, &tc.bindings, &cd.bindings)
         };
         let plan = ExecutablePlan::from_launch(device.spec(), &launch).expect("plan");
-        let t = device.run_plan(&plan).expect("fused").duration;
+        device.run_plan(&plan).expect("fused").duration
+    });
+    let mut points = Vec::new();
+    for (&r, t) in ratios.iter().zip(&durations) {
         let norm = t.ratio(x_tc);
         println!("{:>6.2} {:>12.1} {:>10.3}", r, t.as_micros_f64(), norm);
         points.push((r, norm));
-        r += 0.1;
     }
     // Fit a fresh two-stage model on the sweep and report the inflection.
     let model = FusedPairModel::fit("sweep", &points).expect("fit");

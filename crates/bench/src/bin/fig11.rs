@@ -21,25 +21,31 @@ fn main() {
     let cd0 = Benchmark::Fft.task()[0].clone();
 
     println!("# Figure 11: fused duration vs X_tc at fixed load ratios (GEMM + fft)");
+    let sizes = [1024u64, 2048, 3072, 4096, 6144, 8192];
     for ratio in [0.4f64, 0.8, 1.2, 1.6] {
-        let mut samples = Vec::new();
         println!("## load ratio {ratio:.1}");
         println!("{:>10} {:>12}", "X_tc(us)", "T_fuse(us)");
-        for m in [1024u64, 2048, 3072, 4096, 6144, 8192] {
-            let tc = gemm_workload(&gemm_def, GemmShape::new(m, 4096, 512));
-            let entry = library.prepare(&tc, &cd0).expect("prepare").expect("fuses");
-            let x_tc = profiler.measure(&tc).expect("tc");
-            let t_cd_unit = profiler.measure(&cd0).expect("cd");
-            let cd_grid = ((cd0.grid as f64 * ratio * x_tc.ratio(t_cd_unit)).round() as u64).max(1);
-            let launch = {
-                let e = entry.lock().expect("entry");
-                e.fused
-                    .launch(tc.grid, cd_grid, &tc.bindings, &cd0.bindings)
-            };
-            let plan = ExecutablePlan::from_launch(device.spec(), &launch).expect("plan");
-            let t = device.run_plan(&plan).expect("fused").duration;
-            println!("{:>10.1} {:>12.1}", x_tc.as_micros_f64(), t.as_micros_f64());
-            samples.push((x_tc.as_micros_f64(), t.as_micros_f64()));
+        // Each GEMM size is an independent prepare + measurement; fan them
+        // out and join in size order.
+        let samples: Vec<(f64, f64)> =
+            tacker_bench::par_map(tacker_bench::bench_jobs(), &sizes, |_, &m| {
+                let tc = gemm_workload(&gemm_def, GemmShape::new(m, 4096, 512));
+                let entry = library.prepare(&tc, &cd0).expect("prepare").expect("fuses");
+                let x_tc = profiler.measure(&tc).expect("tc");
+                let t_cd_unit = profiler.measure(&cd0).expect("cd");
+                let cd_grid =
+                    ((cd0.grid as f64 * ratio * x_tc.ratio(t_cd_unit)).round() as u64).max(1);
+                let launch = {
+                    let e = entry.lock().expect("entry");
+                    e.fused
+                        .launch(tc.grid, cd_grid, &tc.bindings, &cd0.bindings)
+                };
+                let plan = ExecutablePlan::from_launch(device.spec(), &launch).expect("plan");
+                let t = device.run_plan(&plan).expect("fused").duration;
+                (x_tc.as_micros_f64(), t.as_micros_f64())
+            });
+        for (x_tc, t) in &samples {
+            println!("{:>10.1} {:>12.1}", x_tc, t);
         }
         let lr = LinReg::fit(&samples).expect("fit");
         let r2 = lr.r2(&samples);

@@ -3,14 +3,22 @@
 //!
 //! Paper: average 18.6%, up to 41.1%; compute-intensive BE applications
 //! gain more than memory-intensive ones.
+//!
+//! The 72 pairs fan out over the `tacker-par` work pool (set `TACKER_JOBS`
+//! to pin the worker count); results are joined in grid order, so the
+//! table below is byte-identical at any jobs count.
 
-use tacker_bench::{eval_config, pair_improvement, rtx2080ti};
+use tacker_bench::{bench_jobs, eval_config, eval_lc_services, rtx2080ti};
 use tacker_workloads::Intensity;
 
 fn main() {
     let device = rtx2080ti();
     let config = eval_config();
     let be_apps = tacker_workloads::be_apps();
+    let lcs = eval_lc_services(&device);
+    let results = tacker::run_improvement_sweep(&device, &lcs, &be_apps, &config, bench_jobs())
+        .expect("sweep");
+
     let mut all = Vec::new();
     let mut compute = Vec::new();
     let mut memory = Vec::new();
@@ -21,29 +29,23 @@ fn main() {
         print!("{:>9}", be.name());
     }
     println!();
-    for lc_name in [
-        "Resnet50",
-        "ResNext",
-        "VGG16",
-        "VGG19",
-        "Inception",
-        "Densenet",
-    ] {
-        let lc = tacker_workloads::lc_service(lc_name, &device).expect("known LC service");
-        print!("{lc_name:<10}");
+    let mut rows = results.iter();
+    for lc in &lcs {
+        print!("{:<10}", lc.name());
         for be in &be_apps {
-            let (imp, _, tacker) = pair_improvement(&device, &lc, be, &config);
+            let (_, _, imp, _, tacker) = rows.next().expect("one row per pair");
             assert!(
                 tacker.p99_latency() <= config.qos_target.mul_f64(1.02),
-                "{lc_name}+{}: p99 {} exceeds QoS",
+                "{}+{}: p99 {} exceeds QoS",
+                lc.name(),
                 be.name(),
                 tacker.p99_latency()
             );
             print!("{:>8.1}%", imp);
-            all.push(imp);
+            all.push(*imp);
             match be.intensity() {
-                Intensity::Compute => compute.push(imp),
-                Intensity::Memory => memory.push(imp),
+                Intensity::Compute => compute.push(*imp),
+                Intensity::Memory => memory.push(*imp),
             }
         }
         println!();

@@ -14,11 +14,15 @@ fn main() {
     let config = tacker_bench::eval_config().with_queries(40).with_timeline();
     let lc = tacker_workloads::lc_service("Resnet50", &device).expect("LC service");
     println!("# Figure 15: active timelines with Tacker");
-    let mut overlaps: Vec<(String, SimTime)> = Vec::new();
-    for be_name in ["sgemm", "fft"] {
+    let be_names = ["sgemm", "fft"];
+    // The two co-locations are independent runs; execute them on the pool
+    // and print in name order.
+    let reports = tacker_bench::par_map(tacker_bench::bench_jobs(), &be_names, |_, be_name| {
         let be = vec![tacker_workloads::be_app(be_name).expect("BE app")];
-        let report =
-            tacker::run_colocation(&device, &lc, &be, Policy::Tacker, &config).expect("tacker run");
+        tacker::run_colocation(&device, &lc, &be, Policy::Tacker, &config).expect("tacker run")
+    });
+    let mut overlaps: Vec<(String, SimTime)> = Vec::new();
+    for (be_name, report) in be_names.iter().zip(reports) {
         let tl = report.timeline.expect("timeline recorded");
         println!(
             "\n## Resnet50 + {be_name} (fused launches: {})",

@@ -16,23 +16,16 @@ fn main() {
     let profiler = Arc::new(KernelProfiler::new(Arc::clone(&device)));
     println!("# Figure 17: PTB-kernel duration prediction error (held-out launches)");
     println!("{:>9} {:>10}", "kernel", "error");
-    let mut errors = Vec::new();
-    let mut eval = |name: &str, train: WorkloadKernel, held: Vec<WorkloadKernel>| {
-        profiler.ensure_model(&train).expect("profiling");
-        let mut worst = 0.0f64;
-        for wk in &held {
-            let e = profiler.prediction_error(wk).expect("error");
-            worst = worst.max(e);
-        }
-        println!("{name:>9} {:>9.2}%", 100.0 * worst);
-        errors.push(worst);
-    };
+    // Assemble every (train, held-out) case, then evaluate the cases on
+    // the work pool — each is an independent model fit + error probe — and
+    // print in case order.
+    let mut cases: Vec<(String, WorkloadKernel, Vec<WorkloadKernel>)> = Vec::new();
     for b in Benchmark::ALL {
         let held = [3u32, 5, 7]
             .iter()
             .map(|&s| b.task_scaled(s)[0].clone())
             .collect();
-        eval(b.name(), b.task()[0].clone(), held);
+        cases.push((b.name().to_string(), b.task()[0].clone(), held));
     }
     // The four DNN operator kernels the paper calls out.
     for (name, def) in [
@@ -45,16 +38,29 @@ fn main() {
             .iter()
             .map(|&n| ew::elementwise_workload(&def, n))
             .collect();
-        eval(name, train, held);
+        cases.push((name.to_string(), train, held));
     }
-    eval(
-        "Pooling",
+    cases.push((
+        "Pooling".to_string(),
         ew::pool_workload(2_000_000, 9),
         vec![
             ew::pool_workload(6_000_000, 9),
             ew::pool_workload(3_000_000, 18),
         ],
-    );
+    ));
+    let errors: Vec<f64> =
+        tacker_bench::par_map(tacker_bench::bench_jobs(), &cases, |_, (_, train, held)| {
+            profiler.ensure_model(train).expect("profiling");
+            let mut worst = 0.0f64;
+            for wk in held {
+                let e = profiler.prediction_error(wk).expect("error");
+                worst = worst.max(e);
+            }
+            worst
+        });
+    for ((name, _, _), worst) in cases.iter().zip(&errors) {
+        println!("{name:>9} {:>9.2}%", 100.0 * worst);
+    }
 
     let avg = errors.iter().sum::<f64>() / errors.len() as f64;
     let max = errors.iter().cloned().fold(0.0, f64::max);

@@ -19,22 +19,20 @@ fn main() {
 
     println!("# Figure 18: two-stage model error on held-out load ratios");
     println!("{:>9} {:>10} {:>10}", "pair", "before", "after");
-    let mut before_all = Vec::new();
-    let mut after_all = Vec::new();
-    for b in [
+    let benchmarks = [
         Benchmark::Fft,
         Benchmark::Cutcp,
         Benchmark::Mriq,
         Benchmark::Cp,
         Benchmark::Stencil,
         Benchmark::Sgemm,
-    ] {
+    ];
+    // One worker per pair: each pair owns its library entry, so the warm-up
+    // observations never cross between workers. Rows join in pair order.
+    let rows = tacker_bench::par_map(tacker_bench::bench_jobs(), &benchmarks, |_, &b| {
         let tc = gemm_workload(&gemm_def, GemmShape::new(4096, 4096, 512));
         let cd = b.task()[0].clone();
-        let Some(entry) = library.prepare(&tc, &cd).expect("prepare") else {
-            println!("{:>9} {:>10} {:>10}", b.name(), "-", "-");
-            continue;
-        };
+        let entry = library.prepare(&tc, &cd).expect("prepare")?;
         let x_tc = profiler.measure(&tc).expect("tc");
         let t_cd_unit = profiler.measure(&cd).expect("cd");
         // Warm the model with a few online observations first — the paper
@@ -77,7 +75,15 @@ fn main() {
             held.push((x_cd.ratio(x_tc), actual.ratio(x_tc)));
         }
         let e = entry.lock().expect("entry");
-        let (before, after) = e.model.validation_error_by_stage(&held);
+        Some(e.model.validation_error_by_stage(&held))
+    });
+    let mut before_all = Vec::new();
+    let mut after_all = Vec::new();
+    for (b, row) in benchmarks.iter().zip(rows) {
+        let Some((before, after)) = row else {
+            println!("{:>9} {:>10} {:>10}", b.name(), "-", "-");
+            continue;
+        };
         println!(
             "{:>9} {:>9.2}% {:>9.2}%",
             b.name(),

@@ -1,0 +1,131 @@
+//! Wall-clock benchmark of the parallel sweep path: a fixed, reduced
+//! LC × BE sweep executed at `jobs = 1` and `jobs = N`, with the device
+//! cache-hit rate alongside. Seeds the repo's perf trajectory as
+//! `results/BENCH_sweep.json` (first `BENCH_*.json` emitter).
+//!
+//! Methodology:
+//!
+//! * A warm-up sweep on a throwaway device populates the global peak-load
+//!   calibration cache, so both timed modes pay the same (zero)
+//!   calibration cost and the comparison isolates sweep execution itself.
+//! * Each timed mode gets a *fresh* device: within a mode the runs share
+//!   the sharded execution cache (that sharing is part of what is being
+//!   measured), but nothing leaks between modes.
+//! * The two modes' reports are asserted identical — the speedup number is
+//!   only meaningful because the parallel sweep is bit-equal to the serial
+//!   one.
+//!
+//! Usage: `cargo run --release -p tacker-bench --bin sweep_bench
+//! [-- <out.json>]` (default `results/BENCH_sweep.json`).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use tacker::prelude::*;
+use tacker_sim::{Device, GpuSpec};
+use tacker_workloads::{BeApp, LcService};
+
+const LC_NAMES: [&str; 2] = ["Resnet50", "VGG16"];
+const BE_NAMES: [&str; 3] = ["fft", "sgemm", "cutcp"];
+const QUERIES: usize = 40;
+
+fn grid(device: &Arc<Device>) -> (Vec<LcService>, Vec<BeApp>) {
+    let lcs = LC_NAMES
+        .iter()
+        .map(|n| tacker_workloads::lc_service(n, device).expect("LC service"))
+        .collect();
+    let bes = BE_NAMES
+        .iter()
+        .map(|n| tacker_workloads::be_app(n).expect("BE app"))
+        .collect();
+    (lcs, bes)
+}
+
+fn run_sweep(jobs: usize, config: &ExperimentConfig) -> (Vec<SweepCell>, f64, Arc<Device>) {
+    let device = Arc::new(Device::new(GpuSpec::rtx2080ti()));
+    let (lcs, bes) = grid(&device);
+    let start = Instant::now();
+    let cells = run_pair_sweep(
+        &device,
+        &lcs,
+        &bes,
+        &[Policy::Baymax, Policy::Tacker],
+        config,
+        jobs,
+    )
+    .expect("sweep");
+    (cells, start.elapsed().as_secs_f64() * 1e3, device)
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results/BENCH_sweep.json".to_string());
+    let config = ExperimentConfig::default().with_queries(QUERIES);
+    let host_cores = tacker_par::available_jobs();
+    let jobs_parallel = host_cores.max(4);
+
+    // Warm-up: populate the process-global peak-load calibration cache so
+    // neither timed mode pays calibration for the other.
+    eprintln!("warm-up (calibration) ...");
+    let _ = run_sweep(jobs_parallel, &config);
+
+    eprintln!("timing jobs=1 ...");
+    let (serial_cells, serial_ms, _) = run_sweep(1, &config);
+    eprintln!("timing jobs={jobs_parallel} ...");
+    let (parallel_cells, parallel_ms, device) = run_sweep(jobs_parallel, &config);
+
+    // The headline number is only honest if parallel == serial.
+    assert_eq!(serial_cells.len(), parallel_cells.len());
+    for (s, p) in serial_cells.iter().zip(&parallel_cells) {
+        assert_eq!(
+            (s.lc.as_str(), s.be.as_str()),
+            (p.lc.as_str(), p.be.as_str())
+        );
+        assert_eq!(
+            s.report.query_latencies, p.report.query_latencies,
+            "{}+{} latencies diverged",
+            s.lc, s.be
+        );
+        assert_eq!(s.report.fused_launches, p.report.fused_launches);
+        assert_eq!(s.report.be_work, p.report.be_work);
+    }
+
+    let (hits, misses) = device.cache_stats();
+    let speedup = serial_ms / parallel_ms.max(1e-9);
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"pair_sweep\",\n",
+            "  \"grid\": {{\"lc\": {lc:?}, \"be\": {be:?}, ",
+            "\"policies\": [\"Baymax\", \"Tacker\"], \"queries\": {queries}}},\n",
+            "  \"host_cores\": {cores},\n",
+            "  \"jobs_serial\": 1,\n",
+            "  \"jobs_parallel\": {jobs},\n",
+            "  \"wall_ms_serial\": {serial:.1},\n",
+            "  \"wall_ms_parallel\": {parallel:.1},\n",
+            "  \"speedup\": {speedup:.2},\n",
+            "  \"results_identical\": true,\n",
+            "  \"device_cache\": {{\"hits\": {hits}, \"misses\": {misses}, ",
+            "\"hit_rate\": {rate:.4}}}\n",
+            "}}\n"
+        ),
+        lc = LC_NAMES,
+        be = BE_NAMES,
+        queries = QUERIES,
+        cores = host_cores,
+        jobs = jobs_parallel,
+        serial = serial_ms,
+        parallel = parallel_ms,
+        speedup = speedup,
+        hits = hits,
+        misses = misses,
+        rate = device.cache_hit_rate(),
+    );
+    std::fs::write(&out, &json).expect("write BENCH_sweep.json");
+    print!("{json}");
+    eprintln!(
+        "jobs=1: {serial_ms:.0} ms, jobs={jobs_parallel}: {parallel_ms:.0} ms \
+         ({speedup:.2}x on {host_cores} core(s)); wrote {out}"
+    );
+}

@@ -12,9 +12,44 @@ use tacker::prelude::*;
 use tacker_sim::{Device, GpuSpec};
 use tacker_workloads::{BeApp, LcService};
 
+/// Re-exported so every figure binary fans its grid out the same way.
+pub use tacker_par::{available_jobs, par_map, try_par_map};
+
+/// The LC services of the paper's evaluation (Table II).
+pub const EVAL_LC_NAMES: [&str; 6] = [
+    "Resnet50",
+    "ResNext",
+    "VGG16",
+    "VGG19",
+    "Inception",
+    "Densenet",
+];
+
 /// The standard experiment configuration used by the evaluation figures.
 pub fn eval_config() -> ExperimentConfig {
     ExperimentConfig::default().with_queries(150)
+}
+
+/// Worker threads for figure regeneration: the `TACKER_JOBS` environment
+/// variable, or every core. Figure rows are joined in grid order, so the
+/// printed output is identical at any jobs count.
+pub fn bench_jobs() -> usize {
+    std::env::var("TACKER_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// The paper's LC services, instantiated against a device.
+///
+/// # Panics
+///
+/// Panics if a Table II service name is unknown (a workloads-crate bug).
+pub fn eval_lc_services(device: &Arc<Device>) -> Vec<LcService> {
+    EVAL_LC_NAMES
+        .iter()
+        .map(|name| tacker_workloads::lc_service(name, device).expect("known LC service"))
+        .collect()
 }
 
 /// A fresh simulated 2080Ti.

@@ -21,9 +21,12 @@ USAGE:
   tacker-cli list
   tacker-cli colocate --lc <service> --be <app>
              [--policy tacker|baymax|fusion-only] [--queries N] [--seed N]
-             [--gpu 2080ti|v100] [--json] [--trace <out.json>]
-  tacker-cli multi    --lc <svc,svc,...> --be <app> [--queries N] [--json]
-             [--trace <out.json>]
+             [--gpu 2080ti|v100] [--jobs N] [--json] [--trace <out.json>]
+  tacker-cli multi    --lc <svc,svc,...> --be <app> [--queries N] [--jobs N]
+             [--json] [--trace <out.json>]
+  tacker-cli sweep    --lc <svc,svc,...> --be <app,app,...>
+             [--policy tacker|baymax|fusion-only] [--queries N] [--seed N]
+             [--gpu 2080ti|v100] [--jobs N] [--json]
   tacker-cli trace    --lc <service> --be <app> [--policy ...] [--queries N]
              [--out <out.json>] [--gpu 2080ti|v100]
   tacker-cli fuse     --cd <parboil> [--m N --n N --k N] [--impl 128|64]
@@ -35,6 +38,11 @@ USAGE:
 `--trace <path>` records scheduler decisions, kernel retirements and query
 completions, and writes a Chrome trace-event JSON loadable in Perfetto
 (https://ui.perfetto.dev) or chrome://tracing.
+
+`--jobs N` sets the worker-thread count for the parallel phases (sweep
+cells, fusion-candidate measurement); 0 or omitted = every core. Any jobs
+count produces bit-identical results: simulation is pure and each run's
+RNG stream is derived from its (pair, policy) coordinates.
 ";
 
 /// Dispatches a command line.
@@ -52,6 +60,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "list" => list(),
         "colocate" => colocate(&flags),
         "multi" => multi(&flags),
+        "sweep" => sweep(&flags),
         "trace" => trace(&flags),
         "fuse" => fuse(&flags),
         "codegen" => codegen(&flags),
@@ -80,8 +89,9 @@ fn policy_for(flags: &Flags) -> Result<Policy, String> {
 }
 
 fn config_for(flags: &Flags) -> Result<ExperimentConfig, String> {
-    let mut config =
-        ExperimentConfig::default().with_queries(flags.get_u64("queries", 100)? as usize);
+    let mut config = ExperimentConfig::default()
+        .with_queries(flags.get_u64("queries", 100)? as usize)
+        .with_jobs(flags.get_u64("jobs", 0)? as usize);
     if let Some(seed) = flags.get("seed") {
         config = config.with_seed(seed.parse().map_err(|_| "--seed expects a number")?);
     }
@@ -285,6 +295,70 @@ fn multi(flags: &Flags) -> Result<(), String> {
         report.be_work_rate(),
         report.fused_launches
     );
+    Ok(())
+}
+
+/// `sweep`: every (LC, BE) pair of the given lists as one parallel grid,
+/// fanned out over `--jobs` workers. Each cell's RNG seed is derived from
+/// its coordinates, so any jobs count produces identical rows.
+fn sweep(flags: &Flags) -> Result<(), String> {
+    let device = device_for(flags)?;
+    let mut lcs = Vec::new();
+    for name in flags.require("lc")?.split(',') {
+        lcs.push(
+            tacker_workloads::lc_service(name.trim(), &device)
+                .ok_or_else(|| format!("unknown LC service `{name}`"))?,
+        );
+    }
+    let mut bes = Vec::new();
+    for name in flags.require("be")?.split(',') {
+        bes.push(
+            tacker_workloads::be_app(name.trim())
+                .ok_or_else(|| format!("unknown BE app `{name}`"))?,
+        );
+    }
+    let policy = policy_for(flags)?;
+    let config = config_for(flags)?;
+    let jobs = config.jobs;
+    let cells = tacker::run_pair_sweep(&device, &lcs, &bes, &[policy], &config, jobs)
+        .map_err(|e| e.to_string())?;
+    if flags.has("json") {
+        for cell in &cells {
+            println!(
+                "{}",
+                report_json(&format!("{}+{}", cell.lc, cell.be), &cell.report)
+            );
+        }
+    } else {
+        println!(
+            "{} pairs under {:?} on {} (jobs {}):",
+            cells.len(),
+            policy,
+            device.spec().name,
+            tacker_par::effective_jobs(jobs),
+        );
+        println!(
+            "{:<10} {:>8} {:>9} {:>9} {:>6} {:>8} {:>7}",
+            "LC", "BE", "mean(ms)", "p99(ms)", "QoS", "BE-rate", "fused"
+        );
+        for cell in &cells {
+            println!(
+                "{:<10} {:>8} {:>9.2} {:>9.2} {:>6} {:>8.3} {:>7}",
+                cell.lc,
+                cell.be,
+                cell.report.mean_latency().as_millis_f64(),
+                cell.report.p99_latency().as_millis_f64(),
+                if cell.report.qos_met() { "met" } else { "MISS" },
+                cell.report.be_work_rate(),
+                cell.report.fused_launches
+            );
+        }
+        let (hits, misses) = device.cache_stats();
+        println!(
+            "device cache: {hits} hits / {misses} misses ({:.1}% hit rate)",
+            100.0 * device.cache_hit_rate()
+        );
+    }
     Ok(())
 }
 
@@ -506,6 +580,16 @@ mod tests {
         assert!(dispatch(&argv("colocate --lc Resnet50")).is_err()); // missing --be
         assert!(dispatch(&argv("colocate --lc Resnet50 --be fft --gpu tpu")).is_err());
         assert!(dispatch(&argv("colocate --lc Resnet50 --be fft --policy magic")).is_err());
+        assert!(dispatch(&argv("colocate --lc Resnet50 --be fft --jobs many")).is_err());
+    }
+
+    #[test]
+    fn sweep_flags_are_validated() {
+        assert!(dispatch(&argv("sweep --lc Resnet50")).is_err()); // missing --be
+        assert!(dispatch(&argv("sweep --be fft,sgemm")).is_err()); // missing --lc
+        assert!(dispatch(&argv("sweep --lc NopeNet --be fft")).is_err());
+        assert!(dispatch(&argv("sweep --lc Resnet50 --be nope")).is_err());
+        assert!(dispatch(&argv("sweep --lc Resnet50 --be fft --policy magic")).is_err());
     }
 
     #[test]

@@ -19,6 +19,12 @@ pub struct ExperimentConfig {
     /// Threshold (relative error) beyond which fused-duration models are
     /// retrained online (0.10 in §VI-C).
     pub model_refresh_threshold: f64,
+    /// Worker threads for the parallelizable phases (fusion-candidate
+    /// measurement, model-fitting ratios, sweep fan-out). `0` means "use
+    /// every core". Parallelism never changes results — the simulation is
+    /// pure and every RNG stream is derived per run — so this is purely a
+    /// wall-clock knob.
+    pub jobs: usize,
 }
 
 impl Default for ExperimentConfig {
@@ -30,6 +36,7 @@ impl Default for ExperimentConfig {
             seed: 0x7ac4e2,
             record_timeline: false,
             model_refresh_threshold: 0.10,
+            jobs: 0,
         }
     }
 }
@@ -50,6 +57,12 @@ impl ExperimentConfig {
     /// Enables timeline recording.
     pub fn with_timeline(mut self) -> Self {
         self.record_timeline = true;
+        self
+    }
+
+    /// Sets the worker-thread count (`0` = every core).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
         self
     }
 
@@ -83,9 +96,11 @@ mod tests {
             .with_queries(10)
             .with_seed(7)
             .with_load(0.5)
+            .with_jobs(4)
             .with_timeline();
         assert_eq!(c.queries, 10);
         assert_eq!(c.seed, 7);
+        assert_eq!(c.jobs, 4);
         assert!(c.record_timeline);
     }
 

@@ -22,7 +22,10 @@
 //!   configured load, endless BE task streams, end-to-end latency and BE
 //!   throughput accounting;
 //! * [`baselines`] — Baymax (reorder-only) and the co-running interface
-//!   models used in §VIII-G.
+//!   models used in §VIII-G;
+//! * [`sweep`] — parallel (LC × BE) grid execution over the `tacker-par`
+//!   work pool, with per-cell derived RNG seeds so any `--jobs` count
+//!   reproduces the serial sweep exactly.
 //!
 //! # Quickstart
 //!
@@ -47,6 +50,7 @@ pub mod manager;
 pub mod metrics;
 pub mod profile;
 pub mod server;
+pub mod sweep;
 
 pub use cluster::{ClusterManager, DistributionReport, GpuNode};
 pub use config::ExperimentConfig;
@@ -58,6 +62,7 @@ pub use server::{
     run_colocation, run_colocation_traced, run_multi_colocation, run_multi_colocation_at_traced,
     run_multi_colocation_traced, MultiRunReport, RunReport, ServiceLoad, ServiceReport,
 };
+pub use sweep::{run_improvement_sweep, run_pair_sweep, SweepCell};
 
 /// Convenient glob imports.
 pub mod prelude {
@@ -65,4 +70,5 @@ pub mod prelude {
     pub use crate::library::FusionLibrary;
     pub use crate::manager::Policy;
     pub use crate::server::{run_colocation, run_multi_colocation, MultiRunReport, RunReport};
+    pub use crate::sweep::{run_improvement_sweep, run_pair_sweep, SweepCell};
 }

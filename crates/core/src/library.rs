@@ -89,6 +89,10 @@ fn work_bucket(wk: &WorkloadKernel) -> u32 {
 pub struct FusionLibrary {
     profiler: Arc<KernelProfiler>,
     pack: PackPriority,
+    /// Worker threads for candidate measurement and ratio profiling
+    /// (`0` = every core). Measurement is pure and memoized, so the thread
+    /// count never changes which candidate wins.
+    jobs: usize,
     entries: Mutex<HashMap<PairKey, Option<Arc<Mutex<PairEntry>>>>>,
 }
 
@@ -98,6 +102,7 @@ impl FusionLibrary {
         FusionLibrary {
             profiler,
             pack: PackPriority::TensorFirst,
+            jobs: 0,
             entries: Mutex::new(HashMap::new()),
         }
     }
@@ -107,8 +112,16 @@ impl FusionLibrary {
         FusionLibrary {
             profiler,
             pack,
+            jobs: 0,
             entries: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Sets the worker-thread count for offline preparation (`0` = every
+    /// core).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
     }
 
     /// Orients a kernel pair as (tensor, cuda) if possible.
@@ -208,8 +221,17 @@ impl FusionLibrary {
             .into_iter()
             .filter_map(|cfg| fuse_flexible(&tc.def, &cd.def, cfg, &spec.sm).ok())
             .collect();
-        let decision = select_best(candidates, sequential, |cand| {
+        // Measure every candidate up front on the work pool (the hottest
+        // offline fan-out: one full simulation per feasible ratio), then
+        // replay the measurements into the selector in candidate order —
+        // `select_best` sees exactly what a serial measurement loop would
+        // have produced.
+        let measured = tacker_par::par_map(self.jobs, &candidates, |_, cand| {
             self.measure_fused(cand, tc, cd, cd_grid).ok()
+        });
+        let mut measured = measured.into_iter();
+        let decision = select_best(candidates, sequential, |_| {
+            measured.next().expect("one measurement per candidate")
         })?;
         let FusionDecision::Fuse {
             kernel,
@@ -220,17 +242,19 @@ impl FusionLibrary {
             return Ok(None);
         };
 
-        // Fit the two-stage model at the paper's profiling ratios.
+        // Fit the two-stage model at the paper's profiling ratios; the
+        // ratio points are independent measurements, so they fan out over
+        // the work pool too and are joined back in ratio order.
         let x_tc = self.profiler.predict(tc)?;
-        let mut samples = Vec::new();
-        for ratio in PROFILE_RATIOS {
-            let g = self.cd_grid_for_ratio(tc, cd, ratio)?;
-            let t_fuse = self.measure_fused(&kernel, tc, cd, g)?;
-            let mut cd_scaled = cd.clone();
-            cd_scaled.grid = g;
-            let x_cd = self.profiler.predict(&cd_scaled)?;
-            samples.push((x_cd.ratio(x_tc), t_fuse.ratio(x_tc)));
-        }
+        let samples: Vec<(f64, f64)> =
+            tacker_par::try_par_map(self.jobs, &PROFILE_RATIOS, |_, &ratio| {
+                let g = self.cd_grid_for_ratio(tc, cd, ratio)?;
+                let t_fuse = self.measure_fused(&kernel, tc, cd, g)?;
+                let mut cd_scaled = cd.clone();
+                cd_scaled.grid = g;
+                let x_cd = self.profiler.predict(&cd_scaled)?;
+                Ok::<_, TackerError>((x_cd.ratio(x_tc), t_fuse.ratio(x_tc)))
+            })?;
         // A pair whose duration cannot be modelled (e.g. degenerate
         // profiling ratios for very coarse CD kernels) is not fused: no
         // model means no QoS guarantee.
@@ -328,6 +352,32 @@ mod tests {
         lib.prepare(&tc, &cd).unwrap();
         assert_eq!(lib.prepared_pairs(), 1);
         assert_eq!(lib.fused_pairs(), 1);
+    }
+
+    #[test]
+    fn parallel_preparation_matches_serial() {
+        let device = Arc::new(Device::new(GpuSpec::rtx2080ti()));
+        let tc = tc_kernel();
+        let cd = Benchmark::Cutcp.task()[0].clone();
+        let serial = {
+            let profiler = Arc::new(KernelProfiler::new(Arc::clone(&device)));
+            let lib = FusionLibrary::new(profiler).with_jobs(1);
+            lib.prepare(&tc, &cd).unwrap().expect("fuses")
+        };
+        let parallel = {
+            let profiler = Arc::new(KernelProfiler::new(Arc::clone(&device)));
+            let lib = FusionLibrary::new(profiler).with_jobs(4);
+            lib.prepare(&tc, &cd).unwrap().expect("fuses")
+        };
+        let s = serial.lock().unwrap();
+        let p = parallel.lock().unwrap();
+        assert_eq!(s.fused.config(), p.fused.config());
+        assert_eq!(s.offline_fused, p.offline_fused);
+        assert_eq!(s.offline_sequential, p.offline_sequential);
+        assert_eq!(
+            s.model.opportune_load_ratio(),
+            p.model.opportune_load_ratio()
+        );
     }
 
     #[test]

@@ -492,7 +492,7 @@ pub fn run_multi_colocation_at_traced(
         Arc::clone(device),
         Arc::clone(&sink),
     ));
-    let library = Arc::new(FusionLibrary::new(Arc::clone(&profiler)));
+    let library = Arc::new(FusionLibrary::new(Arc::clone(&profiler)).with_jobs(config.jobs));
     let manager = KernelManager::with_sink(
         Arc::clone(&profiler),
         Arc::clone(&library),

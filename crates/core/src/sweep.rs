@@ -1,0 +1,194 @@
+//! Parallel (LC service × BE app) sweep execution.
+//!
+//! The paper's evaluation is one big grid: 6 LC services × 12 BE apps,
+//! each cell several full co-location runs (Figures 10–18). The cells are
+//! independent deterministic simulations, so they fan out over the
+//! `tacker-par` work pool and share one [`Device`] — profiling and fusion
+//! preparation done for one cell is memoized and reused by every other
+//! cell that touches the same kernels.
+//!
+//! Determinism: every run's RNG seed is derived from its
+//! `(LC, BE, policy)` coordinates via [`tacker_par::derive_seed`], never
+//! shared between runs, and [`tacker_par::par_map`] joins results back in
+//! grid order. A sweep at `jobs = 32` is therefore bit-identical to the
+//! same sweep at `jobs = 1`.
+
+use std::sync::Arc;
+
+use tacker_sim::Device;
+use tacker_workloads::{BeApp, LcService};
+
+use crate::config::ExperimentConfig;
+use crate::error::TackerError;
+use crate::manager::Policy;
+use crate::server::{run_colocation, RunReport};
+
+/// One (LC, BE, policy) cell of a sweep, with its completed run.
+#[derive(Debug)]
+pub struct SweepCell {
+    /// LC service name.
+    pub lc: String,
+    /// BE application name.
+    pub be: String,
+    /// Policy the cell ran under.
+    pub policy: Policy,
+    /// The run's report.
+    pub report: RunReport,
+}
+
+/// The seed a sweep cell runs with: the experiment's base seed mixed with
+/// the cell coordinates, so each run owns an independent RNG stream
+/// regardless of which worker executes it (or in what order).
+pub fn cell_seed(config: &ExperimentConfig, lc: &str, be: &str, policy: Policy) -> u64 {
+    tacker_par::derive_seed(config.seed, &[lc, be, &format!("{policy:?}")])
+}
+
+/// Runs the full `lcs × bes × policies` grid on `jobs` workers (`0` = every
+/// core), sharing `device` across all cells. Results come back in grid
+/// order: LC-major, then BE, then policy.
+///
+/// # Errors
+///
+/// Propagates the first failing cell's error, by grid order.
+pub fn run_pair_sweep(
+    device: &Arc<Device>,
+    lcs: &[LcService],
+    bes: &[BeApp],
+    policies: &[Policy],
+    config: &ExperimentConfig,
+    jobs: usize,
+) -> Result<Vec<SweepCell>, TackerError> {
+    let mut cells: Vec<(&LcService, &BeApp, Policy)> = Vec::new();
+    for lc in lcs {
+        for be in bes {
+            for &policy in policies {
+                cells.push((lc, be, policy));
+            }
+        }
+    }
+    tacker_par::try_par_map(jobs, &cells, |_, &(lc, be, policy)| {
+        let cfg = config
+            .clone()
+            .with_seed(cell_seed(config, lc.name(), be.name(), policy));
+        let report = run_colocation(device, lc, std::slice::from_ref(be), policy, &cfg)?;
+        Ok(SweepCell {
+            lc: lc.name().to_string(),
+            be: be.name().to_string(),
+            policy,
+            report,
+        })
+    })
+}
+
+/// Tacker-vs-Baymax throughput improvement for every (LC, BE) pair, in
+/// percent — the Figure 14 computation, parallel over the grid. Returns
+/// `(lc, be, improvement %, baymax report, tacker report)` in grid order.
+///
+/// # Errors
+///
+/// Propagates the first failing pair's error, by grid order.
+#[allow(clippy::type_complexity)]
+pub fn run_improvement_sweep(
+    device: &Arc<Device>,
+    lcs: &[LcService],
+    bes: &[BeApp],
+    config: &ExperimentConfig,
+    jobs: usize,
+) -> Result<Vec<(String, String, f64, RunReport, RunReport)>, TackerError> {
+    let mut pairs: Vec<(&LcService, &BeApp)> = Vec::new();
+    for lc in lcs {
+        for be in bes {
+            pairs.push((lc, be));
+        }
+    }
+    tacker_par::try_par_map(jobs, &pairs, |_, &(lc, be)| {
+        let be_slice = std::slice::from_ref(be);
+        let baymax = run_colocation(device, lc, be_slice, Policy::Baymax, config)?;
+        let tacker = run_colocation(device, lc, be_slice, Policy::Tacker, config)?;
+        let imp = 100.0
+            * crate::metrics::throughput_improvement(baymax.be_work_rate(), tacker.be_work_rate());
+        Ok((
+            lc.name().to_string(),
+            be.name().to_string(),
+            imp,
+            baymax,
+            tacker,
+        ))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacker_sim::GpuSpec;
+    use tacker_workloads::parboil::Benchmark;
+    use tacker_workloads::Intensity;
+
+    fn tiny_lc(name: &str, m: u64) -> LcService {
+        let gemm = tacker_workloads::dnn::compile::shared_gemm();
+        LcService::new(
+            name,
+            4,
+            vec![
+                tacker_workloads::gemm::gemm_workload(
+                    &gemm,
+                    tacker_workloads::gemm::GemmShape::new(m, 1024, 512),
+                ),
+                tacker_workloads::dnn::elementwise::elementwise_workload(
+                    &tacker_workloads::dnn::elementwise::relu(),
+                    3_000_000,
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn cell_seeds_are_coordinate_derived() {
+        let config = ExperimentConfig::default();
+        let a = cell_seed(&config, "A", "x", Policy::Tacker);
+        assert_eq!(a, cell_seed(&config, "A", "x", Policy::Tacker));
+        assert_ne!(a, cell_seed(&config, "A", "x", Policy::Baymax));
+        assert_ne!(a, cell_seed(&config, "A", "y", Policy::Tacker));
+        assert_ne!(
+            a,
+            cell_seed(&config.clone().with_seed(1), "A", "x", Policy::Tacker)
+        );
+    }
+
+    #[test]
+    fn sweep_covers_grid_in_order() {
+        let device = Arc::new(Device::new(GpuSpec::rtx2080ti()));
+        let lcs = vec![tiny_lc("a", 1024), tiny_lc("b", 2048)];
+        let bes = vec![tacker_workloads::BeApp::new(
+            "cutcp",
+            Intensity::Compute,
+            Benchmark::Cutcp.task(),
+        )];
+        let config = ExperimentConfig::default().with_queries(10);
+        let cells = run_pair_sweep(
+            &device,
+            &lcs,
+            &bes,
+            &[Policy::Baymax, Policy::Tacker],
+            &config,
+            2,
+        )
+        .unwrap();
+        assert_eq!(cells.len(), 4);
+        assert_eq!(
+            cells
+                .iter()
+                .map(|c| (c.lc.as_str(), c.policy))
+                .collect::<Vec<_>>(),
+            vec![
+                ("a", Policy::Baymax),
+                ("a", Policy::Tacker),
+                ("b", Policy::Baymax),
+                ("b", Policy::Tacker),
+            ]
+        );
+        for c in &cells {
+            assert_eq!(c.report.query_latencies.len(), 10, "{}+{}", c.lc, c.be);
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Dependency-free scoped-thread work pool with deterministic ordering.
+//!
+//! The evaluation pipeline is embarrassingly parallel — 6 LC services ×
+//! 12 BE apps, each pair an independent deterministic simulation — but a
+//! parallel sweep is only useful if it reproduces the serial sweep
+//! *exactly*. This crate provides the two primitives that make that easy:
+//!
+//! * [`par_map`]: a fork-join map over a slice on `N` scoped threads.
+//!   Workers race over a shared atomic cursor, but every result is written
+//!   back to the slot of its input index, so the output order is the input
+//!   order regardless of scheduling. With `jobs <= 1` it degrades to a
+//!   plain serial loop (no threads spawned at all).
+//! * [`derive_seed`]: a stable string-keyed seed mixer, so every run of a
+//!   sweep gets its own RNG stream derived from the (pair, load, policy)
+//!   tuple instead of sharing one mutable stream whose draw order would
+//!   depend on scheduling.
+//!
+//! No work stealing, no channels, no external crates: the units of work in
+//! this workspace (full co-location runs, fused-candidate measurements)
+//! are milliseconds to seconds each, so a single atomic fetch-add per unit
+//! is ample load balancing.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads the host supports, per the OS scheduler.
+///
+/// Falls back to 1 when the platform cannot report it.
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Resolves a user-facing jobs request: `0` means "use every core".
+pub fn effective_jobs(requested: usize) -> usize {
+    if requested == 0 {
+        available_jobs()
+    } else {
+        requested
+    }
+}
+
+/// Maps `f` over `items` on up to `jobs` scoped threads, preserving input
+/// ordering in the output.
+///
+/// `f` receives `(index, &item)` so callers can derive per-item seeds or
+/// labels without capturing mutable state. Results are written to the slot
+/// of their input index; the returned vector is identical to
+/// `items.iter().enumerate().map(|(i, x)| f(i, x)).collect()` for any pure
+/// `f`, whatever the thread interleaving.
+///
+/// # Panics
+///
+/// Propagates the first worker panic after all threads have been joined
+/// (scoped threads cannot be detached mid-map).
+pub fn par_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = effective_jobs(jobs).min(items.len().max(1));
+    if jobs <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    // Each worker claims indices from the shared cursor and returns the
+    // (index, result) pairs it produced; the join below writes each result
+    // into its input slot, which is what makes the output order
+    // deterministic.
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut produced = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            return produced;
+                        }
+                        produced.push((i, f(i, &items[i])));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, r) in handle.join().expect("par_map worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index claimed exactly once"))
+        .collect()
+}
+
+/// Maps a fallible `f` over `items` in parallel and returns the first
+/// error by *input order* (not completion order), so error reporting is
+/// deterministic too.
+///
+/// All items are still evaluated even when an early one fails — workers
+/// race ahead of the join — which is acceptable because workloads here are
+/// pure simulations with no side effects worth cancelling.
+///
+/// # Errors
+///
+/// Returns the error of the lowest-indexed failing item.
+pub fn try_par_map<T, R, E, F>(jobs: usize, items: &[T], f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    let results = par_map(jobs, items, f);
+    results.into_iter().collect()
+}
+
+/// Derives a per-run RNG seed from a base seed and a tuple of string /
+/// integer parts (FNV-1a over the parts, then a SplitMix64 finalizer).
+///
+/// Sweeps seed each run from its own (pair, load, policy) coordinates so
+/// runs stay independent of execution order; two sweeps over the same grid
+/// at different `--jobs` produce bit-identical per-run streams.
+pub fn derive_seed(base: u64, parts: &[&str]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET ^ base;
+    for part in parts {
+        for b in part.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        // Separator so ("ab","c") and ("a","bc") differ.
+        h ^= 0x1f;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    // SplitMix64 finalizer: spreads low-entropy inputs over all 64 bits.
+    let mut z = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn par_map_matches_serial_map() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x * 3 + i as u64)
+            .collect();
+        for jobs in [1, 2, 3, 4, 8, 33] {
+            let par = par_map(jobs, &items, |i, x| x * 3 + i as u64);
+            assert_eq!(par, serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(4, &empty, |_, x| *x).is_empty());
+        assert_eq!(par_map(4, &[7u32], |_, x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let counters: Vec<AtomicU64> = (0..100).map(|_| AtomicU64::new(0)).collect();
+        par_map(7, &(0..100usize).collect::<Vec<_>>(), |_, &i| {
+            counters[i].fetch_add(1, Ordering::Relaxed)
+        });
+        for (i, c) in counters.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "item {i}");
+        }
+    }
+
+    #[test]
+    fn try_par_map_reports_lowest_index_error() {
+        let items: Vec<u32> = (0..64).collect();
+        let r = try_par_map(
+            4,
+            &items,
+            |_, &x| {
+                if x == 9 || x == 41 {
+                    Err(x)
+                } else {
+                    Ok(x)
+                }
+            },
+        );
+        assert_eq!(r, Err(9));
+        let ok = try_par_map::<_, _, u32, _>(4, &items, |_, &x| Ok(x * 2));
+        assert_eq!(ok.unwrap()[10], 20);
+    }
+
+    #[test]
+    fn effective_jobs_resolves_zero() {
+        assert!(effective_jobs(0) >= 1);
+        assert_eq!(effective_jobs(3), 3);
+    }
+
+    #[test]
+    fn derived_seeds_are_stable_and_distinct() {
+        let a = derive_seed(42, &["Resnet50", "fft", "tacker"]);
+        let b = derive_seed(42, &["Resnet50", "fft", "tacker"]);
+        assert_eq!(a, b, "same tuple, same seed");
+        assert_ne!(a, derive_seed(43, &["Resnet50", "fft", "tacker"]));
+        assert_ne!(a, derive_seed(42, &["Resnet50", "fft", "baymax"]));
+        assert_ne!(a, derive_seed(42, &["Resnet50", "sgemm", "tacker"]));
+        // Concatenation boundaries matter.
+        assert_ne!(
+            derive_seed(0, &["ab", "c"]),
+            derive_seed(0, &["a", "bc"]),
+            "separator keeps part boundaries distinct"
+        );
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            par_map(2, &[1u32, 2, 3, 4], |_, &x| {
+                assert!(x != 3, "boom");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+}

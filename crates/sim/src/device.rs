@@ -4,8 +4,18 @@
 //! (every LC query runs the same layer sequence), so the device memoizes
 //! [`KernelRun`] results by launch fingerprint. Simulation is deterministic,
 //! which makes memoization exact rather than approximate.
+//!
+//! The cache is striped across [`CACHE_SHARDS`] independently locked maps
+//! so concurrent sweep workers (see `tacker-par`) do not serialize on one
+//! global mutex: a worker simulating pair A and a worker simulating pair B
+//! almost always touch different shards. Hit/miss counters are plain
+//! atomics for the same reason. Sharding never changes *results* — every
+//! fingerprint maps to exactly one shard, and simulation is pure, so a
+//! racing double-miss simply computes the same `KernelRun` twice and
+//! stores it once.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use tacker_kernel::KernelLaunch;
@@ -16,13 +26,19 @@ use crate::plan::ExecutablePlan;
 use crate::result::KernelRun;
 use crate::spec::GpuSpec;
 
-/// A simulated GPU with an execution cache.
+/// Number of independently locked cache stripes. A power of two so shard
+/// selection is a mask; 16 stripes keep the expected contention between
+/// any two concurrent workers under 7% even before accounting for the
+/// short critical sections.
+pub const CACHE_SHARDS: usize = 16;
+
+/// A simulated GPU with a sharded execution cache.
 #[derive(Debug)]
 pub struct Device {
     spec: GpuSpec,
-    cache: Mutex<HashMap<u64, KernelRun>>,
-    hits: Mutex<u64>,
-    misses: Mutex<u64>,
+    shards: Vec<Mutex<HashMap<u64, KernelRun>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl Device {
@@ -30,15 +46,23 @@ impl Device {
     pub fn new(spec: GpuSpec) -> Device {
         Device {
             spec,
-            cache: Mutex::new(HashMap::new()),
-            hits: Mutex::new(0),
-            misses: Mutex::new(0),
+            shards: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
     /// The device specification.
     pub fn spec(&self) -> &GpuSpec {
         &self.spec
+    }
+
+    /// The cache stripe responsible for a fingerprint. Fingerprints are
+    /// already well-mixed hashes, so the low bits select the shard.
+    fn shard(&self, fp: u64) -> &Mutex<HashMap<u64, KernelRun>> {
+        &self.shards[(fp as usize) & (CACHE_SHARDS - 1)]
     }
 
     /// Executes a plain kernel launch (lower → plan → simulate), memoized.
@@ -58,15 +82,15 @@ impl Device {
     /// Propagates simulation errors. Failures are not cached.
     pub fn run_plan(&self, plan: &ExecutablePlan) -> Result<KernelRun, SimError> {
         if let Some(fp) = plan.fingerprint {
-            if let Some(hit) = self.cache.lock().expect("cache poisoned").get(&fp) {
-                *self.hits.lock().expect("hits poisoned") += 1;
+            if let Some(hit) = self.shard(fp).lock().expect("cache poisoned").get(&fp) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(hit.clone());
             }
         }
         let run = simulate(&self.spec, plan)?;
-        *self.misses.lock().expect("misses poisoned") += 1;
+        self.misses.fetch_add(1, Ordering::Relaxed);
         if let Some(fp) = plan.fingerprint {
-            self.cache
+            self.shard(fp)
                 .lock()
                 .expect("cache poisoned")
                 .insert(fp, run.clone());
@@ -77,14 +101,34 @@ impl Device {
     /// (cache hits, cache misses) so far.
     pub fn cache_stats(&self) -> (u64, u64) {
         (
-            *self.hits.lock().expect("hits poisoned"),
-            *self.misses.lock().expect("misses poisoned"),
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// Fraction of lookups served from the cache, in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let (hits, misses) = self.cache_stats();
+        if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
+    }
+
+    /// Number of memoized kernel runs across all shards.
+    pub fn cache_len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache poisoned").len())
+            .sum()
     }
 
     /// Clears the execution cache.
     pub fn clear_cache(&self) {
-        self.cache.lock().expect("cache poisoned").clear();
+        for shard in &self.shards {
+            shard.lock().expect("cache poisoned").clear();
+        }
     }
 }
 
@@ -114,6 +158,7 @@ mod tests {
         assert_eq!(a, b);
         let (hits, misses) = dev.cache_stats();
         assert_eq!((hits, misses), (1, 1));
+        assert!((dev.cache_hit_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -124,6 +169,7 @@ mod tests {
         assert!(b.cycles > a.cycles);
         let (_, misses) = dev.cache_stats();
         assert_eq!(misses, 2);
+        assert_eq!(dev.cache_len(), 2);
     }
 
     #[test]
@@ -136,6 +182,7 @@ mod tests {
         dev.run_plan(&plan).unwrap();
         let (hits, misses) = dev.cache_stats();
         assert_eq!((hits, misses), (0, 2));
+        assert_eq!(dev.cache_len(), 0);
     }
 
     #[test]
@@ -147,5 +194,46 @@ mod tests {
         dev.run_launch(&l).unwrap();
         let (hits, misses) = dev.cache_stats();
         assert_eq!((hits, misses), (0, 2));
+    }
+
+    #[test]
+    fn entries_spread_across_shards() {
+        // Many distinct grids should not all land in one stripe; with 40
+        // well-mixed fingerprints the chance of a single stripe holding
+        // everything is (1/16)^39 — i.e. this would only fail if shard
+        // selection were broken.
+        let dev = Device::new(GpuSpec::rtx2080ti());
+        for blocks in 1..=40 {
+            dev.run_launch(&launch(blocks * 17)).unwrap();
+        }
+        assert_eq!(dev.cache_len(), 40);
+        let populated = dev
+            .shards
+            .iter()
+            .filter(|s| !s.lock().unwrap().is_empty())
+            .count();
+        assert!(populated > 1, "all entries landed in one shard");
+    }
+
+    #[test]
+    fn concurrent_lookups_are_consistent() {
+        let dev = Arc::new(Device::new(GpuSpec::rtx2080ti()));
+        let launches: Vec<KernelLaunch> = (1..=8).map(|b| launch(b * 34)).collect();
+        let baseline: Vec<KernelRun> = launches
+            .iter()
+            .map(|l| dev.run_launch(l).unwrap())
+            .collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for (l, expect) in launches.iter().zip(&baseline) {
+                        assert_eq!(&dev.run_launch(l).unwrap(), expect);
+                    }
+                });
+            }
+        });
+        let (hits, misses) = dev.cache_stats();
+        assert_eq!(misses, 8, "every distinct launch simulated once");
+        assert_eq!(hits, 8 * 4);
     }
 }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-1ac02f4e8598e503.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-1ac02f4e8598e503: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

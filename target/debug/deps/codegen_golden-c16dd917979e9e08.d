@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/codegen_golden-c16dd917979e9e08.d: tests/codegen_golden.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcodegen_golden-c16dd917979e9e08.rmeta: tests/codegen_golden.rs Cargo.toml
+
+tests/codegen_golden.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

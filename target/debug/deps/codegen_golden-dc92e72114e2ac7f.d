@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codegen_golden-dc92e72114e2ac7f.d: tests/codegen_golden.rs
+
+/root/repo/target/debug/deps/codegen_golden-dc92e72114e2ac7f: tests/codegen_golden.rs
+
+tests/codegen_golden.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_behavior-43b31bcb6538a203.d: tests/engine_behavior.rs
+
+/root/repo/target/debug/deps/engine_behavior-43b31bcb6538a203: tests/engine_behavior.rs
+
+tests/engine_behavior.rs:

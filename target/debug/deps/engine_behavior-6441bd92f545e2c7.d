@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_behavior-6441bd92f545e2c7.d: tests/engine_behavior.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_behavior-6441bd92f545e2c7.rmeta: tests/engine_behavior.rs Cargo.toml
+
+tests/engine_behavior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

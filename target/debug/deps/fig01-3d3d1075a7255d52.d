@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig01-3d3d1075a7255d52.d: crates/bench/src/bin/fig01.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig01-3d3d1075a7255d52.rmeta: crates/bench/src/bin/fig01.rs Cargo.toml
+
+crates/bench/src/bin/fig01.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

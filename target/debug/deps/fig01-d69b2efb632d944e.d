@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01-d69b2efb632d944e.d: crates/bench/src/bin/fig01.rs
+
+/root/repo/target/debug/deps/fig01-d69b2efb632d944e: crates/bench/src/bin/fig01.rs
+
+crates/bench/src/bin/fig01.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02-ceb8ac355016c283.d: crates/bench/src/bin/fig02.rs
+
+/root/repo/target/debug/deps/fig02-ceb8ac355016c283: crates/bench/src/bin/fig02.rs
+
+crates/bench/src/bin/fig02.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03-8b16a069181515e0.d: crates/bench/src/bin/fig03.rs
+
+/root/repo/target/debug/deps/fig03-8b16a069181515e0: crates/bench/src/bin/fig03.rs
+
+crates/bench/src/bin/fig03.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig03-b02dbda185896828.d: crates/bench/src/bin/fig03.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig03-b02dbda185896828.rmeta: crates/bench/src/bin/fig03.rs Cargo.toml
+
+crates/bench/src/bin/fig03.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-a4e772820fe37860.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-a4e772820fe37860: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-21d35c6bdeae59c9.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-21d35c6bdeae59c9: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-c2b3ebfd6b8ba596.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-c2b3ebfd6b8ba596: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15-04239f74bb886e35.d: crates/bench/src/bin/fig15.rs
+
+/root/repo/target/debug/deps/fig15-04239f74bb886e35: crates/bench/src/bin/fig15.rs
+
+crates/bench/src/bin/fig15.rs:

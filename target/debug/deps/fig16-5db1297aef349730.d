@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16-5db1297aef349730.d: crates/bench/src/bin/fig16.rs
+
+/root/repo/target/debug/deps/fig16-5db1297aef349730: crates/bench/src/bin/fig16.rs
+
+crates/bench/src/bin/fig16.rs:

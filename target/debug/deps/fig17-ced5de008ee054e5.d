@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17-ced5de008ee054e5.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/debug/deps/fig17-ced5de008ee054e5: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18-77752d78744dd7e0.d: crates/bench/src/bin/fig18.rs
+
+/root/repo/target/debug/deps/fig18-77752d78744dd7e0: crates/bench/src/bin/fig18.rs
+
+crates/bench/src/bin/fig18.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig18-7a4e7c1d82480245.d: crates/bench/src/bin/fig18.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig18-7a4e7c1d82480245.rmeta: crates/bench/src/bin/fig18.rs Cargo.toml
+
+crates/bench/src/bin/fig18.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19-36fe19653dd0a1fd.d: crates/bench/src/bin/fig19.rs
+
+/root/repo/target/debug/deps/fig19-36fe19653dd0a1fd: crates/bench/src/bin/fig19.rs
+
+crates/bench/src/bin/fig19.rs:

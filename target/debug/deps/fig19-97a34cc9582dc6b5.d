@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig19-97a34cc9582dc6b5.d: crates/bench/src/bin/fig19.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig19-97a34cc9582dc6b5.rmeta: crates/bench/src/bin/fig19.rs Cargo.toml
+
+crates/bench/src/bin/fig19.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig20-09db07e937f8c326.d: crates/bench/src/bin/fig20.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig20-09db07e937f8c326.rmeta: crates/bench/src/bin/fig20.rs Cargo.toml
+
+crates/bench/src/bin/fig20.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig20-ad3d9c44caca7bd5.d: crates/bench/src/bin/fig20.rs
+
+/root/repo/target/debug/deps/fig20-ad3d9c44caca7bd5: crates/bench/src/bin/fig20.rs
+
+crates/bench/src/bin/fig20.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig21-4284c86f8cd09ae0.d: crates/bench/src/bin/fig21.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig21-4284c86f8cd09ae0.rmeta: crates/bench/src/bin/fig21.rs Cargo.toml
+
+crates/bench/src/bin/fig21.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

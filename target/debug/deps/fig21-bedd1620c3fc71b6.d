@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig21-bedd1620c3fc71b6.d: crates/bench/src/bin/fig21.rs
+
+/root/repo/target/debug/deps/fig21-bedd1620c3fc71b6: crates/bench/src/bin/fig21.rs
+
+crates/bench/src/bin/fig21.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig21-e5a02cdac7ce673e.d: crates/bench/src/bin/fig21.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig21-e5a02cdac7ce673e.rmeta: crates/bench/src/bin/fig21.rs Cargo.toml
+
+crates/bench/src/bin/fig21.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

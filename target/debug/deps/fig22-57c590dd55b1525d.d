@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig22-57c590dd55b1525d.d: crates/bench/src/bin/fig22.rs
+
+/root/repo/target/debug/deps/fig22-57c590dd55b1525d: crates/bench/src/bin/fig22.rs
+
+crates/bench/src/bin/fig22.rs:

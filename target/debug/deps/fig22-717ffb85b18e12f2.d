@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig22-717ffb85b18e12f2.d: crates/bench/src/bin/fig22.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig22-717ffb85b18e12f2.rmeta: crates/bench/src/bin/fig22.rs Cargo.toml
+
+crates/bench/src/bin/fig22.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

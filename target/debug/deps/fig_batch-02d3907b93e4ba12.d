@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_batch-02d3907b93e4ba12.d: crates/bench/src/bin/fig_batch.rs
+
+/root/repo/target/debug/deps/fig_batch-02d3907b93e4ba12: crates/bench/src/bin/fig_batch.rs
+
+crates/bench/src/bin/fig_batch.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_batch-6175c91001057060.d: crates/bench/src/bin/fig_batch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_batch-6175c91001057060.rmeta: crates/bench/src/bin/fig_batch.rs Cargo.toml
+
+crates/bench/src/bin/fig_batch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fuser-c602dbc00c647e0d.d: crates/bench/benches/fuser.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuser-c602dbc00c647e0d.rmeta: crates/bench/benches/fuser.rs Cargo.toml
+
+crates/bench/benches/fuser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fusion_props-1ec80bc06629588a.d: tests/fusion_props.rs
+
+/root/repo/target/debug/deps/fusion_props-1ec80bc06629588a: tests/fusion_props.rs
+
+tests/fusion_props.rs:

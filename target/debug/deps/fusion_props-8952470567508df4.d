@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fusion_props-8952470567508df4.d: tests/fusion_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfusion_props-8952470567508df4.rmeta: tests/fusion_props.rs Cargo.toml
+
+tests/fusion_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

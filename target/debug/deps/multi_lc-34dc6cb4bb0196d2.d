@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multi_lc-34dc6cb4bb0196d2.d: crates/bench/src/bin/multi_lc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmulti_lc-34dc6cb4bb0196d2.rmeta: crates/bench/src/bin/multi_lc.rs Cargo.toml
+
+crates/bench/src/bin/multi_lc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

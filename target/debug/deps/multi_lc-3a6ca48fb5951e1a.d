@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_lc-3a6ca48fb5951e1a.d: crates/bench/src/bin/multi_lc.rs
+
+/root/repo/target/debug/deps/multi_lc-3a6ca48fb5951e1a: crates/bench/src/bin/multi_lc.rs
+
+crates/bench/src/bin/multi_lc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multi_lc-b5fadd51f4984e99.d: crates/bench/src/bin/multi_lc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmulti_lc-b5fadd51f4984e99.rmeta: crates/bench/src/bin/multi_lc.rs Cargo.toml
+
+crates/bench/src/bin/multi_lc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

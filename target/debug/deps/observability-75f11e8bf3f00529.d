@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-75f11e8bf3f00529.d: tests/observability.rs
+
+/root/repo/target/debug/deps/observability-75f11e8bf3f00529: tests/observability.rs
+
+tests/observability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/occupancy_props-4e5499eed12c542b.d: tests/occupancy_props.rs
+
+/root/repo/target/debug/deps/occupancy_props-4e5499eed12c542b: tests/occupancy_props.rs
+
+tests/occupancy_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/occupancy_props-c2ff351ac67de828.d: tests/occupancy_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboccupancy_props-c2ff351ac67de828.rmeta: tests/occupancy_props.rs Cargo.toml
+
+tests/occupancy_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

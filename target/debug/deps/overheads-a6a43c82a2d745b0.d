@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overheads-a6a43c82a2d745b0.d: crates/bench/src/bin/overheads.rs
+
+/root/repo/target/debug/deps/overheads-a6a43c82a2d745b0: crates/bench/src/bin/overheads.rs
+
+crates/bench/src/bin/overheads.rs:

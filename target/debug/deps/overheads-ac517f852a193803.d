@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/overheads-ac517f852a193803.d: crates/bench/src/bin/overheads.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboverheads-ac517f852a193803.rmeta: crates/bench/src/bin/overheads.rs Cargo.toml
+
+crates/bench/src/bin/overheads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

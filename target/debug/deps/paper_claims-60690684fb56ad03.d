@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-60690684fb56ad03.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-60690684fb56ad03: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_sweep-31179c3c5661b33c.d: tests/parallel_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_sweep-31179c3c5661b33c.rmeta: tests/parallel_sweep.rs Cargo.toml
+
+tests/parallel_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

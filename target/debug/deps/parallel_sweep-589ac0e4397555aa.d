@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_sweep-589ac0e4397555aa.d: tests/parallel_sweep.rs
+
+/root/repo/target/debug/deps/parallel_sweep-589ac0e4397555aa: tests/parallel_sweep.rs
+
+tests/parallel_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/predictor_props-302e10b6ea20b06c.d: tests/predictor_props.rs
+
+/root/repo/target/debug/deps/predictor_props-302e10b6ea20b06c: tests/predictor_props.rs
+
+tests/predictor_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/predictor_props-b48b82ac415bbd13.d: tests/predictor_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpredictor_props-b48b82ac415bbd13.rmeta: tests/predictor_props.rs Cargo.toml
+
+tests/predictor_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

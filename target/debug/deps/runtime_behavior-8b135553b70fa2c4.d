@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_behavior-8b135553b70fa2c4.d: tests/runtime_behavior.rs
+
+/root/repo/target/debug/deps/runtime_behavior-8b135553b70fa2c4: tests/runtime_behavior.rs
+
+tests/runtime_behavior.rs:

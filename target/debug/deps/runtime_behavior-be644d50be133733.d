@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime_behavior-be644d50be133733.d: tests/runtime_behavior.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime_behavior-be644d50be133733.rmeta: tests/runtime_behavior.rs Cargo.toml
+
+tests/runtime_behavior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/server_props-00196c1c13dd6f40.d: tests/server_props.rs
+
+/root/repo/target/debug/deps/server_props-00196c1c13dd6f40: tests/server_props.rs
+
+tests/server_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/server_props-994b0e9bf89d2f72.d: tests/server_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserver_props-994b0e9bf89d2f72.rmeta: tests/server_props.rs Cargo.toml
+
+tests/server_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

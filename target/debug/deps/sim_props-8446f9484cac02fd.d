@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_props-8446f9484cac02fd.d: tests/sim_props.rs
+
+/root/repo/target/debug/deps/sim_props-8446f9484cac02fd: tests/sim_props.rs
+
+tests/sim_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_props-887645245f7a8fc4.d: tests/sim_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_props-887645245f7a8fc4.rmeta: tests/sim_props.rs Cargo.toml
+
+tests/sim_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

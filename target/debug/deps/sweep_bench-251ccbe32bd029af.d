@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep_bench-251ccbe32bd029af.d: crates/bench/src/bin/sweep_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep_bench-251ccbe32bd029af.rmeta: crates/bench/src/bin/sweep_bench.rs Cargo.toml
+
+crates/bench/src/bin/sweep_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_bench-4d64b90f67076231.d: crates/bench/src/bin/sweep_bench.rs
+
+/root/repo/target/debug/deps/sweep_bench-4d64b90f67076231: crates/bench/src/bin/sweep_bench.rs
+
+crates/bench/src/bin/sweep_bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-83379bb27d463964.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-83379bb27d463964: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

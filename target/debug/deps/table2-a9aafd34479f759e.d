@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-a9aafd34479f759e.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-a9aafd34479f759e: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

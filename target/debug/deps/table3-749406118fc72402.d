@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-749406118fc72402.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-749406118fc72402: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/tacker-760d59fc1b43f5a4.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/cluster.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/library.rs crates/core/src/manager.rs crates/core/src/metrics.rs crates/core/src/profile.rs crates/core/src/server.rs crates/core/src/sweep.rs
+
+/root/repo/target/debug/deps/libtacker-760d59fc1b43f5a4.rlib: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/cluster.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/library.rs crates/core/src/manager.rs crates/core/src/metrics.rs crates/core/src/profile.rs crates/core/src/server.rs crates/core/src/sweep.rs
+
+/root/repo/target/debug/deps/libtacker-760d59fc1b43f5a4.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/cluster.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/library.rs crates/core/src/manager.rs crates/core/src/metrics.rs crates/core/src/profile.rs crates/core/src/server.rs crates/core/src/sweep.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baselines.rs:
+crates/core/src/cluster.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/library.rs:
+crates/core/src/manager.rs:
+crates/core/src/metrics.rs:
+crates/core/src/profile.rs:
+crates/core/src/server.rs:
+crates/core/src/sweep.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/tacker-9291b2f199114180.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/cluster.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/library.rs crates/core/src/manager.rs crates/core/src/metrics.rs crates/core/src/profile.rs crates/core/src/server.rs crates/core/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtacker-9291b2f199114180.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/cluster.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/library.rs crates/core/src/manager.rs crates/core/src/metrics.rs crates/core/src/profile.rs crates/core/src/server.rs crates/core/src/sweep.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/baselines.rs:
+crates/core/src/cluster.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/library.rs:
+crates/core/src/manager.rs:
+crates/core/src/metrics.rs:
+crates/core/src/profile.rs:
+crates/core/src/server.rs:
+crates/core/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

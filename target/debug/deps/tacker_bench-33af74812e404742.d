@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tacker_bench-33af74812e404742.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtacker_bench-33af74812e404742.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtacker_bench-33af74812e404742.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tacker_bench-9ae45d98c66038a0.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtacker_bench-9ae45d98c66038a0.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tacker_cli-46c50f37fdc035ee.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/tacker_cli-46c50f37fdc035ee: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tacker_par-928b7d5f3c576dbb.d: crates/par/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtacker_par-928b7d5f3c576dbb.rmeta: crates/par/src/lib.rs Cargo.toml
+
+crates/par/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

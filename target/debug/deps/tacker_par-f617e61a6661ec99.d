@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tacker_par-f617e61a6661ec99.d: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/tacker_par-f617e61a6661ec99: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tacker_par-f79b3d58989ab0ce.d: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/libtacker_par-f79b3d58989ab0ce.rlib: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/libtacker_par-f79b3d58989ab0ce.rmeta: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

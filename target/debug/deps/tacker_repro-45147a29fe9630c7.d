@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tacker_repro-45147a29fe9630c7.d: src/lib.rs
+
+/root/repo/target/debug/deps/libtacker_repro-45147a29fe9630c7.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libtacker_repro-45147a29fe9630c7.rmeta: src/lib.rs
+
+src/lib.rs:

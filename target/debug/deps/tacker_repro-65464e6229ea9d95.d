@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tacker_repro-65464e6229ea9d95.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtacker_repro-65464e6229ea9d95.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

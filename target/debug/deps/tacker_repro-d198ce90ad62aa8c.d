@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tacker_repro-d198ce90ad62aa8c.d: src/lib.rs
+
+/root/repo/target/debug/deps/tacker_repro-d198ce90ad62aa8c: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workload_coverage-7e199af98f1a8f07.d: tests/workload_coverage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkload_coverage-7e199af98f1a8f07.rmeta: tests/workload_coverage.rs Cargo.toml
+
+tests/workload_coverage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workload_coverage-c3fe21795889a98a.d: tests/workload_coverage.rs
+
+/root/repo/target/debug/deps/workload_coverage-c3fe21795889a98a: tests/workload_coverage.rs
+
+tests/workload_coverage.rs:

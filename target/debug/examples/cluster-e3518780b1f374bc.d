@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cluster-e3518780b1f374bc.d: examples/cluster.rs
+
+/root/repo/target/debug/examples/cluster-e3518780b1f374bc: examples/cluster.rs
+
+examples/cluster.rs:

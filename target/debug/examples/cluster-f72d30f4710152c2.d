@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cluster-f72d30f4710152c2.d: examples/cluster.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcluster-f72d30f4710152c2.rmeta: examples/cluster.rs Cargo.toml
+
+examples/cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

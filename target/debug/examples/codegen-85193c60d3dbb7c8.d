@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/codegen-85193c60d3dbb7c8.d: examples/codegen.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcodegen-85193c60d3dbb7c8.rmeta: examples/codegen.rs Cargo.toml
+
+examples/codegen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/codegen-95601d1db23b2bd5.d: examples/codegen.rs
+
+/root/repo/target/debug/examples/codegen-95601d1db23b2bd5: examples/codegen.rs
+
+examples/codegen.rs:

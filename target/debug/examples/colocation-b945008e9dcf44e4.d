@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/colocation-b945008e9dcf44e4.d: examples/colocation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcolocation-b945008e9dcf44e4.rmeta: examples/colocation.rs Cargo.toml
+
+examples/colocation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

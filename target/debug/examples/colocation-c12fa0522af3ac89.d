@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/colocation-c12fa0522af3ac89.d: examples/colocation.rs
+
+/root/repo/target/debug/examples/colocation-c12fa0522af3ac89: examples/colocation.rs
+
+examples/colocation.rs:

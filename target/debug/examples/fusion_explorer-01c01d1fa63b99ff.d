@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fusion_explorer-01c01d1fa63b99ff.d: examples/fusion_explorer.rs
+
+/root/repo/target/debug/examples/fusion_explorer-01c01d1fa63b99ff: examples/fusion_explorer.rs
+
+examples/fusion_explorer.rs:

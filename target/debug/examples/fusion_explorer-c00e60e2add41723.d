@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fusion_explorer-c00e60e2add41723.d: examples/fusion_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfusion_explorer-c00e60e2add41723.rmeta: examples/fusion_explorer.rs Cargo.toml
+
+examples/fusion_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

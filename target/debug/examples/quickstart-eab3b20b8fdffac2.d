@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-eab3b20b8fdffac2.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-eab3b20b8fdffac2: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_export-1dfb65bb3cd83267.d: examples/trace_export.rs
+
+/root/repo/target/debug/examples/trace_export-1dfb65bb3cd83267: examples/trace_export.rs
+
+examples/trace_export.rs:

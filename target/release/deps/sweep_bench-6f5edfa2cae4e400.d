@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep_bench-6f5edfa2cae4e400.d: crates/bench/src/bin/sweep_bench.rs
+
+/root/repo/target/release/deps/sweep_bench-6f5edfa2cae4e400: crates/bench/src/bin/sweep_bench.rs
+
+crates/bench/src/bin/sweep_bench.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tacker_bench-1dfaa15e16a1b3f1.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libtacker_bench-1dfaa15e16a1b3f1.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libtacker_bench-1dfaa15e16a1b3f1.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

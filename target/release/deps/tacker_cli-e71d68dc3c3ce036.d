@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tacker_cli-e71d68dc3c3ce036.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/tacker_cli-e71d68dc3c3ce036: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tacker_par-20f7450014d14b08.d: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/libtacker_par-20f7450014d14b08.rlib: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/libtacker_par-20f7450014d14b08.rmeta: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

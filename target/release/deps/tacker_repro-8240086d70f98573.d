@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tacker_repro-8240086d70f98573.d: src/lib.rs
+
+/root/repo/target/release/deps/tacker_repro-8240086d70f98573: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tacker_repro-d9ef6c0373429abf.d: src/lib.rs
+
+/root/repo/target/release/deps/libtacker_repro-d9ef6c0373429abf.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libtacker_repro-d9ef6c0373429abf.rmeta: src/lib.rs
+
+src/lib.rs:
