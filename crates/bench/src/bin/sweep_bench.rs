@@ -92,6 +92,7 @@ fn main() {
     }
 
     let (hits, misses) = device.cache_stats();
+    let (fused_hits, fused_misses) = device.fused_cache_stats();
     let speedup = serial_ms / parallel_ms.max(1e-9);
     let json = format!(
         concat!(
@@ -107,7 +108,9 @@ fn main() {
             "  \"speedup\": {speedup:.2},\n",
             "  \"results_identical\": true,\n",
             "  \"device_cache\": {{\"hits\": {hits}, \"misses\": {misses}, ",
-            "\"hit_rate\": {rate:.4}}}\n",
+            "\"hit_rate\": {rate:.4}}},\n",
+            "  \"fused_cache\": {{\"hits\": {fused_hits}, \"misses\": {fused_misses}, ",
+            "\"hit_rate\": {fused_rate:.4}}}\n",
             "}}\n"
         ),
         lc = LC_NAMES,
@@ -121,6 +124,9 @@ fn main() {
         hits = hits,
         misses = misses,
         rate = device.cache_hit_rate(),
+        fused_hits = fused_hits,
+        fused_misses = fused_misses,
+        fused_rate = device.fused_cache_hit_rate(),
     );
     std::fs::write(&out, &json).expect("write BENCH_sweep.json");
     print!("{json}");

@@ -354,9 +354,12 @@ fn sweep(flags: &Flags) -> Result<(), String> {
             );
         }
         let (hits, misses) = device.cache_stats();
+        let (fused_hits, fused_misses) = device.fused_cache_stats();
         println!(
-            "device cache: {hits} hits / {misses} misses ({:.1}% hit rate)",
-            100.0 * device.cache_hit_rate()
+            "device cache: {hits} hits / {misses} misses ({:.1}% hit rate); \
+             fused launches: {fused_hits} hits / {fused_misses} misses ({:.1}% hit rate)",
+            100.0 * device.cache_hit_rate(),
+            100.0 * device.fused_cache_hit_rate()
         );
     }
     Ok(())

@@ -19,9 +19,10 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use tacker_fuser::{
-    enumerate_configs, fuse_flexible, select_best, FusedKernel, FusionDecision, PackPriority,
+    enumerate_configs, fuse_flexible, select_best, FusedKernel, FusionConfig, FusionDecision,
+    PackPriority,
 };
-use tacker_kernel::{KernelId, KernelKind, SimTime};
+use tacker_kernel::{KernelId, KernelKind, SimTime, SmCapacity};
 use tacker_predictor::FusedPairModel;
 use tacker_sim::ExecutablePlan;
 use tacker_workloads::WorkloadKernel;
@@ -94,6 +95,12 @@ pub struct FusionLibrary {
     /// count never changes which candidate wins.
     jobs: usize,
     entries: Mutex<HashMap<PairKey, Option<Arc<Mutex<PairEntry>>>>>,
+    /// Memoized fused-kernel construction, keyed by the component kernels'
+    /// content-derived ids and the fusion ratio. `fuse_flexible` is
+    /// deterministic and content ids are stable across runs, so a ratio
+    /// already built for this (TC, CD) pair — by any caller, at any work
+    /// bucket — is reused instead of re-running the AST transform.
+    fused_defs: Mutex<HashMap<(KernelId, KernelId, FusionConfig), FusedKernel>>,
 }
 
 impl FusionLibrary {
@@ -104,6 +111,7 @@ impl FusionLibrary {
             pack: PackPriority::TensorFirst,
             jobs: 0,
             entries: Mutex::new(HashMap::new()),
+            fused_defs: Mutex::new(HashMap::new()),
         }
     }
 
@@ -114,6 +122,7 @@ impl FusionLibrary {
             pack,
             jobs: 0,
             entries: Mutex::new(HashMap::new()),
+            fused_defs: Mutex::new(HashMap::new()),
         }
     }
 
@@ -151,6 +160,32 @@ impl FusionLibrary {
         }
         let scale = ratio * t_tc.as_nanos() as f64 / t_cd_unit.as_nanos() as f64;
         Ok(((cd.grid as f64 * scale).round() as u64).max(1))
+    }
+
+    /// Builds (or retrieves) the fused kernel for one ratio. Infeasible
+    /// ratios yield `None` and are cheap enough not to cache.
+    fn fused_for(
+        &self,
+        tc: &WorkloadKernel,
+        cd: &WorkloadKernel,
+        cfg: FusionConfig,
+        sm: &SmCapacity,
+    ) -> Option<FusedKernel> {
+        let key = (tc.def.id(), cd.def.id(), cfg);
+        if let Some(hit) = self
+            .fused_defs
+            .lock()
+            .expect("fused defs poisoned")
+            .get(&key)
+        {
+            return Some(hit.clone());
+        }
+        let fused = fuse_flexible(&tc.def, &cd.def, cfg, sm).ok()?;
+        self.fused_defs
+            .lock()
+            .expect("fused defs poisoned")
+            .insert(key, fused.clone());
+        Some(fused)
     }
 
     /// Measures the fused kernel for concrete component launches.
@@ -219,7 +254,7 @@ impl FusionLibrary {
 
         let candidates: Vec<FusedKernel> = configs
             .into_iter()
-            .filter_map(|cfg| fuse_flexible(&tc.def, &cd.def, cfg, &spec.sm).ok())
+            .filter_map(|cfg| self.fused_for(tc, cd, cfg, &spec.sm))
             .collect();
         // Measure every candidate up front on the work pool (the hottest
         // offline fan-out: one full simulation per feasible ratio), then
@@ -276,6 +311,12 @@ impl FusionLibrary {
     /// Number of prepared pairs (including declined ones).
     pub fn prepared_pairs(&self) -> usize {
         self.entries.lock().expect("entries poisoned").len()
+    }
+
+    /// Number of memoized fused-kernel constructions (one per distinct
+    /// `(tc_id, cd_id, ratio)` the library has built).
+    pub fn cached_fused_defs(&self) -> usize {
+        self.fused_defs.lock().expect("fused defs poisoned").len()
     }
 
     /// Number of pairs that fused (entries with a kernel).

@@ -171,8 +171,8 @@ impl KernelManager {
         t_fuse: Option<SimTime>,
     ) {
         self.sink.record(TraceEvent::FusionRejected {
-            lc: lc.def.name().to_string(),
-            be: be.def.name().to_string(),
+            lc: lc.def.name_shared(),
+            be: be.def.name_shared(),
             reason,
             x_tc,
             x_cd,
@@ -383,8 +383,8 @@ impl KernelManager {
             be_heads
                 .get(i)
                 .and_then(|b| b.as_ref())
-                .map(|b| b.def.name().to_string())
-                .unwrap_or_default()
+                .map(|b| b.def.name_shared())
+                .unwrap_or_else(|| "".into())
         };
         let (kind, kernel, predicted, x_tc, x_cd, t_lc) = match decision {
             Decision::RunFused {
@@ -396,7 +396,7 @@ impl KernelManager {
                 ..
             } => (
                 DecisionKind::Fuse,
-                launch.def.name().to_string(),
+                launch.def.name_shared(),
                 *predicted,
                 Some(*x_tc),
                 Some(*x_cd),
@@ -416,8 +416,8 @@ impl KernelManager {
             Decision::RunLc { predicted } => (
                 DecisionKind::RunLc,
                 lc_head
-                    .map(|k| k.def.name().to_string())
-                    .unwrap_or_default(),
+                    .map(|k| k.def.name_shared())
+                    .unwrap_or_else(|| "".into()),
                 *predicted,
                 None,
                 None,
@@ -425,7 +425,7 @@ impl KernelManager {
             ),
             Decision::Idle => (
                 DecisionKind::Idle,
-                String::new(),
+                "".into(),
                 SimTime::ZERO,
                 None,
                 None,

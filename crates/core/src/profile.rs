@@ -195,7 +195,7 @@ impl KernelProfiler {
         };
         if self.tracing {
             self.sink.record(TraceEvent::PredictionError {
-                kernel: wk.def.name().to_string(),
+                kernel: wk.def.name_shared(),
                 predicted,
                 actual,
                 rel_error,

@@ -690,7 +690,7 @@ pub fn run_multi_colocation_at_traced(
                       predicted: SimTime| {
             sink.record(TraceEvent::KernelRetired {
                 kernel: run.name.clone(),
-                label: label.to_string(),
+                label: label.into(),
                 start: end.saturating_sub(run.duration),
                 end,
                 tc_util: run.activity.tc_utilization(run.cycles),
@@ -838,7 +838,7 @@ pub fn run_multi_colocation_at_traced(
                 m_latency_all.observe(latency.as_micros_f64());
                 if tracing {
                     sink.record(TraceEvent::QueryCompleted {
-                        service: svc.name.clone(),
+                        service: svc.name.as_str().into(),
                         arrival: q.arrival,
                         latency,
                         violated,

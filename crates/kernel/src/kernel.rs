@@ -7,25 +7,32 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::ast::{body_unit_usage, Stmt};
 use crate::dims::Dim3;
 use crate::error::KernelError;
+use crate::fingerprint::{def_fingerprint, DefContent, StableHasher};
 use crate::resources::ResourceUsage;
 
-/// Unique identity of a kernel definition within a process.
+/// An interned kernel name: cheap to clone (one refcount bump), derefs to
+/// `&str`. Threaded through executable plans, run results and trace events
+/// so the simulator's hot path never copies name bytes.
+pub type Name = Arc<str>;
+
+/// Content-derived identity of a kernel definition.
+///
+/// The id is a stable structural fingerprint ([`crate::fingerprint`]):
+/// two definitions with equal content — name, kind, block shape,
+/// resources, parameters, body and flags — share one id in any process.
+/// In particular, a fused kernel rebuilt from the same (TC, CD, ratio)
+/// triple by a later run fingerprints identically, so its launches hit
+/// execution caches warmed by earlier runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct KernelId(u64);
 
 impl KernelId {
-    fn next() -> KernelId {
-        static COUNTER: AtomicU64 = AtomicU64::new(1);
-        KernelId(COUNTER.fetch_add(1, Ordering::Relaxed))
-    }
-
-    /// Raw id value.
+    /// Raw fingerprint value.
     pub const fn get(self) -> u64 {
         self.0
     }
@@ -33,7 +40,7 @@ impl KernelId {
 
 impl fmt::Display for KernelId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "k{}", self.0)
+        write!(f, "k{:016x}", self.0)
     }
 }
 
@@ -71,7 +78,7 @@ pub type Bindings = BTreeMap<String, u64>;
 #[derive(Debug, Clone, PartialEq)]
 pub struct KernelDef {
     id: KernelId,
-    name: String,
+    name: Name,
     kind: KernelKind,
     block_dim: Dim3,
     resources: ResourceUsage,
@@ -108,6 +115,11 @@ impl KernelDef {
     /// Kernel name (as it would appear in CUDA source).
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The interned kernel name, sharing this definition's allocation.
+    pub fn name_shared(&self) -> Name {
+        Arc::clone(&self.name)
     }
 
     /// Compute class.
@@ -285,9 +297,23 @@ impl KernelDefBuilder {
         if declared > self.resources.shared_mem_bytes {
             self.resources.shared_mem_bytes = declared;
         }
+        let id = KernelId(def_fingerprint(&DefContent {
+            name: &self.name,
+            kind_tag: match self.kind {
+                KernelKind::Tensor => 0,
+                KernelKind::Cuda => 1,
+                KernelKind::Fused => 2,
+            },
+            block_dim: self.block_dim,
+            resources: &self.resources,
+            params: &self.params,
+            body: &self.body,
+            ptb: self.ptb,
+            opaque: self.opaque,
+        }));
         Ok(KernelDef {
-            id: KernelId::next(),
-            name: self.name,
+            id,
+            name: self.name.into(),
             kind: self.kind,
             block_dim: self.block_dim,
             resources: self.resources,
@@ -322,15 +348,19 @@ impl KernelLaunch {
 
     /// A stable fingerprint of (definition, grid, bindings) for memoising
     /// simulated executions.
+    ///
+    /// The definition contributes its content-derived [`KernelId`] and the
+    /// hash itself is a pinned algorithm ([`StableHasher`]), so equal
+    /// launches fingerprint identically across runs and processes — a
+    /// fused kernel rebuilt by a later run hits caches keyed by this value.
     pub fn fingerprint(&self) -> u64 {
-        use std::collections::hash_map::DefaultHasher;
-        use std::hash::{Hash, Hasher};
-        let mut h = DefaultHasher::new();
-        self.def.id().get().hash(&mut h);
-        self.grid_blocks.hash(&mut h);
+        let mut h = StableHasher::new();
+        h.write_u64(self.def.id().get());
+        h.write_u64(self.grid_blocks);
+        h.write_u64(self.bindings.len() as u64);
         for (k, v) in &self.bindings {
-            k.hash(&mut h);
-            v.hash(&mut h);
+            h.write_str(k);
+            h.write_u64(*v);
         }
         h.finish()
     }
@@ -364,8 +394,19 @@ mod tests {
     }
 
     #[test]
-    fn ids_are_unique() {
-        assert_ne!(toy_def().id(), toy_def().id());
+    fn ids_are_content_derived() {
+        // Structurally equal definitions share one identity (this is what
+        // lets rebuilt fused kernels hit execution caches across runs)...
+        assert_eq!(toy_def().id(), toy_def().id());
+        // ...while any content difference separates them.
+        let other = KernelDef::builder("toy2", KernelKind::Cuda)
+            .block_dim(Dim3::x(128))
+            .resources(ResourceUsage::new(32, 1024))
+            .param("n")
+            .body(vec![Stmt::compute_cd(Expr::param("n"), "fma")])
+            .build()
+            .unwrap();
+        assert_ne!(toy_def().id(), other.id());
     }
 
     #[test]

@@ -50,6 +50,7 @@
 pub mod ast;
 pub mod dims;
 pub mod error;
+pub mod fingerprint;
 pub mod kernel;
 pub mod lower;
 pub mod resources;
@@ -60,7 +61,8 @@ pub mod time;
 pub use ast::{ComputeUnit, Expr, MemDir, MemSpace, Stmt};
 pub use dims::{Dim3, LaunchGeometry};
 pub use error::KernelError;
-pub use kernel::{Bindings, KernelDef, KernelDefBuilder, KernelId, KernelKind, KernelLaunch};
+pub use fingerprint::StableHasher;
+pub use kernel::{Bindings, KernelDef, KernelDefBuilder, KernelId, KernelKind, KernelLaunch, Name};
 pub use lower::{lower_block, LowerOptions};
 pub use resources::{ResourceUsage, SmCapacity};
 pub use segments::{BarrierSpec, BlockProgram, Op, WarpProgram, WarpRole};

@@ -250,7 +250,7 @@ fn role_from_stmts(
     let _ = low.block_warps;
     Ok((
         WarpRole {
-            name: name.to_string(),
+            name: name.into(),
             warps,
             program: WarpProgram::new(low.ops),
             original_blocks,

@@ -10,6 +10,7 @@
 use std::fmt;
 
 use crate::ast::{ComputeUnit, MemDir, MemSpace};
+use crate::kernel::Name;
 use crate::WARP_SIZE;
 
 /// One warp-granularity operation.
@@ -139,7 +140,7 @@ impl WarpProgram {
 #[derive(Debug, Clone, PartialEq)]
 pub struct WarpRole {
     /// Human-readable role name (component kernel name).
-    pub name: String,
+    pub name: Name,
     /// Number of warps in this role.
     pub warps: u32,
     /// The per-work-unit program.

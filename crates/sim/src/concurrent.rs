@@ -108,7 +108,7 @@ fn merged_plan(spec: &GpuSpec, a: &ExecutablePlan, b: &ExecutablePlan) -> Execut
                 }
             }
             roles.push(WarpRole {
-                name: format!("{prefix}:{}", role.name),
+                name: format!("{prefix}:{}", role.name).into(),
                 warps: role.warps,
                 program,
                 original_blocks: role.original_blocks,
@@ -131,7 +131,8 @@ fn merged_plan(spec: &GpuSpec, a: &ExecutablePlan, b: &ExecutablePlan) -> Execut
     let resources = a.resources.fuse_with(&b.resources);
     let occupancy = spec.sm.blocks_per_sm(&resources, threads).max(1) as u64;
     ExecutablePlan {
-        name: format!("{}+{}", a.name, b.name),
+        name: format!("{}+{}", a.name, b.name).into(),
+        fused: false,
         block,
         issued_blocks: occupancy * spec.sm_count as u64,
         resources,
@@ -205,6 +206,7 @@ mod tests {
         let threads = block.threads();
         ExecutablePlan {
             name: name.into(),
+            fused: false,
             block,
             issued_blocks: 68,
             resources: ResourceUsage::new(32, smem),

@@ -39,6 +39,11 @@ pub struct Device {
     shards: Vec<Mutex<HashMap<u64, KernelRun>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Hit/miss counters restricted to fused-kernel plans. Fused launches
+    /// are the reuse the content-derived `KernelId`s were built for, so
+    /// they are accounted separately from plain kernels.
+    fused_hits: AtomicU64,
+    fused_misses: AtomicU64,
 }
 
 impl Device {
@@ -51,6 +56,8 @@ impl Device {
                 .collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            fused_hits: AtomicU64::new(0),
+            fused_misses: AtomicU64::new(0),
         }
     }
 
@@ -84,11 +91,17 @@ impl Device {
         if let Some(fp) = plan.fingerprint {
             if let Some(hit) = self.shard(fp).lock().expect("cache poisoned").get(&fp) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                if plan.fused {
+                    self.fused_hits.fetch_add(1, Ordering::Relaxed);
+                }
                 return Ok(hit.clone());
             }
         }
         let run = simulate(&self.spec, plan)?;
         self.misses.fetch_add(1, Ordering::Relaxed);
+        if plan.fused {
+            self.fused_misses.fetch_add(1, Ordering::Relaxed);
+        }
         if let Some(fp) = plan.fingerprint {
             self.shard(fp)
                 .lock()
@@ -109,6 +122,24 @@ impl Device {
     /// Fraction of lookups served from the cache, in `[0, 1]`.
     pub fn cache_hit_rate(&self) -> f64 {
         let (hits, misses) = self.cache_stats();
+        if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
+    }
+
+    /// (cache hits, cache misses) so far for fused-kernel plans only.
+    pub fn fused_cache_stats(&self) -> (u64, u64) {
+        (
+            self.fused_hits.load(Ordering::Relaxed),
+            self.fused_misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Fraction of fused-plan lookups served from the cache, in `[0, 1]`.
+    pub fn fused_cache_hit_rate(&self) -> f64 {
+        let (hits, misses) = self.fused_cache_stats();
         if hits + misses == 0 {
             0.0
         } else {

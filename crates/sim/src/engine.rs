@@ -27,7 +27,7 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use tacker_kernel::ast::{ComputeUnit, MemSpace};
-use tacker_kernel::{Cycles, Op};
+use tacker_kernel::{Cycles, Name, Op};
 use tacker_trace::{Pipeline, ServerKind, TraceEvent, TraceSink};
 
 use crate::error::SimError;
@@ -95,9 +95,9 @@ impl Server {
         end
     }
 
-    fn stats_event(&self, kernel: &str, kind: ServerKind) -> TraceEvent {
+    fn stats_event(&self, kernel: &Name, kind: ServerKind) -> TraceEvent {
         TraceEvent::ServerStats {
-            kernel: kernel.to_string(),
+            kernel: kernel.clone(),
             server: kind,
             acquires: self.acquires,
             busy_cycles: self.busy,
@@ -194,6 +194,11 @@ struct Engine<'a> {
     pending: Vec<u64>,
     dram_bytes: f64,
     role_finish: Vec<f64>,
+    /// Heap events processed (the engine's unit of simulation work).
+    events: u64,
+    /// Scratch buffer reused across barrier releases so each release does
+    /// not allocate (and drop) a fresh waiter list.
+    release_scratch: Vec<usize>,
     sink: &'a dyn TraceSink,
     /// `sink.enabled()` hoisted once at construction so the disabled path
     /// costs a local-bool branch per emission site, never a virtual call.
@@ -210,13 +215,13 @@ impl<'a> Engine<'a> {
         let occupancy = plan.occupancy(spec);
         if occupancy == 0 {
             return Err(SimError::LaunchFailure {
-                kernel: plan.name.clone(),
+                kernel: plan.name.to_string(),
                 reason: "block does not fit on an SM".to_string(),
             });
         }
         if plan.block.roles.iter().any(|r| r.warps == 0) {
             return Err(SimError::LaunchFailure {
-                kernel: plan.name.clone(),
+                kernel: plan.name.to_string(),
                 reason: "role with zero warps".to_string(),
             });
         }
@@ -244,6 +249,8 @@ impl<'a> Engine<'a> {
             pending: assigned,
             dram_bytes: 0.0,
             role_finish: vec![0.0; plan.block.roles.len()],
+            events: 0,
+            release_scratch: Vec::new(),
             sink,
             tracing,
         };
@@ -270,8 +277,8 @@ impl<'a> Engine<'a> {
             return;
         };
         let start = now + self.spec.block_launch_overhead;
-        let mut warp_ids = Vec::new();
         let block_slot = self.blocks.len();
+        let mut live = 0usize;
         for (ri, role) in self.plan.block.roles.iter().enumerate() {
             let iters = role_iters(role.original_blocks, self.plan.issued_blocks, index);
             for _ in 0..role.warps {
@@ -286,13 +293,12 @@ impl<'a> Engine<'a> {
                     done,
                     finish: start,
                 });
-                warp_ids.push(wid);
                 if !done {
+                    live += 1;
                     self.schedule(start, wid);
                 }
             }
         }
-        let live = warp_ids.iter().filter(|&&w| !self.warps[w].done).count();
         self.blocks.push(BlockInstance {
             index,
             live_warps: live,
@@ -342,16 +348,18 @@ impl<'a> Engine<'a> {
             return;
         }
         let (role_idx, pc) = (self.warps[w].role, self.warps[w].pc);
-        let role = &self.plan.block.roles[role_idx];
-        let op = role.program.ops[pc].clone();
-        match op {
+        // Copy the plan reference out of `self` so the op borrow lives for
+        // `'a`, independent of the `&mut self` the arms below need — no
+        // per-step `Op` clone.
+        let plan = self.plan;
+        match &plan.block.roles[role_idx].program.ops[pc] {
             Op::Compute { unit, ops } => {
                 let issue_end = self.issue.acquire(now, self.issue_cost());
                 let (server, rate) = match unit {
                     ComputeUnit::Tensor => (&mut self.tc, self.spec.tc_ops_per_cycle),
                     ComputeUnit::Cuda => (&mut self.cd, self.spec.cd_ops_per_cycle),
                 };
-                let end = server.acquire(issue_end, ops as f64 / rate);
+                let end = server.acquire(issue_end, *ops as f64 / rate);
                 self.advance_pc(w);
                 self.schedule(end, w);
             }
@@ -361,20 +369,21 @@ impl<'a> Engine<'a> {
                 locality,
                 ..
             } => {
+                let bytes = *bytes as f64;
                 let issue_end = self.issue.acquire(now, self.issue_cost());
                 match space {
                     MemSpace::Shared => {
                         let end = self
                             .shared
-                            .acquire(issue_end, bytes as f64 / self.spec.shared_bytes_per_cycle);
+                            .acquire(issue_end, bytes / self.spec.shared_bytes_per_cycle);
                         self.advance_pc(w);
                         self.schedule(end + self.spec.shared_latency, w);
                     }
                     MemSpace::Global => {
                         let l1_end = self
                             .l1
-                            .acquire(issue_end, bytes as f64 / self.spec.l1_bytes_per_cycle);
-                        let miss = bytes as f64 * (1.0 - locality);
+                            .acquire(issue_end, bytes / self.spec.l1_bytes_per_cycle);
+                        let miss = bytes * (1.0 - locality);
                         if miss > 0.0 {
                             self.warps[w].phase = WarpPhase::DramStage { bytes: miss };
                             self.schedule(l1_end, w);
@@ -385,9 +394,8 @@ impl<'a> Engine<'a> {
                     }
                 }
             }
-            Op::Barrier { id } => {
-                let expected = self
-                    .plan
+            &Op::Barrier { id } => {
+                let expected = plan
                     .block
                     .barrier(id)
                     .map(|b| b.expected_warps)
@@ -411,7 +419,14 @@ impl<'a> Engine<'a> {
                 let b = &mut self.blocks[block];
                 if arrived_now >= expected {
                     *b.barrier_arrived.get_mut(&id).unwrap() = 0;
-                    let mut waiters = b.barrier_waiters.remove(&id).unwrap_or_default();
+                    // Drain waiters into a reused scratch buffer and keep
+                    // the (now empty) Vec in the map, so neither release
+                    // nor the next parking round allocates.
+                    let mut waiters = std::mem::take(&mut self.release_scratch);
+                    waiters.clear();
+                    if let Some(parked) = b.barrier_waiters.get_mut(&id) {
+                        waiters.append(parked);
+                    }
                     waiters.push(w);
                     if self.tracing {
                         self.sink.record(TraceEvent::BarrierRelease {
@@ -422,10 +437,11 @@ impl<'a> Engine<'a> {
                             at_cycles: now,
                         });
                     }
-                    for wi in waiters {
+                    for &wi in &waiters {
                         self.advance_pc(wi);
                         self.schedule(now + BARRIER_COST, wi);
                     }
+                    self.release_scratch = waiters;
                 } else {
                     b.barrier_waiters.entry(id).or_default().push(w);
                 }
@@ -450,6 +466,7 @@ impl<'a> Engine<'a> {
     fn run(mut self) -> Result<KernelRun, SimError> {
         let mut last_time = 0.0_f64;
         while let Some(ev) = self.heap.pop() {
+            self.events += 1;
             last_time = last_time.max(ev.time);
             let w = ev.warp;
             if self.warps[w].done {
@@ -463,10 +480,17 @@ impl<'a> Engine<'a> {
             self.step(ev);
         }
         // Deadlock check: every warp must have completed.
+        // Released barriers keep an empty Vec in the map (scratch reuse);
+        // only barriers with parked warps count as stuck.
         let stuck: Vec<u16> = self
             .blocks
             .iter()
-            .flat_map(|b| b.barrier_waiters.keys().copied())
+            .flat_map(|b| {
+                b.barrier_waiters
+                    .iter()
+                    .filter(|(_, ws)| !ws.is_empty())
+                    .map(|(id, _)| *id)
+            })
             .collect();
         if self.warps.iter().any(|w| !w.done) {
             let mut pending = stuck;
@@ -480,7 +504,7 @@ impl<'a> Engine<'a> {
                 });
             }
             return Err(SimError::Deadlock {
-                kernel: self.plan.name.clone(),
+                kernel: self.plan.name.to_string(),
                 pending_barriers: pending,
             });
         }
@@ -520,6 +544,7 @@ impl<'a> Engine<'a> {
             role_finish,
             occupancy,
             dram_bytes: self.dram_bytes,
+            events: self.events,
         })
     }
 
@@ -633,6 +658,7 @@ mod tests {
         let threads = block.threads();
         ExecutablePlan {
             name: "test".into(),
+            fused: false,
             block,
             issued_blocks: issued,
             resources: ResourceUsage::new(32, 0),
@@ -798,6 +824,7 @@ mod tests {
             )]);
             ExecutablePlan {
                 name: "wave".into(),
+                fused: false,
                 block,
                 issued_blocks: blocks_per_sm * 68,
                 resources: ResourceUsage::new(32, 0),

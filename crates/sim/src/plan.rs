@@ -4,7 +4,7 @@
 //! straight from a [`KernelLaunch`]; the fuser builds plans for fused
 //! kernels by combining the component roles itself.
 
-use tacker_kernel::{lower_block, BlockProgram, KernelLaunch, ResourceUsage};
+use tacker_kernel::{lower_block, BlockProgram, KernelKind, KernelLaunch, Name, ResourceUsage};
 
 use crate::error::SimError;
 use crate::spec::GpuSpec;
@@ -12,8 +12,12 @@ use crate::spec::GpuSpec;
 /// A fully lowered, ready-to-simulate kernel execution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExecutablePlan {
-    /// Kernel (or fused kernel) name, for reports and errors.
-    pub name: String,
+    /// Kernel (or fused kernel) name, for reports and errors. Shared so
+    /// per-event trace records clone a pointer, not the string.
+    pub name: Name,
+    /// Whether this plan executes a fused kernel (drives the device's
+    /// fused-vs-plain cache accounting).
+    pub fused: bool,
     /// The per-block warp programs.
     pub block: BlockProgram,
     /// Number of blocks actually issued to the device. For PTB kernels this
@@ -73,7 +77,8 @@ impl ExecutablePlan {
         }
         let block = lower_block(def, launch.grid_blocks, &bindings)?;
         Ok(ExecutablePlan {
-            name: def.name().to_string(),
+            name: def.name_shared(),
+            fused: def.kind() == KernelKind::Fused,
             block,
             issued_blocks: issued,
             resources: *def.resources(),

@@ -99,6 +99,7 @@ mod tests {
         let threads = block.threads();
         let plan = ExecutablePlan {
             name: "p".into(),
+            fused: false,
             block,
             issued_blocks: 68 * 4,
             resources: ResourceUsage::new(32, 0),
@@ -150,6 +151,7 @@ mod tests {
         let threads = block.threads();
         let plan = ExecutablePlan {
             name: "fused".into(),
+            fused: false,
             block,
             issued_blocks: 68 * 4,
             resources: ResourceUsage::new(32, 0),

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use tacker_kernel::{Cycles, SimTime};
+use tacker_kernel::{Cycles, Name, SimTime};
 
 /// A half-open busy interval `[start, end)` in cycles.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -75,7 +75,7 @@ impl ActivitySummary {
 #[derive(Debug, Clone, PartialEq)]
 pub struct KernelRun {
     /// Kernel name.
-    pub name: String,
+    pub name: Name,
     /// Makespan on the busiest SM, in cycles (includes launch overheads).
     pub cycles: Cycles,
     /// Makespan converted with the device clock.
@@ -88,11 +88,14 @@ pub struct KernelRun {
     pub cd_intervals: Vec<Interval>,
     /// Completion cycle of each warp role (role name, finish), letting
     /// callers observe the co-run/solo-run phase split of fused kernels.
-    pub role_finish: Vec<(String, Cycles)>,
+    pub role_finish: Vec<(Name, Cycles)>,
     /// Resident blocks per SM this run achieved.
     pub occupancy: u32,
     /// DRAM bytes moved by the representative SM (post-locality).
     pub dram_bytes: f64,
+    /// Discrete events the engine processed to produce this run (0 for
+    /// cache-replayed results). Deterministic for a given plan.
+    pub events: u64,
 }
 
 impl KernelRun {
@@ -196,6 +199,7 @@ mod tests {
             ],
             occupancy: 1,
             dram_bytes: 0.0,
+            events: 0,
         };
         assert_eq!(run.corun_cycles(), Cycles::new(60));
         assert_eq!(run.role_finish_containing("cd"), Some(Cycles::new(100)));

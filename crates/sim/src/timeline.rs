@@ -9,7 +9,7 @@
 
 use std::fmt::Write as _;
 
-use tacker_kernel::SimTime;
+use tacker_kernel::{Name, SimTime};
 use tacker_trace::PIPELINE_ACTIVE_THRESHOLD;
 
 use crate::result::KernelRun;
@@ -18,7 +18,7 @@ use crate::result::KernelRun;
 #[derive(Debug, Clone, PartialEq)]
 pub struct TimelineEntry {
     /// Kernel name.
-    pub name: String,
+    pub name: Name,
     /// Free-form label (e.g. "LC", "BE", "FUSED").
     pub label: String,
     /// Start instant.
@@ -205,6 +205,7 @@ mod tests {
             role_finish: vec![],
             occupancy: 1,
             dram_bytes: 0.0,
+            events: 0,
         }
     }
 

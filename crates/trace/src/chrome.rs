@@ -145,7 +145,7 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                 }
                 for tid in tracks {
                     out.push(ChromeEvent {
-                        name: kernel.clone(),
+                        name: kernel.to_string(),
                         cat: "kernel",
                         ph: 'X',
                         ts,

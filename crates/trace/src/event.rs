@@ -6,7 +6,7 @@
 
 use std::fmt::Write as _;
 
-use tacker_kernel::SimTime;
+use tacker_kernel::{Name, SimTime};
 
 /// A compute pipeline of the simulated SM.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,7 +127,7 @@ pub enum TraceEvent {
     /// A merged busy interval of one compute pipeline, in cycles.
     PipelineInterval {
         /// The kernel being simulated.
-        kernel: String,
+        kernel: Name,
         /// Which pipeline.
         pipeline: Pipeline,
         /// Interval start, cycles.
@@ -138,7 +138,7 @@ pub enum TraceEvent {
     /// Aggregate FCFS-server statistics over one kernel simulation.
     ServerStats {
         /// The kernel being simulated.
-        kernel: String,
+        kernel: Name,
         /// Which server.
         server: ServerKind,
         /// Ops serviced.
@@ -153,7 +153,7 @@ pub enum TraceEvent {
     /// A warp arrived at a named barrier.
     BarrierArrival {
         /// The kernel being simulated.
-        kernel: String,
+        kernel: Name,
         /// Issued-block index.
         block: u64,
         /// Barrier id.
@@ -168,7 +168,7 @@ pub enum TraceEvent {
     /// A named barrier released its waiters.
     BarrierRelease {
         /// The kernel being simulated.
-        kernel: String,
+        kernel: Name,
         /// Issued-block index.
         block: u64,
         /// Barrier id.
@@ -181,7 +181,7 @@ pub enum TraceEvent {
     /// A simulation ended in deadlock: barriers that can never release.
     Deadlock {
         /// The kernel being simulated.
-        kernel: String,
+        kernel: Name,
         /// Barrier ids with parked waiters.
         pending_barriers: Vec<u16>,
         /// Warps that never finished.
@@ -190,7 +190,7 @@ pub enum TraceEvent {
     /// One kernel simulation completed.
     KernelComplete {
         /// Kernel name.
-        kernel: String,
+        kernel: Name,
         /// Makespan in cycles.
         cycles: u64,
         /// Tensor-pipeline busy cycles.
@@ -210,7 +210,7 @@ pub enum TraceEvent {
         kind: DecisionKind,
         /// The kernel chosen to run (fused kernel name for `Fuse`), empty
         /// for `Idle`.
-        kernel: String,
+        kernel: Name,
         /// QoS headroom offered to fusion.
         headroom: SimTime,
         /// Budget-capped headroom offered to reordering.
@@ -232,9 +232,9 @@ pub enum TraceEvent {
     /// A fusion candidate was evaluated and rejected.
     FusionRejected {
         /// The LC head kernel.
-        lc: String,
+        lc: Name,
         /// The BE head kernel.
-        be: String,
+        be: Name,
         /// Why the pair was rejected.
         reason: FusionRejectReason,
         /// Predicted solo Tensor duration, when it was computed.
@@ -247,9 +247,9 @@ pub enum TraceEvent {
     /// One kernel (or fused kernel) retired on the device timeline.
     KernelRetired {
         /// Kernel name.
-        kernel: String,
+        kernel: Name,
         /// Timeline label (`"LC"`, `"BE"`, `"FUSED"`).
-        label: String,
+        label: Name,
         /// Start instant on the device wall clock.
         start: SimTime,
         /// End instant on the device wall clock.
@@ -266,7 +266,7 @@ pub enum TraceEvent {
     /// Per-launch prediction accuracy of the profiler's models.
     PredictionError {
         /// Kernel name.
-        kernel: String,
+        kernel: Name,
         /// Predicted duration.
         predicted: SimTime,
         /// Measured duration.
@@ -277,14 +277,14 @@ pub enum TraceEvent {
     /// An online model refresh was triggered (>10% error, §VI-C).
     ModelRefresh {
         /// The fused pair (or kernel) whose model was refit.
-        kernel: String,
+        kernel: Name,
         /// The relative error that triggered the refresh.
         rel_error: f64,
     },
     /// One LC query completed.
     QueryCompleted {
         /// Service name.
-        service: String,
+        service: Name,
         /// Arrival instant.
         arrival: SimTime,
         /// End-to-end latency.

@@ -149,7 +149,7 @@ mod tests {
             .events()
             .into_iter()
             .map(|e| match e {
-                TraceEvent::ModelRefresh { kernel, .. } => kernel,
+                TraceEvent::ModelRefresh { kernel, .. } => kernel.to_string(),
                 _ => unreachable!(),
             })
             .collect();

@@ -230,7 +230,7 @@ fn baymax_decision_trace_has_no_fusions() {
             assert_ne!(*kind, DecisionKind::Fuse, "Baymax fused: {ev:?}");
         }
         if let TraceEvent::KernelRetired { label, .. } = ev {
-            assert_ne!(label, "FUSED", "Baymax retired a fused kernel: {ev:?}");
+            assert_ne!(&**label, "FUSED", "Baymax retired a fused kernel: {ev:?}");
         }
     }
 }
@@ -253,7 +253,7 @@ fn lc_only_decision_trace_launches_no_be_work() {
             }
         }
         if let TraceEvent::KernelRetired { label, .. } = ev {
-            assert_eq!(label, "LC", "non-LC retirement under LcOnly: {ev:?}");
+            assert_eq!(&**label, "LC", "non-LC retirement under LcOnly: {ev:?}");
         }
     }
     assert!(lc_runs > 0, "no LC launches traced");

@@ -32,6 +32,7 @@ fn plan(
     let threads = block.threads();
     ExecutablePlan {
         name: "prop".into(),
+        fused: false,
         block,
         issued_blocks: originals.min(68 * 4),
         resources: ResourceUsage::new(32, 0),
@@ -143,6 +144,7 @@ proptest! {
         let threads = fused_block.threads();
         let fused = ExecutablePlan {
             name: "fused".into(),
+            fused: false,
             block: fused_block,
             issued_blocks: 68,
             resources: ResourceUsage::new(32, 0),
