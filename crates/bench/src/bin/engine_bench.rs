@@ -1,32 +1,36 @@
 //! Engine hot-path and fused-plan cache benchmark.
 //!
-//! Two measurements, emitted as `results/BENCH_engine.json`:
+//! Three measurements, emitted as `results/BENCH_engine.json`:
 //!
-//! * **Engine throughput** — discrete events processed per second by the
-//!   DES engine on uncached simulations of representative plans (a
+//! * **Engine throughput (A/B)** — micro-events processed per second by
+//!   the DES engine on uncached simulations of representative plans (a
 //!   compute-bound kernel, a fused-shape two-role kernel with named
-//!   barriers, and a memory-bound kernel). This is the allocation-sensitive
-//!   number: per-step op clones, per-release waiter-list allocations and
-//!   per-event name clones all land here.
+//!   barriers, and a memory-bound kernel), measured once per engine
+//!   configuration: the reference binary heap without macro-stepping,
+//!   and the calendar queue with macro-stepping (the default). The
+//!   micro-event count is invariant across configurations, so the two
+//!   rates divide into an honest in-process speedup.
+//! * **Coalescing stats** — one deterministic pass over the same plans
+//!   under the default engine, recording events, queue pops, and
+//!   macro-runs; the coalesce ratio `(events - pops) / events` is the
+//!   fraction of heap transactions macro-stepping eliminated.
 //! * **Repeated-sweep wall-clock** — the reduced LC × BE sweep
 //!   (`Resnet50 × {fft, cutcp}`, Baymax + Tacker, 30 queries) run twice on
-//!   one device. The second, identical run is where content-derived kernel
-//!   ids pay off: every launch — fused launches included — replays from the
-//!   sharded execution cache. Before kernel ids were content-derived,
-//!   fused `KernelDef`s were rebuilt per run with fresh ids, so fused
-//!   launches *never* hit the cache across runs (see `baseline` in the
-//!   JSON).
+//!   one device. The second, identical run replays every launch — fused
+//!   launches included — from the sharded execution cache.
 //!
 //! Methodology mirrors `sweep_bench`: a warm-up sweep on a throwaway
 //! device populates the process-global peak-load calibration cache, so the
 //! timed runs isolate sweep execution itself.
 //!
 //! Usage: `cargo run --release -p tacker-bench --bin engine_bench
-//! [-- --jobs N] [--check] [--out results/BENCH_engine.json]`
+//! [-- --jobs N] [--queue heap|calendar|both] [--check]
+//! [--out results/BENCH_engine.json]`
 //!
-//! `--check` exits non-zero unless the repeated sweep's fused-launch cache
-//! hit rate is at least 0.5 — the CI smoke floor for the cross-run reuse
-//! this benchmark exists to demonstrate.
+//! `--check` exits non-zero unless (a) the repeated sweep's fused-launch
+//! cache hit rate is at least 0.5, (b) the default engine's events/s is
+//! at least `CHECK_THROUGHPUT_FLOOR` × the pinned baseline, and (c) the
+//! deterministic coalesce ratio is at least `CHECK_COALESCE_FLOOR`.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -34,17 +38,20 @@ use std::time::Instant;
 use tacker::prelude::*;
 use tacker_kernel::ast::{ComputeUnit, MemDir, MemSpace};
 use tacker_kernel::{BlockProgram, Op, ResourceUsage, WarpProgram, WarpRole};
-use tacker_sim::{simulate, Device, ExecutablePlan, GpuSpec};
+use tacker_sim::{
+    simulate_with_options, Device, EngineOptions, ExecutablePlan, GpuSpec, QueueKind,
+};
+use tacker_trace::NoopSink;
 use tacker_workloads::{BeApp, LcService};
 
-/// Pre-change baseline for the repeated-sweep scenario, measured at commit
-/// 618aa3d (counter-derived kernel ids): the second identical sweep still
-/// re-simulated every fused launch (85 cache misses) and took ~87.3 ms at
-/// `jobs = 1` on the reference container. Kept here so the committed JSON
-/// records the improvement against a pinned number.
-const BASELINE_COMMIT: &str = "618aa3d";
-const BASELINE_REPEATED_MS: f64 = 87.3;
-const BASELINE_FUSED_HIT_RATE: f64 = 0.0;
+/// Pre-change baseline, measured at commit 5d71b09 (binary-heap event
+/// queue, no macro-stepping, HashMap barrier state) on this container:
+/// 12.43 M events/s on the throughput microbench and ~41.1 ms for the
+/// repeated sweep at `jobs = 1`. Kept here so the committed JSON records
+/// the event-core improvement against a pinned number.
+const BASELINE_COMMIT: &str = "5d71b09";
+const BASELINE_EVENTS_PER_SEC: f64 = 12_430_219.0;
+const BASELINE_REPEATED_MS: f64 = 41.1;
 
 const LC_NAMES: [&str; 1] = ["Resnet50"];
 const BE_NAMES: [&str; 2] = ["fft", "cutcp"];
@@ -52,6 +59,21 @@ const QUERIES: usize = 30;
 
 /// Fused-launch cache hit-rate floor enforced by `--check`.
 const CHECK_FUSED_HIT_FLOOR: f64 = 0.5;
+/// Throughput floor enforced by `--check`: the default engine must
+/// process at least this multiple of `BASELINE_EVENTS_PER_SEC`.
+/// (Typical measurements land at 2.5–3×; the in-process heap-vs-calendar
+/// speedup is also reported, but only informationally — its margin is
+/// too thin to gate on.)
+const CHECK_THROUGHPUT_FLOOR: f64 = 2.0;
+/// Floor on the deterministic coalesce ratio `(events - pops) / events`
+/// enforced by `--check`.
+const CHECK_COALESCE_FLOOR: f64 = 0.5;
+
+/// Reference configuration: the pre-change engine (heap, event-by-event).
+const REFERENCE: EngineOptions = EngineOptions {
+    queue: QueueKind::Heap,
+    macro_step: false,
+};
 
 fn role(name: &str, warps: u32, ops: Vec<Op>, original_blocks: u64) -> WarpRole {
     WarpRole {
@@ -77,7 +99,9 @@ fn plan_of(name: &str, roles: Vec<WarpRole>, issued: u64) -> ExecutablePlan {
 }
 
 /// Representative plans for the throughput microbench: compute-bound,
-/// fused-shape (two roles + a named barrier on the loop), memory-bound.
+/// fused-shape (two roles + a named barrier on the loop), memory-bound,
+/// and an occupancy-tail phase (a lone long-running warp, the regime
+/// where warp macro-stepping collapses whole runs of events inline).
 fn engine_plans() -> Vec<ExecutablePlan> {
     let compute = plan_of(
         "bench_cd",
@@ -134,29 +158,102 @@ fn engine_plans() -> Vec<ExecutablePlan> {
         )],
         68 * 4,
     );
-    vec![compute, fused, memory]
+    // Serial tail: one warp, one block, a mixed program iterated many
+    // times — models the low-occupancy phases (kernel tails, serial LC
+    // stages) where the event queue holds a single pending event.
+    let tail = plan_of(
+        "bench_tail",
+        vec![role(
+            "tail",
+            1,
+            vec![
+                Op::Compute {
+                    unit: ComputeUnit::Cuda,
+                    ops: 512,
+                },
+                Op::Memory {
+                    dir: MemDir::Read,
+                    space: MemSpace::Shared,
+                    bytes: 1024,
+                    locality: 0.0,
+                },
+                Op::Memory {
+                    dir: MemDir::Read,
+                    space: MemSpace::Global,
+                    bytes: 2 * 1024,
+                    locality: 0.9,
+                },
+            ],
+            512,
+        )],
+        1,
+    );
+    vec![compute, fused, memory, tail]
 }
 
-/// Simulates the microbench plans round-robin until `min_secs` of wall
-/// clock have elapsed; returns (events, wall_seconds).
-fn measure_engine_throughput(min_secs: f64) -> (u64, f64) {
+/// Simulates the microbench plans round-robin under `options` until
+/// `min_secs` of wall clock have elapsed; returns (events, wall_seconds).
+/// `events` counts micro-events, which are invariant across options, so
+/// rates from different options are directly comparable.
+fn measure_engine_throughput(min_secs: f64, options: EngineOptions) -> (u64, f64) {
     let spec = GpuSpec::rtx2080ti();
     let plans = engine_plans();
     // One untimed pass warms page tables and branch predictors.
     for plan in &plans {
-        let _ = simulate(&spec, plan).expect("bench plan simulates");
+        let _ = simulate_with_options(&spec, plan, spec.sm_count, &NoopSink, options)
+            .expect("bench plan simulates");
     }
     let mut events = 0u64;
     let start = Instant::now();
     loop {
         for plan in &plans {
-            events += simulate(&spec, plan).expect("bench plan simulates").events;
+            events += simulate_with_options(&spec, plan, spec.sm_count, &NoopSink, options)
+                .expect("bench plan simulates")
+                .events;
         }
         if start.elapsed().as_secs_f64() >= min_secs {
             break;
         }
     }
     (events, start.elapsed().as_secs_f64())
+}
+
+/// Deterministic coalescing stats: one pass over the microbench plans
+/// under the default engine (calendar + macro-stepping).
+struct CoalesceStats {
+    events: u64,
+    pops: u64,
+    macro_runs: u64,
+    ratio: f64,
+}
+
+fn measure_coalescing() -> CoalesceStats {
+    let spec = GpuSpec::rtx2080ti();
+    let (mut events, mut pops, mut macro_runs) = (0u64, 0u64, 0u64);
+    for plan in &engine_plans() {
+        let run = simulate_with_options(
+            &spec,
+            plan,
+            spec.sm_count,
+            &NoopSink,
+            EngineOptions::default(),
+        )
+        .expect("bench plan simulates");
+        events += run.events;
+        pops += run.pops;
+        macro_runs += run.macro_runs;
+    }
+    let ratio = if events == 0 {
+        0.0
+    } else {
+        (events - pops) as f64 / events as f64
+    };
+    CoalesceStats {
+        events,
+        pops,
+        macro_runs,
+        ratio,
+    }
 }
 
 fn grid(device: &Arc<Device>) -> (Vec<LcService>, Vec<BeApp>) {
@@ -230,6 +327,7 @@ fn measure_repeated_sweep(config: &ExperimentConfig, jobs: usize) -> SweepTiming
 fn main() {
     let mut check = false;
     let mut jobs: usize = 1;
+    let mut queue = "both".to_string();
     let mut out = "results/BENCH_engine.json".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -241,9 +339,66 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--jobs needs a positive integer");
             }
+            "--queue" => {
+                queue = args.next().expect("--queue needs heap|calendar|both");
+                assert!(
+                    matches!(queue.as_str(), "heap" | "calendar" | "both"),
+                    "--queue needs heap|calendar|both, got {queue}"
+                );
+            }
             "--out" => out = args.next().expect("--out needs a path"),
             other => panic!("unknown argument: {other}"),
         }
+    }
+
+    if check {
+        // Engine floors need no sweep warm-up; run them first and fast.
+        eprintln!("check: timing engine A/B ...");
+        let (ref_events, ref_secs) = measure_engine_throughput(0.3, REFERENCE);
+        let (new_events, new_secs) = measure_engine_throughput(0.3, EngineOptions::default());
+        let ref_eps = ref_events as f64 / ref_secs;
+        let new_eps = new_events as f64 / new_secs;
+        let gain = new_eps / BASELINE_EVENTS_PER_SEC;
+        let coalesce = measure_coalescing();
+        eprintln!(
+            "check: heap {ref_eps:.0} ev/s, calendar+macro {new_eps:.0} ev/s \
+             ({gain:.2}x pinned baseline {BASELINE_EVENTS_PER_SEC:.0}, floor \
+             {CHECK_THROUGHPUT_FLOOR}x; in-process speedup {:.2}x); \
+             coalesce ratio {:.3} (floor {CHECK_COALESCE_FLOOR})",
+            new_eps / ref_eps,
+            coalesce.ratio,
+        );
+        let mut failed = false;
+        if gain < CHECK_THROUGHPUT_FLOOR {
+            eprintln!("FAIL: engine throughput below floor");
+            failed = true;
+        }
+        if coalesce.ratio < CHECK_COALESCE_FLOOR {
+            eprintln!("FAIL: coalesce ratio below floor");
+            failed = true;
+        }
+
+        let config = ExperimentConfig::default().with_queries(QUERIES);
+        {
+            let device = Arc::new(Device::new(GpuSpec::rtx2080ti()));
+            let _ = sweep_once(&device, &config, jobs);
+        }
+        let serial = measure_repeated_sweep(&config, 1);
+        let rate = serial.fused_hit_rate;
+        eprintln!(
+            "check: fused cache {}/{} hits on repeated sweep (rate {rate:.3}, floor {CHECK_FUSED_HIT_FLOOR})",
+            serial.fused_hits,
+            serial.fused_hits + serial.fused_misses,
+        );
+        if rate < CHECK_FUSED_HIT_FLOOR {
+            eprintln!("FAIL: fused-launch cache hit rate below floor");
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!("OK");
+        return;
     }
 
     let config = ExperimentConfig::default().with_queries(QUERIES);
@@ -259,26 +414,24 @@ fn main() {
     let serial = measure_repeated_sweep(&config, 1);
     let parallel = (jobs > 1).then(|| measure_repeated_sweep(&config, jobs));
 
-    if check {
-        let rate = serial.fused_hit_rate;
-        eprintln!(
-            "check: fused cache {}/{} hits on repeated sweep (rate {rate:.3}, floor {CHECK_FUSED_HIT_FLOOR})",
-            serial.fused_hits,
-            serial.fused_hits + serial.fused_misses,
-        );
-        if rate < CHECK_FUSED_HIT_FLOOR {
-            eprintln!("FAIL: fused-launch cache hit rate below floor");
-            std::process::exit(1);
-        }
-        eprintln!("OK");
-        return;
-    }
+    eprintln!("timing engine throughput ({queue}) ...");
+    let heap = (queue != "calendar").then(|| measure_engine_throughput(1.0, REFERENCE));
+    let calendar =
+        (queue != "heap").then(|| measure_engine_throughput(1.0, EngineOptions::default()));
+    let coalesce = measure_coalescing();
 
-    eprintln!("timing engine throughput ...");
-    let (events, secs) = measure_engine_throughput(1.0);
-    let events_per_sec = events as f64 / secs;
+    let eps = |m: &Option<(u64, f64)>| m.map(|(ev, s)| ev as f64 / s);
+    let heap_eps = eps(&heap);
+    let calendar_eps = eps(&calendar);
+    // The headline events/s is the default engine's (calendar + macro).
+    let events_per_sec = calendar_eps.or(heap_eps).unwrap_or(0.0);
+    let speedup_vs_heap = match (heap_eps, calendar_eps) {
+        (Some(h), Some(c)) if h > 0.0 => Some(c / h),
+        _ => None,
+    };
 
     let improvement = 1.0 - serial.repeated_ms / BASELINE_REPEATED_MS;
+    let throughput_gain = events_per_sec / BASELINE_EVENTS_PER_SEC;
     let sweep_json = |t: &SweepTiming, jobs: usize| {
         format!(
             concat!(
@@ -297,6 +450,18 @@ fn main() {
             fhr = t.fused_hit_rate,
         )
     };
+    let queue_json = |label: &str, m: &Option<(u64, f64)>| {
+        m.map(|(ev, s)| {
+            format!(
+                "    \"{label}\": {{\"events\": {ev}, \"wall_s\": {s:.3}, \"events_per_sec\": {:.0}}},\n",
+                ev as f64 / s
+            )
+        })
+        .unwrap_or_default()
+    };
+    let speedup_line = speedup_vs_heap
+        .map(|s| format!("    \"speedup_vs_heap\": {s:.3},\n"))
+        .unwrap_or_default();
     let parallel_line = parallel
         .as_ref()
         .map(|t| format!("  \"repeated_sweep_parallel\": {},\n", sweep_json(t, jobs)))
@@ -305,35 +470,50 @@ fn main() {
         concat!(
             "{{\n",
             "  \"bench\": \"engine\",\n",
-            "  \"engine\": {{\"events\": {events}, \"wall_s\": {secs:.3}, ",
-            "\"events_per_sec\": {eps:.0}}},\n",
+            "  \"engine\": {{\n",
+            "{heap_json}",
+            "{calendar_json}",
+            "{speedup_line}",
+            "    \"events_per_sec\": {eps:.0},\n",
+            "    \"coalesce\": {{\"events\": {cev}, \"pops\": {cpops}, ",
+            "\"macro_runs\": {cruns}, \"ratio\": {cratio:.4}}}\n",
+            "  }},\n",
             "  \"sweep_grid\": {{\"lc\": {lc:?}, \"be\": {be:?}, ",
             "\"policies\": [\"Baymax\", \"Tacker\"], \"queries\": {queries}}},\n",
             "  \"repeated_sweep\": {serial},\n",
             "{parallel_line}",
             "  \"baseline\": {{\"commit\": \"{bcommit}\", ",
-            "\"repeated_ms\": {bms:.1}, \"fused_hit_rate\": {bfhr:.1}}},\n",
+            "\"events_per_sec\": {beps:.0}, \"repeated_ms\": {bms:.1}}},\n",
+            "  \"throughput_vs_baseline\": {tgain:.3},\n",
             "  \"improvement_vs_baseline\": {imp:.3}\n",
             "}}\n"
         ),
-        events = events,
-        secs = secs,
+        heap_json = queue_json("heap", &heap),
+        calendar_json = queue_json("calendar_macro", &calendar),
+        speedup_line = speedup_line,
         eps = events_per_sec,
+        cev = coalesce.events,
+        cpops = coalesce.pops,
+        cruns = coalesce.macro_runs,
+        cratio = coalesce.ratio,
         lc = LC_NAMES,
         be = BE_NAMES,
         queries = QUERIES,
         serial = sweep_json(&serial, 1),
         parallel_line = parallel_line,
         bcommit = BASELINE_COMMIT,
+        beps = BASELINE_EVENTS_PER_SEC,
         bms = BASELINE_REPEATED_MS,
-        bfhr = BASELINE_FUSED_HIT_RATE,
+        tgain = throughput_gain,
         imp = improvement,
     );
     std::fs::write(&out, &json).expect("write BENCH_engine.json");
     print!("{json}");
     eprintln!(
-        "engine: {events_per_sec:.0} events/s; repeated sweep {:.1} ms \
+        "engine: {events_per_sec:.0} events/s ({throughput_gain:.2}x baseline \
+         {BASELINE_EVENTS_PER_SEC:.0}); coalesce ratio {:.3}; repeated sweep {:.1} ms \
          (baseline {BASELINE_REPEATED_MS} ms, {:.0}% faster); wrote {out}",
+        coalesce.ratio,
         serial.repeated_ms,
         100.0 * improvement,
     );

@@ -134,6 +134,31 @@ impl WarpProgram {
         }
         ids
     }
+
+    /// Run-length metadata for the engine's macro-stepper: `r[pc]` is the
+    /// number of consecutive **barrier-free** ops starting at `pc`
+    /// (`0` when `ops[pc]` is itself a barrier). A warp positioned at
+    /// `pc` can retire `r[pc]` ops without touching cross-warp barrier
+    /// state; whether it may do so *inline* is decided by the engine's
+    /// queue-minimum eligibility rule.
+    pub fn run_lengths(&self) -> Vec<u32> {
+        let mut out = vec![0u32; self.ops.len()];
+        let mut run = 0u32;
+        for (pc, op) in self.ops.iter().enumerate().rev() {
+            run = match op {
+                Op::Barrier { .. } => 0,
+                _ => run + 1,
+            };
+            out[pc] = run;
+        }
+        out
+    }
+
+    /// Whether the program synchronizes at all. Barrier-free programs
+    /// are fully macro-steppable once a warp runs alone.
+    pub fn is_barrier_free(&self) -> bool {
+        !self.ops.iter().any(|op| matches!(op, Op::Barrier { .. }))
+    }
 }
 
 /// A group of warps within the block executing the same program.
@@ -207,6 +232,18 @@ impl BlockProgram {
     /// Expected arrivals for barrier `id`, if any role uses it.
     pub fn barrier(&self, id: u16) -> Option<BarrierSpec> {
         self.barriers.iter().copied().find(|b| b.id == id)
+    }
+
+    /// Exclusive upper bound on barrier ids in use (max id + 1, or 0 when
+    /// the block synchronizes nowhere). The engine sizes its dense
+    /// per-block arrival/waiter tables from this, so barrier state is a
+    /// direct index instead of a hash lookup.
+    pub fn barrier_bound(&self) -> usize {
+        self.barriers
+            .iter()
+            .map(|b| b.id as usize + 1)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Overrides the expected arrival count for barrier `id`.
@@ -288,6 +325,42 @@ mod tests {
         assert_eq!(bp.barrier(1).unwrap().expected_warps, 3);
         assert_eq!(bp.barrier(2).unwrap().expected_warps, 4);
         assert!(bp.barrier(9).is_none());
+    }
+
+    #[test]
+    fn run_lengths_count_barrier_free_spans() {
+        let p = WarpProgram::new(vec![
+            compute(ComputeUnit::Cuda, 1),
+            compute(ComputeUnit::Tensor, 1),
+            Op::Barrier { id: 2 },
+            compute(ComputeUnit::Cuda, 1),
+        ]);
+        assert_eq!(p.run_lengths(), vec![2, 1, 0, 1]);
+        assert!(!p.is_barrier_free());
+        let free = WarpProgram::new(vec![
+            compute(ComputeUnit::Cuda, 1),
+            compute(ComputeUnit::Cuda, 1),
+        ]);
+        assert_eq!(free.run_lengths(), vec![2, 1]);
+        assert!(free.is_barrier_free());
+        assert!(WarpProgram::default().run_lengths().is_empty());
+    }
+
+    #[test]
+    fn barrier_bound_is_max_id_plus_one() {
+        let role = |ids: &[u16]| WarpRole {
+            name: "r".into(),
+            warps: 1,
+            program: WarpProgram::new(ids.iter().map(|&id| Op::Barrier { id }).collect()),
+            original_blocks: 1,
+        };
+        assert_eq!(BlockProgram::new(vec![role(&[])]).barrier_bound(), 0);
+        assert_eq!(BlockProgram::new(vec![role(&[0])]).barrier_bound(), 1);
+        let mut bp = BlockProgram::new(vec![role(&[3, 1])]);
+        assert_eq!(bp.barrier_bound(), 4);
+        // Overrides extend the bound too.
+        bp.set_barrier_expectation(9, 2);
+        assert_eq!(bp.barrier_bound(), 10);
     }
 
     #[test]

@@ -22,9 +22,29 @@
 //! when its expected warp count (from the lowering pass) arrives. A fused
 //! kernel that kept a block-wide `__syncthreads()` therefore deadlocks, and
 //! the engine reports it as [`SimError::Deadlock`].
+//!
+//! # Event core
+//!
+//! Warp wake-ups drain from an event queue in `(time, seq)` order — see
+//! [`crate::queue`]. Two interchangeable queues are provided
+//! ([`QueueKind`]): the reference binary heap and a calendar/bucket queue
+//! whose buckets are sized from the spec's issue cost. Both drain the
+//! same total order, so results are bit-identical between them.
+//!
+//! On top of the queue sits **warp macro-stepping**: after processing a
+//! warp's event, if the warp's *next* wake-up time is strictly below the
+//! earliest other pending event, that wake-up is executed inline instead
+//! of being pushed and re-popped — it would have been the very next event
+//! anyway, so the collapse is exact, not approximate. Runs end at
+//! barriers (which mutate cross-warp state and re-enter through the
+//! queue, per the lowering's run-length metadata), and macro-stepping
+//! auto-disables when a trace sink is attached so per-op event streams
+//! are identical to the pure event-by-event engine. [`KernelRun::events`]
+//! counts *micro*-events (inline continuations included) and is invariant
+//! across queue kinds and macro-stepping; [`KernelRun::pops`] counts
+//! actual queue transactions and shrinks as runs coalesce.
 
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use tacker_kernel::ast::{ComputeUnit, MemSpace};
 use tacker_kernel::{Cycles, Name, Op};
@@ -32,11 +52,53 @@ use tacker_trace::{Pipeline, ServerKind, TraceEvent, TraceSink};
 
 use crate::error::SimError;
 use crate::plan::ExecutablePlan;
+use crate::queue::{CalendarQueue, Event, EventQueue, HeapQueue};
 use crate::result::{merge_intervals, ActivitySummary, Interval, KernelRun};
 use crate::spec::GpuSpec;
 
 /// Cycles charged for a barrier release.
 const BARRIER_COST: f64 = 4.0;
+
+/// Calendar bucket width as a multiple of the spec's per-op issue cost.
+/// The issue cost is the natural quantum between back-to-back events on
+/// one SM; the multiplier stretches buckets toward the *typical* gap
+/// between consecutive wake-ups (tens of issue quanta once service
+/// times and memory latencies are in play), so pops rarely scan empty
+/// buckets while each bucket still holds only a handful of events.
+const BUCKET_WIDTH_ISSUE_COSTS: f64 = 32.0;
+
+/// Which event-queue implementation the engine drains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueKind {
+    /// The reference `BinaryHeap` min-queue.
+    Heap,
+    /// The calendar/bucket queue (default; same drain order, O(1) pushes).
+    #[default]
+    Calendar,
+}
+
+/// Engine tuning knobs. Results are identical for every combination; the
+/// options trade only wall-clock speed (and [`KernelRun::pops`]
+/// accounting) — which is what makes the A/B comparison in
+/// `engine_bench` meaningful.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Event-queue implementation.
+    pub queue: QueueKind,
+    /// Whether warp macro-stepping may coalesce event runs. Forced off
+    /// while a trace sink is attached, so traced runs always emit the
+    /// full per-event stream.
+    pub macro_step: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            queue: QueueKind::Calendar,
+            macro_step: true,
+        }
+    }
+}
 
 /// A FCFS serial server with a service rate.
 #[derive(Debug, Clone)]
@@ -118,10 +180,15 @@ enum WarpPhase {
 
 #[derive(Debug)]
 struct Warp {
-    block: usize,
-    role: usize,
-    pc: usize,
+    /// Current position in the engine's flat micro-op table.
+    pc: u32,
+    /// This warp's role start offset in the flat table.
+    pc_start: u32,
+    /// One past this warp's role's last op in the flat table.
+    pc_end: u32,
     iters_left: u64,
+    block: u32,
+    role: u16,
     phase: WarpPhase,
     done: bool,
     finish: f64,
@@ -132,38 +199,31 @@ struct BlockInstance {
     /// Global issued-block index.
     index: u64,
     live_warps: usize,
-    /// arrived counts per barrier id.
-    barrier_arrived: HashMap<u16, u32>,
-    /// parked warp indices per barrier id.
-    barrier_waiters: HashMap<u16, Vec<usize>>,
+    /// Arrived counts, directly indexed by barrier id
+    /// (`BlockProgram::barrier_bound` entries).
+    barrier_arrived: Vec<u32>,
+    /// Parked warp indices, directly indexed by barrier id.
+    barrier_waiters: Vec<Vec<usize>>,
 }
 
+/// One op of a role's program with every spec-dependent quantity
+/// pre-resolved, so the hot loop does table lookups and adds — no
+/// per-event divisions or AST-shaped matching. The service values are
+/// computed with the exact expressions the event-by-event engine used,
+/// so timings are bit-identical.
 #[derive(Debug, Clone, Copy)]
-struct Event {
-    time: f64,
-    seq: u64,
-    warp: usize,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap via reversal.
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
+enum MicroOp {
+    /// Tensor-pipeline compute: issue, then occupy TC for `service`.
+    Tc { service: f64 },
+    /// CUDA-pipeline compute: issue, then occupy CD for `service`.
+    Cd { service: f64 },
+    /// Shared-memory access: issue, shared server, fixed latency.
+    Shared { service: f64 },
+    /// Global access: issue, L1 stage, then a DRAM stage for
+    /// `miss_bytes` when positive.
+    Global { service: f64, miss_bytes: f64 },
+    /// Arrive at named barrier `id`.
+    Barrier { id: u16 },
 }
 
 /// Iterations of a role's program executed by issued block `b`:
@@ -176,10 +236,27 @@ fn role_iters(original: u64, issued: u64, b: u64) -> u64 {
     (original - b - 1) / issued + 1
 }
 
+/// What processing one micro-event did with the warp.
+enum Outcome {
+    /// The warp's next wake-up should fire at this time (not yet queued).
+    Next(f64),
+    /// The warp parked, finished a barrier (re-entering via the queue),
+    /// or otherwise needs no direct wake-up.
+    Queued,
+}
+
 struct Engine<'a> {
     spec: &'a GpuSpec,
     plan: &'a ExecutablePlan,
-    active_sms: u32,
+    /// All roles' programs compiled into one flat micro-op table.
+    micro: Vec<MicroOp>,
+    /// Per flat pc: whether the op starts a barrier-free run (from the
+    /// lowering's run-length metadata) — the macro-step eligibility gate.
+    run_ok: Vec<bool>,
+    /// Per role: (flat start, flat end) into `micro`.
+    role_span: Vec<(u32, u32)>,
+    /// Expected arrivals, directly indexed by barrier id.
+    barrier_expected: Vec<u32>,
     warps: Vec<Warp>,
     blocks: Vec<BlockInstance>,
     tc: Server,
@@ -188,14 +265,25 @@ struct Engine<'a> {
     l1: Server,
     shared: Server,
     dram: Server,
-    heap: BinaryHeap<Event>,
+    queue: EventQueue,
     seq: u64,
     /// Remaining assigned issued-block indices not yet launched.
     pending: Vec<u64>,
     dram_bytes: f64,
+    /// This SM's DRAM bandwidth share (bytes/cycle), hoisted.
+    dram_rate: f64,
+    /// Per-op issue occupancy (cycles), hoisted.
+    issue_cost: f64,
     role_finish: Vec<f64>,
-    /// Heap events processed (the engine's unit of simulation work).
+    /// Micro-events processed — queue pops plus inline continuations.
+    /// Invariant across queue kinds and macro-stepping.
     events: u64,
+    /// Actual queue pops (heap transactions in the reference engine).
+    pops: u64,
+    /// Pops whose processing coalesced at least one inline continuation.
+    macro_runs: u64,
+    /// Macro-stepping active (off under tracing or by options).
+    macro_on: bool,
     /// Scratch buffer reused across barrier releases so each release does
     /// not allocate (and drop) a fresh waiter list.
     release_scratch: Vec<usize>,
@@ -211,6 +299,7 @@ impl<'a> Engine<'a> {
         plan: &'a ExecutablePlan,
         active_sms: u32,
         sink: &'a dyn TraceSink,
+        options: EngineOptions,
     ) -> Result<Self, SimError> {
         let occupancy = plan.occupancy(spec);
         if occupancy == 0 {
@@ -232,10 +321,76 @@ impl<'a> Engine<'a> {
             .collect();
         assigned.reverse(); // pop() launches in ascending order
         let tracing = sink.enabled();
+        let issue_cost = spec.issue_cost_per_op / spec.issue_slots_per_cycle;
+        let dram_rate = spec.dram_bytes_per_cycle_per_sm(active_sms);
+
+        // Compile every role's program into the flat micro-op table.
+        let mut micro = Vec::new();
+        let mut run_ok = Vec::new();
+        let mut role_span = Vec::with_capacity(plan.block.roles.len());
+        for role in &plan.block.roles {
+            let pc0 = micro.len() as u32;
+            for op in &role.program.ops {
+                micro.push(match op {
+                    Op::Compute {
+                        unit: ComputeUnit::Tensor,
+                        ops,
+                    } => MicroOp::Tc {
+                        service: *ops as f64 / spec.tc_ops_per_cycle,
+                    },
+                    Op::Compute {
+                        unit: ComputeUnit::Cuda,
+                        ops,
+                    } => MicroOp::Cd {
+                        service: *ops as f64 / spec.cd_ops_per_cycle,
+                    },
+                    Op::Memory {
+                        space: MemSpace::Shared,
+                        bytes,
+                        ..
+                    } => MicroOp::Shared {
+                        service: *bytes as f64 / spec.shared_bytes_per_cycle,
+                    },
+                    Op::Memory {
+                        space: MemSpace::Global,
+                        bytes,
+                        locality,
+                        ..
+                    } => {
+                        let bytes = *bytes as f64;
+                        MicroOp::Global {
+                            service: bytes / spec.l1_bytes_per_cycle,
+                            miss_bytes: bytes * (1.0 - locality),
+                        }
+                    }
+                    Op::Barrier { id } => MicroOp::Barrier { id: *id },
+                });
+            }
+            run_ok.extend(role.program.run_lengths().iter().map(|&r| r > 0));
+            role_span.push((pc0, micro.len() as u32));
+        }
+
+        // Dense barrier-expectation table; ids outside the lowering's
+        // table default to 1 arrival, matching the sparse lookup.
+        let bound = plan.block.barrier_bound();
+        let mut barrier_expected = vec![1u32; bound];
+        for b in &plan.block.barriers {
+            barrier_expected[b.id as usize] = b.expected_warps;
+        }
+
+        let queue = match options.queue {
+            QueueKind::Heap => EventQueue::Heap(HeapQueue::new()),
+            QueueKind::Calendar => {
+                EventQueue::Calendar(CalendarQueue::new(issue_cost * BUCKET_WIDTH_ISSUE_COSTS))
+            }
+        };
         let mut eng = Engine {
             spec,
             plan,
-            active_sms,
+            micro,
+            run_ok,
+            role_span,
+            barrier_expected,
             warps: Vec::new(),
             blocks: Vec::new(),
             tc: Server::new(true, tracing),
@@ -244,12 +399,19 @@ impl<'a> Engine<'a> {
             l1: Server::new(false, tracing),
             shared: Server::new(false, tracing),
             dram: Server::new(false, tracing),
-            heap: BinaryHeap::new(),
+            queue,
             seq: 0,
             pending: assigned,
             dram_bytes: 0.0,
+            dram_rate,
+            issue_cost,
             role_finish: vec![0.0; plan.block.roles.len()],
             events: 0,
+            pops: 0,
+            macro_runs: 0,
+            // Per-op trace events must fire exactly as in the
+            // event-by-event engine, so tracing forces macro-stepping off.
+            macro_on: options.macro_step && !tracing,
             release_scratch: Vec::new(),
             sink,
             tracing,
@@ -265,7 +427,7 @@ impl<'a> Engine<'a> {
 
     fn schedule(&mut self, time: f64, warp: usize) {
         self.seq += 1;
-        self.heap.push(Event {
+        self.queue.push(Event {
             time,
             seq: self.seq,
             warp,
@@ -277,18 +439,21 @@ impl<'a> Engine<'a> {
             return;
         };
         let start = now + self.spec.block_launch_overhead;
-        let block_slot = self.blocks.len();
+        let block_slot = self.blocks.len() as u32;
         let mut live = 0usize;
         for (ri, role) in self.plan.block.roles.iter().enumerate() {
             let iters = role_iters(role.original_blocks, self.plan.issued_blocks, index);
+            let (pc0, pc1) = self.role_span[ri];
             for _ in 0..role.warps {
                 let wid = self.warps.len();
-                let done = iters == 0 || role.program.ops.is_empty();
+                let done = iters == 0 || pc0 == pc1;
                 self.warps.push(Warp {
-                    block: block_slot,
-                    role: ri,
-                    pc: 0,
+                    pc: pc0,
+                    pc_start: pc0,
+                    pc_end: pc1,
                     iters_left: iters,
+                    block: block_slot,
+                    role: ri as u16,
                     phase: WarpPhase::Ready,
                     done,
                     finish: start,
@@ -299,11 +464,12 @@ impl<'a> Engine<'a> {
                 }
             }
         }
+        let bound = self.barrier_expected.len();
         self.blocks.push(BlockInstance {
             index,
             live_warps: live,
-            barrier_arrived: HashMap::new(),
-            barrier_waiters: HashMap::new(),
+            barrier_arrived: vec![0; bound],
+            barrier_waiters: (0..bound).map(|_| Vec::new()).collect(),
         });
         // A block whose roles all had zero work completes immediately.
         if live == 0 {
@@ -315,181 +481,186 @@ impl<'a> Engine<'a> {
         let warp = &mut self.warps[w];
         warp.done = true;
         warp.finish = now;
-        let role = warp.role;
-        let block = warp.block;
+        let role = warp.role as usize;
+        let block = warp.block as usize;
         self.role_finish[role] = self.role_finish[role].max(now);
         let b = &mut self.blocks[block];
         b.live_warps -= 1;
         if b.live_warps == 0 {
-            let _ = b.index;
             self.launch_next_block(now);
         }
     }
 
-    fn issue_cost(&self) -> f64 {
-        self.spec.issue_cost_per_op / self.spec.issue_slots_per_cycle
-    }
-
-    /// Processes one warp event; returns Ok(()) or a deadlock diagnosis.
-    fn step(&mut self, ev: Event) {
-        let w = ev.warp;
-        let now = ev.time;
-        if self.warps[w].done {
-            return;
-        }
+    /// Processes one micro-event (a real pop or an inline continuation)
+    /// for warp `w` at cycle `now`.
+    fn step_once(&mut self, now: f64, w: usize) -> Outcome {
         // Handle a pending DRAM stage first.
         if let WarpPhase::DramStage { bytes } = self.warps[w].phase {
-            let rate = self.spec.dram_bytes_per_cycle_per_sm(self.active_sms);
-            let end = self.dram.acquire(now, bytes / rate);
+            let end = self.dram.acquire(now, bytes / self.dram_rate);
             self.dram_bytes += bytes;
             self.warps[w].phase = WarpPhase::Ready;
             self.advance_pc(w);
-            self.schedule(end + self.spec.dram_latency, w);
-            return;
+            return Outcome::Next(end + self.spec.dram_latency);
         }
-        let (role_idx, pc) = (self.warps[w].role, self.warps[w].pc);
-        // Copy the plan reference out of `self` so the op borrow lives for
-        // `'a`, independent of the `&mut self` the arms below need — no
-        // per-step `Op` clone.
-        let plan = self.plan;
-        match &plan.block.roles[role_idx].program.ops[pc] {
-            Op::Compute { unit, ops } => {
-                let issue_end = self.issue.acquire(now, self.issue_cost());
-                let (server, rate) = match unit {
-                    ComputeUnit::Tensor => (&mut self.tc, self.spec.tc_ops_per_cycle),
-                    ComputeUnit::Cuda => (&mut self.cd, self.spec.cd_ops_per_cycle),
-                };
-                let end = server.acquire(issue_end, *ops as f64 / rate);
+        match self.micro[self.warps[w].pc as usize] {
+            MicroOp::Tc { service } => {
+                let issue_end = self.issue.acquire(now, self.issue_cost);
+                let end = self.tc.acquire(issue_end, service);
                 self.advance_pc(w);
-                self.schedule(end, w);
+                Outcome::Next(end)
             }
-            Op::Memory {
-                space,
-                bytes,
-                locality,
-                ..
+            MicroOp::Cd { service } => {
+                let issue_end = self.issue.acquire(now, self.issue_cost);
+                let end = self.cd.acquire(issue_end, service);
+                self.advance_pc(w);
+                Outcome::Next(end)
+            }
+            MicroOp::Shared { service } => {
+                let issue_end = self.issue.acquire(now, self.issue_cost);
+                let end = self.shared.acquire(issue_end, service);
+                self.advance_pc(w);
+                Outcome::Next(end + self.spec.shared_latency)
+            }
+            MicroOp::Global {
+                service,
+                miss_bytes,
             } => {
-                let bytes = *bytes as f64;
-                let issue_end = self.issue.acquire(now, self.issue_cost());
-                match space {
-                    MemSpace::Shared => {
-                        let end = self
-                            .shared
-                            .acquire(issue_end, bytes / self.spec.shared_bytes_per_cycle);
-                        self.advance_pc(w);
-                        self.schedule(end + self.spec.shared_latency, w);
-                    }
-                    MemSpace::Global => {
-                        let l1_end = self
-                            .l1
-                            .acquire(issue_end, bytes / self.spec.l1_bytes_per_cycle);
-                        let miss = bytes * (1.0 - locality);
-                        if miss > 0.0 {
-                            self.warps[w].phase = WarpPhase::DramStage { bytes: miss };
-                            self.schedule(l1_end, w);
-                        } else {
-                            self.advance_pc(w);
-                            self.schedule(l1_end + self.spec.l1_latency, w);
-                        }
-                    }
-                }
-            }
-            &Op::Barrier { id } => {
-                let expected = plan
-                    .block
-                    .barrier(id)
-                    .map(|b| b.expected_warps)
-                    .unwrap_or(1);
-                let block = self.warps[w].block;
-                let b = &mut self.blocks[block];
-                let arrived = b.barrier_arrived.entry(id).or_insert(0);
-                *arrived += 1;
-                let arrived_now = *arrived;
-                let block_index = b.index;
-                if self.tracing {
-                    self.sink.record(TraceEvent::BarrierArrival {
-                        kernel: self.plan.name.clone(),
-                        block: block_index,
-                        barrier: id,
-                        arrived: arrived_now,
-                        expected,
-                        at_cycles: now,
-                    });
-                }
-                let b = &mut self.blocks[block];
-                if arrived_now >= expected {
-                    *b.barrier_arrived.get_mut(&id).unwrap() = 0;
-                    // Drain waiters into a reused scratch buffer and keep
-                    // the (now empty) Vec in the map, so neither release
-                    // nor the next parking round allocates.
-                    let mut waiters = std::mem::take(&mut self.release_scratch);
-                    waiters.clear();
-                    if let Some(parked) = b.barrier_waiters.get_mut(&id) {
-                        waiters.append(parked);
-                    }
-                    waiters.push(w);
-                    if self.tracing {
-                        self.sink.record(TraceEvent::BarrierRelease {
-                            kernel: self.plan.name.clone(),
-                            block: block_index,
-                            barrier: id,
-                            released: waiters.len() as u32,
-                            at_cycles: now,
-                        });
-                    }
-                    for &wi in &waiters {
-                        self.advance_pc(wi);
-                        self.schedule(now + BARRIER_COST, wi);
-                    }
-                    self.release_scratch = waiters;
+                let issue_end = self.issue.acquire(now, self.issue_cost);
+                let l1_end = self.l1.acquire(issue_end, service);
+                if miss_bytes > 0.0 {
+                    self.warps[w].phase = WarpPhase::DramStage { bytes: miss_bytes };
+                    Outcome::Next(l1_end)
                 } else {
-                    b.barrier_waiters.entry(id).or_default().push(w);
+                    self.advance_pc(w);
+                    Outcome::Next(l1_end + self.spec.l1_latency)
                 }
             }
+            MicroOp::Barrier { id } => self.arrive_barrier(now, w, id),
         }
+    }
+
+    fn arrive_barrier(&mut self, now: f64, w: usize, id: u16) -> Outcome {
+        let expected = self.barrier_expected[id as usize];
+        let block = self.warps[w].block as usize;
+        let b = &mut self.blocks[block];
+        b.barrier_arrived[id as usize] += 1;
+        let arrived_now = b.barrier_arrived[id as usize];
+        let block_index = b.index;
+        if self.tracing {
+            self.sink.record(TraceEvent::BarrierArrival {
+                kernel: self.plan.name.clone(),
+                block: block_index,
+                barrier: id,
+                arrived: arrived_now,
+                expected,
+                at_cycles: now,
+            });
+        }
+        let b = &mut self.blocks[block];
+        if arrived_now >= expected {
+            b.barrier_arrived[id as usize] = 0;
+            // Drain waiters into a reused scratch buffer and keep the
+            // (now empty) Vec in the table, so neither release nor the
+            // next parking round allocates.
+            let mut waiters = std::mem::take(&mut self.release_scratch);
+            waiters.clear();
+            waiters.append(&mut b.barrier_waiters[id as usize]);
+            waiters.push(w);
+            if self.tracing {
+                self.sink.record(TraceEvent::BarrierRelease {
+                    kernel: self.plan.name.clone(),
+                    block: block_index,
+                    barrier: id,
+                    released: waiters.len() as u32,
+                    at_cycles: now,
+                });
+            }
+            for &wi in &waiters {
+                self.advance_pc(wi);
+                self.schedule(now + BARRIER_COST, wi);
+            }
+            self.release_scratch = waiters;
+        } else {
+            b.barrier_waiters[id as usize].push(w);
+        }
+        Outcome::Queued
     }
 
     /// Advances a warp past its current op, wrapping iterations.
     fn advance_pc(&mut self, w: usize) {
-        let ops_len = {
-            let warp = &self.warps[w];
-            self.plan.block.roles[warp.role].program.ops.len()
-        };
         let warp = &mut self.warps[w];
         warp.pc += 1;
-        if warp.pc >= ops_len {
-            warp.pc = 0;
+        if warp.pc >= warp.pc_end {
+            warp.pc = warp.pc_start;
             warp.iters_left -= 1;
         }
     }
 
     fn run(mut self) -> Result<KernelRun, SimError> {
         let mut last_time = 0.0_f64;
-        while let Some(ev) = self.heap.pop() {
+        while let Some(ev) = self.queue.pop() {
+            self.pops += 1;
             self.events += 1;
-            last_time = last_time.max(ev.time);
             let w = ev.warp;
-            if self.warps[w].done {
-                continue;
+            let mut now = ev.time;
+            last_time = last_time.max(now);
+            // The earliest *other* pending event bounds how far this warp
+            // may be advanced inline: while the warp's next wake-up is
+            // strictly below it, that wake-up would be the next event
+            // popped anyway, so processing it here is exact. The queue is
+            // untouched during a pure run, so one peek per pop suffices.
+            let qmin = if self.macro_on {
+                self.queue.peek_time().unwrap_or(f64::INFINITY)
+            } else {
+                f64::NEG_INFINITY
+            };
+            let mut coalesced = false;
+            loop {
+                if self.warps[w].done {
+                    break;
+                }
+                // A warp with no iterations left after advancing is done.
+                if self.warps[w].iters_left == 0 {
+                    self.finish_warp(now, w);
+                    break;
+                }
+                match self.step_once(now, w) {
+                    Outcome::Queued => break,
+                    Outcome::Next(t) => {
+                        let warp = &self.warps[w];
+                        let eligible = t < qmin
+                            && (matches!(warp.phase, WarpPhase::DramStage { .. })
+                                || warp.iters_left == 0
+                                || self.run_ok[warp.pc as usize]);
+                        if eligible {
+                            // Inline continuation: absorb the push/pop.
+                            self.events += 1;
+                            coalesced = true;
+                            now = t;
+                            last_time = last_time.max(now);
+                        } else {
+                            self.schedule(t, w);
+                            break;
+                        }
+                    }
+                }
             }
-            // A warp with no iterations left after advancing is finished.
-            if self.warps[w].iters_left == 0 {
-                self.finish_warp(ev.time, w);
-                continue;
+            if coalesced {
+                self.macro_runs += 1;
             }
-            self.step(ev);
         }
-        // Deadlock check: every warp must have completed.
-        // Released barriers keep an empty Vec in the map (scratch reuse);
-        // only barriers with parked warps count as stuck.
+        // Deadlock check: every warp must have completed. Released
+        // barriers leave an empty Vec in the table (scratch reuse); only
+        // barriers with parked warps count as stuck.
         let stuck: Vec<u16> = self
             .blocks
             .iter()
             .flat_map(|b| {
                 b.barrier_waiters
                     .iter()
+                    .enumerate()
                     .filter(|(_, ws)| !ws.is_empty())
-                    .map(|(id, _)| *id)
+                    .map(|(id, _)| id as u16)
             })
             .collect();
         if self.warps.iter().any(|w| !w.done) {
@@ -545,6 +716,8 @@ impl<'a> Engine<'a> {
             occupancy,
             dram_bytes: self.dram_bytes,
             events: self.events,
+            pops: self.pops,
+            macro_runs: self.macro_runs,
         })
     }
 
@@ -587,6 +760,7 @@ impl<'a> Engine<'a> {
             tc_busy_cycles: self.tc.busy.round() as u64,
             cd_busy_cycles: self.cd.busy.round() as u64,
             occupancy,
+            events: self.events,
         });
     }
 }
@@ -628,7 +802,13 @@ pub fn simulate_with_active_sms(
     plan: &ExecutablePlan,
     active_sms: u32,
 ) -> Result<KernelRun, SimError> {
-    Engine::new(spec, plan, active_sms, &tacker_trace::NoopSink)?.run()
+    simulate_with_options(
+        spec,
+        plan,
+        active_sms,
+        &tacker_trace::NoopSink,
+        EngineOptions::default(),
+    )
 }
 
 /// [`simulate_with_active_sms`] with a trace sink receiving engine events:
@@ -637,14 +817,35 @@ pub fn simulate_with_active_sms(
 ///
 /// With a disabled sink (e.g. [`tacker_trace::NoopSink`]) this is the same
 /// hot path as [`simulate`]: `enabled()` is hoisted into a bool once at
-/// engine construction and no event is ever built.
+/// engine construction and no event is ever built. With an *enabled*
+/// sink, macro-stepping is forced off so the per-event stream (barrier
+/// arrivals, server statistics) is identical to the event-by-event
+/// reference engine.
 pub fn simulate_traced(
     spec: &GpuSpec,
     plan: &ExecutablePlan,
     active_sms: u32,
     sink: &dyn TraceSink,
 ) -> Result<KernelRun, SimError> {
-    Engine::new(spec, plan, active_sms, sink)?.run()
+    simulate_with_options(spec, plan, active_sms, sink, EngineOptions::default())
+}
+
+/// Fully explicit entry point: queue kind and macro-stepping are chosen
+/// by `options`. Every combination produces identical results (and an
+/// identical [`KernelRun::events`] count); only wall-clock speed and the
+/// [`KernelRun::pops`]/[`KernelRun::macro_runs`] accounting differ.
+///
+/// # Errors
+///
+/// As [`simulate`].
+pub fn simulate_with_options(
+    spec: &GpuSpec,
+    plan: &ExecutablePlan,
+    active_sms: u32,
+    sink: &dyn TraceSink,
+    options: EngineOptions,
+) -> Result<KernelRun, SimError> {
+    Engine::new(spec, plan, active_sms, sink, options)?.run()
 }
 
 #[cfg(test)]
@@ -680,6 +881,36 @@ mod tests {
         Op::Compute { unit, ops }
     }
 
+    /// Every (queue, macro) combination for identity checks.
+    fn all_options() -> [EngineOptions; 4] {
+        [
+            EngineOptions {
+                queue: QueueKind::Heap,
+                macro_step: false,
+            },
+            EngineOptions {
+                queue: QueueKind::Heap,
+                macro_step: true,
+            },
+            EngineOptions {
+                queue: QueueKind::Calendar,
+                macro_step: false,
+            },
+            EngineOptions {
+                queue: QueueKind::Calendar,
+                macro_step: true,
+            },
+        ]
+    }
+
+    /// Strips the configuration-dependent accounting so runs from
+    /// different engine options can be compared for behavioural equality.
+    fn canon(mut run: KernelRun) -> KernelRun {
+        run.pops = 0;
+        run.macro_runs = 0;
+        run
+    }
+
     #[test]
     fn role_iters_partitions_exactly() {
         // 10 original blocks over 4 issued blocks: 3,3,2,2.
@@ -689,6 +920,24 @@ mod tests {
         // Fewer originals than issued: trailing blocks idle.
         assert_eq!(role_iters(2, 4, 3), 0);
         assert_eq!(role_iters(2, 4, 1), 1);
+    }
+
+    #[test]
+    fn role_iters_edge_cases() {
+        // The last original block position runs exactly once.
+        assert_eq!(role_iters(10, 10, 9), 1);
+        assert_eq!(role_iters(7, 16, 6), 1);
+        // b == original - 1 with original > issued still lands in range.
+        assert_eq!(role_iters(5, 4, 3), 1); // positions 3, (7 ≥ 5 excluded)
+                                            // issued > original: blocks at or past `original` are idle, the
+                                            // covered prefix runs once each, and totals are conserved.
+        for issued in [5u64, 8, 64] {
+            let total: u64 = (0..issued).map(|b| role_iters(4, issued, b)).sum();
+            assert_eq!(total, 4, "issued {issued}");
+            assert_eq!(role_iters(4, issued, 4), 0);
+        }
+        // b >= issued never executes, even if b < original.
+        assert_eq!(role_iters(100, 4, 4), 0);
     }
 
     #[test]
@@ -765,14 +1014,19 @@ mod tests {
         assert!(simulate(&spec, &ok).is_ok());
 
         // Same structure, but the barrier expects the whole block (a kept
-        // __syncthreads()) — deadlock, as §V-D predicts.
+        // __syncthreads()) — deadlock, as §V-D predicts. Every engine
+        // configuration reports the same pending barrier.
         let mut bad = ok.clone();
         bad.block.set_barrier_expectation(1, 4);
-        let err = simulate(&spec, &bad).unwrap_err();
-        assert!(
-            matches!(err, SimError::Deadlock { ref pending_barriers, .. }
-            if pending_barriers.contains(&1))
-        );
+        for opts in all_options() {
+            let err =
+                simulate_with_options(&spec, &bad, 68, &tacker_trace::NoopSink, opts).unwrap_err();
+            assert!(
+                matches!(err, SimError::Deadlock { ref pending_barriers, .. }
+                if pending_barriers.contains(&1)),
+                "{opts:?}"
+            );
+        }
     }
 
     #[test]
@@ -874,5 +1128,91 @@ mod tests {
         let warm = simulate(&spec, &mk(0.9)).unwrap();
         assert!(warm.cycles < cold.cycles);
         assert!(warm.dram_bytes < cold.dram_bytes * 0.2);
+    }
+
+    #[test]
+    fn queue_kinds_and_macro_stepping_agree() {
+        let spec = GpuSpec::rtx2080ti();
+        // Mixed plan: two pipelines, a barrier, a global access with a
+        // DRAM stage, and uneven iteration counts.
+        let plan = plan_of(
+            vec![
+                role(
+                    "tc",
+                    2,
+                    vec![
+                        compute(ComputeUnit::Tensor, 8_192),
+                        Op::Barrier { id: 1 },
+                        Op::Memory {
+                            dir: MemDir::Read,
+                            space: MemSpace::Global,
+                            bytes: 4 * 1024,
+                            locality: 0.5,
+                        },
+                    ],
+                    200,
+                ),
+                role("cd", 3, vec![compute(ComputeUnit::Cuda, 2_048)], 137),
+            ],
+            136,
+        );
+        let reference = simulate_with_options(
+            &spec,
+            &plan,
+            68,
+            &tacker_trace::NoopSink,
+            EngineOptions {
+                queue: QueueKind::Heap,
+                macro_step: false,
+            },
+        )
+        .unwrap();
+        // Reference engine: one pop per micro-event, nothing coalesced.
+        assert_eq!(reference.pops, reference.events);
+        assert_eq!(reference.macro_runs, 0);
+        for opts in all_options() {
+            let run =
+                simulate_with_options(&spec, &plan, 68, &tacker_trace::NoopSink, opts).unwrap();
+            assert_eq!(canon(run.clone()), canon(reference.clone()), "{opts:?}");
+            assert_eq!(run.events, reference.events, "{opts:?}");
+            if opts.macro_step {
+                assert!(run.pops <= run.events, "{opts:?}");
+            } else {
+                assert_eq!(run.pops, run.events, "{opts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn macro_stepping_coalesces_lone_warp_runs() {
+        let spec = GpuSpec::rtx2080ti();
+        // One warp, many iterations, no barrier: once alone, the whole
+        // remaining program collapses into inline continuations.
+        let plan = plan_of(
+            vec![role("cd", 1, vec![compute(ComputeUnit::Cuda, 640)], 64)],
+            1,
+        );
+        let run = simulate(&spec, &plan).unwrap();
+        assert!(run.macro_runs > 0);
+        assert!(
+            run.pops < run.events / 8,
+            "pops {} events {}",
+            run.pops,
+            run.events
+        );
+    }
+
+    #[test]
+    fn tracing_disables_macro_stepping() {
+        let spec = GpuSpec::rtx2080ti();
+        let plan = plan_of(
+            vec![role("cd", 1, vec![compute(ComputeUnit::Cuda, 640)], 64)],
+            1,
+        );
+        let sink = tacker_trace::RingSink::unbounded();
+        let run = simulate_traced(&spec, &plan, 68, &sink).unwrap();
+        assert_eq!(run.macro_runs, 0);
+        assert_eq!(run.pops, run.events);
+        assert!(!sink.is_empty());
     }
 }

@@ -29,13 +29,17 @@ pub mod engine;
 pub mod error;
 pub mod plan;
 pub mod power;
+pub mod queue;
 pub mod result;
 pub mod spec;
 pub mod timeline;
 
 pub use concurrent::{corun, CorunPolicy, CorunReport};
 pub use device::Device;
-pub use engine::{simulate, simulate_traced, simulate_with_active_sms};
+pub use engine::{
+    simulate, simulate_traced, simulate_with_active_sms, simulate_with_options, EngineOptions,
+    QueueKind,
+};
 pub use error::SimError;
 pub use plan::ExecutablePlan;
 pub use power::PowerModel;

@@ -1,0 +1,464 @@
+//! Event queues for the discrete-event engine.
+//!
+//! The engine drains [`Event`]s in a **total order**: ascending `time`,
+//! ties broken by ascending `seq` (scheduling order). Because every event
+//! carries a unique `seq`, the order is total — so any correct priority
+//! queue drains the same stream, and the engine's results are independent
+//! of the queue implementation. Two implementations are provided:
+//!
+//! * [`HeapQueue`] — the reference `BinaryHeap` (min-heap via reversed
+//!   comparator), `O(log n)` per transaction;
+//! * [`CalendarQueue`] — a calendar/bucket queue: fixed-width time
+//!   buckets over a sliding window, with a sorted-overflow ladder for
+//!   far-future events. Pushes are `O(1)` appends; pops scan forward to
+//!   the first non-empty bucket and take the minimum of that (small,
+//!   lazily sorted) bucket. Bucket boundaries never reorder events —
+//!   bucket index is monotone in `time`, and within a bucket the
+//!   `(time, seq)` sort applies — so the drain order is **identical**
+//!   to the heap's.
+//!
+//! [`CalendarQueue::peek_time`] exposes the minimum pending time, which
+//! the engine's macro-stepper uses as its safety bound: a warp may only
+//! be advanced inline while its next event would still be the global
+//! minimum.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One pending warp wake-up.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Event {
+    /// Cycle at which the warp resumes.
+    pub time: f64,
+    /// Scheduling sequence number: unique, monotonically increasing.
+    /// Breaks ties so that of two events at the same cycle, the one
+    /// scheduled *first* is processed first (FCFS among simultaneous
+    /// wake-ups).
+    pub seq: u64,
+    /// Index of the warp to wake.
+    pub warp: usize,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed (time, seq) so `BinaryHeap` acts as a min-heap: the
+        // earliest time wins, and at equal times the smallest seq wins.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Descending `(time, seq)` comparison, so a `Vec` sorted with it pops
+/// its minimum from the back.
+#[inline]
+fn desc(a: &Event, b: &Event) -> Ordering {
+    b.time.total_cmp(&a.time).then_with(|| b.seq.cmp(&a.seq))
+}
+
+/// Ascending `(time, seq)` comparison: `Less` means `a` drains first.
+#[inline]
+fn asc(a: &Event, b: &Event) -> Ordering {
+    a.time.total_cmp(&b.time).then_with(|| a.seq.cmp(&b.seq))
+}
+
+/// The reference min-queue over `(time, seq)`.
+#[derive(Debug, Default)]
+pub(crate) struct HeapQueue {
+    heap: BinaryHeap<Event>,
+}
+
+impl HeapQueue {
+    pub fn new() -> Self {
+        HeapQueue::default()
+    }
+
+    #[inline]
+    pub fn push(&mut self, ev: Event) {
+        self.heap.push(ev);
+    }
+
+    #[inline]
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Earliest pending event time, if any.
+    #[inline]
+    pub fn peek_time(&mut self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+}
+
+/// Number of fixed-width buckets in the calendar window. Power of two so
+/// ring indexing is a mask. Sized so the ring's allocation cost is small
+/// relative to a short simulation (the engine builds a fresh queue per
+/// run) while the window still spans typical scheduling horizons.
+const CALENDAR_BUCKETS: usize = 512;
+
+/// A calendar/bucket event queue with a sorted-overflow ladder.
+///
+/// The window covers `CALENDAR_BUCKETS × width` cycles starting at
+/// `base_bucket × width`. Events inside the window append to their
+/// bucket; events beyond it go to the `overflow` rung. The head bucket
+/// is sorted (descending, min at the back) lazily on first access; a
+/// push into the already-sorted head bucket binary-searches its slot so
+/// order is preserved. When every in-window bucket drains, the window
+/// jumps to the earliest overflow event and the overflow rung is
+/// re-dealt — each far-future event is touched once per ladder hop,
+/// never per pop.
+///
+/// An event parked on the rung can come to lie *inside* the window as
+/// `base_bucket` advances, while newer pushes land in buckets beyond it
+/// — so bucket position alone does not order the rung against the
+/// window. Every pop/peek therefore compares the head-bucket minimum
+/// with the rung minimum (the rung is kept lazily sorted) and takes the
+/// global `(time, seq)` minimum, keeping the drain order exactly the
+/// heap's.
+#[derive(Debug)]
+pub(crate) struct CalendarQueue {
+    width: f64,
+    buckets: Vec<Vec<Event>>,
+    /// Absolute bucket index of ring slot `head`.
+    base_bucket: u64,
+    /// Ring slot holding bucket `base_bucket`.
+    head: usize,
+    /// Whether `buckets[head]` is currently sorted descending.
+    head_sorted: bool,
+    /// Events resident in window buckets.
+    in_buckets: usize,
+    /// Events past the window at push time (absolute bucket ≥
+    /// `base_bucket + CALENDAR_BUCKETS` when pushed).
+    overflow: Vec<Event>,
+    /// Whether `overflow` is currently sorted descending.
+    overflow_sorted: bool,
+}
+
+impl CalendarQueue {
+    /// Creates a queue with the given bucket width in cycles. Widths are
+    /// clamped to a small positive minimum so degenerate specs cannot
+    /// produce a zero-width (infinite-bucket-index) calendar.
+    pub fn new(width: f64) -> Self {
+        let width = if width.is_finite() && width > 1e-9 {
+            width
+        } else {
+            1.0
+        };
+        CalendarQueue {
+            width,
+            buckets: (0..CALENDAR_BUCKETS).map(|_| Vec::new()).collect(),
+            base_bucket: 0,
+            head: 0,
+            head_sorted: false,
+            in_buckets: 0,
+            overflow: Vec::new(),
+            overflow_sorted: true,
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.in_buckets + self.overflow.len()
+    }
+
+    #[inline]
+    fn bucket_of(&self, time: f64) -> u64 {
+        // Times are non-negative cycles; casts saturate safely for the
+        // magnitudes the engine produces.
+        (time / self.width) as u64
+    }
+
+    pub fn push(&mut self, ev: Event) {
+        // Scheduled times never precede the drain cursor, but clamp for
+        // float-edge safety so no event can land behind the window.
+        let b = self.bucket_of(ev.time).max(self.base_bucket);
+        let idx = (b - self.base_bucket) as usize;
+        if idx >= CALENDAR_BUCKETS {
+            self.overflow.push(ev);
+            self.overflow_sorted = false;
+            return;
+        }
+        let slot = (self.head + idx) & (CALENDAR_BUCKETS - 1);
+        let bucket = &mut self.buckets[slot];
+        if idx == 0 && self.head_sorted {
+            // Keep the active bucket sorted: insert before the run of
+            // strictly-greater events (descending order, min at back).
+            let pos = bucket.partition_point(|e| desc(e, &ev) == Ordering::Less);
+            bucket.insert(pos, ev);
+        } else {
+            bucket.push(ev);
+        }
+        self.in_buckets += 1;
+    }
+
+    /// Advances `head` to the first non-empty bucket, pulling from the
+    /// overflow ladder when the window is dry. Requires `len() > 0`.
+    fn advance(&mut self) {
+        loop {
+            if self.in_buckets == 0 {
+                // Window dry: hop the ladder to the earliest overflow
+                // event and re-deal the rung.
+                debug_assert!(!self.overflow.is_empty());
+                let min_bucket = self
+                    .overflow
+                    .iter()
+                    .map(|e| self.bucket_of(e.time))
+                    .min()
+                    .expect("overflow non-empty");
+                self.base_bucket = min_bucket;
+                self.head = 0;
+                self.head_sorted = false;
+                let pending = std::mem::take(&mut self.overflow);
+                self.overflow_sorted = true; // now empty; pushes may refill
+                for ev in pending {
+                    self.push(ev);
+                }
+                continue;
+            }
+            if self.buckets[self.head].is_empty() {
+                self.head = (self.head + 1) & (CALENDAR_BUCKETS - 1);
+                self.base_bucket += 1;
+                self.head_sorted = false;
+                continue;
+            }
+            if !self.head_sorted {
+                self.buckets[self.head].sort_unstable_by(desc);
+                self.head_sorted = true;
+            }
+            return;
+        }
+    }
+
+    /// Whether the overflow rung's minimum drains before the (sorted)
+    /// head bucket's minimum. Sorts the rung lazily.
+    #[inline]
+    fn rung_min_first(&mut self) -> bool {
+        if self.overflow.is_empty() {
+            return false;
+        }
+        if !self.overflow_sorted {
+            self.overflow.sort_unstable_by(desc);
+            self.overflow_sorted = true;
+        }
+        match (self.overflow.last(), self.buckets[self.head].last()) {
+            (Some(o), Some(h)) => asc(o, h) == Ordering::Less,
+            _ => unreachable!("rung_min_first called with an empty head bucket"),
+        }
+    }
+
+    pub fn pop(&mut self) -> Option<Event> {
+        if self.len() == 0 {
+            return None;
+        }
+        self.advance();
+        if self.rung_min_first() {
+            return self.overflow.pop();
+        }
+        let ev = self.buckets[self.head].pop();
+        self.in_buckets -= 1;
+        ev
+    }
+
+    /// Earliest pending event time, if any. May advance the internal
+    /// cursor (monotone, amortized against future pops).
+    #[inline]
+    pub fn peek_time(&mut self) -> Option<f64> {
+        if self.len() == 0 {
+            return None;
+        }
+        self.advance();
+        if self.rung_min_first() {
+            return self.overflow.last().map(|e| e.time);
+        }
+        self.buckets[self.head].last().map(|e| e.time)
+    }
+}
+
+/// The engine's queue, selected by [`crate::engine::QueueKind`].
+#[derive(Debug)]
+pub(crate) enum EventQueue {
+    Heap(HeapQueue),
+    Calendar(CalendarQueue),
+}
+
+impl EventQueue {
+    #[inline]
+    pub fn push(&mut self, ev: Event) {
+        match self {
+            EventQueue::Heap(q) => q.push(ev),
+            EventQueue::Calendar(q) => q.push(ev),
+        }
+    }
+
+    #[inline]
+    pub fn pop(&mut self) -> Option<Event> {
+        match self {
+            EventQueue::Heap(q) => q.pop(),
+            EventQueue::Calendar(q) => q.pop(),
+        }
+    }
+
+    #[inline]
+    pub fn peek_time(&mut self) -> Option<f64> {
+        match self {
+            EventQueue::Heap(q) => q.peek_time(),
+            EventQueue::Calendar(q) => q.peek_time(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(time: f64, seq: u64) -> Event {
+        Event {
+            time,
+            seq,
+            warp: seq as usize,
+        }
+    }
+
+    /// Pins the event total order: ascending time, ties broken by
+    /// ascending seq (scheduling order). The calendar queue's drain
+    /// order is specified to be exactly this.
+    #[test]
+    fn event_order_is_time_then_seq() {
+        let mut heap = HeapQueue::new();
+        for e in [ev(5.0, 4), ev(1.0, 3), ev(5.0, 1), ev(1.0, 7), ev(0.0, 9)] {
+            heap.push(e);
+        }
+        let order: Vec<(u64, u64)> = std::iter::from_fn(|| heap.pop())
+            .map(|e| (e.time as u64, e.seq))
+            .collect();
+        assert_eq!(order, [(0, 9), (1, 3), (1, 7), (5, 1), (5, 4)]);
+    }
+
+    #[test]
+    fn calendar_matches_heap_on_random_stream() {
+        // Deterministic pseudo-random interleaving of pushes and pops.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut heap = HeapQueue::new();
+        let mut cal = CalendarQueue::new(2.0);
+        let mut seq = 0u64;
+        let mut cursor = 0.0f64; // pops never go backwards in time
+        for _ in 0..20_000 {
+            let r = next();
+            if r % 5 < 3 {
+                // Push at cursor + jittered offset; occasionally far
+                // future so the overflow ladder engages.
+                let off = if r % 97 == 0 {
+                    (r % 100_000) as f64
+                } else if r % 89 == 0 {
+                    // Straddles the window edge (2048 × 2.0 cycles), so
+                    // rung events later fall inside the sliding window.
+                    (r % 8_192) as f64
+                } else {
+                    (r % 512) as f64 * 0.25
+                };
+                seq += 1;
+                let e = ev(cursor + off, seq);
+                heap.push(e);
+                cal.push(e);
+            } else {
+                let a = heap.pop();
+                let b = cal.pop();
+                assert_eq!(
+                    a.map(|e| (e.time.to_bits(), e.seq)),
+                    b.map(|e| (e.time.to_bits(), e.seq))
+                );
+                if let Some(e) = a {
+                    cursor = e.time;
+                }
+            }
+        }
+        // Drain the rest: identical tails.
+        loop {
+            let a = heap.pop();
+            let b = cal.pop();
+            assert_eq!(
+                a.map(|e| (e.time.to_bits(), e.seq)),
+                b.map(|e| (e.time.to_bits(), e.seq))
+            );
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn calendar_handles_ties_in_one_bucket() {
+        let mut cal = CalendarQueue::new(4.0);
+        cal.push(ev(8.0, 2));
+        cal.push(ev(8.0, 1));
+        cal.push(ev(9.0, 3));
+        assert_eq!(cal.peek_time(), Some(8.0));
+        // Insert into the now-sorted head bucket: order still holds.
+        cal.push(ev(8.5, 4));
+        let seqs: Vec<u64> = std::iter::from_fn(|| cal.pop()).map(|e| e.seq).collect();
+        assert_eq!(seqs, [1, 2, 4, 3]);
+    }
+
+    #[test]
+    fn overflow_ladder_promotes_far_future_events() {
+        let mut cal = CalendarQueue::new(1.0);
+        // Far beyond the window: lands on the overflow rung.
+        cal.push(ev(1e7, 1));
+        cal.push(ev(1e7 + 0.5, 2));
+        cal.push(ev(3.0, 3));
+        assert_eq!(cal.pop().map(|e| e.seq), Some(3));
+        assert_eq!(cal.peek_time(), Some(1e7));
+        assert_eq!(cal.pop().map(|e| e.seq), Some(1));
+        assert_eq!(cal.pop().map(|e| e.seq), Some(2));
+        assert_eq!(cal.pop().map(|e| e.seq), None);
+    }
+
+    /// Regression: an event pushed onto the overflow rung stays there
+    /// as the window slides over its bucket. A newer in-window event
+    /// beyond it must not drain first — pop compares the rung minimum
+    /// against the head bucket.
+    #[test]
+    fn rung_event_inside_window_drains_in_order() {
+        let mut cal = CalendarQueue::new(1.0);
+        // Bucket 3000 lies beyond the initial window [0, 2048): rung.
+        cal.push(ev(3000.0, 1));
+        cal.push(ev(1500.0, 2));
+        assert_eq!(cal.pop().map(|e| e.seq), Some(2));
+        // The window now covers bucket 3000, but seq 1 is still on the
+        // rung; this newer push lands in an in-window bucket beyond it.
+        cal.push(ev(3100.0, 3));
+        assert_eq!(cal.peek_time(), Some(3000.0));
+        assert_eq!(cal.pop().map(|e| e.seq), Some(1));
+        assert_eq!(cal.pop().map(|e| e.seq), Some(3));
+        assert_eq!(cal.pop().map(|e| e.seq), None);
+    }
+
+    #[test]
+    fn degenerate_width_is_clamped() {
+        let mut cal = CalendarQueue::new(0.0);
+        cal.push(ev(10.0, 1));
+        assert_eq!(cal.pop().map(|e| e.seq), Some(1));
+        let mut cal = CalendarQueue::new(f64::NAN);
+        cal.push(ev(2.0, 1));
+        cal.push(ev(1.0, 2));
+        assert_eq!(cal.pop().map(|e| e.seq), Some(2));
+    }
+}

@@ -93,9 +93,17 @@ pub struct KernelRun {
     pub occupancy: u32,
     /// DRAM bytes moved by the representative SM (post-locality).
     pub dram_bytes: f64,
-    /// Discrete events the engine processed to produce this run (0 for
-    /// cache-replayed results). Deterministic for a given plan.
+    /// Micro-events the engine processed to produce this run (0 for
+    /// cache-replayed results): queue pops plus inline macro-step
+    /// continuations. Deterministic for a given plan and invariant
+    /// across [`crate::engine::QueueKind`] and macro-stepping.
     pub events: u64,
+    /// Actual event-queue pops (0 for cache-replayed results). Equals
+    /// `events` with macro-stepping off; shrinks as runs coalesce.
+    pub pops: u64,
+    /// Queue pops that coalesced at least one inline continuation
+    /// (0 for cache-replayed results and with macro-stepping off).
+    pub macro_runs: u64,
 }
 
 impl KernelRun {
@@ -200,6 +208,8 @@ mod tests {
             occupancy: 1,
             dram_bytes: 0.0,
             events: 0,
+            pops: 0,
+            macro_runs: 0,
         };
         assert_eq!(run.corun_cycles(), Cycles::new(60));
         assert_eq!(run.role_finish_containing("cd"), Some(Cycles::new(100)));

@@ -206,6 +206,8 @@ mod tests {
             occupancy: 1,
             dram_bytes: 0.0,
             events: 0,
+            pops: 0,
+            macro_runs: 0,
         }
     }
 

@@ -199,6 +199,9 @@ pub enum TraceEvent {
         cd_busy_cycles: u64,
         /// Resident blocks per SM.
         occupancy: u32,
+        /// Micro-events the engine processed (queue pops plus inline
+        /// continuations) — invariant across engine configurations.
+        events: u64,
     },
 
     // ---- runtime layer (tacker core) ----
@@ -425,11 +428,12 @@ impl TraceEvent {
                 tc_busy_cycles,
                 cd_busy_cycles,
                 occupancy,
+                events,
             } => {
                 push_str_field(&mut out, "kernel", kernel);
                 let _ = write!(
                     out,
-                    ",\"cycles\":{cycles},\"tc_busy_cycles\":{tc_busy_cycles},\"cd_busy_cycles\":{cd_busy_cycles},\"occupancy\":{occupancy}"
+                    ",\"cycles\":{cycles},\"tc_busy_cycles\":{tc_busy_cycles},\"cd_busy_cycles\":{cd_busy_cycles},\"occupancy\":{occupancy},\"events\":{events}"
                 );
             }
             TraceEvent::Decision {
