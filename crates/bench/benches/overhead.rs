@@ -9,8 +9,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use tacker::library::FusionLibrary;
 use tacker::manager::{KernelManager, Policy};
 use tacker::profile::KernelProfiler;
-use tacker::server::{run_colocation, run_colocation_traced};
-use tacker::ExperimentConfig;
+use tacker::serve::ColocationRun;
+use tacker::{ExperimentConfig, RunReport};
 use tacker_kernel::SimTime;
 use tacker_sim::{Device, GpuSpec};
 use tacker_trace::{NoopSink, RingSink, TraceSink};
@@ -76,21 +76,36 @@ fn bench_trace_overhead(c: &mut Criterion) {
     let lc = tacker_workloads::lc_service("Resnet50", &device).expect("service");
     let bes = [tacker_workloads::be_app("sgemm").expect("app")];
     let config = ExperimentConfig::default().with_queries(20);
+    let run_plain = |device, lc: &_, bes: &[_], config| -> RunReport {
+        ColocationRun::new(device, config, std::slice::from_ref(lc), bes)
+            .expect("run")
+            .policy(Policy::Tacker)
+            .run()
+            .expect("run")
+    };
+    let run_traced = |device, lc: &_, bes: &[_], config, sink| -> RunReport {
+        ColocationRun::new(device, config, std::slice::from_ref(lc), bes)
+            .expect("run")
+            .policy(Policy::Tacker)
+            .traced(sink)
+            .run()
+            .expect("run")
+    };
     // Warm the device's memoized simulations so no path pays them.
-    run_colocation(&device, &lc, &bes, Policy::Tacker, &config).expect("warmup");
+    run_plain(&device, &lc, &bes, &config);
     c.bench_function("colocate_untraced", |b| {
-        b.iter(|| run_colocation(&device, &lc, &bes, Policy::Tacker, &config).expect("run"))
+        b.iter(|| run_plain(&device, &lc, &bes, &config))
     });
     c.bench_function("colocate_noop_sink", |b| {
         b.iter(|| {
             let sink: Arc<dyn TraceSink> = Arc::new(NoopSink);
-            run_colocation_traced(&device, &lc, &bes, Policy::Tacker, &config, sink).expect("run")
+            run_traced(&device, &lc, &bes, &config, sink)
         })
     });
     c.bench_function("colocate_ring_sink", |b| {
         b.iter(|| {
             let sink: Arc<dyn TraceSink> = Arc::new(RingSink::unbounded());
-            run_colocation_traced(&device, &lc, &bes, Policy::Tacker, &config, sink).expect("run")
+            run_traced(&device, &lc, &bes, &config, sink)
         })
     });
     // The gate. One co-location run is tens of milliseconds, and on a
@@ -99,11 +114,11 @@ fn bench_trace_overhead(c: &mut Criterion) {
     // instead: preemption doesn't bill to the process, and the batch is
     // long enough (seconds) for the 10 ms tick granularity.
     let run_untraced = || {
-        run_colocation(&device, &lc, &bes, Policy::Tacker, &config).expect("run");
+        run_plain(&device, &lc, &bes, &config);
     };
     let run_noop = || {
         let sink: Arc<dyn TraceSink> = Arc::new(NoopSink);
-        run_colocation_traced(&device, &lc, &bes, Policy::Tacker, &config, sink).expect("run");
+        run_traced(&device, &lc, &bes, &config, sink);
     };
     let cpu_batch = |f: &dyn Fn(), runs: u32| {
         let start = cpu_time_ticks();

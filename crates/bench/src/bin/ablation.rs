@@ -180,14 +180,18 @@ fn main() {
         let lc = tacker_workloads::lc_service("Resnet50", &device).expect("LC");
         let be = vec![tacker_workloads::be_app("fft").expect("BE")];
         for policy in [Policy::Baymax, Policy::FusionOnly, Policy::Tacker] {
-            let r = tacker::run_colocation(&device, &lc, &be, policy, &config).expect("run");
+            let r = ColocationRun::new(&device, &config, std::slice::from_ref(&lc), &be)
+                .expect("run")
+                .policy(policy)
+                .run()
+                .expect("run");
             println!(
                 "  {:<12} be-rate {:.3}  fused {}  reordered {}  p99 {:.1} ms",
                 format!("{policy:?}"),
                 r.be_work_rate(),
                 r.fused_launches,
                 r.reordered_launches,
-                r.p99_latency().as_millis_f64()
+                r.p99_latency().expect("queries completed").as_millis_f64()
             );
         }
     }

@@ -12,8 +12,11 @@ fn main() {
     let config = tacker_bench::eval_config().with_queries(12).with_timeline();
     let lc = tacker_workloads::lc_service("Resnet50", &device).expect("LC service");
     let be = vec![tacker_workloads::be_app("sgemm").expect("BE app")];
-    let report =
-        tacker::run_colocation(&device, &lc, &be, Policy::Baymax, &config).expect("baymax run");
+    let report = ColocationRun::new(&device, &config, std::slice::from_ref(&lc), &be)
+        .expect("baymax run")
+        .policy(Policy::Baymax)
+        .run()
+        .expect("baymax run");
     let tl = report.timeline.expect("timeline recorded");
 
     println!("# Figure 1: active timeline under Baymax (Resnet50 + sgemm)");

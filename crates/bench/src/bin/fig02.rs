@@ -27,7 +27,10 @@ fn main() {
         let lc = tacker_workloads::lc_service(lc_name, &device).expect("LC service");
         for be_name in ["sgemm", "fft", "lbm", "cutcp", "mriq"] {
             let be = vec![tacker_workloads::be_app(be_name).expect("BE app")];
-            let report = tacker::run_colocation(&device, &lc, &be, Policy::Baymax, &config)
+            let report = ColocationRun::new(&device, &config, std::slice::from_ref(&lc), &be)
+                .expect("baymax run")
+                .policy(Policy::Baymax)
+                .run()
                 .expect("baymax run");
             let tl = report.timeline.expect("timeline");
             // Normalize active times to the total busy window.

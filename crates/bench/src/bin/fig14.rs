@@ -34,12 +34,13 @@ fn main() {
         print!("{:<10}", lc.name());
         for be in &be_apps {
             let (_, _, imp, _, tacker) = rows.next().expect("one row per pair");
+            let p99 = tacker.p99_latency().expect("queries completed");
             assert!(
-                tacker.p99_latency() <= config.qos_target.mul_f64(1.02),
+                p99 <= config.qos_target.mul_f64(1.02),
                 "{}+{}: p99 {} exceeds QoS",
                 lc.name(),
                 be.name(),
-                tacker.p99_latency()
+                p99
             );
             print!("{:>8.1}%", imp);
             all.push(*imp);

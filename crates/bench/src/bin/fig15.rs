@@ -19,7 +19,11 @@ fn main() {
     // and print in name order.
     let reports = tacker_bench::par_map(tacker_bench::bench_jobs(), &be_names, |_, be_name| {
         let be = vec![tacker_workloads::be_app(be_name).expect("BE app")];
-        tacker::run_colocation(&device, &lc, &be, Policy::Tacker, &config).expect("tacker run")
+        ColocationRun::new(&device, &config, std::slice::from_ref(&lc), &be)
+            .expect("tacker run")
+            .policy(Policy::Tacker)
+            .run()
+            .expect("tacker run")
     });
     let mut overlaps: Vec<(String, SimTime)> = Vec::new();
     for (be_name, report) in be_names.iter().zip(reports) {

@@ -23,13 +23,14 @@ fn main() {
         }
     }
     let reports: Vec<RunReport> = try_par_map(bench_jobs(), &pairs, |_, &(lc, be)| {
-        tacker::run_colocation(
+        ColocationRun::new(
             &device,
-            lc,
-            std::slice::from_ref(be),
-            Policy::Tacker,
             &config,
-        )
+            std::slice::from_ref(lc),
+            std::slice::from_ref(be),
+        )?
+        .policy(Policy::Tacker)
+        .run()
     })
     .expect("tacker run");
 
@@ -43,14 +44,15 @@ fn main() {
     );
     let mut all_ok = true;
     for ((lc, be), r) in pairs.iter().zip(&reports) {
-        let ok = r.p99_latency() <= config.qos_target.mul_f64(1.02);
+        let p99 = r.p99_latency().expect("queries completed");
+        let ok = p99 <= config.qos_target.mul_f64(1.02);
         all_ok &= ok;
         println!(
             "{:<10} {:>8} {:>10.2} {:>10.2} {:>6}",
             lc.name(),
             be.name(),
-            r.mean_latency().as_millis_f64(),
-            r.p99_latency().as_millis_f64(),
+            r.mean_latency().expect("queries completed").as_millis_f64(),
+            p99.as_millis_f64(),
             if ok { "met" } else { "MISS" }
         );
     }

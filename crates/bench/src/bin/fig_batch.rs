@@ -7,7 +7,7 @@
 //! over Baymax (vs the batch-32 gain).
 
 use tacker::prelude::*;
-use tacker::server::{calibrate_peak_interarrival, run_colocation_at};
+use tacker::server::calibrate_peak_interarrival;
 use tacker_bench::rtx2080ti;
 use tacker_workloads::dnn::compile::{compile, ConvPolicy};
 use tacker_workloads::dnn::DnnModel;
@@ -33,9 +33,17 @@ fn main() {
         let graph = DnnModel::Resnet50.graph(batch as u64);
         let compiled = compile(&graph, &device, ConvPolicy::Profitable(0.15));
         let lc = LcService::new(format!("Resnet50-b{batch}"), batch, compiled.kernels);
-        let baymax = run_colocation_at(&device, &lc, &be, Policy::Baymax, &config, interarrival)
+        let baymax = ColocationRun::new(&device, &config, std::slice::from_ref(&lc), &be)
+            .expect("baymax")
+            .policy(Policy::Baymax)
+            .at(interarrival)
+            .run()
             .expect("baymax");
-        let tacker = run_colocation_at(&device, &lc, &be, Policy::Tacker, &config, interarrival)
+        let tacker = ColocationRun::new(&device, &config, std::slice::from_ref(&lc), &be)
+            .expect("tacker")
+            .policy(Policy::Tacker)
+            .at(interarrival)
+            .run()
             .expect("tacker");
         assert!(tacker.qos_met(), "batch {batch}: QoS violated");
         let imp = 100.0 * (tacker.be_work_rate() / baymax.be_work_rate() - 1.0);

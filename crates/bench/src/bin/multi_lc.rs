@@ -17,24 +17,31 @@ fn main() {
     println!("# Multiple LC services: Resnet50 + Densenet, with mriq as BE");
     let mut rates = Vec::new();
     for policy in [Policy::Baymax, Policy::Tacker] {
-        let r = run_multi_colocation(&device, &lcs, &be, policy, &config).expect("run");
+        let r = ColocationRun::new(&device, &config, &lcs, &be)
+            .expect("run")
+            .policy(policy)
+            .run()
+            .expect("run");
         println!("## {policy:?}");
-        for svc in &r.services {
+        for svc in r.per_service() {
+            let p99 = svc.p99_latency().expect("queries completed");
             println!(
                 "  {:<10} mean {:>7.2} ms  p99 {:>7.2} ms  violations {}",
                 svc.name,
-                svc.mean_latency().as_millis_f64(),
-                svc.p99_latency().as_millis_f64(),
+                svc.mean_latency()
+                    .expect("queries completed")
+                    .as_millis_f64(),
+                p99.as_millis_f64(),
                 svc.qos_violations
             );
             // Cross-service bursts are invisible to each service's own
             // calibration; require the p99 to meet QoS and at most 1%
             // stragglers.
             assert!(
-                svc.p99_latency() <= config.qos_target,
+                p99 <= config.qos_target,
                 "{} p99 {} exceeds QoS",
                 svc.name,
-                svc.p99_latency()
+                p99
             );
             assert!(svc.qos_violations <= config.queries / 100 + 1);
         }

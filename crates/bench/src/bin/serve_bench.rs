@@ -1,0 +1,224 @@
+//! Serving-runtime fault drill: the adaptive QoS guard must earn its keep.
+//!
+//! The drill co-locates Resnet50 with fft at high load and injects a
+//! duration-misprediction fault (predictions low by 1.5x on 20% of the LC
+//! kernels — the §V-B failure mode Tacker's gate is most sensitive to).
+//! Mispredictions make the Equation 8/9 headroom check optimistic, so the
+//! unguarded runtime keeps fusing into headroom it does not have and
+//! violates QoS. The guard watches the predicted-vs-actual error per
+//! kernel, inflates its safety margin, and steps down the degradation
+//! ladder (fuse → reorder-only → LC-only) until pressure subsides.
+//!
+//! ```sh
+//! cargo run --release -p tacker-bench --bin serve_bench [out.json] [--check]
+//! ```
+//!
+//! `--check` exits non-zero unless (a) the guarded violation rate is
+//! strictly below the unguarded rate under the fault plan, (b) the guard
+//! actually stepped and faults were actually injected (the drill is
+//! meaningless otherwise), and (c) a zero-fault serve reproduces the
+//! batch run bit for bit.
+
+use std::sync::Arc;
+
+use tacker::prelude::*;
+use tacker_bench::rtx2080ti;
+use tacker_trace::{RingSink, TraceEvent, TraceSink};
+use tacker_workloads::{BeApp, LcService};
+
+const QUERIES: usize = 60;
+const SEEDS: [u64; 3] = [11, 29, 47];
+const MISPREDICT_MULTIPLIER: f64 = 1.5;
+const MISPREDICT_FRACTION: f64 = 0.2;
+const LOAD: f64 = 0.95;
+
+struct Drill {
+    violations: usize,
+    queries: usize,
+    guard_steps: u64,
+    faults_injected: u64,
+    guard_level: String,
+    guard_step_events: usize,
+    fault_events: usize,
+    violation_events: usize,
+}
+
+fn drill(
+    device: &Arc<tacker_sim::Device>,
+    lc: &LcService,
+    be: &[BeApp],
+    seed: u64,
+    guarded: bool,
+) -> Drill {
+    let config = tacker_bench::eval_config()
+        .with_queries(QUERIES)
+        .with_seed(seed)
+        .with_load(LOAD);
+    let plan = FaultPlan::mispredicting(MISPREDICT_MULTIPLIER, MISPREDICT_FRACTION).with_seed(seed);
+    let ring = Arc::new(RingSink::unbounded());
+    let mut run = ColocationRun::new(device, &config, std::slice::from_ref(lc), be)
+        .expect("drill")
+        .policy(Policy::Tacker)
+        .faults(plan)
+        .traced(ring.clone() as Arc<dyn TraceSink>);
+    if guarded {
+        run = run.guarded(GuardConfig::default());
+    }
+    let report = run.run().expect("drill");
+    let events = ring.events();
+    let count = |pred: fn(&TraceEvent) -> bool| events.iter().filter(|e| pred(e)).count();
+    Drill {
+        violations: report.qos_violations(),
+        queries: report.query_count(),
+        guard_steps: report.guard_steps,
+        faults_injected: report.faults_injected,
+        guard_level: report
+            .guard_level
+            .map_or_else(|| "off".to_string(), |l| l.name().to_string()),
+        guard_step_events: count(|e| matches!(e, TraceEvent::GuardStep { .. })),
+        fault_events: count(|e| matches!(e, TraceEvent::FaultInjected { .. })),
+        violation_events: count(|e| matches!(e, TraceEvent::QosViolation { .. })),
+    }
+}
+
+/// A zero-fault serve must be the batch run, bit for bit.
+fn zero_fault_identity(device: &Arc<tacker_sim::Device>, lc: &LcService, be: &[BeApp]) -> bool {
+    let config = tacker_bench::eval_config().with_queries(20).with_seed(7);
+    let batch = ColocationRun::new(device, &config, std::slice::from_ref(lc), be)
+        .expect("batch")
+        .policy(Policy::Tacker)
+        .run()
+        .expect("batch");
+    let serve = ColocationRun::new(device, &config, std::slice::from_ref(lc), be)
+        .expect("serve")
+        .policy(Policy::Tacker)
+        .arrivals(ArrivalSpec::Poisson)
+        .faults(FaultPlan::none())
+        .guarded(GuardConfig::default())
+        .run()
+        .expect("serve");
+    batch.query_latencies() == serve.query_latencies()
+        && batch.be_work == serve.be_work
+        && batch.wall == serve.wall
+        && serve.guard_steps == 0
+}
+
+fn main() {
+    let mut check = false;
+    let mut out = "results/BENCH_serve.json".to_string();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--check" => check = true,
+            other => out = other.to_string(),
+        }
+    }
+
+    let device = rtx2080ti();
+    let lc = tacker_workloads::lc_service("Resnet50", &device).expect("LC");
+    let be = vec![tacker_workloads::be_app("fft").expect("BE")];
+
+    eprintln!("zero-fault identity ...");
+    let identical = zero_fault_identity(&device, &lc, &be);
+
+    let mut off_violations = 0usize;
+    let mut on_violations = 0usize;
+    let mut queries = 0usize;
+    let mut guard_steps = 0u64;
+    let mut faults = 0u64;
+    let mut guard_step_events = 0usize;
+    let mut fault_events = 0usize;
+    let mut violation_events = 0usize;
+    let mut final_levels = Vec::new();
+    for seed in SEEDS {
+        eprintln!("drill seed {seed} (guard off) ...");
+        let off = drill(&device, &lc, &be, seed, false);
+        eprintln!("drill seed {seed} (guard on) ...");
+        let on = drill(&device, &lc, &be, seed, true);
+        eprintln!(
+            "  seed {seed}: violations {}/{} unguarded vs {}/{} guarded \
+             ({} guard steps, final level {})",
+            off.violations, off.queries, on.violations, on.queries, on.guard_steps, on.guard_level
+        );
+        off_violations += off.violations;
+        on_violations += on.violations;
+        queries += off.queries;
+        guard_steps += on.guard_steps;
+        faults += off.faults_injected + on.faults_injected;
+        guard_step_events += on.guard_step_events;
+        fault_events += off.fault_events + on.fault_events;
+        violation_events += off.violation_events + on.violation_events;
+        final_levels.push(on.guard_level);
+    }
+    let rate_off = off_violations as f64 / queries as f64;
+    let rate_on = on_violations as f64 / queries as f64;
+    eprintln!(
+        "violation rate: {rate_off:.3} unguarded vs {rate_on:.3} guarded \
+         (zero-fault identity: {identical})"
+    );
+
+    if check {
+        let mut failed = false;
+        if rate_on >= rate_off {
+            eprintln!(
+                "FAIL: guarded violation rate {rate_on:.3} not below unguarded {rate_off:.3}"
+            );
+            failed = true;
+        }
+        if guard_steps == 0 || guard_step_events == 0 {
+            eprintln!("FAIL: the guard never stepped — drill exercises nothing");
+            failed = true;
+        }
+        if faults == 0 || fault_events == 0 {
+            eprintln!("FAIL: no faults injected — drill exercises nothing");
+            failed = true;
+        }
+        if !identical {
+            eprintln!("FAIL: zero-fault serve diverged from the batch run");
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!("OK");
+        return;
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"serve_fault_drill\",\n",
+            "  \"scenario\": {{\"lc\": \"Resnet50\", \"be\": \"fft\", \"policy\": \"Tacker\", ",
+            "\"queries\": {queries}, \"seeds\": {seeds:?}, \"load\": {load}}},\n",
+            "  \"fault_plan\": {{\"mispredict_multiplier\": {mult}, \"mispredict_fraction\": {frac}}},\n",
+            "  \"violation_rate_guard_off\": {off:.4},\n",
+            "  \"violation_rate_guard_on\": {on:.4},\n",
+            "  \"guard_steps\": {steps},\n",
+            "  \"faults_injected\": {faults},\n",
+            "  \"guard_final_levels\": {levels:?},\n",
+            "  \"trace_events\": {{\"guard_step\": {gse}, \"fault_injected\": {fe}, ",
+            "\"qos_violation\": {ve}}},\n",
+            "  \"zero_fault_serve_identical_to_batch\": {identical}\n",
+            "}}\n",
+        ),
+        queries = QUERIES,
+        seeds = SEEDS,
+        load = LOAD,
+        mult = MISPREDICT_MULTIPLIER,
+        frac = MISPREDICT_FRACTION,
+        off = rate_off,
+        on = rate_on,
+        steps = guard_steps,
+        faults = faults,
+        levels = final_levels,
+        gse = guard_step_events,
+        fe = fault_events,
+        ve = violation_events,
+        identical = identical,
+    );
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("results dir");
+    }
+    std::fs::write(&out, &json).expect("write results");
+    eprintln!("wrote {out}");
+    print!("{json}");
+}

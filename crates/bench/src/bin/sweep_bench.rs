@@ -83,9 +83,11 @@ fn main() {
             (p.lc.as_str(), p.be.as_str())
         );
         assert_eq!(
-            s.report.query_latencies, p.report.query_latencies,
+            s.report.query_latencies(),
+            p.report.query_latencies(),
             "{}+{} latencies diverged",
-            s.lc, s.be
+            s.lc,
+            s.be
         );
         assert_eq!(s.report.fused_launches, p.report.fused_launches);
         assert_eq!(s.report.be_work, p.report.be_work);

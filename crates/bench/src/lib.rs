@@ -75,10 +75,17 @@ pub fn pair_improvement(
     config: &ExperimentConfig,
 ) -> (f64, RunReport, RunReport) {
     let be_slice = vec![be.clone()];
-    let baymax =
-        tacker::run_colocation(device, lc, &be_slice, Policy::Baymax, config).expect("baymax run");
-    let tacker =
-        tacker::run_colocation(device, lc, &be_slice, Policy::Tacker, config).expect("tacker run");
+    let lc_slice = std::slice::from_ref(lc);
+    let baymax = ColocationRun::new(device, config, lc_slice, &be_slice)
+        .expect("baymax run")
+        .policy(Policy::Baymax)
+        .run()
+        .expect("baymax run");
+    let tacker = ColocationRun::new(device, config, lc_slice, &be_slice)
+        .expect("tacker run")
+        .policy(Policy::Tacker)
+        .run()
+        .expect("tacker run");
     let imp = 100.0
         * tacker::metrics::throughput_improvement(baymax.be_work_rate(), tacker.be_work_rate());
     (imp, baymax, tacker)

@@ -4,8 +4,8 @@ use std::sync::Arc;
 
 use tacker::prelude::*;
 use tacker::profile::KernelProfiler;
-use tacker::server::{run_colocation_traced, run_multi_colocation_traced};
 use tacker_fuser::{enumerate_configs, fuse_flexible, to_ptb, PackPriority};
+use tacker_kernel::SimTime;
 use tacker_sim::{Device, ExecutablePlan, GpuSpec, PowerModel};
 use tacker_trace::{chrome_trace, RingSink, TraceEvent};
 use tacker_workloads::gemm::{gemm_workload, gemm_workload_64, GemmShape};
@@ -24,6 +24,9 @@ USAGE:
              [--gpu 2080ti|v100] [--jobs N] [--json] [--trace <out.json>]
   tacker-cli multi    --lc <svc,svc,...> --be <app> [--queries N] [--jobs N]
              [--json] [--trace <out.json>]
+  tacker-cli serve    --lc <service> --be <app> [--policy ...] [--queries N]
+             [--seed N] [--faults <plan>] [--arrivals poisson|bursty:N]
+             [--guard] [--gpu 2080ti|v100] [--json] [--trace <out.json>]
   tacker-cli sweep    --lc <svc,svc,...> --be <app,app,...>
              [--policy tacker|baymax|fusion-only] [--queries N] [--seed N]
              [--gpu 2080ti|v100] [--jobs N] [--json]
@@ -43,6 +46,13 @@ completions, and writes a Chrome trace-event JSON loadable in Perfetto
 cells, fusion-candidate measurement); 0 or omitted = every core. Any jobs
 count produces bit-identical results: simulation is pure and each run's
 RNG stream is derived from its (pair, policy) coordinates.
+
+`serve` runs the online serving runtime. `--faults` takes a comma-separated
+plan: `mispredict:<mult>:<frac>`, `straggler:<mult>:<frac>`,
+`flood:<at_ms>:<kernels>`, `outage:<start_ms>:<dur_ms>`, `seed:<n>`, or
+`none` (e.g. `--faults mispredict:1.5:0.2,outage:30:10`). `--guard` enables
+the adaptive QoS guard (headroom-margin inflation + the fuse → reorder-only
+→ LC-only degradation ladder).
 ";
 
 /// Dispatches a command line.
@@ -60,6 +70,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "list" => list(),
         "colocate" => colocate(&flags),
         "multi" => multi(&flags),
+        "serve" => serve(&flags),
         "sweep" => sweep(&flags),
         "trace" => trace(&flags),
         "fuse" => fuse(&flags),
@@ -130,6 +141,12 @@ fn list() -> Result<(), String> {
     Ok(())
 }
 
+/// Milliseconds of an optional latency percentile (0 when no query
+/// completed).
+fn ms(t: Option<SimTime>) -> f64 {
+    t.map_or(0.0, |t| t.as_millis_f64())
+}
+
 /// Runs a traced co-location and writes the Perfetto-compatible trace to
 /// `path`; returns the report.
 fn traced_colocation(
@@ -141,15 +158,12 @@ fn traced_colocation(
     path: &str,
 ) -> Result<RunReport, String> {
     let ring = Arc::new(RingSink::unbounded());
-    let report = run_colocation_traced(
-        device,
-        lc,
-        &[be],
-        policy,
-        config,
-        ring.clone() as Arc<dyn tacker_trace::TraceSink>,
-    )
-    .map_err(|e| e.to_string())?;
+    let report = ColocationRun::new(device, config, std::slice::from_ref(lc), &[be])
+        .map_err(|e| e.to_string())?
+        .policy(policy)
+        .traced(ring.clone() as Arc<dyn tacker_trace::TraceSink>)
+        .run()
+        .map_err(|e| e.to_string())?;
     write_chrome_trace(&ring, path)?;
     Ok(report)
 }
@@ -174,7 +188,11 @@ fn colocate(flags: &Flags) -> Result<(), String> {
     let config = config_for(flags)?;
     let report = match flags.get("trace") {
         Some(path) => traced_colocation(&device, &lc, be, policy, &config, path)?,
-        None => run_colocation(&device, &lc, &[be], policy, &config).map_err(|e| e.to_string())?,
+        None => ColocationRun::new(&device, &config, std::slice::from_ref(&lc), &[be])
+            .map_err(|e| e.to_string())?
+            .policy(policy)
+            .run()
+            .map_err(|e| e.to_string())?,
     };
     if flags.has("json") {
         println!("{}", report_json(lc.name(), &report));
@@ -187,9 +205,9 @@ fn colocate(flags: &Flags) -> Result<(), String> {
         );
         println!(
             "  queries {} | mean {:.2} ms | p99 {:.2} ms | QoS {}",
-            report.query_latencies.len(),
-            report.mean_latency().as_millis_f64(),
-            report.p99_latency().as_millis_f64(),
+            report.query_count(),
+            ms(report.mean_latency()),
+            ms(report.p99_latency()),
             if report.qos_met() { "met" } else { "VIOLATED" }
         );
         println!(
@@ -215,15 +233,12 @@ fn trace(flags: &Flags) -> Result<(), String> {
     let config = config_for(flags)?;
     let path = flags.get("out").unwrap_or("trace.json");
     let ring = Arc::new(RingSink::unbounded());
-    let report = run_colocation_traced(
-        &device,
-        &lc,
-        &[be],
-        policy,
-        &config,
-        ring.clone() as Arc<dyn tacker_trace::TraceSink>,
-    )
-    .map_err(|e| e.to_string())?;
+    let report = ColocationRun::new(&device, &config, std::slice::from_ref(&lc), &[be])
+        .map_err(|e| e.to_string())?
+        .policy(policy)
+        .traced(ring.clone() as Arc<dyn tacker_trace::TraceSink>)
+        .run()
+        .map_err(|e| e.to_string())?;
     let events = ring.events();
     let count = |f: fn(&TraceEvent) -> bool| events.iter().filter(|e| f(e)).count();
     println!(
@@ -242,7 +257,7 @@ fn trace(flags: &Flags) -> Result<(), String> {
     );
     println!(
         "  p99 {:.2} ms | QoS {} | BE work rate {:.3}",
-        report.p99_latency().as_millis_f64(),
+        ms(report.p99_latency()),
         if report.qos_met() { "met" } else { "VIOLATED" },
         report.be_work_rate()
     );
@@ -266,27 +281,25 @@ fn multi(flags: &Flags) -> Result<(), String> {
     let report = match flags.get("trace") {
         Some(path) => {
             let ring = Arc::new(RingSink::unbounded());
-            let report = run_multi_colocation_traced(
-                &device,
-                &lcs,
-                &[be],
-                Policy::Tacker,
-                &config,
-                ring.clone() as Arc<dyn tacker_trace::TraceSink>,
-            )
-            .map_err(|e| e.to_string())?;
+            let report = ColocationRun::new(&device, &config, &lcs, &[be])
+                .map_err(|e| e.to_string())?
+                .traced(ring.clone() as Arc<dyn tacker_trace::TraceSink>)
+                .run()
+                .map_err(|e| e.to_string())?;
             write_chrome_trace(&ring, path)?;
             report
         }
-        None => run_multi_colocation(&device, &lcs, &[be], Policy::Tacker, &config)
+        None => ColocationRun::new(&device, &config, &lcs, &[be])
+            .map_err(|e| e.to_string())?
+            .run()
             .map_err(|e| e.to_string())?,
     };
-    for svc in &report.services {
+    for svc in report.per_service() {
         println!(
             "{:<10} mean {:.2} ms  p99 {:.2} ms  violations {}",
             svc.name,
-            svc.mean_latency().as_millis_f64(),
-            svc.p99_latency().as_millis_f64(),
+            ms(svc.mean_latency()),
+            ms(svc.p99_latency()),
             svc.qos_violations
         );
     }
@@ -295,6 +308,86 @@ fn multi(flags: &Flags) -> Result<(), String> {
         report.be_work_rate(),
         report.fused_launches
     );
+    Ok(())
+}
+
+/// `serve`: the online serving runtime — streaming arrivals, optional
+/// fault injection, optional adaptive QoS guard.
+fn serve(flags: &Flags) -> Result<(), String> {
+    let device = device_for(flags)?;
+    let lc = tacker_workloads::lc_service(flags.require("lc")?, &device)
+        .ok_or("unknown LC service (see `tacker list`)")?;
+    let be = tacker_workloads::be_app(flags.require("be")?)
+        .ok_or("unknown BE app (see `tacker list`)")?;
+    let policy = policy_for(flags)?;
+    let config = config_for(flags)?;
+    let faults = tacker::FaultPlan::parse(flags.get("faults").unwrap_or("none"))
+        .map_err(|e| e.to_string())?;
+    let arrivals = match flags.get("arrivals").unwrap_or("poisson") {
+        "poisson" => ArrivalSpec::Poisson,
+        spec => match spec.split_once(':') {
+            Some(("bursty", n)) => ArrivalSpec::Bursty {
+                burst: n
+                    .parse()
+                    .map_err(|_| "--arrivals bursty:<N> expects a number")?,
+            },
+            _ => {
+                return Err(format!(
+                    "unknown arrival spec `{spec}` (poisson or bursty:N)"
+                ))
+            }
+        },
+    };
+    let mut run = ColocationRun::new(&device, &config, std::slice::from_ref(&lc), &[be])
+        .map_err(|e| e.to_string())?
+        .policy(policy)
+        .arrivals(arrivals)
+        .faults(faults);
+    if flags.has("guard") {
+        run = run.guarded(GuardConfig::default());
+    }
+    let ring = flags.get("trace").map(|_| Arc::new(RingSink::unbounded()));
+    if let Some(ring) = &ring {
+        run = run.traced(Arc::clone(ring) as Arc<dyn tacker_trace::TraceSink>);
+    }
+    let report = run.run().map_err(|e| e.to_string())?;
+    if let (Some(ring), Some(path)) = (&ring, flags.get("trace")) {
+        write_chrome_trace(ring, path)?;
+    }
+    if flags.has("json") {
+        println!("{}", serve_json(lc.name(), &report));
+    } else {
+        println!(
+            "{} served under {:?} on {}:",
+            lc.name(),
+            policy,
+            device.spec().name
+        );
+        println!(
+            "  queries {} | mean {:.2} ms | p99 {:.2} ms | violations {} | QoS {}",
+            report.query_count(),
+            ms(report.mean_latency()),
+            ms(report.p99_latency()),
+            report.qos_violations(),
+            if report.qos_met() { "met" } else { "VIOLATED" }
+        );
+        println!(
+            "  BE work rate {:.3} | {} BE kernels ({} fused, {} reordered)",
+            report.be_work_rate(),
+            report.be_kernels,
+            report.fused_launches,
+            report.reordered_launches
+        );
+        println!(
+            "  faults injected {} | guard steps {}{}",
+            report.faults_injected,
+            report.guard_steps,
+            report
+                .guard_level
+                .map(|l| format!(" | guard level {}", l.name()))
+                .unwrap_or_default()
+        );
+    }
     Ok(())
 }
 
@@ -346,8 +439,8 @@ fn sweep(flags: &Flags) -> Result<(), String> {
                 "{:<10} {:>8} {:>9.2} {:>9.2} {:>6} {:>8.3} {:>7}",
                 cell.lc,
                 cell.be,
-                cell.report.mean_latency().as_millis_f64(),
-                cell.report.p99_latency().as_millis_f64(),
+                ms(cell.report.mean_latency()),
+                ms(cell.report.p99_latency()),
                 if cell.report.qos_met() { "met" } else { "MISS" },
                 cell.report.be_work_rate(),
                 cell.report.fused_launches
@@ -527,14 +620,25 @@ fn report_json(lc: &str, r: &RunReport) -> String {
         ),
         lc,
         r.policy,
-        r.query_latencies.len(),
-        r.mean_latency().as_millis_f64(),
-        r.p99_latency().as_millis_f64(),
-        r.qos_violations,
+        r.query_count(),
+        ms(r.mean_latency()),
+        ms(r.p99_latency()),
+        r.qos_violations(),
         r.be_work_rate(),
         r.be_kernels,
         r.fused_launches,
         r.reordered_launches
+    )
+}
+
+fn serve_json(lc: &str, r: &RunReport) -> String {
+    let base = report_json(lc, r);
+    format!(
+        "{},\"faults_injected\":{},\"guard_steps\":{},\"guard_level\":\"{}\"}}",
+        base.trim_end_matches('}'),
+        r.faults_injected,
+        r.guard_steps,
+        r.guard_level.map_or("off", |l| l.name())
     )
 }
 
@@ -596,25 +700,39 @@ mod tests {
     }
 
     #[test]
+    fn serve_flags_are_validated() {
+        assert!(dispatch(&argv("serve --lc Resnet50")).is_err()); // missing --be
+        assert!(dispatch(&argv("serve --lc Resnet50 --be fft --faults bogus:1")).is_err());
+        assert!(dispatch(&argv("serve --lc Resnet50 --be fft --arrivals sometimes")).is_err());
+        assert!(dispatch(&argv("serve --lc Resnet50 --be fft --arrivals bursty:x")).is_err());
+    }
+
+    #[test]
     fn json_shape() {
-        let r = RunReport {
-            policy: Policy::Tacker,
-            query_latencies: vec![tacker_kernel::SimTime::from_millis(10)],
-            qos_target: tacker_kernel::SimTime::from_millis(50),
-            qos_violations: 0,
-            be_work: tacker_kernel::SimTime::from_millis(5),
-            be_kernels: 7,
-            fused_launches: 3,
-            reordered_launches: 4,
-            wall: tacker_kernel::SimTime::from_millis(20),
-            model_refreshes: 0,
-            timeline: None,
-            latency_histogram: Arc::new(tacker_trace::Histogram::new()),
-            metrics: tacker_trace::MetricsRegistry::new(),
-        };
+        // A real (tiny) run: RunReport is built by the engine only.
+        let device = Arc::new(tacker_sim::Device::new(tacker_sim::GpuSpec::rtx2080ti()));
+        let gemm = tacker_workloads::dnn::compile::shared_gemm();
+        let lc = tacker_workloads::LcService::new(
+            "tiny",
+            4,
+            vec![tacker_workloads::gemm::gemm_workload(
+                &gemm,
+                GemmShape::new(1024, 1024, 512),
+            )],
+        );
+        let config = ExperimentConfig::default().with_queries(5);
+        let r = ColocationRun::new(&device, &config, std::slice::from_ref(&lc), &[])
+            .unwrap()
+            .at(SimTime::from_millis(2))
+            .run()
+            .unwrap();
         let j = report_json("X", &r);
         assert!(j.starts_with('{') && j.ends_with('}'));
-        assert!(j.contains("\"fused_launches\":3"));
-        assert!(j.contains("\"be_work_rate\":0.2500"));
+        assert!(j.contains("\"queries\":5"));
+        assert!(j.contains("\"fused_launches\":0"));
+        let s = serve_json("X", &r);
+        assert!(s.ends_with('}'));
+        assert!(s.contains("\"guard_level\":\"off\""));
+        assert!(s.contains("\"faults_injected\":0"));
     }
 }

@@ -1,0 +1,405 @@
+//! The adaptive QoS guard: EWMA error tracking, margin inflation, and a
+//! degradation ladder.
+//!
+//! The manager's headroom arithmetic (Equations 8–9) trusts the duration
+//! predictor. When predictions go persistently wrong — a stale profile, a
+//! straggling kernel, a predictor outage — that trust becomes a QoS
+//! liability: the scheduler keeps injecting best-effort work into headroom
+//! that does not actually exist. [`QosGuard`] watches two smoothed
+//! signals and reacts *structurally* rather than per-launch:
+//!
+//! * a per-kernel EWMA of relative prediction error (via
+//!   [`tacker_predictor::ErrorFeedback`]); the worst sufficiently-sampled
+//!   stream inflates a **headroom margin** subtracted from both the fusion
+//!   and reorder headroom, proportional to the observed error;
+//! * an EWMA of the QoS-violation indicator (tail-latency pressure).
+//!
+//! When either signal crosses its threshold the guard steps down a
+//! degradation ladder — [`GuardLevel::Fuse`] →
+//! [`GuardLevel::ReorderOnly`] → [`GuardLevel::LcOnly`] — shedding the
+//! riskiest co-location mechanism first. Sustained calm (both signals
+//! under half their thresholds) steps back up, with hysteresis so the
+//! guard does not oscillate.
+//!
+//! Both thresholds have a dead zone: below them the margin is exactly
+//! [`SimTime::ZERO`] and the level stays [`GuardLevel::Fuse`], so a
+//! guarded fault-free run makes decisions bit-identical to an unguarded
+//! one.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Mutex;
+
+use tacker_kernel::SimTime;
+use tacker_predictor::{ErrorFeedback, Ewma};
+
+/// Rungs of the degradation ladder, riskiest mechanism shed first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum GuardLevel {
+    /// Full co-location: fusion, reorder and free-running BE.
+    Fuse = 0,
+    /// Fusion disabled; BE kernels only via reorder or idle periods.
+    ReorderOnly = 1,
+    /// No best-effort work at all until conditions recover.
+    LcOnly = 2,
+}
+
+impl GuardLevel {
+    /// Stable lowercase name (used in trace events).
+    pub fn name(self) -> &'static str {
+        match self {
+            GuardLevel::Fuse => "fuse",
+            GuardLevel::ReorderOnly => "reorder_only",
+            GuardLevel::LcOnly => "lc_only",
+        }
+    }
+
+    /// Whether fused launches are allowed at this level.
+    pub fn fusion_allowed(self) -> bool {
+        self == GuardLevel::Fuse
+    }
+
+    /// Whether reordering BE kernels into headroom is allowed.
+    pub fn reorder_allowed(self) -> bool {
+        self <= GuardLevel::ReorderOnly
+    }
+
+    /// Whether BE kernels may run at all.
+    pub fn best_effort_allowed(self) -> bool {
+        self != GuardLevel::LcOnly
+    }
+
+    fn from_u8(v: u8) -> GuardLevel {
+        match v {
+            0 => GuardLevel::Fuse,
+            1 => GuardLevel::ReorderOnly,
+            _ => GuardLevel::LcOnly,
+        }
+    }
+
+    fn down(self) -> Option<GuardLevel> {
+        match self {
+            GuardLevel::Fuse => Some(GuardLevel::ReorderOnly),
+            GuardLevel::ReorderOnly => Some(GuardLevel::LcOnly),
+            GuardLevel::LcOnly => None,
+        }
+    }
+
+    fn up(self) -> Option<GuardLevel> {
+        match self {
+            GuardLevel::Fuse => None,
+            GuardLevel::ReorderOnly => Some(GuardLevel::Fuse),
+            GuardLevel::LcOnly => Some(GuardLevel::ReorderOnly),
+        }
+    }
+}
+
+/// Tuning knobs of the [`QosGuard`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardConfig {
+    /// Smoothing factor of the per-kernel prediction-error EWMAs.
+    pub error_alpha: f64,
+    /// Smoothing factor of the QoS-violation pressure EWMA.
+    pub pressure_alpha: f64,
+    /// Smoothed relative error above which the guard reacts (dead zone
+    /// below: zero margin, no ladder steps).
+    pub error_threshold: f64,
+    /// Smoothed violation rate above which the guard reacts.
+    pub pressure_threshold: f64,
+    /// Minimum observations before a kernel's error stream can trip the
+    /// guard (a single noisy launch must not).
+    pub min_samples: u64,
+    /// Observations between consecutive ladder steps down.
+    pub cooldown: u32,
+    /// Consecutive calm observations (both signals under half their
+    /// thresholds) required to step back up.
+    pub recovery: u32,
+    /// Cap on the inflated margin as a fraction of the QoS target.
+    pub max_margin_frac: f64,
+}
+
+impl Default for GuardConfig {
+    fn default() -> GuardConfig {
+        GuardConfig {
+            error_alpha: 0.25,
+            pressure_alpha: 0.2,
+            error_threshold: 0.2,
+            pressure_threshold: 0.05,
+            min_samples: 6,
+            cooldown: 16,
+            recovery: 48,
+            max_margin_frac: 0.25,
+        }
+    }
+}
+
+/// One ladder step, reported so the server can trace it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardTransition {
+    /// Level before the step.
+    pub from: GuardLevel,
+    /// Level after the step.
+    pub to: GuardLevel,
+    /// `"error"`, `"pressure"` or `"recovered"`.
+    pub reason: &'static str,
+    /// Worst smoothed prediction error at the step.
+    pub ewma_error: f64,
+    /// Smoothed violation pressure at the step.
+    pub pressure: f64,
+}
+
+struct GuardState {
+    pressure: Ewma,
+    /// Observations since the last ladder step (starts at `cooldown` so
+    /// the first trip reacts immediately).
+    since_step: u32,
+    /// Consecutive calm observations.
+    calm: u32,
+}
+
+/// The adaptive QoS guard (see the module docs).
+///
+/// `level()` and `margin()` are lock-free atomic reads so the manager's
+/// decision hot path never contends with the observation path.
+pub struct QosGuard {
+    config: GuardConfig,
+    qos_target: SimTime,
+    feedback: ErrorFeedback,
+    level: AtomicU8,
+    margin_ns: AtomicU64,
+    state: Mutex<GuardState>,
+}
+
+impl std::fmt::Debug for QosGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QosGuard")
+            .field("level", &self.level())
+            .field("margin", &self.margin())
+            .finish()
+    }
+}
+
+impl QosGuard {
+    /// Creates a guard for the given QoS target.
+    pub fn new(qos_target: SimTime, config: GuardConfig) -> QosGuard {
+        let feedback = ErrorFeedback::new(config.error_alpha);
+        let state = GuardState {
+            pressure: Ewma::new(config.pressure_alpha),
+            since_step: config.cooldown,
+            calm: 0,
+        };
+        QosGuard {
+            config,
+            qos_target,
+            feedback,
+            level: AtomicU8::new(GuardLevel::Fuse as u8),
+            margin_ns: AtomicU64::new(0),
+            state: Mutex::new(state),
+        }
+    }
+
+    /// The current ladder level.
+    pub fn level(&self) -> GuardLevel {
+        GuardLevel::from_u8(self.level.load(Ordering::Relaxed))
+    }
+
+    /// The current headroom margin to subtract (zero in the dead zone).
+    pub fn margin(&self) -> SimTime {
+        SimTime::from_nanos(self.margin_ns.load(Ordering::Relaxed))
+    }
+
+    /// Worst sufficiently-sampled smoothed prediction error.
+    pub fn ewma_error(&self) -> f64 {
+        self.feedback.max_error(self.config.min_samples)
+    }
+
+    /// Folds one predicted-vs-actual launch outcome into the per-kernel
+    /// error streams and re-evaluates the ladder.
+    pub fn observe_launch(
+        &self,
+        kernel: u64,
+        predicted: SimTime,
+        actual: SimTime,
+    ) -> Option<GuardTransition> {
+        self.feedback
+            .observe(kernel, predicted.as_nanos(), actual.as_nanos());
+        let mut state = self.state.lock().expect("guard poisoned");
+        self.evaluate(&mut state)
+    }
+
+    /// Folds one completed query into the violation-pressure EWMA and
+    /// re-evaluates the ladder.
+    pub fn observe_query(&self, latency: SimTime) -> Option<GuardTransition> {
+        let violated = latency > self.qos_target;
+        let mut state = self.state.lock().expect("guard poisoned");
+        state.pressure.observe(if violated { 1.0 } else { 0.0 });
+        self.evaluate(&mut state)
+    }
+
+    fn evaluate(&self, state: &mut GuardState) -> Option<GuardTransition> {
+        state.since_step = state.since_step.saturating_add(1);
+        let err = self.feedback.max_error(self.config.min_samples);
+        let pressure = state.pressure.value();
+        let over_err = err > self.config.error_threshold;
+        let over_pressure = pressure > self.config.pressure_threshold;
+        let margin = if over_err {
+            self.qos_target
+                .mul_f64(err.min(self.config.max_margin_frac))
+        } else {
+            SimTime::ZERO
+        };
+        self.margin_ns.store(margin.as_nanos(), Ordering::Relaxed);
+        let level = self.level();
+        if over_err || over_pressure {
+            state.calm = 0;
+            if state.since_step > self.config.cooldown {
+                if let Some(next) = level.down() {
+                    state.since_step = 0;
+                    self.level.store(next as u8, Ordering::Relaxed);
+                    return Some(GuardTransition {
+                        from: level,
+                        to: next,
+                        reason: if over_err { "error" } else { "pressure" },
+                        ewma_error: err,
+                        pressure,
+                    });
+                }
+            }
+            return None;
+        }
+        let calm = err <= 0.5 * self.config.error_threshold
+            && pressure <= 0.5 * self.config.pressure_threshold;
+        if !calm {
+            state.calm = 0;
+            return None;
+        }
+        state.calm += 1;
+        if state.calm >= self.config.recovery {
+            state.calm = 0;
+            if let Some(prev) = level.up() {
+                state.since_step = 0;
+                self.level.store(prev as u8, Ordering::Relaxed);
+                return Some(GuardTransition {
+                    from: level,
+                    to: prev,
+                    reason: "recovered",
+                    ewma_error: err,
+                    pressure,
+                });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn guard() -> QosGuard {
+        QosGuard::new(SimTime::from_millis(50), GuardConfig::default())
+    }
+
+    #[test]
+    fn ladder_capabilities() {
+        assert!(GuardLevel::Fuse.fusion_allowed());
+        assert!(GuardLevel::Fuse.reorder_allowed());
+        assert!(!GuardLevel::ReorderOnly.fusion_allowed());
+        assert!(GuardLevel::ReorderOnly.reorder_allowed());
+        assert!(!GuardLevel::LcOnly.best_effort_allowed());
+        assert_eq!(GuardLevel::LcOnly.down(), None);
+        assert_eq!(GuardLevel::Fuse.up(), None);
+    }
+
+    #[test]
+    fn accurate_predictions_keep_the_dead_zone() {
+        let g = guard();
+        let t = SimTime::from_micros(100);
+        for k in 0..4u64 {
+            for _ in 0..20 {
+                assert_eq!(g.observe_launch(k, t, t), None);
+            }
+        }
+        for _ in 0..20 {
+            assert_eq!(g.observe_query(SimTime::from_millis(10)), None);
+        }
+        assert_eq!(g.level(), GuardLevel::Fuse);
+        assert_eq!(g.margin(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn sustained_error_steps_down_and_inflates_margin() {
+        let g = guard();
+        let predicted = SimTime::from_micros(100);
+        let actual = SimTime::from_micros(150); // rel error 1/3
+        let mut steps = Vec::new();
+        for _ in 0..200 {
+            if let Some(t) = g.observe_launch(7, predicted, actual) {
+                steps.push(t);
+            }
+        }
+        assert_eq!(g.level(), GuardLevel::LcOnly);
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[0].from, GuardLevel::Fuse);
+        assert_eq!(steps[0].to, GuardLevel::ReorderOnly);
+        assert_eq!(steps[0].reason, "error");
+        assert_eq!(steps[1].to, GuardLevel::LcOnly);
+        // Margin ≈ qos × error (1/3 > max_margin_frac 0.25 → capped).
+        assert_eq!(g.margin(), SimTime::from_millis(50).mul_f64(0.25));
+        // Stays at the bottom rung; no further transitions.
+        assert_eq!(g.observe_launch(7, predicted, actual), None);
+    }
+
+    #[test]
+    fn violation_pressure_alone_steps_down() {
+        let g = guard();
+        let mut stepped = false;
+        for _ in 0..10 {
+            if g.observe_query(SimTime::from_millis(80)).is_some() {
+                stepped = true;
+            }
+        }
+        assert!(stepped, "sustained violations must trip the guard");
+        assert!(g.level() > GuardLevel::Fuse);
+        // Pressure-only trips inflate no margin (errors are fine).
+        assert_eq!(g.margin(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn calm_recovers_with_hysteresis() {
+        let cfg = GuardConfig {
+            recovery: 10,
+            ..GuardConfig::default()
+        };
+        let g = QosGuard::new(SimTime::from_millis(50), cfg);
+        let predicted = SimTime::from_micros(100);
+        for _ in 0..40 {
+            g.observe_launch(3, predicted, SimTime::from_micros(200));
+        }
+        assert_eq!(g.level(), GuardLevel::LcOnly);
+        // The fault subsides: exact predictions drain the EWMA, then calm
+        // observations walk the ladder back up.
+        let mut ups = 0;
+        for _ in 0..200 {
+            if let Some(t) = g.observe_launch(3, predicted, predicted) {
+                assert_eq!(t.reason, "recovered");
+                assert!(t.to < t.from);
+                ups += 1;
+            }
+        }
+        assert_eq!(g.level(), GuardLevel::Fuse);
+        assert_eq!(ups, 2);
+        assert_eq!(g.margin(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn single_noisy_launch_cannot_trip() {
+        let g = guard();
+        // One wildly wrong launch, below the sample floor.
+        assert_eq!(
+            g.observe_launch(9, SimTime::from_micros(10), SimTime::from_millis(10)),
+            None
+        );
+        assert_eq!(g.level(), GuardLevel::Fuse);
+        assert_eq!(g.margin(), SimTime::ZERO);
+    }
+}

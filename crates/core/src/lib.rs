@@ -18,9 +18,16 @@
 //!   QoS headroom, applies Equation 8 to choose fusion, falls back to
 //!   Baymax-style reordering, and handles multiple active queries
 //!   (Equation 9);
-//! * [`server`] — the co-location server: Poisson LC query arrivals at a
-//!   configured load, endless BE task streams, end-to-end latency and BE
-//!   throughput accounting;
+//! * [`serve`] — the serving runtime and the [`ColocationRun`] builder:
+//!   streaming LC arrivals (Poisson, bursty, or trace replay), endless BE
+//!   task streams, end-to-end latency and BE throughput accounting;
+//! * [`fault`] — deterministic fault injection (mispredictions,
+//!   stragglers, BE floods, predictor outages);
+//! * [`guard`] — the adaptive QoS guard: an error/pressure tracker that
+//!   inflates the headroom margin and degrades fuse → reorder-only →
+//!   LC-only under sustained misprediction or tail-latency pressure;
+//! * [`server`] — peak-load calibration plus the deprecated
+//!   `run_colocation*` shims over the builder;
 //! * [`baselines`] — Baymax (reorder-only) and the co-running interface
 //!   models used in §VIII-G;
 //! * [`sweep`] — parallel (LC × BE) grid execution over the `tacker-par`
@@ -37,38 +44,58 @@
 //! let lc = tacker_workloads::lc_service("Resnet50", &device).unwrap();
 //! let be = vec![tacker_workloads::be_app("sgemm").unwrap()];
 //! let config = ExperimentConfig::default();
-//! let report = run_colocation(&device, &lc, &be, Policy::Tacker, &config).unwrap();
-//! println!("p99 latency: {}", report.p99_latency());
+//! let report = ColocationRun::new(&device, &config, std::slice::from_ref(&lc), &be)
+//!     .unwrap()
+//!     .policy(Policy::Tacker)
+//!     .run()
+//!     .unwrap();
+//! if let Some(p99) = report.p99_latency() {
+//!     println!("p99 latency: {p99}");
+//! }
 //! ```
 
 pub mod baselines;
 pub mod cluster;
 pub mod config;
 pub mod error;
+pub mod fault;
+pub mod guard;
 pub mod library;
 pub mod manager;
 pub mod metrics;
 pub mod profile;
+pub mod report;
+pub mod serve;
 pub mod server;
 pub mod sweep;
 
 pub use cluster::{ClusterManager, DistributionReport, GpuNode};
 pub use config::ExperimentConfig;
 pub use error::TackerError;
+pub use fault::{FaultPlan, FloodBurst, MispredictFault, OutageWindow, StragglerFault};
+pub use guard::{GuardConfig, GuardLevel, QosGuard};
 pub use library::{FusionLibrary, PairEntry};
 pub use manager::{Decision, KernelManager, Policy};
 pub use profile::{work_feature, KernelProfiler};
+#[allow(deprecated)]
+pub use report::MultiRunReport;
+pub use report::{RunReport, ServiceReport};
+pub use serve::{ArrivalSpec, ColocationRun, ServeOptions, ServiceLoad};
+#[allow(deprecated)]
 pub use server::{
     run_colocation, run_colocation_traced, run_multi_colocation, run_multi_colocation_at_traced,
-    run_multi_colocation_traced, MultiRunReport, RunReport, ServiceLoad, ServiceReport,
+    run_multi_colocation_traced,
 };
 pub use sweep::{run_improvement_sweep, run_pair_sweep, SweepCell};
 
 /// Convenient glob imports.
 pub mod prelude {
     pub use crate::config::ExperimentConfig;
+    pub use crate::fault::FaultPlan;
+    pub use crate::guard::{GuardConfig, GuardLevel};
     pub use crate::library::FusionLibrary;
     pub use crate::manager::Policy;
-    pub use crate::server::{run_colocation, run_multi_colocation, MultiRunReport, RunReport};
+    pub use crate::report::{RunReport, ServiceReport};
+    pub use crate::serve::{ArrivalSpec, ColocationRun, ServeOptions};
     pub use crate::sweep::{run_improvement_sweep, run_pair_sweep, SweepCell};
 }

@@ -25,6 +25,7 @@ use tacker_trace::{DecisionKind, FusionRejectReason, NoopSink, TraceEvent, Trace
 use tacker_workloads::WorkloadKernel;
 
 use crate::error::TackerError;
+use crate::guard::{GuardLevel, QosGuard};
 use crate::library::{FusionLibrary, PairEntry};
 use crate::profile::KernelProfiler;
 
@@ -107,6 +108,10 @@ pub struct KernelManager {
     /// server via [`KernelManager::set_now`] so decision events carry a
     /// timestamp without changing `decide`'s signature.
     now_nanos: AtomicU64,
+    /// Adaptive QoS guard; when set, its degradation ladder caps what the
+    /// policy may do and its margin shrinks the headroom seen by
+    /// [`KernelManager::decide`].
+    guard: Option<Arc<QosGuard>>,
 }
 
 impl KernelManager {
@@ -136,7 +141,35 @@ impl KernelManager {
             sink,
             tracing,
             now_nanos: AtomicU64::new(0),
+            guard: None,
         }
+    }
+
+    /// Attaches an adaptive QoS guard: the guard's ladder level caps what
+    /// the policy may launch and its margin is subtracted from both
+    /// headrooms at every decision.
+    #[must_use]
+    pub fn with_guard(mut self, guard: Arc<QosGuard>) -> KernelManager {
+        self.guard = Some(guard);
+        self
+    }
+
+    /// The guard's current ladder level ([`GuardLevel::Fuse`] when no
+    /// guard is attached).
+    pub fn guard_level(&self) -> GuardLevel {
+        self.guard.as_ref().map_or(GuardLevel::Fuse, |g| g.level())
+    }
+
+    fn fusion_allowed(&self) -> bool {
+        self.policy.fusion_enabled() && self.guard_level().fusion_allowed()
+    }
+
+    fn reorder_allowed(&self) -> bool {
+        self.policy.reorder_enabled() && self.guard_level().reorder_allowed()
+    }
+
+    fn best_effort_allowed(&self) -> bool {
+        self.policy.best_effort_enabled() && self.guard_level().best_effort_allowed()
     }
 
     /// Sets the device wall-clock instant stamped onto subsequent decision
@@ -283,6 +316,11 @@ impl KernelManager {
         be_heads: &[Option<WorkloadKernel>],
         multiple_lc: bool,
     ) -> Result<Decision, TackerError> {
+        // The guard's inflated margin shrinks the headroom the decision
+        // sees, absorbing systematic under-prediction.
+        let margin = self.guard.as_ref().map_or(SimTime::ZERO, |g| g.margin());
+        let headroom = headroom.saturating_sub(margin);
+        let reorder_headroom = reorder_headroom.saturating_sub(margin);
         let (decision, gain) =
             self.decide_inner(lc_head, headroom, reorder_headroom, be_heads, multiple_lc)?;
         if self.tracing {
@@ -310,7 +348,7 @@ impl KernelManager {
             Some(lc) => {
                 let lc_predicted = self.profiler.predict(lc)?;
                 // 1. Fusion with the highest-gain BE partner.
-                if self.policy.fusion_enabled() && !multiple_lc {
+                if self.fusion_allowed() && !multiple_lc {
                     let mut best: Option<(Decision, SimTime)> = None;
                     for (i, be) in be_heads.iter().enumerate() {
                         let Some(be) = be else { continue };
@@ -325,7 +363,7 @@ impl KernelManager {
                     }
                 }
                 // 2. Reorder a BE kernel into the headroom.
-                if self.policy.reorder_enabled() {
+                if self.reorder_allowed() {
                     for (i, be) in be_heads.iter().enumerate() {
                         let Some(be) = be else { continue };
                         let predicted = self.profiler.predict(be)?;
@@ -350,7 +388,7 @@ impl KernelManager {
             }
             None => {
                 // No LC query active: BE runs freely.
-                if self.policy.best_effort_enabled() {
+                if self.best_effort_allowed() {
                     for (i, be) in be_heads.iter().enumerate() {
                         if let Some(be) = be {
                             let predicted = self.profiler.predict(be)?;
@@ -559,6 +597,36 @@ mod tests {
             )
             .unwrap();
         // Reorder may still happen; fusion must not.
+        assert!(!matches!(d, Decision::RunFused { .. }), "got {d:?}");
+    }
+
+    #[test]
+    fn degraded_guard_caps_the_policy() {
+        use crate::guard::GuardConfig;
+        let guard = Arc::new(QosGuard::new(
+            SimTime::from_millis(50),
+            GuardConfig::default(),
+        ));
+        // Sustained 2x under-prediction walks the ladder down.
+        for _ in 0..64 {
+            let _ = guard.observe_launch(1, SimTime::from_millis(1), SimTime::from_millis(2));
+        }
+        assert!(guard.level() > GuardLevel::Fuse, "guard never degraded");
+        let m = manager(Policy::Tacker).with_guard(Arc::clone(&guard));
+        assert_eq!(m.guard_level(), guard.level());
+        let lc = tc_kernel();
+        let be = Benchmark::Cutcp.task()[0].clone();
+        let d = m
+            .decide(
+                Some(&lc),
+                SimTime::from_millis(20),
+                SimTime::from_millis(20),
+                &[Some(be)],
+                false,
+            )
+            .unwrap();
+        // Tacker would fuse here (see tacker_fuses_when_headroom_allows);
+        // the degraded guard forbids it.
         assert!(!matches!(d, Decision::RunFused { .. }), "got {d:?}");
     }
 

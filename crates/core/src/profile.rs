@@ -8,6 +8,7 @@
 //! standing in for the paper's "historical data".
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 use tacker_kernel::{KernelId, SimTime};
@@ -47,6 +48,11 @@ pub struct KernelProfiler {
     /// §VI-C): recurring kernels predict from history; unseen launches fall
     /// back to the LR model.
     history: Mutex<HashMap<u64, SimTime>>,
+    /// When set, [`KernelProfiler::predict`] skips the exact launch
+    /// history and answers from the LR models only — the serving runtime's
+    /// predictor-outage fault (history keeps recording underneath, so
+    /// recovery is instant).
+    history_bypass: AtomicBool,
     sink: Arc<dyn TraceSink>,
     tracing: bool,
 }
@@ -74,9 +80,16 @@ impl KernelProfiler {
             device,
             models: Mutex::new(HashMap::new()),
             history: Mutex::new(HashMap::new()),
+            history_bypass: AtomicBool::new(false),
             sink,
             tracing,
         }
+    }
+
+    /// Toggles the predictor-outage mode: while on, [`KernelProfiler::predict`]
+    /// ignores exact launch history and falls back to the LR models.
+    pub fn set_history_bypass(&self, bypass: bool) {
+        self.history_bypass.store(bypass, Ordering::Relaxed);
     }
 
     /// The underlying device.
@@ -151,13 +164,15 @@ impl KernelProfiler {
     ///
     /// Propagates profiling errors.
     pub fn predict(&self, wk: &WorkloadKernel) -> Result<SimTime, TackerError> {
-        if let Some(seen) = self
-            .history
-            .lock()
-            .expect("history poisoned")
-            .get(&wk.launch().fingerprint())
-        {
-            return Ok(*seen);
+        if !self.history_bypass.load(Ordering::Relaxed) {
+            if let Some(seen) = self
+                .history
+                .lock()
+                .expect("history poisoned")
+                .get(&wk.launch().fingerprint())
+            {
+                return Ok(*seen);
+            }
         }
         self.ensure_model(wk)?;
         let models = self.models.lock().expect("models poisoned");
@@ -237,6 +252,19 @@ mod tests {
             let err = p.prediction_error(held).unwrap();
             assert!(err < 0.08, "{}: error {err}", b.name());
         }
+    }
+
+    #[test]
+    fn history_bypass_falls_back_to_models() {
+        let p = profiler();
+        let wk = &Benchmark::Sgemm.task()[0];
+        let measured = p.measure(wk).unwrap();
+        assert_eq!(p.predict(wk).unwrap(), measured);
+        p.set_history_bypass(true);
+        let model_only = p.predict_model_only(wk).unwrap();
+        assert_eq!(p.predict(wk).unwrap(), model_only);
+        p.set_history_bypass(false);
+        assert_eq!(p.predict(wk).unwrap(), measured);
     }
 
     #[test]

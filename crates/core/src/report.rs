@@ -1,0 +1,208 @@
+//! The unified co-location run report.
+//!
+//! One [`RunReport`] describes every kind of run — single- or
+//! multi-service, batch or serving — replacing the old split between a
+//! single-service report and a `MultiRunReport` wrapper. Per-service
+//! latency results live behind [`RunReport::per_service`]; the aggregate
+//! accessors ([`RunReport::p99_latency`] and friends) fold over all
+//! services and return `None` instead of a fake zero when a run completed
+//! no queries.
+
+use std::sync::Arc;
+
+use tacker_kernel::SimTime;
+use tacker_sim::TimelineRecorder;
+use tacker_trace::{Histogram, MetricsRegistry};
+
+use crate::guard::GuardLevel;
+use crate::manager::Policy;
+use crate::metrics;
+
+/// Per-service results of a co-location run.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Service name.
+    pub name: String,
+    /// End-to-end latency of each completed query.
+    pub query_latencies: Vec<SimTime>,
+    /// Queries that missed the QoS target.
+    pub qos_violations: usize,
+    /// Streaming latency histogram (microseconds), shared with the run's
+    /// metrics registry under `query_latency_us.<service>`.
+    pub latency_histogram: Arc<Histogram>,
+}
+
+impl ServiceReport {
+    /// Mean query latency (`None` when no query completed).
+    pub fn mean_latency(&self) -> Option<SimTime> {
+        (!self.query_latencies.is_empty()).then(|| metrics::mean(&self.query_latencies))
+    }
+
+    /// 99th-percentile query latency (`None` when no query completed).
+    pub fn p99_latency(&self) -> Option<SimTime> {
+        (!self.query_latencies.is_empty()).then(|| metrics::percentile(&self.query_latencies, 99.0))
+    }
+}
+
+/// Outcome of one co-location run (one or more LC services).
+#[derive(Debug)]
+pub struct RunReport {
+    /// The scheduling policy used.
+    pub policy: Policy,
+    /// The QoS target the run was configured with.
+    pub qos_target: SimTime,
+    /// Per-service latency results (see [`RunReport::per_service`]).
+    pub(crate) services: Vec<ServiceReport>,
+    /// Total useful BE work completed (sum of solo durations of completed
+    /// BE kernels).
+    pub be_work: SimTime,
+    /// BE kernels completed.
+    pub be_kernels: u64,
+    /// Fused launches performed.
+    pub fused_launches: u64,
+    /// BE kernels launched via reordering into headroom.
+    pub reordered_launches: u64,
+    /// Total simulated wall-clock time.
+    pub wall: SimTime,
+    /// Online model refreshes triggered (>10% prediction error).
+    pub model_refreshes: u64,
+    /// Device activity timeline, when recording was enabled.
+    pub timeline: Option<TimelineRecorder>,
+    /// Streaming latency histogram over all services (microseconds).
+    /// Bounded-memory observability view; QoS gating still uses the exact
+    /// sample-based percentiles.
+    pub latency_histogram: Arc<Histogram>,
+    /// Run-level metrics: decision counters, injection-budget gauge, and
+    /// the per-service latency histograms.
+    pub metrics: MetricsRegistry,
+    /// QoS-guard ladder steps taken (0 when the guard was off or never
+    /// tripped).
+    pub guard_steps: u64,
+    /// Faults injected by the run's [`crate::fault::FaultPlan`].
+    pub faults_injected: u64,
+    /// Final guard ladder level (`None` when the guard was off).
+    pub guard_level: Option<GuardLevel>,
+}
+
+impl RunReport {
+    /// Per-service latency results.
+    pub fn per_service(&self) -> &[ServiceReport] {
+        &self.services
+    }
+
+    /// End-to-end latencies of every completed query, concatenated
+    /// service-major (a single-service run preserves completion order).
+    pub fn query_latencies(&self) -> Vec<SimTime> {
+        self.services
+            .iter()
+            .flat_map(|s| s.query_latencies.iter().copied())
+            .collect()
+    }
+
+    /// Total completed queries across all services.
+    pub fn query_count(&self) -> usize {
+        self.services.iter().map(|s| s.query_latencies.len()).sum()
+    }
+
+    /// Total queries that missed the QoS target, across all services.
+    pub fn qos_violations(&self) -> usize {
+        self.services.iter().map(|s| s.qos_violations).sum()
+    }
+
+    /// Mean query latency over all services (`None` when no query
+    /// completed).
+    pub fn mean_latency(&self) -> Option<SimTime> {
+        let all = self.query_latencies();
+        (!all.is_empty()).then(|| metrics::mean(&all))
+    }
+
+    /// 99th-percentile query latency over all services (`None` when no
+    /// query completed).
+    pub fn p99_latency(&self) -> Option<SimTime> {
+        let all = self.query_latencies();
+        (!all.is_empty()).then(|| metrics::percentile(&all, 99.0))
+    }
+
+    /// BE work completed per second of wall time (the throughput metric
+    /// compared across policies in Fig. 14).
+    pub fn be_work_rate(&self) -> f64 {
+        if self.wall == SimTime::ZERO {
+            0.0
+        } else {
+            self.be_work.as_nanos() as f64 / self.wall.as_nanos() as f64
+        }
+    }
+
+    /// Whether every query of every service met the QoS target.
+    pub fn qos_met(&self) -> bool {
+        self.services.iter().all(|s| s.qos_violations == 0)
+    }
+}
+
+/// The old multi-service report type, merged into [`RunReport`].
+#[deprecated(note = "merged into `RunReport`; use `per_service()` for per-service results")]
+pub type MultiRunReport = RunReport;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacker_trace::MetricsRegistry;
+
+    fn svc(name: &str, lat_ms: &[u64], violations: usize) -> ServiceReport {
+        ServiceReport {
+            name: name.to_string(),
+            query_latencies: lat_ms.iter().map(|m| SimTime::from_millis(*m)).collect(),
+            qos_violations: violations,
+            latency_histogram: Arc::new(Histogram::new()),
+        }
+    }
+
+    fn report(services: Vec<ServiceReport>) -> RunReport {
+        let registry = MetricsRegistry::new();
+        RunReport {
+            policy: Policy::Tacker,
+            qos_target: SimTime::from_millis(50),
+            services,
+            be_work: SimTime::ZERO,
+            be_kernels: 0,
+            fused_launches: 0,
+            reordered_launches: 0,
+            wall: SimTime::from_millis(100),
+            model_refreshes: 0,
+            timeline: None,
+            latency_histogram: registry.histogram("query_latency_us"),
+            metrics: registry,
+            guard_steps: 0,
+            faults_injected: 0,
+            guard_level: None,
+        }
+    }
+
+    #[test]
+    fn empty_run_has_no_percentiles() {
+        let r = report(vec![svc("a", &[], 0)]);
+        assert_eq!(r.p99_latency(), None);
+        assert_eq!(r.mean_latency(), None);
+        assert_eq!(r.per_service()[0].p99_latency(), None);
+        assert_eq!(r.query_count(), 0);
+        assert!(r.qos_met());
+    }
+
+    #[test]
+    fn aggregates_fold_over_services() {
+        let r = report(vec![svc("a", &[10, 20], 1), svc("b", &[30], 2)]);
+        assert_eq!(r.query_count(), 3);
+        assert_eq!(r.qos_violations(), 3);
+        assert_eq!(r.mean_latency(), Some(SimTime::from_millis(20)));
+        assert_eq!(r.p99_latency(), Some(SimTime::from_millis(30)));
+        assert_eq!(
+            r.query_latencies(),
+            vec![
+                SimTime::from_millis(10),
+                SimTime::from_millis(20),
+                SimTime::from_millis(30)
+            ]
+        );
+        assert!(!r.qos_met());
+    }
+}

@@ -1,0 +1,1069 @@
+//! The serving runtime and the unified [`ColocationRun`] builder.
+//!
+//! Every co-location experiment — batch or online — runs through one
+//! event-driven engine: LC queries stream in under an [`ArrivalSpec`]
+//! (paced Poisson, bursty, or trace replay), BE applications keep an
+//! endless backlog, and the [`crate::manager::KernelManager`] is driven
+//! at every completion. Serving mode adds two layers on top of the batch
+//! semantics:
+//!
+//! * a **fault-injection layer** ([`crate::fault::FaultPlan`]) that
+//!   perturbs realized kernel timings (mispredictions, stragglers),
+//!   floods the device with uninvited BE work, and blinds the predictor —
+//!   without ever touching the device's memoized execution caches;
+//! * an **adaptive QoS guard** ([`crate::guard::QosGuard`]) that watches
+//!   predicted-vs-actual errors and tail-latency pressure, inflates the
+//!   headroom margin, and walks a degradation ladder (fuse →
+//!   reorder-only → LC-only), recovering when the pressure subsides.
+//!
+//! With a zero [`FaultPlan`], Poisson arrivals and no guard, the engine
+//! is bit-identical to the historical batch loop: same arrival streams,
+//! same decisions, same report numbers. The deprecated `run_colocation*`
+//! entry points in [`crate::server`] are one-line shims over
+//! [`ColocationRun`].
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tacker_kernel::SimTime;
+use tacker_sim::{scale_run, Device, ExecutablePlan, TimelineRecorder};
+use tacker_trace::{MetricsRegistry, NoopSink, TraceEvent, TraceSink};
+use tacker_workloads::{BeApp, LcService, WorkloadKernel};
+
+use crate::config::ExperimentConfig;
+use crate::error::TackerError;
+use crate::fault::FaultPlan;
+use crate::guard::{GuardConfig, GuardTransition, QosGuard};
+use crate::library::FusionLibrary;
+use crate::manager::{Decision, KernelManager, Policy};
+use crate::profile::KernelProfiler;
+use crate::report::{RunReport, ServiceReport};
+use crate::server::calibrate_peak_interarrival;
+
+/// One LC service with its configured load.
+#[derive(Debug, Clone)]
+pub struct ServiceLoad {
+    /// The service.
+    pub lc: LcService,
+    /// Mean query inter-arrival time.
+    pub mean_interarrival: SimTime,
+    /// Seed of this service's arrival stream.
+    pub seed: u64,
+}
+
+/// How LC queries arrive.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum ArrivalSpec {
+    /// Paced Poisson: exponential gaps with bounded burstiness (clipped to
+    /// `[0.5, 2.2]×` the mean), normalized so the realized mean equals the
+    /// target. The batch loop's historical arrival model.
+    #[default]
+    Poisson,
+    /// The Poisson stream with arrivals grouped into back-to-back bursts
+    /// of `burst` queries at the same overall rate.
+    Bursty {
+        /// Queries per burst (≥ 1; 1 degenerates to Poisson).
+        burst: usize,
+    },
+    /// Replay explicit absolute arrival instants, one stream per service.
+    /// Stream lengths override the configured query count.
+    Replay(Vec<Vec<SimTime>>),
+}
+
+/// Serving-mode options: arrival process, fault plan, and the optional
+/// QoS guard. The default is indistinguishable from a batch run.
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    /// The arrival process.
+    pub arrivals: ArrivalSpec,
+    /// Faults to inject.
+    pub faults: FaultPlan,
+    /// Enable the adaptive QoS guard with this configuration.
+    pub guard: Option<GuardConfig>,
+}
+
+/// Builder for co-location runs, replacing the eight `run_colocation*`
+/// entry points.
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use tacker::prelude::*;
+///
+/// let device = Arc::new(tacker_sim::Device::new(tacker_sim::GpuSpec::rtx2080ti()));
+/// let lc = tacker_workloads::lc_service("Resnet50", &device).unwrap();
+/// let be = vec![tacker_workloads::be_app("sgemm").unwrap()];
+/// let config = ExperimentConfig::default();
+/// let report = ColocationRun::new(&device, &config, std::slice::from_ref(&lc), &be)
+///     .unwrap()
+///     .policy(Policy::Tacker)
+///     .run()
+///     .unwrap();
+/// if let Some(p99) = report.p99_latency() {
+///     println!("p99 latency: {p99}");
+/// }
+/// ```
+pub struct ColocationRun<'a> {
+    device: &'a Arc<Device>,
+    config: ExperimentConfig,
+    lcs: Vec<LcService>,
+    bes: Vec<BeApp>,
+    policy: Policy,
+    mean_interarrival: Option<SimTime>,
+    loads: Option<Vec<ServiceLoad>>,
+    sink: Arc<dyn TraceSink>,
+    options: ServeOptions,
+}
+
+impl<'a> ColocationRun<'a> {
+    /// Starts a run of `lcs` against `be_apps` on `device` with
+    /// `Policy::Tacker`, calibrated per-service load, no tracing, no
+    /// faults and no guard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TackerError::Config`] when no service is given or a
+    /// service has no kernels.
+    pub fn new(
+        device: &'a Arc<Device>,
+        config: &ExperimentConfig,
+        lcs: &[LcService],
+        be_apps: &[BeApp],
+    ) -> Result<ColocationRun<'a>, TackerError> {
+        if lcs.is_empty() || lcs.iter().any(|s| s.query_kernels().is_empty()) {
+            return Err(TackerError::Config {
+                reason: "need at least one LC service, each with kernels".to_string(),
+            });
+        }
+        Ok(ColocationRun {
+            device,
+            config: config.clone(),
+            lcs: lcs.to_vec(),
+            bes: be_apps.to_vec(),
+            policy: Policy::Tacker,
+            mean_interarrival: None,
+            loads: None,
+            sink: Arc::new(NoopSink),
+            options: ServeOptions::default(),
+        })
+    }
+
+    /// Selects the scheduling policy (default [`Policy::Tacker`]).
+    #[must_use]
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Overrides the calibrated load factor (fraction of peak load,
+    /// `0 < load ≤ 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `load` is out of range (as
+    /// [`ExperimentConfig::with_load`] does).
+    #[must_use]
+    pub fn at_load(mut self, load: f64) -> Self {
+        self.config = self.config.with_load(load);
+        self
+    }
+
+    /// Uses an explicit mean query inter-arrival time, skipping peak-load
+    /// calibration. Only valid for single-service runs; multi-service
+    /// runs use [`ColocationRun::with_loads`].
+    #[must_use]
+    pub fn at(mut self, mean_interarrival: SimTime) -> Self {
+        self.mean_interarrival = Some(mean_interarrival);
+        self
+    }
+
+    /// Uses explicit per-service loads (services and arrival seeds
+    /// included), overriding the services given to `new`.
+    #[must_use]
+    pub fn with_loads(mut self, loads: &[ServiceLoad]) -> Self {
+        self.loads = Some(loads.to_vec());
+        self
+    }
+
+    /// Streams runtime events to `sink`: one
+    /// [`TraceEvent::Decision`] per scheduling point, a
+    /// [`TraceEvent::KernelRetired`] per device launch, plus fusion
+    /// rejections, model refreshes, query completions, and (in serving
+    /// mode) fault injections, guard steps and QoS violations.
+    #[must_use]
+    pub fn traced(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Selects the arrival process (default [`ArrivalSpec::Poisson`]).
+    #[must_use]
+    pub fn arrivals(mut self, spec: ArrivalSpec) -> Self {
+        self.options.arrivals = spec;
+        self
+    }
+
+    /// Injects faults from `plan`.
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.options.faults = plan;
+        self
+    }
+
+    /// Enables the adaptive QoS guard.
+    #[must_use]
+    pub fn guarded(mut self, config: GuardConfig) -> Self {
+        self.options.guard = Some(config);
+        self
+    }
+
+    /// Replaces all serving options at once.
+    #[must_use]
+    pub fn serve(mut self, options: ServeOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Executes the run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation, fusion and prediction errors, or a
+    /// [`TackerError::Config`] for unusable load/arrival combinations.
+    pub fn run(self) -> Result<RunReport, TackerError> {
+        let services: Vec<ServiceLoad> = if let Some(loads) = self.loads {
+            loads
+        } else if let Some(mean_interarrival) = self.mean_interarrival {
+            if self.lcs.len() != 1 {
+                return Err(TackerError::Config {
+                    reason: "explicit inter-arrival needs exactly one service; use with_loads"
+                        .to_string(),
+                });
+            }
+            vec![ServiceLoad {
+                lc: self.lcs[0].clone(),
+                mean_interarrival,
+                seed: self.config.seed,
+            }]
+        } else {
+            // Each service carries an equal share of the configured load
+            // so the combined LC demand stays feasible.
+            let share = self.lcs.len() as f64 / self.config.load_factor.max(1e-6);
+            let mut loads = Vec::with_capacity(self.lcs.len());
+            for (i, lc) in self.lcs.iter().enumerate() {
+                let peak = calibrate_peak_interarrival(self.device, lc, &self.config)?;
+                loads.push(ServiceLoad {
+                    lc: lc.clone(),
+                    mean_interarrival: peak.mul_f64(share),
+                    seed: self.config.seed.wrapping_add(i as u64),
+                });
+            }
+            loads
+        };
+        run_engine(
+            self.device,
+            &services,
+            &self.bes,
+            self.policy,
+            &self.config,
+            self.sink,
+            &self.options,
+        )
+    }
+}
+
+struct ActiveQuery {
+    /// Index of the owning service.
+    service: usize,
+    arrival: SimTime,
+    deadline: SimTime,
+    pending: VecDeque<usize>, // indices into the service's kernel sequence
+    remaining_pred: SimTime,
+}
+
+struct BeState {
+    app: BeApp,
+    queue: VecDeque<WorkloadKernel>,
+}
+
+impl BeState {
+    fn head(&mut self) -> Option<WorkloadKernel> {
+        if self.queue.is_empty() {
+            // Endless task stream: refill with the next iteration.
+            self.queue.extend(self.app.task_kernels().iter().cloned());
+        }
+        self.queue.front().cloned()
+    }
+
+    fn pop(&mut self) {
+        self.queue.pop_front();
+    }
+}
+
+/// Materializes the per-service arrival streams.
+fn generate_arrivals(
+    services: &[ServiceLoad],
+    config: &ExperimentConfig,
+    spec: &ArrivalSpec,
+) -> Result<Vec<Vec<SimTime>>, TackerError> {
+    if let ArrivalSpec::Replay(streams) = spec {
+        if streams.len() != services.len() {
+            return Err(TackerError::Config {
+                reason: format!(
+                    "replay needs one arrival stream per service ({} streams, {} services)",
+                    streams.len(),
+                    services.len()
+                ),
+            });
+        }
+        if streams.iter().any(Vec::is_empty) {
+            return Err(TackerError::Config {
+                reason: "replay arrival streams must not be empty".to_string(),
+            });
+        }
+        return Ok(streams
+            .iter()
+            .map(|s| {
+                let mut s = s.clone();
+                s.sort();
+                s
+            })
+            .collect());
+    }
+    let burst = match spec {
+        ArrivalSpec::Bursty { burst } => (*burst).max(1),
+        _ => 1,
+    };
+    // Exponential gaps with bounded burstiness (clipped to [0.5, 2.2]x the
+    // mean), normalized so the realized mean equals the target. An
+    // unbounded open-loop Poisson stream at meaningful load has latency
+    // tails that *no* non-preemptive scheduler can keep under a 50 ms QoS;
+    // production inference frontends pace dispatch the same way (see
+    // DESIGN.md §5).
+    let mut arrivals_per_service = Vec::with_capacity(services.len());
+    for svc in services {
+        let mut rng = StdRng::seed_from_u64(svc.seed);
+        let mut gaps: Vec<f64> = (0..config.queries)
+            .map(|_| (-(rng.random::<f64>().max(1e-12)).ln()).clamp(0.5, 2.2))
+            .collect();
+        let mean_gap: f64 = gaps.iter().sum::<f64>() / gaps.len().max(1) as f64;
+        for g in &mut gaps {
+            *g /= mean_gap.max(1e-12);
+        }
+        let mut arrivals = Vec::with_capacity(config.queries);
+        let mut t = SimTime::ZERO;
+        let mut burst_start = SimTime::ZERO;
+        for (i, g) in gaps.iter().enumerate() {
+            t += svc.mean_interarrival.mul_f64(*g);
+            if i % burst == 0 {
+                burst_start = t;
+            }
+            arrivals.push(burst_start);
+        }
+        arrivals_per_service.push(arrivals);
+    }
+    Ok(arrivals_per_service)
+}
+
+/// The event-driven engine behind every [`ColocationRun`].
+pub(crate) fn run_engine(
+    device: &Arc<Device>,
+    services: &[ServiceLoad],
+    be_apps: &[BeApp],
+    policy: Policy,
+    config: &ExperimentConfig,
+    sink: Arc<dyn TraceSink>,
+    opts: &ServeOptions,
+) -> Result<RunReport, TackerError> {
+    if services.is_empty() || services.iter().any(|s| s.lc.query_kernels().is_empty()) {
+        return Err(TackerError::Config {
+            reason: "need at least one LC service, each with kernels".to_string(),
+        });
+    }
+    let tracing = sink.enabled();
+    let registry = MetricsRegistry::new();
+    let profiler = Arc::new(KernelProfiler::with_sink(
+        Arc::clone(device),
+        Arc::clone(&sink),
+    ));
+    let library = Arc::new(FusionLibrary::new(Arc::clone(&profiler)).with_jobs(config.jobs));
+    let faults = &opts.faults;
+    let serving = opts.guard.is_some() || !faults.is_zero();
+    let guard = opts
+        .guard
+        .clone()
+        .map(|g| Arc::new(QosGuard::new(config.qos_target, g)));
+    let mut manager = KernelManager::with_sink(
+        Arc::clone(&profiler),
+        Arc::clone(&library),
+        policy,
+        Arc::clone(&sink),
+    );
+    if let Some(g) = &guard {
+        manager = manager.with_guard(Arc::clone(g));
+    }
+    // Metric handles resolved once; hot-loop updates are atomic ops. The
+    // serve counters are only registered in serving mode so batch runs
+    // render the exact same metric set as before.
+    let m_decisions = registry.counter("decisions");
+    let m_violations = registry.counter("qos_violations");
+    let m_budget = registry.gauge("injection_budget_ns");
+    let m_latency_all = registry.histogram("query_latency_us");
+    let m_guard_steps = serving.then(|| registry.counter("guard_steps"));
+    let m_faults = serving.then(|| registry.counter("faults_injected"));
+
+    let arrivals_per_service = generate_arrivals(services, config, &opts.arrivals)?;
+
+    // Warm the profiler with one measurement of every LC kernel (the
+    // paper's "historical data": these exact kernels recur every query), so
+    // remaining-time accounting predicts them exactly.
+    let mut kernel_preds: Vec<Vec<SimTime>> = Vec::with_capacity(services.len());
+    let mut query_total_pred: Vec<SimTime> = Vec::with_capacity(services.len());
+    for svc in services {
+        for k in svc.lc.query_kernels() {
+            profiler.measure(k)?;
+        }
+        let preds: Vec<SimTime> = svc
+            .lc
+            .query_kernels()
+            .iter()
+            .map(|k| profiler.predict(k))
+            .collect::<Result<_, _>>()?;
+        query_total_pred.push(preds.iter().copied().sum());
+        kernel_preds.push(preds);
+    }
+
+    // Fault sampling resolved up front: which LC kernel positions of which
+    // service run persistently slower than their profile says.
+    let mispredict: Vec<Vec<f64>> = services
+        .iter()
+        .map(|svc| {
+            (0..svc.lc.query_kernels().len())
+                .map(|i| faults.mispredict_factor(svc.lc.name(), i))
+                .collect()
+        })
+        .collect();
+
+    let mut be_states: Vec<BeState> = be_apps
+        .iter()
+        .map(|a| BeState {
+            app: a.clone(),
+            queue: VecDeque::new(),
+        })
+        .collect();
+
+    let mut now = SimTime::ZERO;
+    let mut next_arrival: Vec<usize> = vec![0; services.len()];
+    let mut active: VecDeque<ActiveQuery> = VecDeque::new();
+    // Best-effort injection budget. Headroom alone is blind to *future*
+    // arrivals: BE work injected into a busy period delays every query that
+    // joins that busy period later, 1:1. The budget therefore replenishes
+    // only during genuinely idle time and is capped at a small fraction of
+    // the QoS target, bounding how far any arrival cluster can be
+    // stretched by work injected before the cluster was visible.
+    // Signed, in nanoseconds: over-predictions drive it negative (debt),
+    // blocking further injection until idle time repays it.
+    let budget_cap = config.qos_target.mul_f64(0.08).as_nanos() as i128;
+    let mut budget: i128 = budget_cap * 3 / 10;
+    // Safety margin absorbing prediction noise when filling headroom.
+    let safety = config.qos_target.mul_f64(0.10);
+    let mut report = RunReport {
+        policy,
+        qos_target: config.qos_target,
+        services: services
+            .iter()
+            .zip(&arrivals_per_service)
+            .map(|(svc, arrivals)| ServiceReport {
+                name: svc.lc.name().to_string(),
+                query_latencies: Vec::with_capacity(arrivals.len()),
+                qos_violations: 0,
+                latency_histogram: registry
+                    .histogram(&format!("query_latency_us.{}", svc.lc.name())),
+            })
+            .collect(),
+        be_work: SimTime::ZERO,
+        be_kernels: 0,
+        fused_launches: 0,
+        reordered_launches: 0,
+        wall: SimTime::ZERO,
+        model_refreshes: 0,
+        timeline: config.record_timeline.then(TimelineRecorder::new),
+        latency_histogram: Arc::clone(&m_latency_all),
+        metrics: registry.clone(),
+        guard_steps: 0,
+        faults_injected: 0,
+        guard_level: None,
+    };
+
+    let run_kernel = |wk: &WorkloadKernel| -> Result<tacker_sim::KernelRun, TackerError> {
+        Ok(device.run_launch(&wk.launch())?)
+    };
+    // One KernelRetired event per device launch, carrying the manager's
+    // predicted duration next to the realized one.
+    let retire = |sink: &dyn TraceSink,
+                  run: &tacker_sim::KernelRun,
+                  label: &str,
+                  end: SimTime,
+                  predicted: SimTime| {
+        sink.record(TraceEvent::KernelRetired {
+            kernel: run.name.clone(),
+            label: label.into(),
+            start: end.saturating_sub(run.duration),
+            end,
+            tc_util: run.activity.tc_utilization(run.cycles),
+            cd_util: run.activity.cd_utilization(run.cycles),
+            predicted,
+            actual: run.duration,
+        });
+    };
+    // Bookkeeping for one injected fault application.
+    let fault_event =
+        |report: &mut RunReport, at: SimTime, kind: &str, kernel: &str, factor: f64| {
+            report.faults_injected += 1;
+            if let Some(m) = &m_faults {
+                m.inc();
+            }
+            if tracing {
+                sink.record(TraceEvent::FaultInjected {
+                    at,
+                    kind: kind.into(),
+                    kernel: kernel.into(),
+                    factor,
+                });
+            }
+        };
+    // Bookkeeping for one guard ladder step.
+    let guard_note = |report: &mut RunReport, at: SimTime, step: Option<GuardTransition>| {
+        if let Some(t) = step {
+            report.guard_steps += 1;
+            if let Some(m) = &m_guard_steps {
+                m.inc();
+            }
+            if tracing {
+                sink.record(TraceEvent::GuardStep {
+                    at,
+                    from: t.from.name().into(),
+                    to: t.to.name().into(),
+                    reason: t.reason.into(),
+                    ewma_error: t.ewma_error,
+                    pressure: t.pressure,
+                });
+            }
+        }
+    };
+
+    let total_queries: usize = arrivals_per_service.iter().map(Vec::len).sum();
+    let mut completed = 0usize;
+    let mut launch_seq: u64 = 0;
+    let mut next_flood = 0usize;
+    let mut in_outage = false;
+
+    loop {
+        // Uninvited BE bursts (a misbehaving co-tenant): executed outside
+        // the scheduler's ledger, before it gets to decide anything.
+        while next_flood < faults.be_floods.len() && faults.be_floods[next_flood].at <= now {
+            let burst = faults.be_floods[next_flood];
+            next_flood += 1;
+            if be_states.is_empty() {
+                continue;
+            }
+            fault_event(&mut report, now, "be_flood", "", f64::from(burst.kernels));
+            for i in 0..burst.kernels as usize {
+                let bi = i % be_states.len();
+                let Some(wk) = be_states[bi].head() else {
+                    continue;
+                };
+                let predicted = profiler.predict(&wk)?;
+                let run = run_kernel(&wk)?;
+                launch_seq += 1;
+                now += run.duration;
+                report.be_work += run.duration;
+                report.be_kernels += 1;
+                be_states[bi].pop();
+                if tracing {
+                    retire(sink.as_ref(), &run, "BE", now, predicted);
+                }
+                if let Some(tl) = report.timeline.as_mut() {
+                    tl.advance_to(now.saturating_sub(run.duration));
+                    tl.record(&run, "BE");
+                }
+            }
+        }
+        // Predictor-outage windows: bypass exact launch history while one
+        // is active (predictions fall back to the LR models).
+        let outage = faults.outage_active(now);
+        if outage != in_outage {
+            in_outage = outage;
+            profiler.set_history_bypass(outage);
+            if outage {
+                fault_event(&mut report, now, "predictor_outage", "", 1.0);
+            }
+        }
+
+        // Admit arrivals from every service, oldest first.
+        let mut due: Vec<(SimTime, usize)> = Vec::new();
+        for (si, arrivals) in arrivals_per_service.iter().enumerate() {
+            while next_arrival[si] < arrivals.len() && arrivals[next_arrival[si]] <= now {
+                due.push((arrivals[next_arrival[si]], si));
+                next_arrival[si] += 1;
+            }
+        }
+        due.sort();
+        for (arrival, si) in due {
+            active.push_back(ActiveQuery {
+                service: si,
+                arrival,
+                deadline: arrival + config.qos_target,
+                pending: (0..services[si].lc.query_kernels().len()).collect(),
+                remaining_pred: query_total_pred[si],
+            });
+        }
+        if active.is_empty() && completed >= total_queries {
+            break;
+        }
+
+        // QoS headroom: the tightest slack over all active queries, with
+        // each query reserving the remaining GPU time of itself and every
+        // earlier query (Equation 9), minus a small safety margin for
+        // prediction noise, and capped by the injection budget.
+        let mut headroom = SimTime::from_millis(u64::MAX / 2_000_000);
+        let mut cum = SimTime::ZERO;
+        for q in &active {
+            cum += q.remaining_pred;
+            let slack = q
+                .deadline
+                .saturating_sub(now)
+                .saturating_sub(cum)
+                .saturating_sub(safety);
+            headroom = headroom.min(slack);
+        }
+        if active.is_empty() {
+            headroom = SimTime::ZERO;
+        }
+        // Reordering whole BE kernels into the headroom is what stretches
+        // busy periods, so it is budget-capped. Fusion's extra time is an
+        // order of magnitude smaller per unit of BE work, so it gets a
+        // small grace on top of the budget — but its actual cost is still
+        // charged, driving the budget into debt that blocks further
+        // injection until idle time repays it.
+        let budget_time = SimTime::from_nanos(budget.max(0) as u64);
+        let reorder_headroom = headroom.min(budget_time);
+        // Fusion may run the budget into bounded debt: its extras are small
+        // and high-leverage, so a per-busy-period allowance (the grace, up
+        // to the debt floor) keeps cheap fusions flowing while expensive
+        // ones are cut off quickly.
+        let grace = config.qos_target.mul_f64(0.01);
+        let debt_floor = -(config.qos_target.mul_f64(0.05).as_nanos() as i128);
+        let fusion_headroom = if budget > debt_floor {
+            headroom.min(budget_time + grace)
+        } else {
+            SimTime::ZERO
+        };
+
+        let lc_head = active
+            .front()
+            .and_then(|q| q.pending.front().map(|&i| (q.service, i)))
+            .map(|(si, i)| &services[si].lc.query_kernels()[i]);
+        let be_heads: Vec<Option<WorkloadKernel>> = if policy.best_effort_enabled() {
+            be_states.iter_mut().map(BeState::head).collect()
+        } else {
+            vec![None; be_states.len()]
+        };
+
+        let was_idle = active.is_empty();
+        manager.set_now(now);
+        m_decisions.inc();
+        m_budget.set(budget as f64);
+        // With multiple active queries the oldest executes first and the
+        // Equation 9 headroom above already reserves the remaining GPU time
+        // of every query, so fusion stays enabled (§VII-B-2's accounting).
+        let decision =
+            manager.decide(lc_head, fusion_headroom, reorder_headroom, &be_heads, false)?;
+        match decision {
+            Decision::RunLc { predicted } => {
+                let q = active.front_mut().expect("RunLc implies an active query");
+                let si = q.service;
+                let idx = q
+                    .pending
+                    .pop_front()
+                    .expect("RunLc implies a pending kernel");
+                let mut run = run_kernel(&services[si].lc.query_kernels()[idx])?;
+                launch_seq += 1;
+                let mf = mispredict[si][idx];
+                if mf != 1.0 {
+                    fault_event(&mut report, now, "mispredict", &run.name, mf);
+                }
+                let sf = faults.straggler_factor(launch_seq);
+                if sf != 1.0 {
+                    fault_event(&mut report, now, "straggler", &run.name, sf);
+                }
+                if mf * sf != 1.0 {
+                    run = scale_run(&run, mf * sf);
+                }
+                now += run.duration;
+                q.remaining_pred = q.remaining_pred.saturating_sub(kernel_preds[si][idx]);
+                if tracing {
+                    retire(sink.as_ref(), &run, "LC", now, predicted);
+                }
+                if let Some(g) = &guard {
+                    let kernel = services[si].lc.query_kernels()[idx].def.id().get();
+                    let step = g.observe_launch(kernel, predicted, run.duration);
+                    guard_note(&mut report, now, step);
+                }
+                if let Some(tl) = report.timeline.as_mut() {
+                    tl.advance_to(now.saturating_sub(run.duration));
+                    tl.record(&run, "LC");
+                }
+            }
+            Decision::RunFused {
+                be_index,
+                launch,
+                entry,
+                x_tc,
+                x_cd,
+                lc_predicted,
+                predicted,
+                ..
+            } => {
+                let plan = ExecutablePlan::from_launch(device.spec(), &launch)?;
+                // LC kernel completed via fusion.
+                let q = active.front_mut().expect("fusion implies an active query");
+                let si = q.service;
+                let idx = q
+                    .pending
+                    .pop_front()
+                    .expect("fusion implies a pending kernel");
+                let mut run = device.run_plan(&plan)?;
+                launch_seq += 1;
+                // A mispredicted LC kernel is just as slow inside a fused
+                // launch as outside it.
+                let mf = mispredict[si][idx];
+                if mf != 1.0 {
+                    fault_event(&mut report, now, "mispredict", &run.name, mf);
+                }
+                let sf = faults.straggler_factor(launch_seq);
+                if sf != 1.0 {
+                    fault_event(&mut report, now, "straggler", &run.name, sf);
+                }
+                if mf * sf != 1.0 {
+                    run = scale_run(&run, mf * sf);
+                }
+                now += run.duration;
+                if tracing {
+                    retire(sink.as_ref(), &run, "FUSED", now, predicted);
+                }
+                q.remaining_pred = q.remaining_pred.saturating_sub(kernel_preds[si][idx]);
+                // BE kernel completed via fusion: credit its solo work.
+                let be_wk = be_heads[be_index]
+                    .as_ref()
+                    .expect("fusion used this BE head");
+                report.be_work += profiler.measure(be_wk)?;
+                report.be_kernels += 1;
+                be_states[be_index].pop();
+                report.fused_launches += 1;
+                budget -= run.duration.saturating_sub(lc_predicted).as_nanos() as i128;
+                // Online model refresh (>10% error, §VI-C) and pair
+                // blacklisting when fusion lost to sequential (§VIII-I).
+                if entry
+                    .lock()
+                    .expect("entry poisoned")
+                    .observe_outcome(x_tc, x_cd, run.duration)
+                {
+                    report.model_refreshes += 1;
+                    if tracing {
+                        let actual = run.duration.as_nanos() as f64;
+                        let rel_error = if actual > 0.0 {
+                            (predicted.as_nanos() as f64 - actual).abs() / actual
+                        } else {
+                            0.0
+                        };
+                        sink.record(TraceEvent::ModelRefresh {
+                            kernel: run.name.clone(),
+                            rel_error,
+                        });
+                    }
+                }
+                if let Some(tl) = report.timeline.as_mut() {
+                    tl.advance_to(now.saturating_sub(run.duration));
+                    tl.record(&run, "FUSED");
+                }
+            }
+            Decision::RunBe {
+                be_index,
+                predicted,
+            } => {
+                let be_wk = be_heads[be_index].as_ref().expect("BE head exists");
+                let mut run = run_kernel(be_wk)?;
+                launch_seq += 1;
+                let sf = faults.straggler_factor(launch_seq);
+                if sf != 1.0 {
+                    fault_event(&mut report, now, "straggler", &run.name, sf);
+                    run = scale_run(&run, sf);
+                }
+                now += run.duration;
+                if tracing {
+                    retire(sink.as_ref(), &run, "BE", now, predicted);
+                }
+                report.be_work += run.duration;
+                report.be_kernels += 1;
+                be_states[be_index].pop();
+                if was_idle {
+                    // Free-running BE during idle replenishes the budget.
+                    budget = budget_cap.min(budget + run.duration.as_nanos() as i128);
+                } else {
+                    report.reordered_launches += 1;
+                    budget -= run.duration.as_nanos() as i128;
+                }
+                if let Some(g) = &guard {
+                    let step = g.observe_launch(be_wk.def.id().get(), predicted, run.duration);
+                    guard_note(&mut report, now, step);
+                }
+                if let Some(tl) = report.timeline.as_mut() {
+                    tl.advance_to(now.saturating_sub(run.duration));
+                    tl.record(&run, "BE");
+                }
+            }
+            Decision::Idle => {
+                // Jump to the next arrival of any service — or the next
+                // flood burst, which also re-opens the device; genuine
+                // idle replenishes the injection budget.
+                let upcoming = arrivals_per_service
+                    .iter()
+                    .zip(&next_arrival)
+                    .filter_map(|(a, &i)| a.get(i))
+                    .min()
+                    .copied();
+                let upcoming = match (upcoming, faults.be_floods.get(next_flood)) {
+                    (Some(t), Some(b)) => Some(t.min(b.at)),
+                    (None, Some(b)) => Some(b.at),
+                    (t, None) => t,
+                };
+                match upcoming {
+                    Some(t) => {
+                        let target = now.max(t);
+                        budget =
+                            budget_cap.min(budget + target.saturating_sub(now).as_nanos() as i128);
+                        now = target;
+                    }
+                    None => break,
+                }
+            }
+        }
+
+        // Retire completed queries.
+        while let Some(q) = active.front() {
+            if q.pending.is_empty() {
+                let latency = now.saturating_sub(q.arrival);
+                let violated = latency > config.qos_target;
+                {
+                    let svc = &mut report.services[q.service];
+                    if violated {
+                        svc.qos_violations += 1;
+                        m_violations.inc();
+                        if tracing {
+                            sink.record(TraceEvent::QosViolation {
+                                at: now,
+                                service: svc.name.as_str().into(),
+                                latency,
+                                target: config.qos_target,
+                            });
+                        }
+                    }
+                    svc.query_latencies.push(latency);
+                    svc.latency_histogram.observe(latency.as_micros_f64());
+                    m_latency_all.observe(latency.as_micros_f64());
+                    if tracing {
+                        sink.record(TraceEvent::QueryCompleted {
+                            service: svc.name.as_str().into(),
+                            arrival: q.arrival,
+                            latency,
+                            violated,
+                        });
+                    }
+                }
+                active.pop_front();
+                completed += 1;
+                if let Some(g) = &guard {
+                    let step = g.observe_query(latency);
+                    guard_note(&mut report, now, step);
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    report.wall = now;
+    report.guard_level = guard.as_ref().map(|g| g.level());
+    sink.flush();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacker_sim::GpuSpec;
+    use tacker_workloads::parboil::Benchmark;
+    use tacker_workloads::Intensity;
+
+    fn tiny_lc() -> LcService {
+        let gemm = tacker_workloads::dnn::compile::shared_gemm();
+        let mut kernels = Vec::new();
+        for _ in 0..3 {
+            kernels.push(tacker_workloads::gemm::gemm_workload(
+                &gemm,
+                tacker_workloads::gemm::GemmShape::new(2048, 1024, 512),
+            ));
+            kernels.push(tacker_workloads::dnn::elementwise::elementwise_workload(
+                &tacker_workloads::dnn::elementwise::relu(),
+                4_000_000,
+            ));
+        }
+        LcService::new("tiny", 8, kernels)
+    }
+
+    fn tiny_be() -> BeApp {
+        BeApp::new("cutcp", Intensity::Compute, Benchmark::Cutcp.task())
+    }
+
+    fn config() -> ExperimentConfig {
+        ExperimentConfig::default().with_queries(30).with_seed(42)
+    }
+
+    fn device() -> Arc<Device> {
+        Arc::new(Device::new(GpuSpec::rtx2080ti()))
+    }
+
+    fn base_run(device: &Arc<Device>) -> RunReport {
+        ColocationRun::new(device, &config(), &[tiny_lc()], &[tiny_be()])
+            .unwrap()
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn bursty_arrivals_keep_rate_but_cluster() {
+        let svc = [ServiceLoad {
+            lc: tiny_lc(),
+            mean_interarrival: SimTime::from_millis(2),
+            seed: 7,
+        }];
+        let cfg = config().with_queries(40);
+        let poisson = generate_arrivals(&svc, &cfg, &ArrivalSpec::Poisson).unwrap();
+        let bursty = generate_arrivals(&svc, &cfg, &ArrivalSpec::Bursty { burst: 4 }).unwrap();
+        assert_eq!(poisson[0].len(), 40);
+        assert_eq!(bursty[0].len(), 40);
+        // Burst members share the group head's arrival instant.
+        assert_eq!(bursty[0][0], bursty[0][3]);
+        assert_ne!(poisson[0][0], poisson[0][3]);
+        // burst = 1 degenerates to the Poisson stream exactly.
+        let one = generate_arrivals(&svc, &cfg, &ArrivalSpec::Bursty { burst: 1 }).unwrap();
+        assert_eq!(one, poisson);
+    }
+
+    #[test]
+    fn replay_streams_are_validated_and_sorted() {
+        let svc = [ServiceLoad {
+            lc: tiny_lc(),
+            mean_interarrival: SimTime::from_millis(2),
+            seed: 7,
+        }];
+        let cfg = config();
+        assert!(generate_arrivals(&svc, &cfg, &ArrivalSpec::Replay(vec![])).is_err());
+        assert!(generate_arrivals(&svc, &cfg, &ArrivalSpec::Replay(vec![vec![]])).is_err());
+        let replay =
+            ArrivalSpec::Replay(vec![vec![SimTime::from_millis(5), SimTime::from_millis(1)]]);
+        let out = generate_arrivals(&svc, &cfg, &replay).unwrap();
+        assert_eq!(
+            out[0],
+            vec![SimTime::from_millis(1), SimTime::from_millis(5)]
+        );
+    }
+
+    #[test]
+    fn zero_fault_serve_options_are_batch_identical() {
+        let device = device();
+        let batch = base_run(&device);
+        let served = ColocationRun::new(&device, &config(), &[tiny_lc()], &[tiny_be()])
+            .unwrap()
+            .serve(ServeOptions::default())
+            .run()
+            .unwrap();
+        assert_eq!(batch.query_latencies(), served.query_latencies());
+        assert_eq!(batch.be_kernels, served.be_kernels);
+        assert_eq!(batch.fused_launches, served.fused_launches);
+        assert_eq!(batch.wall, served.wall);
+        assert_eq!(served.faults_injected, 0);
+        assert_eq!(served.guard_steps, 0);
+    }
+
+    #[test]
+    fn guard_on_zero_faults_is_batch_identical() {
+        let device = device();
+        let batch = base_run(&device);
+        let guarded = ColocationRun::new(&device, &config(), &[tiny_lc()], &[tiny_be()])
+            .unwrap()
+            .guarded(GuardConfig::default())
+            .run()
+            .unwrap();
+        assert_eq!(batch.query_latencies(), guarded.query_latencies());
+        assert_eq!(batch.be_kernels, guarded.be_kernels);
+        assert_eq!(batch.wall, guarded.wall);
+        assert_eq!(guarded.guard_steps, 0, "guard fired on a fault-free run");
+        assert_eq!(guarded.guard_level, Some(crate::guard::GuardLevel::Fuse));
+    }
+
+    #[test]
+    fn misprediction_faults_perturb_latencies_and_trip_the_guard() {
+        let device = device();
+        let batch = base_run(&device);
+        let plan = FaultPlan::mispredicting(1.5, 0.5).with_seed(3);
+        let faulted = ColocationRun::new(&device, &config(), &[tiny_lc()], &[tiny_be()])
+            .unwrap()
+            .faults(plan.clone())
+            .run()
+            .unwrap();
+        assert!(faulted.faults_injected > 0, "no faults applied");
+        assert!(
+            faulted.wall > batch.wall,
+            "stretched kernels must stretch the run"
+        );
+        let guarded = ColocationRun::new(&device, &config(), &[tiny_lc()], &[tiny_be()])
+            .unwrap()
+            .faults(plan)
+            .guarded(GuardConfig::default())
+            .run()
+            .unwrap();
+        assert!(guarded.guard_steps > 0, "guard never reacted");
+        assert!(guarded.guard_level > Some(crate::guard::GuardLevel::Fuse));
+    }
+
+    #[test]
+    fn outage_and_flood_faults_inject_and_complete() {
+        let device = device();
+        let plan = FaultPlan::none()
+            .with_outage(SimTime::ZERO, SimTime::from_millis(5))
+            .with_flood(SimTime::from_millis(1), 4);
+        let r = ColocationRun::new(&device, &config(), &[tiny_lc()], &[tiny_be()])
+            .unwrap()
+            .faults(plan)
+            .run()
+            .unwrap();
+        assert_eq!(r.query_count(), 30);
+        // Both the outage window and the flood burst fired.
+        assert!(r.faults_injected >= 2, "got {}", r.faults_injected);
+        assert!(r.be_kernels >= 4, "flood kernels must execute");
+    }
+
+    #[test]
+    fn explicit_interarrival_needs_single_service() {
+        let device = device();
+        let two = [tiny_lc(), tiny_lc()];
+        let err = ColocationRun::new(&device, &config(), &two, &[])
+            .unwrap()
+            .at(SimTime::from_millis(1))
+            .run();
+        assert!(matches!(err, Err(TackerError::Config { .. })));
+    }
+}

@@ -1,91 +1,38 @@
-//! The co-location server: LC queries under Poisson load plus endless BE
-//! task streams (§VIII-B).
+//! Peak-load calibration and the deprecated `run_colocation*` entry
+//! points (§VIII-B).
 //!
-//! Queries of the LC service arrive in a Poisson process at a configured
-//! fraction of the service's peak supported load; each BE application
-//! replays its task-iteration kernels forever. The server executes
-//! non-preemptively (one kernel or fused kernel on the device at a time,
-//! like the real schedulers built on MPS) and drives the
-//! [`KernelManager`] at every completion.
+//! The co-location engine itself lives in [`crate::serve`]; every function
+//! here is either calibration support ([`calibrate_peak_interarrival`],
+//! [`solo_query_duration`]) or a one-line deprecated shim over
+//! [`ColocationRun`], kept so downstream code migrates at its own pace:
+//!
+//! | deprecated call | builder equivalent |
+//! |---|---|
+//! | `run_colocation(d, lc, be, p, c)` | `ColocationRun::new(d, c, &[lc], be)?.policy(p).run()` |
+//! | `run_colocation_at(…, t)` | `….policy(p).at(t).run()` |
+//! | `run_colocation_traced(…, sink)` | `….policy(p).traced(sink).run()` |
+//! | `run_multi_colocation(d, lcs, be, p, c)` | `ColocationRun::new(d, c, lcs, be)?.policy(p).run()` |
+//! | `run_multi_colocation_at(…, loads)` | `….with_loads(loads).run()` |
+//! | `…_traced` variants | add `.traced(sink)` |
 
-use std::collections::VecDeque;
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use tacker_kernel::SimTime;
-use tacker_sim::{Device, ExecutablePlan, TimelineRecorder};
-use tacker_trace::{Histogram, MetricsRegistry, NoopSink, TraceEvent, TraceSink};
-use tacker_workloads::{BeApp, LcService, WorkloadKernel};
+use tacker_sim::Device;
+use tacker_trace::TraceSink;
+use tacker_workloads::{BeApp, LcService};
 
 use crate::config::ExperimentConfig;
 use crate::error::TackerError;
-use crate::library::FusionLibrary;
-use crate::manager::{Decision, KernelManager, Policy};
-use crate::metrics;
+use crate::manager::Policy;
 use crate::profile::KernelProfiler;
+use crate::report::RunReport;
+use crate::serve::ColocationRun;
 
-/// Outcome of one co-location run.
-#[derive(Debug)]
-pub struct RunReport {
-    /// The scheduling policy used.
-    pub policy: Policy,
-    /// End-to-end latency of each completed LC query.
-    pub query_latencies: Vec<SimTime>,
-    /// The QoS target the run was configured with.
-    pub qos_target: SimTime,
-    /// Number of queries that missed the QoS target.
-    pub qos_violations: usize,
-    /// Total useful BE work completed (sum of solo durations of completed
-    /// BE kernels).
-    pub be_work: SimTime,
-    /// BE kernels completed.
-    pub be_kernels: u64,
-    /// Fused launches performed.
-    pub fused_launches: u64,
-    /// BE kernels launched via reordering into headroom.
-    pub reordered_launches: u64,
-    /// Total simulated wall-clock time.
-    pub wall: SimTime,
-    /// Online model refreshes triggered (>10% prediction error).
-    pub model_refreshes: u64,
-    /// Device activity timeline, when recording was enabled.
-    pub timeline: Option<TimelineRecorder>,
-    /// Streaming latency histogram (microseconds). Bounded-memory
-    /// observability view; QoS gating still uses the exact
-    /// sample-based percentiles below.
-    pub latency_histogram: Arc<Histogram>,
-    /// Run-level metrics: decision counters, injection-budget gauge, and
-    /// the per-service latency histograms.
-    pub metrics: MetricsRegistry,
-}
-
-impl RunReport {
-    /// Mean query latency.
-    pub fn mean_latency(&self) -> SimTime {
-        metrics::mean(&self.query_latencies)
-    }
-
-    /// 99th-percentile query latency.
-    pub fn p99_latency(&self) -> SimTime {
-        metrics::percentile(&self.query_latencies, 99.0)
-    }
-
-    /// BE work completed per second of wall time (the throughput metric
-    /// compared across policies in Fig. 14).
-    pub fn be_work_rate(&self) -> f64 {
-        if self.wall == SimTime::ZERO {
-            0.0
-        } else {
-            self.be_work.as_nanos() as f64 / self.wall.as_nanos() as f64
-        }
-    }
-
-    /// Whether every query met the QoS target.
-    pub fn qos_met(&self) -> bool {
-        self.qos_violations == 0
-    }
-}
+#[allow(deprecated)]
+pub use crate::report::MultiRunReport;
+pub use crate::report::ServiceReport;
+pub use crate::serve::ServiceLoad;
 
 /// The solo (un-co-located) duration of one LC query: the sum of its
 /// kernels' measured durations.
@@ -148,8 +95,11 @@ pub fn calibrate_peak_interarrival(
     let profiler = KernelProfiler::new(Arc::clone(device));
     let solo = solo_query_duration(&profiler, lc)?;
     let meets = |mult: f64| -> Result<bool, TackerError> {
-        let r = run_colocation_at(device, lc, &[], Policy::LcOnly, config, solo.mul_f64(mult))?;
-        Ok(r.p99_latency() <= config.qos_target)
+        let r = ColocationRun::new(device, config, std::slice::from_ref(lc), &[])?
+            .policy(Policy::LcOnly)
+            .at(solo.mul_f64(mult))
+            .run()?;
+        Ok(r.p99_latency().is_none_or(|p| p <= config.qos_target))
     };
     // Bisect the inter-arrival multiplier: larger = lighter load.
     let (mut lo, mut hi) = (1.0_f64, 16.0_f64);
@@ -184,34 +134,6 @@ pub fn calibrate_peak_interarrival(
     Ok(v)
 }
 
-struct ActiveQuery {
-    /// Index of the owning service.
-    service: usize,
-    arrival: SimTime,
-    deadline: SimTime,
-    pending: VecDeque<usize>, // indices into the service's kernel sequence
-    remaining_pred: SimTime,
-}
-
-struct BeState {
-    app: BeApp,
-    queue: VecDeque<WorkloadKernel>,
-}
-
-impl BeState {
-    fn head(&mut self) -> Option<WorkloadKernel> {
-        if self.queue.is_empty() {
-            // Endless task stream: refill with the next iteration.
-            self.queue.extend(self.app.task_kernels().iter().cloned());
-        }
-        self.queue.front().cloned()
-    }
-
-    fn pop(&mut self) {
-        self.queue.pop_front();
-    }
-}
-
 /// Runs one co-location experiment: `lc` under Poisson load against the
 /// given BE applications, with the chosen policy.
 ///
@@ -219,6 +141,7 @@ impl BeState {
 ///
 /// Propagates simulation, fusion and prediction errors, or a
 /// [`TackerError::Config`] when the service has no kernels.
+#[deprecated(note = "use `ColocationRun::new(device, config, &[lc], be_apps)?.policy(p).run()`")]
 pub fn run_colocation(
     device: &Arc<Device>,
     lc: &LcService,
@@ -226,17 +149,18 @@ pub fn run_colocation(
     policy: Policy,
     config: &ExperimentConfig,
 ) -> Result<RunReport, TackerError> {
-    let peak = calibrate_peak_interarrival(device, lc, config)?;
-    let mean_interarrival = peak.mul_f64(1.0 / config.load_factor.max(1e-6));
-    run_colocation_at(device, lc, be_apps, policy, config, mean_interarrival)
+    ColocationRun::new(device, config, std::slice::from_ref(lc), be_apps)?
+        .policy(policy)
+        .run()
 }
 
-/// [`run_colocation`] with an explicit mean query inter-arrival time
+/// `run_colocation` with an explicit mean query inter-arrival time
 /// (skipping peak-load calibration).
 ///
 /// # Errors
 ///
-/// Same as [`run_colocation`].
+/// Same as `run_colocation`.
+#[deprecated(note = "use `ColocationRun::…​.at(mean_interarrival).run()`")]
 pub fn run_colocation_at(
     device: &Arc<Device>,
     lc: &LcService,
@@ -245,29 +169,18 @@ pub fn run_colocation_at(
     config: &ExperimentConfig,
     mean_interarrival: SimTime,
 ) -> Result<RunReport, TackerError> {
-    let multi = run_multi_colocation_at(
-        device,
-        &[ServiceLoad {
-            lc: lc.clone(),
-            mean_interarrival,
-            seed: config.seed,
-        }],
-        be_apps,
-        policy,
-        config,
-    )?;
-    Ok(multi.into_single())
+    ColocationRun::new(device, config, std::slice::from_ref(lc), be_apps)?
+        .policy(policy)
+        .at(mean_interarrival)
+        .run()
 }
 
-/// [`run_colocation`] with a trace sink receiving runtime events: one
-/// [`TraceEvent::Decision`] per scheduling point, a
-/// [`TraceEvent::KernelRetired`] per device launch (with predicted vs.
-/// actual duration), plus fusion rejections, model refreshes, and query
-/// completions.
+/// `run_colocation` with a trace sink receiving runtime events.
 ///
 /// # Errors
 ///
-/// Same as [`run_colocation`].
+/// Same as `run_colocation`.
+#[deprecated(note = "use `ColocationRun::…​.traced(sink).run()`")]
 pub fn run_colocation_traced(
     device: &Arc<Device>,
     lc: &LcService,
@@ -276,153 +189,37 @@ pub fn run_colocation_traced(
     config: &ExperimentConfig,
     sink: Arc<dyn TraceSink>,
 ) -> Result<RunReport, TackerError> {
-    let peak = calibrate_peak_interarrival(device, lc, config)?;
-    let mean_interarrival = peak.mul_f64(1.0 / config.load_factor.max(1e-6));
-    let multi = run_multi_colocation_at_traced(
-        device,
-        &[ServiceLoad {
-            lc: lc.clone(),
-            mean_interarrival,
-            seed: config.seed,
-        }],
-        be_apps,
-        policy,
-        config,
-        sink,
-    )?;
-    Ok(multi.into_single())
-}
-
-/// One LC service with its configured load for a multi-service run.
-#[derive(Debug, Clone)]
-pub struct ServiceLoad {
-    /// The service.
-    pub lc: LcService,
-    /// Mean query inter-arrival time.
-    pub mean_interarrival: SimTime,
-    /// Seed of this service's arrival stream.
-    pub seed: u64,
-}
-
-/// Per-service results of a multi-service run.
-#[derive(Debug, Clone)]
-pub struct ServiceReport {
-    /// Service name.
-    pub name: String,
-    /// End-to-end latency of each completed query.
-    pub query_latencies: Vec<SimTime>,
-    /// Queries that missed the QoS target.
-    pub qos_violations: usize,
-    /// Streaming latency histogram (microseconds), shared with the run's
-    /// metrics registry under `query_latency_us.<service>`.
-    pub latency_histogram: Arc<Histogram>,
-}
-
-impl ServiceReport {
-    /// Mean query latency.
-    pub fn mean_latency(&self) -> SimTime {
-        metrics::mean(&self.query_latencies)
-    }
-
-    /// 99th-percentile query latency.
-    pub fn p99_latency(&self) -> SimTime {
-        metrics::percentile(&self.query_latencies, 99.0)
-    }
-}
-
-/// Outcome of a co-location run with one *or more* LC services
-/// (§VII-B-2's multiple-active-queries case, across services).
-#[derive(Debug)]
-pub struct MultiRunReport {
-    /// The scheduling policy used.
-    pub policy: Policy,
-    /// The QoS target.
-    pub qos_target: SimTime,
-    /// Per-service latency results.
-    pub services: Vec<ServiceReport>,
-    /// Total useful BE work completed.
-    pub be_work: SimTime,
-    /// BE kernels completed.
-    pub be_kernels: u64,
-    /// Fused launches performed.
-    pub fused_launches: u64,
-    /// BE kernels launched via reordering.
-    pub reordered_launches: u64,
-    /// Total simulated wall-clock time.
-    pub wall: SimTime,
-    /// Online model refreshes triggered.
-    pub model_refreshes: u64,
-    /// Device activity timeline, when recording was enabled.
-    pub timeline: Option<TimelineRecorder>,
-    /// Run-level metrics: decision counters, injection-budget gauge, and
-    /// the per-service latency histograms.
-    pub metrics: MetricsRegistry,
-}
-
-impl MultiRunReport {
-    /// BE work completed per second of wall time.
-    pub fn be_work_rate(&self) -> f64 {
-        if self.wall == SimTime::ZERO {
-            0.0
-        } else {
-            self.be_work.as_nanos() as f64 / self.wall.as_nanos() as f64
-        }
-    }
-
-    /// Whether every query of every service met the QoS target.
-    pub fn qos_met(&self) -> bool {
-        self.services.iter().all(|s| s.qos_violations == 0)
-    }
-
-    /// Collapses a single-service report into the single-service type.
-    ///
-    /// # Panics
-    ///
-    /// Panics unless the run had exactly one service.
-    pub fn into_single(mut self) -> RunReport {
-        assert_eq!(self.services.len(), 1, "into_single needs one service");
-        let svc = self.services.pop().expect("one service");
-        RunReport {
-            policy: self.policy,
-            query_latencies: svc.query_latencies,
-            qos_target: self.qos_target,
-            qos_violations: svc.qos_violations,
-            be_work: self.be_work,
-            be_kernels: self.be_kernels,
-            fused_launches: self.fused_launches,
-            reordered_launches: self.reordered_launches,
-            wall: self.wall,
-            model_refreshes: self.model_refreshes,
-            timeline: self.timeline,
-            latency_histogram: svc.latency_histogram,
-            metrics: self.metrics,
-        }
-    }
+    ColocationRun::new(device, config, std::slice::from_ref(lc), be_apps)?
+        .policy(policy)
+        .traced(sink)
+        .run()
 }
 
 /// Runs a co-location experiment with multiple LC services, each under its
-/// own calibrated 80%-of-peak load, sharing the device with the BE
-/// applications.
+/// own calibrated share of the configured load.
 ///
 /// # Errors
 ///
-/// Same as [`run_colocation`].
+/// Same as `run_colocation`.
+#[deprecated(note = "use `ColocationRun::new(device, config, lcs, be_apps)?.policy(p).run()`")]
 pub fn run_multi_colocation(
     device: &Arc<Device>,
     lcs: &[LcService],
     be_apps: &[BeApp],
     policy: Policy,
     config: &ExperimentConfig,
-) -> Result<MultiRunReport, TackerError> {
-    run_multi_colocation_traced(device, lcs, be_apps, policy, config, Arc::new(NoopSink))
+) -> Result<RunReport, TackerError> {
+    ColocationRun::new(device, config, lcs, be_apps)?
+        .policy(policy)
+        .run()
 }
 
-/// [`run_multi_colocation`] with a trace sink (see
-/// [`run_colocation_traced`]).
+/// `run_multi_colocation` with a trace sink.
 ///
 /// # Errors
 ///
-/// Same as [`run_colocation`].
+/// Same as `run_colocation`.
+#[deprecated(note = "use `ColocationRun::…​.traced(sink).run()`")]
 pub fn run_multi_colocation_traced(
     device: &Arc<Device>,
     lcs: &[LcService],
@@ -430,49 +227,39 @@ pub fn run_multi_colocation_traced(
     policy: Policy,
     config: &ExperimentConfig,
     sink: Arc<dyn TraceSink>,
-) -> Result<MultiRunReport, TackerError> {
-    let mut services = Vec::with_capacity(lcs.len());
-    for (i, lc) in lcs.iter().enumerate() {
-        let peak = calibrate_peak_interarrival(device, lc, config)?;
-        services.push(ServiceLoad {
-            lc: lc.clone(),
-            // Each service carries an equal share of the configured load so
-            // the combined LC demand stays feasible.
-            mean_interarrival: peak.mul_f64(lcs.len() as f64 / config.load_factor.max(1e-6)),
-            seed: config.seed.wrapping_add(i as u64),
-        });
-    }
-    run_multi_colocation_at_traced(device, &services, be_apps, policy, config, sink)
+) -> Result<RunReport, TackerError> {
+    ColocationRun::new(device, config, lcs, be_apps)?
+        .policy(policy)
+        .traced(sink)
+        .run()
 }
 
-/// [`run_multi_colocation`] with explicit per-service loads.
+/// `run_multi_colocation` with explicit per-service loads.
 ///
 /// # Errors
 ///
-/// Same as [`run_colocation`].
+/// Same as `run_colocation`.
+#[deprecated(note = "use `ColocationRun::…​.with_loads(services).run()`")]
 pub fn run_multi_colocation_at(
     device: &Arc<Device>,
     services: &[ServiceLoad],
     be_apps: &[BeApp],
     policy: Policy,
     config: &ExperimentConfig,
-) -> Result<MultiRunReport, TackerError> {
-    run_multi_colocation_at_traced(
-        device,
-        services,
-        be_apps,
-        policy,
-        config,
-        Arc::new(NoopSink),
-    )
+) -> Result<RunReport, TackerError> {
+    let lcs: Vec<LcService> = services.iter().map(|s| s.lc.clone()).collect();
+    ColocationRun::new(device, config, &lcs, be_apps)?
+        .policy(policy)
+        .with_loads(services)
+        .run()
 }
 
-/// [`run_multi_colocation_at`] with a trace sink (see
-/// [`run_colocation_traced`]).
+/// `run_multi_colocation_at` with a trace sink.
 ///
 /// # Errors
 ///
-/// Same as [`run_colocation`].
+/// Same as `run_colocation`.
+#[deprecated(note = "use `ColocationRun::…​.with_loads(services).traced(sink).run()`")]
 pub fn run_multi_colocation_at_traced(
     device: &Arc<Device>,
     services: &[ServiceLoad],
@@ -480,381 +267,13 @@ pub fn run_multi_colocation_at_traced(
     policy: Policy,
     config: &ExperimentConfig,
     sink: Arc<dyn TraceSink>,
-) -> Result<MultiRunReport, TackerError> {
-    if services.is_empty() || services.iter().any(|s| s.lc.query_kernels().is_empty()) {
-        return Err(TackerError::Config {
-            reason: "need at least one LC service, each with kernels".to_string(),
-        });
-    }
-    let tracing = sink.enabled();
-    let registry = MetricsRegistry::new();
-    let profiler = Arc::new(KernelProfiler::with_sink(
-        Arc::clone(device),
-        Arc::clone(&sink),
-    ));
-    let library = Arc::new(FusionLibrary::new(Arc::clone(&profiler)).with_jobs(config.jobs));
-    let manager = KernelManager::with_sink(
-        Arc::clone(&profiler),
-        Arc::clone(&library),
-        policy,
-        Arc::clone(&sink),
-    );
-    // Metric handles resolved once; hot-loop updates are atomic ops.
-    let m_decisions = registry.counter("decisions");
-    let m_violations = registry.counter("qos_violations");
-    let m_budget = registry.gauge("injection_budget_ns");
-    let m_latency_all = registry.histogram("query_latency_us");
-
-    // Per-service arrival streams: exponential gaps with bounded burstiness
-    // (clipped to [0.5, 2.2]x the mean), normalized so the realized mean
-    // equals the target. An unbounded open-loop Poisson stream at
-    // meaningful load has latency tails that *no* non-preemptive scheduler
-    // can keep under a 50 ms QoS; production inference frontends pace
-    // dispatch the same way (see DESIGN.md SS5).
-    let mut arrivals_per_service: Vec<Vec<SimTime>> = Vec::with_capacity(services.len());
-    for svc in services {
-        let mut rng = StdRng::seed_from_u64(svc.seed);
-        let mut gaps: Vec<f64> = (0..config.queries)
-            .map(|_| (-(rng.random::<f64>().max(1e-12)).ln()).clamp(0.5, 2.2))
-            .collect();
-        let mean_gap: f64 = gaps.iter().sum::<f64>() / gaps.len().max(1) as f64;
-        for g in &mut gaps {
-            *g /= mean_gap.max(1e-12);
-        }
-        let mut arrivals = Vec::with_capacity(config.queries);
-        let mut t = SimTime::ZERO;
-        for g in gaps {
-            t += svc.mean_interarrival.mul_f64(g);
-            arrivals.push(t);
-        }
-        arrivals_per_service.push(arrivals);
-    }
-
-    // Warm the profiler with one measurement of every LC kernel (the
-    // paper's "historical data": these exact kernels recur every query), so
-    // remaining-time accounting predicts them exactly.
-    let mut kernel_preds: Vec<Vec<SimTime>> = Vec::with_capacity(services.len());
-    let mut query_total_pred: Vec<SimTime> = Vec::with_capacity(services.len());
-    for svc in services {
-        for k in svc.lc.query_kernels() {
-            profiler.measure(k)?;
-        }
-        let preds: Vec<SimTime> = svc
-            .lc
-            .query_kernels()
-            .iter()
-            .map(|k| profiler.predict(k))
-            .collect::<Result<_, _>>()?;
-        query_total_pred.push(preds.iter().copied().sum());
-        kernel_preds.push(preds);
-    }
-
-    let mut be_states: Vec<BeState> = be_apps
-        .iter()
-        .map(|a| BeState {
-            app: a.clone(),
-            queue: VecDeque::new(),
-        })
-        .collect();
-
-    let mut now = SimTime::ZERO;
-    let mut next_arrival: Vec<usize> = vec![0; services.len()];
-    let mut active: VecDeque<ActiveQuery> = VecDeque::new();
-    // Best-effort injection budget. Headroom alone is blind to *future*
-    // arrivals: BE work injected into a busy period delays every query that
-    // joins that busy period later, 1:1. The budget therefore replenishes
-    // only during genuinely idle time and is capped at a small fraction of
-    // the QoS target, bounding how far any arrival cluster can be
-    // stretched by work injected before the cluster was visible.
-    // Signed, in nanoseconds: over-predictions drive it negative (debt),
-    // blocking further injection until idle time repays it.
-    let budget_cap = config.qos_target.mul_f64(0.08).as_nanos() as i128;
-    let mut budget: i128 = budget_cap * 3 / 10;
-    // Safety margin absorbing prediction noise when filling headroom.
-    let safety = config.qos_target.mul_f64(0.10);
-    let mut report = MultiRunReport {
-        policy,
-        qos_target: config.qos_target,
-        services: services
-            .iter()
-            .map(|svc| ServiceReport {
-                name: svc.lc.name().to_string(),
-                query_latencies: Vec::with_capacity(config.queries),
-                qos_violations: 0,
-                latency_histogram: registry
-                    .histogram(&format!("query_latency_us.{}", svc.lc.name())),
-            })
-            .collect(),
-        be_work: SimTime::ZERO,
-        be_kernels: 0,
-        fused_launches: 0,
-        reordered_launches: 0,
-        wall: SimTime::ZERO,
-        model_refreshes: 0,
-        timeline: config.record_timeline.then(TimelineRecorder::new),
-        metrics: registry.clone(),
-    };
-
-    let run_kernel = |wk: &WorkloadKernel| -> Result<tacker_sim::KernelRun, TackerError> {
-        Ok(device.run_launch(&wk.launch())?)
-    };
-    let total_queries = config.queries * services.len();
-    let mut completed = 0usize;
-
-    loop {
-        // Admit arrivals from every service, oldest first.
-        let mut due: Vec<(SimTime, usize)> = Vec::new();
-        for (si, arrivals) in arrivals_per_service.iter().enumerate() {
-            while next_arrival[si] < arrivals.len() && arrivals[next_arrival[si]] <= now {
-                due.push((arrivals[next_arrival[si]], si));
-                next_arrival[si] += 1;
-            }
-        }
-        due.sort();
-        for (arrival, si) in due {
-            active.push_back(ActiveQuery {
-                service: si,
-                arrival,
-                deadline: arrival + config.qos_target,
-                pending: (0..services[si].lc.query_kernels().len()).collect(),
-                remaining_pred: query_total_pred[si],
-            });
-        }
-        if active.is_empty() && completed >= total_queries {
-            break;
-        }
-
-        // QoS headroom: the tightest slack over all active queries, with
-        // each query reserving the remaining GPU time of itself and every
-        // earlier query (Equation 9), minus a small safety margin for
-        // prediction noise, and capped by the injection budget.
-        let mut headroom = SimTime::from_millis(u64::MAX / 2_000_000);
-        let mut cum = SimTime::ZERO;
-        for q in &active {
-            cum += q.remaining_pred;
-            let slack = q
-                .deadline
-                .saturating_sub(now)
-                .saturating_sub(cum)
-                .saturating_sub(safety);
-            headroom = headroom.min(slack);
-        }
-        if active.is_empty() {
-            headroom = SimTime::ZERO;
-        }
-        // Reordering whole BE kernels into the headroom is what stretches
-        // busy periods, so it is budget-capped. Fusion's extra time is an
-        // order of magnitude smaller per unit of BE work, so it gets a
-        // small grace on top of the budget — but its actual cost is still
-        // charged, driving the budget into debt that blocks further
-        // injection until idle time repays it.
-        let budget_time = SimTime::from_nanos(budget.max(0) as u64);
-        let reorder_headroom = headroom.min(budget_time);
-        // Fusion may run the budget into bounded debt: its extras are small
-        // and high-leverage, so a per-busy-period allowance (the grace, up
-        // to the debt floor) keeps cheap fusions flowing while expensive
-        // ones are cut off quickly.
-        let grace = config.qos_target.mul_f64(0.01);
-        let debt_floor = -(config.qos_target.mul_f64(0.05).as_nanos() as i128);
-        let fusion_headroom = if budget > debt_floor {
-            headroom.min(budget_time + grace)
-        } else {
-            SimTime::ZERO
-        };
-
-        let lc_head = active
-            .front()
-            .and_then(|q| q.pending.front().map(|&i| (q.service, i)))
-            .map(|(si, i)| &services[si].lc.query_kernels()[i]);
-        let be_heads: Vec<Option<WorkloadKernel>> = if policy.best_effort_enabled() {
-            be_states.iter_mut().map(|s| s.head()).collect()
-        } else {
-            vec![None; be_states.len()]
-        };
-
-        let was_idle = active.is_empty();
-        manager.set_now(now);
-        m_decisions.inc();
-        m_budget.set(budget as f64);
-        // With multiple active queries the oldest executes first and the
-        // Equation 9 headroom above already reserves the remaining GPU time
-        // of every query, so fusion stays enabled (§VII-B-2's accounting).
-        let decision =
-            manager.decide(lc_head, fusion_headroom, reorder_headroom, &be_heads, false)?;
-        // One KernelRetired event per device launch, carrying the
-        // manager's predicted duration next to the realized one.
-        let retire = |sink: &dyn TraceSink,
-                      run: &tacker_sim::KernelRun,
-                      label: &str,
-                      end: SimTime,
-                      predicted: SimTime| {
-            sink.record(TraceEvent::KernelRetired {
-                kernel: run.name.clone(),
-                label: label.into(),
-                start: end.saturating_sub(run.duration),
-                end,
-                tc_util: run.activity.tc_utilization(run.cycles),
-                cd_util: run.activity.cd_utilization(run.cycles),
-                predicted,
-                actual: run.duration,
-            });
-        };
-        match decision {
-            Decision::RunLc { predicted } => {
-                let q = active.front_mut().expect("RunLc implies an active query");
-                let si = q.service;
-                let idx = q
-                    .pending
-                    .pop_front()
-                    .expect("RunLc implies a pending kernel");
-                let run = run_kernel(&services[si].lc.query_kernels()[idx])?;
-                now += run.duration;
-                q.remaining_pred = q.remaining_pred.saturating_sub(kernel_preds[si][idx]);
-                if tracing {
-                    retire(sink.as_ref(), &run, "LC", now, predicted);
-                }
-                if let Some(tl) = report.timeline.as_mut() {
-                    tl.advance_to(now.saturating_sub(run.duration));
-                    tl.record(&run, "LC");
-                }
-            }
-            Decision::RunFused {
-                be_index,
-                launch,
-                entry,
-                x_tc,
-                x_cd,
-                lc_predicted,
-                predicted,
-                ..
-            } => {
-                let plan = ExecutablePlan::from_launch(device.spec(), &launch)?;
-                let run = device.run_plan(&plan)?;
-                now += run.duration;
-                if tracing {
-                    retire(sink.as_ref(), &run, "FUSED", now, predicted);
-                }
-                // LC kernel completed via fusion.
-                let q = active.front_mut().expect("fusion implies an active query");
-                let si = q.service;
-                let idx = q
-                    .pending
-                    .pop_front()
-                    .expect("fusion implies a pending kernel");
-                q.remaining_pred = q.remaining_pred.saturating_sub(kernel_preds[si][idx]);
-                // BE kernel completed via fusion: credit its solo work.
-                let be_wk = be_heads[be_index]
-                    .as_ref()
-                    .expect("fusion used this BE head");
-                report.be_work += profiler.measure(be_wk)?;
-                report.be_kernels += 1;
-                be_states[be_index].pop();
-                report.fused_launches += 1;
-                budget -= run.duration.saturating_sub(lc_predicted).as_nanos() as i128;
-                // Online model refresh (>10% error, §VI-C) and pair
-                // blacklisting when fusion lost to sequential (§VIII-I).
-                if entry
-                    .lock()
-                    .expect("entry poisoned")
-                    .observe_outcome(x_tc, x_cd, run.duration)
-                {
-                    report.model_refreshes += 1;
-                    if tracing {
-                        let actual = run.duration.as_nanos() as f64;
-                        let rel_error = if actual > 0.0 {
-                            (predicted.as_nanos() as f64 - actual).abs() / actual
-                        } else {
-                            0.0
-                        };
-                        sink.record(TraceEvent::ModelRefresh {
-                            kernel: run.name.clone(),
-                            rel_error,
-                        });
-                    }
-                }
-                if let Some(tl) = report.timeline.as_mut() {
-                    tl.advance_to(now.saturating_sub(run.duration));
-                    tl.record(&run, "FUSED");
-                }
-            }
-            Decision::RunBe {
-                be_index,
-                predicted,
-            } => {
-                let be_wk = be_heads[be_index].as_ref().expect("BE head exists");
-                let run = run_kernel(be_wk)?;
-                now += run.duration;
-                if tracing {
-                    retire(sink.as_ref(), &run, "BE", now, predicted);
-                }
-                report.be_work += run.duration;
-                report.be_kernels += 1;
-                be_states[be_index].pop();
-                if was_idle {
-                    // Free-running BE during idle replenishes the budget.
-                    budget = budget_cap.min(budget + run.duration.as_nanos() as i128);
-                } else {
-                    report.reordered_launches += 1;
-                    budget -= run.duration.as_nanos() as i128;
-                }
-                if let Some(tl) = report.timeline.as_mut() {
-                    tl.advance_to(now.saturating_sub(run.duration));
-                    tl.record(&run, "BE");
-                }
-            }
-            Decision::Idle => {
-                // Jump to the next arrival of any service; genuine idle
-                // replenishes the injection budget.
-                let upcoming = arrivals_per_service
-                    .iter()
-                    .zip(&next_arrival)
-                    .filter_map(|(a, &i)| a.get(i))
-                    .min()
-                    .copied();
-                match upcoming {
-                    Some(t) => {
-                        let target = now.max(t);
-                        budget =
-                            budget_cap.min(budget + target.saturating_sub(now).as_nanos() as i128);
-                        now = target;
-                    }
-                    None => break,
-                }
-            }
-        }
-
-        // Retire completed queries.
-        while let Some(q) = active.front() {
-            if q.pending.is_empty() {
-                let latency = now.saturating_sub(q.arrival);
-                let violated = latency > config.qos_target;
-                let svc = &mut report.services[q.service];
-                if violated {
-                    svc.qos_violations += 1;
-                    m_violations.inc();
-                }
-                svc.query_latencies.push(latency);
-                svc.latency_histogram.observe(latency.as_micros_f64());
-                m_latency_all.observe(latency.as_micros_f64());
-                if tracing {
-                    sink.record(TraceEvent::QueryCompleted {
-                        service: svc.name.as_str().into(),
-                        arrival: q.arrival,
-                        latency,
-                        violated,
-                    });
-                }
-                active.pop_front();
-                completed += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    report.wall = now;
-    sink.flush();
-    Ok(report)
+) -> Result<RunReport, TackerError> {
+    let lcs: Vec<LcService> = services.iter().map(|s| s.lc.clone()).collect();
+    ColocationRun::new(device, config, &lcs, be_apps)?
+        .policy(policy)
+        .with_loads(services)
+        .traced(sink)
+        .run()
 }
 
 #[cfg(test)]
@@ -890,13 +309,20 @@ mod tests {
         ExperimentConfig::default().with_queries(30).with_seed(42)
     }
 
+    fn run(device: &Arc<Device>, policy: Policy, cfg: &ExperimentConfig) -> RunReport {
+        ColocationRun::new(device, cfg, &[tiny_lc()], &[tiny_be()])
+            .unwrap()
+            .policy(policy)
+            .run()
+            .unwrap()
+    }
+
     #[test]
     fn lc_only_meets_qos_and_does_no_be_work() {
         let device = Arc::new(Device::new(GpuSpec::rtx2080ti()));
-        let r =
-            run_colocation(&device, &tiny_lc(), &[tiny_be()], Policy::LcOnly, &config()).unwrap();
-        assert_eq!(r.query_latencies.len(), 30);
-        assert!(r.qos_met(), "violations {}", r.qos_violations);
+        let r = run(&device, Policy::LcOnly, &config());
+        assert_eq!(r.query_count(), 30);
+        assert!(r.qos_met(), "violations {}", r.qos_violations());
         assert_eq!(r.be_kernels, 0);
         assert_eq!(r.fused_launches, 0);
     }
@@ -904,9 +330,8 @@ mod tests {
     #[test]
     fn baymax_reorders_and_meets_qos() {
         let device = Arc::new(Device::new(GpuSpec::rtx2080ti()));
-        let r =
-            run_colocation(&device, &tiny_lc(), &[tiny_be()], Policy::Baymax, &config()).unwrap();
-        assert!(r.qos_met(), "violations {}", r.qos_violations);
+        let r = run(&device, Policy::Baymax, &config());
+        assert!(r.qos_met(), "violations {}", r.qos_violations());
         assert!(r.be_kernels > 0);
         assert_eq!(r.fused_launches, 0);
         assert!(r.reordered_launches > 0);
@@ -915,11 +340,9 @@ mod tests {
     #[test]
     fn tacker_fuses_and_beats_baymax_throughput() {
         let device = Arc::new(Device::new(GpuSpec::rtx2080ti()));
-        let baymax =
-            run_colocation(&device, &tiny_lc(), &[tiny_be()], Policy::Baymax, &config()).unwrap();
-        let tacker =
-            run_colocation(&device, &tiny_lc(), &[tiny_be()], Policy::Tacker, &config()).unwrap();
-        assert!(tacker.qos_met(), "violations {}", tacker.qos_violations);
+        let baymax = run(&device, Policy::Baymax, &config());
+        let tacker = run(&device, Policy::Tacker, &config());
+        assert!(tacker.qos_met(), "violations {}", tacker.qos_violations());
         assert!(tacker.fused_launches > 0, "no fusions happened");
         assert!(
             tacker.be_work_rate() > baymax.be_work_rate(),
@@ -932,11 +355,9 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let device = Arc::new(Device::new(GpuSpec::rtx2080ti()));
-        let a =
-            run_colocation(&device, &tiny_lc(), &[tiny_be()], Policy::Tacker, &config()).unwrap();
-        let b =
-            run_colocation(&device, &tiny_lc(), &[tiny_be()], Policy::Tacker, &config()).unwrap();
-        assert_eq!(a.query_latencies, b.query_latencies);
+        let a = run(&device, Policy::Tacker, &config());
+        let b = run(&device, Policy::Tacker, &config());
+        assert_eq!(a.query_latencies(), b.query_latencies());
         assert_eq!(a.be_kernels, b.be_kernels);
     }
 
@@ -944,10 +365,8 @@ mod tests {
     fn timeline_recording_shows_overlap_only_for_tacker() {
         let device = Arc::new(Device::new(GpuSpec::rtx2080ti()));
         let cfg = config().with_timeline();
-        let baymax =
-            run_colocation(&device, &tiny_lc(), &[tiny_be()], Policy::Baymax, &cfg).unwrap();
-        let tacker =
-            run_colocation(&device, &tiny_lc(), &[tiny_be()], Policy::Tacker, &cfg).unwrap();
+        let baymax = run(&device, Policy::Baymax, &cfg);
+        let tacker = run(&device, Policy::Tacker, &cfg);
         let b_tl = baymax.timeline.unwrap();
         let t_tl = tacker.timeline.unwrap();
         assert_eq!(b_tl.both_active_time(), SimTime::ZERO);
@@ -973,16 +392,12 @@ mod tests {
             ],
         );
         let cfg = config().with_queries(20);
-        let r = crate::server::run_multi_colocation(
-            &device,
-            &[tiny_lc(), second],
-            &[tiny_be()],
-            Policy::Tacker,
-            &cfg,
-        )
-        .unwrap();
-        assert_eq!(r.services.len(), 2);
-        for svc in &r.services {
+        let r = ColocationRun::new(&device, &cfg, &[tiny_lc(), second], &[tiny_be()])
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(r.per_service().len(), 2);
+        for svc in r.per_service() {
             assert_eq!(svc.query_latencies.len(), 20, "{}", svc.name);
             assert_eq!(svc.qos_violations, 0, "{}", svc.name);
         }
@@ -991,28 +406,11 @@ mod tests {
     }
 
     #[test]
-    fn multi_report_into_single_roundtrip() {
-        let device = Arc::new(Device::new(GpuSpec::rtx2080ti()));
-        let cfg = config().with_queries(10);
-        let multi = crate::server::run_multi_colocation(
-            &device,
-            &[tiny_lc()],
-            &[tiny_be()],
-            Policy::Baymax,
-            &cfg,
-        )
-        .unwrap();
-        let latencies = multi.services[0].query_latencies.clone();
-        let single = multi.into_single();
-        assert_eq!(single.query_latencies, latencies);
-    }
-
-    #[test]
     fn empty_service_is_a_config_error() {
         let device = Arc::new(Device::new(GpuSpec::rtx2080ti()));
         let empty = LcService::new("empty", 1, vec![]);
         assert!(matches!(
-            run_colocation(&device, &empty, &[], Policy::Tacker, &config()),
+            ColocationRun::new(&device, &config(), &[empty], &[]).map(|_| ()),
             Err(TackerError::Config { .. })
         ));
     }

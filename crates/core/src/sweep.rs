@@ -21,7 +21,8 @@ use tacker_workloads::{BeApp, LcService};
 use crate::config::ExperimentConfig;
 use crate::error::TackerError;
 use crate::manager::Policy;
-use crate::server::{run_colocation, RunReport};
+use crate::report::RunReport;
+use crate::serve::ColocationRun;
 
 /// One (LC, BE, policy) cell of a sweep, with its completed run.
 #[derive(Debug)]
@@ -70,7 +71,14 @@ pub fn run_pair_sweep(
         let cfg = config
             .clone()
             .with_seed(cell_seed(config, lc.name(), be.name(), policy));
-        let report = run_colocation(device, lc, std::slice::from_ref(be), policy, &cfg)?;
+        let report = ColocationRun::new(
+            device,
+            &cfg,
+            std::slice::from_ref(lc),
+            std::slice::from_ref(be),
+        )?
+        .policy(policy)
+        .run()?;
         Ok(SweepCell {
             lc: lc.name().to_string(),
             be: be.name().to_string(),
@@ -103,8 +111,13 @@ pub fn run_improvement_sweep(
     }
     tacker_par::try_par_map(jobs, &pairs, |_, &(lc, be)| {
         let be_slice = std::slice::from_ref(be);
-        let baymax = run_colocation(device, lc, be_slice, Policy::Baymax, config)?;
-        let tacker = run_colocation(device, lc, be_slice, Policy::Tacker, config)?;
+        let lc_slice = std::slice::from_ref(lc);
+        let baymax = ColocationRun::new(device, config, lc_slice, be_slice)?
+            .policy(Policy::Baymax)
+            .run()?;
+        let tacker = ColocationRun::new(device, config, lc_slice, be_slice)?
+            .policy(Policy::Tacker)
+            .run()?;
         let imp = 100.0
             * crate::metrics::throughput_improvement(baymax.be_work_rate(), tacker.be_work_rate());
         Ok((
@@ -188,7 +201,7 @@ mod tests {
             ]
         );
         for c in &cells {
-            assert_eq!(c.report.query_latencies.len(), 10, "{}+{}", c.lc, c.be);
+            assert_eq!(c.report.query_count(), 10, "{}+{}", c.lc, c.be);
         }
     }
 }

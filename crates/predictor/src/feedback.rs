@@ -1,0 +1,179 @@
+//! Online predicted-vs-actual error feedback (the serving runtime's
+//! input to the adaptive QoS guard).
+//!
+//! The duration models in this crate are trained offline and refreshed
+//! only when a single observation misses by >10% (§VI-C). Under
+//! *sustained* misprediction — a faulty profile, interference the model
+//! never saw — individual refreshes are not enough: the scheduler needs
+//! a smoothed, per-kernel view of how wrong predictions have been
+//! recently, so it can widen safety margins and shed risky work.
+//! [`ErrorFeedback`] keeps one EWMA of the relative prediction error per
+//! kernel identity and exposes the worst sufficiently-sampled stream.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// An exponentially-weighted moving average of a nonnegative signal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+    value: f64,
+    count: u64,
+}
+
+impl Ewma {
+    /// Creates an empty EWMA with smoothing factor `alpha ∈ (0, 1]`
+    /// (larger = more responsive).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Ewma {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha {alpha} out of range");
+        Ewma {
+            alpha,
+            value: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Folds one observation in. The first observation initializes the
+    /// average exactly.
+    pub fn observe(&mut self, x: f64) {
+        self.count += 1;
+        if self.count == 1 {
+            self.value = x;
+        } else {
+            self.value += self.alpha * (x - self.value);
+        }
+    }
+
+    /// The current smoothed value (0.0 before any observation).
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Observations folded in so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Per-kernel EWMA registry of relative prediction errors.
+///
+/// Keys are opaque kernel identities (the caller supplies the stable
+/// content fingerprint); values are smoothed `|predicted − actual| /
+/// actual` streams.
+#[derive(Debug)]
+pub struct ErrorFeedback {
+    alpha: f64,
+    streams: Mutex<HashMap<u64, Ewma>>,
+}
+
+impl ErrorFeedback {
+    /// Creates a registry whose per-kernel EWMAs use `alpha`.
+    pub fn new(alpha: f64) -> ErrorFeedback {
+        ErrorFeedback {
+            alpha,
+            streams: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Folds one predicted-vs-actual pair (in nanoseconds) into the
+    /// kernel's error stream and returns the relative error of this
+    /// observation.
+    pub fn observe(&self, kernel: u64, predicted_ns: u64, actual_ns: u64) -> f64 {
+        let rel = if actual_ns == 0 {
+            0.0
+        } else {
+            (predicted_ns as f64 - actual_ns as f64).abs() / actual_ns as f64
+        };
+        self.streams
+            .lock()
+            .expect("feedback poisoned")
+            .entry(kernel)
+            .or_insert_with(|| Ewma::new(self.alpha))
+            .observe(rel);
+        rel
+    }
+
+    /// The smoothed error of one kernel's stream, if it has any samples.
+    pub fn error_of(&self, kernel: u64) -> Option<f64> {
+        self.streams
+            .lock()
+            .expect("feedback poisoned")
+            .get(&kernel)
+            .map(Ewma::value)
+    }
+
+    /// The worst smoothed error over every stream with at least
+    /// `min_samples` observations (0.0 when none qualifies). Streams
+    /// below the sample floor are ignored so a single noisy launch
+    /// cannot trip guard thresholds.
+    pub fn max_error(&self, min_samples: u64) -> f64 {
+        self.streams
+            .lock()
+            .expect("feedback poisoned")
+            .values()
+            .filter(|e| e.count() >= min_samples)
+            .map(Ewma::value)
+            .fold(0.0, f64::max)
+    }
+
+    /// Number of kernel streams tracked.
+    pub fn stream_count(&self) -> usize {
+        self.streams.lock().expect("feedback poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_initializes_then_smooths() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.value(), 0.0);
+        e.observe(1.0);
+        assert_eq!(e.value(), 1.0);
+        e.observe(0.0);
+        assert!((e.value() - 0.5).abs() < 1e-12);
+        assert_eq!(e.count(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_alpha_panics() {
+        let _ = Ewma::new(0.0);
+    }
+
+    #[test]
+    fn feedback_tracks_relative_error_per_kernel() {
+        let fb = ErrorFeedback::new(0.3);
+        let rel = fb.observe(1, 100, 150);
+        assert!((rel - 1.0 / 3.0).abs() < 1e-12);
+        fb.observe(2, 100, 100);
+        assert!((fb.error_of(1).unwrap() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(fb.error_of(2), Some(0.0));
+        assert_eq!(fb.error_of(3), None);
+        assert_eq!(fb.stream_count(), 2);
+    }
+
+    #[test]
+    fn max_error_respects_sample_floor() {
+        let fb = ErrorFeedback::new(0.5);
+        for _ in 0..4 {
+            fb.observe(7, 100, 200); // rel 0.5 each time
+        }
+        fb.observe(8, 1000, 100); // rel 9.0, but only one sample
+        assert!((fb.max_error(2) - 0.5).abs() < 1e-12);
+        assert!((fb.max_error(1) - 9.0).abs() < 1e-12);
+        assert_eq!(fb.max_error(10), 0.0);
+    }
+
+    #[test]
+    fn zero_actual_is_not_an_error() {
+        let fb = ErrorFeedback::new(0.5);
+        assert_eq!(fb.observe(1, 100, 0), 0.0);
+    }
+}

@@ -16,11 +16,13 @@
 //!   the paper's online refresh whenever prediction error exceeds 10%.
 
 pub mod error;
+pub mod feedback;
 pub mod fused_model;
 pub mod kernel_model;
 pub mod linreg;
 
 pub use error::PredictError;
+pub use feedback::{ErrorFeedback, Ewma};
 pub use fused_model::{FusedPairModel, Stage};
 pub use kernel_model::KernelDurationModel;
 pub use linreg::{LinReg, MultiLinReg};

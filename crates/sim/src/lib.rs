@@ -27,6 +27,7 @@ pub mod concurrent;
 pub mod device;
 pub mod engine;
 pub mod error;
+pub mod perturb;
 pub mod plan;
 pub mod power;
 pub mod queue;
@@ -41,6 +42,7 @@ pub use engine::{
     QueueKind,
 };
 pub use error::SimError;
+pub use perturb::scale_run;
 pub use plan::ExecutablePlan;
 pub use power::PowerModel;
 pub use result::{ActivitySummary, Interval, KernelRun};

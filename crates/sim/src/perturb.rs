@@ -1,0 +1,114 @@
+//! Seeded fault perturbation of completed kernel runs.
+//!
+//! The serving runtime's fault-injection layer (tacker-core) models
+//! duration mispredictions and stragglers by stretching the *realized*
+//! timing of a run while the predictor keeps using its unperturbed
+//! history. The stretch happens here, on the [`KernelRun`] a device
+//! execution returned — never inside the device itself, so the memoized
+//! execution caches stay fault-free and shareable across runs with
+//! different fault plans.
+
+use tacker_kernel::Cycles;
+
+use crate::result::{Interval, KernelRun};
+
+/// Returns a copy of `run` with every timing stretched by `factor`
+/// (≥ 1.0 inflates, < 1.0 would shrink — clamped to ≥ 0.0).
+///
+/// Scales the makespan (cycles and wall duration), the pipeline
+/// busy-time summary, the busy intervals, and the per-role finish
+/// cycles, preserving the run's internal proportions: utilizations and
+/// the co-run/solo-run phase split are invariant under the stretch.
+/// Event counts, occupancy and DRAM bytes describe *what* the engine
+/// did, not how long it took, and pass through unchanged.
+pub fn scale_run(run: &KernelRun, factor: f64) -> KernelRun {
+    let factor = factor.max(0.0);
+    let scale_cycles = |c: Cycles| Cycles::new((c.get() as f64 * factor).round() as u64);
+    let scale_intervals = |ivs: &[Interval]| {
+        ivs.iter()
+            .map(|iv| Interval {
+                start: iv.start * factor,
+                end: iv.end * factor,
+            })
+            .collect()
+    };
+    KernelRun {
+        name: run.name.clone(),
+        cycles: scale_cycles(run.cycles),
+        duration: run.duration.mul_f64(factor),
+        activity: crate::result::ActivitySummary {
+            tc_busy: scale_cycles(run.activity.tc_busy),
+            cd_busy: scale_cycles(run.activity.cd_busy),
+        },
+        tc_intervals: scale_intervals(&run.tc_intervals),
+        cd_intervals: scale_intervals(&run.cd_intervals),
+        role_finish: run
+            .role_finish
+            .iter()
+            .map(|(n, c)| (n.clone(), scale_cycles(*c)))
+            .collect(),
+        occupancy: run.occupancy,
+        dram_bytes: run.dram_bytes,
+        events: run.events,
+        pops: run.pops,
+        macro_runs: run.macro_runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::ActivitySummary;
+    use tacker_kernel::SimTime;
+
+    fn run() -> KernelRun {
+        KernelRun {
+            name: "k".into(),
+            cycles: Cycles::new(1000),
+            duration: SimTime::from_nanos(2000),
+            activity: ActivitySummary {
+                tc_busy: Cycles::new(600),
+                cd_busy: Cycles::new(400),
+            },
+            tc_intervals: vec![Interval {
+                start: 0.0,
+                end: 600.0,
+            }],
+            cd_intervals: vec![],
+            role_finish: vec![("tc".into(), Cycles::new(600))],
+            occupancy: 4,
+            dram_bytes: 128.0,
+            events: 10,
+            pops: 10,
+            macro_runs: 0,
+        }
+    }
+
+    #[test]
+    fn scale_stretches_timings_uniformly() {
+        let s = scale_run(&run(), 1.5);
+        assert_eq!(s.cycles, Cycles::new(1500));
+        assert_eq!(s.duration, SimTime::from_nanos(3000));
+        assert_eq!(s.activity.tc_busy, Cycles::new(900));
+        assert_eq!(s.tc_intervals[0].end, 900.0);
+        assert_eq!(s.role_finish[0].1, Cycles::new(900));
+    }
+
+    #[test]
+    fn scale_preserves_utilization_and_structure() {
+        let r = run();
+        let s = scale_run(&r, 2.0);
+        let u0 = r.activity.tc_utilization(r.cycles);
+        let u1 = s.activity.tc_utilization(s.cycles);
+        assert!((u0 - u1).abs() < 1e-9);
+        assert_eq!(s.occupancy, r.occupancy);
+        assert_eq!(s.events, r.events);
+        assert_eq!(s.dram_bytes, r.dram_bytes);
+    }
+
+    #[test]
+    fn unit_factor_is_identity() {
+        let r = run();
+        assert_eq!(scale_run(&r, 1.0), r);
+    }
+}

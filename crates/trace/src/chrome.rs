@@ -243,6 +243,66 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                     ],
                 });
             }
+            TraceEvent::GuardStep {
+                at,
+                from,
+                to,
+                reason,
+                ewma_error,
+                pressure,
+            } => {
+                out.push(ChromeEvent {
+                    name: format!("guard:{from}->{to}"),
+                    cat: "scheduler",
+                    ph: 'i',
+                    ts: at.as_micros_f64(),
+                    dur: None,
+                    tid: TID_SCHEDULER,
+                    args: vec![
+                        ("reason".into(), jstr(reason)),
+                        ("ewma_error".into(), jf(*ewma_error)),
+                        ("pressure".into(), jf(*pressure)),
+                    ],
+                });
+            }
+            TraceEvent::FaultInjected {
+                at,
+                kind,
+                kernel,
+                factor,
+            } => {
+                out.push(ChromeEvent {
+                    name: format!("fault:{kind}"),
+                    cat: "fault",
+                    ph: 'i',
+                    ts: at.as_micros_f64(),
+                    dur: None,
+                    tid: TID_SCHEDULER,
+                    args: vec![
+                        ("kernel".into(), jstr(kernel)),
+                        ("factor".into(), jf(*factor)),
+                    ],
+                });
+            }
+            TraceEvent::QosViolation {
+                at,
+                service,
+                latency,
+                target,
+            } => {
+                out.push(ChromeEvent {
+                    name: format!("violation:{service}"),
+                    cat: "qos",
+                    ph: 'i',
+                    ts: at.as_micros_f64(),
+                    dur: None,
+                    tid: TID_QOS,
+                    args: vec![
+                        ("latency_us".into(), jf(latency.as_micros_f64())),
+                        ("target_us".into(), jf(target.as_micros_f64())),
+                    ],
+                });
+            }
             // Cycle-domain engine events don't map onto the device
             // wall-clock timeline.
             _ => {}

@@ -295,6 +295,46 @@ pub enum TraceEvent {
         /// Whether the query missed the QoS target.
         violated: bool,
     },
+    /// The adaptive QoS guard moved along its degradation ladder.
+    GuardStep {
+        /// Device wall-clock instant of the step.
+        at: SimTime,
+        /// Ladder level before the step (`"fuse"`, `"reorder_only"`,
+        /// `"lc_only"`).
+        from: Name,
+        /// Ladder level after the step.
+        to: Name,
+        /// What tripped (or cleared) the step (`"error"`, `"pressure"`,
+        /// `"recovered"`).
+        reason: Name,
+        /// Worst per-kernel EWMA relative prediction error at the step.
+        ewma_error: f64,
+        /// EWMA of the QoS-violation indicator at the step.
+        pressure: f64,
+    },
+    /// A fault-plan perturbation was applied.
+    FaultInjected {
+        /// Device wall-clock instant of the injection.
+        at: SimTime,
+        /// Fault class (`"mispredict"`, `"straggler"`, `"be_flood"`,
+        /// `"predictor_outage"`).
+        kind: Name,
+        /// The kernel affected (empty for window faults).
+        kernel: Name,
+        /// Perturbation factor applied (1.0 for window faults).
+        factor: f64,
+    },
+    /// One LC query missed its QoS target.
+    QosViolation {
+        /// Device wall-clock instant the query completed.
+        at: SimTime,
+        /// Service name.
+        service: Name,
+        /// End-to-end latency of the violating query.
+        latency: SimTime,
+        /// The QoS target it missed.
+        target: SimTime,
+    },
 }
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -346,6 +386,9 @@ impl TraceEvent {
             TraceEvent::PredictionError { .. } => "prediction_error",
             TraceEvent::ModelRefresh { .. } => "model_refresh",
             TraceEvent::QueryCompleted { .. } => "query_completed",
+            TraceEvent::GuardStep { .. } => "guard_step",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
+            TraceEvent::QosViolation { .. } => "qos_violation",
         }
     }
 
@@ -517,6 +560,43 @@ impl TraceEvent {
                 push_time_field(&mut out, "arrival", *arrival);
                 push_time_field(&mut out, "latency", *latency);
                 let _ = write!(out, ",\"violated\":{violated}");
+            }
+            TraceEvent::GuardStep {
+                at,
+                from,
+                to,
+                reason,
+                ewma_error,
+                pressure,
+            } => {
+                push_time_field(&mut out, "at", *at);
+                push_str_field(&mut out, "from", from);
+                push_str_field(&mut out, "to", to);
+                push_str_field(&mut out, "reason", reason);
+                let _ = write!(out, ",\"ewma_error\":{ewma_error:.6}");
+                let _ = write!(out, ",\"pressure\":{pressure:.6}");
+            }
+            TraceEvent::FaultInjected {
+                at,
+                kind,
+                kernel,
+                factor,
+            } => {
+                push_time_field(&mut out, "at", *at);
+                push_str_field(&mut out, "kind", kind);
+                push_str_field(&mut out, "kernel", kernel);
+                let _ = write!(out, ",\"factor\":{factor:.4}");
+            }
+            TraceEvent::QosViolation {
+                at,
+                service,
+                latency,
+                target,
+            } => {
+                push_time_field(&mut out, "at", *at);
+                push_str_field(&mut out, "service", service);
+                push_time_field(&mut out, "latency", *latency);
+                push_time_field(&mut out, "target", *target);
             }
         }
         out.push('}');

@@ -28,12 +28,14 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
     let mut rates = Vec::new();
     for policy in [Policy::Baymax, Policy::Tacker] {
-        let r = run_colocation(&device, &lc, &be, policy, &config)?;
+        let r = ColocationRun::new(&device, &config, std::slice::from_ref(&lc), &be)?
+            .policy(policy)
+            .run()?;
         println!("== {policy:?} ==");
         println!(
             "  mean latency {:.2} ms, p99 {:.2} ms, QoS {}",
-            r.mean_latency().as_millis_f64(),
-            r.p99_latency().as_millis_f64(),
+            r.mean_latency().ok_or("queries completed")?.as_millis_f64(),
+            r.p99_latency().ok_or("queries completed")?.as_millis_f64(),
             if r.qos_met() { "met" } else { "violated" }
         );
         println!(

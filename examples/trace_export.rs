@@ -16,7 +16,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     let lc = tacker_workloads::lc_service("Resnet50", &device).ok_or("service")?;
     let be = vec![tacker_workloads::be_app("mriq").ok_or("app")?];
     let config = ExperimentConfig::default().with_queries(10).with_timeline();
-    let report = run_colocation(&device, &lc, &be, Policy::Tacker, &config)?;
+    let report = ColocationRun::new(&device, &config, std::slice::from_ref(&lc), &be)?
+        .policy(Policy::Tacker)
+        .run()?;
     let timeline = report.timeline.ok_or("timeline enabled")?;
     eprintln!(
         "exporting {} timeline entries ({} fused launches)…",

@@ -88,7 +88,7 @@ fn second_sweep_run_hits_fused_cache() {
         "second identical sweep re-simulated fused launches"
     );
     for (c, w) in cold.iter().zip(&warm) {
-        assert_eq!(c.report.query_latencies, w.report.query_latencies);
+        assert_eq!(c.report.query_latencies(), w.report.query_latencies());
     }
 }
 

@@ -222,15 +222,12 @@ fn traced_colocation_exports_decisions_with_predicted_vs_actual() {
     let be = tacker_workloads::be_app("sgemm").expect("app");
     let config = ExperimentConfig::default().with_queries(8);
     let ring = Arc::new(RingSink::unbounded());
-    let report = tacker::server::run_colocation_traced(
-        &device,
-        &lc,
-        &[be],
-        Policy::Tacker,
-        &config,
-        ring.clone() as Arc<dyn TraceSink>,
-    )
-    .expect("traced run");
+    let report = tacker::ColocationRun::new(&device, &config, std::slice::from_ref(&lc), &[be])
+        .expect("traced run")
+        .policy(Policy::Tacker)
+        .traced(ring.clone() as Arc<dyn TraceSink>)
+        .run()
+        .expect("traced run");
 
     let events = ring.events();
     let decisions = events
@@ -252,7 +249,7 @@ fn traced_colocation_exports_decisions_with_predicted_vs_actual() {
     assert_eq!(report.metrics.counter("decisions").get(), decisions as u64);
     assert_eq!(
         report.latency_histogram.count(),
-        report.query_latencies.len() as u64
+        report.query_count() as u64
     );
 
     let json = chrome_trace(&events);

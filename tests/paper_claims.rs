@@ -167,13 +167,20 @@ fn tacker_beats_baymax_with_qos() {
         .with_seed(11)
         .with_timeline();
 
-    let baymax = tacker::run_colocation(&dev, &lc, &be, Policy::Baymax, &config).expect("baymax");
-    let tacker = tacker::run_colocation(&dev, &lc, &be, Policy::Tacker, &config).expect("tacker");
+    let run = |policy| {
+        tacker::ColocationRun::new(&dev, &config, std::slice::from_ref(&lc), &be)
+            .expect("run")
+            .policy(policy)
+            .run()
+            .expect("run")
+    };
+    let baymax = run(Policy::Baymax);
+    let tacker = run(Policy::Tacker);
 
     assert!(
         tacker.qos_met(),
         "QoS violations: {}",
-        tacker.qos_violations
+        tacker.qos_violations()
     );
     assert!(baymax.qos_met());
     assert!(
@@ -199,9 +206,16 @@ fn colocation_runs_are_reproducible() {
     let lc = small_lc();
     let be = vec![BeApp::new("fft", Intensity::Compute, Benchmark::Fft.task())];
     let config = ExperimentConfig::default().with_queries(25).with_seed(3);
-    let a = tacker::run_colocation(&dev, &lc, &be, Policy::Tacker, &config).expect("a");
-    let b = tacker::run_colocation(&dev, &lc, &be, Policy::Tacker, &config).expect("b");
-    assert_eq!(a.query_latencies, b.query_latencies);
+    let run = || {
+        tacker::ColocationRun::new(&dev, &config, std::slice::from_ref(&lc), &be)
+            .expect("run")
+            .policy(Policy::Tacker)
+            .run()
+            .expect("run")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.query_latencies(), b.query_latencies());
     assert_eq!(a.fused_launches, b.fused_launches);
     assert_eq!(a.be_work, b.be_work);
 }

@@ -64,11 +64,19 @@ fn two_by_three_sweep_is_identical_at_jobs_1_and_4() {
             (p.lc.as_str(), p.be.as_str(), p.policy)
         );
         let tag = format!("{}+{} {:?}", s.lc, s.be, s.policy);
-        assert_eq!(s.report.query_latencies, p.report.query_latencies, "{tag}");
+        assert_eq!(
+            s.report.query_latencies(),
+            p.report.query_latencies(),
+            "{tag}"
+        );
         assert_eq!(s.report.fused_launches, p.report.fused_launches, "{tag}");
         assert_eq!(s.report.be_work, p.report.be_work, "{tag}");
         assert_eq!(s.report.be_kernels, p.report.be_kernels, "{tag}");
-        assert_eq!(s.report.qos_violations, p.report.qos_violations, "{tag}");
+        assert_eq!(
+            s.report.qos_violations(),
+            p.report.qos_violations(),
+            "{tag}"
+        );
         assert_eq!(s.report.wall, p.report.wall, "{tag}");
     }
 }
@@ -101,7 +109,7 @@ fn shared_device_cache_does_not_change_results() {
         "warm sweep reported no fused cache hits"
     );
     for (c, w) in cold.iter().zip(&warm) {
-        assert_eq!(c.report.query_latencies, w.report.query_latencies);
+        assert_eq!(c.report.query_latencies(), w.report.query_latencies());
         assert_eq!(c.report.be_work, w.report.be_work);
     }
 }

@@ -202,15 +202,12 @@ fn traced_decisions(policy: Policy) -> Vec<tacker_trace::TraceEvent> {
     let be = tacker_workloads::be_app("sgemm").expect("app");
     let config = tacker::ExperimentConfig::default().with_queries(8);
     let ring = Arc::new(tacker_trace::RingSink::unbounded());
-    tacker::server::run_colocation_traced(
-        &device,
-        &lc,
-        &[be],
-        policy,
-        &config,
-        ring.clone() as Arc<dyn TraceSink>,
-    )
-    .expect("traced run");
+    tacker::ColocationRun::new(&device, &config, std::slice::from_ref(&lc), &[be])
+        .expect("traced run")
+        .policy(policy)
+        .traced(ring.clone() as Arc<dyn TraceSink>)
+        .run()
+        .expect("traced run");
     ring.events()
 }
 

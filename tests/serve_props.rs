@@ -1,0 +1,112 @@
+//! Property tests for the serving runtime: a zero-fault serve is the
+//! batch run — same arrivals, same decisions, same report — and the
+//! deprecated `run_colocation*` entry points are exact shims over the
+//! `ColocationRun` builder.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use tacker::prelude::*;
+use tacker_sim::{Device, GpuSpec};
+use tacker_workloads::gemm::{gemm_workload, GemmShape};
+use tacker_workloads::parboil::Benchmark;
+use tacker_workloads::{BeApp, Intensity, LcService};
+
+fn lc_service(gemm_m: u64) -> LcService {
+    let gemm = tacker_workloads::dnn::compile::shared_gemm();
+    LcService::new(
+        format!("svc-{gemm_m}"),
+        8,
+        vec![
+            gemm_workload(&gemm, GemmShape::new(gemm_m, 1024, 512)),
+            tacker_workloads::dnn::elementwise::elementwise_workload(
+                &tacker_workloads::dnn::elementwise::relu(),
+                2_000_000,
+            ),
+            gemm_workload(&gemm, GemmShape::new(gemm_m / 2, 1024, 512)),
+        ],
+    )
+}
+
+fn be_pick(i: usize) -> BeApp {
+    let bench = [
+        Benchmark::Mriq,
+        Benchmark::Fft,
+        Benchmark::Cutcp,
+        Benchmark::Lbm,
+    ][i];
+    BeApp::new(bench.name(), Intensity::Compute, bench.task())
+}
+
+proptest! {
+    // Each case runs several full co-location simulations; keep it small.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Serving with explicit zero-fault `ServeOptions` (Poisson arrivals,
+    /// empty fault plan, guard armed) reproduces the batch run bit for
+    /// bit, and the guard never steps off the fuse level: the batch sweep
+    /// and the serving runtime are one engine.
+    #[test]
+    fn zero_fault_serve_reproduces_batch_verdicts(
+        seed in 0u64..1000,
+        gemm_m in 1024u64..4096,
+        pick in 0usize..4,
+        guarded in 0u8..2,
+    ) {
+        let guarded = guarded == 1;
+        let device = Arc::new(Device::new(GpuSpec::rtx2080ti()));
+        let lc = lc_service(gemm_m);
+        let be = vec![be_pick(pick)];
+        let config = ExperimentConfig::default().with_queries(12).with_seed(seed);
+
+        let batch = ColocationRun::new(&device, &config, std::slice::from_ref(&lc), &be)
+            .expect("batch").policy(Policy::Tacker).run().expect("batch");
+        let mut serve = ColocationRun::new(&device, &config, std::slice::from_ref(&lc), &be)
+            .expect("serve")
+            .policy(Policy::Tacker)
+            .arrivals(ArrivalSpec::Poisson)
+            .faults(FaultPlan::none());
+        if guarded {
+            serve = serve.guarded(GuardConfig::default());
+        }
+        let serve = serve.run().expect("serve");
+
+        prop_assert_eq!(batch.query_latencies(), serve.query_latencies());
+        prop_assert_eq!(batch.qos_violations(), serve.qos_violations());
+        prop_assert_eq!(batch.qos_met(), serve.qos_met());
+        prop_assert_eq!(batch.fused_launches, serve.fused_launches);
+        prop_assert_eq!(batch.be_work, serve.be_work);
+        prop_assert_eq!(batch.wall, serve.wall);
+        // No faults → exact predictions → the guard never fires.
+        prop_assert_eq!(serve.guard_steps, 0);
+        prop_assert_eq!(serve.faults_injected, 0);
+        if guarded {
+            prop_assert_eq!(serve.guard_level, Some(GuardLevel::Fuse));
+        }
+    }
+
+    /// The deprecated entry points are one-line shims: byte-identical
+    /// reports to the builder they forward to.
+    #[test]
+    fn deprecated_shims_match_builder(
+        seed in 0u64..1000,
+        pick in 0usize..4,
+    ) {
+        let device = Arc::new(Device::new(GpuSpec::rtx2080ti()));
+        let lc = lc_service(2048);
+        let be = vec![be_pick(pick)];
+        let config = ExperimentConfig::default().with_queries(10).with_seed(seed);
+
+        #[allow(deprecated)]
+        let shim = tacker::server::run_colocation(&device, &lc, &be, Policy::Tacker, &config)
+            .expect("shim");
+        let builder = ColocationRun::new(&device, &config, std::slice::from_ref(&lc), &be)
+            .expect("builder").policy(Policy::Tacker).run().expect("builder");
+
+        prop_assert_eq!(shim.query_latencies(), builder.query_latencies());
+        prop_assert_eq!(shim.fused_launches, builder.fused_launches);
+        prop_assert_eq!(shim.reordered_launches, builder.reordered_launches);
+        prop_assert_eq!(shim.be_work, builder.be_work);
+        prop_assert_eq!(shim.wall, builder.wall);
+    }
+}

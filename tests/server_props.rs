@@ -46,20 +46,25 @@ proptest! {
         let be = vec![BeApp::new(bench.name(), Intensity::Compute, bench.task())];
         let config = ExperimentConfig::default().with_queries(15).with_seed(seed);
 
-        let baymax = run_colocation(&device, &lc, &be, Policy::Baymax, &config)
-            .expect("baymax runs");
-        let tacker = run_colocation(&device, &lc, &be, Policy::Tacker, &config)
-            .expect("tacker runs");
+        let run = |policy| {
+            ColocationRun::new(&device, &config, std::slice::from_ref(&lc), &be)
+                .expect("run builds")
+                .policy(policy)
+                .run()
+                .expect("run completes")
+        };
+        let baymax = run(Policy::Baymax);
+        let tacker = run(Policy::Tacker);
 
+        let baymax_p99 = baymax.p99_latency().expect("baymax queries completed");
+        let tacker_p99 = tacker.p99_latency().expect("tacker queries completed");
         prop_assert!(
-            baymax.p99_latency() <= config.qos_target,
-            "baymax p99 {} exceeds QoS (seed {seed})",
-            baymax.p99_latency()
+            baymax_p99 <= config.qos_target,
+            "baymax p99 {baymax_p99} exceeds QoS (seed {seed})"
         );
         prop_assert!(
-            tacker.p99_latency() <= config.qos_target,
-            "tacker p99 {} exceeds QoS (seed {seed})",
-            tacker.p99_latency()
+            tacker_p99 <= config.qos_target,
+            "tacker p99 {tacker_p99} exceeds QoS (seed {seed})"
         );
         // Tacker's throughput is never meaningfully below Baymax's.
         prop_assert!(
@@ -69,6 +74,6 @@ proptest! {
             baymax.be_work_rate()
         );
         // Latency vectors are complete and non-negative by construction.
-        prop_assert_eq!(tacker.query_latencies.len(), config.queries);
+        prop_assert_eq!(tacker.query_count(), config.queries);
     }
 }
