@@ -11,6 +11,7 @@ use tacker::manager::{KernelManager, Policy};
 use tacker::profile::KernelProfiler;
 use tacker::serve::ColocationRun;
 use tacker::{ExperimentConfig, RunReport};
+use tacker_bench::cpu_time_ticks;
 use tacker_kernel::SimTime;
 use tacker_sim::{Device, GpuSpec};
 use tacker_trace::{NoopSink, RingSink, TraceSink};
@@ -152,30 +153,6 @@ fn bench_trace_overhead(c: &mut Criterion) {
         noop_overhead < 2.0,
         "disabled-tracing path exceeded the 2% overhead budget: {noop_overhead:+.2}%"
     );
-}
-
-/// CPU time (user + system) consumed by this process, in clock ticks.
-/// Falls back to wall-clock milliseconds off Linux; only ratios are used.
-fn cpu_time_ticks() -> u64 {
-    if let Ok(stat) = std::fs::read_to_string("/proc/self/stat") {
-        // Fields after the parenthesized comm: utime is the 12th, stime
-        // the 13th (fields 14 and 15 of the full line).
-        if let Some(rest) = stat.rsplit(')').next() {
-            let fields: Vec<&str> = rest.split_whitespace().collect();
-            if let (Some(ut), Some(st)) = (fields.get(11), fields.get(12)) {
-                if let (Ok(ut), Ok(st)) = (ut.parse::<u64>(), st.parse::<u64>()) {
-                    return ut + st;
-                }
-            }
-        }
-    }
-    u64::try_from(
-        std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .expect("clock")
-            .as_millis(),
-    )
-    .expect("fits")
 }
 
 criterion_group!(benches, bench_decisions, bench_trace_overhead);

@@ -95,3 +95,37 @@ pub fn pair_improvement(
 pub fn pct(v: f64) -> String {
     format!("{v:>6.1}%")
 }
+
+/// CPU time (user + system) consumed by this process, in clock ticks.
+/// Falls back to wall-clock milliseconds off Linux; only ratios are used.
+///
+/// Shared by the overhead gates (the Criterion trace-overhead bench and
+/// `serve_bench --check`'s telemetry gate): on a shared machine wall-clock
+/// carries bursty preemption/steal noise, while CPU time doesn't bill
+/// preemption to the process.
+///
+/// # Panics
+///
+/// Panics only in the non-Linux fallback if the system clock reads before
+/// the Unix epoch.
+pub fn cpu_time_ticks() -> u64 {
+    if let Ok(stat) = std::fs::read_to_string("/proc/self/stat") {
+        // Fields after the parenthesized comm: utime is the 12th, stime
+        // the 13th (fields 14 and 15 of the full line).
+        if let Some(rest) = stat.rsplit(')').next() {
+            let fields: Vec<&str> = rest.split_whitespace().collect();
+            if let (Some(ut), Some(st)) = (fields.get(11), fields.get(12)) {
+                if let (Ok(ut), Ok(st)) = (ut.parse::<u64>(), st.parse::<u64>()) {
+                    return ut + st;
+                }
+            }
+        }
+    }
+    u64::try_from(
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock")
+            .as_millis(),
+    )
+    .expect("fits")
+}

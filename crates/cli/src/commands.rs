@@ -27,6 +27,9 @@ USAGE:
   tacker-cli serve    --lc <service> --be <app> [--policy ...] [--queries N]
              [--seed N] [--faults <plan>] [--arrivals poisson|bursty:N]
              [--guard] [--gpu 2080ti|v100] [--json] [--trace <out.json>]
+             [--metrics-out <prom.txt>] [--timeseries-out <out.jsonl>]
+             [--window-us N]
+  tacker-cli stats    --in <prom.txt | out.jsonl>
   tacker-cli sweep    --lc <svc,svc,...> --be <app,app,...>
              [--policy tacker|baymax|fusion-only] [--queries N] [--seed N]
              [--gpu 2080ti|v100] [--jobs N] [--json]
@@ -53,6 +56,13 @@ plan: `mispredict:<mult>:<frac>`, `straggler:<mult>:<frac>`,
 `none` (e.g. `--faults mispredict:1.5:0.2,outage:30:10`). `--guard` enables
 the adaptive QoS guard (headroom-margin inflation + the fuse → reorder-only
 → LC-only degradation ladder).
+
+`--metrics-out <path>` writes the run's metrics registry (counters, gauges
+and latency histograms) as Prometheus text exposition. `--timeseries-out
+<path>` enables windowed telemetry and writes one JSON object per non-empty
+window (utilization, headroom, guard level, arrivals/violations, cache hit
+rate); `--window-us N` sets the window width (default 1000, implies
+windowed telemetry). `stats` summarizes either export format.
 ";
 
 /// Dispatches a command line.
@@ -71,6 +81,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "colocate" => colocate(&flags),
         "multi" => multi(&flags),
         "serve" => serve(&flags),
+        "stats" => stats(&flags),
         "sweep" => sweep(&flags),
         "trace" => trace(&flags),
         "fuse" => fuse(&flags),
@@ -346,6 +357,12 @@ fn serve(flags: &Flags) -> Result<(), String> {
     if flags.has("guard") {
         run = run.guarded(GuardConfig::default());
     }
+    // Windowed telemetry: on when a time-series output is requested or a
+    // window width is given explicitly.
+    let window_us = flags.get_u64("window-us", 1000)?.max(1);
+    if flags.get("timeseries-out").is_some() || flags.get("window-us").is_some() {
+        run = run.windowed(SimTime::from_micros(window_us));
+    }
     let ring = flags.get("trace").map(|_| Arc::new(RingSink::unbounded()));
     if let Some(ring) = &ring {
         run = run.traced(Arc::clone(ring) as Arc<dyn tacker_trace::TraceSink>);
@@ -353,6 +370,19 @@ fn serve(flags: &Flags) -> Result<(), String> {
     let report = run.run().map_err(|e| e.to_string())?;
     if let (Some(ring), Some(path)) = (&ring, flags.get("trace")) {
         write_chrome_trace(ring, path)?;
+    }
+    if let Some(path) = flags.get("metrics-out") {
+        std::fs::write(path, tacker_trace::prometheus_text(&report.metrics))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote Prometheus metrics to {path}");
+    }
+    if let Some(path) = flags.get("timeseries-out") {
+        std::fs::write(path, tacker_trace::timeseries_jsonl(&report.windows))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!(
+            "wrote {} telemetry windows ({window_us} us wide) to {path}",
+            report.windows.len()
+        );
     }
     if flags.has("json") {
         println!("{}", serve_json(lc.name(), &report));
@@ -387,7 +417,23 @@ fn serve(flags: &Flags) -> Result<(), String> {
                 .map(|l| format!(" | guard level {}", l.name()))
                 .unwrap_or_default()
         );
+        if !report.violation_log.is_empty() {
+            println!(
+                "  violations attributed {} (guard rung, faults in flight, BE co-runner, \
+                 queue depth)",
+                report.violation_log.len()
+            );
+        }
     }
+    Ok(())
+}
+
+/// `stats`: summarize a Prometheus text or telemetry JSONL export
+/// produced by `serve --metrics-out` / `serve --timeseries-out`.
+fn stats(flags: &Flags) -> Result<(), String> {
+    let path = flags.require("in")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    print!("{}", tacker_trace::summarize(&text)?);
     Ok(())
 }
 
@@ -634,11 +680,16 @@ fn report_json(lc: &str, r: &RunReport) -> String {
 fn serve_json(lc: &str, r: &RunReport) -> String {
     let base = report_json(lc, r);
     format!(
-        "{},\"faults_injected\":{},\"guard_steps\":{},\"guard_level\":\"{}\"}}",
+        concat!(
+            "{},\"faults_injected\":{},\"guard_steps\":{},\"guard_level\":\"{}\",",
+            "\"violations_attributed\":{},\"windows\":{}}}"
+        ),
         base.trim_end_matches('}'),
         r.faults_injected,
         r.guard_steps,
-        r.guard_level.map_or("off", |l| l.name())
+        r.guard_level.map_or("off", |l| l.name()),
+        r.violation_log.len(),
+        r.windows.len()
     )
 }
 
@@ -705,6 +756,36 @@ mod tests {
         assert!(dispatch(&argv("serve --lc Resnet50 --be fft --faults bogus:1")).is_err());
         assert!(dispatch(&argv("serve --lc Resnet50 --be fft --arrivals sometimes")).is_err());
         assert!(dispatch(&argv("serve --lc Resnet50 --be fft --arrivals bursty:x")).is_err());
+        assert!(dispatch(&argv("serve --lc Resnet50 --be fft --window-us x")).is_err());
+    }
+
+    #[test]
+    fn stats_summarizes_both_export_formats() {
+        assert!(dispatch(&argv("stats")).is_err()); // missing --in
+        assert!(dispatch(&argv("stats --in /nonexistent/tacker.prom")).is_err());
+        let dir = std::env::temp_dir();
+        // Prometheus text exposition.
+        let registry = tacker_trace::MetricsRegistry::new();
+        registry.counter("decisions").inc();
+        registry.histogram("query_latency_us").observe(1234.0);
+        let prom = dir.join("tacker_cli_stats_test.prom");
+        std::fs::write(&prom, tacker_trace::prometheus_text(&registry)).unwrap();
+        assert!(dispatch(&["stats".into(), "--in".into(), prom.display().to_string()]).is_ok());
+        // Telemetry JSONL.
+        let mut ws = tacker_trace::WindowSeries::new(SimTime::from_micros(100));
+        let mut emit = |_: &tacker_trace::WindowRow| {};
+        ws.on_arrivals(SimTime::from_micros(5), 2, &mut emit);
+        let rows = ws.finish(&mut emit);
+        let jsonl = dir.join("tacker_cli_stats_test.jsonl");
+        std::fs::write(&jsonl, tacker_trace::timeseries_jsonl(&rows)).unwrap();
+        assert!(dispatch(&["stats".into(), "--in".into(), jsonl.display().to_string()]).is_ok());
+        // Neither format.
+        let junk = dir.join("tacker_cli_stats_test.junk");
+        std::fs::write(&junk, "not-an-export\n").unwrap();
+        assert!(dispatch(&["stats".into(), "--in".into(), junk.display().to_string()]).is_err());
+        for p in [prom, jsonl, junk] {
+            let _ = std::fs::remove_file(p);
+        }
     }
 
     #[test]

@@ -76,11 +76,14 @@ pub use fault::{FaultPlan, FloodBurst, MispredictFault, OutageWindow, StragglerF
 pub use guard::{GuardConfig, GuardLevel, QosGuard};
 pub use library::{FusionLibrary, PairEntry};
 pub use manager::{Decision, KernelManager, Policy};
+pub use metrics::{LatencyStats, DEFAULT_EXACT_LIMIT};
 pub use profile::{work_feature, KernelProfiler};
 #[allow(deprecated)]
 pub use report::MultiRunReport;
-pub use report::{RunReport, ServiceReport};
-pub use serve::{ArrivalSpec, ColocationRun, ServeOptions, ServiceLoad};
+pub use report::{GuardAudit, RunReport, ServiceReport, ViolationRecord};
+pub use serve::{
+    ArrivalSpec, ColocationRun, ServeOptions, ServiceLoad, TelemetryOptions, VIOLATION_LOG_CAP,
+};
 #[allow(deprecated)]
 pub use server::{
     run_colocation, run_colocation_traced, run_multi_colocation, run_multi_colocation_at_traced,
@@ -95,7 +98,8 @@ pub mod prelude {
     pub use crate::guard::{GuardConfig, GuardLevel};
     pub use crate::library::FusionLibrary;
     pub use crate::manager::Policy;
-    pub use crate::report::{RunReport, ServiceReport};
-    pub use crate::serve::{ArrivalSpec, ColocationRun, ServeOptions};
+    pub use crate::metrics::LatencyStats;
+    pub use crate::report::{RunReport, ServiceReport, ViolationRecord};
+    pub use crate::serve::{ArrivalSpec, ColocationRun, ServeOptions, TelemetryOptions};
     pub use crate::sweep::{run_improvement_sweep, run_pair_sweep, SweepCell};
 }

@@ -1,6 +1,18 @@
 //! Latency and throughput metrics.
+//!
+//! The rank definition for every percentile in the workspace lives in
+//! `tacker_trace::quantile` ([`nearest_rank`]): the exact [`percentile`]
+//! here, the log-bucket `Histogram`, and the `QuantileSketch` all agree
+//! on "the `⌈p·n⌉`-th smallest sample". [`LatencyStats`] is the
+//! bounded-memory latency accumulator built on that module: exact
+//! samples up to a retention limit, a fixed-memory sketch beyond it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use tacker_kernel::SimTime;
+use tacker_trace::quantile::nearest_rank;
+use tacker_trace::QuantileSketch;
 
 /// Mean of a latency sample.
 pub fn mean(samples: &[SimTime]) -> SimTime {
@@ -23,8 +35,282 @@ pub fn percentile(samples: &[SimTime], p: f64) -> SimTime {
     }
     let mut sorted = samples.to_vec();
     sorted.sort_unstable();
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
+    let rank = nearest_rank(sorted.len() as u64, p / 100.0) as usize;
+    sorted[rank - 1]
+}
+
+/// Default number of exact latency samples [`LatencyStats`] retains
+/// before spilling into the fixed-memory sketch. Small enough that batch
+/// experiments (tens to hundreds of queries) stay exact — and therefore
+/// bit-identical to the pre-sketch reports — while long serving runs cap
+/// out at ~32 KiB of samples plus the sketch.
+pub const DEFAULT_EXACT_LIMIT: usize = 4096;
+
+#[derive(Debug)]
+enum Repr {
+    /// Every sample retained; percentiles are exact. The sorted cache is
+    /// built lazily on the first percentile query and reused until the
+    /// next observation, so repeated `p99_latency()` calls stop
+    /// re-sorting the sample vector.
+    Exact {
+        samples: Vec<SimTime>,
+        sorted: Mutex<Option<Vec<SimTime>>>,
+        limit: usize,
+    },
+    /// Fixed-memory DDSketch-style summary; percentiles are within
+    /// [`QuantileSketch::RELATIVE_ERROR`] of exact.
+    Sketch(QuantileSketch),
+}
+
+/// Bounded-memory latency statistics: exact nearest-rank percentiles for
+/// small runs, a mergeable fixed-memory quantile sketch beyond a
+/// retention limit.
+///
+/// Construction picks the mode: [`LatencyStats::exact`] never spills
+/// (the pre-existing behavior), [`LatencyStats::auto`] spills past
+/// [`DEFAULT_EXACT_LIMIT`] samples, and [`LatencyStats::with_limit`]`(0)`
+/// sketches from the first sample. Spilling replays the retained samples
+/// into the sketch, so the summary covers the whole stream either way.
+///
+/// Count, sum (hence mean), min and max stay exact in both modes. The
+/// struct tracks its own [`peak_bytes`](LatencyStats::peak_bytes) —
+/// the high-water mark of retained sample memory — which the bench
+/// suite's bounded-memory gate reads.
+#[derive(Debug)]
+pub struct LatencyStats {
+    repr: Repr,
+    peak_bytes: AtomicUsize,
+}
+
+impl Clone for LatencyStats {
+    fn clone(&self) -> Self {
+        let repr = match &self.repr {
+            Repr::Exact {
+                samples,
+                sorted,
+                limit,
+            } => Repr::Exact {
+                samples: samples.clone(),
+                sorted: Mutex::new(sorted.lock().unwrap().clone()),
+                limit: *limit,
+            },
+            Repr::Sketch(s) => Repr::Sketch(s.clone()),
+        };
+        LatencyStats {
+            repr,
+            peak_bytes: AtomicUsize::new(self.peak_bytes.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl Default for LatencyStats {
+    fn default() -> Self {
+        LatencyStats::auto()
+    }
+}
+
+impl LatencyStats {
+    /// Exact-only stats: never spills to the sketch.
+    pub fn exact() -> Self {
+        LatencyStats::with_limit(usize::MAX)
+    }
+
+    /// Exact up to [`DEFAULT_EXACT_LIMIT`] samples, sketch beyond.
+    pub fn auto() -> Self {
+        LatencyStats::with_limit(DEFAULT_EXACT_LIMIT)
+    }
+
+    /// Exact up to `limit` retained samples, sketch beyond; `limit == 0`
+    /// sketches from the first sample.
+    pub fn with_limit(limit: usize) -> Self {
+        let repr = if limit == 0 {
+            Repr::Sketch(QuantileSketch::new())
+        } else {
+            Repr::Exact {
+                samples: Vec::new(),
+                sorted: Mutex::new(None),
+                limit,
+            }
+        };
+        let stats = LatencyStats {
+            repr,
+            peak_bytes: AtomicUsize::new(0),
+        };
+        stats.note_retained();
+        stats
+    }
+
+    fn note_retained(&self) {
+        let bytes = self.retained_bytes();
+        self.peak_bytes.fetch_max(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one query latency.
+    pub fn observe(&mut self, latency: SimTime) {
+        let spill = match &mut self.repr {
+            Repr::Exact {
+                samples,
+                sorted,
+                limit,
+            } => {
+                samples.push(latency);
+                *sorted.get_mut().unwrap() = None;
+                samples.len() > *limit
+            }
+            Repr::Sketch(s) => {
+                s.observe(latency.as_nanos());
+                false
+            }
+        };
+        self.note_retained();
+        if spill {
+            self.force_sketch();
+        }
+    }
+
+    /// Converts an exact representation into the sketch, replaying every
+    /// retained sample.
+    fn force_sketch(&mut self) {
+        if let Repr::Exact { samples, .. } = &self.repr {
+            let mut sketch = QuantileSketch::new();
+            for s in samples {
+                sketch.observe(s.as_nanos());
+            }
+            self.repr = Repr::Sketch(sketch);
+            self.note_retained();
+        }
+    }
+
+    /// Completed samples recorded.
+    pub fn count(&self) -> usize {
+        match &self.repr {
+            Repr::Exact { samples, .. } => samples.len(),
+            Repr::Sketch(s) => s.count() as usize,
+        }
+    }
+
+    /// Whether no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Exact mean latency (`None` when empty) — the sum is exact in both
+    /// modes.
+    pub fn mean(&self) -> Option<SimTime> {
+        match &self.repr {
+            Repr::Exact { samples, .. } => (!samples.is_empty()).then(|| mean(samples)),
+            Repr::Sketch(s) => s.mean().map(SimTime::from_nanos),
+        }
+    }
+
+    /// The p-th percentile, `p ∈ [0, 100]` (`None` when empty): exact
+    /// nearest-rank in exact mode (cached sort, invalidated on observe),
+    /// sketch estimate within [`QuantileSketch::RELATIVE_ERROR`]
+    /// otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> Option<SimTime> {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        match &self.repr {
+            Repr::Exact {
+                samples, sorted, ..
+            } => {
+                if samples.is_empty() {
+                    return None;
+                }
+                let mut cache = sorted.lock().unwrap();
+                let sorted_samples = cache.get_or_insert_with(|| {
+                    let mut v = samples.clone();
+                    v.sort_unstable();
+                    v
+                });
+                let rank = nearest_rank(sorted_samples.len() as u64, p / 100.0) as usize;
+                let out = sorted_samples[rank - 1];
+                drop(cache);
+                self.note_retained();
+                Some(out)
+            }
+            Repr::Sketch(s) => s.percentile(p / 100.0).map(SimTime::from_nanos),
+        }
+    }
+
+    /// The retained exact samples, in observation order (empty once the
+    /// stats have spilled to the sketch).
+    pub fn samples(&self) -> &[SimTime] {
+        match &self.repr {
+            Repr::Exact { samples, .. } => samples,
+            Repr::Sketch(_) => &[],
+        }
+    }
+
+    /// Whether the stats have spilled into sketch mode.
+    pub fn is_sketch(&self) -> bool {
+        matches!(self.repr, Repr::Sketch(_))
+    }
+
+    /// Bytes currently held for latency samples: the sample vector plus
+    /// any sorted cache in exact mode, the fixed sketch footprint in
+    /// sketch mode.
+    pub fn retained_bytes(&self) -> usize {
+        match &self.repr {
+            Repr::Exact {
+                samples, sorted, ..
+            } => {
+                let cache = sorted
+                    .lock()
+                    .unwrap()
+                    .as_ref()
+                    .map_or(0, |v| v.capacity() * std::mem::size_of::<SimTime>());
+                samples.capacity() * std::mem::size_of::<SimTime>() + cache
+            }
+            Repr::Sketch(s) => s.memory_bytes(),
+        }
+    }
+
+    /// High-water mark of [`retained_bytes`](LatencyStats::retained_bytes)
+    /// over the stats' lifetime — what the bounded-memory bench gate
+    /// checks stays flat as query count grows in sketch mode.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes.load(Ordering::Relaxed)
+    }
+
+    /// This stream as a [`QuantileSketch`] (built from the samples in
+    /// exact mode, cloned in sketch mode).
+    pub fn to_sketch(&self) -> QuantileSketch {
+        match &self.repr {
+            Repr::Exact { samples, .. } => {
+                let mut sketch = QuantileSketch::new();
+                for s in samples {
+                    sketch.observe(s.as_nanos());
+                }
+                sketch
+            }
+            Repr::Sketch(s) => s.clone(),
+        }
+    }
+
+    /// Folds `other` into `self`. Exact+exact concatenates samples
+    /// (spilling if the limit is crossed); any sketch involvement
+    /// converts `self` to sketch mode and merges bucket-wise, which is
+    /// order-invariant.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        match &other.repr {
+            Repr::Exact { samples, .. } => {
+                for &s in samples {
+                    self.observe(s);
+                }
+            }
+            Repr::Sketch(o) => {
+                self.force_sketch();
+                if let Repr::Sketch(s) = &mut self.repr {
+                    s.merge(o);
+                }
+                self.note_retained();
+            }
+        }
+    }
 }
 
 /// Relative throughput improvement of `new` over `base` (Equation 10's
@@ -100,5 +386,86 @@ mod tests {
     #[should_panic]
     fn bad_percentile_panics() {
         let _ = percentile(&[], 101.0);
+    }
+
+    #[test]
+    fn latency_stats_exact_matches_free_functions() {
+        let s = times(&[90, 10, 50, 70, 30]);
+        let mut stats = LatencyStats::exact();
+        for &t in &s {
+            stats.observe(t);
+        }
+        assert_eq!(stats.count(), 5);
+        assert!(!stats.is_sketch());
+        assert_eq!(stats.mean(), Some(mean(&s)));
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(stats.percentile(p), Some(percentile(&s, p)));
+        }
+        assert_eq!(stats.samples(), &s[..]);
+    }
+
+    #[test]
+    fn latency_stats_spills_past_the_limit_and_stays_bounded() {
+        let mut stats = LatencyStats::with_limit(10);
+        for i in 0..10u64 {
+            stats.observe(SimTime::from_micros(i * 10 + 10));
+        }
+        assert!(!stats.is_sketch());
+        stats.observe(SimTime::from_micros(110));
+        assert!(stats.is_sketch(), "11th sample crosses the limit");
+        assert_eq!(stats.count(), 11);
+        assert!(stats.samples().is_empty());
+        let fixed = stats.retained_bytes();
+        for i in 0..100_000u64 {
+            stats.observe(SimTime::from_nanos(i * 997 + 1));
+        }
+        assert_eq!(stats.retained_bytes(), fixed, "sketch memory is flat");
+        // Mean stays exact even after the spill.
+        assert!(stats.mean().is_some());
+        assert!(stats.peak_bytes() >= fixed);
+    }
+
+    #[test]
+    fn latency_stats_limit_zero_sketches_immediately() {
+        let mut stats = LatencyStats::with_limit(0);
+        stats.observe(SimTime::from_micros(42));
+        assert!(stats.is_sketch());
+        assert_eq!(stats.count(), 1);
+    }
+
+    #[test]
+    fn latency_stats_merge_matches_union_sketch() {
+        let mut a = LatencyStats::with_limit(0);
+        let mut b = LatencyStats::with_limit(0);
+        let mut all = LatencyStats::with_limit(0);
+        for i in 0..50u64 {
+            let t = SimTime::from_micros(i * 13 + 7);
+            if i % 2 == 0 {
+                a.observe(t);
+            } else {
+                b.observe(t);
+            }
+            all.observe(t);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.to_sketch(), all.to_sketch());
+    }
+
+    #[test]
+    fn latency_stats_percentile_cache_survives_repeat_queries() {
+        let mut stats = LatencyStats::exact();
+        for i in 0..100u64 {
+            stats.observe(SimTime::from_micros((i * 37) % 91 + 1));
+        }
+        let first = stats.percentile(99.0);
+        assert_eq!(stats.percentile(99.0), first);
+        stats.observe(SimTime::from_micros(1));
+        // Cache invalidated, result still exact.
+        assert_eq!(
+            stats.percentile(0.0),
+            Some(SimTime::from_micros(1)),
+            "new minimum visible after cache invalidation"
+        );
     }
 }

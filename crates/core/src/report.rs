@@ -8,23 +8,26 @@
 //! services and return `None` instead of a fake zero when a run completed
 //! no queries.
 
+use std::fmt::Write as _;
 use std::sync::Arc;
 
 use tacker_kernel::SimTime;
 use tacker_sim::TimelineRecorder;
+use tacker_trace::timeseries::WindowRow;
 use tacker_trace::{Histogram, MetricsRegistry};
 
 use crate::guard::GuardLevel;
 use crate::manager::Policy;
-use crate::metrics;
+use crate::metrics::LatencyStats;
 
 /// Per-service results of a co-location run.
 #[derive(Debug, Clone)]
 pub struct ServiceReport {
     /// Service name.
     pub name: String,
-    /// End-to-end latency of each completed query.
-    pub query_latencies: Vec<SimTime>,
+    /// Latency statistics over completed queries: exact samples for small
+    /// runs, a fixed-memory quantile sketch above the retention limit.
+    pub latency: LatencyStats,
     /// Queries that missed the QoS target.
     pub qos_violations: usize,
     /// Streaming latency histogram (microseconds), shared with the run's
@@ -33,14 +36,110 @@ pub struct ServiceReport {
 }
 
 impl ServiceReport {
+    /// Completed queries.
+    pub fn query_count(&self) -> usize {
+        self.latency.count()
+    }
+
     /// Mean query latency (`None` when no query completed).
     pub fn mean_latency(&self) -> Option<SimTime> {
-        (!self.query_latencies.is_empty()).then(|| metrics::mean(&self.query_latencies))
+        self.latency.mean()
     }
 
     /// 99th-percentile query latency (`None` when no query completed).
+    /// Exact in sample mode (with a cached sort), sketch-estimated within
+    /// `QuantileSketch::RELATIVE_ERROR` in sketch mode.
     pub fn p99_latency(&self) -> Option<SimTime> {
-        (!self.query_latencies.is_empty()).then(|| metrics::percentile(&self.query_latencies, 99.0))
+        self.latency.percentile(99.0)
+    }
+}
+
+/// Attribution for one QoS violation: the runtime context a violating
+/// query completed under, answering *why* the target was missed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViolationRecord {
+    /// Completion instant of the violating query.
+    pub at: SimTime,
+    /// The service whose query violated.
+    pub service: String,
+    /// End-to-end latency of the query.
+    pub latency: SimTime,
+    /// The QoS target it missed.
+    pub target: SimTime,
+    /// Guard ladder level in effect at completion (`None` when the guard
+    /// was disarmed).
+    pub guard_level: Option<GuardLevel>,
+    /// Fault classes injected while the query was in flight
+    /// (`"mispredict"`, `"straggler"`, `"be_flood"`,
+    /// `"predictor_outage"`), empty when none fired.
+    pub faults: Vec<&'static str>,
+    /// The last co-running BE kernel launched before the violation, as
+    /// `(name, content fingerprint)`.
+    pub be_kernel: Option<(String, u64)>,
+    /// Queue depth (in-flight queries) when the query was admitted.
+    pub queue_depth: usize,
+}
+
+impl ViolationRecord {
+    /// One stable-field-order JSON object for BENCH artifacts and logs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(192);
+        let _ = write!(
+            out,
+            "{{\"at\":{},\"service\":\"{}\",\"latency\":{},\"target\":{}",
+            self.at.as_nanos(),
+            self.service,
+            self.latency.as_nanos(),
+            self.target.as_nanos()
+        );
+        if let Some(level) = self.guard_level {
+            let _ = write!(out, ",\"guard\":\"{}\"", level.name());
+        }
+        out.push_str(",\"faults\":[");
+        for (i, f) in self.faults.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{f}\"");
+        }
+        out.push(']');
+        if let Some((name, fp)) = &self.be_kernel {
+            let _ = write!(out, ",\"be_kernel\":\"{name}\",\"be_fingerprint\":{fp}");
+        }
+        let _ = write!(out, ",\"queue_depth\":{}}}", self.queue_depth);
+        out
+    }
+}
+
+/// One audited QoS-guard ladder transition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardAudit {
+    /// Device wall-clock instant of the step.
+    pub at: SimTime,
+    /// Ladder level before the step.
+    pub from: GuardLevel,
+    /// Ladder level after the step.
+    pub to: GuardLevel,
+    /// What tripped (or cleared) the step.
+    pub reason: &'static str,
+    /// Worst per-kernel EWMA relative prediction error at the step.
+    pub ewma_error: f64,
+    /// EWMA of the QoS-violation indicator at the step.
+    pub pressure: f64,
+}
+
+impl GuardAudit {
+    /// One stable-field-order JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"at\":{},\"from\":\"{}\",\"to\":\"{}\",\"reason\":\"{}\",\"ewma_error\":{:.6},\"pressure\":{:.6}}}",
+            self.at.as_nanos(),
+            self.from.name(),
+            self.to.name(),
+            self.reason,
+            self.ewma_error,
+            self.pressure
+        )
     }
 }
 
@@ -82,6 +181,19 @@ pub struct RunReport {
     pub faults_injected: u64,
     /// Final guard ladder level (`None` when the guard was off).
     pub guard_level: Option<GuardLevel>,
+    /// Aggregate latency statistics over all services, in completion
+    /// order (same bounded-memory representation as the per-service
+    /// stats).
+    pub latency: LatencyStats,
+    /// Telemetry windows collected when windowed collection was enabled
+    /// (empty otherwise). One row per non-empty fixed-width window of
+    /// simulated time.
+    pub windows: Vec<WindowRow>,
+    /// Attribution record for every QoS violation, in violation order
+    /// (capped at [`crate::serve::VIOLATION_LOG_CAP`]).
+    pub violation_log: Vec<ViolationRecord>,
+    /// Audit log of every guard ladder transition, in step order.
+    pub guard_log: Vec<GuardAudit>,
 }
 
 impl RunReport {
@@ -92,16 +204,18 @@ impl RunReport {
 
     /// End-to-end latencies of every completed query, concatenated
     /// service-major (a single-service run preserves completion order).
+    /// Empty for services that spilled into sketch mode — use
+    /// [`RunReport::latency`] for statistics at any scale.
     pub fn query_latencies(&self) -> Vec<SimTime> {
         self.services
             .iter()
-            .flat_map(|s| s.query_latencies.iter().copied())
+            .flat_map(|s| s.latency.samples().iter().copied())
             .collect()
     }
 
     /// Total completed queries across all services.
     pub fn query_count(&self) -> usize {
-        self.services.iter().map(|s| s.query_latencies.len()).sum()
+        self.services.iter().map(|s| s.latency.count()).sum()
     }
 
     /// Total queries that missed the QoS target, across all services.
@@ -112,15 +226,16 @@ impl RunReport {
     /// Mean query latency over all services (`None` when no query
     /// completed).
     pub fn mean_latency(&self) -> Option<SimTime> {
-        let all = self.query_latencies();
-        (!all.is_empty()).then(|| metrics::mean(&all))
+        self.latency.mean()
     }
 
     /// 99th-percentile query latency over all services (`None` when no
-    /// query completed).
+    /// query completed). Exact in sample mode — served from a cached
+    /// sort, so repeated calls no longer re-sort the sample vector —
+    /// and sketch-estimated within `QuantileSketch::RELATIVE_ERROR`
+    /// beyond the retention limit.
     pub fn p99_latency(&self) -> Option<SimTime> {
-        let all = self.query_latencies();
-        (!all.is_empty()).then(|| metrics::percentile(&all, 99.0))
+        self.latency.percentile(99.0)
     }
 
     /// BE work completed per second of wall time (the throughput metric
@@ -149,9 +264,13 @@ mod tests {
     use tacker_trace::MetricsRegistry;
 
     fn svc(name: &str, lat_ms: &[u64], violations: usize) -> ServiceReport {
+        let mut latency = LatencyStats::exact();
+        for m in lat_ms {
+            latency.observe(SimTime::from_millis(*m));
+        }
         ServiceReport {
             name: name.to_string(),
-            query_latencies: lat_ms.iter().map(|m| SimTime::from_millis(*m)).collect(),
+            latency,
             qos_violations: violations,
             latency_histogram: Arc::new(Histogram::new()),
         }
@@ -159,6 +278,12 @@ mod tests {
 
     fn report(services: Vec<ServiceReport>) -> RunReport {
         let registry = MetricsRegistry::new();
+        let mut latency = LatencyStats::exact();
+        for s in &services {
+            for &t in s.latency.samples() {
+                latency.observe(t);
+            }
+        }
         RunReport {
             policy: Policy::Tacker,
             qos_target: SimTime::from_millis(50),
@@ -175,6 +300,10 @@ mod tests {
             guard_steps: 0,
             faults_injected: 0,
             guard_level: None,
+            latency,
+            windows: Vec::new(),
+            violation_log: Vec::new(),
+            guard_log: Vec::new(),
         }
     }
 

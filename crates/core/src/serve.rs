@@ -29,6 +29,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use tacker_kernel::SimTime;
 use tacker_sim::{scale_run, Device, ExecutablePlan, TimelineRecorder};
+use tacker_trace::timeseries::{SpanKind, WindowRow, WindowSeries};
 use tacker_trace::{MetricsRegistry, NoopSink, TraceEvent, TraceSink};
 use tacker_workloads::{BeApp, LcService, WorkloadKernel};
 
@@ -38,9 +39,18 @@ use crate::fault::FaultPlan;
 use crate::guard::{GuardConfig, GuardTransition, QosGuard};
 use crate::library::FusionLibrary;
 use crate::manager::{Decision, KernelManager, Policy};
+use crate::metrics::{LatencyStats, DEFAULT_EXACT_LIMIT};
 use crate::profile::KernelProfiler;
-use crate::report::{RunReport, ServiceReport};
+use crate::report::{GuardAudit, RunReport, ServiceReport, ViolationRecord};
 use crate::server::calibrate_peak_interarrival;
+
+/// Caps the violation-attribution and guard-audit logs so a pathological
+/// run cannot grow the report without bound.
+pub const VIOLATION_LOG_CAP: usize = 65_536;
+
+/// Fault classes a [`ViolationRecord`] can carry, in the order the
+/// engine's per-class fault counters use.
+const FAULT_KINDS: [&str; 4] = ["mispredict", "straggler", "be_flood", "predictor_outage"];
 
 /// One LC service with its configured load.
 #[derive(Debug, Clone)]
@@ -72,8 +82,31 @@ pub enum ArrivalSpec {
     Replay(Vec<Vec<SimTime>>),
 }
 
-/// Serving-mode options: arrival process, fault plan, and the optional
-/// QoS guard. The default is indistinguishable from a batch run.
+/// Telemetry collection options: latency retention and windowed
+/// time-series. Pure observers — they never change scheduling decisions,
+/// so any setting keeps zero-fault runs bit-identical to batch.
+#[derive(Debug, Clone)]
+pub struct TelemetryOptions {
+    /// Exact latency samples retained per service (and for the
+    /// aggregate) before [`LatencyStats`] spills into its fixed-memory
+    /// sketch; `0` sketches from the first query.
+    pub exact_limit: usize,
+    /// Enable windowed time-series collection with this window width.
+    pub window: Option<SimTime>,
+}
+
+impl Default for TelemetryOptions {
+    fn default() -> Self {
+        TelemetryOptions {
+            exact_limit: DEFAULT_EXACT_LIMIT,
+            window: None,
+        }
+    }
+}
+
+/// Serving-mode options: arrival process, fault plan, the optional QoS
+/// guard, and telemetry collection. The default is indistinguishable
+/// from a batch run.
 #[derive(Debug, Clone, Default)]
 pub struct ServeOptions {
     /// The arrival process.
@@ -82,6 +115,8 @@ pub struct ServeOptions {
     pub faults: FaultPlan,
     /// Enable the adaptive QoS guard with this configuration.
     pub guard: Option<GuardConfig>,
+    /// Telemetry collection options.
+    pub telemetry: TelemetryOptions,
 }
 
 /// Builder for co-location runs, replacing the eight `run_colocation*`
@@ -218,6 +253,25 @@ impl<'a> ColocationRun<'a> {
         self
     }
 
+    /// Enables windowed time-series telemetry with the given window
+    /// width: one [`WindowRow`] per non-empty window lands in
+    /// [`RunReport::windows`] (and on the trace sink as
+    /// [`TraceEvent::WindowStats`] when tracing).
+    #[must_use]
+    pub fn windowed(mut self, width: SimTime) -> Self {
+        self.options.telemetry.window = Some(width);
+        self
+    }
+
+    /// Sets how many exact latency samples are retained before spilling
+    /// into the fixed-memory quantile sketch (`0` = sketch from the
+    /// first query). Default [`DEFAULT_EXACT_LIMIT`].
+    #[must_use]
+    pub fn latency_exact_limit(mut self, limit: usize) -> Self {
+        self.options.telemetry.exact_limit = limit;
+        self
+    }
+
     /// Replaces all serving options at once.
     #[must_use]
     pub fn serve(mut self, options: ServeOptions) -> Self {
@@ -280,6 +334,11 @@ struct ActiveQuery {
     deadline: SimTime,
     pending: VecDeque<usize>, // indices into the service's kernel sequence
     remaining_pred: SimTime,
+    /// In-flight queries at admission (attribution context).
+    depth_at_admission: usize,
+    /// Snapshot of the per-class fault counters at admission; the delta
+    /// at completion names the faults in effect while in flight.
+    faults_at_admission: [u64; 4],
 }
 
 struct BeState {
@@ -468,15 +527,34 @@ pub(crate) fn run_engine(
     let mut budget: i128 = budget_cap * 3 / 10;
     // Safety margin absorbing prediction noise when filling headroom.
     let safety = config.qos_target.mul_f64(0.10);
+    let exact_limit = opts.telemetry.exact_limit;
+    // Windowed time-series collection: closed rows stream to the sink as
+    // WindowStats events (when tracing) and collect into the report.
+    let mut windows = opts.telemetry.window.map(WindowSeries::new);
+    let window_sink = Arc::clone(&sink);
+    let mut emit_window = move |row: &WindowRow| {
+        if tracing {
+            window_sink.record(TraceEvent::WindowStats { row: row.clone() });
+        }
+    };
+    // Fused-plan cache counters are device-lifetime; track deltas so the
+    // windows only see this run's traffic.
+    let mut last_cache = windows.is_some().then(|| device.fused_cache_stats());
+    // Per-class fault counters (FAULT_KINDS order) for attribution.
+    let mut fault_counts = [0u64; 4];
+    // The last co-running BE kernel launched, as (name, fingerprint) —
+    // the co-runner a violation is attributed to.
+    let mut last_be: Option<(String, u64)> = None;
+    // Last guard ladder level pushed into the window series.
+    let mut last_guard_level: Option<crate::guard::GuardLevel> = None;
     let mut report = RunReport {
         policy,
         qos_target: config.qos_target,
         services: services
             .iter()
-            .zip(&arrivals_per_service)
-            .map(|(svc, arrivals)| ServiceReport {
+            .map(|svc| ServiceReport {
                 name: svc.lc.name().to_string(),
-                query_latencies: Vec::with_capacity(arrivals.len()),
+                latency: LatencyStats::with_limit(exact_limit),
                 qos_violations: 0,
                 latency_histogram: registry
                     .histogram(&format!("query_latency_us.{}", svc.lc.name())),
@@ -494,6 +572,10 @@ pub(crate) fn run_engine(
         guard_steps: 0,
         faults_injected: 0,
         guard_level: None,
+        latency: LatencyStats::with_limit(exact_limit),
+        windows: Vec::new(),
+        violation_log: Vec::new(),
+        guard_log: Vec::new(),
     };
 
     let run_kernel = |wk: &WorkloadKernel| -> Result<tacker_sim::KernelRun, TackerError> {
@@ -517,26 +599,47 @@ pub(crate) fn run_engine(
             actual: run.duration,
         });
     };
-    // Bookkeeping for one injected fault application.
-    let fault_event =
-        |report: &mut RunReport, at: SimTime, kind: &str, kernel: &str, factor: f64| {
-            report.faults_injected += 1;
-            if let Some(m) = &m_faults {
-                m.inc();
-            }
-            if tracing {
-                sink.record(TraceEvent::FaultInjected {
-                    at,
-                    kind: kind.into(),
-                    kernel: kernel.into(),
-                    factor,
-                });
-            }
-        };
-    // Bookkeeping for one guard ladder step.
+    // Bookkeeping for one injected fault application. Also bumps the
+    // per-class counter used for violation attribution.
+    let fault_event = |report: &mut RunReport,
+                       counts: &mut [u64; 4],
+                       at: SimTime,
+                       kind: &'static str,
+                       kernel: &str,
+                       factor: f64| {
+        report.faults_injected += 1;
+        let class = FAULT_KINDS
+            .iter()
+            .position(|k| *k == kind)
+            .expect("known fault class");
+        counts[class] += 1;
+        if let Some(m) = &m_faults {
+            m.inc();
+        }
+        if tracing {
+            sink.record(TraceEvent::FaultInjected {
+                at,
+                kind: kind.into(),
+                kernel: kernel.into(),
+                factor,
+            });
+        }
+    };
+    // Bookkeeping for one guard ladder step: report counter, audit log,
+    // and trace event.
     let guard_note = |report: &mut RunReport, at: SimTime, step: Option<GuardTransition>| {
         if let Some(t) = step {
             report.guard_steps += 1;
+            if report.guard_log.len() < VIOLATION_LOG_CAP {
+                report.guard_log.push(GuardAudit {
+                    at,
+                    from: t.from,
+                    to: t.to,
+                    reason: t.reason,
+                    ewma_error: t.ewma_error,
+                    pressure: t.pressure,
+                });
+            }
             if let Some(m) = &m_guard_steps {
                 m.inc();
             }
@@ -568,7 +671,14 @@ pub(crate) fn run_engine(
             if be_states.is_empty() {
                 continue;
             }
-            fault_event(&mut report, now, "be_flood", "", f64::from(burst.kernels));
+            fault_event(
+                &mut report,
+                &mut fault_counts,
+                now,
+                "be_flood",
+                "",
+                f64::from(burst.kernels),
+            );
             for i in 0..burst.kernels as usize {
                 let bi = i % be_states.len();
                 let Some(wk) = be_states[bi].head() else {
@@ -581,6 +691,18 @@ pub(crate) fn run_engine(
                 report.be_work += run.duration;
                 report.be_kernels += 1;
                 be_states[bi].pop();
+                last_be = Some((wk.def.name().to_string(), wk.def.id().get()));
+                if let Some(ws) = windows.as_mut() {
+                    let (tc, cd) = run.pipe_utilizations();
+                    ws.on_span(
+                        now.saturating_sub(run.duration),
+                        now,
+                        tc,
+                        cd,
+                        SpanKind::Be,
+                        &mut emit_window,
+                    );
+                }
                 if tracing {
                     retire(sink.as_ref(), &run, "BE", now, predicted);
                 }
@@ -597,7 +719,14 @@ pub(crate) fn run_engine(
             in_outage = outage;
             profiler.set_history_bypass(outage);
             if outage {
-                fault_event(&mut report, now, "predictor_outage", "", 1.0);
+                fault_event(
+                    &mut report,
+                    &mut fault_counts,
+                    now,
+                    "predictor_outage",
+                    "",
+                    1.0,
+                );
             }
         }
 
@@ -611,13 +740,21 @@ pub(crate) fn run_engine(
         }
         due.sort();
         for (arrival, si) in due {
+            if let Some(ws) = windows.as_mut() {
+                ws.on_arrivals(arrival, 1, &mut emit_window);
+            }
             active.push_back(ActiveQuery {
                 service: si,
                 arrival,
                 deadline: arrival + config.qos_target,
                 pending: (0..services[si].lc.query_kernels().len()).collect(),
                 remaining_pred: query_total_pred[si],
+                depth_at_admission: active.len(),
+                faults_at_admission: fault_counts,
             });
+            if let Some(ws) = windows.as_mut() {
+                ws.on_queue_depth(active.len() as u64);
+            }
         }
         if active.is_empty() && completed >= total_queries {
             break;
@@ -640,6 +777,8 @@ pub(crate) fn run_engine(
         }
         if active.is_empty() {
             headroom = SimTime::ZERO;
+        } else if let Some(ws) = windows.as_mut() {
+            ws.observe_headroom(now, headroom, &mut emit_window);
         }
         // Reordering whole BE kernels into the headroom is what stretches
         // busy periods, so it is budget-capped. Fusion's extra time is an
@@ -692,17 +831,42 @@ pub(crate) fn run_engine(
                 launch_seq += 1;
                 let mf = mispredict[si][idx];
                 if mf != 1.0 {
-                    fault_event(&mut report, now, "mispredict", &run.name, mf);
+                    fault_event(
+                        &mut report,
+                        &mut fault_counts,
+                        now,
+                        "mispredict",
+                        &run.name,
+                        mf,
+                    );
                 }
                 let sf = faults.straggler_factor(launch_seq);
                 if sf != 1.0 {
-                    fault_event(&mut report, now, "straggler", &run.name, sf);
+                    fault_event(
+                        &mut report,
+                        &mut fault_counts,
+                        now,
+                        "straggler",
+                        &run.name,
+                        sf,
+                    );
                 }
                 if mf * sf != 1.0 {
                     run = scale_run(&run, mf * sf);
                 }
                 now += run.duration;
                 q.remaining_pred = q.remaining_pred.saturating_sub(kernel_preds[si][idx]);
+                if let Some(ws) = windows.as_mut() {
+                    let (tc, cd) = run.pipe_utilizations();
+                    ws.on_span(
+                        now.saturating_sub(run.duration),
+                        now,
+                        tc,
+                        cd,
+                        SpanKind::Lc,
+                        &mut emit_window,
+                    );
+                }
                 if tracing {
                     retire(sink.as_ref(), &run, "LC", now, predicted);
                 }
@@ -740,16 +904,41 @@ pub(crate) fn run_engine(
                 // launch as outside it.
                 let mf = mispredict[si][idx];
                 if mf != 1.0 {
-                    fault_event(&mut report, now, "mispredict", &run.name, mf);
+                    fault_event(
+                        &mut report,
+                        &mut fault_counts,
+                        now,
+                        "mispredict",
+                        &run.name,
+                        mf,
+                    );
                 }
                 let sf = faults.straggler_factor(launch_seq);
                 if sf != 1.0 {
-                    fault_event(&mut report, now, "straggler", &run.name, sf);
+                    fault_event(
+                        &mut report,
+                        &mut fault_counts,
+                        now,
+                        "straggler",
+                        &run.name,
+                        sf,
+                    );
                 }
                 if mf * sf != 1.0 {
                     run = scale_run(&run, mf * sf);
                 }
                 now += run.duration;
+                if let Some(ws) = windows.as_mut() {
+                    let (tc, cd) = run.pipe_utilizations();
+                    ws.on_span(
+                        now.saturating_sub(run.duration),
+                        now,
+                        tc,
+                        cd,
+                        SpanKind::Fused,
+                        &mut emit_window,
+                    );
+                }
                 if tracing {
                     retire(sink.as_ref(), &run, "FUSED", now, predicted);
                 }
@@ -762,6 +951,7 @@ pub(crate) fn run_engine(
                 report.be_kernels += 1;
                 be_states[be_index].pop();
                 report.fused_launches += 1;
+                last_be = Some((be_wk.def.name().to_string(), be_wk.def.id().get()));
                 budget -= run.duration.saturating_sub(lc_predicted).as_nanos() as i128;
                 // Online model refresh (>10% error, §VI-C) and pair
                 // blacklisting when fusion lost to sequential (§VIII-I).
@@ -798,16 +988,35 @@ pub(crate) fn run_engine(
                 launch_seq += 1;
                 let sf = faults.straggler_factor(launch_seq);
                 if sf != 1.0 {
-                    fault_event(&mut report, now, "straggler", &run.name, sf);
+                    fault_event(
+                        &mut report,
+                        &mut fault_counts,
+                        now,
+                        "straggler",
+                        &run.name,
+                        sf,
+                    );
                     run = scale_run(&run, sf);
                 }
                 now += run.duration;
+                if let Some(ws) = windows.as_mut() {
+                    let (tc, cd) = run.pipe_utilizations();
+                    ws.on_span(
+                        now.saturating_sub(run.duration),
+                        now,
+                        tc,
+                        cd,
+                        SpanKind::Be,
+                        &mut emit_window,
+                    );
+                }
                 if tracing {
                     retire(sink.as_ref(), &run, "BE", now, predicted);
                 }
                 report.be_work += run.duration;
                 report.be_kernels += 1;
                 be_states[be_index].pop();
+                last_be = Some((be_wk.def.name().to_string(), be_wk.def.id().get()));
                 if was_idle {
                     // Free-running BE during idle replenishes the budget.
                     budget = budget_cap.min(budget + run.duration.as_nanos() as i128);
@@ -851,11 +1060,53 @@ pub(crate) fn run_engine(
             }
         }
 
+        // Per-iteration telemetry: guard ladder level (sticky, so only
+        // pushed on change) and fused-plan cache deltas land in the window
+        // the iteration ended in.
+        if let Some(ws) = windows.as_mut() {
+            let level = guard.as_ref().map(|g| g.level());
+            if level != last_guard_level {
+                last_guard_level = level;
+                ws.set_guard(level.map(crate::guard::GuardLevel::name));
+            }
+            if let Some((lh, lm)) = last_cache {
+                let (h, m) = device.fused_cache_stats();
+                if (h, m) != (lh, lm) {
+                    ws.on_cache(h - lh, m - lm);
+                    last_cache = Some((h, m));
+                }
+            }
+        }
+
         // Retire completed queries.
         while let Some(q) = active.front() {
             if q.pending.is_empty() {
                 let latency = now.saturating_sub(q.arrival);
                 let violated = latency > config.qos_target;
+                if violated && report.violation_log.len() < VIOLATION_LOG_CAP {
+                    // Which fault classes fired while the query was in
+                    // flight; an outage window straddling the completion
+                    // counts even when it started before admission.
+                    let mut in_effect: Vec<&'static str> = FAULT_KINDS
+                        .iter()
+                        .zip(fault_counts.iter().zip(q.faults_at_admission.iter()))
+                        .filter(|(_, (now_n, adm_n))| now_n > adm_n)
+                        .map(|(k, _)| *k)
+                        .collect();
+                    if faults.outage_active(now) && !in_effect.contains(&"predictor_outage") {
+                        in_effect.push("predictor_outage");
+                    }
+                    report.violation_log.push(ViolationRecord {
+                        at: now,
+                        service: report.services[q.service].name.clone(),
+                        latency,
+                        target: config.qos_target,
+                        guard_level: guard.as_ref().map(|g| g.level()),
+                        faults: in_effect,
+                        be_kernel: last_be.clone(),
+                        queue_depth: q.depth_at_admission,
+                    });
+                }
                 {
                     let svc = &mut report.services[q.service];
                     if violated {
@@ -870,7 +1121,7 @@ pub(crate) fn run_engine(
                             });
                         }
                     }
-                    svc.query_latencies.push(latency);
+                    svc.latency.observe(latency);
                     svc.latency_histogram.observe(latency.as_micros_f64());
                     m_latency_all.observe(latency.as_micros_f64());
                     if tracing {
@@ -881,6 +1132,10 @@ pub(crate) fn run_engine(
                             violated,
                         });
                     }
+                }
+                report.latency.observe(latency);
+                if let Some(ws) = windows.as_mut() {
+                    ws.on_completion(now, violated, &mut emit_window);
                 }
                 active.pop_front();
                 completed += 1;
@@ -894,6 +1149,9 @@ pub(crate) fn run_engine(
         }
     }
 
+    if let Some(ws) = windows {
+        report.windows = ws.finish(&mut emit_window);
+    }
     report.wall = now;
     report.guard_level = guard.as_ref().map(|g| g.level());
     sink.flush();

@@ -398,7 +398,7 @@ mod tests {
             .unwrap();
         assert_eq!(r.per_service().len(), 2);
         for svc in r.per_service() {
-            assert_eq!(svc.query_latencies.len(), 20, "{}", svc.name);
+            assert_eq!(svc.query_count(), 20, "{}", svc.name);
             assert_eq!(svc.qos_violations, 0, "{}", svc.name);
         }
         assert!(r.be_work_rate() >= 0.0);

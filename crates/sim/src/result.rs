@@ -123,6 +123,31 @@ impl KernelRun {
             .min()
             .unwrap_or(Cycles::ZERO)
     }
+
+    /// Tensor-pipeline utilization over this run's own makespan — the
+    /// per-launch number the telemetry windows and retirement events use.
+    pub fn tc_utilization(&self) -> f64 {
+        self.activity.tc_utilization(self.cycles)
+    }
+
+    /// CUDA-pipeline utilization over this run's own makespan.
+    pub fn cd_utilization(&self) -> f64 {
+        self.activity.cd_utilization(self.cycles)
+    }
+
+    /// Both pipeline utilizations as `(tensor, cuda)` with a single
+    /// division — the serving engine calls this once per launch on its
+    /// telemetry path, where two independent divides are measurable.
+    pub fn pipe_utilizations(&self) -> (f64, f64) {
+        if self.cycles == Cycles::ZERO {
+            return (0.0, 0.0);
+        }
+        let inv = 1.0 / self.cycles.get() as f64;
+        (
+            self.activity.tc_busy.get() as f64 * inv,
+            self.activity.cd_busy.get() as f64 * inv,
+        )
+    }
 }
 
 impl fmt::Display for KernelRun {

@@ -335,6 +335,12 @@ pub enum TraceEvent {
         /// The QoS target it missed.
         target: SimTime,
     },
+    /// One closed telemetry window (fixed-width simulated-time
+    /// aggregation of utilization, headroom, guard state and rates).
+    WindowStats {
+        /// The closed window row.
+        row: crate::timeseries::WindowRow,
+    },
 }
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -354,13 +360,13 @@ fn escape(s: &str, out: &mut String) {
     }
 }
 
-fn push_str_field(out: &mut String, key: &str, value: &str) {
+pub(crate) fn push_str_field(out: &mut String, key: &str, value: &str) {
     let _ = write!(out, ",\"{key}\":\"");
     escape(value, out);
     out.push('"');
 }
 
-fn push_time_field(out: &mut String, key: &str, value: SimTime) {
+pub(crate) fn push_time_field(out: &mut String, key: &str, value: SimTime) {
     let _ = write!(out, ",\"{key}\":{}", value.as_nanos());
 }
 
@@ -389,6 +395,7 @@ impl TraceEvent {
             TraceEvent::GuardStep { .. } => "guard_step",
             TraceEvent::FaultInjected { .. } => "fault_injected",
             TraceEvent::QosViolation { .. } => "qos_violation",
+            TraceEvent::WindowStats { .. } => "window",
         }
     }
 
@@ -597,6 +604,9 @@ impl TraceEvent {
                 push_str_field(&mut out, "service", service);
                 push_time_field(&mut out, "latency", *latency);
                 push_time_field(&mut out, "target", *target);
+            }
+            TraceEvent::WindowStats { row } => {
+                row.push_json_fields(&mut out);
             }
         }
         out.push('}');

@@ -23,16 +23,31 @@
 //! * [`chrome`] — a Chrome trace-event (Perfetto-compatible) exporter
 //!   rendering the device timeline, per-pipeline utilization counters, and
 //!   scheduler decisions as instant events.
+//! * [`quantile`] — the workspace's single rank definition plus
+//!   [`QuantileSketch`], a mergeable fixed-memory DDSketch-style quantile
+//!   sketch that backs `LatencyStats` in the serving runtime.
+//! * [`timeseries`] — fixed-width simulated-time windows aggregating
+//!   pipeline utilization, QoS headroom, guard state, arrival/completion
+//!   rates and fused-cache hit rate, emitted as [`TraceEvent::WindowStats`].
+//! * [`export`] — Prometheus text exposition of a [`MetricsRegistry`] and
+//!   JSONL rendering of window rows, plus a summarizer for both formats
+//!   (the `stats` CLI subcommand).
 
 pub mod chrome;
 pub mod event;
+pub mod export;
 pub mod metrics;
+pub mod quantile;
 pub mod sink;
+pub mod timeseries;
 
 pub use chrome::chrome_trace;
 pub use event::{DecisionKind, FusionRejectReason, Pipeline, ServerKind, TraceEvent};
+pub use export::{prometheus_text, summarize, timeseries_jsonl};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use quantile::{nearest_rank, QuantileSketch};
 pub use sink::{JsonLinesSink, NoopSink, RingSink, TraceSink};
+pub use timeseries::{SpanKind, WindowRow, WindowSeries};
 
 /// Utilization above which a pipeline counts as *active* on a timeline
 /// entry. Shared by `tacker-sim`'s [`TimelineEntry`] activity queries and

@@ -7,7 +7,10 @@
 //! streaming, bounded-memory view for observability). Buckets are
 //! logarithmic with [`SUB_BUCKETS_PER_OCTAVE`] sub-buckets per power of
 //! two, so any quantile estimate is within one bucket's relative width
-//! ([`Histogram::RELATIVE_ERROR`]) of the exact sample quantile.
+//! ([`Histogram::RELATIVE_ERROR`]) of the exact sample quantile. The rank
+//! definition itself lives in [`crate::quantile`], shared with the exact
+//! percentile in `tacker::metrics` and the finer-grained
+//! [`QuantileSketch`](crate::QuantileSketch).
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -219,14 +222,13 @@ impl Histogram {
     /// cumulative bucket counts and returns the holding bucket's geometric
     /// midpoint, clamped into the exact observed `[min, max]` range.
     /// Within [`Histogram::RELATIVE_ERROR`] of the exact sample quantile.
+    /// The rank definition is [`crate::quantile::nearest_rank`].
     pub fn percentile(&self, p: f64) -> f64 {
         let n = self.count();
         if n == 0 {
             return 0.0;
         }
-        let p = p.clamp(0.0, 1.0);
-        // Nearest rank: the k-th smallest sample, k in [1, n].
-        let rank = ((p * n as f64).ceil() as u64).max(1);
+        let rank = crate::quantile::nearest_rank(n, p);
         if rank >= n {
             // The n-th smallest sample is the maximum, which is tracked
             // exactly.
@@ -301,6 +303,24 @@ impl MetricsRegistry {
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         let mut map = self.inner.histograms.lock().unwrap();
         map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Snapshot of every counter as `(name, handle)`, sorted by name.
+    pub fn counters(&self) -> Vec<(String, Arc<Counter>)> {
+        let map = self.inner.counters.lock().unwrap();
+        map.iter().map(|(n, c)| (n.clone(), c.clone())).collect()
+    }
+
+    /// Snapshot of every gauge as `(name, handle)`, sorted by name.
+    pub fn gauges(&self) -> Vec<(String, Arc<Gauge>)> {
+        let map = self.inner.gauges.lock().unwrap();
+        map.iter().map(|(n, g)| (n.clone(), g.clone())).collect()
+    }
+
+    /// Snapshot of every histogram as `(name, handle)`, sorted by name.
+    pub fn histograms(&self) -> Vec<(String, Arc<Histogram>)> {
+        let map = self.inner.histograms.lock().unwrap();
+        map.iter().map(|(n, h)| (n.clone(), h.clone())).collect()
     }
 
     /// A plain-text snapshot of every metric, one line each, sorted by

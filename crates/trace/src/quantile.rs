@@ -1,0 +1,306 @@
+//! The one quantile module: nearest-rank definition and the streaming
+//! quantile sketch.
+//!
+//! Two percentile implementations grew up independently in this
+//! workspace — the exact sample-sorting nearest-rank percentile in
+//! `tacker::metrics` and the log-bucket walk in
+//! [`Histogram::percentile`](crate::Histogram::percentile) — with the rank
+//! arithmetic duplicated in both. This module is now the single source of
+//! truth:
+//!
+//! * [`nearest_rank`] pins the rank definition (`⌈p·n⌉`-th smallest,
+//!   clamped to `[1, n]`) shared by the exact percentile, the histogram
+//!   walk, and the sketch below;
+//! * [`QuantileSketch`] is a DDSketch-style mergeable quantile sketch over
+//!   integer nanosecond samples with a **fixed bucket budget** — O(1)
+//!   memory at any sample count — whose quantile estimates stay within
+//!   [`QuantileSketch::RELATIVE_ERROR`] (≈0.5%) relative error of the
+//!   exact nearest-rank value.
+//!
+//! # Determinism
+//!
+//! The sketch is bit-reproducible: bucket indices are pure functions of
+//! the sample value, and every accumulator (bucket counts, count, sum,
+//! min, max) is an integer, so [`QuantileSketch::merge`] is commutative
+//! and associative — merging per-service sketches in **any order** yields
+//! exactly the sketch of the union stream. This is what lets the serving
+//! runtime keep one sketch per service plus an all-service aggregate and
+//! have the two views agree bit for bit.
+
+/// The nearest-rank of quantile `p ∈ [0, 1]` over `n` samples: the
+/// `⌈p·n⌉`-th smallest sample, clamped into `[1, n]`. Returns 0 only when
+/// `n == 0`. This is the rank definition every percentile in the
+/// workspace uses (exact, histogram, and sketch).
+pub fn nearest_rank(n: u64, p: f64) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    let p = p.clamp(0.0, 1.0);
+    ((p * n as f64).ceil() as u64).clamp(1, n)
+}
+
+/// Fixed bucket budget of the sketch: buckets cover `[1, γ^BUCKETS)`
+/// nanoseconds ≈ 19 years, far beyond any simulated latency.
+const BUCKETS: usize = 4096;
+
+/// Bucket-width parameter `γ = (1 + α) / (1 − α)` with `α = 0.005`:
+/// bucket `i` holds values in `[γ^i, γ^(i+1))`, so the geometric midpoint
+/// is within `√γ − 1 ≈ 0.5%` of any value in the bucket.
+const GAMMA: f64 = 1.005 / 0.995;
+
+/// A mergeable, deterministic, fixed-memory quantile sketch over
+/// non-negative integer samples (nanoseconds, by convention).
+///
+/// DDSketch-style log buckets with a fixed budget ([`BUCKETS`] = 4096
+/// `u64` counts ≈ 32 KiB, [`QuantileSketch::memory_bytes`]): values below
+/// 1 clamp into the first bucket, values beyond the last bucket clamp into
+/// it. Count, sum, min and max are exact integers; quantiles return the
+/// holding bucket's geometric midpoint clamped into the observed
+/// `[min, max]`, and the top rank returns the exact maximum — mirroring
+/// [`Histogram::percentile`](crate::Histogram::percentile).
+#[derive(Clone, PartialEq, Eq)]
+pub struct QuantileSketch {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        QuantileSketch::new()
+    }
+}
+
+impl std::fmt::Debug for QuantileSketch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QuantileSketch")
+            .field("count", &self.count)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .field("p99", &self.percentile(0.99))
+            .finish()
+    }
+}
+
+impl QuantileSketch {
+    /// Worst-case relative error of a quantile estimate versus the exact
+    /// nearest-rank sample: one bucket's half-width, `√γ − 1`.
+    pub const RELATIVE_ERROR: f64 = 0.005_013;
+
+    /// An empty sketch.
+    pub fn new() -> Self {
+        QuantileSketch {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket holding `value`: `⌊ln(v) / ln(γ)⌋`, clamped into the
+    /// budget. A pure function of the value — the cornerstone of
+    /// merge-order invariance.
+    fn bucket_index(value: u64) -> usize {
+        if value <= 1 {
+            return 0;
+        }
+        let idx = ((value as f64).ln() / GAMMA.ln()).floor() as isize;
+        idx.clamp(0, BUCKETS as isize - 1) as usize
+    }
+
+    /// Geometric midpoint of bucket `i`, the representative a quantile
+    /// query returns.
+    fn bucket_mid(i: usize) -> f64 {
+        ((i as f64 + 0.5) * GAMMA.ln()).exp()
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, value: u64) {
+        self.counts[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Exact mean, rounded down (`None` when empty).
+    pub fn mean(&self) -> Option<u64> {
+        (self.count > 0)
+            .then(|| u64::try_from(self.sum / u128::from(self.count)).unwrap_or(u64::MAX))
+    }
+
+    /// Exact minimum sample (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact maximum sample (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Nearest-rank quantile estimate for `p ∈ [0, 1]` (`None` when
+    /// empty): walks the cumulative bucket counts to the holding bucket
+    /// and returns its geometric midpoint clamped into `[min, max]`;
+    /// the top rank returns the exact maximum. Within
+    /// [`QuantileSketch::RELATIVE_ERROR`] of the exact sample quantile.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = nearest_rank(self.count, p);
+        if rank >= self.count {
+            return Some(self.max);
+        }
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let mid = Self::bucket_mid(i).round() as u64;
+                return Some(mid.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Folds `other` into `self`. Bucket-wise integer addition:
+    /// commutative, associative, and bit-identical to having observed the
+    /// union stream in any order.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Fixed memory footprint of the bucket array plus scalars —
+    /// independent of how many samples were observed.
+    pub fn memory_bytes(&self) -> usize {
+        BUCKETS * std::mem::size_of::<u64>() + std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_nearest_rank(samples: &[u64], p: f64) -> u64 {
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        sorted[nearest_rank(sorted.len() as u64, p) as usize - 1]
+    }
+
+    #[test]
+    fn rank_definition() {
+        assert_eq!(nearest_rank(0, 0.5), 0);
+        assert_eq!(nearest_rank(10, 0.0), 1);
+        assert_eq!(nearest_rank(10, 0.5), 5);
+        assert_eq!(nearest_rank(10, 0.99), 10);
+        assert_eq!(nearest_rank(10, 1.0), 10);
+        assert_eq!(nearest_rank(1000, 0.999), 999);
+    }
+
+    #[test]
+    fn relative_error_bound_covers_one_bucket() {
+        // The documented constant must dominate the actual half-width.
+        assert!(GAMMA.sqrt() - 1.0 <= QuantileSketch::RELATIVE_ERROR);
+    }
+
+    #[test]
+    fn empty_sketch() {
+        let s = QuantileSketch::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.percentile(0.99), None);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn exact_scalars_and_bounded_quantiles() {
+        let samples: Vec<u64> = (1..=1000).map(|i| i * 37 % 100_000 + 1).collect();
+        let mut s = QuantileSketch::new();
+        for &v in &samples {
+            s.observe(v);
+        }
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.sum(), samples.iter().map(|&v| u128::from(v)).sum());
+        assert_eq!(s.min(), samples.iter().copied().min());
+        assert_eq!(s.max(), samples.iter().copied().max());
+        for p in [0.01, 0.5, 0.9, 0.99, 0.999] {
+            let exact = exact_nearest_rank(&samples, p);
+            let est = s.percentile(p).unwrap();
+            let rel = (est as f64 - exact as f64).abs() / exact as f64;
+            assert!(
+                rel <= QuantileSketch::RELATIVE_ERROR + 1e-9,
+                "p={p}: est={est} exact={exact} rel={rel}"
+            );
+        }
+        // The top rank is the exact maximum.
+        assert_eq!(s.percentile(1.0), s.max());
+    }
+
+    #[test]
+    fn merge_equals_union_in_any_order() {
+        let a_samples = [5u64, 900, 42, 1_000_000, 7];
+        let b_samples = [1u64, 3_000_000_000, 65, 65, 65];
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        let mut union = QuantileSketch::new();
+        for &v in &a_samples {
+            a.observe(v);
+            union.observe(v);
+        }
+        for &v in &b_samples {
+            b.observe(v);
+            union.observe(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, union);
+        assert_eq!(ba, union);
+    }
+
+    #[test]
+    fn extremes_clamp_into_the_budget() {
+        let mut s = QuantileSketch::new();
+        s.observe(0);
+        s.observe(u64::MAX);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.min(), Some(0));
+        assert_eq!(s.max(), Some(u64::MAX));
+        // Quantiles stay inside the observed range even for clamped
+        // buckets: rank 1 of {0, MAX} is bucket 0's midpoint (≈1), and
+        // the top rank returns the exact maximum.
+        assert_eq!(s.percentile(0.5), Some(1));
+        assert_eq!(s.percentile(1.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn memory_is_fixed() {
+        let mut s = QuantileSketch::new();
+        let before = s.memory_bytes();
+        for i in 0..100_000u64 {
+            s.observe(i * 131 + 1);
+        }
+        assert_eq!(s.memory_bytes(), before);
+    }
+}

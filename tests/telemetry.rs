@@ -1,0 +1,369 @@
+//! Integration tests for the streaming telemetry subsystem: quantile
+//! sketch accuracy and merge determinism, `LatencyStats` spill behavior,
+//! a byte-exact Prometheus golden file, windowed serve runs whose rows
+//! must sum back to the report aggregates, violation attribution, and the
+//! telemetry-purity invariant (observers never change scheduling).
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use tacker::prelude::*;
+use tacker::DEFAULT_EXACT_LIMIT;
+use tacker_kernel::SimTime;
+use tacker_sim::{Device, GpuSpec};
+use tacker_trace::{
+    nearest_rank, prometheus_text, summarize, timeseries_jsonl, MetricsRegistry, QuantileSketch,
+    RingSink, TraceEvent, TraceSink,
+};
+use tacker_workloads::gemm::{gemm_workload, GemmShape};
+use tacker_workloads::parboil::Benchmark;
+use tacker_workloads::{BeApp, Intensity, LcService};
+
+// ---------------------------------------------------------------------------
+// Quantile sketch: rank-error bound and merge determinism
+// ---------------------------------------------------------------------------
+
+/// The exact nearest-rank quantile of integer samples.
+fn exact_quantile(samples: &[u64], p: f64) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    sorted[nearest_rank(sorted.len() as u64, p) as usize - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every sketch quantile stays within the documented relative error
+    /// of the exact nearest-rank sample quantile.
+    #[test]
+    fn sketch_percentile_within_rank_error_bound(
+        samples in proptest::collection::vec(1u64..100_000_000_000, 1..400),
+        p_mil in 1u32..1000,
+    ) {
+        let p = f64::from(p_mil) / 1000.0;
+        let mut sketch = QuantileSketch::new();
+        for s in &samples {
+            sketch.observe(*s);
+        }
+        let exact = exact_quantile(&samples, p);
+        let approx = sketch.percentile(p).expect("non-empty");
+        let rel = (approx as f64 - exact as f64).abs() / exact as f64;
+        prop_assert!(
+            rel <= QuantileSketch::RELATIVE_ERROR + 1e-9,
+            "p={p}: approx {approx} vs exact {exact} (rel {rel})"
+        );
+    }
+
+    /// Merging per-stream sketches is bit-identical to observing the
+    /// concatenated stream, in any merge order — the property that makes
+    /// per-service sketches aggregate exactly into the run-level one.
+    #[test]
+    fn sketch_merge_is_order_invariant_and_lossless(
+        streams in proptest::collection::vec(
+            proptest::collection::vec(1u64..10_000_000, 0..120),
+            1..5,
+        ),
+    ) {
+        let mut whole = QuantileSketch::new();
+        for s in streams.iter().flatten() {
+            whole.observe(*s);
+        }
+        let parts: Vec<QuantileSketch> = streams
+            .iter()
+            .map(|stream| {
+                let mut sk = QuantileSketch::new();
+                for s in stream {
+                    sk.observe(*s);
+                }
+                sk
+            })
+            .collect();
+        let mut forward = QuantileSketch::new();
+        for p in &parts {
+            forward.merge(p);
+        }
+        let mut backward = QuantileSketch::new();
+        for p in parts.iter().rev() {
+            backward.merge(p);
+        }
+        prop_assert!(forward == whole, "forward merge differs from the union stream");
+        prop_assert!(backward == whole, "merge order changed the sketch");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LatencyStats: exact mode, spill, bounded memory
+// ---------------------------------------------------------------------------
+
+#[test]
+fn latency_stats_spills_to_sketch_at_limit_and_memory_stays_flat() {
+    let mut stats = LatencyStats::with_limit(64);
+    for i in 1..=64u64 {
+        stats.observe(SimTime::from_micros(i * 100));
+    }
+    assert!(!stats.is_sketch(), "under the limit stays exact");
+    assert_eq!(stats.samples().len(), 64);
+    let exact_p50 = stats.percentile(50.0).expect("non-empty");
+    assert_eq!(
+        exact_p50,
+        SimTime::from_micros(3200),
+        "nearest rank ⌈0.5·64⌉ = 32"
+    );
+
+    stats.observe(SimTime::from_micros(6500));
+    assert!(stats.is_sketch(), "limit + 1 spills to the sketch");
+    assert!(stats.samples().is_empty(), "sketch mode retains no samples");
+    assert_eq!(stats.count(), 65, "spill replays every retained sample");
+
+    // After the spill, memory no longer grows with observations.
+    let spilled = stats.retained_bytes();
+    for i in 0..10_000u64 {
+        stats.observe(SimTime::from_micros(100 + i % 6000));
+    }
+    assert_eq!(stats.retained_bytes(), spilled, "sketch memory is fixed");
+    assert!(stats.peak_bytes() >= spilled);
+    assert_eq!(stats.count(), 10_065);
+}
+
+#[test]
+fn latency_stats_sketch_percentile_tracks_exact_within_bound() {
+    let mut exact = LatencyStats::exact();
+    let mut sketch = LatencyStats::with_limit(0);
+    assert_eq!(DEFAULT_EXACT_LIMIT, 4096);
+    for i in 0..5000u64 {
+        let v = SimTime::from_micros(500 + (i * 7919) % 90_000);
+        exact.observe(v);
+        sketch.observe(v);
+    }
+    assert!(!exact.is_sketch());
+    assert!(sketch.is_sketch());
+    for p in [50.0, 90.0, 99.0, 99.9] {
+        let e = exact.percentile(p).expect("non-empty").as_nanos() as f64;
+        let s = sketch.percentile(p).expect("non-empty").as_nanos() as f64;
+        let rel = (s - e).abs() / e;
+        assert!(
+            rel <= QuantileSketch::RELATIVE_ERROR + 1e-9,
+            "p{p}: sketch {s} vs exact {e} (rel {rel})"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus golden file
+// ---------------------------------------------------------------------------
+
+/// Byte-exact golden of the Prometheus text exposition: family grouping,
+/// `tacker_` namespace, per-service labels, summary quantiles, and the
+/// deterministic BTreeMap ordering are all load-bearing for scrapers.
+#[test]
+fn prometheus_text_matches_golden() {
+    let registry = MetricsRegistry::new();
+    registry.counter("serve_decisions").add(42);
+    registry.counter("qos_violations.Resnet50").add(3);
+    registry.gauge("inject_budget_ns").set(1500.5);
+    let h = registry.histogram("query_latency_us.Resnet50");
+    for v in [100.0, 200.0, 300.0, 400.0] {
+        h.observe(v);
+    }
+    let text = prometheus_text(&registry);
+    let golden = "\
+# TYPE tacker_qos_violations counter
+tacker_qos_violations{service=\"Resnet50\"} 3
+# TYPE tacker_serve_decisions counter
+tacker_serve_decisions 42
+# TYPE tacker_inject_budget_ns gauge
+tacker_inject_budget_ns 1500.500000
+# TYPE tacker_query_latency_us summary
+tacker_query_latency_us{service=\"Resnet50\",quantile=\"0.5\"} 206.143
+tacker_query_latency_us{service=\"Resnet50\",quantile=\"0.9\"} 400.000
+tacker_query_latency_us{service=\"Resnet50\",quantile=\"0.99\"} 400.000
+tacker_query_latency_us{service=\"Resnet50\",quantile=\"0.999\"} 400.000
+tacker_query_latency_us_sum{service=\"Resnet50\"} 1000.000
+tacker_query_latency_us_count{service=\"Resnet50\"} 4
+";
+    assert_eq!(
+        text, golden,
+        "Prometheus exposition drifted from the golden"
+    );
+    // And the summarizer accepts its own exporter's output.
+    summarize(&text).expect("summarize(prometheus) succeeds");
+}
+
+// ---------------------------------------------------------------------------
+// Windowed serve: rows sum to report aggregates, events reach the sink
+// ---------------------------------------------------------------------------
+
+fn drill_lc() -> LcService {
+    let gemm = tacker_workloads::dnn::compile::shared_gemm();
+    LcService::new(
+        "drill",
+        8,
+        vec![
+            gemm_workload(&gemm, GemmShape::new(2048, 1024, 512)),
+            tacker_workloads::dnn::elementwise::elementwise_workload(
+                &tacker_workloads::dnn::elementwise::relu(),
+                2_000_000,
+            ),
+        ],
+    )
+}
+
+fn drill_be() -> Vec<BeApp> {
+    let bench = Benchmark::Fft;
+    vec![BeApp::new(bench.name(), Intensity::Compute, bench.task())]
+}
+
+#[test]
+fn windowed_serve_rows_sum_to_report_aggregates() {
+    let device = Arc::new(Device::new(GpuSpec::rtx2080ti()));
+    let lc = drill_lc();
+    let be = drill_be();
+    let config = ExperimentConfig::default().with_queries(16).with_seed(3);
+    let sink: Arc<RingSink> = Arc::new(RingSink::unbounded());
+    let report = ColocationRun::new(&device, &config, std::slice::from_ref(&lc), &be)
+        .expect("run")
+        .policy(Policy::Tacker)
+        .arrivals(ArrivalSpec::Poisson)
+        .faults(FaultPlan::mispredicting(3.0, 0.4).with_seed(5))
+        .windowed(SimTime::from_millis(1))
+        .traced(Arc::clone(&sink) as Arc<dyn TraceSink>)
+        .run()
+        .expect("run");
+
+    assert!(!report.windows.is_empty(), "a windowed run collects rows");
+    let arrivals: u64 = report.windows.iter().map(|r| r.arrivals).sum();
+    let completions: u64 = report.windows.iter().map(|r| r.completions).sum();
+    let violations: u64 = report.windows.iter().map(|r| r.violations).sum();
+    let fused: u64 = report.windows.iter().map(|r| r.fused_launches).sum();
+    assert_eq!(arrivals, 16, "every admission lands in exactly one window");
+    assert_eq!(
+        completions, 16,
+        "every completion lands in exactly one window"
+    );
+    assert_eq!(violations, report.qos_violations() as u64);
+    assert_eq!(fused, report.fused_launches);
+    for row in &report.windows {
+        assert!(row.index * row.width().as_nanos() == row.start.as_nanos());
+        assert!(
+            row.busy <= row.width(),
+            "busy time cannot exceed the window"
+        );
+        assert!(row.sm_utilization() <= 1.0 + 1e-9);
+    }
+    // Indices strictly increase (gaps where windows were empty are fine).
+    for pair in report.windows.windows(2) {
+        assert!(pair[0].index < pair[1].index);
+    }
+
+    // Every collected row was also emitted as a WindowStats trace event,
+    // in the same order.
+    let emitted: Vec<_> = sink
+        .events()
+        .into_iter()
+        .filter_map(|e| match e {
+            TraceEvent::WindowStats { row } => Some(row),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(emitted, report.windows);
+
+    // The JSONL exporter round-trips through the summarizer.
+    let jsonl = timeseries_jsonl(&report.windows);
+    assert_eq!(jsonl.lines().count(), report.windows.len());
+    summarize(&jsonl).expect("summarize(jsonl) succeeds");
+    summarize("not-a-metrics-file").expect_err("junk is rejected");
+}
+
+#[test]
+fn faulted_run_attributes_every_violation() {
+    let device = Arc::new(Device::new(GpuSpec::rtx2080ti()));
+    // The tiny drill service never violates even under heavy faults; the
+    // serve_bench fault-drill workload (Resnet50 + fft) reliably does.
+    let lc = tacker_workloads::lc_service("Resnet50", &device).expect("Resnet50");
+    let be = drill_be();
+    let config = ExperimentConfig::default()
+        .with_queries(60)
+        .with_seed(11)
+        .with_load(0.95);
+    let report = ColocationRun::new(&device, &config, std::slice::from_ref(&lc), &be)
+        .expect("run")
+        .policy(Policy::Tacker)
+        .arrivals(ArrivalSpec::Poisson)
+        .faults(FaultPlan::mispredicting(1.5, 0.2).with_seed(11))
+        .guarded(GuardConfig::default())
+        .run()
+        .expect("run");
+
+    assert!(
+        report.qos_violations() > 0,
+        "the drill must actually violate"
+    );
+    assert_eq!(
+        report.violation_log.len(),
+        report.qos_violations(),
+        "one attribution record per violation"
+    );
+    for rec in &report.violation_log {
+        assert_eq!(rec.service, "Resnet50");
+        assert!(rec.latency > rec.target, "recorded latency must breach QoS");
+        assert!(rec.guard_level.is_some(), "guarded run records the rung");
+        let json = rec.to_json();
+        assert!(json.contains("\"service\":\"Resnet50\""), "{json}");
+        assert!(json.contains("\"queue_depth\":"), "{json}");
+    }
+    assert!(
+        report.violation_log.iter().any(|r| !r.faults.is_empty()),
+        "under this fault plan some violation names the faults in flight"
+    );
+    // The guard stepped at least once under this fault plan, and each
+    // step left an audit record.
+    assert!(report.guard_steps > 0);
+    assert_eq!(report.guard_log.len(), report.guard_steps as usize);
+    for audit in &report.guard_log {
+        assert!(audit.from != audit.to, "audit records real transitions");
+        assert!(!audit.reason.is_empty());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry purity: observers never change scheduling
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// A zero-fault windowed + sketch-limited serve still reproduces the
+    /// batch run bit for bit: telemetry options are pure observers.
+    #[test]
+    fn windowed_zero_fault_serve_is_still_the_batch_run(
+        seed in 0u64..500,
+        window_us in 1u64..5_000,
+    ) {
+        let device = Arc::new(Device::new(GpuSpec::rtx2080ti()));
+        let lc = drill_lc();
+        let be = drill_be();
+        let config = ExperimentConfig::default().with_queries(10).with_seed(seed);
+        let batch = ColocationRun::new(&device, &config, std::slice::from_ref(&lc), &be)
+            .expect("batch").policy(Policy::Tacker).run().expect("batch");
+        let serve = ColocationRun::new(&device, &config, std::slice::from_ref(&lc), &be)
+            .expect("serve")
+            .policy(Policy::Tacker)
+            .arrivals(ArrivalSpec::Poisson)
+            .faults(FaultPlan::none())
+            .windowed(SimTime::from_micros(window_us))
+            .run()
+            .expect("serve");
+        prop_assert_eq!(batch.query_latencies(), serve.query_latencies());
+        prop_assert_eq!(batch.wall, serve.wall);
+        prop_assert_eq!(batch.fused_launches, serve.fused_launches);
+        prop_assert!(!serve.windows.is_empty());
+
+        // Per-service sketches merged together equal the run-level stats
+        // sketch — determinism pinned end to end.
+        let mut merged = QuantileSketch::new();
+        for svc in serve.per_service() {
+            merged.merge(&svc.latency.to_sketch());
+        }
+        prop_assert!(merged == serve.latency.to_sketch());
+    }
+}
