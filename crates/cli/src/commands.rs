@@ -46,9 +46,13 @@ completions, and writes a Chrome trace-event JSON loadable in Perfetto
 (https://ui.perfetto.dev) or chrome://tracing.
 
 `--jobs N` sets the worker-thread count for the parallel phases (sweep
-cells, fusion-candidate measurement); 0 or omitted = every core. Any jobs
-count produces bit-identical results: simulation is pure and each run's
-RNG stream is derived from its (pair, policy) coordinates.
+cells, fusion-candidate measurement, serve-mode load calibration) on
+colocate/multi/sweep/serve. `--jobs 0` (the default) auto-detects every
+core; when the flag is omitted the `TACKER_JOBS` environment variable is
+consulted with the same convention (0 = auto). Small batches fall back
+to serial automatically, so `--jobs` is always safe to leave at auto.
+Any jobs count produces bit-identical results: simulation is pure and
+each run's RNG stream is derived from its (pair, policy) coordinates.
 
 `serve` runs the online serving runtime. `--faults` takes a comma-separated
 plan: `mispredict:<mult>:<frac>`, `straggler:<mult>:<frac>`,
@@ -110,10 +114,28 @@ fn policy_for(flags: &Flags) -> Result<Policy, String> {
     }
 }
 
+/// Worker-count resolution for colocate/multi/sweep/serve: the `--jobs`
+/// flag wins, then the `TACKER_JOBS` environment variable, then `0`
+/// (auto-detect every core). Both spellings share the same convention —
+/// `0` means auto — so scripts can pin a fleet-wide default via the
+/// environment and still override per invocation.
+fn jobs_for(flags: &Flags) -> Result<usize, String> {
+    if flags.get("jobs").is_some() {
+        return Ok(flags.get_u64("jobs", 0)? as usize);
+    }
+    match std::env::var("TACKER_JOBS") {
+        Ok(v) => v
+            .trim()
+            .parse()
+            .map_err(|_| format!("TACKER_JOBS expects a number, got `{v}`")),
+        Err(_) => Ok(0),
+    }
+}
+
 fn config_for(flags: &Flags) -> Result<ExperimentConfig, String> {
     let mut config = ExperimentConfig::default()
         .with_queries(flags.get_u64("queries", 100)? as usize)
-        .with_jobs(flags.get_u64("jobs", 0)? as usize);
+        .with_jobs(jobs_for(flags)?);
     if let Some(seed) = flags.get("seed") {
         config = config.with_seed(seed.parse().map_err(|_| "--seed expects a number")?);
     }
@@ -474,7 +496,7 @@ fn sweep(flags: &Flags) -> Result<(), String> {
             cells.len(),
             policy,
             device.spec().name,
-            tacker_par::effective_jobs(jobs),
+            tacker::sweep_jobs_used(jobs, &lcs, &bes, &[policy], &config),
         );
         println!(
             "{:<10} {:>8} {:>9} {:>9} {:>6} {:>8} {:>7}",

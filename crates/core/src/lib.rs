@@ -89,7 +89,9 @@ pub use server::{
     run_colocation, run_colocation_traced, run_multi_colocation, run_multi_colocation_at_traced,
     run_multi_colocation_traced,
 };
-pub use sweep::{run_improvement_sweep, run_pair_sweep, SweepCell};
+pub use sweep::{
+    expected_cell_events, run_improvement_sweep, run_pair_sweep, sweep_jobs_used, SweepCell,
+};
 
 /// Convenient glob imports.
 pub mod prelude {
@@ -101,5 +103,7 @@ pub mod prelude {
     pub use crate::metrics::LatencyStats;
     pub use crate::report::{RunReport, ServiceReport, ViolationRecord};
     pub use crate::serve::{ArrivalSpec, ColocationRun, ServeOptions, TelemetryOptions};
-    pub use crate::sweep::{run_improvement_sweep, run_pair_sweep, SweepCell};
+    pub use crate::sweep::{
+        expected_cell_events, run_improvement_sweep, run_pair_sweep, sweep_jobs_used, SweepCell,
+    };
 }

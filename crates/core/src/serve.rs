@@ -302,18 +302,29 @@ impl<'a> ColocationRun<'a> {
             }]
         } else {
             // Each service carries an equal share of the configured load
-            // so the combined LC demand stays feasible.
+            // so the combined LC demand stays feasible. Calibration runs
+            // one full LC-only simulation per service, so multi-service
+            // setups fan the (independent, cached) calibrations out over
+            // the persistent pool; results join in service order, and
+            // per-service seeds depend only on the service index, so the
+            // loads are identical at any jobs count.
             let share = self.lcs.len() as f64 / self.config.load_factor.max(1e-6);
-            let mut loads = Vec::with_capacity(self.lcs.len());
-            for (i, lc) in self.lcs.iter().enumerate() {
-                let peak = calibrate_peak_interarrival(self.device, lc, &self.config)?;
-                loads.push(ServiceLoad {
+            let device = Arc::clone(self.device);
+            let config = self.config.clone();
+            let peaks =
+                tacker_par::try_pool_map(self.config.jobs, self.lcs.clone(), move |_, lc| {
+                    calibrate_peak_interarrival(&device, lc, &config)
+                })?;
+            self.lcs
+                .iter()
+                .zip(peaks)
+                .enumerate()
+                .map(|(i, (lc, peak))| ServiceLoad {
                     lc: lc.clone(),
                     mean_interarrival: peak.mul_f64(share),
                     seed: self.config.seed.wrapping_add(i as u64),
-                });
-            }
-            loads
+                })
+                .collect()
         };
         run_engine(
             self.device,

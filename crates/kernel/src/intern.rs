@@ -1,0 +1,146 @@
+//! Workspace-wide name interning: dense integer identities for kernel
+//! (and role) names.
+//!
+//! The simulator's hot paths — plan compilation, the DES event loop,
+//! device-cache accounting — want cheap copyable identities, while the
+//! trace/report boundary wants human-readable strings. [`NameId`] is the
+//! dense id: a `u32` index into a process-global table of interned
+//! [`Name`]s. Interning the same string twice yields the same id, ids
+//! compare/hash as integers, and [`NameId::resolve`] recovers the shared
+//! `Arc<str>` at the boundary.
+//!
+//! The table is append-only and never garbage-collected: the workspace
+//! interns a bounded population (kernel names, role names, service names),
+//! so the table stays small for the lifetime of the process. Reads after
+//! interning go through a lock only on insertion; lookups of existing
+//! names take a shared read lock.
+
+use std::collections::HashMap;
+use std::sync::{OnceLock, RwLock};
+
+use crate::Name;
+
+/// A dense, copyable identity for an interned [`Name`].
+///
+/// Ids are process-local: they are assigned in interning order and must
+/// never be persisted or compared across processes (use the content
+/// fingerprints in [`crate::fingerprint`] for that).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NameId(u32);
+
+impl NameId {
+    /// The raw dense index.
+    #[inline]
+    pub fn get(self) -> u32 {
+        self.0
+    }
+
+    /// The interned name this id stands for.
+    pub fn resolve(self) -> Name {
+        let table = interner().read().expect("interner poisoned");
+        table.names[self.0 as usize].clone()
+    }
+}
+
+impl std::fmt::Display for NameId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.resolve())
+    }
+}
+
+#[derive(Default)]
+struct Interner {
+    ids: HashMap<Name, u32>,
+    names: Vec<Name>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static TABLE: OnceLock<RwLock<Interner>> = OnceLock::new();
+    TABLE.get_or_init(|| RwLock::new(Interner::default()))
+}
+
+/// Interns `name`, returning its dense id. Idempotent: the same string
+/// always maps to the same id within a process.
+pub fn intern(name: &str) -> NameId {
+    {
+        let table = interner().read().expect("interner poisoned");
+        if let Some(&id) = table.ids.get(name) {
+            return NameId(id);
+        }
+    }
+    let mut table = interner().write().expect("interner poisoned");
+    // Double-checked: another thread may have inserted between locks.
+    if let Some(&id) = table.ids.get(name) {
+        return NameId(id);
+    }
+    let id = u32::try_from(table.names.len()).expect("interner table overflow");
+    let shared: Name = name.into();
+    table.names.push(shared.clone());
+    table.ids.insert(shared, id);
+    NameId(id)
+}
+
+/// Interns an already-shared [`Name`] without copying the string when it
+/// is new to the table.
+pub fn intern_name(name: &Name) -> NameId {
+    {
+        let table = interner().read().expect("interner poisoned");
+        if let Some(&id) = table.ids.get(name.as_ref()) {
+            return NameId(id);
+        }
+    }
+    let mut table = interner().write().expect("interner poisoned");
+    if let Some(&id) = table.ids.get(name.as_ref()) {
+        return NameId(id);
+    }
+    let id = u32::try_from(table.names.len()).expect("interner table overflow");
+    table.names.push(name.clone());
+    table.ids.insert(name.clone(), id);
+    NameId(id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = intern("interner-test-axpy");
+        let b = intern("interner-test-axpy");
+        assert_eq!(a, b);
+        assert_eq!(a.resolve().as_ref(), "interner-test-axpy");
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_ids() {
+        let a = intern("interner-test-a");
+        let b = intern("interner-test-b");
+        assert_ne!(a, b);
+        assert_ne!(a.get(), b.get());
+    }
+
+    #[test]
+    fn shared_name_interning_matches_str_interning() {
+        let name: Name = "interner-test-shared".into();
+        assert_eq!(intern_name(&name), intern("interner-test-shared"));
+    }
+
+    #[test]
+    fn ids_round_trip_through_display() {
+        let id = intern("interner-test-display");
+        assert_eq!(id.to_string(), "interner-test-display");
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let ids: Vec<NameId> = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| s.spawn(|| intern("interner-test-race")))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -51,6 +51,7 @@ pub mod ast;
 pub mod dims;
 pub mod error;
 pub mod fingerprint;
+pub mod intern;
 pub mod kernel;
 pub mod lower;
 pub mod resources;
@@ -62,6 +63,7 @@ pub use ast::{ComputeUnit, Expr, MemDir, MemSpace, Stmt};
 pub use dims::{Dim3, LaunchGeometry};
 pub use error::KernelError;
 pub use fingerprint::StableHasher;
+pub use intern::{intern, intern_name, NameId};
 pub use kernel::{Bindings, KernelDef, KernelDefBuilder, KernelId, KernelKind, KernelLaunch, Name};
 pub use lower::{lower_block, LowerOptions};
 pub use resources::{ResourceUsage, SmCapacity};

@@ -1,0 +1,236 @@
+//! Plan compilation: per-warp micro-op tables with every spec-dependent
+//! quantity pre-resolved.
+//!
+//! The engine simulates thousands of *short* runs per sweep (a typical
+//! kernel is under a thousand events), so per-run setup cost matters as
+//! much as per-event cost. Compiling a plan — flattening every role's
+//! [`Op`] program into a [`MicroOp`] table with service times already
+//! divided out, plus the run-length and barrier-expectation metadata —
+//! is pure function of `(spec, block program)`, so each
+//! [`crate::ExecutablePlan`] caches the result in a shared cell and
+//! every subsequent simulation of that plan starts from the table
+//! directly.
+//!
+//! The service values are computed with the exact expressions the
+//! event-by-event engine always used, so timings are bit-identical to
+//! an uncached build.
+
+use std::sync::{Arc, Mutex};
+
+use tacker_kernel::ast::{ComputeUnit, MemSpace};
+use tacker_kernel::{BlockProgram, Op};
+
+use crate::spec::GpuSpec;
+
+/// One op of a role's program with every spec-dependent quantity
+/// pre-resolved, so the hot loop does table lookups and adds — no
+/// per-event divisions or AST-shaped matching.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum MicroOp {
+    /// Tensor-pipeline compute: issue, then occupy TC for `service`.
+    Tc { service: f64 },
+    /// CUDA-pipeline compute: issue, then occupy CD for `service`.
+    Cd { service: f64 },
+    /// Shared-memory access: issue, shared server, fixed latency.
+    Shared { service: f64 },
+    /// Global access: issue, L1 stage, then a DRAM stage for
+    /// `miss_bytes` when positive.
+    Global { service: f64, miss_bytes: f64 },
+    /// Arrive at named barrier `id`.
+    Barrier { id: u16 },
+}
+
+/// A block program compiled against one [`GpuSpec`]: everything the
+/// engine's hot loop reads per event, built once per (plan, spec).
+#[derive(Debug)]
+pub(crate) struct CompiledProgram {
+    /// All roles' programs flattened into one micro-op table.
+    pub micro: Vec<MicroOp>,
+    /// Per flat pc: whether the op starts a barrier-free run (from the
+    /// lowering's run-length metadata) — the macro-step eligibility
+    /// gate.
+    pub run_ok: Vec<bool>,
+    /// Per role: (flat start, flat end) into `micro`.
+    pub role_span: Vec<(u32, u32)>,
+    /// Expected arrivals, directly indexed by barrier id; ids outside
+    /// the lowering's table default to 1 arrival, matching the sparse
+    /// lookup.
+    pub barrier_expected: Vec<u32>,
+}
+
+impl CompiledProgram {
+    fn build(spec: &GpuSpec, block: &BlockProgram) -> CompiledProgram {
+        let mut micro = Vec::new();
+        let mut run_ok = Vec::new();
+        let mut role_span = Vec::with_capacity(block.roles.len());
+        for role in &block.roles {
+            let pc0 = micro.len() as u32;
+            for op in &role.program.ops {
+                micro.push(match op {
+                    Op::Compute {
+                        unit: ComputeUnit::Tensor,
+                        ops,
+                    } => MicroOp::Tc {
+                        service: *ops as f64 / spec.tc_ops_per_cycle,
+                    },
+                    Op::Compute {
+                        unit: ComputeUnit::Cuda,
+                        ops,
+                    } => MicroOp::Cd {
+                        service: *ops as f64 / spec.cd_ops_per_cycle,
+                    },
+                    Op::Memory {
+                        space: MemSpace::Shared,
+                        bytes,
+                        ..
+                    } => MicroOp::Shared {
+                        service: *bytes as f64 / spec.shared_bytes_per_cycle,
+                    },
+                    Op::Memory {
+                        space: MemSpace::Global,
+                        bytes,
+                        locality,
+                        ..
+                    } => {
+                        let bytes = *bytes as f64;
+                        MicroOp::Global {
+                            service: bytes / spec.l1_bytes_per_cycle,
+                            miss_bytes: bytes * (1.0 - locality),
+                        }
+                    }
+                    Op::Barrier { id } => MicroOp::Barrier { id: *id },
+                });
+            }
+            run_ok.extend(role.program.run_lengths().iter().map(|&r| r > 0));
+            role_span.push((pc0, micro.len() as u32));
+        }
+        let bound = block.barrier_bound();
+        let mut barrier_expected = vec![1u32; bound];
+        for b in &block.barriers {
+            barrier_expected[b.id as usize] = b.expected_warps;
+        }
+        CompiledProgram {
+            micro,
+            run_ok,
+            role_span,
+            barrier_expected,
+        }
+    }
+}
+
+/// Compiled-program entries the cell will hold before evicting: plans
+/// are simulated against a handful of specs at most (two device presets
+/// plus test variants), so anything past this is churn, not reuse.
+const MAX_CACHED_SPECS: usize = 8;
+
+/// A shared, lazily filled cache of compiled programs, embedded in each
+/// [`crate::ExecutablePlan`]. Clones of a plan share the cell (an `Arc`),
+/// and the cell is deliberately **excluded from plan equality**: it is
+/// memoization state, not plan semantics.
+///
+/// Lookups re-verify the full key — spec *and* block program — so a plan
+/// whose public `block` field is mutated after a simulation (tests do
+/// this to flip barrier expectations) recompiles instead of replaying a
+/// stale table.
+pub(crate) struct CompiledCell {
+    slots: Arc<Mutex<Vec<CompiledSlot>>>,
+}
+
+/// One cached compilation: the full key (spec + block program) and the
+/// table built for it.
+type CompiledSlot = (GpuSpec, BlockProgram, Arc<CompiledProgram>);
+
+impl CompiledCell {
+    pub fn get_or_compile(&self, spec: &GpuSpec, block: &BlockProgram) -> Arc<CompiledProgram> {
+        let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((_, _, prog)) = slots.iter().find(|(s, b, _)| s == spec && b == block) {
+            return Arc::clone(prog);
+        }
+        let prog = Arc::new(CompiledProgram::build(spec, block));
+        if slots.len() >= MAX_CACHED_SPECS {
+            slots.clear();
+        }
+        slots.push((spec.clone(), block.clone(), Arc::clone(&prog)));
+        prog
+    }
+}
+
+impl Default for CompiledCell {
+    fn default() -> Self {
+        CompiledCell {
+            slots: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+}
+
+impl Clone for CompiledCell {
+    fn clone(&self) -> Self {
+        CompiledCell {
+            slots: Arc::clone(&self.slots),
+        }
+    }
+}
+
+impl std::fmt::Debug for CompiledCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let len = self
+            .slots
+            .lock()
+            .map(|s| s.len())
+            .unwrap_or_else(|e| e.into_inner().len());
+        write!(f, "CompiledCell({len} cached)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacker_kernel::{WarpProgram, WarpRole};
+
+    fn block(ops: Vec<Op>) -> BlockProgram {
+        BlockProgram::new(vec![WarpRole {
+            name: "r".into(),
+            warps: 1,
+            program: WarpProgram::new(ops),
+            original_blocks: 1,
+        }])
+    }
+
+    #[test]
+    fn cache_hits_on_same_spec_and_misses_on_mutated_block() {
+        let spec = GpuSpec::rtx2080ti();
+        let cell = CompiledCell::default();
+        let b1 = block(vec![Op::Compute {
+            unit: ComputeUnit::Cuda,
+            ops: 64,
+        }]);
+        let p1 = cell.get_or_compile(&spec, &b1);
+        let p2 = cell.get_or_compile(&spec, &b1);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        // A different block program under the same cell must recompile.
+        let b2 = block(vec![Op::Compute {
+            unit: ComputeUnit::Cuda,
+            ops: 128,
+        }]);
+        let p3 = cell.get_or_compile(&spec, &b2);
+        assert!(!Arc::ptr_eq(&p1, &p3));
+    }
+
+    #[test]
+    fn service_times_match_the_spec() {
+        let spec = GpuSpec::rtx2080ti();
+        let cell = CompiledCell::default();
+        let b = block(vec![Op::Compute {
+            unit: ComputeUnit::Tensor,
+            ops: 512,
+        }]);
+        let prog = cell.get_or_compile(&spec, &b);
+        match prog.micro[0] {
+            MicroOp::Tc { service } => {
+                assert_eq!(service, 512.0 / spec.tc_ops_per_cycle);
+            }
+            ref other => panic!("expected Tc, got {other:?}"),
+        }
+        assert_eq!(prog.role_span, vec![(0, 1)]);
+    }
+}

@@ -130,15 +130,15 @@ fn merged_plan(spec: &GpuSpec, a: &ExecutablePlan, b: &ExecutablePlan) -> Execut
     let threads = block.threads();
     let resources = a.resources.fuse_with(&b.resources);
     let occupancy = spec.sm.blocks_per_sm(&resources, threads).max(1) as u64;
-    ExecutablePlan {
-        name: format!("{}+{}", a.name, b.name).into(),
-        fused: false,
+    ExecutablePlan::assemble(
+        format!("{}+{}", a.name, b.name),
+        false,
         block,
-        issued_blocks: occupancy * spec.sm_count as u64,
+        occupancy * spec.sm_count as u64,
         resources,
-        threads_per_block: threads,
-        fingerprint: None,
-    }
+        threads,
+        None,
+    )
 }
 
 /// Models co-running two prepared plans under the given interface.
@@ -204,15 +204,15 @@ mod tests {
             original_blocks: 68,
         }]);
         let threads = block.threads();
-        ExecutablePlan {
-            name: name.into(),
-            fused: false,
+        ExecutablePlan::assemble(
+            name,
+            false,
             block,
-            issued_blocks: 68,
-            resources: ResourceUsage::new(32, smem),
-            threads_per_block: threads,
-            fingerprint: None,
-        }
+            68,
+            ResourceUsage::new(32, smem),
+            threads,
+            None,
+        )
     }
 
     #[test]

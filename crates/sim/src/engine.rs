@@ -29,7 +29,20 @@
 //! [`crate::queue`]. Two interchangeable queues are provided
 //! ([`QueueKind`]): the reference binary heap and a calendar/bucket queue
 //! whose buckets are sized from the spec's issue cost. Both drain the
-//! same total order, so results are bit-identical between them.
+//! same total order, so results are bit-identical between them; the
+//! engine's run loop is monomorphized over the queue, so neither pays
+//! dispatch for the other's existence.
+//!
+//! Warp state is stored struct-of-arrays: the per-event execution fields
+//! (`pc`/`iters`), the DRAM-stage bytes, the rarely-touched metadata and
+//! the finish times live in parallel `Vec`s indexed by the dense warp id
+//! — the same id the queue uses as its event slot. The run loop keeps a
+//! register-resident copy of the active warp's execution state and
+//! writes it back only at run boundaries. All of that storage, plus the
+//! queues themselves, lives in a per-thread scratch arena reused across
+//! simulations, so a run allocates only its result; the per-spec
+//! micro-op tables come pre-compiled from the plan's cache
+//! ([`crate::compile`]).
 //!
 //! On top of the queue sits **warp macro-stepping**: after processing a
 //! warp's event, if the warp's *next* wake-up time is strictly below the
@@ -44,15 +57,16 @@
 //! across queue kinds and macro-stepping; [`KernelRun::pops`] counts
 //! actual queue transactions and shrinks as runs coalesce.
 
+use std::cell::RefCell;
 use std::collections::VecDeque;
 
-use tacker_kernel::ast::{ComputeUnit, MemSpace};
-use tacker_kernel::{Cycles, Name, Op};
+use tacker_kernel::{Cycles, Name};
 use tacker_trace::{Pipeline, ServerKind, TraceEvent, TraceSink};
 
+use crate::compile::{CompiledProgram, MicroOp};
 use crate::error::SimError;
 use crate::plan::ExecutablePlan;
-use crate::queue::{CalendarQueue, Event, EventQueue, HeapQueue};
+use crate::queue::{CalendarQueue, HeapQueue, SimQueue};
 use crate::result::{merge_intervals, ActivitySummary, Interval, KernelRun};
 use crate::spec::GpuSpec;
 
@@ -60,12 +74,17 @@ use crate::spec::GpuSpec;
 const BARRIER_COST: f64 = 4.0;
 
 /// Calendar bucket width as a multiple of the spec's per-op issue cost.
-/// The issue cost is the natural quantum between back-to-back events on
-/// one SM; the multiplier stretches buckets toward the *typical* gap
-/// between consecutive wake-ups (tens of issue quanta once service
-/// times and memory latencies are in play), so pops rarely scan empty
-/// buckets while each bucket still holds only a handful of events.
-const BUCKET_WIDTH_ISSUE_COSTS: f64 = 32.0;
+/// Wide buckets win twice on this engine's workloads: the whole active
+/// window (bounded by warp slots, since each warp has at most one
+/// pending event) usually fits in one or two buckets, so nearly every
+/// pop is a drain-ring cursor bump instead of a bucket hop, and a full
+/// drain ring yields *exact* `pop_with_hint` bounds, which is what lets
+/// the macro-stepper coalesce. Measured on the workload kernels
+/// (Resnet50/VGG16 query streams and the SPEC-style BE tasks), widths
+/// of 256–1024 issue quanta are ~25–40% faster end to end than the
+/// narrow widths that aim for one event per bucket; throughput
+/// plateaus across that whole range, so the midpoint is pinned here.
+const BUCKET_WIDTH_ISSUE_COSTS: f64 = 512.0;
 
 /// Which event-queue implementation the engine drains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -133,7 +152,12 @@ impl Server {
     }
 
     /// Occupies the server for `service` cycles starting no earlier than
-    /// `now`; returns the completion time.
+    /// `now`; returns the completion time. `inline(always)`: the plain
+    /// `#[inline]` hint loses to the run loop's size and leaves seven
+    /// out-of-line calls in the hot path (measured via disassembly),
+    /// where inlining also folds the constant `record`/`track_stats`
+    /// flags per call site.
+    #[inline(always)]
     fn acquire(&mut self, now: f64, service: f64) -> f64 {
         let start = now.max(self.next_free);
         let end = start + service;
@@ -169,61 +193,101 @@ impl Server {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum WarpPhase {
-    /// Ready to issue the op at `pc`.
-    Ready,
-    /// Finished the L1 stage of a global access; needs the DRAM stage for
-    /// `bytes` miss bytes.
-    DramStage { bytes: f64 },
-}
+/// Sentinel `pc` marking a completed warp, so the run loop's staleness
+/// guard reads the exec record it already loaded instead of a separate
+/// flag array. Real pcs index the compiled micro table, which is always
+/// far smaller.
+const DONE_PC: u32 = u32::MAX;
 
-#[derive(Debug)]
-struct Warp {
-    /// Current position in the engine's flat micro-op table.
+/// The per-event execution state of one warp: everything the run loop
+/// touches on every step, packed in one record so a pop costs a single
+/// indexed load (the loop works on a local copy, see [`Engine::run`]).
+#[derive(Debug, Clone, Copy, Default)]
+struct WarpExec {
+    /// Current position in the compiled flat micro-op table, or
+    /// [`DONE_PC`] once the warp has completed.
     pc: u32,
     /// This warp's role start offset in the flat table.
     pc_start: u32,
     /// One past this warp's role's last op in the flat table.
     pc_end: u32,
     iters_left: u64,
+    /// Pending DRAM-stage miss bytes; `> 0.0` means the warp finished
+    /// the L1 stage of a global access and owes the DRAM stage.
+    dram: f64,
+}
+
+/// The rarely-touched warp metadata, kept out of the per-event cache
+/// lines.
+#[derive(Debug, Clone, Copy, Default)]
+struct WarpMeta {
     block: u32,
     role: u16,
-    phase: WarpPhase,
-    done: bool,
-    finish: f64,
 }
 
-#[derive(Debug)]
-struct BlockInstance {
-    /// Global issued-block index.
-    index: u64,
-    live_warps: usize,
-    /// Arrived counts, directly indexed by barrier id
-    /// (`BlockProgram::barrier_bound` entries).
+/// Per-thread reusable engine storage: warp/block tables in
+/// struct-of-arrays form plus both queue implementations. Reused across
+/// simulations so a run's setup clears vectors instead of allocating
+/// them; see [`EngineScratch`].
+#[derive(Debug, Default)]
+struct EngineState {
+    /// Per warp, indexed by the dense warp id (= queue event slot).
+    warp_exec: Vec<WarpExec>,
+    warp_meta: Vec<WarpMeta>,
+    warp_finish: Vec<f64>,
+    /// Per launched block: global issued-block index and live warps.
+    block_index: Vec<u64>,
+    block_live: Vec<u32>,
+    /// Arrived counts, flat `block × barrier_bound`, indexed
+    /// `block * bound + id`.
     barrier_arrived: Vec<u32>,
-    /// Parked warp indices, directly indexed by barrier id.
-    barrier_waiters: Vec<Vec<usize>>,
+    /// Parked warp ids, same flat indexing. The vector pool persists
+    /// across runs; entries are cleared lazily at block launch.
+    barrier_waiters: Vec<Vec<u32>>,
+    /// Remaining assigned issued-block indices not yet launched.
+    pending: Vec<u64>,
+    role_finish: Vec<f64>,
+    /// Scratch buffer reused across barrier releases so each release
+    /// does not allocate (and drop) a fresh waiter list.
+    release_scratch: Vec<u32>,
 }
 
-/// One op of a role's program with every spec-dependent quantity
-/// pre-resolved, so the hot loop does table lookups and adds — no
-/// per-event divisions or AST-shaped matching. The service values are
-/// computed with the exact expressions the event-by-event engine used,
-/// so timings are bit-identical.
-#[derive(Debug, Clone, Copy)]
-enum MicroOp {
-    /// Tensor-pipeline compute: issue, then occupy TC for `service`.
-    Tc { service: f64 },
-    /// CUDA-pipeline compute: issue, then occupy CD for `service`.
-    Cd { service: f64 },
-    /// Shared-memory access: issue, shared server, fixed latency.
-    Shared { service: f64 },
-    /// Global access: issue, L1 stage, then a DRAM stage for
-    /// `miss_bytes` when positive.
-    Global { service: f64, miss_bytes: f64 },
-    /// Arrive at named barrier `id`.
-    Barrier { id: u16 },
+impl EngineState {
+    fn reset(&mut self, n_roles: usize) {
+        self.warp_exec.clear();
+        self.warp_meta.clear();
+        self.warp_finish.clear();
+        self.block_index.clear();
+        self.block_live.clear();
+        self.barrier_arrived.clear();
+        self.pending.clear();
+        self.role_finish.clear();
+        self.role_finish.resize(n_roles, 0.0);
+    }
+}
+
+/// One thread's engine arena: the reusable state plus one instance of
+/// each queue kind, so switching queue implementations between runs
+/// never reallocates the calendar's bucket ring.
+#[derive(Debug)]
+struct EngineScratch {
+    state: EngineState,
+    heap: HeapQueue,
+    calendar: CalendarQueue,
+}
+
+impl Default for EngineScratch {
+    fn default() -> Self {
+        EngineScratch {
+            state: EngineState::default(),
+            heap: HeapQueue::new(),
+            calendar: CalendarQueue::new(1.0),
+        }
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<EngineScratch> = RefCell::new(EngineScratch::default());
 }
 
 /// Iterations of a role's program executed by issued block `b`:
@@ -236,413 +300,309 @@ fn role_iters(original: u64, issued: u64, b: u64) -> u64 {
     (original - b - 1) / issued + 1
 }
 
-/// What processing one micro-event did with the warp.
-enum Outcome {
-    /// The warp's next wake-up should fire at this time (not yet queued).
-    Next(f64),
-    /// The warp parked, finished a barrier (re-entering via the queue),
-    /// or otherwise needs no direct wake-up.
-    Queued,
-}
-
-struct Engine<'a> {
+struct Engine<'a, Q: SimQueue> {
     spec: &'a GpuSpec,
     plan: &'a ExecutablePlan,
-    /// All roles' programs compiled into one flat micro-op table.
-    micro: Vec<MicroOp>,
-    /// Per flat pc: whether the op starts a barrier-free run (from the
-    /// lowering's run-length metadata) — the macro-step eligibility gate.
-    run_ok: Vec<bool>,
-    /// Per role: (flat start, flat end) into `micro`.
-    role_span: Vec<(u32, u32)>,
-    /// Expected arrivals, directly indexed by barrier id.
-    barrier_expected: Vec<u32>,
-    warps: Vec<Warp>,
-    blocks: Vec<BlockInstance>,
+    /// The plan's program compiled against `spec` (cached on the plan).
+    prog: &'a CompiledProgram,
+    st: &'a mut EngineState,
+    queue: &'a mut Q,
     tc: Server,
     cd: Server,
     issue: Server,
     l1: Server,
     shared: Server,
     dram: Server,
-    queue: EventQueue,
     seq: u64,
-    /// Remaining assigned issued-block indices not yet launched.
-    pending: Vec<u64>,
     dram_bytes: f64,
-    /// This SM's DRAM bandwidth share (bytes/cycle), hoisted.
-    dram_rate: f64,
+    /// Reciprocal of this SM's DRAM bandwidth share (cycles/byte),
+    /// hoisted so the hot loop multiplies instead of divides.
+    inv_dram_rate: f64,
     /// Per-op issue occupancy (cycles), hoisted.
     issue_cost: f64,
-    role_finish: Vec<f64>,
-    /// Micro-events processed — queue pops plus inline continuations.
-    /// Invariant across queue kinds and macro-stepping.
-    events: u64,
+    /// Active prefix length of `st.barrier_waiters` (blocks × bound).
+    bw_len: usize,
+    /// Inline continuations absorbed by macro-stepping. Micro-events
+    /// processed = `pops + coalesced`; that sum is invariant across
+    /// queue kinds and macro-stepping.
+    coalesced: u64,
     /// Actual queue pops (heap transactions in the reference engine).
     pops: u64,
     /// Pops whose processing coalesced at least one inline continuation.
     macro_runs: u64,
     /// Macro-stepping active (off under tracing or by options).
     macro_on: bool,
-    /// Scratch buffer reused across barrier releases so each release does
-    /// not allocate (and drop) a fresh waiter list.
-    release_scratch: Vec<usize>,
     sink: &'a dyn TraceSink,
     /// `sink.enabled()` hoisted once at construction so the disabled path
     /// costs a local-bool branch per emission site, never a virtual call.
     tracing: bool,
 }
 
-impl<'a> Engine<'a> {
-    fn new(
-        spec: &'a GpuSpec,
-        plan: &'a ExecutablePlan,
-        active_sms: u32,
-        sink: &'a dyn TraceSink,
-        options: EngineOptions,
-    ) -> Result<Self, SimError> {
-        let occupancy = plan.occupancy(spec);
-        if occupancy == 0 {
-            return Err(SimError::LaunchFailure {
-                kernel: plan.name.to_string(),
-                reason: "block does not fit on an SM".to_string(),
-            });
-        }
-        if plan.block.roles.iter().any(|r| r.warps == 0) {
-            return Err(SimError::LaunchFailure {
-                kernel: plan.name.to_string(),
-                reason: "role with zero warps".to_string(),
-            });
-        }
-        // Blocks assigned to the representative (busiest) SM: indices
-        // congruent to 0 mod sm_count.
-        let mut assigned: Vec<u64> = (0..plan.issued_blocks)
-            .step_by(spec.sm_count as usize)
-            .collect();
-        assigned.reverse(); // pop() launches in ascending order
-        let tracing = sink.enabled();
-        let issue_cost = spec.issue_cost_per_op / spec.issue_slots_per_cycle;
-        let dram_rate = spec.dram_bytes_per_cycle_per_sm(active_sms);
-
-        // Compile every role's program into the flat micro-op table.
-        let mut micro = Vec::new();
-        let mut run_ok = Vec::new();
-        let mut role_span = Vec::with_capacity(plan.block.roles.len());
-        for role in &plan.block.roles {
-            let pc0 = micro.len() as u32;
-            for op in &role.program.ops {
-                micro.push(match op {
-                    Op::Compute {
-                        unit: ComputeUnit::Tensor,
-                        ops,
-                    } => MicroOp::Tc {
-                        service: *ops as f64 / spec.tc_ops_per_cycle,
-                    },
-                    Op::Compute {
-                        unit: ComputeUnit::Cuda,
-                        ops,
-                    } => MicroOp::Cd {
-                        service: *ops as f64 / spec.cd_ops_per_cycle,
-                    },
-                    Op::Memory {
-                        space: MemSpace::Shared,
-                        bytes,
-                        ..
-                    } => MicroOp::Shared {
-                        service: *bytes as f64 / spec.shared_bytes_per_cycle,
-                    },
-                    Op::Memory {
-                        space: MemSpace::Global,
-                        bytes,
-                        locality,
-                        ..
-                    } => {
-                        let bytes = *bytes as f64;
-                        MicroOp::Global {
-                            service: bytes / spec.l1_bytes_per_cycle,
-                            miss_bytes: bytes * (1.0 - locality),
-                        }
-                    }
-                    Op::Barrier { id } => MicroOp::Barrier { id: *id },
-                });
-            }
-            run_ok.extend(role.program.run_lengths().iter().map(|&r| r > 0));
-            role_span.push((pc0, micro.len() as u32));
-        }
-
-        // Dense barrier-expectation table; ids outside the lowering's
-        // table default to 1 arrival, matching the sparse lookup.
-        let bound = plan.block.barrier_bound();
-        let mut barrier_expected = vec![1u32; bound];
-        for b in &plan.block.barriers {
-            barrier_expected[b.id as usize] = b.expected_warps;
-        }
-
-        let queue = match options.queue {
-            QueueKind::Heap => EventQueue::Heap(HeapQueue::new()),
-            QueueKind::Calendar => {
-                EventQueue::Calendar(CalendarQueue::new(issue_cost * BUCKET_WIDTH_ISSUE_COSTS))
-            }
-        };
-        let mut eng = Engine {
-            spec,
-            plan,
-            micro,
-            run_ok,
-            role_span,
-            barrier_expected,
-            warps: Vec::new(),
-            blocks: Vec::new(),
-            tc: Server::new(true, tracing),
-            cd: Server::new(true, tracing),
-            issue: Server::new(false, tracing),
-            l1: Server::new(false, tracing),
-            shared: Server::new(false, tracing),
-            dram: Server::new(false, tracing),
-            queue,
-            seq: 0,
-            pending: assigned,
-            dram_bytes: 0.0,
-            dram_rate,
-            issue_cost,
-            role_finish: vec![0.0; plan.block.roles.len()],
-            events: 0,
-            pops: 0,
-            macro_runs: 0,
-            // Per-op trace events must fire exactly as in the
-            // event-by-event engine, so tracing forces macro-stepping off.
-            macro_on: options.macro_step && !tracing,
-            release_scratch: Vec::new(),
-            sink,
-            tracing,
-        };
-        for _ in 0..occupancy {
-            if eng.pending.is_empty() {
-                break;
-            }
-            eng.launch_next_block(0.0);
-        }
-        Ok(eng)
-    }
-
-    fn schedule(&mut self, time: f64, warp: usize) {
+impl<'a, Q: SimQueue> Engine<'a, Q> {
+    #[inline]
+    fn schedule(&mut self, time: f64, warp: u32) {
         self.seq += 1;
-        self.queue.push(Event {
-            time,
-            seq: self.seq,
-            warp,
-        });
+        self.queue.push(time, self.seq, warp);
     }
 
     fn launch_next_block(&mut self, now: f64) {
-        let Some(index) = self.pending.pop() else {
+        let Some(index) = self.st.pending.pop() else {
             return;
         };
         let start = now + self.spec.block_launch_overhead;
-        let block_slot = self.blocks.len() as u32;
-        let mut live = 0usize;
+        let block_slot = self.st.block_index.len() as u32;
+        let mut live = 0u32;
         for (ri, role) in self.plan.block.roles.iter().enumerate() {
             let iters = role_iters(role.original_blocks, self.plan.issued_blocks, index);
-            let (pc0, pc1) = self.role_span[ri];
+            let (pc0, pc1) = self.prog.role_span[ri];
             for _ in 0..role.warps {
-                let wid = self.warps.len();
+                let wid = self.st.warp_exec.len() as u32;
                 let done = iters == 0 || pc0 == pc1;
-                self.warps.push(Warp {
-                    pc: pc0,
+                self.st.warp_exec.push(WarpExec {
+                    pc: if done { DONE_PC } else { pc0 },
                     pc_start: pc0,
                     pc_end: pc1,
                     iters_left: iters,
+                    dram: 0.0,
+                });
+                self.st.warp_meta.push(WarpMeta {
                     block: block_slot,
                     role: ri as u16,
-                    phase: WarpPhase::Ready,
-                    done,
-                    finish: start,
                 });
+                self.st.warp_finish.push(start);
                 if !done {
                     live += 1;
                     self.schedule(start, wid);
                 }
             }
         }
-        let bound = self.barrier_expected.len();
-        self.blocks.push(BlockInstance {
-            index,
-            live_warps: live,
-            barrier_arrived: vec![0; bound],
-            barrier_waiters: (0..bound).map(|_| Vec::new()).collect(),
-        });
+        let bound = self.prog.barrier_expected.len();
+        self.st.block_index.push(index);
+        self.st.block_live.push(live);
+        self.st
+            .barrier_arrived
+            .resize(self.st.barrier_arrived.len() + bound, 0);
+        // Claim (and lazily clear) this block's waiter slots from the
+        // persistent pool.
+        for _ in 0..bound {
+            if self.bw_len < self.st.barrier_waiters.len() {
+                self.st.barrier_waiters[self.bw_len].clear();
+            } else {
+                self.st.barrier_waiters.push(Vec::new());
+            }
+            self.bw_len += 1;
+        }
         // A block whose roles all had zero work completes immediately.
         if live == 0 {
             self.launch_next_block(start);
         }
     }
 
-    fn finish_warp(&mut self, now: f64, w: usize) {
-        let warp = &mut self.warps[w];
-        warp.done = true;
-        warp.finish = now;
-        let role = warp.role as usize;
-        let block = warp.block as usize;
-        self.role_finish[role] = self.role_finish[role].max(now);
-        let b = &mut self.blocks[block];
-        b.live_warps -= 1;
-        if b.live_warps == 0 {
+    fn finish_warp(&mut self, now: f64, w: u32) {
+        let wi = w as usize;
+        let meta = self.st.warp_meta[wi];
+        self.st.warp_exec[wi].pc = DONE_PC;
+        self.st.warp_finish[wi] = now;
+        let rf = &mut self.st.role_finish[meta.role as usize];
+        *rf = rf.max(now);
+        let b = meta.block as usize;
+        self.st.block_live[b] -= 1;
+        if self.st.block_live[b] == 0 {
             self.launch_next_block(now);
         }
     }
 
-    /// Processes one micro-event (a real pop or an inline continuation)
-    /// for warp `w` at cycle `now`.
-    fn step_once(&mut self, now: f64, w: usize) -> Outcome {
-        // Handle a pending DRAM stage first.
-        if let WarpPhase::DramStage { bytes } = self.warps[w].phase {
-            let end = self.dram.acquire(now, bytes / self.dram_rate);
-            self.dram_bytes += bytes;
-            self.warps[w].phase = WarpPhase::Ready;
-            self.advance_pc(w);
-            return Outcome::Next(end + self.spec.dram_latency);
-        }
-        match self.micro[self.warps[w].pc as usize] {
-            MicroOp::Tc { service } => {
-                let issue_end = self.issue.acquire(now, self.issue_cost);
-                let end = self.tc.acquire(issue_end, service);
-                self.advance_pc(w);
-                Outcome::Next(end)
-            }
-            MicroOp::Cd { service } => {
-                let issue_end = self.issue.acquire(now, self.issue_cost);
-                let end = self.cd.acquire(issue_end, service);
-                self.advance_pc(w);
-                Outcome::Next(end)
-            }
-            MicroOp::Shared { service } => {
-                let issue_end = self.issue.acquire(now, self.issue_cost);
-                let end = self.shared.acquire(issue_end, service);
-                self.advance_pc(w);
-                Outcome::Next(end + self.spec.shared_latency)
-            }
-            MicroOp::Global {
-                service,
-                miss_bytes,
-            } => {
-                let issue_end = self.issue.acquire(now, self.issue_cost);
-                let l1_end = self.l1.acquire(issue_end, service);
-                if miss_bytes > 0.0 {
-                    self.warps[w].phase = WarpPhase::DramStage { bytes: miss_bytes };
-                    Outcome::Next(l1_end)
-                } else {
-                    self.advance_pc(w);
-                    Outcome::Next(l1_end + self.spec.l1_latency)
-                }
-            }
-            MicroOp::Barrier { id } => self.arrive_barrier(now, w, id),
-        }
-    }
-
-    fn arrive_barrier(&mut self, now: f64, w: usize, id: u16) -> Outcome {
-        let expected = self.barrier_expected[id as usize];
-        let block = self.warps[w].block as usize;
-        let b = &mut self.blocks[block];
-        b.barrier_arrived[id as usize] += 1;
-        let arrived_now = b.barrier_arrived[id as usize];
-        let block_index = b.index;
+    /// Handles a warp arriving at barrier `id`: parks it, or releases
+    /// every waiter when the expectation is met. The arriving warp's
+    /// stored state must be current (the run loop writes its local copy
+    /// back first), because a release advances every waiter's pc —
+    /// including the arriver's.
+    fn arrive_barrier(&mut self, now: f64, w: u32, id: u16) {
+        let bound = self.prog.barrier_expected.len();
+        let expected = self.prog.barrier_expected[id as usize];
+        let block = self.st.warp_meta[w as usize].block as usize;
+        let slot = block * bound + id as usize;
+        self.st.barrier_arrived[slot] += 1;
+        let arrived_now = self.st.barrier_arrived[slot];
         if self.tracing {
             self.sink.record(TraceEvent::BarrierArrival {
                 kernel: self.plan.name.clone(),
-                block: block_index,
+                block: self.st.block_index[block],
                 barrier: id,
                 arrived: arrived_now,
                 expected,
                 at_cycles: now,
             });
         }
-        let b = &mut self.blocks[block];
         if arrived_now >= expected {
-            b.barrier_arrived[id as usize] = 0;
+            self.st.barrier_arrived[slot] = 0;
             // Drain waiters into a reused scratch buffer and keep the
             // (now empty) Vec in the table, so neither release nor the
             // next parking round allocates.
-            let mut waiters = std::mem::take(&mut self.release_scratch);
+            let mut waiters = std::mem::take(&mut self.st.release_scratch);
             waiters.clear();
-            waiters.append(&mut b.barrier_waiters[id as usize]);
+            waiters.append(&mut self.st.barrier_waiters[slot]);
             waiters.push(w);
             if self.tracing {
                 self.sink.record(TraceEvent::BarrierRelease {
                     kernel: self.plan.name.clone(),
-                    block: block_index,
+                    block: self.st.block_index[block],
                     barrier: id,
                     released: waiters.len() as u32,
                     at_cycles: now,
                 });
             }
             for &wi in &waiters {
-                self.advance_pc(wi);
+                let exec = &mut self.st.warp_exec[wi as usize];
+                exec.pc += 1;
+                if exec.pc >= exec.pc_end {
+                    exec.pc = exec.pc_start;
+                    exec.iters_left -= 1;
+                }
                 self.schedule(now + BARRIER_COST, wi);
             }
-            self.release_scratch = waiters;
+            self.st.release_scratch = waiters;
         } else {
-            b.barrier_waiters[id as usize].push(w);
-        }
-        Outcome::Queued
-    }
-
-    /// Advances a warp past its current op, wrapping iterations.
-    fn advance_pc(&mut self, w: usize) {
-        let warp = &mut self.warps[w];
-        warp.pc += 1;
-        if warp.pc >= warp.pc_end {
-            warp.pc = warp.pc_start;
-            warp.iters_left -= 1;
+            self.st.barrier_waiters[slot].push(w);
         }
     }
 
     fn run(mut self) -> Result<KernelRun, SimError> {
+        // Copies of the shared-reference fields and spec scalars. The
+        // references are `Copy`, so these locals borrow nothing from
+        // `self` — and being immutable borrows, their targets are
+        // known not to alias the engine's stores, letting the loads
+        // below stay in registers across the loop.
+        let prog = self.prog;
+        let micro = prog.micro.as_slice();
+        let run_ok = prog.run_ok.as_slice();
+        let issue_cost = self.issue_cost;
+        let inv_dram_rate = self.inv_dram_rate;
+        let dram_latency = self.spec.dram_latency;
+        let shared_latency = self.spec.shared_latency;
+        let l1_latency = self.spec.l1_latency;
         let mut last_time = 0.0_f64;
-        while let Some(ev) = self.queue.pop() {
+        while let Some((time, w, hint)) = self.queue.pop_with_hint() {
             self.pops += 1;
-            self.events += 1;
-            let w = ev.warp;
-            let mut now = ev.time;
-            last_time = last_time.max(now);
+            let wi = w as usize;
+            let mut now = time;
+            // Pops drain in ascending time order and a coalesced run
+            // never passes the pending-event bound while the queue is
+            // non-empty, so a plain store (not a max) is correct here;
+            // the inline-continuation paths below do take the max, which
+            // covers the final run against an empty queue.
+            last_time = time;
             // The earliest *other* pending event bounds how far this warp
             // may be advanced inline: while the warp's next wake-up is
             // strictly below it, that wake-up would be the next event
-            // popped anyway, so processing it here is exact. The queue is
-            // untouched during a pure run, so one peek per pop suffices.
+            // popped anyway, so processing it here is exact. The queue
+            // hands back a conservative lower bound with the pop itself
+            // (see [`SimQueue::pop_with_hint`]); the queue is untouched
+            // during a pure run, so the bound stays valid for the whole
+            // coalesced run.
             let qmin = if self.macro_on {
-                self.queue.peek_time().unwrap_or(f64::INFINITY)
+                hint
             } else {
                 f64::NEG_INFINITY
             };
             let mut coalesced = false;
+            // Register-resident copy of the warp's execution state for
+            // the whole (possibly macro-stepped) run; written back at
+            // every exit that leaves per-warp state behind.
+            let mut exec = self.st.warp_exec[wi];
+            if exec.pc == DONE_PC {
+                // Staleness guard: a completed warp has no work left.
+                continue;
+            }
             loop {
-                if self.warps[w].done {
-                    break;
-                }
                 // A warp with no iterations left after advancing is done.
-                if self.warps[w].iters_left == 0 {
+                if exec.iters_left == 0 {
+                    self.st.warp_exec[wi] = exec;
                     self.finish_warp(now, w);
                     break;
                 }
-                match self.step_once(now, w) {
-                    Outcome::Queued => break,
-                    Outcome::Next(t) => {
-                        let warp = &self.warps[w];
-                        let eligible = t < qmin
-                            && (matches!(warp.phase, WarpPhase::DramStage { .. })
-                                || warp.iters_left == 0
-                                || self.run_ok[warp.pc as usize]);
-                        if eligible {
-                            // Inline continuation: absorb the push/pop.
-                            self.events += 1;
-                            coalesced = true;
-                            now = t;
-                            last_time = last_time.max(now);
-                        } else {
-                            self.schedule(t, w);
+                let next: f64;
+                // Handle a pending DRAM stage first.
+                if exec.dram > 0.0 {
+                    let end = self.dram.acquire(now, exec.dram * inv_dram_rate);
+                    self.dram_bytes += exec.dram;
+                    exec.dram = 0.0;
+                    exec.pc += 1;
+                    if exec.pc >= exec.pc_end {
+                        exec.pc = exec.pc_start;
+                        exec.iters_left -= 1;
+                    }
+                    next = end + dram_latency;
+                } else {
+                    match micro[exec.pc as usize] {
+                        MicroOp::Tc { service } => {
+                            let issue_end = self.issue.acquire(now, issue_cost);
+                            next = self.tc.acquire(issue_end, service);
+                        }
+                        MicroOp::Cd { service } => {
+                            let issue_end = self.issue.acquire(now, issue_cost);
+                            next = self.cd.acquire(issue_end, service);
+                        }
+                        MicroOp::Shared { service } => {
+                            let issue_end = self.issue.acquire(now, issue_cost);
+                            next = self.shared.acquire(issue_end, service) + shared_latency;
+                        }
+                        MicroOp::Global {
+                            service,
+                            miss_bytes,
+                        } => {
+                            let issue_end = self.issue.acquire(now, issue_cost);
+                            let l1_end = self.l1.acquire(issue_end, service);
+                            if miss_bytes > 0.0 {
+                                exec.dram = miss_bytes;
+                                next = l1_end;
+                            } else {
+                                next = l1_end + l1_latency;
+                            }
+                            if miss_bytes > 0.0 {
+                                // pc advances after the DRAM stage.
+                                let eligible = next < qmin;
+                                if eligible {
+                                    self.coalesced += 1;
+                                    coalesced = true;
+                                    now = next;
+                                    last_time = last_time.max(now);
+                                    continue;
+                                }
+                                self.st.warp_exec[wi] = exec;
+                                self.schedule(next, w);
+                                break;
+                            }
+                        }
+                        MicroOp::Barrier { id } => {
+                            // Barrier arrivals mutate cross-warp state and
+                            // re-enter through the queue: write the local
+                            // copy back first (the release advances this
+                            // warp's stored pc).
+                            self.st.warp_exec[wi] = exec;
+                            self.arrive_barrier(now, w, id);
                             break;
                         }
                     }
+                    // Advance past the completed op (DRAM-stage entries
+                    // returned above; barriers broke out).
+                    exec.pc += 1;
+                    if exec.pc >= exec.pc_end {
+                        exec.pc = exec.pc_start;
+                        exec.iters_left -= 1;
+                    }
+                }
+                let eligible = next < qmin && (exec.iters_left == 0 || run_ok[exec.pc as usize]);
+                if eligible {
+                    // Inline continuation: absorb the push/pop.
+                    self.coalesced += 1;
+                    coalesced = true;
+                    now = next;
+                    last_time = last_time.max(now);
+                } else {
+                    self.st.warp_exec[wi] = exec;
+                    self.schedule(next, w);
+                    break;
                 }
             }
             if coalesced {
@@ -650,28 +610,24 @@ impl<'a> Engine<'a> {
             }
         }
         // Deadlock check: every warp must have completed. Released
-        // barriers leave an empty Vec in the table (scratch reuse); only
-        // barriers with parked warps count as stuck.
-        let stuck: Vec<u16> = self
-            .blocks
-            .iter()
-            .flat_map(|b| {
-                b.barrier_waiters
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, ws)| !ws.is_empty())
-                    .map(|(id, _)| id as u16)
-            })
-            .collect();
-        if self.warps.iter().any(|w| !w.done) {
-            let mut pending = stuck;
+        // barriers leave an empty slot in the pool; only barriers with
+        // parked warps count as stuck.
+        let bound = self.prog.barrier_expected.len();
+        if self.st.warp_exec.iter().any(|e| e.pc != DONE_PC) {
+            let mut pending: Vec<u16> = self.st.barrier_waiters[..self.bw_len]
+                .iter()
+                .enumerate()
+                .filter(|(_, ws)| !ws.is_empty())
+                .map(|(slot, _)| (slot % bound) as u16)
+                .collect();
             pending.sort_unstable();
             pending.dedup();
             if self.tracing {
                 self.sink.record(TraceEvent::Deadlock {
                     kernel: self.plan.name.clone(),
                     pending_barriers: pending.clone(),
-                    stuck_warps: self.warps.iter().filter(|w| !w.done).count() as u64,
+                    stuck_warps: self.st.warp_exec.iter().filter(|e| e.pc != DONE_PC).count()
+                        as u64,
                 });
             }
             return Err(SimError::Deadlock {
@@ -680,9 +636,10 @@ impl<'a> Engine<'a> {
             });
         }
         let makespan = self
-            .warps
+            .st
+            .warp_finish
             .iter()
-            .map(|w| w.finish)
+            .copied()
             .fold(0.0_f64, f64::max)
             .max(last_time)
             + self.spec.kernel_launch_overhead;
@@ -693,7 +650,7 @@ impl<'a> Engine<'a> {
             .block
             .roles
             .iter()
-            .zip(&self.role_finish)
+            .zip(&self.st.role_finish)
             .map(|(r, f)| (r.name.clone(), Cycles::new(f.round() as u64)))
             .collect();
         let tc_intervals = merge_intervals(std::mem::take(&mut self.tc.intervals), gap);
@@ -704,6 +661,7 @@ impl<'a> Engine<'a> {
         }
         Ok(KernelRun {
             name: self.plan.name.clone(),
+            name_id: self.plan.name_id,
             cycles: duration_cycles,
             duration: self.spec.cycles_to_time(duration_cycles),
             activity: ActivitySummary {
@@ -715,7 +673,7 @@ impl<'a> Engine<'a> {
             role_finish,
             occupancy,
             dram_bytes: self.dram_bytes,
-            events: self.events,
+            events: self.pops + self.coalesced,
             pops: self.pops,
             macro_runs: self.macro_runs,
         })
@@ -760,8 +718,109 @@ impl<'a> Engine<'a> {
             tc_busy_cycles: self.tc.busy.round() as u64,
             cd_busy_cycles: self.cd.busy.round() as u64,
             occupancy,
-            events: self.events,
+            events: self.pops + self.coalesced,
         });
+    }
+}
+
+/// Validates the plan, resets the scratch arena, launches the first wave
+/// of blocks and drains the event loop — monomorphized per queue kind.
+/// (The argument list is the engine's full context on purpose: bundling
+/// it into a struct would just move the same fields one level down.)
+#[allow(clippy::too_many_arguments)]
+fn simulate_on<Q: SimQueue>(
+    spec: &GpuSpec,
+    plan: &ExecutablePlan,
+    active_sms: u32,
+    sink: &dyn TraceSink,
+    options: EngineOptions,
+    prog: &CompiledProgram,
+    st: &mut EngineState,
+    queue: &mut Q,
+) -> Result<KernelRun, SimError> {
+    let occupancy = plan.occupancy(spec);
+    if occupancy == 0 {
+        return Err(SimError::LaunchFailure {
+            kernel: plan.name.to_string(),
+            reason: "block does not fit on an SM".to_string(),
+        });
+    }
+    if plan.block.roles.iter().any(|r| r.warps == 0) {
+        return Err(SimError::LaunchFailure {
+            kernel: plan.name.to_string(),
+            reason: "role with zero warps".to_string(),
+        });
+    }
+    st.reset(plan.block.roles.len());
+    // Blocks assigned to the representative (busiest) SM: indices
+    // congruent to 0 mod sm_count.
+    st.pending
+        .extend((0..plan.issued_blocks).step_by(spec.sm_count as usize));
+    st.pending.reverse();
+    let tracing = sink.enabled();
+    let issue_cost = spec.issue_cost_per_op / spec.issue_slots_per_cycle;
+    let dram_rate = spec.dram_bytes_per_cycle_per_sm(active_sms);
+    let mut eng = Engine {
+        spec,
+        plan,
+        prog,
+        st,
+        queue,
+        tc: Server::new(true, tracing),
+        cd: Server::new(true, tracing),
+        issue: Server::new(false, tracing),
+        l1: Server::new(false, tracing),
+        shared: Server::new(false, tracing),
+        dram: Server::new(false, tracing),
+        seq: 0,
+        dram_bytes: 0.0,
+        inv_dram_rate: 1.0 / dram_rate,
+        issue_cost,
+        bw_len: 0,
+        coalesced: 0,
+        pops: 0,
+        macro_runs: 0,
+        // Per-op trace events must fire exactly as in the
+        // event-by-event engine, so tracing forces macro-stepping off.
+        macro_on: options.macro_step && !tracing,
+        sink,
+        tracing,
+    };
+    for _ in 0..occupancy {
+        if eng.st.pending.is_empty() {
+            break;
+        }
+        eng.launch_next_block(0.0);
+    }
+    eng.run()
+}
+
+fn run_with_scratch(
+    scratch: &mut EngineScratch,
+    spec: &GpuSpec,
+    plan: &ExecutablePlan,
+    active_sms: u32,
+    sink: &dyn TraceSink,
+    options: EngineOptions,
+) -> Result<KernelRun, SimError> {
+    let prog = plan.compiled_for(spec);
+    let issue_cost = spec.issue_cost_per_op / spec.issue_slots_per_cycle;
+    let EngineScratch {
+        state,
+        heap,
+        calendar,
+    } = scratch;
+    match options.queue {
+        QueueKind::Heap => {
+            heap.reset();
+            simulate_on(spec, plan, active_sms, sink, options, &prog, state, heap)
+        }
+        QueueKind::Calendar => {
+            calendar.reset(issue_cost * BUCKET_WIDTH_ISSUE_COSTS);
+            simulate_on(
+                spec, plan, active_sms, sink, options, &prog, state, calendar,
+            )
+        }
     }
 }
 
@@ -845,27 +904,40 @@ pub fn simulate_with_options(
     sink: &dyn TraceSink,
     options: EngineOptions,
 ) -> Result<KernelRun, SimError> {
-    Engine::new(spec, plan, active_sms, sink, options)?.run()
+    SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => run_with_scratch(&mut scratch, spec, plan, active_sms, sink, options),
+        // A trace sink that re-enters the simulator mid-run finds the
+        // thread-local busy; fall back to a fresh arena for the nested
+        // run rather than failing.
+        Err(_) => run_with_scratch(
+            &mut EngineScratch::default(),
+            spec,
+            plan,
+            active_sms,
+            sink,
+            options,
+        ),
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tacker_kernel::ast::MemDir;
-    use tacker_kernel::{BlockProgram, ResourceUsage, WarpProgram, WarpRole};
+    use tacker_kernel::ast::{ComputeUnit, MemDir, MemSpace};
+    use tacker_kernel::{BlockProgram, Op, ResourceUsage, WarpProgram, WarpRole};
 
     fn plan_of(roles: Vec<WarpRole>, issued: u64) -> ExecutablePlan {
         let block = BlockProgram::new(roles);
         let threads = block.threads();
-        ExecutablePlan {
-            name: "test".into(),
-            fused: false,
+        ExecutablePlan::assemble(
+            "test",
+            false,
             block,
-            issued_blocks: issued,
-            resources: ResourceUsage::new(32, 0),
-            threads_per_block: threads,
-            fingerprint: None,
-        }
+            issued,
+            ResourceUsage::new(32, 0),
+            threads,
+            None,
+        )
     }
 
     fn role(name: &str, warps: u32, ops: Vec<Op>, original_blocks: u64) -> WarpRole {
@@ -1015,7 +1087,9 @@ mod tests {
 
         // Same structure, but the barrier expects the whole block (a kept
         // __syncthreads()) — deadlock, as §V-D predicts. Every engine
-        // configuration reports the same pending barrier.
+        // configuration reports the same pending barrier. The mutated
+        // clone shares the original's compiled-program cache, which must
+        // re-verify the block contents and recompile.
         let mut bad = ok.clone();
         bad.block.set_barrier_expectation(1, 4);
         for opts in all_options() {
@@ -1076,15 +1150,15 @@ mod tests {
                 vec![compute(ComputeUnit::Cuda, 64_000)],
                 blocks_per_sm * 68,
             )]);
-            ExecutablePlan {
-                name: "wave".into(),
-                fused: false,
+            ExecutablePlan::assemble(
+                "wave",
+                false,
                 block,
-                issued_blocks: blocks_per_sm * 68,
-                resources: ResourceUsage::new(32, 0),
-                threads_per_block: 512,
-                fingerprint: None,
-            }
+                blocks_per_sm * 68,
+                ResourceUsage::new(32, 0),
+                512,
+                None,
+            )
         };
         let one = simulate(&spec, &mk(2)).unwrap().cycles.get() as f64;
         let three = simulate(&spec, &mk(6)).unwrap().cycles.get() as f64;
@@ -1214,5 +1288,35 @@ mod tests {
         assert_eq!(run.macro_runs, 0);
         assert_eq!(run.pops, run.events);
         assert!(!sink.is_empty());
+    }
+
+    /// The scratch arena must come back clean after an aborted
+    /// (deadlocked) run: parked waiters and half-drained queues from the
+    /// failure may not leak into the next simulation on the thread.
+    #[test]
+    fn scratch_recovers_after_deadlock() {
+        let spec = GpuSpec::rtx2080ti();
+        let clean = plan_of(
+            vec![role("cd", 2, vec![compute(ComputeUnit::Cuda, 640)], 68)],
+            68,
+        );
+        let baseline = simulate(&spec, &clean).unwrap();
+        let mut dead = plan_of(
+            vec![role(
+                "a",
+                2,
+                vec![compute(ComputeUnit::Cuda, 64), Op::Barrier { id: 1 }],
+                68,
+            )],
+            68,
+        );
+        dead.block.set_barrier_expectation(1, 99);
+        for opts in all_options() {
+            let err = simulate_with_options(&spec, &dead, 68, &tacker_trace::NoopSink, opts);
+            assert!(matches!(err, Err(SimError::Deadlock { .. })), "{opts:?}");
+            let after =
+                simulate_with_options(&spec, &clean, 68, &tacker_trace::NoopSink, opts).unwrap();
+            assert_eq!(canon(after), canon(baseline.clone()), "{opts:?}");
+        }
     }
 }

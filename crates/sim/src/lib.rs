@@ -23,6 +23,7 @@
 //! [`ExecutablePlan`] (with memoization) and [`timeline::TimelineRecorder`]
 //! for building device-level activity traces (Figs. 1, 2, 15).
 
+pub(crate) mod compile;
 pub mod concurrent;
 pub mod device;
 pub mod engine;

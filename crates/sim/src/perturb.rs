@@ -34,6 +34,7 @@ pub fn scale_run(run: &KernelRun, factor: f64) -> KernelRun {
     };
     KernelRun {
         name: run.name.clone(),
+        name_id: run.name_id,
         cycles: scale_cycles(run.cycles),
         duration: run.duration.mul_f64(factor),
         activity: crate::result::ActivitySummary {
@@ -64,6 +65,7 @@ mod tests {
     fn run() -> KernelRun {
         KernelRun {
             name: "k".into(),
+            name_id: tacker_kernel::intern("k"),
             cycles: Cycles::new(1000),
             duration: SimTime::from_nanos(2000),
             activity: ActivitySummary {

@@ -4,17 +4,30 @@
 //! straight from a [`KernelLaunch`]; the fuser builds plans for fused
 //! kernels by combining the component roles itself.
 
-use tacker_kernel::{lower_block, BlockProgram, KernelKind, KernelLaunch, Name, ResourceUsage};
+use std::sync::Arc;
 
+use tacker_kernel::{
+    intern_name, lower_block, BlockProgram, KernelKind, KernelLaunch, Name, NameId, ResourceUsage,
+};
+
+use crate::compile::{CompiledCell, CompiledProgram};
 use crate::error::SimError;
 use crate::spec::GpuSpec;
 
 /// A fully lowered, ready-to-simulate kernel execution.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Built with [`ExecutablePlan::assemble`] (or [`ExecutablePlan::from_launch`]
+/// for plain kernels); the constructor interns the name into a dense
+/// [`NameId`] and attaches the compiled-program cache the engine reuses
+/// across simulations of the same plan.
+#[derive(Debug, Clone)]
 pub struct ExecutablePlan {
     /// Kernel (or fused kernel) name, for reports and errors. Shared so
     /// per-event trace records clone a pointer, not the string.
     pub name: Name,
+    /// Dense interned identity of `name`, for hot-path bookkeeping (the
+    /// engine and telemetry compare/index by this, never by string).
+    pub name_id: NameId,
     /// Whether this plan executes a fused kernel (drives the device's
     /// fused-vs-plain cache accounting).
     pub fused: bool,
@@ -30,9 +43,58 @@ pub struct ExecutablePlan {
     pub threads_per_block: u32,
     /// A stable fingerprint for memoization, when available.
     pub fingerprint: Option<u64>,
+    /// Lazily filled per-spec compiled programs, shared between clones.
+    /// Memoization state, not semantics: excluded from equality.
+    compiled: CompiledCell,
+}
+
+impl PartialEq for ExecutablePlan {
+    fn eq(&self, other: &Self) -> bool {
+        // `name_id` is determined by `name`; `compiled` is cache state.
+        self.name == other.name
+            && self.fused == other.fused
+            && self.block == other.block
+            && self.issued_blocks == other.issued_blocks
+            && self.resources == other.resources
+            && self.threads_per_block == other.threads_per_block
+            && self.fingerprint == other.fingerprint
+    }
 }
 
 impl ExecutablePlan {
+    /// Assembles a plan from already-lowered parts, interning the name
+    /// and attaching a fresh compiled-program cache. This is the one
+    /// constructor: the cache cell is private, so plans cannot be built
+    /// with struct literals.
+    pub fn assemble(
+        name: impl Into<Name>,
+        fused: bool,
+        block: BlockProgram,
+        issued_blocks: u64,
+        resources: ResourceUsage,
+        threads_per_block: u32,
+        fingerprint: Option<u64>,
+    ) -> ExecutablePlan {
+        let name = name.into();
+        let name_id = intern_name(&name);
+        ExecutablePlan {
+            name,
+            name_id,
+            fused,
+            block,
+            issued_blocks,
+            resources,
+            threads_per_block,
+            fingerprint,
+            compiled: CompiledCell::default(),
+        }
+    }
+
+    /// The block program compiled against `spec`: cached after the first
+    /// simulation, re-verified against the current block contents.
+    pub(crate) fn compiled_for(&self, spec: &GpuSpec) -> Arc<CompiledProgram> {
+        self.compiled.get_or_compile(spec, &self.block)
+    }
     /// Builds a plan for a plain (non-fused) kernel launch.
     ///
     /// PTB-transformed kernels are issued with exactly one full wave of
@@ -76,15 +138,15 @@ impl ExecutablePlan {
                 .or_insert(launch.grid_blocks);
         }
         let block = lower_block(def, launch.grid_blocks, &bindings)?;
-        Ok(ExecutablePlan {
-            name: def.name_shared(),
-            fused: def.kind() == KernelKind::Fused,
+        Ok(ExecutablePlan::assemble(
+            def.name_shared(),
+            def.kind() == KernelKind::Fused,
             block,
-            issued_blocks: issued,
-            resources: *def.resources(),
-            threads_per_block: threads,
-            fingerprint: Some(launch.fingerprint()),
-        })
+            issued,
+            *def.resources(),
+            threads,
+            Some(launch.fingerprint()),
+        ))
     }
 
     /// Resident blocks per SM for this plan on the given device.

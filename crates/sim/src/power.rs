@@ -97,15 +97,15 @@ mod tests {
             original_blocks: 68 * 4,
         }]);
         let threads = block.threads();
-        let plan = ExecutablePlan {
-            name: "p".into(),
-            fused: false,
+        let plan = ExecutablePlan::assemble(
+            "p",
+            false,
             block,
-            issued_blocks: 68 * 4,
-            resources: ResourceUsage::new(32, 0),
-            threads_per_block: threads,
-            fingerprint: None,
-        };
+            68 * 4,
+            ResourceUsage::new(32, 0),
+            threads,
+            None,
+        );
         let run = simulate(&spec, &plan).expect("runs");
         (spec, run)
     }
@@ -149,15 +149,15 @@ mod tests {
             },
         ]);
         let threads = block.threads();
-        let plan = ExecutablePlan {
-            name: "fused".into(),
-            fused: false,
+        let plan = ExecutablePlan::assemble(
+            "fused",
+            false,
             block,
-            issued_blocks: 68 * 4,
-            resources: ResourceUsage::new(32, 0),
-            threads_per_block: threads,
-            fingerprint: None,
-        };
+            68 * 4,
+            ResourceUsage::new(32, 0),
+            threads,
+            None,
+        );
         let run = simulate(&spec, &plan).expect("runs");
         let model = PowerModel::for_spec(&spec);
         let est = model.estimate(&spec, &run);

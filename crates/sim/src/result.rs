@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use tacker_kernel::{Cycles, Name, SimTime};
+use tacker_kernel::{Cycles, Name, NameId, SimTime};
 
 /// A half-open busy interval `[start, end)` in cycles.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -76,6 +76,10 @@ impl ActivitySummary {
 pub struct KernelRun {
     /// Kernel name.
     pub name: Name,
+    /// Dense interned identity of `name`. Consumers that bucket or
+    /// compare runs (telemetry, caches) key on this `u32` instead of
+    /// hashing the string.
+    pub name_id: NameId,
     /// Makespan on the busiest SM, in cycles (includes launch overheads).
     pub cycles: Cycles,
     /// Makespan converted with the device clock.
@@ -221,6 +225,7 @@ mod tests {
     fn corun_cycles_is_min_role_finish() {
         let run = KernelRun {
             name: "f".into(),
+            name_id: tacker_kernel::intern("f"),
             cycles: Cycles::new(100),
             duration: SimTime::from_nanos(100),
             activity: ActivitySummary::default(),

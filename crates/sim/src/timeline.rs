@@ -194,6 +194,7 @@ mod tests {
         let cycles = Cycles::new(dur_us * 1000);
         KernelRun {
             name: name.into(),
+            name_id: tacker_kernel::intern(name),
             cycles,
             duration: SimTime::from_micros(dur_us),
             activity: crate::result::ActivitySummary {

@@ -83,15 +83,15 @@ fn random_plan(seed: u64) -> ExecutablePlan {
         block.set_barrier_expectation(id, expected);
     }
     let threads = block.threads();
-    ExecutablePlan {
-        name: "identity".into(),
-        fused: n_roles > 1,
+    ExecutablePlan::assemble(
+        "identity",
+        n_roles > 1,
         block,
-        issued_blocks: 1 + xorshift(&mut s) % 200,
-        resources: ResourceUsage::new(32, 0),
-        threads_per_block: threads,
-        fingerprint: None,
-    }
+        1 + xorshift(&mut s) % 200,
+        ResourceUsage::new(32, 0),
+        threads,
+        None,
+    )
 }
 
 fn all_options() -> [EngineOptions; 4] {
@@ -215,15 +215,15 @@ fn deadlock_identity_across_configurations() {
     // Barrier 3 expects the whole block, but role b never arrives.
     block.set_barrier_expectation(3, 3);
     let threads = block.threads();
-    let plan = ExecutablePlan {
-        name: "deadlock".into(),
-        fused: true,
+    let plan = ExecutablePlan::assemble(
+        "deadlock",
+        true,
         block,
-        issued_blocks: 68,
-        resources: ResourceUsage::new(32, 0),
-        threads_per_block: threads,
-        fingerprint: None,
-    };
+        68,
+        ResourceUsage::new(32, 0),
+        threads,
+        None,
+    );
     for opts in all_options() {
         let err = simulate_with_options(&spec, &plan, 68, &NoopSink, opts).unwrap_err();
         match err {

@@ -30,15 +30,15 @@ fn plan(
         original_blocks: originals,
     }]);
     let threads = block.threads();
-    ExecutablePlan {
-        name: "prop".into(),
-        fused: false,
+    ExecutablePlan::assemble(
+        "prop",
+        false,
         block,
-        issued_blocks: originals.min(68 * 4),
-        resources: ResourceUsage::new(32, 0),
-        threads_per_block: threads,
-        fingerprint: None,
-    }
+        originals.min(68 * 4),
+        ResourceUsage::new(32, 0),
+        threads,
+        None,
+    )
 }
 
 proptest! {
@@ -142,15 +142,15 @@ proptest! {
             },
         ]);
         let threads = fused_block.threads();
-        let fused = ExecutablePlan {
-            name: "fused".into(),
-            fused: false,
-            block: fused_block,
-            issued_blocks: 68,
-            resources: ResourceUsage::new(32, 0),
-            threads_per_block: threads,
-            fingerprint: None,
-        };
+        let fused = ExecutablePlan::assemble(
+            "fused",
+            false,
+            fused_block,
+            68,
+            ResourceUsage::new(32, 0),
+            threads,
+            None,
+        );
         let f = simulate(&spec, &fused).expect("fused");
         let a = simulate(&spec, &plan(ComputeUnit::Tensor, 4, tc_ops, 0, 0.0, 68)).expect("a");
         let b = simulate(&spec, &plan(ComputeUnit::Cuda, 4, cd_ops, 0, 0.0, 68)).expect("b");
