@@ -130,9 +130,12 @@ fn bench_trace_overhead(c: &mut Criterion) {
     };
     // Many short alternating batches: machine noise here is low-frequency
     // (load and frequency drift over seconds), which cancels when both
-    // sides sample every drift period, not in two big blocks.
+    // sides sample every drift period, not in two big blocks. Zero-copy
+    // cache hits cut one run to ~10 ms, so the round count is sized to
+    // keep each side at several seconds of CPU time — below that, the
+    // 10 ms tick granularity plus drift swings the estimate by ±5-8%.
     const BATCH: u32 = 8;
-    const ROUNDS: u32 = 20;
+    const ROUNDS: u32 = 60;
     let mut untraced_ticks = 0.0;
     let mut noop_ticks = 0.0;
     for round in 0..ROUNDS {

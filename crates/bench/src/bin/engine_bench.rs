@@ -326,17 +326,21 @@ struct SweepTiming {
     fused_hit_rate: f64,
 }
 
-/// Best-of-2 [`measure_repeated_sweep_once`]: the sweep is
-/// deterministic, so the faster pair (by the repeated, cache-replay leg)
-/// is the noise-robust estimate.
+/// Best-of-5 [`measure_repeated_sweep_once`], matching the throughput
+/// window's minimum-time estimator: the sweep is deterministic, so host
+/// noise only ever inflates a measurement and the fastest pass (by the
+/// repeated, cache-replay leg) is the noise-robust estimate. Best-of-2
+/// left the published improvement-vs-baseline number dominated by host
+/// scheduling jitter rather than engine changes.
 fn measure_repeated_sweep(config: &ExperimentConfig, jobs: usize) -> SweepTiming {
-    let a = measure_repeated_sweep_once(config, jobs);
-    let b = measure_repeated_sweep_once(config, jobs);
-    if a.repeated_ms <= b.repeated_ms {
-        a
-    } else {
-        b
+    let mut best = measure_repeated_sweep_once(config, jobs);
+    for _ in 1..5 {
+        let t = measure_repeated_sweep_once(config, jobs);
+        if t.repeated_ms < best.repeated_ms {
+            best = t;
+        }
     }
+    best
 }
 
 /// Cold + repeated sweep on one fresh device (calibration already warm).

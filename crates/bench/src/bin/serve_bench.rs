@@ -20,9 +20,12 @@
 //! run bit for bit, (d) every QoS violation carries an attribution
 //! record, (e) the sketch-mode p99 stays within 1% of the exact p99 on
 //! the drill workload, (f) sketch-mode peak latency-sample memory stays
-//! flat (±10%) while the replayed query count grows 100×, and (g) the
+//! flat (±10%) while the replayed query count grows 100×, (g) the
 //! telemetry-on path (windows + sketch + exporters) stays under 3% CPU
-//! overhead versus the plain NoopSink run.
+//! overhead versus the plain NoopSink run, (h) steady-state serve
+//! throughput clears 3× the pinned pre-fast-path baseline, and (i) the
+//! process RSS high-water mark stays flat (±10%) when the steady-state
+//! query count grows 100×.
 
 use std::sync::Arc;
 
@@ -41,6 +44,14 @@ const LOAD: f64 = 0.95;
 const TELEMETRY_OVERHEAD_GATE_PCT: f64 = 3.0;
 /// The sketch-vs-exact p99 gate (relative error).
 const SKETCH_P99_GATE: f64 = 0.01;
+/// Pinned pre-fast-path steady-state throughput (queries/s): best of
+/// three invocations of this exact scenario (tiny two-kernel service,
+/// 700µs spacing, sketch-mode latency, no BE) at commit 905ea47 on the
+/// reference host. The best observed run is pinned — a conservative
+/// floor for the speedup gate.
+const BASELINE_STEADY_QPS: f64 = 603_191.0;
+/// Steady-state throughput must clear this multiple of the baseline.
+const STEADY_SPEEDUP_FLOOR: f64 = 3.0;
 
 struct Drill {
     violations: usize,
@@ -240,6 +251,44 @@ fn telemetry_overhead_pct(
     (100.0 * delta_med / plain_med, render_ms)
 }
 
+/// Steady-state serve throughput (queries/s): `n` warm queries arriving
+/// at a comfortable 700µs spacing — every query alone in flight, the
+/// fast path's home turf — with sketch-mode latency stats and no BE.
+/// One untimed warm pass, then the best of `reps` timed passes (the
+/// minimum-time estimator; host noise only ever inflates a measurement).
+fn steady_qps(device: &Arc<tacker_sim::Device>, lc: &LcService, n: usize, reps: usize) -> f64 {
+    let config = tacker_bench::eval_config().with_queries(n).with_seed(5);
+    let run = || {
+        let report = ColocationRun::new(device, &config, std::slice::from_ref(lc), &[])
+            .expect("steady run")
+            .policy(Policy::Tacker)
+            .at(SimTime::from_micros(700))
+            .latency_exact_limit(0)
+            .run()
+            .expect("steady run");
+        assert_eq!(report.query_count(), n, "steady queries must complete");
+    };
+    run();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = std::time::Instant::now();
+        run();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    n as f64 / best
+}
+
+/// The process's peak resident set (VmHWM) in kB, from /proc. `None` off
+/// Linux — the RSS gate is skipped there.
+fn vm_hwm_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+}
+
 /// A zero-fault serve must be the batch run, bit for bit.
 fn zero_fault_identity(device: &Arc<tacker_sim::Device>, lc: &LcService, be: &[BeApp]) -> bool {
     let config = tacker_bench::eval_config().with_queries(20).with_seed(7);
@@ -333,6 +382,28 @@ fn main() {
          exporter render {render_ms:.2}ms one-shot"
     );
 
+    eprintln!("steady-state fast path ...");
+    let queries_per_sec = steady_qps(&device, &tiny, 20_000, 5);
+    let steady_speedup = queries_per_sec / BASELINE_STEADY_QPS;
+    // RSS flatness at 100× queries: snapshot the peak RSS after a
+    // 1,000-query steady run, grow the query count 100×, and require
+    // the peak to stay within 10%. The high-water mark is monotonic, so
+    // a pass means the big run allocated (almost) nothing new.
+    steady_qps(&device, &tiny, 1_000, 1);
+    let rss_base_kb = vm_hwm_kb();
+    steady_qps(&device, &tiny, 100_000, 1);
+    let rss_100x_kb = vm_hwm_kb();
+    let rss_growth = match (rss_base_kb, rss_100x_kb) {
+        (Some(b), Some(h)) if b > 0 => Some(h as f64 / b as f64),
+        _ => None,
+    };
+    eprintln!(
+        "  steady-state {queries_per_sec:.0} queries/s ({steady_speedup:.2}x pinned baseline \
+         {BASELINE_STEADY_QPS:.0}, gate >= {STEADY_SPEEDUP_FLOOR}x) | \
+         peak RSS {rss_base_kb:?} -> {rss_100x_kb:?} kB at 100x queries \
+         (growth {rss_growth:?}, gate <= 1.1)"
+    );
+
     if check {
         let mut failed = false;
         if rate_on >= rate_off {
@@ -387,6 +458,19 @@ fn main() {
             );
             failed = true;
         }
+        if steady_speedup < STEADY_SPEEDUP_FLOOR {
+            eprintln!(
+                "FAIL: steady-state throughput {queries_per_sec:.0} q/s is only \
+                 {steady_speedup:.2}x the pinned baseline (floor {STEADY_SPEEDUP_FLOOR}x)"
+            );
+            failed = true;
+        }
+        if let Some(g) = rss_growth {
+            if g > 1.1 {
+                eprintln!("FAIL: peak RSS grew {g:.3}x at 100x steady-state queries");
+                failed = true;
+            }
+        }
         if failed {
             std::process::exit(1);
         }
@@ -418,6 +502,10 @@ fn main() {
             "\"export_render_ms\": {render_ms:.3}, ",
             "\"sketch_p99_rel_err\": {rel_err:.5}, ",
             "\"sketch_peak_bytes_base\": {pb_base}, \"sketch_peak_bytes_100x\": {pb_100x}}},\n",
+            "  \"steady_state\": {{\"queries_per_sec\": {qps:.0}, ",
+            "\"baseline_queries_per_sec\": {qps_base:.0}, ",
+            "\"speedup_vs_baseline\": {qps_speedup:.2}, ",
+            "\"rss_hwm_base_kb\": {rss_base}, \"rss_hwm_100x_kb\": {rss_100x}}},\n",
             "  \"violations_attributed\": {attributed},\n",
             "  \"attribution\": {attribution}\n",
             "}}\n",
@@ -441,6 +529,11 @@ fn main() {
         rel_err = sketch_rel_err,
         pb_base = peak_bytes_base,
         pb_100x = peak_bytes_100x,
+        qps = queries_per_sec,
+        qps_base = BASELINE_STEADY_QPS,
+        qps_speedup = steady_speedup,
+        rss_base = rss_base_kb.map_or(-1i64, |v| v as i64),
+        rss_100x = rss_100x_kb.map_or(-1i64, |v| v as i64),
         attributed = attribution.len(),
         attribution = attribution_json,
     );

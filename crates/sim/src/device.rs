@@ -13,10 +13,15 @@
 //! fingerprint maps to exactly one shard, and simulation is pure, so a
 //! racing double-miss simply computes the same `KernelRun` twice and
 //! stores it once.
+//!
+//! Results are stored and returned as `Arc<KernelRun>`: a cache hit is a
+//! refcount bump, never a deep copy of the run's interval and role
+//! vectors. Shared runs are immutable by construction — consumers that
+//! need a perturbed copy (`scale_run`) derive a fresh owned value.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use tacker_kernel::KernelLaunch;
 
@@ -36,7 +41,7 @@ pub const CACHE_SHARDS: usize = 16;
 #[derive(Debug)]
 pub struct Device {
     spec: GpuSpec,
-    shards: Vec<Mutex<HashMap<u64, KernelRun>>>,
+    shards: Vec<Mutex<HashMap<u64, Arc<KernelRun>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     /// Hit/miss counters restricted to fused-kernel plans. Fused launches
@@ -68,36 +73,39 @@ impl Device {
 
     /// The cache stripe responsible for a fingerprint. Fingerprints are
     /// already well-mixed hashes, so the low bits select the shard.
-    fn shard(&self, fp: u64) -> &Mutex<HashMap<u64, KernelRun>> {
+    fn shard(&self, fp: u64) -> &Mutex<HashMap<u64, Arc<KernelRun>>> {
         &self.shards[(fp as usize) & (CACHE_SHARDS - 1)]
     }
 
     /// Executes a plain kernel launch (lower → plan → simulate), memoized.
+    /// The returned handle shares the cached run — a repeat launch costs
+    /// a refcount bump, not a copy.
     ///
     /// # Errors
     ///
     /// Propagates plan construction and simulation errors.
-    pub fn run_launch(&self, launch: &KernelLaunch) -> Result<KernelRun, SimError> {
+    pub fn run_launch(&self, launch: &KernelLaunch) -> Result<Arc<KernelRun>, SimError> {
         let plan = ExecutablePlan::from_launch(&self.spec, launch)?;
         self.run_plan(&plan)
     }
 
     /// Executes a prepared plan, memoized when the plan has a fingerprint.
+    /// Hits return the shared cached run (refcount bump, zero copy).
     ///
     /// # Errors
     ///
     /// Propagates simulation errors. Failures are not cached.
-    pub fn run_plan(&self, plan: &ExecutablePlan) -> Result<KernelRun, SimError> {
+    pub fn run_plan(&self, plan: &ExecutablePlan) -> Result<Arc<KernelRun>, SimError> {
         if let Some(fp) = plan.fingerprint {
             if let Some(hit) = self.shard(fp).lock().expect("cache poisoned").get(&fp) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 if plan.fused {
                     self.fused_hits.fetch_add(1, Ordering::Relaxed);
                 }
-                return Ok(hit.clone());
+                return Ok(Arc::clone(hit));
             }
         }
-        let run = simulate(&self.spec, plan)?;
+        let run = Arc::new(simulate(&self.spec, plan)?);
         self.misses.fetch_add(1, Ordering::Relaxed);
         if plan.fused {
             self.fused_misses.fetch_add(1, Ordering::Relaxed);
@@ -106,7 +114,7 @@ impl Device {
             self.shard(fp)
                 .lock()
                 .expect("cache poisoned")
-                .insert(fp, run.clone());
+                .insert(fp, Arc::clone(&run));
         }
         Ok(run)
     }
@@ -155,11 +163,24 @@ impl Device {
             .sum()
     }
 
-    /// Clears the execution cache.
+    /// Clears the execution cache *and* resets the hit/miss counters
+    /// (plain and fused). A cleared device reports provenance as if
+    /// freshly constructed — repeated-bench passes that clear between
+    /// iterations are not polluted by earlier passes' lookups.
     pub fn clear_cache(&self) {
         for shard in &self.shards {
             shard.lock().expect("cache poisoned").clear();
         }
+        self.reset_stats();
+    }
+
+    /// Resets the hit/miss counters (plain and fused) without touching
+    /// the cached runs themselves.
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.fused_hits.store(0, Ordering::Relaxed);
+        self.fused_misses.store(0, Ordering::Relaxed);
     }
 }
 
@@ -222,9 +243,39 @@ mod tests {
         let l = launch(68);
         dev.run_launch(&l).unwrap();
         dev.clear_cache();
+        // Counters were reset along with the entries, so only the
+        // post-clear re-simulation is visible.
+        assert_eq!(dev.cache_stats(), (0, 0));
         dev.run_launch(&l).unwrap();
         let (hits, misses) = dev.cache_stats();
-        assert_eq!((hits, misses), (0, 2));
+        assert_eq!((hits, misses), (0, 1));
+    }
+
+    #[test]
+    fn reset_stats_keeps_entries_but_zeroes_counters() {
+        let dev = Device::new(GpuSpec::rtx2080ti());
+        let l = launch(68);
+        dev.run_launch(&l).unwrap();
+        dev.run_launch(&l).unwrap();
+        assert_eq!(dev.cache_stats(), (1, 1));
+        dev.reset_stats();
+        assert_eq!(dev.cache_stats(), (0, 0));
+        assert_eq!(dev.fused_cache_stats(), (0, 0));
+        assert_eq!(dev.cache_len(), 1, "entries survive a stats reset");
+        // The next lookup is a hit against the surviving entry.
+        dev.run_launch(&l).unwrap();
+        assert_eq!(dev.cache_stats(), (1, 0));
+    }
+
+    #[test]
+    fn repeat_hits_share_one_allocation() {
+        let dev = Device::new(GpuSpec::rtx2080ti());
+        let l = launch(68);
+        let a = dev.run_launch(&l).unwrap();
+        let b = dev.run_launch(&l).unwrap();
+        let c = dev.run_launch(&l).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "hit must alias the cached run");
+        assert!(Arc::ptr_eq(&b, &c));
     }
 
     #[test]
@@ -250,7 +301,7 @@ mod tests {
     fn concurrent_lookups_are_consistent() {
         let dev = Arc::new(Device::new(GpuSpec::rtx2080ti()));
         let launches: Vec<KernelLaunch> = (1..=8).map(|b| launch(b * 34)).collect();
-        let baseline: Vec<KernelRun> = launches
+        let baseline: Vec<Arc<KernelRun>> = launches
             .iter()
             .map(|l| dev.run_launch(l).unwrap())
             .collect();

@@ -676,7 +676,9 @@ impl<'a, Q: SimQueue> Engine<'a, Q> {
             events: self.pops + self.coalesced,
             pops: self.pops,
             macro_runs: self.macro_runs,
-        })
+            summary: crate::result::RunSummary::default(),
+        }
+        .finalized())
     }
 
     /// Emits the end-of-run event batch: per-pipeline busy intervals,

@@ -46,6 +46,6 @@ pub use error::SimError;
 pub use perturb::scale_run;
 pub use plan::ExecutablePlan;
 pub use power::PowerModel;
-pub use result::{ActivitySummary, Interval, KernelRun};
+pub use result::{ActivitySummary, Interval, KernelRun, RunSummary};
 pub use spec::GpuSpec;
 pub use timeline::{TimelineEntry, TimelineRecorder};

@@ -20,7 +20,10 @@ use crate::result::{Interval, KernelRun};
 /// cycles, preserving the run's internal proportions: utilizations and
 /// the co-run/solo-run phase split are invariant under the stretch.
 /// Event counts, occupancy and DRAM bytes describe *what* the engine
-/// did, not how long it took, and pass through unchanged.
+/// did, not how long it took, and pass through unchanged. The
+/// precomputed [`crate::result::RunSummary`] is rebuilt from the scaled
+/// fields. The stretched run is a fresh owned value — the shared cached
+/// run behind the device's `Arc` handle is never touched.
 pub fn scale_run(run: &KernelRun, factor: f64) -> KernelRun {
     let factor = factor.max(0.0);
     let scale_cycles = |c: Cycles| Cycles::new((c.get() as f64 * factor).round() as u64);
@@ -53,7 +56,9 @@ pub fn scale_run(run: &KernelRun, factor: f64) -> KernelRun {
         events: run.events,
         pops: run.pops,
         macro_runs: run.macro_runs,
+        summary: crate::result::RunSummary::default(),
     }
+    .finalized()
 }
 
 #[cfg(test)]
@@ -83,7 +88,9 @@ mod tests {
             events: 10,
             pops: 10,
             macro_runs: 0,
+            summary: crate::result::RunSummary::default(),
         }
+        .finalized()
     }
 
     #[test]
@@ -112,5 +119,15 @@ mod tests {
     fn unit_factor_is_identity() {
         let r = run();
         assert_eq!(scale_run(&r, 1.0), r);
+    }
+
+    #[test]
+    fn scale_rebuilds_the_summary() {
+        let r = run();
+        let s = scale_run(&r, 2.0);
+        assert_eq!(s.summary, crate::result::RunSummary::of(&s));
+        assert_eq!(s.summary.duration, s.duration);
+        // Utilizations are scale-invariant; the summary tracks that.
+        assert!((s.summary.tc_util - r.summary.tc_util).abs() < 1e-9);
     }
 }

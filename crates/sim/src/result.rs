@@ -4,6 +4,57 @@ use std::fmt;
 
 use tacker_kernel::{Cycles, Name, NameId, SimTime};
 
+/// Precomputed aggregates of one [`KernelRun`], built once when the run
+/// is constructed (and rebuilt by [`crate::scale_run`] after a stretch).
+///
+/// Steady-state consumers — the serving loop, telemetry windows, QoS
+/// attribution — need the same handful of derived numbers for every
+/// launch of a memoized run: wall duration, both pipeline utilizations,
+/// and the busy-span shape. Computing them once at insertion keeps the
+/// hot path to plain field reads on a shared [`std::sync::Arc`] handle
+/// instead of re-deriving (or re-walking interval lists) per query.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunSummary {
+    /// Wall duration of the run (same as [`KernelRun::duration`]).
+    pub duration: SimTime,
+    /// Makespan in cycles (same as [`KernelRun::cycles`]).
+    pub cycles: Cycles,
+    /// Tensor-pipeline utilization over the run's own makespan.
+    pub tc_util: f64,
+    /// CUDA-pipeline utilization over the run's own makespan.
+    pub cd_util: f64,
+    /// Micro-events the engine processed (same as [`KernelRun::events`]).
+    pub events: u64,
+    /// Merged Tensor-pipeline busy spans.
+    pub tc_spans: u32,
+    /// Merged CUDA-pipeline busy spans.
+    pub cd_spans: u32,
+}
+
+impl RunSummary {
+    /// Computes the summary of `run` from its base fields.
+    pub fn of(run: &KernelRun) -> RunSummary {
+        let (tc_util, cd_util) = if run.cycles == Cycles::ZERO {
+            (0.0, 0.0)
+        } else {
+            let inv = 1.0 / run.cycles.get() as f64;
+            (
+                run.activity.tc_busy.get() as f64 * inv,
+                run.activity.cd_busy.get() as f64 * inv,
+            )
+        };
+        RunSummary {
+            duration: run.duration,
+            cycles: run.cycles,
+            tc_util,
+            cd_util,
+            events: run.events,
+            tc_spans: run.tc_intervals.len() as u32,
+            cd_spans: run.cd_intervals.len() as u32,
+        }
+    }
+}
+
 /// A half-open busy interval `[start, end)` in cycles.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Interval {
@@ -108,9 +159,21 @@ pub struct KernelRun {
     /// Queue pops that coalesced at least one inline continuation
     /// (0 for cache-replayed results and with macro-stepping off).
     pub macro_runs: u64,
+    /// Precomputed aggregates (see [`RunSummary`]); every constructor
+    /// goes through [`KernelRun::finalized`] so the summary always
+    /// agrees with the base fields.
+    pub summary: RunSummary,
 }
 
 impl KernelRun {
+    /// Fills in the precomputed [`RunSummary`] from the base fields.
+    /// Call after constructing (or re-deriving) a run by struct literal.
+    #[must_use]
+    pub fn finalized(mut self) -> KernelRun {
+        self.summary = RunSummary::of(&self);
+        self
+    }
+
     /// Finish cycle of the role whose name contains `needle`, if any.
     pub fn role_finish_containing(&self, needle: &str) -> Option<Cycles> {
         self.role_finish
@@ -139,18 +202,11 @@ impl KernelRun {
         self.activity.cd_utilization(self.cycles)
     }
 
-    /// Both pipeline utilizations as `(tensor, cuda)` with a single
-    /// division — the serving engine calls this once per launch on its
-    /// telemetry path, where two independent divides are measurable.
+    /// Both pipeline utilizations as `(tensor, cuda)` — precomputed in
+    /// the [`RunSummary`] at construction, so the serving engine's
+    /// telemetry path is two field reads rather than two divides.
     pub fn pipe_utilizations(&self) -> (f64, f64) {
-        if self.cycles == Cycles::ZERO {
-            return (0.0, 0.0);
-        }
-        let inv = 1.0 / self.cycles.get() as f64;
-        (
-            self.activity.tc_busy.get() as f64 * inv,
-            self.activity.cd_busy.get() as f64 * inv,
-        )
+        (self.summary.tc_util, self.summary.cd_util)
     }
 }
 
@@ -222,6 +278,67 @@ mod tests {
     }
 
     #[test]
+    fn summary_agrees_with_base_fields() {
+        let run = KernelRun {
+            name: "s".into(),
+            name_id: tacker_kernel::intern("s"),
+            cycles: Cycles::new(1000),
+            duration: SimTime::from_nanos(2000),
+            activity: ActivitySummary {
+                tc_busy: Cycles::new(600),
+                cd_busy: Cycles::new(250),
+            },
+            tc_intervals: vec![Interval {
+                start: 0.0,
+                end: 600.0,
+            }],
+            cd_intervals: vec![],
+            role_finish: vec![],
+            occupancy: 1,
+            dram_bytes: 0.0,
+            events: 42,
+            pops: 40,
+            macro_runs: 2,
+            summary: RunSummary::default(),
+        }
+        .finalized();
+        assert_eq!(run.summary.duration, run.duration);
+        assert_eq!(run.summary.cycles, run.cycles);
+        assert_eq!(run.summary.events, 42);
+        assert_eq!(run.summary.tc_spans, 1);
+        assert_eq!(run.summary.cd_spans, 0);
+        assert!((run.summary.tc_util - 0.6).abs() < 1e-12);
+        assert!((run.summary.cd_util - 0.25).abs() < 1e-12);
+        assert_eq!(
+            run.pipe_utilizations(),
+            (run.summary.tc_util, run.summary.cd_util)
+        );
+    }
+
+    #[test]
+    fn zero_cycle_summary_has_zero_utilization() {
+        let run = KernelRun {
+            name: "z".into(),
+            name_id: tacker_kernel::intern("z"),
+            cycles: Cycles::ZERO,
+            duration: SimTime::ZERO,
+            activity: ActivitySummary::default(),
+            tc_intervals: vec![],
+            cd_intervals: vec![],
+            role_finish: vec![],
+            occupancy: 0,
+            dram_bytes: 0.0,
+            events: 0,
+            pops: 0,
+            macro_runs: 0,
+            summary: RunSummary::default(),
+        }
+        .finalized();
+        assert_eq!(run.summary.tc_util, 0.0);
+        assert_eq!(run.summary.cd_util, 0.0);
+    }
+
+    #[test]
     fn corun_cycles_is_min_role_finish() {
         let run = KernelRun {
             name: "f".into(),
@@ -240,7 +357,9 @@ mod tests {
             events: 0,
             pops: 0,
             macro_runs: 0,
-        };
+            summary: RunSummary::default(),
+        }
+        .finalized();
         assert_eq!(run.corun_cycles(), Cycles::new(60));
         assert_eq!(run.role_finish_containing("cd"), Some(Cycles::new(100)));
         assert_eq!(run.role_finish_containing("zz"), None);

@@ -91,8 +91,8 @@ impl TimelineRecorder {
             label: label.into(),
             start,
             end,
-            tc_util: run.activity.tc_utilization(run.cycles),
-            cd_util: run.activity.cd_utilization(run.cycles),
+            tc_util: run.summary.tc_util,
+            cd_util: run.summary.cd_util,
         });
         self.cursor = end;
         (start, end)
@@ -209,7 +209,9 @@ mod tests {
             events: 0,
             pops: 0,
             macro_runs: 0,
+            summary: crate::result::RunSummary::default(),
         }
+        .finalized()
     }
 
     #[test]

@@ -85,6 +85,54 @@ proptest! {
         }
     }
 
+    /// The steady-state fast path is bit-identical to the full decision
+    /// loop across random LC-only scenarios (the configuration in which
+    /// it engages): same latencies, same wall clock, same windowed
+    /// telemetry, same guard trajectory. Tracing force-disables the
+    /// fast path, so the traced event stream is the slow path's by
+    /// construction — asserted via the traced run's report numbers.
+    #[test]
+    fn fast_path_reports_are_bit_identical(
+        seed in 0u64..1000,
+        gemm_m in 1024u64..4096,
+        gap_us in 400u64..2000,
+        guarded in 0u8..2,
+    ) {
+        let guarded = guarded == 1;
+        let device = Arc::new(Device::new(GpuSpec::rtx2080ti()));
+        let lc = lc_service(gemm_m);
+        let config = ExperimentConfig::default().with_queries(14).with_seed(seed);
+        let build = |fast: bool, sink: Option<Arc<tacker_trace::RingSink>>| {
+            let mut r = ColocationRun::new(&device, &config, std::slice::from_ref(&lc), &[])
+                .expect("build")
+                .at(tacker_kernel::SimTime::from_micros(gap_us))
+                .windowed(tacker_kernel::SimTime::from_millis(1))
+                .steady_fast_path(fast);
+            if guarded {
+                r = r.guarded(GuardConfig::default());
+            }
+            if let Some(s) = sink {
+                r = r.traced(s);
+            }
+            r.run().expect("run")
+        };
+        let fast = build(true, None);
+        let slow = build(false, None);
+        prop_assert_eq!(fast.query_latencies(), slow.query_latencies());
+        prop_assert_eq!(fast.qos_violations(), slow.qos_violations());
+        prop_assert_eq!(fast.wall, slow.wall);
+        prop_assert_eq!(fast.guard_steps, slow.guard_steps);
+        prop_assert_eq!(&fast.guard_level, &slow.guard_level);
+        prop_assert_eq!(&fast.windows, &slow.windows);
+        // A traced run falls back to the slow path but must report the
+        // same numbers — the trace stream *is* the slow path's.
+        let sink = Arc::new(tacker_trace::RingSink::unbounded());
+        let traced = build(true, Some(sink.clone()));
+        prop_assert_eq!(traced.query_latencies(), slow.query_latencies());
+        prop_assert_eq!(traced.wall, slow.wall);
+        prop_assert!(!sink.events().is_empty());
+    }
+
     /// The deprecated entry points are one-line shims: byte-identical
     /// reports to the builder they forward to.
     #[test]

@@ -174,3 +174,62 @@ fn memoization_returns_identical_results() {
     assert_eq!(a, c);
     assert_eq!(device.cache_stats().0, 1);
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The device's shared result handles never alias mutably: every
+    /// cache hit is the same allocation, and deriving a perturbed copy
+    /// (`scale_run`) leaves the cached run untouched.
+    #[test]
+    fn shared_runs_are_immutable_under_perturbation(
+        blocks in 1u64..512,
+        iters in 1u64..8,
+        factor in 1.01f64..4.0,
+    ) {
+        use std::sync::Arc;
+        use tacker_kernel::{Bindings, KernelLaunch};
+        let device = tacker_sim::Device::new(GpuSpec::rtx2080ti());
+        let def = tacker_workloads::parboil::Benchmark::Fft.shared_kernel();
+        let mut b = Bindings::new();
+        b.insert("iters".into(), iters);
+        let launch = KernelLaunch::new(Arc::clone(&def), blocks, b);
+        let first = device.run_launch(&launch).expect("first");
+        let hit = device.run_launch(&launch).expect("hit");
+        prop_assert!(Arc::ptr_eq(&first, &hit), "hit must share the cached allocation");
+        let before = (*first).clone();
+        let scaled = tacker_sim::scale_run(&hit, factor);
+        // The stretch produced a fresh owned value; the shared run is
+        // bit-for-bit what it was, and later hits still alias it.
+        prop_assert_eq!(&*first, &before);
+        prop_assert!(scaled.duration >= before.duration);
+        let again = device.run_launch(&launch).expect("again");
+        prop_assert!(Arc::ptr_eq(&first, &again));
+    }
+
+    /// Every engine-produced run carries a summary that agrees with its
+    /// base fields: utilizations in [0, 1], duration/cycles/events
+    /// mirrored, span counts matching the interval lists.
+    #[test]
+    fn run_summaries_agree_with_base_fields(
+        warps in 1u32..8,
+        ops in 1_000u64..200_000,
+        bytes in 0u64..65_536,
+        originals in 1u64..500,
+    ) {
+        let spec = GpuSpec::rtx2080ti();
+        let run = simulate(&spec, &plan(ComputeUnit::Cuda, warps, ops, bytes, 0.3, originals))
+            .expect("sim");
+        prop_assert_eq!(run.summary, tacker_sim::RunSummary::of(&run));
+        prop_assert_eq!(run.summary.duration, run.duration);
+        prop_assert_eq!(run.summary.cycles, run.cycles);
+        prop_assert_eq!(run.summary.events, run.events);
+        prop_assert_eq!(run.summary.tc_spans as usize, run.tc_intervals.len());
+        prop_assert_eq!(run.summary.cd_spans as usize, run.cd_intervals.len());
+        prop_assert!((0.0..=1.0).contains(&run.summary.tc_util));
+        prop_assert!((0.0..=1.0).contains(&run.summary.cd_util));
+        let (tc, cd) = run.pipe_utilizations();
+        prop_assert!((tc - run.activity.tc_utilization(run.cycles)).abs() < 1e-12);
+        prop_assert!((cd - run.activity.cd_utilization(run.cycles)).abs() < 1e-12);
+    }
+}
