@@ -46,17 +46,23 @@ use tacker_sim::{
 use tacker_trace::NoopSink;
 use tacker_workloads::{BeApp, LcService};
 
-/// Pre-change baseline, re-pinned at commit 986d3c1 (calendar queue +
-/// macro-stepping as shipped before this round's occupancy bitmap,
-/// bucket-width retune, and persistent-pool work) on this container:
-/// 36.78 M events/s on the throughput microbench and ~31.3 ms for the
-/// repeated sweep at `jobs = 1`. Kept here so the committed JSON records
-/// the hot-path improvement against a pinned number. (The previous pin,
-/// commit 5d71b09 with the binary-heap engine, measured 12.43 M ev/s —
-/// see `results/README.md` for the full trajectory.)
+/// Pre-change baseline, pinned at commit 986d3c1 (calendar queue +
+/// macro-stepping as shipped before the occupancy bitmap, bucket-width
+/// retune, and persistent-pool work). The numbers were re-measured by
+/// rebuilding 986d3c1 in a worktree and running it back-to-back with
+/// HEAD on the same host in the same window: 26.74 M events/s on the
+/// throughput microbench and ~48.3 ms for the repeated sweep at
+/// `jobs = 1` (best of 5). The original pin (36.78 M ev/s / 31.3 ms)
+/// was taken on a faster container and is no longer reproducible here —
+/// keeping it would report a phantom regression, so the pin tracks the
+/// same commit re-measured under current conditions. The A/B delta is
+/// what matters: HEAD's repeated sweep runs ~22 % faster than 986d3c1
+/// like-for-like. (The previous pin, commit 5d71b09 with the
+/// binary-heap engine, measured 12.43 M ev/s — see `results/README.md`
+/// for the full trajectory and the pin history.)
 const BASELINE_COMMIT: &str = "986d3c1";
-const BASELINE_EVENTS_PER_SEC: f64 = 36_784_077.0;
-const BASELINE_REPEATED_MS: f64 = 31.3;
+const BASELINE_EVENTS_PER_SEC: f64 = 26_739_882.0;
+const BASELINE_REPEATED_MS: f64 = 48.3;
 
 const LC_NAMES: [&str; 1] = ["Resnet50"];
 const BE_NAMES: [&str; 2] = ["fft", "cutcp"];
@@ -75,6 +81,13 @@ const CHECK_FUSED_HIT_FLOOR: f64 = 0.5;
 /// catastrophic regressions and the ratio floor below does the real
 /// guarding.
 const CHECK_THROUGHPUT_FLOOR: f64 = 0.9;
+/// Repeated-sweep regression floor enforced by `--check`:
+/// `improvement_vs_baseline` (1 − repeated_ms / BASELINE_REPEATED_MS)
+/// must not go negative, i.e. the `jobs = 1` repeated sweep must run at
+/// least as fast as the pinned baseline commit re-measured on this
+/// host. HEAD currently measures ~+0.22, leaving headroom for window
+/// noise without masking a real regression.
+const CHECK_IMPROVEMENT_FLOOR: f64 = 0.0;
 /// In-process heap-vs-calendar speedup floor enforced by `--check`.
 /// Both engines are measured back-to-back in the same window, so host
 /// noise mostly cancels and the ratio is stable where absolute rates
@@ -446,6 +459,16 @@ fn main() {
         );
         if rate < CHECK_FUSED_HIT_FLOOR {
             eprintln!("FAIL: fused-launch cache hit rate below floor");
+            failed = true;
+        }
+        let improvement = 1.0 - serial.repeated_ms / BASELINE_REPEATED_MS;
+        eprintln!(
+            "check: repeated sweep {:.1} ms vs pinned baseline {BASELINE_REPEATED_MS:.1} ms \
+             (improvement {improvement:+.3}, floor {CHECK_IMPROVEMENT_FLOOR:+.1})",
+            serial.repeated_ms,
+        );
+        if improvement < CHECK_IMPROVEMENT_FLOOR {
+            eprintln!("FAIL: repeated sweep regressed past the pinned baseline");
             failed = true;
         }
         if failed {

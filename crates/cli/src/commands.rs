@@ -29,6 +29,11 @@ USAGE:
              [--guard] [--gpu 2080ti|v100] [--json] [--trace <out.json>]
              [--metrics-out <prom.txt>] [--timeseries-out <out.jsonl>]
              [--window-us N]
+  tacker-cli cluster  --lc <svc,svc,...> [--devices N] [--be <app>]
+             [--policy round-robin|least-outstanding|qos-headroom|cache-affinity]
+             [--device-policy tacker|baymax|fusion-only|lc-only]
+             [--dispatch-us N] [--compare] [--queries N] [--seed N]
+             [--jobs N] [--json]
   tacker-cli stats    --in <prom.txt | out.jsonl>
   tacker-cli sweep    --lc <svc,svc,...> --be <app,app,...>
              [--policy tacker|baymax|fusion-only] [--queries N] [--seed N]
@@ -61,6 +66,14 @@ plan: `mispredict:<mult>:<frac>`, `straggler:<mult>:<frac>`,
 the adaptive QoS guard (headroom-margin inflation + the fuse → reorder-only
 → LC-only degradation ladder).
 
+`cluster` serves the LC services across a fleet of `--devices N` simulated
+GPUs (alternating RTX 2080 Ti / V100 profiles), routing each query through
+the global dispatcher under `--policy` (a *dispatch* policy; the on-device
+scheduler is picked with `--device-policy`). `--be <app>` makes the BE
+application resident on every node. `--dispatch-us N` charges a constant
+dispatcher hop per query. `--compare` runs all four dispatch policies over
+identical arrival streams and prints one row per policy.
+
 `--metrics-out <path>` writes the run's metrics registry (counters, gauges
 and latency histograms) as Prometheus text exposition. `--timeseries-out
 <path>` enables windowed telemetry and writes one JSON object per non-empty
@@ -85,6 +98,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "colocate" => colocate(&flags),
         "multi" => multi(&flags),
         "serve" => serve(&flags),
+        "cluster" => cluster(&flags),
         "stats" => stats(&flags),
         "sweep" => sweep(&flags),
         "trace" => trace(&flags),
@@ -104,14 +118,18 @@ fn device_for(flags: &Flags) -> Result<Arc<Device>, String> {
     }
 }
 
-fn policy_for(flags: &Flags) -> Result<Policy, String> {
-    match flags.get("policy").unwrap_or("tacker") {
+fn parse_policy(name: &str) -> Result<Policy, String> {
+    match name {
         "tacker" => Ok(Policy::Tacker),
         "baymax" => Ok(Policy::Baymax),
         "fusion-only" => Ok(Policy::FusionOnly),
         "lc-only" => Ok(Policy::LcOnly),
         other => Err(format!("unknown policy `{other}`")),
     }
+}
+
+fn policy_for(flags: &Flags) -> Result<Policy, String> {
+    parse_policy(flags.get("policy").unwrap_or("tacker"))
 }
 
 /// Worker-count resolution for colocate/multi/sweep/serve: the `--jobs`
@@ -450,6 +468,112 @@ fn serve(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// `cluster`: fleet-scale serving — N heterogeneous devices behind a
+/// global dispatcher with a pluggable per-query routing policy.
+fn cluster(flags: &Flags) -> Result<(), String> {
+    // Service construction needs a device handle only for kernel
+    // compilation; the fleet builds its own per-node devices.
+    let scratch = Arc::new(Device::new(GpuSpec::rtx2080ti()));
+    let mut lcs = Vec::new();
+    for name in flags.require("lc")?.split(',') {
+        lcs.push(
+            tacker_workloads::lc_service(name.trim(), &scratch)
+                .ok_or_else(|| format!("unknown LC service `{name}`"))?,
+        );
+    }
+    let devices = (flags.get_u64("devices", 2)? as usize).max(1);
+    let dispatch_policy = DispatchPolicy::parse(flags.get("policy").unwrap_or("round-robin"))
+        .map_err(|e| e.to_string())?;
+    let device_policy = parse_policy(flags.get("device-policy").unwrap_or("tacker"))?;
+    let config = config_for(flags)?;
+    let mut nodes = heterogeneous_fleet(devices);
+    if let Some(name) = flags.get("be") {
+        let be = tacker_workloads::be_app(name).ok_or("unknown BE app (see `tacker list`)")?;
+        for node in &mut nodes {
+            node.be.push(be.clone());
+        }
+    }
+    let hop = SimTime::from_micros(flags.get_u64("dispatch-us", 0)?);
+    let run = FleetRun::new(nodes, &config, &lcs)
+        .map_err(|e| e.to_string())?
+        .device_policy(device_policy)
+        .dispatch_policy(dispatch_policy)
+        .dispatch_model(DispatchModel::constant(hop));
+    if flags.has("compare") {
+        let rows = run
+            .run_policies(&DispatchPolicy::ALL)
+            .map_err(|e| e.to_string())?;
+        if flags.has("json") {
+            for (_, report) in &rows {
+                println!("{}", fleet_json(report));
+            }
+        } else {
+            println!(
+                "{} queries over {devices} devices, per dispatch policy:",
+                rows[0].1.query_count()
+            );
+            println!(
+                "{:<18} {:>9} {:>9} {:>11} {:>6} {:>10}",
+                "policy", "mean(ms)", "p99(ms)", "violations", "skew", "makespan"
+            );
+            for (policy, report) in &rows {
+                println!(
+                    "{:<18} {:>9.2} {:>9.2} {:>4} ({:>4.1}%) {:>6.2} {:>8.1}ms",
+                    policy.name(),
+                    ms(report.mean_latency()),
+                    ms(report.p99_latency()),
+                    report.qos_violations(),
+                    100.0 * report.violation_rate(),
+                    report.outstanding_skew(),
+                    report.wall.as_millis_f64()
+                );
+            }
+        }
+        return Ok(());
+    }
+    let report = run.run().map_err(|e| e.to_string())?;
+    if flags.has("json") {
+        println!("{}", fleet_json(&report));
+        return Ok(());
+    }
+    println!(
+        "{} service(s) over {devices} devices, {} dispatch ({:?} on-device):",
+        report.services.len(),
+        report.dispatch_policy,
+        report.device_policy
+    );
+    println!(
+        "  queries {} | mean {:.2} ms | p99 {:.2} ms | violations {} ({:.1}%) | skew {:.2}",
+        report.query_count(),
+        ms(report.mean_latency()),
+        ms(report.p99_latency()),
+        report.qos_violations(),
+        100.0 * report.violation_rate(),
+        report.outstanding_skew()
+    );
+    println!(
+        "  {:<8} {:<11} {:>8} {:>7} {:>10} {:>8}",
+        "node", "gpu", "queries", "util", "q/s(sim)", "max-out"
+    );
+    for dev in &report.devices {
+        println!(
+            "  {:<8} {:<11} {:>8} {:>6.1}% {:>10.1} {:>8}",
+            dev.id,
+            dev.gpu,
+            dev.queries,
+            100.0 * dev.utilization(),
+            dev.sim_queries_per_sec(),
+            dev.max_outstanding
+        );
+    }
+    println!(
+        "  aggregate {:.1} q/s (sim) over a {:.1} ms makespan",
+        report.sim_queries_per_sec(),
+        report.wall.as_millis_f64()
+    );
+    Ok(())
+}
+
 /// `stats`: summarize a Prometheus text or telemetry JSONL export
 /// produced by `serve --metrics-out` / `serve --timeseries-out`.
 fn stats(flags: &Flags) -> Result<(), String> {
@@ -699,6 +823,55 @@ fn report_json(lc: &str, r: &RunReport) -> String {
     )
 }
 
+fn fleet_json(r: &FleetReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(512);
+    let _ = write!(
+        out,
+        concat!(
+            "{{\"dispatch_policy\":\"{}\",\"device_policy\":\"{:?}\",",
+            "\"devices\":{},\"queries\":{},\"mean_latency_ms\":{:.3},",
+            "\"p99_latency_ms\":{:.3},\"qos_violations\":{},",
+            "\"violation_rate\":{:.4},\"dispatch_latency_ms\":{:.3},",
+            "\"outstanding_skew\":{:.3},\"makespan_ms\":{:.3},",
+            "\"sim_queries_per_sec\":{:.1},\"per_device\":["
+        ),
+        r.dispatch_policy,
+        r.device_policy,
+        r.devices.len(),
+        r.query_count(),
+        ms(r.mean_latency()),
+        ms(r.p99_latency()),
+        r.qos_violations(),
+        r.violation_rate(),
+        r.dispatch_latency.as_millis_f64(),
+        r.outstanding_skew(),
+        r.wall.as_millis_f64(),
+        r.sim_queries_per_sec()
+    );
+    for (i, dev) in r.devices.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            concat!(
+                "{{\"id\":\"{}\",\"gpu\":\"{}\",\"queries\":{},",
+                "\"utilization\":{:.4},\"sim_queries_per_sec\":{:.1},",
+                "\"max_outstanding\":{}}}"
+            ),
+            dev.id,
+            dev.gpu,
+            dev.queries,
+            dev.utilization(),
+            dev.sim_queries_per_sec(),
+            dev.max_outstanding
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
 fn serve_json(lc: &str, r: &RunReport) -> String {
     let base = report_json(lc, r);
     format!(
@@ -779,6 +952,34 @@ mod tests {
         assert!(dispatch(&argv("serve --lc Resnet50 --be fft --arrivals sometimes")).is_err());
         assert!(dispatch(&argv("serve --lc Resnet50 --be fft --arrivals bursty:x")).is_err());
         assert!(dispatch(&argv("serve --lc Resnet50 --be fft --window-us x")).is_err());
+    }
+
+    #[test]
+    fn cluster_flags_are_validated() {
+        assert!(dispatch(&argv("cluster")).is_err()); // missing --lc
+        assert!(dispatch(&argv("cluster --lc NopeNet")).is_err());
+        assert!(dispatch(&argv("cluster --lc Resnet50 --policy fifo")).is_err());
+        assert!(dispatch(&argv("cluster --lc Resnet50 --device-policy magic")).is_err());
+        assert!(dispatch(&argv("cluster --lc Resnet50 --be nope")).is_err());
+        assert!(dispatch(&argv("cluster --lc Resnet50 --devices x")).is_err());
+        assert!(dispatch(&argv("cluster --lc Resnet50 --dispatch-us x")).is_err());
+        // The dispatch hop must leave QoS budget (target is 50 ms).
+        assert!(dispatch(&argv(
+            "cluster --lc Resnet50 --queries 5 --dispatch-us 60000"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn cluster_serves_a_small_fleet() {
+        assert!(dispatch(&argv(
+            "cluster --lc Resnet50 --devices 2 --queries 8 --policy qos-headroom --json"
+        ))
+        .is_ok());
+        assert!(dispatch(&argv(
+            "cluster --lc Resnet50 --devices 2 --queries 8 --compare"
+        ))
+        .is_ok());
     }
 
     #[test]

@@ -11,6 +11,11 @@
 //! fused kernels once an application crosses the (adjustable) occurrence
 //! threshold, and distributes the prepared pairs to exactly the GPU nodes
 //! hosting the relevant BE applications.
+//!
+//! This module is the *offline* half of the cluster story (what gets
+//! fused, and where the artifacts land). The *online* half — routing live
+//! LC traffic across the fleet and executing it concurrently — lives in
+//! [`crate::fleet`].
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -311,6 +316,87 @@ mod tests {
         assert!(first.fused_pairs > 0);
         let second = c.distribute(&lc).unwrap();
         assert_eq!(second.fused_pairs, 0, "already prepared");
+    }
+
+    #[test]
+    fn observe_fires_exactly_at_the_threshold() {
+        let mut c = ClusterManager::new(3);
+        let lc = small_lc();
+        // `observe` returns true only on the occurrence that *crosses* the
+        // threshold — not before, and not on later occurrences (those are
+        // already eligible, not newly eligible).
+        assert!(!c.observe(&lc));
+        assert!(!c.observe(&lc));
+        assert!(c.observe(&lc), "third occurrence crosses threshold 3");
+        assert_eq!(c.occurrences("svc"), 3);
+        assert!(!c.observe(&lc), "past the threshold is not a new crossing");
+        assert_eq!(c.occurrences("svc"), 4);
+        // A zero threshold clamps to 1: the very first occurrence fires.
+        let mut zero = ClusterManager::new(0);
+        assert!(zero.observe(&lc));
+        assert!(!zero.observe(&lc));
+    }
+
+    #[test]
+    fn distribution_with_no_be_hosts_prepares_nothing_but_marks_done() {
+        // No node hosts any BE app: the service's pair set is empty
+        // everywhere. Distribution touches no library, reports no target
+        // nodes — and still marks the service prepared, so the cluster
+        // does not retry the same no-op on every later deployment.
+        let mut c = cluster();
+        let lc = small_lc();
+        for _ in 0..3 {
+            c.observe(&lc);
+        }
+        let r = c.distribute(&lc).unwrap();
+        assert!(r.prepared_per_node.is_empty());
+        assert_eq!(r.fused_pairs, 0);
+        assert_eq!(r.declined_pairs, 0);
+        assert!(c.is_prepared("svc"));
+        for node in c.nodes() {
+            assert_eq!(node.library().prepared_pairs(), 0);
+        }
+        // BE placed *after* preparation: redistribution still short-circuits
+        // (the service is already marked), leaving the new node untouched.
+        c.place_be(
+            "gpu-0",
+            BeApp::new("fft", Intensity::Compute, Benchmark::Fft.task()),
+        )
+        .unwrap();
+        let again = c.distribute(&lc).unwrap();
+        assert!(again.prepared_per_node.is_empty());
+        assert_eq!(c.node("gpu-0").unwrap().library().prepared_pairs(), 0);
+    }
+
+    #[test]
+    fn redistribution_short_circuits_without_touching_libraries() {
+        let mut c = cluster();
+        c.place_be(
+            "gpu-0",
+            BeApp::new("fft", Intensity::Compute, Benchmark::Fft.task()),
+        )
+        .unwrap();
+        let lc = small_lc();
+        for _ in 0..3 {
+            c.observe(&lc);
+        }
+        let first = c.distribute(&lc).unwrap();
+        assert!(!first.prepared_per_node.is_empty());
+        let pairs_after_first: Vec<usize> = c
+            .nodes()
+            .iter()
+            .map(|n| n.library().prepared_pairs())
+            .collect();
+        // The `is_prepared` short-circuit returns an empty report and
+        // leaves every node's library pair count exactly as it was.
+        let second = c.distribute(&lc).unwrap();
+        assert_eq!(second, DistributionReport::default());
+        let pairs_after_second: Vec<usize> = c
+            .nodes()
+            .iter()
+            .map(|n| n.library().prepared_pairs())
+            .collect();
+        assert_eq!(pairs_after_first, pairs_after_second);
     }
 
     #[test]

@@ -21,6 +21,11 @@
 //! * [`serve`] — the serving runtime and the [`ColocationRun`] builder:
 //!   streaming LC arrivals (Poisson, bursty, or trace replay), endless BE
 //!   task streams, end-to-end latency and BE throughput accounting;
+//! * [`fleet`] — fleet-scale serving (§IV taken online): a global
+//!   dispatcher routing queries over N heterogeneous devices under
+//!   pluggable policies (round-robin, least-outstanding, QoS-headroom,
+//!   cache-affinity), with per-device engines running concurrently on the
+//!   `tacker-par` pool and merging into one [`FleetReport`];
 //! * [`fault`] — deterministic fault injection (mispredictions,
 //!   stragglers, BE floods, predictor outages);
 //! * [`guard`] — the adaptive QoS guard: an error/pressure tracker that
@@ -59,6 +64,7 @@ pub mod cluster;
 pub mod config;
 pub mod error;
 pub mod fault;
+pub mod fleet;
 pub mod guard;
 pub mod library;
 pub mod manager;
@@ -73,6 +79,10 @@ pub use cluster::{ClusterManager, DistributionReport, GpuNode};
 pub use config::ExperimentConfig;
 pub use error::TackerError;
 pub use fault::{FaultPlan, FloodBurst, MispredictFault, OutageWindow, StragglerFault};
+pub use fleet::{
+    heterogeneous_fleet, DispatchModel, DispatchPolicy, FleetDeviceReport, FleetNode, FleetReport,
+    FleetRun, FleetServiceReport,
+};
 pub use guard::{GuardConfig, GuardLevel, QosGuard};
 pub use library::{FusionLibrary, PairEntry};
 pub use manager::{Decision, KernelManager, Policy};
@@ -97,6 +107,9 @@ pub use sweep::{
 pub mod prelude {
     pub use crate::config::ExperimentConfig;
     pub use crate::fault::FaultPlan;
+    pub use crate::fleet::{
+        heterogeneous_fleet, DispatchModel, DispatchPolicy, FleetNode, FleetReport, FleetRun,
+    };
     pub use crate::guard::{GuardConfig, GuardLevel};
     pub use crate::library::FusionLibrary;
     pub use crate::manager::Policy;

@@ -163,6 +163,11 @@ pub struct RunReport {
     pub reordered_launches: u64,
     /// Total simulated wall-clock time.
     pub wall: SimTime,
+    /// Simulated time the device spent executing kernels (LC, BE and
+    /// fused launches, including injected flood work); `wall - busy` is
+    /// idle time. Pure accounting — identical on the fast and slow
+    /// serving paths.
+    pub busy: SimTime,
     /// Online model refreshes triggered (>10% prediction error).
     pub model_refreshes: u64,
     /// Device activity timeline, when recording was enabled.
@@ -252,6 +257,16 @@ impl RunReport {
     pub fn qos_met(&self) -> bool {
         self.services.iter().all(|s| s.qos_violations == 0)
     }
+
+    /// Fraction of wall time the device was executing kernels (0 when
+    /// nothing ran).
+    pub fn utilization(&self) -> f64 {
+        if self.wall == SimTime::ZERO {
+            0.0
+        } else {
+            self.busy.as_nanos() as f64 / self.wall.as_nanos() as f64
+        }
+    }
 }
 
 /// The old multi-service report type, merged into [`RunReport`].
@@ -293,6 +308,7 @@ mod tests {
             fused_launches: 0,
             reordered_launches: 0,
             wall: SimTime::from_millis(100),
+            busy: SimTime::ZERO,
             model_refreshes: 0,
             timeline: None,
             latency_histogram: registry.histogram("query_latency_us"),

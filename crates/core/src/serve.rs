@@ -416,8 +416,10 @@ impl BeState {
     }
 }
 
-/// Materializes the per-service arrival streams.
-fn generate_arrivals(
+/// Materializes the per-service arrival streams. Shared with the fleet
+/// dispatcher ([`crate::fleet`]), which generates one fleet-level set of
+/// streams and replays per-device slices of it.
+pub(crate) fn generate_arrivals(
     services: &[ServiceLoad],
     config: &ExperimentConfig,
     spec: &ArrivalSpec,
@@ -663,6 +665,7 @@ pub(crate) fn run_engine(
         fused_launches: 0,
         reordered_launches: 0,
         wall: SimTime::ZERO,
+        busy: SimTime::ZERO,
         model_refreshes: 0,
         timeline: config.record_timeline.then(TimelineRecorder::new),
         latency_histogram: Arc::clone(&m_latency_all),
@@ -786,6 +789,7 @@ pub(crate) fn run_engine(
                 let run = run_kernel(&wk)?;
                 launch_seq += 1;
                 now += run.duration;
+                report.busy += run.duration;
                 report.be_work += run.duration;
                 report.be_kernels += 1;
                 be_states[bi].pop();
@@ -909,6 +913,7 @@ pub(crate) fn run_engine(
                             m_budget.set(budget as f64);
                             launch_seq += 1;
                             now += run.duration;
+                            report.busy += run.duration;
                             q.remaining_pred = q.remaining_pred.saturating_sub(predicted);
                             if let Some(ws) = windows.as_mut() {
                                 ws.on_span(
@@ -1046,6 +1051,7 @@ pub(crate) fn run_engine(
                         run = Arc::new(scale_run(&run, mf * sf));
                     }
                     now += run.duration;
+                    report.busy += run.duration;
                     q.remaining_pred = q.remaining_pred.saturating_sub(kernel_preds[si][idx]);
                     if let Some(ws) = windows.as_mut() {
                         let (tc, cd) = run.pipe_utilizations();
@@ -1119,6 +1125,7 @@ pub(crate) fn run_engine(
                         run = Arc::new(scale_run(&run, mf * sf));
                     }
                     now += run.duration;
+                    report.busy += run.duration;
                     if let Some(ws) = windows.as_mut() {
                         let (tc, cd) = run.pipe_utilizations();
                         ws.on_span(
@@ -1190,6 +1197,7 @@ pub(crate) fn run_engine(
                         run = Arc::new(scale_run(&run, sf));
                     }
                     now += run.duration;
+                    report.busy += run.duration;
                     if let Some(ws) = windows.as_mut() {
                         let (tc, cd) = run.pipe_utilizations();
                         ws.on_span(

@@ -631,7 +631,7 @@ impl<'a, Q: SimQueue> Engine<'a, Q> {
                 });
             }
             return Err(SimError::Deadlock {
-                kernel: self.plan.name.to_string(),
+                kernel: self.plan.name.clone(),
                 pending_barriers: pending,
             });
         }
@@ -743,13 +743,13 @@ fn simulate_on<Q: SimQueue>(
     let occupancy = plan.occupancy(spec);
     if occupancy == 0 {
         return Err(SimError::LaunchFailure {
-            kernel: plan.name.to_string(),
+            kernel: plan.name.clone(),
             reason: "block does not fit on an SM".to_string(),
         });
     }
     if plan.block.roles.iter().any(|r| r.warps == 0) {
         return Err(SimError::LaunchFailure {
-            kernel: plan.name.to_string(),
+            kernel: plan.name.clone(),
             reason: "role with zero warps".to_string(),
         });
     }

@@ -3,9 +3,13 @@
 use std::error::Error;
 use std::fmt;
 
-use tacker_kernel::KernelError;
+use tacker_kernel::{KernelError, Name};
 
 /// Errors surfaced while executing a plan on the simulated device.
+///
+/// Kernel names are the interned [`Name`] handles the engine already
+/// carries (as in [`crate::KernelRun`] and the trace events), so error
+/// construction clones an `Arc`, never reallocates the string.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
     /// The kernel could not be lowered or its parameters were unbound.
@@ -13,7 +17,7 @@ pub enum SimError {
     /// A single block of the plan does not fit on an SM.
     LaunchFailure {
         /// Kernel name.
-        kernel: String,
+        kernel: Name,
         /// Reason the launch was rejected.
         reason: String,
     },
@@ -21,7 +25,7 @@ pub enum SimError {
     /// kernel that kept a block-wide `__syncthreads()` inside one branch.
     Deadlock {
         /// Kernel name.
-        kernel: String,
+        kernel: Name,
         /// Barrier ids that still have waiters.
         pending_barriers: Vec<u16>,
     },

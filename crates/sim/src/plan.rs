@@ -111,7 +111,7 @@ impl ExecutablePlan {
         let occupancy = spec.sm.blocks_per_sm(def.resources(), threads);
         if occupancy == 0 {
             return Err(SimError::LaunchFailure {
-                kernel: def.name().to_string(),
+                kernel: def.name_shared(),
                 reason: format!(
                     "block ({} threads, {}) exceeds SM capacity",
                     threads,
@@ -126,7 +126,7 @@ impl ExecutablePlan {
         };
         if issued == 0 {
             return Err(SimError::LaunchFailure {
-                kernel: def.name().to_string(),
+                kernel: def.name_shared(),
                 reason: "empty grid".to_string(),
             });
         }

@@ -341,6 +341,21 @@ pub enum TraceEvent {
         /// The closed window row.
         row: crate::timeseries::WindowRow,
     },
+    /// One fleet dispatcher routing decision: an LC query assigned to a
+    /// device by the cluster-level serving layer.
+    QueryDispatched {
+        /// Fleet-level arrival instant of the query.
+        at: SimTime,
+        /// Service name.
+        service: Name,
+        /// Node id of the chosen device.
+        device: Name,
+        /// Dispatch latency added on top of the device-side latency.
+        latency: SimTime,
+        /// Dispatcher-model outstanding queries on the device after this
+        /// assignment (load-balance observability).
+        outstanding: u64,
+    },
 }
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -396,6 +411,7 @@ impl TraceEvent {
             TraceEvent::FaultInjected { .. } => "fault_injected",
             TraceEvent::QosViolation { .. } => "qos_violation",
             TraceEvent::WindowStats { .. } => "window",
+            TraceEvent::QueryDispatched { .. } => "dispatch",
         }
     }
 
@@ -607,6 +623,19 @@ impl TraceEvent {
             }
             TraceEvent::WindowStats { row } => {
                 row.push_json_fields(&mut out);
+            }
+            TraceEvent::QueryDispatched {
+                at,
+                service,
+                device,
+                latency,
+                outstanding,
+            } => {
+                push_time_field(&mut out, "at", *at);
+                push_str_field(&mut out, "service", service);
+                push_str_field(&mut out, "device", device);
+                push_time_field(&mut out, "latency", *latency);
+                let _ = write!(out, ",\"outstanding\":{outstanding}");
             }
         }
         out.push('}');

@@ -1,0 +1,158 @@
+//! Property tests for fleet-scale serving: a fleet of one node with zero
+//! dispatch latency is the single-device serving runtime, bit for bit —
+//! the dispatcher routes every query to the only device and replays the
+//! very arrival streams the single-device run generates.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use tacker::fleet::{DispatchPolicy, FleetNode, FleetRun};
+use tacker::prelude::*;
+use tacker_sim::{Device, GpuSpec};
+use tacker_workloads::gemm::{gemm_workload, GemmShape};
+use tacker_workloads::parboil::Benchmark;
+use tacker_workloads::{BeApp, Intensity, LcService};
+
+fn lc_service(gemm_m: u64) -> LcService {
+    let gemm = tacker_workloads::dnn::compile::shared_gemm();
+    LcService::new(
+        format!("svc-{gemm_m}"),
+        8,
+        vec![
+            gemm_workload(&gemm, GemmShape::new(gemm_m, 1024, 512)),
+            tacker_workloads::dnn::elementwise::elementwise_workload(
+                &tacker_workloads::dnn::elementwise::relu(),
+                2_000_000,
+            ),
+            gemm_workload(&gemm, GemmShape::new(gemm_m / 2, 1024, 512)),
+        ],
+    )
+}
+
+fn be_pick(i: usize) -> BeApp {
+    let bench = [
+        Benchmark::Mriq,
+        Benchmark::Fft,
+        Benchmark::Cutcp,
+        Benchmark::Lbm,
+    ][i];
+    BeApp::new(bench.name(), Intensity::Compute, bench.task())
+}
+
+fn gpu_pick(i: usize) -> GpuSpec {
+    if i == 0 {
+        GpuSpec::rtx2080ti()
+    } else {
+        GpuSpec::v100()
+    }
+}
+
+proptest! {
+    // Each case runs several full serving simulations; keep it small.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Acceptance gate: across random fault-free scenarios (seed, GEMM
+    /// shape, GPU profile, co-located BE or dedicated node, dispatch
+    /// policy), the single node's report inside a fleet-of-1
+    /// `FleetReport` is bit-identical to the `ColocationRun` report, and
+    /// the fleet aggregates are the single-device aggregates.
+    #[test]
+    fn fleet_of_one_is_the_single_device_runtime(
+        seed in 0u64..1000,
+        gemm_m in 1024u64..4096,
+        gpu in 0usize..2,
+        pick in 0usize..5,
+        policy_ix in 0usize..4,
+    ) {
+        let spec = gpu_pick(gpu);
+        let lc = lc_service(gemm_m);
+        // pick == 4 means a dedicated LC node with no resident BE work.
+        let be: Vec<BeApp> = if pick < 4 { vec![be_pick(pick)] } else { Vec::new() };
+        let config = ExperimentConfig::default().with_queries(12).with_seed(seed);
+
+        let device = Arc::new(Device::new(spec.clone()));
+        let solo = ColocationRun::new(&device, &config, std::slice::from_ref(&lc), &be)
+            .expect("solo").run().expect("solo");
+
+        let mut node = FleetNode::new("gpu-0", spec);
+        for app in &be {
+            node = node.with_be(app.clone());
+        }
+        let fleet = FleetRun::new(vec![node], &config, std::slice::from_ref(&lc))
+            .expect("fleet")
+            .dispatch_policy(DispatchPolicy::ALL[policy_ix])
+            .run()
+            .expect("fleet");
+
+        prop_assert_eq!(fleet.devices.len(), 1);
+        prop_assert_eq!(fleet.devices[0].queries, solo.query_count());
+        let dev = fleet.devices[0].report.as_ref().expect("device ran");
+        prop_assert_eq!(dev.query_latencies(), solo.query_latencies());
+        prop_assert_eq!(dev.qos_violations(), solo.qos_violations());
+        prop_assert_eq!(dev.qos_met(), solo.qos_met());
+        prop_assert_eq!(dev.wall, solo.wall);
+        prop_assert_eq!(dev.busy, solo.busy);
+        prop_assert_eq!(dev.fused_launches, solo.fused_launches);
+        prop_assert_eq!(dev.reordered_launches, solo.reordered_launches);
+        prop_assert_eq!(dev.be_kernels, solo.be_kernels);
+        prop_assert_eq!(dev.be_work, solo.be_work);
+        prop_assert_eq!(&dev.violation_log, &solo.violation_log);
+        // Fleet aggregates collapse to the single device's numbers.
+        prop_assert_eq!(fleet.query_count(), solo.query_count());
+        prop_assert_eq!(fleet.qos_violations(), solo.qos_violations());
+        prop_assert_eq!(fleet.mean_latency(), solo.mean_latency());
+        prop_assert_eq!(fleet.p99_latency(), solo.p99_latency());
+        prop_assert_eq!(fleet.wall, solo.wall);
+    }
+
+    /// Fleet determinism: the same configuration produces the same
+    /// routing and the same merged report at any worker count — routing
+    /// is serial by construction, and the per-device engines are pure.
+    #[test]
+    fn fleet_reports_are_jobs_invariant(
+        seed in 0u64..1000,
+        gemm_m in 1024u64..4096,
+        policy_ix in 0usize..4,
+        devices in 2usize..4,
+    ) {
+        let lc = lc_service(gemm_m);
+        let nodes = || -> Vec<FleetNode> {
+            (0..devices)
+                .map(|i| FleetNode::new(format!("gpu-{i}"), gpu_pick(i % 2)))
+                .collect()
+        };
+        let run_at = |jobs: usize| {
+            let config = ExperimentConfig::default()
+                .with_queries(12)
+                .with_seed(seed)
+                .with_jobs(jobs);
+            FleetRun::new(nodes(), &config, std::slice::from_ref(&lc))
+                .expect("fleet")
+                .dispatch_policy(DispatchPolicy::ALL[policy_ix])
+                .run()
+                .expect("fleet")
+        };
+        let serial = run_at(1);
+        let parallel = run_at(0);
+        prop_assert_eq!(serial.query_count(), parallel.query_count());
+        prop_assert_eq!(serial.qos_violations(), parallel.qos_violations());
+        prop_assert_eq!(serial.mean_latency(), parallel.mean_latency());
+        prop_assert_eq!(serial.p99_latency(), parallel.p99_latency());
+        prop_assert_eq!(serial.wall, parallel.wall);
+        prop_assert_eq!(serial.outstanding_max, parallel.outstanding_max);
+        for (a, b) in serial.devices.iter().zip(&parallel.devices) {
+            prop_assert_eq!(&a.id, &b.id);
+            prop_assert_eq!(a.queries, b.queries);
+            prop_assert_eq!(a.max_outstanding, b.max_outstanding);
+            match (&a.report, &b.report) {
+                (Some(ra), Some(rb)) => {
+                    prop_assert_eq!(ra.query_latencies(), rb.query_latencies());
+                    prop_assert_eq!(ra.wall, rb.wall);
+                    prop_assert_eq!(ra.busy, rb.busy);
+                }
+                (None, None) => {}
+                _ => prop_assert!(false, "device {} ran in one mode only", a.id),
+            }
+        }
+    }
+}
