@@ -30,14 +30,13 @@ pub fn eval_config() -> ExperimentConfig {
     ExperimentConfig::default().with_queries(150)
 }
 
-/// Worker threads for figure regeneration: the `TACKER_JOBS` environment
-/// variable, or every core. Figure rows are joined in grid order, so the
-/// printed output is identical at any jobs count.
+/// Worker threads for figure regeneration: the shared
+/// [`tacker_par::env_jobs`] convention (`TACKER_JOBS`, `0` = every
+/// core), with an unparseable value treated as auto. Figure rows are
+/// joined in grid order, so the printed output is identical at any jobs
+/// count.
 pub fn bench_jobs() -> usize {
-    std::env::var("TACKER_JOBS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0)
+    tacker_par::env_jobs(None).unwrap_or(0)
 }
 
 /// The paper's LC services, instantiated against a device.

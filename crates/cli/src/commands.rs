@@ -133,21 +133,14 @@ fn policy_for(flags: &Flags) -> Result<Policy, String> {
 }
 
 /// Worker-count resolution for colocate/multi/sweep/serve: the `--jobs`
-/// flag wins, then the `TACKER_JOBS` environment variable, then `0`
-/// (auto-detect every core). Both spellings share the same convention —
-/// `0` means auto — so scripts can pin a fleet-wide default via the
-/// environment and still override per invocation.
+/// flag wins, then the shared [`tacker_par::env_jobs`] convention
+/// (`TACKER_JOBS`, then `0` = auto-detect every core).
 fn jobs_for(flags: &Flags) -> Result<usize, String> {
-    if flags.get("jobs").is_some() {
-        return Ok(flags.get_u64("jobs", 0)? as usize);
-    }
-    match std::env::var("TACKER_JOBS") {
-        Ok(v) => v
-            .trim()
-            .parse()
-            .map_err(|_| format!("TACKER_JOBS expects a number, got `{v}`")),
-        Err(_) => Ok(0),
-    }
+    let flag = match flags.get("jobs") {
+        Some(_) => Some(flags.get_u64("jobs", 0)? as usize),
+        None => None,
+    };
+    tacker_par::env_jobs(flag)
 }
 
 fn config_for(flags: &Flags) -> Result<ExperimentConfig, String> {

@@ -39,6 +39,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use tacker_kernel::{SimTime, StableHasher};
+use tacker_sim::core::{Event, EventHandler, Schedule, Simulation, SimulationContext};
+use tacker_sim::queue::{HeapQueue, SimQueue};
 use tacker_sim::{Device, GpuSpec};
 use tacker_trace::{NoopSink, TraceEvent, TraceSink};
 use tacker_workloads::{BeApp, LcService};
@@ -134,6 +136,13 @@ impl DispatchModel {
     /// A constant per-query dispatch latency.
     pub fn constant(latency: SimTime) -> DispatchModel {
         DispatchModel { latency }
+    }
+
+    /// Sets the per-query dispatch latency.
+    #[must_use]
+    pub fn with_latency(mut self, latency: SimTime) -> Self {
+        self.latency = latency;
+        self
     }
 }
 
@@ -686,8 +695,12 @@ impl FleetRun {
         self.merge(dispatch_policy, &services, &merged, &assignments, reports)
     }
 
-    /// The serial deterministic router: walks the merged fleet arrival
-    /// stream and assigns every query a device under `policy`.
+    /// The deterministic router: schedules one event per merged fleet
+    /// arrival (payload = merged index) on a `tacker_sim::core` kernel
+    /// and lets the [`DispatcherComponent`] assign each query a device
+    /// under `policy`. The merged stream is pre-sorted by
+    /// `(arrival, service, query)`, so the kernel's `(time, seq)`
+    /// dispatch order is exactly the historical serial walk order.
     fn route(
         &self,
         policy: DispatchPolicy,
@@ -697,76 +710,28 @@ impl FleetRun {
         service_fp: &[u64],
     ) -> Vec<Assignment> {
         let n = self.nodes.len();
-        let tracing = self.sink.enabled();
-        // Model state per device: last predicted completion (single-FIFO
-        // free time), the predicted completion instants still in flight,
-        // and the warm plan fingerprints.
-        let mut free_at = vec![SimTime::ZERO; n];
-        let mut in_flight: Vec<Vec<SimTime>> = vec![Vec::new(); n];
-        let mut warm: Vec<std::collections::HashSet<u64>> = vec![Default::default(); n];
-        let mut assignments = Vec::with_capacity(merged.len());
-        for (i, &(at, s, _)) in merged.iter().enumerate() {
-            let land = at + self.dispatch.latency;
-            for fl in &mut in_flight {
-                fl.retain(|&f| f > land);
-            }
-            let outstanding = |d: usize| in_flight[d].len();
-            let least = |candidates: &mut dyn Iterator<Item = usize>| -> usize {
-                candidates
-                    .min_by_key(|&d| (outstanding(d), d))
-                    .expect("fleet is non-empty")
-            };
-            let d = match policy {
-                DispatchPolicy::RoundRobin => i % n,
-                DispatchPolicy::LeastOutstanding => least(&mut (0..n)),
-                DispatchPolicy::QosHeadroom => {
-                    // Equation 8/9 slack at the dispatcher: deadline minus
-                    // predicted completion behind the device's queue.
-                    (0..n)
-                        .max_by_key(|&d| {
-                            let start = land.max(free_at[d]);
-                            let finish = start + service_time[d][s];
-                            let deadline = at + self.config.qos_target;
-                            // Negative slack sorts below zero slack.
-                            (
-                                deadline.as_nanos() as i128 - finish.as_nanos() as i128,
-                                usize::MAX - d,
-                            )
-                        })
-                        .expect("fleet is non-empty")
-                }
-                DispatchPolicy::CacheAffinity => {
-                    let mut warm_devices = (0..n).filter(|&d| warm[d].contains(&service_fp[s]));
-                    match warm_devices.next() {
-                        Some(first) => least(&mut std::iter::once(first).chain(warm_devices)),
-                        None => least(&mut (0..n)),
-                    }
-                }
-            };
-            let start = land.max(free_at[d]);
-            let finish = start + service_time[d][s];
-            free_at[d] = finish;
-            in_flight[d].push(finish);
-            warm[d].insert(service_fp[s]);
-            let outstanding = in_flight[d].len() as u64;
-            if tracing {
-                self.sink.record(TraceEvent::QueryDispatched {
-                    at,
-                    service: services[s].lc.name().into(),
-                    device: self.nodes[d].id.as_str().into(),
-                    latency: self.dispatch.latency,
-                    outstanding,
-                });
-            }
-            assignments.push(Assignment {
-                device: d,
-                outstanding,
-            });
+        let mut dispatcher = DispatcherComponent {
+            fleet: self,
+            policy,
+            services,
+            merged,
+            service_time,
+            service_fp,
+            tracing: self.sink.enabled(),
+            free_at: vec![SimTime::ZERO; n],
+            in_flight: vec![Vec::new(); n],
+            warm: vec![Default::default(); n],
+            assignments: Vec::with_capacity(merged.len()),
+        };
+        let mut sim = Simulation::new(HeapQueue::new());
+        for (i, &(at, _, _)) in merged.iter().enumerate() {
+            sim.schedule(at.as_nanos() as f64, i as u32);
         }
-        if tracing {
+        sim.run(&mut dispatcher);
+        if dispatcher.tracing {
             self.sink.flush();
         }
-        assignments
+        dispatcher.assignments
     }
 
     /// Deterministic merge of per-device reports (node order) into the
@@ -858,6 +823,97 @@ impl FleetRun {
                 0.0
             },
         })
+    }
+}
+
+/// The fleet dispatcher as a component on the `tacker_sim::core`
+/// kernel: each event is one query arrival (payload = index into the
+/// merged fleet stream), and the handler assigns it a device under the
+/// dispatch policy, maintaining the per-device model state — predicted
+/// free time, in-flight completions, warm plan fingerprints.
+struct DispatcherComponent<'a> {
+    fleet: &'a FleetRun,
+    policy: DispatchPolicy,
+    services: &'a [ServiceLoad],
+    merged: &'a [(SimTime, usize, usize)],
+    /// Predicted whole-query service time per `(device, service)`.
+    service_time: &'a [Vec<SimTime>],
+    /// Plan-fingerprint per service (cache-affinity key).
+    service_fp: &'a [u64],
+    tracing: bool,
+    // Model state per device: last predicted completion (single-FIFO
+    // free time), the predicted completion instants still in flight,
+    // and the warm plan fingerprints.
+    free_at: Vec<SimTime>,
+    in_flight: Vec<Vec<SimTime>>,
+    warm: Vec<std::collections::HashSet<u64>>,
+    assignments: Vec<Assignment>,
+}
+
+impl<'a, Q: SimQueue> EventHandler<Q> for DispatcherComponent<'a> {
+    fn on_event(&mut self, event: Event, _ctx: &mut SimulationContext<'_, Q>) {
+        let n = self.fleet.nodes.len();
+        let i = event.payload as usize;
+        let (at, s, _) = self.merged[i];
+        let land = at + self.fleet.dispatch.latency;
+        for fl in &mut self.in_flight {
+            fl.retain(|&f| f > land);
+        }
+        let in_flight = &self.in_flight;
+        let outstanding = |d: usize| in_flight[d].len();
+        let least = |candidates: &mut dyn Iterator<Item = usize>| -> usize {
+            candidates
+                .min_by_key(|&d| (outstanding(d), d))
+                .expect("fleet is non-empty")
+        };
+        let d = match self.policy {
+            DispatchPolicy::RoundRobin => i % n,
+            DispatchPolicy::LeastOutstanding => least(&mut (0..n)),
+            DispatchPolicy::QosHeadroom => {
+                // Equation 8/9 slack at the dispatcher: deadline minus
+                // predicted completion behind the device's queue.
+                (0..n)
+                    .max_by_key(|&d| {
+                        let start = land.max(self.free_at[d]);
+                        let finish = start + self.service_time[d][s];
+                        let deadline = at + self.fleet.config.qos_target;
+                        // Negative slack sorts below zero slack.
+                        (
+                            deadline.as_nanos() as i128 - finish.as_nanos() as i128,
+                            usize::MAX - d,
+                        )
+                    })
+                    .expect("fleet is non-empty")
+            }
+            DispatchPolicy::CacheAffinity => {
+                let warm = &self.warm;
+                let fp = self.service_fp[s];
+                let mut warm_devices = (0..n).filter(|&d| warm[d].contains(&fp));
+                match warm_devices.next() {
+                    Some(first) => least(&mut std::iter::once(first).chain(warm_devices)),
+                    None => least(&mut (0..n)),
+                }
+            }
+        };
+        let start = land.max(self.free_at[d]);
+        let finish = start + self.service_time[d][s];
+        self.free_at[d] = finish;
+        self.in_flight[d].push(finish);
+        self.warm[d].insert(self.service_fp[s]);
+        let outstanding = self.in_flight[d].len() as u64;
+        if self.tracing {
+            self.fleet.sink.record(TraceEvent::QueryDispatched {
+                at,
+                service: self.services[s].lc.name().into(),
+                device: self.fleet.nodes[d].id.as_str().into(),
+                latency: self.fleet.dispatch.latency,
+                outstanding,
+            });
+        }
+        self.assignments.push(Assignment {
+            device: d,
+            outstanding,
+        });
     }
 }
 

@@ -31,8 +31,7 @@
 //! * [`guard`] — the adaptive QoS guard: an error/pressure tracker that
 //!   inflates the headroom margin and degrades fuse → reorder-only →
 //!   LC-only under sustained misprediction or tail-latency pressure;
-//! * [`server`] — peak-load calibration plus the deprecated
-//!   `run_colocation*` shims over the builder;
+//! * [`server`] — peak-load calibration (`calibrate_peak_interarrival`);
 //! * [`baselines`] — Baymax (reorder-only) and the co-running interface
 //!   models used in §VIII-G;
 //! * [`sweep`] — parallel (LC × BE) grid execution over the `tacker-par`
@@ -88,22 +87,19 @@ pub use library::{FusionLibrary, PairEntry};
 pub use manager::{Decision, KernelManager, Policy};
 pub use metrics::{LatencyStats, DEFAULT_EXACT_LIMIT};
 pub use profile::{work_feature, KernelProfiler};
-#[allow(deprecated)]
-pub use report::MultiRunReport;
 pub use report::{GuardAudit, RunReport, ServiceReport, ViolationRecord};
 pub use serve::{
     ArrivalSpec, ColocationRun, ServeOptions, ServiceLoad, TelemetryOptions, VIOLATION_LOG_CAP,
-};
-#[allow(deprecated)]
-pub use server::{
-    run_colocation, run_colocation_traced, run_multi_colocation, run_multi_colocation_at_traced,
-    run_multi_colocation_traced,
 };
 pub use sweep::{
     expected_cell_events, run_improvement_sweep, run_pair_sweep, sweep_jobs_used, SweepCell,
 };
 
-/// Convenient glob imports.
+/// Convenient glob imports: the whole public experiment surface — device
+/// and engine options from `tacker-sim` included — behind one `use
+/// tacker::prelude::*`. Every options type here follows the same builder
+/// idiom: `Default::default()` (or a named constructor) plus chained
+/// `with_*` setters.
 pub mod prelude {
     pub use crate::config::ExperimentConfig;
     pub use crate::fault::FaultPlan;
@@ -115,8 +111,12 @@ pub mod prelude {
     pub use crate::manager::Policy;
     pub use crate::metrics::LatencyStats;
     pub use crate::report::{RunReport, ServiceReport, ViolationRecord};
-    pub use crate::serve::{ArrivalSpec, ColocationRun, ServeOptions, TelemetryOptions};
+    pub use crate::serve::{
+        ArrivalSpec, ColocationRun, ServeOptions, ServiceLoad, TelemetryOptions,
+    };
     pub use crate::sweep::{
         expected_cell_events, run_improvement_sweep, run_pair_sweep, sweep_jobs_used, SweepCell,
     };
+    pub use tacker_kernel::SimTime;
+    pub use tacker_sim::{Device, EngineOptions, GpuSpec, KernelRun, QueueKind};
 }

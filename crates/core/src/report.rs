@@ -1,8 +1,7 @@
 //! The unified co-location run report.
 //!
 //! One [`RunReport`] describes every kind of run — single- or
-//! multi-service, batch or serving — replacing the old split between a
-//! single-service report and a `MultiRunReport` wrapper. Per-service
+//! multi-service, batch or serving. Per-service
 //! latency results live behind [`RunReport::per_service`]; the aggregate
 //! accessors ([`RunReport::p99_latency`] and friends) fold over all
 //! services and return `None` instead of a fake zero when a run completed
@@ -268,10 +267,6 @@ impl RunReport {
         }
     }
 }
-
-/// The old multi-service report type, merged into [`RunReport`].
-#[deprecated(note = "merged into `RunReport`; use `per_service()` for per-service results")]
-pub type MultiRunReport = RunReport;
 
 #[cfg(test)]
 mod tests {

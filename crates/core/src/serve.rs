@@ -18,9 +18,8 @@
 //!
 //! With a zero [`FaultPlan`], Poisson arrivals and no guard, the engine
 //! is bit-identical to the historical batch loop: same arrival streams,
-//! same decisions, same report numbers. The deprecated `run_colocation*`
-//! entry points in [`crate::server`] are one-line shims over
-//! [`ColocationRun`].
+//! same decisions, same report numbers. [`ColocationRun`] is the single
+//! entry point for every co-location experiment.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -28,6 +27,8 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use tacker_kernel::{SimTime, StableHasher};
+use tacker_sim::core::{Event, EventHandler, Schedule, Simulation, SimulationContext};
+use tacker_sim::queue::{HeapQueue, SimQueue};
 use tacker_sim::{scale_run, Device, ExecutablePlan, TimelineRecorder};
 use tacker_trace::timeseries::{SpanKind, WindowRow, WindowSeries};
 use tacker_trace::{MetricsRegistry, NoopSink, TraceEvent, TraceSink};
@@ -104,6 +105,22 @@ impl Default for TelemetryOptions {
     }
 }
 
+impl TelemetryOptions {
+    /// Sets the exact latency sample limit.
+    #[must_use]
+    pub fn with_exact_limit(mut self, limit: usize) -> Self {
+        self.exact_limit = limit;
+        self
+    }
+
+    /// Enables windowed time-series collection with this window width.
+    #[must_use]
+    pub fn with_window(mut self, width: SimTime) -> Self {
+        self.window = Some(width);
+        self
+    }
+}
+
 /// Serving-mode options: arrival process, fault plan, the optional QoS
 /// guard, and telemetry collection. The default is indistinguishable
 /// from a batch run.
@@ -136,6 +153,43 @@ impl Default for ServeOptions {
             telemetry: TelemetryOptions::default(),
             fast_path: true,
         }
+    }
+}
+
+impl ServeOptions {
+    /// Sets the arrival process.
+    #[must_use]
+    pub fn with_arrivals(mut self, spec: ArrivalSpec) -> Self {
+        self.arrivals = spec;
+        self
+    }
+
+    /// Sets the fault plan.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Enables the adaptive QoS guard with this configuration.
+    #[must_use]
+    pub fn with_guard(mut self, guard: GuardConfig) -> Self {
+        self.guard = Some(guard);
+        self
+    }
+
+    /// Sets the telemetry collection options.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: TelemetryOptions) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Enables or disables the steady-state fast path.
+    #[must_use]
+    pub fn with_fast_path(mut self, on: bool) -> Self {
+        self.fast_path = on;
+        self
     }
 }
 
@@ -483,6 +537,75 @@ pub(crate) fn generate_arrivals(
     Ok(arrivals_per_service)
 }
 
+/// The LC arrival process as a component on the `tacker_sim::core`
+/// kernel: every arrival across all services is one scheduled event
+/// whose payload indexes the merged, `(time, service)`-sorted stream.
+/// [`run_engine`] drains it with [`Simulation::run_until`] at each loop
+/// head; delivery order is the kernel's `(time, seq)` order, which is
+/// exactly the historical per-service-cursor-then-sort admission order
+/// because events are scheduled in merged order (equal times keep their
+/// schedule sequence) and `SimTime` nanoseconds below 2⁵³ (~104 days)
+/// convert to `f64` exactly.
+struct ArrivalProcess {
+    /// All arrivals, globally sorted by `(time, service)`.
+    merged: Vec<(SimTime, usize)>,
+    /// Arrivals delivered so far — a prefix of `merged`, because the
+    /// kernel pops in schedule order here.
+    delivered: usize,
+    /// Merged indexes delivered by the current drain, in admission order.
+    admitted: Vec<u32>,
+}
+
+impl ArrivalProcess {
+    /// Builds the component and its calendar from the per-service
+    /// streams (each already sorted by [`generate_arrivals`]).
+    fn new(arrivals_per_service: &[Vec<SimTime>]) -> (Simulation<HeapQueue>, ArrivalProcess) {
+        let mut merged: Vec<(SimTime, usize)> = arrivals_per_service
+            .iter()
+            .enumerate()
+            .flat_map(|(si, stream)| stream.iter().map(move |&t| (t, si)))
+            .collect();
+        merged.sort();
+        let mut sim = Simulation::new(HeapQueue::new());
+        for (i, &(t, _)) in merged.iter().enumerate() {
+            sim.schedule(t.as_nanos() as f64, i as u32);
+        }
+        let proc = ArrivalProcess {
+            merged,
+            delivered: 0,
+            admitted: Vec::new(),
+        };
+        (sim, proc)
+    }
+
+    /// Drains every arrival with time ≤ `now` into `admitted`
+    /// (cleared first), returning the admitted `(time, service)` pairs'
+    /// indexes in delivery order.
+    fn drain(&mut self, sim: &mut Simulation<HeapQueue>, now: SimTime) -> &[u32] {
+        self.admitted.clear();
+        sim.run_until(now.as_nanos() as f64, self);
+        &self.admitted
+    }
+
+    /// The arrival at merged index `i`.
+    fn get(&self, i: u32) -> (SimTime, usize) {
+        self.merged[i as usize]
+    }
+
+    /// The next undelivered arrival time, if any.
+    fn upcoming(&self) -> Option<SimTime> {
+        self.merged.get(self.delivered).map(|&(t, _)| t)
+    }
+}
+
+impl<Q: SimQueue> EventHandler<Q> for ArrivalProcess {
+    fn on_event(&mut self, event: Event, _ctx: &mut SimulationContext<'_, Q>) {
+        debug_assert_eq!(event.payload as usize, self.delivered);
+        self.delivered += 1;
+        self.admitted.push(event.payload);
+    }
+}
+
 /// The event-driven engine behind every [`ColocationRun`].
 pub(crate) fn run_engine(
     device: &Arc<Device>,
@@ -609,7 +732,7 @@ pub(crate) fn run_engine(
     }
 
     let mut now = SimTime::ZERO;
-    let mut next_arrival: Vec<usize> = vec![0; services.len()];
+    let (mut arrival_sim, mut arrival_proc) = ArrivalProcess::new(&arrivals_per_service);
     let mut active: VecDeque<ActiveQuery> = VecDeque::new();
     // Best-effort injection budget. Headroom alone is blind to *future*
     // arrivals: BE work injected into a busy period delays every query that
@@ -832,16 +955,10 @@ pub(crate) fn run_engine(
             }
         }
 
-        // Admit arrivals from every service, oldest first.
-        let mut due: Vec<(SimTime, usize)> = Vec::new();
-        for (si, arrivals) in arrivals_per_service.iter().enumerate() {
-            while next_arrival[si] < arrivals.len() && arrivals[next_arrival[si]] <= now {
-                due.push((arrivals[next_arrival[si]], si));
-                next_arrival[si] += 1;
-            }
-        }
-        due.sort();
-        for (arrival, si) in due {
+        // Admit arrivals from every service, oldest first: drain the
+        // arrival component's calendar up to the engine's clock.
+        for i in 0..arrival_proc.drain(&mut arrival_sim, now).len() {
+            let (arrival, si) = arrival_proc.get(arrival_proc.admitted[i]);
             if let Some(ws) = windows.as_mut() {
                 ws.on_arrivals(arrival, 1, &mut emit_window);
             }
@@ -884,12 +1001,7 @@ pub(crate) fn run_engine(
                     } else {
                         q.pending.iter().map(|&i| profile.runs[i].duration).sum()
                     };
-                    let upcoming = arrivals_per_service
-                        .iter()
-                        .zip(&next_arrival)
-                        .filter_map(|(a, &i)| a.get(i))
-                        .min()
-                        .copied();
+                    let upcoming = arrival_proc.upcoming();
                     // Strict: an arrival exactly at retirement time is
                     // admitted by the next slow-path iteration either way,
                     // but stay conservative and let the slow path handle it.
@@ -1236,12 +1348,7 @@ pub(crate) fn run_engine(
                     // Jump to the next arrival of any service — or the next
                     // flood burst, which also re-opens the device; genuine
                     // idle replenishes the injection budget.
-                    let upcoming = arrivals_per_service
-                        .iter()
-                        .zip(&next_arrival)
-                        .filter_map(|(a, &i)| a.get(i))
-                        .min()
-                        .copied();
+                    let upcoming = arrival_proc.upcoming();
                     let upcoming = match (upcoming, faults.be_floods.get(next_flood)) {
                         (Some(t), Some(b)) => Some(t.min(b.at)),
                         (None, Some(b)) => Some(b.at),

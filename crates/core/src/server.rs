@@ -1,36 +1,23 @@
-//! Peak-load calibration and the deprecated `run_colocation*` entry
-//! points (§VIII-B).
+//! Peak-load calibration (§VIII-B).
 //!
-//! The co-location engine itself lives in [`crate::serve`]; every function
-//! here is either calibration support ([`calibrate_peak_interarrival`],
-//! [`solo_query_duration`]) or a one-line deprecated shim over
-//! [`ColocationRun`], kept so downstream code migrates at its own pace:
-//!
-//! | deprecated call | builder equivalent |
-//! |---|---|
-//! | `run_colocation(d, lc, be, p, c)` | `ColocationRun::new(d, c, &[lc], be)?.policy(p).run()` |
-//! | `run_colocation_at(…, t)` | `….policy(p).at(t).run()` |
-//! | `run_colocation_traced(…, sink)` | `….policy(p).traced(sink).run()` |
-//! | `run_multi_colocation(d, lcs, be, p, c)` | `ColocationRun::new(d, c, lcs, be)?.policy(p).run()` |
-//! | `run_multi_colocation_at(…, loads)` | `….with_loads(loads).run()` |
-//! | `…_traced` variants | add `.traced(sink)` |
+//! The co-location engine itself lives in [`crate::serve`]; this module
+//! is calibration support ([`calibrate_peak_interarrival`],
+//! [`solo_query_duration`]). The `run_colocation*` free functions that
+//! once lived here are gone — [`ColocationRun`] is the single entry
+//! point (see README «Migrating» for the call-for-call table).
 
 use std::sync::Arc;
 
 use tacker_kernel::SimTime;
 use tacker_sim::Device;
-use tacker_trace::TraceSink;
-use tacker_workloads::{BeApp, LcService};
+use tacker_workloads::LcService;
 
 use crate::config::ExperimentConfig;
 use crate::error::TackerError;
 use crate::manager::Policy;
 use crate::profile::KernelProfiler;
-use crate::report::RunReport;
 use crate::serve::ColocationRun;
 
-#[allow(deprecated)]
-pub use crate::report::MultiRunReport;
 pub use crate::report::ServiceReport;
 pub use crate::serve::ServiceLoad;
 
@@ -134,151 +121,10 @@ pub fn calibrate_peak_interarrival(
     Ok(v)
 }
 
-/// Runs one co-location experiment: `lc` under Poisson load against the
-/// given BE applications, with the chosen policy.
-///
-/// # Errors
-///
-/// Propagates simulation, fusion and prediction errors, or a
-/// [`TackerError::Config`] when the service has no kernels.
-#[deprecated(note = "use `ColocationRun::new(device, config, &[lc], be_apps)?.policy(p).run()`")]
-pub fn run_colocation(
-    device: &Arc<Device>,
-    lc: &LcService,
-    be_apps: &[BeApp],
-    policy: Policy,
-    config: &ExperimentConfig,
-) -> Result<RunReport, TackerError> {
-    ColocationRun::new(device, config, std::slice::from_ref(lc), be_apps)?
-        .policy(policy)
-        .run()
-}
-
-/// `run_colocation` with an explicit mean query inter-arrival time
-/// (skipping peak-load calibration).
-///
-/// # Errors
-///
-/// Same as `run_colocation`.
-#[deprecated(note = "use `ColocationRun::…​.at(mean_interarrival).run()`")]
-pub fn run_colocation_at(
-    device: &Arc<Device>,
-    lc: &LcService,
-    be_apps: &[BeApp],
-    policy: Policy,
-    config: &ExperimentConfig,
-    mean_interarrival: SimTime,
-) -> Result<RunReport, TackerError> {
-    ColocationRun::new(device, config, std::slice::from_ref(lc), be_apps)?
-        .policy(policy)
-        .at(mean_interarrival)
-        .run()
-}
-
-/// `run_colocation` with a trace sink receiving runtime events.
-///
-/// # Errors
-///
-/// Same as `run_colocation`.
-#[deprecated(note = "use `ColocationRun::…​.traced(sink).run()`")]
-pub fn run_colocation_traced(
-    device: &Arc<Device>,
-    lc: &LcService,
-    be_apps: &[BeApp],
-    policy: Policy,
-    config: &ExperimentConfig,
-    sink: Arc<dyn TraceSink>,
-) -> Result<RunReport, TackerError> {
-    ColocationRun::new(device, config, std::slice::from_ref(lc), be_apps)?
-        .policy(policy)
-        .traced(sink)
-        .run()
-}
-
-/// Runs a co-location experiment with multiple LC services, each under its
-/// own calibrated share of the configured load.
-///
-/// # Errors
-///
-/// Same as `run_colocation`.
-#[deprecated(note = "use `ColocationRun::new(device, config, lcs, be_apps)?.policy(p).run()`")]
-pub fn run_multi_colocation(
-    device: &Arc<Device>,
-    lcs: &[LcService],
-    be_apps: &[BeApp],
-    policy: Policy,
-    config: &ExperimentConfig,
-) -> Result<RunReport, TackerError> {
-    ColocationRun::new(device, config, lcs, be_apps)?
-        .policy(policy)
-        .run()
-}
-
-/// `run_multi_colocation` with a trace sink.
-///
-/// # Errors
-///
-/// Same as `run_colocation`.
-#[deprecated(note = "use `ColocationRun::…​.traced(sink).run()`")]
-pub fn run_multi_colocation_traced(
-    device: &Arc<Device>,
-    lcs: &[LcService],
-    be_apps: &[BeApp],
-    policy: Policy,
-    config: &ExperimentConfig,
-    sink: Arc<dyn TraceSink>,
-) -> Result<RunReport, TackerError> {
-    ColocationRun::new(device, config, lcs, be_apps)?
-        .policy(policy)
-        .traced(sink)
-        .run()
-}
-
-/// `run_multi_colocation` with explicit per-service loads.
-///
-/// # Errors
-///
-/// Same as `run_colocation`.
-#[deprecated(note = "use `ColocationRun::…​.with_loads(services).run()`")]
-pub fn run_multi_colocation_at(
-    device: &Arc<Device>,
-    services: &[ServiceLoad],
-    be_apps: &[BeApp],
-    policy: Policy,
-    config: &ExperimentConfig,
-) -> Result<RunReport, TackerError> {
-    let lcs: Vec<LcService> = services.iter().map(|s| s.lc.clone()).collect();
-    ColocationRun::new(device, config, &lcs, be_apps)?
-        .policy(policy)
-        .with_loads(services)
-        .run()
-}
-
-/// `run_multi_colocation_at` with a trace sink.
-///
-/// # Errors
-///
-/// Same as `run_colocation`.
-#[deprecated(note = "use `ColocationRun::…​.with_loads(services).traced(sink).run()`")]
-pub fn run_multi_colocation_at_traced(
-    device: &Arc<Device>,
-    services: &[ServiceLoad],
-    be_apps: &[BeApp],
-    policy: Policy,
-    config: &ExperimentConfig,
-    sink: Arc<dyn TraceSink>,
-) -> Result<RunReport, TackerError> {
-    let lcs: Vec<LcService> = services.iter().map(|s| s.lc.clone()).collect();
-    ColocationRun::new(device, config, &lcs, be_apps)?
-        .policy(policy)
-        .with_loads(services)
-        .traced(sink)
-        .run()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::report::RunReport;
     use tacker_sim::GpuSpec;
     use tacker_workloads::parboil::Benchmark;
     use tacker_workloads::{BeApp, Intensity};

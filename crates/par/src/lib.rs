@@ -49,6 +49,30 @@ pub fn available_jobs() -> usize {
         .unwrap_or(1)
 }
 
+/// The shared `TACKER_JOBS` environment convention: an explicit request
+/// (e.g. a `--jobs` flag, `Some` when given) wins, then the
+/// `TACKER_JOBS` environment variable, then `0` (auto-detect every
+/// core). Both spellings mean the same thing — `0` is auto — so scripts
+/// can pin a fleet-wide default via the environment and still override
+/// per invocation. The CLI and the benchmark binaries both resolve
+/// through here; don't hand-roll the parse.
+///
+/// # Errors
+///
+/// When `TACKER_JOBS` is set but not a number.
+pub fn env_jobs(requested: Option<usize>) -> Result<usize, String> {
+    if let Some(jobs) = requested {
+        return Ok(jobs);
+    }
+    match std::env::var("TACKER_JOBS") {
+        Ok(v) => v
+            .trim()
+            .parse()
+            .map_err(|_| format!("TACKER_JOBS expects a number, got `{v}`")),
+        Err(_) => Ok(0),
+    }
+}
+
 /// Resolves a user-facing jobs request: `0` means "use every core".
 pub fn effective_jobs(requested: usize) -> usize {
     if requested == 0 {

@@ -1,0 +1,94 @@
+//! Multi-component routing over one event calendar.
+//!
+//! The [`Router`] is itself an [`EventHandler`]: it splits each event's
+//! payload into a destination [`ComponentId`] (high 8 bits) and the
+//! component's own payload (low 24 bits) and forwards to the registered
+//! handler. Delivery order is a property of the calendar alone —
+//! ascending `(time, seq)` — so *registration order never changes
+//! behaviour*; ids only name destinations (property-tested in
+//! `tests/component_core.rs`).
+
+use crate::core::simulation::{Event, EventHandler, SimulationContext};
+use crate::queue::SimQueue;
+
+/// Payload bits left to the component after routing.
+pub const ROUTE_PAYLOAD_BITS: u32 = 24;
+/// Mask of the component-owned payload bits.
+pub const ROUTE_PAYLOAD_MASK: u32 = (1 << ROUTE_PAYLOAD_BITS) - 1;
+
+/// A registered component's address on a [`Router`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ComponentId(u32);
+
+impl ComponentId {
+    /// The registry slot (also the routing prefix).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Packs a routed payload: `dest` in the high 8 bits, the component
+/// payload in the low 24. Panics if the payload needs more than 24 bits
+/// — routed components index coarse work lists (queries, launches),
+/// never per-warp events.
+#[inline]
+pub fn route_payload(dest: ComponentId, payload: u32) -> u32 {
+    assert!(
+        payload <= ROUTE_PAYLOAD_MASK,
+        "routed payload {payload:#x} exceeds {ROUTE_PAYLOAD_BITS} bits"
+    );
+    (dest.0 << ROUTE_PAYLOAD_BITS) | payload
+}
+
+/// A registry of named components sharing one calendar. Components are
+/// borrowed (`&mut dyn EventHandler<Q>`) so the driver keeps ownership
+/// and can inspect their state after the run.
+pub struct Router<'h, Q> {
+    components: Vec<(String, &'h mut dyn EventHandler<Q>)>,
+}
+
+impl<'h, Q: SimQueue> Default for Router<'h, Q> {
+    fn default() -> Self {
+        Router::new()
+    }
+}
+
+impl<'h, Q: SimQueue> Router<'h, Q> {
+    /// An empty registry.
+    pub fn new() -> Router<'h, Q> {
+        Router {
+            components: Vec::new(),
+        }
+    }
+
+    /// Registers `handler` under `name`, returning its address. At most
+    /// 256 components fit the 8-bit routing prefix.
+    pub fn add(&mut self, name: &str, handler: &'h mut dyn EventHandler<Q>) -> ComponentId {
+        let id = u32::try_from(self.components.len()).expect("component count fits u32");
+        assert!(
+            id < (1 << (32 - ROUTE_PAYLOAD_BITS)),
+            "router supports at most 256 components"
+        );
+        self.components.push((name.to_string(), handler));
+        ComponentId(id)
+    }
+
+    /// The registered name of `id`.
+    pub fn name(&self, id: ComponentId) -> &str {
+        &self.components[id.index()].0
+    }
+}
+
+impl<'h, Q: SimQueue> EventHandler<Q> for Router<'h, Q> {
+    fn on_event(&mut self, event: Event, ctx: &mut SimulationContext<'_, Q>) {
+        let dest = (event.payload >> ROUTE_PAYLOAD_BITS) as usize;
+        let payload = event.payload & ROUTE_PAYLOAD_MASK;
+        self.components[dest].1.on_event(
+            Event {
+                time: event.time,
+                payload,
+            },
+            ctx,
+        );
+    }
+}

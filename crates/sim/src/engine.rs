@@ -1,4 +1,5 @@
-//! The discrete-event SM engine.
+//! The discrete-event SM engine, built as components on the
+//! [`crate::core`] simulation kernel.
 //!
 //! The engine simulates one *representative* SM — the busiest one — and
 //! derives whole-device behaviour from it. This is accurate for the
@@ -23,47 +24,58 @@
 //! kernel that kept a block-wide `__syncthreads()` therefore deadlocks, and
 //! the engine reports it as [`SimError::Deadlock`].
 //!
-//! # Event core
+//! # Component structure
 //!
-//! Warp wake-ups drain from an event queue in `(time, seq)` order — see
-//! [`crate::queue`]. Two interchangeable queues are provided
+//! The engine is three components over one [`Simulation`]:
+//!
+//! * [`WarpEngine`] — the warp scheduler, the one *hot* component. It
+//!   implements [`EventHandler`] generically over the queue, so
+//!   event dispatch is monomorphized (zero virtual calls per event), and
+//!   it is the component that macro-steps (below).
+//! * [`ServerBank`] — the six pipeline servers, each a reusable
+//!   [`FcfsServer`].
+//! * [`BarrierBoard`] — named-barrier arrival/release state, with a
+//!   persistent waiter-vector pool so releases never allocate.
+//!
+//! Warp wake-ups drain from the kernel's event calendar in `(time, seq)`
+//! order — see [`crate::queue`]. Two interchangeable queues are provided
 //! ([`QueueKind`]): the reference binary heap and a calendar/bucket queue
 //! whose buckets are sized from the spec's issue cost. Both drain the
-//! same total order, so results are bit-identical between them; the
-//! engine's run loop is monomorphized over the queue, so neither pays
-//! dispatch for the other's existence.
+//! same total order, so results are bit-identical between them.
 //!
 //! Warp state is stored struct-of-arrays: the per-event execution fields
 //! (`pc`/`iters`), the DRAM-stage bytes, the rarely-touched metadata and
 //! the finish times live in parallel `Vec`s indexed by the dense warp id
-//! — the same id the queue uses as its event slot. The run loop keeps a
-//! register-resident copy of the active warp's execution state and
-//! writes it back only at run boundaries. All of that storage, plus the
-//! queues themselves, lives in a per-thread scratch arena reused across
-//! simulations, so a run allocates only its result; the per-spec
-//! micro-op tables come pre-compiled from the plan's cache
+//! — the same id the calendar uses as the event payload. The event
+//! handler keeps a register-resident copy of the active warp's execution
+//! state and writes it back only at run boundaries. All of that storage,
+//! plus the queues themselves, lives in a per-thread scratch arena
+//! reused across simulations, so a run allocates only its result; the
+//! per-spec micro-op tables come pre-compiled from the plan's cache
 //! ([`crate::compile`]).
 //!
-//! On top of the queue sits **warp macro-stepping**: after processing a
-//! warp's event, if the warp's *next* wake-up time is strictly below the
-//! earliest other pending event, that wake-up is executed inline instead
-//! of being pushed and re-popped — it would have been the very next event
-//! anyway, so the collapse is exact, not approximate. Runs end at
-//! barriers (which mutate cross-warp state and re-enter through the
-//! queue, per the lowering's run-length metadata), and macro-stepping
-//! auto-disables when a trace sink is attached so per-op event streams
-//! are identical to the pure event-by-event engine. [`KernelRun::events`]
-//! counts *micro*-events (inline continuations included) and is invariant
-//! across queue kinds and macro-stepping; [`KernelRun::pops`] counts
-//! actual queue transactions and shrinks as runs coalesce.
+//! On top of the calendar sits **warp macro-stepping**: after processing
+//! a warp's event, if the warp's *next* wake-up time is strictly below
+//! the earliest other pending event
+//! ([`SimulationContext::inline_bound`]), that wake-up is executed
+//! inline instead of being pushed and re-popped — it would have been the
+//! very next event anyway, so the collapse is exact, not approximate.
+//! Runs end at barriers (which mutate cross-warp state and re-enter
+//! through the calendar, per the lowering's run-length metadata), and
+//! macro-stepping auto-disables when a trace sink is attached so per-op
+//! event streams are identical to the pure event-by-event engine.
+//! [`KernelRun::events`] counts *micro*-events (inline continuations
+//! included) and is invariant across queue kinds and macro-stepping;
+//! [`KernelRun::pops`] counts actual calendar transactions and shrinks
+//! as runs coalesce.
 
 use std::cell::RefCell;
-use std::collections::VecDeque;
 
-use tacker_kernel::{Cycles, Name};
+use tacker_kernel::Cycles;
 use tacker_trace::{Pipeline, ServerKind, TraceEvent, TraceSink};
 
 use crate::compile::{CompiledProgram, MicroOp};
+use crate::core::{Event, EventHandler, FcfsServer, Schedule, Simulation, SimulationContext};
 use crate::error::SimError;
 use crate::plan::ExecutablePlan;
 use crate::queue::{CalendarQueue, HeapQueue, SimQueue};
@@ -100,6 +112,9 @@ pub enum QueueKind {
 /// options trade only wall-clock speed (and [`KernelRun::pops`]
 /// accounting) — which is what makes the A/B comparison in
 /// `engine_bench` meaningful.
+///
+/// Follows the workspace options idiom: `Default` plus chained `with_*`
+/// setters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineOptions {
     /// Event-queue implementation.
@@ -119,89 +134,32 @@ impl Default for EngineOptions {
     }
 }
 
-/// A FCFS serial server with a service rate.
-#[derive(Debug, Clone)]
-struct Server {
-    next_free: f64,
-    busy: f64,
-    intervals: Vec<Interval>,
-    record: bool,
-    /// Queue/wait accounting, maintained only when tracing is enabled
-    /// (`track_stats`): op count, total cycles spent waiting for the
-    /// server, in-flight completion times, and peak simultaneous depth.
-    track_stats: bool,
-    acquires: u64,
-    wait: f64,
-    inflight: VecDeque<f64>,
-    max_depth: u32,
-}
-
-impl Server {
-    fn new(record: bool, track_stats: bool) -> Server {
-        Server {
-            next_free: 0.0,
-            busy: 0.0,
-            intervals: Vec::new(),
-            record,
-            track_stats,
-            acquires: 0,
-            wait: 0.0,
-            inflight: VecDeque::new(),
-            max_depth: 0,
-        }
+impl EngineOptions {
+    /// Selects the event-queue implementation.
+    #[must_use]
+    pub fn with_queue(mut self, queue: QueueKind) -> Self {
+        self.queue = queue;
+        self
     }
 
-    /// Occupies the server for `service` cycles starting no earlier than
-    /// `now`; returns the completion time. `inline(always)`: the plain
-    /// `#[inline]` hint loses to the run loop's size and leaves seven
-    /// out-of-line calls in the hot path (measured via disassembly),
-    /// where inlining also folds the constant `record`/`track_stats`
-    /// flags per call site.
-    #[inline(always)]
-    fn acquire(&mut self, now: f64, service: f64) -> f64 {
-        let start = now.max(self.next_free);
-        let end = start + service;
-        self.next_free = end;
-        self.busy += service;
-        if self.record && service > 0.0 {
-            match self.intervals.last_mut() {
-                Some(last) if start <= last.end + 1e-9 => last.end = end,
-                _ => self.intervals.push(Interval { start, end }),
-            }
-        }
-        if self.track_stats {
-            self.acquires += 1;
-            self.wait += start - now;
-            while self.inflight.front().is_some_and(|&e| e <= now) {
-                self.inflight.pop_front();
-            }
-            self.inflight.push_back(end);
-            self.max_depth = self.max_depth.max(self.inflight.len() as u32);
-        }
-        end
-    }
-
-    fn stats_event(&self, kernel: &Name, kind: ServerKind) -> TraceEvent {
-        TraceEvent::ServerStats {
-            kernel: kernel.clone(),
-            server: kind,
-            acquires: self.acquires,
-            busy_cycles: self.busy,
-            wait_cycles: self.wait,
-            max_queue_depth: self.max_depth,
-        }
+    /// Enables or disables warp macro-stepping.
+    #[must_use]
+    pub fn with_macro_step(mut self, macro_step: bool) -> Self {
+        self.macro_step = macro_step;
+        self
     }
 }
 
-/// Sentinel `pc` marking a completed warp, so the run loop's staleness
-/// guard reads the exec record it already loaded instead of a separate
-/// flag array. Real pcs index the compiled micro table, which is always
-/// far smaller.
+/// Sentinel `pc` marking a completed warp, so the event handler's
+/// staleness guard reads the exec record it already loaded instead of a
+/// separate flag array. Real pcs index the compiled micro table, which
+/// is always far smaller.
 const DONE_PC: u32 = u32::MAX;
 
-/// The per-event execution state of one warp: everything the run loop
+/// The per-event execution state of one warp: everything the handler
 /// touches on every step, packed in one record so a pop costs a single
-/// indexed load (the loop works on a local copy, see [`Engine::run`]).
+/// indexed load (the handler works on a local copy, see
+/// [`WarpEngine::on_event`]).
 #[derive(Debug, Clone, Copy, Default)]
 struct WarpExec {
     /// Current position in the compiled flat micro-op table, or
@@ -225,31 +183,131 @@ struct WarpMeta {
     role: u16,
 }
 
+/// The six FCFS pipeline servers of one SM, each a reusable
+/// [`FcfsServer`] component from the simulation core.
+#[derive(Debug)]
+struct ServerBank {
+    tc: FcfsServer,
+    cd: FcfsServer,
+    issue: FcfsServer,
+    l1: FcfsServer,
+    shared: FcfsServer,
+    dram: FcfsServer,
+}
+
+impl ServerBank {
+    /// Fresh idle servers; only the two compute pipelines record busy
+    /// intervals (for activity summaries), and all six track queue/wait
+    /// statistics when tracing.
+    fn new(tracing: bool) -> ServerBank {
+        ServerBank {
+            tc: FcfsServer::new(true, tracing),
+            cd: FcfsServer::new(true, tracing),
+            issue: FcfsServer::new(false, tracing),
+            l1: FcfsServer::new(false, tracing),
+            shared: FcfsServer::new(false, tracing),
+            dram: FcfsServer::new(false, tracing),
+        }
+    }
+}
+
+/// Named-barrier arrival/release state: arrived counts and parked warp
+/// ids, flat-indexed `block × barrier_bound + id`. The waiter-vector
+/// pool persists across runs (entries are cleared lazily at block
+/// launch) so neither parking nor releasing allocates.
+#[derive(Debug, Default)]
+struct BarrierBoard {
+    arrived: Vec<u32>,
+    waiters: Vec<Vec<u32>>,
+    /// Active prefix length of `waiters` (blocks × bound).
+    len: usize,
+    /// Scratch buffer reused across releases so each release does not
+    /// allocate (and drop) a fresh waiter list.
+    release_scratch: Vec<u32>,
+}
+
+impl BarrierBoard {
+    fn reset(&mut self) {
+        self.arrived.clear();
+        self.len = 0;
+    }
+
+    /// Claims (and lazily clears) `bound` waiter slots for a newly
+    /// launched block from the persistent pool.
+    fn claim_block(&mut self, bound: usize) {
+        self.arrived.resize(self.arrived.len() + bound, 0);
+        for _ in 0..bound {
+            if self.len < self.waiters.len() {
+                self.waiters[self.len].clear();
+            } else {
+                self.waiters.push(Vec::new());
+            }
+            self.len += 1;
+        }
+    }
+
+    /// Records warp `w` arriving at `slot`. Returns the arrival count
+    /// and, when `expected` is met, the full released waiter set
+    /// (including `w`) in a recycled buffer — return it via
+    /// [`BarrierBoard::recycle`].
+    fn arrive(&mut self, slot: usize, w: u32, expected: u32) -> (u32, Option<Vec<u32>>) {
+        self.arrived[slot] += 1;
+        let arrived_now = self.arrived[slot];
+        if arrived_now >= expected {
+            self.arrived[slot] = 0;
+            // Drain waiters into a reused scratch buffer and keep the
+            // (now empty) Vec in the pool, so neither release nor the
+            // next parking round allocates.
+            let mut waiters = std::mem::take(&mut self.release_scratch);
+            waiters.clear();
+            waiters.append(&mut self.waiters[slot]);
+            waiters.push(w);
+            (arrived_now, Some(waiters))
+        } else {
+            self.waiters[slot].push(w);
+            (arrived_now, None)
+        }
+    }
+
+    /// Returns a release buffer to the scratch slot.
+    fn recycle(&mut self, waiters: Vec<u32>) {
+        self.release_scratch = waiters;
+    }
+
+    /// Barrier ids (mod `bound`) that still hold parked warps — the
+    /// deadlock witnesses. Released barriers leave an empty slot; only
+    /// barriers with parked warps count as stuck.
+    fn stuck(&self, bound: usize) -> Vec<u16> {
+        let mut pending: Vec<u16> = self.waiters[..self.len]
+            .iter()
+            .enumerate()
+            .filter(|(_, ws)| !ws.is_empty())
+            .map(|(slot, _)| (slot % bound) as u16)
+            .collect();
+        pending.sort_unstable();
+        pending.dedup();
+        pending
+    }
+}
+
 /// Per-thread reusable engine storage: warp/block tables in
-/// struct-of-arrays form plus both queue implementations. Reused across
+/// struct-of-arrays form plus the barrier board. Reused across
 /// simulations so a run's setup clears vectors instead of allocating
 /// them; see [`EngineScratch`].
 #[derive(Debug, Default)]
 struct EngineState {
-    /// Per warp, indexed by the dense warp id (= queue event slot).
+    /// Per warp, indexed by the dense warp id (= calendar event payload).
     warp_exec: Vec<WarpExec>,
     warp_meta: Vec<WarpMeta>,
     warp_finish: Vec<f64>,
     /// Per launched block: global issued-block index and live warps.
     block_index: Vec<u64>,
     block_live: Vec<u32>,
-    /// Arrived counts, flat `block × barrier_bound`, indexed
-    /// `block * bound + id`.
-    barrier_arrived: Vec<u32>,
-    /// Parked warp ids, same flat indexing. The vector pool persists
-    /// across runs; entries are cleared lazily at block launch.
-    barrier_waiters: Vec<Vec<u32>>,
+    /// The named-barrier component's state.
+    barriers: BarrierBoard,
     /// Remaining assigned issued-block indices not yet launched.
     pending: Vec<u64>,
     role_finish: Vec<f64>,
-    /// Scratch buffer reused across barrier releases so each release
-    /// does not allocate (and drop) a fresh waiter list.
-    release_scratch: Vec<u32>,
 }
 
 impl EngineState {
@@ -259,7 +317,7 @@ impl EngineState {
         self.warp_finish.clear();
         self.block_index.clear();
         self.block_live.clear();
-        self.barrier_arrived.clear();
+        self.barriers.reset();
         self.pending.clear();
         self.role_finish.clear();
         self.role_finish.resize(n_roles, 0.0);
@@ -300,52 +358,43 @@ fn role_iters(original: u64, issued: u64, b: u64) -> u64 {
     (original - b - 1) / issued + 1
 }
 
-struct Engine<'a, Q: SimQueue> {
+/// The SM warp scheduler: the hot component on the simulation kernel.
+/// Owns the warp tables, the [`ServerBank`] and the [`BarrierBoard`];
+/// every calendar event is one warp wake-up whose payload is the dense
+/// warp id.
+struct WarpEngine<'a> {
     spec: &'a GpuSpec,
     plan: &'a ExecutablePlan,
     /// The plan's program compiled against `spec` (cached on the plan).
     prog: &'a CompiledProgram,
     st: &'a mut EngineState,
-    queue: &'a mut Q,
-    tc: Server,
-    cd: Server,
-    issue: Server,
-    l1: Server,
-    shared: Server,
-    dram: Server,
-    seq: u64,
+    servers: ServerBank,
     dram_bytes: f64,
     /// Reciprocal of this SM's DRAM bandwidth share (cycles/byte),
     /// hoisted so the hot loop multiplies instead of divides.
     inv_dram_rate: f64,
     /// Per-op issue occupancy (cycles), hoisted.
     issue_cost: f64,
-    /// Active prefix length of `st.barrier_waiters` (blocks × bound).
-    bw_len: usize,
     /// Inline continuations absorbed by macro-stepping. Micro-events
     /// processed = `pops + coalesced`; that sum is invariant across
     /// queue kinds and macro-stepping.
     coalesced: u64,
-    /// Actual queue pops (heap transactions in the reference engine).
+    /// Actual calendar pops (heap transactions in the reference engine).
     pops: u64,
     /// Pops whose processing coalesced at least one inline continuation.
     macro_runs: u64,
     /// Macro-stepping active (off under tracing or by options).
     macro_on: bool,
+    /// Latest processed instant (pop times and inline continuations).
+    last_time: f64,
     sink: &'a dyn TraceSink,
     /// `sink.enabled()` hoisted once at construction so the disabled path
     /// costs a local-bool branch per emission site, never a virtual call.
     tracing: bool,
 }
 
-impl<'a, Q: SimQueue> Engine<'a, Q> {
-    #[inline]
-    fn schedule(&mut self, time: f64, warp: u32) {
-        self.seq += 1;
-        self.queue.push(time, self.seq, warp);
-    }
-
-    fn launch_next_block(&mut self, now: f64) {
+impl<'a> WarpEngine<'a> {
+    fn launch_next_block(&mut self, sched: &mut impl Schedule, now: f64) {
         let Some(index) = self.st.pending.pop() else {
             return;
         };
@@ -372,33 +421,21 @@ impl<'a, Q: SimQueue> Engine<'a, Q> {
                 self.st.warp_finish.push(start);
                 if !done {
                     live += 1;
-                    self.schedule(start, wid);
+                    sched.schedule(start, wid);
                 }
             }
         }
         let bound = self.prog.barrier_expected.len();
         self.st.block_index.push(index);
         self.st.block_live.push(live);
-        self.st
-            .barrier_arrived
-            .resize(self.st.barrier_arrived.len() + bound, 0);
-        // Claim (and lazily clear) this block's waiter slots from the
-        // persistent pool.
-        for _ in 0..bound {
-            if self.bw_len < self.st.barrier_waiters.len() {
-                self.st.barrier_waiters[self.bw_len].clear();
-            } else {
-                self.st.barrier_waiters.push(Vec::new());
-            }
-            self.bw_len += 1;
-        }
+        self.st.barriers.claim_block(bound);
         // A block whose roles all had zero work completes immediately.
         if live == 0 {
-            self.launch_next_block(start);
+            self.launch_next_block(sched, start);
         }
     }
 
-    fn finish_warp(&mut self, now: f64, w: u32) {
+    fn finish_warp(&mut self, sched: &mut impl Schedule, now: f64, w: u32) {
         let wi = w as usize;
         let meta = self.st.warp_meta[wi];
         self.st.warp_exec[wi].pc = DONE_PC;
@@ -408,22 +445,21 @@ impl<'a, Q: SimQueue> Engine<'a, Q> {
         let b = meta.block as usize;
         self.st.block_live[b] -= 1;
         if self.st.block_live[b] == 0 {
-            self.launch_next_block(now);
+            self.launch_next_block(sched, now);
         }
     }
 
-    /// Handles a warp arriving at barrier `id`: parks it, or releases
-    /// every waiter when the expectation is met. The arriving warp's
-    /// stored state must be current (the run loop writes its local copy
-    /// back first), because a release advances every waiter's pc —
-    /// including the arriver's.
-    fn arrive_barrier(&mut self, now: f64, w: u32, id: u16) {
+    /// Handles a warp arriving at barrier `id`: parks it on the
+    /// [`BarrierBoard`], or releases every waiter when the expectation
+    /// is met. The arriving warp's stored state must be current (the
+    /// event handler writes its local copy back first), because a
+    /// release advances every waiter's pc — including the arriver's.
+    fn arrive_barrier(&mut self, sched: &mut impl Schedule, now: f64, w: u32, id: u16) {
         let bound = self.prog.barrier_expected.len();
         let expected = self.prog.barrier_expected[id as usize];
         let block = self.st.warp_meta[w as usize].block as usize;
         let slot = block * bound + id as usize;
-        self.st.barrier_arrived[slot] += 1;
-        let arrived_now = self.st.barrier_arrived[slot];
+        let (arrived_now, released) = self.st.barriers.arrive(slot, w, expected);
         if self.tracing {
             self.sink.record(TraceEvent::BarrierArrival {
                 kernel: self.plan.name.clone(),
@@ -434,15 +470,7 @@ impl<'a, Q: SimQueue> Engine<'a, Q> {
                 at_cycles: now,
             });
         }
-        if arrived_now >= expected {
-            self.st.barrier_arrived[slot] = 0;
-            // Drain waiters into a reused scratch buffer and keep the
-            // (now empty) Vec in the table, so neither release nor the
-            // next parking round allocates.
-            let mut waiters = std::mem::take(&mut self.st.release_scratch);
-            waiters.clear();
-            waiters.append(&mut self.st.barrier_waiters[slot]);
-            waiters.push(w);
+        if let Some(waiters) = released {
             if self.tracing {
                 self.sink.record(TraceEvent::BarrierRelease {
                     kernel: self.plan.name.clone(),
@@ -459,169 +487,18 @@ impl<'a, Q: SimQueue> Engine<'a, Q> {
                     exec.pc = exec.pc_start;
                     exec.iters_left -= 1;
                 }
-                self.schedule(now + BARRIER_COST, wi);
+                sched.schedule(now + BARRIER_COST, wi);
             }
-            self.st.release_scratch = waiters;
-        } else {
-            self.st.barrier_waiters[slot].push(w);
+            self.st.barriers.recycle(waiters);
         }
     }
 
-    fn run(mut self) -> Result<KernelRun, SimError> {
-        // Copies of the shared-reference fields and spec scalars. The
-        // references are `Copy`, so these locals borrow nothing from
-        // `self` — and being immutable borrows, their targets are
-        // known not to alias the engine's stores, letting the loads
-        // below stay in registers across the loop.
-        let prog = self.prog;
-        let micro = prog.micro.as_slice();
-        let run_ok = prog.run_ok.as_slice();
-        let issue_cost = self.issue_cost;
-        let inv_dram_rate = self.inv_dram_rate;
-        let dram_latency = self.spec.dram_latency;
-        let shared_latency = self.spec.shared_latency;
-        let l1_latency = self.spec.l1_latency;
-        let mut last_time = 0.0_f64;
-        while let Some((time, w, hint)) = self.queue.pop_with_hint() {
-            self.pops += 1;
-            let wi = w as usize;
-            let mut now = time;
-            // Pops drain in ascending time order and a coalesced run
-            // never passes the pending-event bound while the queue is
-            // non-empty, so a plain store (not a max) is correct here;
-            // the inline-continuation paths below do take the max, which
-            // covers the final run against an empty queue.
-            last_time = time;
-            // The earliest *other* pending event bounds how far this warp
-            // may be advanced inline: while the warp's next wake-up is
-            // strictly below it, that wake-up would be the next event
-            // popped anyway, so processing it here is exact. The queue
-            // hands back a conservative lower bound with the pop itself
-            // (see [`SimQueue::pop_with_hint`]); the queue is untouched
-            // during a pure run, so the bound stays valid for the whole
-            // coalesced run.
-            let qmin = if self.macro_on {
-                hint
-            } else {
-                f64::NEG_INFINITY
-            };
-            let mut coalesced = false;
-            // Register-resident copy of the warp's execution state for
-            // the whole (possibly macro-stepped) run; written back at
-            // every exit that leaves per-warp state behind.
-            let mut exec = self.st.warp_exec[wi];
-            if exec.pc == DONE_PC {
-                // Staleness guard: a completed warp has no work left.
-                continue;
-            }
-            loop {
-                // A warp with no iterations left after advancing is done.
-                if exec.iters_left == 0 {
-                    self.st.warp_exec[wi] = exec;
-                    self.finish_warp(now, w);
-                    break;
-                }
-                let next: f64;
-                // Handle a pending DRAM stage first.
-                if exec.dram > 0.0 {
-                    let end = self.dram.acquire(now, exec.dram * inv_dram_rate);
-                    self.dram_bytes += exec.dram;
-                    exec.dram = 0.0;
-                    exec.pc += 1;
-                    if exec.pc >= exec.pc_end {
-                        exec.pc = exec.pc_start;
-                        exec.iters_left -= 1;
-                    }
-                    next = end + dram_latency;
-                } else {
-                    match micro[exec.pc as usize] {
-                        MicroOp::Tc { service } => {
-                            let issue_end = self.issue.acquire(now, issue_cost);
-                            next = self.tc.acquire(issue_end, service);
-                        }
-                        MicroOp::Cd { service } => {
-                            let issue_end = self.issue.acquire(now, issue_cost);
-                            next = self.cd.acquire(issue_end, service);
-                        }
-                        MicroOp::Shared { service } => {
-                            let issue_end = self.issue.acquire(now, issue_cost);
-                            next = self.shared.acquire(issue_end, service) + shared_latency;
-                        }
-                        MicroOp::Global {
-                            service,
-                            miss_bytes,
-                        } => {
-                            let issue_end = self.issue.acquire(now, issue_cost);
-                            let l1_end = self.l1.acquire(issue_end, service);
-                            if miss_bytes > 0.0 {
-                                exec.dram = miss_bytes;
-                                next = l1_end;
-                            } else {
-                                next = l1_end + l1_latency;
-                            }
-                            if miss_bytes > 0.0 {
-                                // pc advances after the DRAM stage.
-                                let eligible = next < qmin;
-                                if eligible {
-                                    self.coalesced += 1;
-                                    coalesced = true;
-                                    now = next;
-                                    last_time = last_time.max(now);
-                                    continue;
-                                }
-                                self.st.warp_exec[wi] = exec;
-                                self.schedule(next, w);
-                                break;
-                            }
-                        }
-                        MicroOp::Barrier { id } => {
-                            // Barrier arrivals mutate cross-warp state and
-                            // re-enter through the queue: write the local
-                            // copy back first (the release advances this
-                            // warp's stored pc).
-                            self.st.warp_exec[wi] = exec;
-                            self.arrive_barrier(now, w, id);
-                            break;
-                        }
-                    }
-                    // Advance past the completed op (DRAM-stage entries
-                    // returned above; barriers broke out).
-                    exec.pc += 1;
-                    if exec.pc >= exec.pc_end {
-                        exec.pc = exec.pc_start;
-                        exec.iters_left -= 1;
-                    }
-                }
-                let eligible = next < qmin && (exec.iters_left == 0 || run_ok[exec.pc as usize]);
-                if eligible {
-                    // Inline continuation: absorb the push/pop.
-                    self.coalesced += 1;
-                    coalesced = true;
-                    now = next;
-                    last_time = last_time.max(now);
-                } else {
-                    self.st.warp_exec[wi] = exec;
-                    self.schedule(next, w);
-                    break;
-                }
-            }
-            if coalesced {
-                self.macro_runs += 1;
-            }
-        }
-        // Deadlock check: every warp must have completed. Released
-        // barriers leave an empty slot in the pool; only barriers with
-        // parked warps count as stuck.
+    /// Finishes the run after the calendar drained: deadlock check and
+    /// result assembly.
+    fn into_run(mut self) -> Result<KernelRun, SimError> {
         let bound = self.prog.barrier_expected.len();
         if self.st.warp_exec.iter().any(|e| e.pc != DONE_PC) {
-            let mut pending: Vec<u16> = self.st.barrier_waiters[..self.bw_len]
-                .iter()
-                .enumerate()
-                .filter(|(_, ws)| !ws.is_empty())
-                .map(|(slot, _)| (slot % bound) as u16)
-                .collect();
-            pending.sort_unstable();
-            pending.dedup();
+            let pending = self.st.barriers.stuck(bound);
             if self.tracing {
                 self.sink.record(TraceEvent::Deadlock {
                     kernel: self.plan.name.clone(),
@@ -641,7 +518,7 @@ impl<'a, Q: SimQueue> Engine<'a, Q> {
             .iter()
             .copied()
             .fold(0.0_f64, f64::max)
-            .max(last_time)
+            .max(self.last_time)
             + self.spec.kernel_launch_overhead;
         let gap = makespan * 0.005;
         let duration_cycles = Cycles::new(makespan.round() as u64);
@@ -653,8 +530,8 @@ impl<'a, Q: SimQueue> Engine<'a, Q> {
             .zip(&self.st.role_finish)
             .map(|(r, f)| (r.name.clone(), Cycles::new(f.round() as u64)))
             .collect();
-        let tc_intervals = merge_intervals(std::mem::take(&mut self.tc.intervals), gap);
-        let cd_intervals = merge_intervals(std::mem::take(&mut self.cd.intervals), gap);
+        let tc_intervals = merge_intervals(self.servers.tc.take_intervals(), gap);
+        let cd_intervals = merge_intervals(self.servers.cd.take_intervals(), gap);
         let occupancy = self.plan.occupancy(self.spec);
         if self.tracing {
             self.emit_run_events(duration_cycles, occupancy, &tc_intervals, &cd_intervals);
@@ -665,8 +542,8 @@ impl<'a, Q: SimQueue> Engine<'a, Q> {
             cycles: duration_cycles,
             duration: self.spec.cycles_to_time(duration_cycles),
             activity: ActivitySummary {
-                tc_busy: Cycles::new(self.tc.busy.round() as u64),
-                cd_busy: Cycles::new(self.cd.busy.round() as u64),
+                tc_busy: Cycles::new(self.servers.tc.busy().round() as u64),
+                cd_busy: Cycles::new(self.servers.cd.busy().round() as u64),
             },
             tc_intervals,
             cd_intervals,
@@ -705,30 +582,178 @@ impl<'a, Q: SimQueue> Engine<'a, Q> {
             }
         }
         for (kind, server) in [
-            (ServerKind::Tensor, &self.tc),
-            (ServerKind::Cuda, &self.cd),
-            (ServerKind::Issue, &self.issue),
-            (ServerKind::L1, &self.l1),
-            (ServerKind::Shared, &self.shared),
-            (ServerKind::Dram, &self.dram),
+            (ServerKind::Tensor, &self.servers.tc),
+            (ServerKind::Cuda, &self.servers.cd),
+            (ServerKind::Issue, &self.servers.issue),
+            (ServerKind::L1, &self.servers.l1),
+            (ServerKind::Shared, &self.servers.shared),
+            (ServerKind::Dram, &self.servers.dram),
         ] {
             self.sink.record(server.stats_event(name, kind));
         }
         self.sink.record(TraceEvent::KernelComplete {
             kernel: name.clone(),
             cycles: cycles.get(),
-            tc_busy_cycles: self.tc.busy.round() as u64,
-            cd_busy_cycles: self.cd.busy.round() as u64,
+            tc_busy_cycles: self.servers.tc.busy().round() as u64,
+            cd_busy_cycles: self.servers.cd.busy().round() as u64,
             occupancy,
             events: self.pops + self.coalesced,
         });
     }
 }
 
+impl<'a, Q: SimQueue> EventHandler<Q> for WarpEngine<'a> {
+    /// One warp wake-up (plus any macro-stepped inline continuations).
+    #[inline]
+    fn on_event(&mut self, event: Event, ctx: &mut SimulationContext<'_, Q>) {
+        // Copies of the shared-reference fields and spec scalars. The
+        // references are `Copy`, so these locals borrow nothing from
+        // `self` — and being immutable borrows, their targets are
+        // known not to alias the engine's stores, letting the loads
+        // below stay in registers across the coalescing loop.
+        let prog = self.prog;
+        let micro = prog.micro.as_slice();
+        let run_ok = prog.run_ok.as_slice();
+        let issue_cost = self.issue_cost;
+        let inv_dram_rate = self.inv_dram_rate;
+        let dram_latency = self.spec.dram_latency;
+        let shared_latency = self.spec.shared_latency;
+        let l1_latency = self.spec.l1_latency;
+        self.pops += 1;
+        let time = event.time;
+        let w = event.payload;
+        let wi = w as usize;
+        let mut now = time;
+        // Pops drain in ascending time order and a coalesced run never
+        // passes the pending-event bound while the calendar is
+        // non-empty, so a plain store (not a max) is correct here; the
+        // inline-continuation paths below do take the max, which covers
+        // the final run against an empty calendar.
+        self.last_time = time;
+        // The earliest *other* pending event bounds how far this warp
+        // may be advanced inline: while the warp's next wake-up is
+        // strictly below it, that wake-up would be the next event popped
+        // anyway, so processing it here is exact. The kernel hands the
+        // bound to the handler with the pop itself
+        // ([`SimulationContext::inline_bound`]); the calendar is
+        // untouched during a pure run, so the bound stays valid for the
+        // whole coalesced run.
+        let qmin = if self.macro_on {
+            ctx.inline_bound()
+        } else {
+            f64::NEG_INFINITY
+        };
+        let mut coalesced = false;
+        // Register-resident copy of the warp's execution state for the
+        // whole (possibly macro-stepped) run; written back at every exit
+        // that leaves per-warp state behind.
+        let mut exec = self.st.warp_exec[wi];
+        if exec.pc == DONE_PC {
+            // Staleness guard: a completed warp has no work left.
+            return;
+        }
+        loop {
+            // A warp with no iterations left after advancing is done.
+            if exec.iters_left == 0 {
+                self.st.warp_exec[wi] = exec;
+                self.finish_warp(ctx, now, w);
+                break;
+            }
+            let next: f64;
+            // Handle a pending DRAM stage first.
+            if exec.dram > 0.0 {
+                let end = self.servers.dram.acquire(now, exec.dram * inv_dram_rate);
+                self.dram_bytes += exec.dram;
+                exec.dram = 0.0;
+                exec.pc += 1;
+                if exec.pc >= exec.pc_end {
+                    exec.pc = exec.pc_start;
+                    exec.iters_left -= 1;
+                }
+                next = end + dram_latency;
+            } else {
+                match micro[exec.pc as usize] {
+                    MicroOp::Tc { service } => {
+                        let issue_end = self.servers.issue.acquire(now, issue_cost);
+                        next = self.servers.tc.acquire(issue_end, service);
+                    }
+                    MicroOp::Cd { service } => {
+                        let issue_end = self.servers.issue.acquire(now, issue_cost);
+                        next = self.servers.cd.acquire(issue_end, service);
+                    }
+                    MicroOp::Shared { service } => {
+                        let issue_end = self.servers.issue.acquire(now, issue_cost);
+                        next = self.servers.shared.acquire(issue_end, service) + shared_latency;
+                    }
+                    MicroOp::Global {
+                        service,
+                        miss_bytes,
+                    } => {
+                        let issue_end = self.servers.issue.acquire(now, issue_cost);
+                        let l1_end = self.servers.l1.acquire(issue_end, service);
+                        if miss_bytes > 0.0 {
+                            exec.dram = miss_bytes;
+                            next = l1_end;
+                        } else {
+                            next = l1_end + l1_latency;
+                        }
+                        if miss_bytes > 0.0 {
+                            // pc advances after the DRAM stage.
+                            let eligible = next < qmin;
+                            if eligible {
+                                self.coalesced += 1;
+                                coalesced = true;
+                                now = next;
+                                self.last_time = self.last_time.max(now);
+                                continue;
+                            }
+                            self.st.warp_exec[wi] = exec;
+                            ctx.schedule(next, w);
+                            break;
+                        }
+                    }
+                    MicroOp::Barrier { id } => {
+                        // Barrier arrivals mutate cross-warp state and
+                        // re-enter through the calendar: write the local
+                        // copy back first (the release advances this
+                        // warp's stored pc).
+                        self.st.warp_exec[wi] = exec;
+                        self.arrive_barrier(ctx, now, w, id);
+                        break;
+                    }
+                }
+                // Advance past the completed op (DRAM-stage entries
+                // returned above; barriers broke out).
+                exec.pc += 1;
+                if exec.pc >= exec.pc_end {
+                    exec.pc = exec.pc_start;
+                    exec.iters_left -= 1;
+                }
+            }
+            let eligible = next < qmin && (exec.iters_left == 0 || run_ok[exec.pc as usize]);
+            if eligible {
+                // Inline continuation: absorb the push/pop.
+                self.coalesced += 1;
+                coalesced = true;
+                now = next;
+                self.last_time = self.last_time.max(now);
+            } else {
+                self.st.warp_exec[wi] = exec;
+                ctx.schedule(next, w);
+                break;
+            }
+        }
+        if coalesced {
+            self.macro_runs += 1;
+        }
+    }
+}
+
 /// Validates the plan, resets the scratch arena, launches the first wave
-/// of blocks and drains the event loop — monomorphized per queue kind.
-/// (The argument list is the engine's full context on purpose: bundling
-/// it into a struct would just move the same fields one level down.)
+/// of blocks and drains the simulation kernel — monomorphized per queue
+/// kind. (The argument list is the engine's full context on purpose:
+/// bundling it into a struct would just move the same fields one level
+/// down.)
 #[allow(clippy::too_many_arguments)]
 fn simulate_on<Q: SimQueue>(
     spec: &GpuSpec,
@@ -762,29 +787,23 @@ fn simulate_on<Q: SimQueue>(
     let tracing = sink.enabled();
     let issue_cost = spec.issue_cost_per_op / spec.issue_slots_per_cycle;
     let dram_rate = spec.dram_bytes_per_cycle_per_sm(active_sms);
-    let mut eng = Engine {
+    let mut sim = Simulation::new(&mut *queue);
+    let mut eng = WarpEngine {
         spec,
         plan,
         prog,
         st,
-        queue,
-        tc: Server::new(true, tracing),
-        cd: Server::new(true, tracing),
-        issue: Server::new(false, tracing),
-        l1: Server::new(false, tracing),
-        shared: Server::new(false, tracing),
-        dram: Server::new(false, tracing),
-        seq: 0,
+        servers: ServerBank::new(tracing),
         dram_bytes: 0.0,
         inv_dram_rate: 1.0 / dram_rate,
         issue_cost,
-        bw_len: 0,
         coalesced: 0,
         pops: 0,
         macro_runs: 0,
         // Per-op trace events must fire exactly as in the
         // event-by-event engine, so tracing forces macro-stepping off.
         macro_on: options.macro_step && !tracing,
+        last_time: 0.0,
         sink,
         tracing,
     };
@@ -792,9 +811,10 @@ fn simulate_on<Q: SimQueue>(
         if eng.st.pending.is_empty() {
             break;
         }
-        eng.launch_next_block(0.0);
+        eng.launch_next_block(&mut sim, 0.0);
     }
-    eng.run()
+    sim.run(&mut eng);
+    eng.into_run()
 }
 
 fn run_with_scratch(
@@ -891,9 +911,10 @@ pub fn simulate_traced(
     simulate_with_options(spec, plan, active_sms, sink, EngineOptions::default())
 }
 
-/// Fully explicit entry point: queue kind and macro-stepping are chosen
-/// by `options`. Every combination produces identical results (and an
-/// identical [`KernelRun::events`] count); only wall-clock speed and the
+/// Fully explicit entry point — the thin facade over the component
+/// engine: queue kind and macro-stepping are chosen by `options`. Every
+/// combination produces identical results (and an identical
+/// [`KernelRun::events`] count); only wall-clock speed and the
 /// [`KernelRun::pops`]/[`KernelRun::macro_runs`] accounting differ.
 ///
 /// # Errors
@@ -921,7 +942,6 @@ pub fn simulate_with_options(
         ),
     })
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -25,6 +25,7 @@
 
 pub(crate) mod compile;
 pub mod concurrent;
+pub mod core;
 pub mod device;
 pub mod engine;
 pub mod error;
@@ -37,7 +38,7 @@ pub mod spec;
 pub mod timeline;
 
 pub use concurrent::{corun, CorunPolicy, CorunReport};
-pub use device::Device;
+pub use device::{Device, DeviceComponent};
 pub use engine::{
     simulate, simulate_traced, simulate_with_active_sms, simulate_with_options, EngineOptions,
     QueueKind,

@@ -84,7 +84,7 @@ fn key_time(key: u128) -> f64 {
 /// Contract: `pop` returns `(time, warp)` in ascending `(time, seq)`
 /// order; `seq` values are unique, monotonically increasing across
 /// pushes, and below `2³²`.
-pub(crate) trait SimQueue {
+pub trait SimQueue {
     fn push(&mut self, time: f64, seq: u64, warp: u32);
     /// Reference single-event pop; the engine's hot loop uses
     /// [`Self::pop_with_hint`] instead, so this (and `peek_time`) serve
@@ -105,6 +105,28 @@ pub(crate) trait SimQueue {
     /// bound, so an underestimate only forgoes a coalesce — it can
     /// never reorder events.
     fn pop_with_hint(&mut self) -> Option<(f64, u32, f64)>;
+}
+
+/// Forwarding impl so a [`crate::core::Simulation`] can borrow a queue
+/// from a scratch arena (`Simulation<&mut CalendarQueue>`) instead of
+/// owning it.
+impl<Q: SimQueue + ?Sized> SimQueue for &mut Q {
+    #[inline]
+    fn push(&mut self, time: f64, seq: u64, warp: u32) {
+        (**self).push(time, seq, warp);
+    }
+    #[inline]
+    fn pop(&mut self) -> Option<(f64, u32)> {
+        (**self).pop()
+    }
+    #[inline]
+    fn peek_time(&mut self) -> Option<f64> {
+        (**self).peek_time()
+    }
+    #[inline]
+    fn pop_with_hint(&mut self) -> Option<(f64, u32, f64)> {
+        (**self).pop_with_hint()
+    }
 }
 
 /// One pending warp wake-up, as stored by the reference heap.
@@ -139,7 +161,7 @@ impl Ord for Event {
 
 /// The reference min-queue over `(time, seq)`.
 #[derive(Debug, Default)]
-pub(crate) struct HeapQueue {
+pub struct HeapQueue {
     heap: BinaryHeap<Event>,
 }
 
@@ -207,7 +229,7 @@ const CALENDAR_BUCKETS: usize = 512;
 /// global key minimum, keeping the drain order exactly the heap's. The
 /// rung is empty for typical plans, so the check is one branch.
 #[derive(Debug)]
-pub(crate) struct CalendarQueue {
+pub struct CalendarQueue {
     width: f64,
     /// `1 / width`: bucketing multiplies instead of divides. Any
     /// monotone map from time to bucket index preserves the drain order

@@ -1,0 +1,91 @@
+//! Pins the workspace's public re-export surface.
+//!
+//! The consolidated API (one builder idiom, one prelude) is a contract:
+//! this test extracts every `pub use` statement from each crate's
+//! `lib.rs` and compares the normalized list against
+//! `tests/api_surface.snapshot`. An export added, removed, or renamed
+//! without updating the snapshot fails CI — surface changes must be
+//! deliberate and reviewed next to the snapshot diff.
+//!
+//! To update after an intentional change:
+//!
+//! ```sh
+//! UPDATE_API_SURFACE=1 cargo test --test api_surface
+//! ```
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Crates whose `lib.rs` re-exports form the public surface
+/// (`tacker-cli` is a pure binary — no library surface to pin).
+const CRATES: &[&str] = &[
+    "bench",
+    "core",
+    "fuser",
+    "kernel",
+    "par",
+    "predictor",
+    "sim",
+    "trace",
+    "workloads",
+];
+
+/// Extracts every `pub use …;` statement (possibly spanning lines) from
+/// Rust source, normalized to single-space separation.
+fn pub_uses(source: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current: Option<String> = None;
+    for raw in source.lines() {
+        let line = raw.trim();
+        if current.is_none() && (line.starts_with("pub use ") || line == "pub use") {
+            current = Some(String::new());
+        }
+        if let Some(stmt) = current.as_mut() {
+            if !stmt.is_empty() {
+                stmt.push(' ');
+            }
+            stmt.push_str(line);
+            if line.ends_with(';') {
+                out.push(current.take().expect("statement in progress"));
+            }
+        }
+    }
+    out
+}
+
+/// One sorted, labelled block per crate: the normalized surface text.
+fn surface() -> String {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut text = String::new();
+    for krate in CRATES {
+        let lib = root.join("crates").join(krate).join("src/lib.rs");
+        let source =
+            std::fs::read_to_string(&lib).unwrap_or_else(|e| panic!("read {}: {e}", lib.display()));
+        let mut uses = pub_uses(&source);
+        uses.sort();
+        writeln!(text, "# tacker-{krate}").expect("write to string");
+        for stmt in uses {
+            writeln!(text, "{stmt}").expect("write to string");
+        }
+        text.push('\n');
+    }
+    text
+}
+
+#[test]
+fn exports_match_snapshot() {
+    let snapshot_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/api_surface.snapshot");
+    let current = surface();
+    if std::env::var_os("UPDATE_API_SURFACE").is_some() {
+        std::fs::write(&snapshot_path, &current).expect("write snapshot");
+        return;
+    }
+    let pinned = std::fs::read_to_string(&snapshot_path)
+        .expect("tests/api_surface.snapshot missing — run with UPDATE_API_SURFACE=1 to create");
+    assert_eq!(
+        current, pinned,
+        "public re-export surface drifted from tests/api_surface.snapshot; \
+         if the change is intentional, regenerate with \
+         `UPDATE_API_SURFACE=1 cargo test --test api_surface` and review the diff"
+    );
+}

@@ -1,7 +1,5 @@
 //! Property tests for the serving runtime: a zero-fault serve is the
-//! batch run — same arrivals, same decisions, same report — and the
-//! deprecated `run_colocation*` entry points are exact shims over the
-//! `ColocationRun` builder.
+//! batch run — same arrivals, same decisions, same report.
 
 use std::sync::Arc;
 
@@ -131,30 +129,5 @@ proptest! {
         prop_assert_eq!(traced.query_latencies(), slow.query_latencies());
         prop_assert_eq!(traced.wall, slow.wall);
         prop_assert!(!sink.events().is_empty());
-    }
-
-    /// The deprecated entry points are one-line shims: byte-identical
-    /// reports to the builder they forward to.
-    #[test]
-    fn deprecated_shims_match_builder(
-        seed in 0u64..1000,
-        pick in 0usize..4,
-    ) {
-        let device = Arc::new(Device::new(GpuSpec::rtx2080ti()));
-        let lc = lc_service(2048);
-        let be = vec![be_pick(pick)];
-        let config = ExperimentConfig::default().with_queries(10).with_seed(seed);
-
-        #[allow(deprecated)]
-        let shim = tacker::server::run_colocation(&device, &lc, &be, Policy::Tacker, &config)
-            .expect("shim");
-        let builder = ColocationRun::new(&device, &config, std::slice::from_ref(&lc), &be)
-            .expect("builder").policy(Policy::Tacker).run().expect("builder");
-
-        prop_assert_eq!(shim.query_latencies(), builder.query_latencies());
-        prop_assert_eq!(shim.fused_launches, builder.fused_launches);
-        prop_assert_eq!(shim.reordered_launches, builder.reordered_launches);
-        prop_assert_eq!(shim.be_work, builder.be_work);
-        prop_assert_eq!(shim.wall, builder.wall);
     }
 }
